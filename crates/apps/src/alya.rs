@@ -1,0 +1,148 @@
+//! Alya (NASTIN module) mini-kernel.
+//!
+//! The instrumented kernel of Alya — the incompressible Navier-Stokes
+//! module — "communicates mainly using MPI reduction collectives of
+//! length of one element" (Table II note). Those transfers cannot be
+//! chunked, so the overlapping technique has almost nothing to work
+//! with: the paper's tables show only the single-element columns
+//! (produced at ~98.8% of the interval, consumed at ~0.4%).
+
+use crate::util::advance_to;
+use ovlp_instr::{MpiApp, RankCtx, ReduceOp};
+
+/// Configuration of the Alya mini-kernel.
+#[derive(Debug, Clone)]
+pub struct AlyaApp {
+    /// Solver iterations.
+    pub iters: u32,
+    /// Instructions per iteration (assembly + local solve).
+    pub iter_instr: u64,
+    /// Fraction of the iteration at which the reduced scalar receives
+    /// its final value (98.8%).
+    pub produce_at: f64,
+    /// Fraction of the next iteration at which the reduction result is
+    /// first used (0.4%).
+    pub consume_at: f64,
+    /// Reductions per iteration (residual norms, dot products).
+    pub reductions: u32,
+}
+
+impl Default for AlyaApp {
+    fn default() -> AlyaApp {
+        AlyaApp {
+            iters: 12,
+            iter_instr: 4_600_000, // ~2 ms at 2300 MIPS
+            produce_at: 0.988,
+            consume_at: 0.004,
+            reductions: 3,
+        }
+    }
+}
+
+impl AlyaApp {
+    /// A tiny configuration for unit tests.
+    pub fn quick() -> AlyaApp {
+        AlyaApp {
+            iters: 3,
+            iter_instr: 50_000,
+            ..AlyaApp::default()
+        }
+    }
+}
+
+impl MpiApp for AlyaApp {
+    fn name(&self) -> &str {
+        "alya"
+    }
+
+    fn run(&self, ctx: &mut RankCtx) {
+        let me = ctx.rank().get() as f64;
+        // one tracked scalar per in-flight reduction
+        let mut scalars: Vec<_> = (0..self.reductions).map(|_| ctx.buffer(1)).collect();
+        let mut residual = 1.0 + me;
+
+        for it in 0..self.iters {
+            ctx.iter_begin(it);
+            let start = ctx.now();
+
+            // the previous iteration's reduction results are consumed
+            // almost immediately (0.4%)
+            if it > 0 {
+                advance_to(ctx, start, self.consume_at, self.iter_instr);
+                for s in scalars.iter_mut() {
+                    residual += s.load(0);
+                }
+            }
+
+            // assembly + local solve; the reduced scalars receive their
+            // final values only at the very end (98.8%)
+            advance_to(ctx, start, self.produce_at, self.iter_instr);
+            for (k, s) in scalars.iter_mut().enumerate() {
+                s.store(0, residual * 0.5 + k as f64);
+            }
+            advance_to(ctx, start, 1.0, self.iter_instr);
+
+            // the 1-element reductions that dominate Alya's kernel
+            for s in scalars.iter_mut() {
+                ctx.allreduce(ReduceOp::Sum, s);
+            }
+            ctx.iter_end(it);
+        }
+
+        // epilogue: consume the final reduction results with the same
+        // timing, so the last consumption interval is well-formed
+        let start = ctx.now();
+        advance_to(ctx, start, self.consume_at, self.iter_instr);
+        for s in scalars.iter_mut() {
+            residual += s.load(0);
+        }
+        advance_to(ctx, start, 1.0, self.iter_instr);
+        std::hint::black_box(residual);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlp_core::patterns::{consumption_stats, production_stats};
+    use ovlp_instr::trace_app;
+    use ovlp_trace::validate::validate;
+
+    #[test]
+    fn trace_is_valid() {
+        let run = trace_app(&AlyaApp::quick(), 4).unwrap();
+        assert!(validate(&run.trace).is_empty());
+    }
+
+    #[test]
+    fn all_transfers_are_single_element_collectives() {
+        let run = trace_app(&AlyaApp::quick(), 4).unwrap();
+        use ovlp_trace::record::Record;
+        for rt in &run.trace.ranks {
+            for rec in &rt.records {
+                match rec {
+                    Record::Collective { bytes_in, .. } => {
+                        assert_eq!(bytes_in.get(), 8, "1-element reductions only")
+                    }
+                    Record::Send { .. } | Record::Recv { .. } => {
+                        panic!("Alya kernel should have no point-to-point")
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn patterns_match_table2_alya_row() {
+        let run = trace_app(&AlyaApp::default(), 4).unwrap();
+        let p = production_stats(&run.access);
+        // paper: produced at 98.8%; quarter/half blank (1 element)
+        assert!((p.first.unwrap() - 98.8).abs() < 1.5, "{p:?}");
+        assert!(p.quarter.is_none(), "single-element: blank column");
+        let c = consumption_stats(&run.access);
+        // paper: consumed at 0.4%
+        assert!(c.nothing.unwrap() < 6.0, "{c:?}");
+        assert!(c.quarter.is_none());
+    }
+}

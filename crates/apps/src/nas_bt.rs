@@ -1,0 +1,169 @@
+//! NAS BT mini-kernel.
+//!
+//! The block-tridiagonal benchmark performs ADI sweeps along three
+//! dimensions per iteration, exchanging faces with neighbors between
+//! sweeps.
+//!
+//! Measured patterns (Table II, Fig. 5b): the most *unfavorable* of
+//! the pool. The outgoing face is packed entirely at the end of the
+//! phase (first element 99.1%, quarter 99.37%, whole 99.98%), and the
+//! received face is "loaded four times, each time in an extremely
+//! short interval, implying that the data is copied to some other
+//! location from where it is consumed" — 13.68% of the consumption
+//! phase is independent work, then a wholesale copy-out with no
+//! progressive structure at all (quarter 13.71%, half 13.74%).
+
+use crate::util::{advance_to, copy_in, linear_pack, xor_partner};
+use ovlp_instr::{MpiApp, RankCtx};
+use ovlp_trace::Rank;
+
+/// Configuration of the BT mini-kernel.
+#[derive(Debug, Clone)]
+pub struct NasBtApp {
+    /// Elements per face message.
+    pub face: usize,
+    /// Iterations (each runs `sweeps` ADI sweeps).
+    pub iters: u32,
+    /// ADI sweeps per iteration (x, y, z).
+    pub sweeps: u32,
+    /// Instructions per sweep.
+    pub sweep_instr: u64,
+    /// Pack window start (99.1%).
+    pub pack_at: f64,
+    /// Independent-work fraction of the consumption phase (13.68%).
+    pub indep_frac: f64,
+    /// Wholesale copy passes over the received face (the paper
+    /// observes four).
+    pub copy_passes: usize,
+}
+
+impl Default for NasBtApp {
+    fn default() -> NasBtApp {
+        NasBtApp {
+            face: 4_000,
+            iters: 3,
+            sweeps: 3,
+            sweep_instr: 13_800_000, // ~6 ms at 2300 MIPS
+            pack_at: 0.991,
+            indep_frac: 0.1368,
+            copy_passes: 4,
+        }
+    }
+}
+
+impl NasBtApp {
+    /// A tiny configuration for unit tests.
+    pub fn quick() -> NasBtApp {
+        NasBtApp {
+            face: 64,
+            iters: 2,
+            sweeps: 2,
+            sweep_instr: 60_000,
+            ..NasBtApp::default()
+        }
+    }
+}
+
+impl MpiApp for NasBtApp {
+    fn name(&self) -> &str {
+        "nas-bt"
+    }
+
+    fn run(&self, ctx: &mut RankCtx) {
+        let me = ctx.rank().get();
+        let partner = Rank(xor_partner(me, ctx.nranks()));
+        let mut face_out = ctx.buffer(self.face);
+        let mut face_in = ctx.buffer(self.face);
+        let mut u = 1.0 + me as f64;
+
+        for it in 0..self.iters {
+            ctx.iter_begin(it);
+            for sweep in 0..self.sweeps {
+                let start = ctx.now();
+
+                // consumption of the previous sweep's face: independent
+                // work, then the characteristic wholesale copy passes
+                if it > 0 || sweep > 0 {
+                    advance_to(ctx, start, self.indep_frac, self.sweep_instr);
+                    u += copy_in(ctx, &mut face_in, self.copy_passes) / self.face as f64;
+                }
+
+                // the solve itself, with the face packed only at the
+                // very end of the phase
+                linear_pack(
+                    ctx,
+                    &mut face_out,
+                    start,
+                    self.sweep_instr,
+                    self.pack_at,
+                    0.9998,
+                    u + sweep as f64,
+                );
+                advance_to(ctx, start, 1.0, self.sweep_instr);
+
+                ctx.sendrecv(partner, 50, &mut face_out, partner, 50, &mut face_in);
+            }
+            ctx.iter_end(it);
+        }
+        // drain the final face with steady-state timing
+        let start = ctx.now();
+        advance_to(ctx, start, self.indep_frac, self.sweep_instr);
+        u += copy_in(ctx, &mut face_in, self.copy_passes);
+        advance_to(ctx, start, 1.0, self.sweep_instr);
+        std::hint::black_box(u);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlp_core::patterns::{consumption_stats, production_stats};
+    use ovlp_instr::trace_app;
+    use ovlp_trace::validate::validate;
+
+    #[test]
+    fn trace_is_valid() {
+        let run = trace_app(&NasBtApp::quick(), 4).unwrap();
+        assert!(validate(&run.trace).is_empty());
+    }
+
+    #[test]
+    fn patterns_match_table2_bt_row() {
+        let app = NasBtApp {
+            face: 500,
+            iters: 3,
+            sweeps: 2,
+            sweep_instr: 2_000_000,
+            ..NasBtApp::default()
+        };
+        let run = trace_app(&app, 4).unwrap();
+        let p = production_stats(&run.access);
+        // paper: 99.1 / 99.37 / 99.56 / 99.98
+        assert!((p.first.unwrap() - 99.1).abs() < 1.0, "{p:?}");
+        assert!((p.quarter.unwrap() - 99.37).abs() < 1.0, "{p:?}");
+        assert!(p.whole.unwrap() > 99.0, "{p:?}");
+        let c = consumption_stats(&run.access);
+        // paper: 13.68 / 13.71 / 13.74 (flat: wholesale copy)
+        assert!((c.nothing.unwrap() - 13.68).abs() < 3.0, "{c:?}");
+        assert!(
+            (c.quarter.unwrap() - c.nothing.unwrap()).abs() < 1.0,
+            "flat: {c:?}"
+        );
+        assert!(
+            (c.half.unwrap() - c.nothing.unwrap()).abs() < 1.0,
+            "flat: {c:?}"
+        );
+    }
+
+    #[test]
+    fn consumption_shows_four_copy_passes() {
+        let run = trace_app(&NasBtApp::quick(), 2).unwrap();
+        // find a steady-state consumption log with events
+        let log = run
+            .access
+            .all_consumptions()
+            .find(|c| c.events.len() == 4 * NasBtApp::quick().face)
+            .expect("a 4-pass consumption interval");
+        assert_eq!(log.events.len(), 4 * 64);
+    }
+}

@@ -1,0 +1,187 @@
+//! NAS CG mini-kernel.
+//!
+//! The conjugate-gradient benchmark exchanges segments of the iterate
+//! vector between partner ranks each iteration (the NPB "transpose"
+//! exchange) and performs small scalar reductions for ρ/α/β.
+//!
+//! Its patterns are the *most favorable* of the pool (Table II):
+//! production is essentially linear — the outgoing segment `q = A·p`
+//! is produced element by element during the sparse matrix-vector
+//! product (first element ~4%, quarter ~28%, half ~52% of the
+//! production interval) — and consumption is near-linear (~2%
+//! independent work; a quarter of the message lets ~18% pass, half
+//! ~35%). This is why CG is the only application whose *measured*
+//! patterns yield a real speedup (~8% at 4 ranks, Fig. 4).
+//!
+//! Iteration structure (one fused mat-vec burst per iteration):
+//!
+//! ```text
+//! send q₀                        (prologue seeds the pipeline)
+//! loop: recv p ; burst T {        consumption interval of p = recv→recv ≈ T
+//!         load p[i]  at  2% + 68%·i/n of T      (consumption row)
+//!         store q[i] at  4% + 96%·i/n of T      (production row)
+//!       } ; send q ; allreduce ρ
+//! recv p                         (epilogue drains the last message)
+//! ```
+
+use crate::util::{advance_to, copy_out, xor_partner};
+use ovlp_instr::{MpiApp, RankCtx, ReduceOp};
+use ovlp_trace::Rank;
+
+/// Configuration of the CG mini-kernel.
+#[derive(Debug, Clone)]
+pub struct NasCgApp {
+    /// Elements in the exchanged vector segment.
+    pub seg: usize,
+    /// CG iterations.
+    pub iters: u32,
+    /// Instructions per iteration burst (the fused mat-vec).
+    pub iter_instr: u64,
+    /// Load schedule over the burst: `[load_from, load_to]`.
+    pub load_from: f64,
+    pub load_to: f64,
+    /// Store schedule over the burst: `[store_from, store_to]`.
+    pub store_from: f64,
+    pub store_to: f64,
+}
+
+impl Default for NasCgApp {
+    fn default() -> NasCgApp {
+        NasCgApp {
+            seg: 5_000,
+            iters: 5,
+            iter_instr: 8_000_000,
+            load_from: 0.02,
+            load_to: 0.70,
+            store_from: 0.04,
+            store_to: 1.0,
+        }
+    }
+}
+
+impl NasCgApp {
+    /// A tiny configuration for unit tests and doctests.
+    pub fn quick() -> NasCgApp {
+        NasCgApp {
+            seg: 64,
+            iters: 2,
+            iter_instr: 40_000,
+            ..NasCgApp::default()
+        }
+    }
+}
+
+impl MpiApp for NasCgApp {
+    fn name(&self) -> &str {
+        "nas-cg"
+    }
+
+    fn run(&self, ctx: &mut RankCtx) {
+        let me = ctx.rank().get();
+        let partner = Rank(xor_partner(me, ctx.nranks()));
+        let mut q = ctx.buffer(self.seg); // produced segment (sent)
+        let mut p = ctx.buffer(self.seg); // received segment
+        let mut scalars = ctx.buffer(1);
+        let n = self.seg;
+
+        // prologue: seed the pipeline with an initial segment
+        copy_out(ctx, &mut q, 1.0 + me as f64);
+        ctx.send(partner, 10, &mut q);
+
+        let mut rho = 1.0;
+        for it in 0..self.iters {
+            ctx.iter_begin(it);
+            ctx.recv(partner, 10, &mut p);
+
+            // fused mat-vec burst: consume p and produce q on their own
+            // (merged) schedules — reads of p run ahead of writes of q,
+            // as in a real mat-vec
+            let start = ctx.now();
+            let load_at =
+                |i: usize| self.load_from + (self.load_to - self.load_from) * i as f64 / n as f64;
+            let store_at = |i: usize| {
+                self.store_from
+                    + (self.store_to - self.store_from) * (i as f64 + 1.0) / n as f64
+            };
+            let (mut li, mut si) = (0usize, 0usize);
+            let mut pv = 0.0;
+            while li < n || si < n {
+                if li < n && (si == n || load_at(li) <= store_at(si)) {
+                    advance_to(ctx, start, load_at(li), self.iter_instr);
+                    pv = p.load(li);
+                    li += 1;
+                } else {
+                    advance_to(ctx, start, store_at(si), self.iter_instr);
+                    q.store(si, 0.5 * pv + rho);
+                    si += 1;
+                }
+            }
+            advance_to(ctx, start, 1.0, self.iter_instr);
+
+            ctx.send(partner, 10, &mut q);
+
+            // scalar reduction (ρ/α/β)
+            scalars.store(0, rho + it as f64);
+            ctx.allreduce(ReduceOp::Sum, &mut scalars);
+            rho = scalars.load(0) / ctx.nranks() as f64;
+
+            ctx.iter_end(it);
+        }
+        // epilogue: drain the final in-flight segment and consume it
+        // with the steady-state timing (keeps the last consumption
+        // interval representative)
+        ctx.recv(partner, 10, &mut p);
+        let start = ctx.now();
+        advance_to(ctx, start, self.load_from, self.iter_instr);
+        let tail = crate::util::copy_in(ctx, &mut p, 1);
+        advance_to(ctx, start, 1.0, self.iter_instr);
+        std::hint::black_box(tail + rho);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlp_core::patterns::{consumption_stats, production_stats};
+    use ovlp_instr::trace_app;
+    use ovlp_trace::validate::validate;
+
+    fn p2p_only(db: &ovlp_trace::AccessDb) -> ovlp_trace::AccessDb {
+        let mut db = db.clone();
+        for rank in &mut db.ranks {
+            rank.productions.retain(|_, p| p.elems > 1);
+            rank.consumptions.retain(|_, c| c.elems > 1);
+        }
+        db
+    }
+
+    #[test]
+    fn trace_is_valid() {
+        let run = trace_app(&NasCgApp::quick(), 4).unwrap();
+        assert!(validate(&run.trace).is_empty());
+    }
+
+    #[test]
+    fn patterns_match_table2_cg_row() {
+        let run = trace_app(&NasCgApp::default(), 2).unwrap();
+        let db = p2p_only(&run.access);
+        let p = production_stats(&db);
+        // paper: 3.98 / 27.98 / 51.99 / 99.97
+        assert!((p.first.unwrap() - 4.0).abs() < 3.0, "{p:?}");
+        assert!((p.quarter.unwrap() - 28.0).abs() < 5.0, "{p:?}");
+        assert!((p.half.unwrap() - 52.0).abs() < 5.0, "{p:?}");
+        assert!(p.whole.unwrap() > 95.0, "{p:?}");
+        let c = consumption_stats(&db);
+        // paper: 2.175 / 18.35 / 34.53
+        assert!(c.nothing.unwrap() < 6.0, "{c:?}");
+        assert!((c.quarter.unwrap() - 18.0).abs() < 6.0, "{c:?}");
+        assert!((c.half.unwrap() - 34.5).abs() < 7.0, "{c:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = trace_app(&NasCgApp::quick(), 4).unwrap();
+        let b = trace_app(&NasCgApp::quick(), 4).unwrap();
+        assert_eq!(a.trace, b.trace);
+    }
+}

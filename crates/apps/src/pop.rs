@@ -1,0 +1,173 @@
+//! POP (Parallel Ocean Program) mini-kernel.
+//!
+//! POP advances an ocean model on a 2-D decomposed grid: each step
+//! computes the local block, exchanges halo boundaries with its
+//! neighbors, and runs scalar reductions in the barotropic solver.
+//!
+//! Measured patterns (Table II, Fig. 5c): the boundary is produced
+//! **very late** — the interior is computed first and the halo packed
+//! at the very end (first element ~95.5%, quarter ~96.6%, half
+//! ~97.75%) — and consumed **early but not immediately**: ~3.5% of the
+//! consumption phase is independent work (visible in Fig. 5c), after
+//! which the halo is read wholesale.
+
+use crate::util::{advance_to, copy_in};
+use ovlp_instr::{MpiApp, RankCtx, ReduceOp};
+use ovlp_trace::Rank;
+
+/// Configuration of the POP mini-kernel.
+#[derive(Debug, Clone)]
+pub struct PopApp {
+    /// Elements per halo message.
+    pub halo: usize,
+    /// Time steps.
+    pub iters: u32,
+    /// Instructions per step (interior computation dominates).
+    pub step_instr: u64,
+    /// Fraction of the step at which boundary packing starts (95.5%).
+    pub pack_at: f64,
+    /// Independent-work fraction at the start of the next step (3.5%).
+    pub indep_frac: f64,
+    /// Barotropic scalar reductions per step.
+    pub reductions: u32,
+}
+
+impl Default for PopApp {
+    fn default() -> PopApp {
+        PopApp {
+            halo: 2_000,
+            iters: 6,
+            step_instr: 9_200_000, // ~4 ms at 2300 MIPS
+            pack_at: 0.955,
+            indep_frac: 0.035,
+            reductions: 2,
+        }
+    }
+}
+
+impl PopApp {
+    /// A tiny configuration for unit tests.
+    pub fn quick() -> PopApp {
+        PopApp {
+            halo: 64,
+            iters: 2,
+            step_instr: 60_000,
+            ..PopApp::default()
+        }
+    }
+}
+
+impl MpiApp for PopApp {
+    fn name(&self) -> &str {
+        "pop"
+    }
+
+    fn run(&self, ctx: &mut RankCtx) {
+        let me = ctx.rank().get();
+        let p = ctx.nranks() as u32;
+        let right = Rank((me + 1) % p);
+        let left = Rank((me + p - 1) % p);
+        let mut halo_out_r = ctx.buffer(self.halo);
+        let mut halo_out_l = ctx.buffer(self.halo);
+        let mut halo_in_r = ctx.buffer(self.halo);
+        let mut halo_in_l = ctx.buffer(self.halo);
+        let mut scalar = ctx.buffer(1);
+        let mut energy = 1.0 + me as f64;
+
+        for it in 0..self.iters {
+            ctx.iter_begin(it);
+            let start = ctx.now();
+
+            // independent work at the step start (~3.5%), then the halo
+            // of the previous step is read wholesale
+            advance_to(ctx, start, self.indep_frac, self.step_instr);
+            if it > 0 {
+                energy += copy_in(ctx, &mut halo_in_r, 1) / self.halo as f64;
+                energy += copy_in(ctx, &mut halo_in_l, 1) / self.halo as f64;
+            }
+
+            // interior computation (the bulk of the step)
+            advance_to(ctx, start, self.pack_at, self.step_instr);
+
+            // both boundaries packed, interleaved, at the very end of
+            // the step (each buffer sees the full [pack_at, 1] window)
+            let span = 1.0 - self.pack_at;
+            for i in 0..self.halo {
+                let frac = self.pack_at + span * (i as f64 + 1.0) / self.halo as f64;
+                advance_to(ctx, start, frac, self.step_instr);
+                halo_out_r.store(i, energy + i as f64);
+                halo_out_l.store(i, -energy + i as f64);
+            }
+            advance_to(ctx, start, 1.0, self.step_instr);
+
+            // halo exchange (ring, both directions)
+            ctx.sendrecv(right, 30, &mut halo_out_r, left, 30, &mut halo_in_l);
+            ctx.sendrecv(left, 31, &mut halo_out_l, right, 31, &mut halo_in_r);
+
+            // barotropic solver: scalar allreduces
+            for _ in 0..self.reductions {
+                scalar.store(0, energy);
+                ctx.allreduce(ReduceOp::Sum, &mut scalar);
+                energy = scalar.load(0) / p as f64;
+            }
+            ctx.iter_end(it);
+        }
+        // drain the final halos with steady-state timing so the last
+        // consumption intervals stay representative
+        let start = ctx.now();
+        advance_to(ctx, start, self.indep_frac, self.step_instr);
+        energy += copy_in(ctx, &mut halo_in_r, 1);
+        energy += copy_in(ctx, &mut halo_in_l, 1);
+        advance_to(ctx, start, 1.0, self.step_instr);
+        scalar.store(0, energy);
+        ctx.allreduce(ReduceOp::Max, &mut scalar);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlp_core::patterns::{consumption_stats, production_stats};
+    use ovlp_instr::trace_app;
+    use ovlp_trace::validate::validate;
+
+    fn p2p_only(db: &ovlp_trace::AccessDb) -> ovlp_trace::AccessDb {
+        let mut db = db.clone();
+        for rank in &mut db.ranks {
+            rank.productions.retain(|_, p| p.elems > 1);
+            rank.consumptions.retain(|_, c| c.elems > 1);
+        }
+        db
+    }
+
+    #[test]
+    fn trace_is_valid() {
+        let run = trace_app(&PopApp::quick(), 4).unwrap();
+        assert!(validate(&run.trace).is_empty());
+    }
+
+    #[test]
+    fn patterns_match_table2_pop_row() {
+        let app = PopApp {
+            halo: 500,
+            iters: 4,
+            step_instr: 2_000_000,
+            ..PopApp::default()
+        };
+        let run = trace_app(&app, 4).unwrap();
+        let db = p2p_only(&run.access);
+        let p = production_stats(&db);
+        // paper: 95.5 / 96.62 / 97.75 / 99.99
+        assert!((p.first.unwrap() - 95.5).abs() < 2.0, "{p:?}");
+        assert!((p.quarter.unwrap() - 96.6).abs() < 2.0, "{p:?}");
+        assert!((p.half.unwrap() - 97.75).abs() < 2.0, "{p:?}");
+        assert!(p.whole.unwrap() > 99.0, "{p:?}");
+        let c = consumption_stats(&db);
+        // paper: 3.525 / 3.53 / 3.534 (flat after the independent work)
+        assert!((c.nothing.unwrap() - 3.5).abs() < 2.0, "{c:?}");
+        assert!(
+            (c.quarter.unwrap() - c.nothing.unwrap()).abs() < 1.5,
+            "flat: {c:?}"
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! The paper's application pool, by name.
+
+use crate::{alya, nas_bt, nas_cg, pop, specfem3d, sweep3d};
+use ovlp_instr::MpiApp;
+
+/// One entry of the application pool.
+pub struct AppEntry {
+    /// Canonical name (matches `ovlp_core::presets::bus_preset`).
+    pub name: &'static str,
+    /// Rank count used by the paper-reproduction experiments.
+    pub ranks: usize,
+    /// The application with its default (experiment) configuration.
+    pub app: Box<dyn MpiApp>,
+}
+
+/// The six applications of §IV with experiment-scale configurations.
+pub fn paper_pool() -> Vec<AppEntry> {
+    vec![
+        AppEntry {
+            name: "sweep3d",
+            ranks: 16,
+            app: Box::new(sweep3d::Sweep3dApp::default()),
+        },
+        AppEntry {
+            name: "pop",
+            ranks: 16,
+            app: Box::new(pop::PopApp::default()),
+        },
+        AppEntry {
+            name: "alya",
+            ranks: 16,
+            app: Box::new(alya::AlyaApp::default()),
+        },
+        AppEntry {
+            name: "specfem3d",
+            ranks: 16,
+            app: Box::new(specfem3d::Specfem3dApp::default()),
+        },
+        AppEntry {
+            name: "nas-bt",
+            ranks: 16,
+            app: Box::new(nas_bt::NasBtApp::default()),
+        },
+        AppEntry {
+            name: "nas-cg",
+            ranks: 16,
+            app: Box::new(nas_cg::NasCgApp::default()),
+        },
+    ]
+}
+
+/// Look one application up by name (accepts the aliases `bt`/`cg`).
+pub fn by_name(name: &str) -> Option<AppEntry> {
+    let canonical = match name.to_ascii_lowercase().as_str() {
+        "bt" => "nas-bt".to_string(),
+        "cg" => "nas-cg".to_string(),
+        other => other.to_string(),
+    };
+    paper_pool().into_iter().find(|e| e.name == canonical)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_has_six_apps() {
+        let pool = paper_pool();
+        assert_eq!(pool.len(), 6);
+        for e in &pool {
+            assert!(e.ranks >= 2);
+            assert_eq!(e.app.name(), e.name);
+        }
+    }
+
+    #[test]
+    fn lookup_with_aliases() {
+        assert!(by_name("sweep3d").is_some());
+        assert!(by_name("CG").is_some());
+        assert_eq!(by_name("cg").unwrap().name, "nas-cg");
+        assert!(by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn pool_names_have_bus_presets() {
+        for e in paper_pool() {
+            assert!(
+                ovlp_core::presets::bus_preset(e.name).is_some(),
+                "{} missing from Table I presets",
+                e.name
+            );
+        }
+    }
+}

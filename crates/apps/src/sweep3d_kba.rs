@@ -1,0 +1,283 @@
+//! Sweep3D with a 2-D (KBA) decomposition and octant sweeps.
+//!
+//! The real Sweep3D decomposes the spatial grid over a 2-D processor
+//! array (Koch-Baker-Alcouffe); each angle-group wavefront enters at
+//! one corner of the processor grid and every rank receives an X face
+//! and a Y face from its upstream neighbors, sweeps its cells, and
+//! forwards both downstream faces. Octants alternate the sweep
+//! direction, so pipelines fill from different corners and the
+//! direction reversals serialize at the array edges — the structure
+//! behind the wavefront numbers in the paper's evaluation.
+//!
+//! The 1-D [`Sweep3dApp`](crate::sweep3d::Sweep3dApp) is the calibrated
+//! pool member (its patterns match Table II); this variant extends the
+//! fidelity of the communication skeleton and is used by the wavefront
+//! examples and tests. Production/consumption shapes reuse the same
+//! late-concentrated profile.
+
+use crate::util::{advance_to, copy_in};
+use ovlp_instr::{MpiApp, RankCtx};
+use ovlp_trace::Rank;
+
+/// Sweep direction of one octant over the 2-D processor grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Direction {
+    /// +1: sweep left-to-right (receive from -x); -1: the reverse.
+    dx: i32,
+    /// +1: sweep bottom-to-top (receive from -y); -1: the reverse.
+    dy: i32,
+}
+
+/// The four in-plane octant directions (the z direction folds into the
+/// per-rank work in KBA).
+const DIRECTIONS: [Direction; 4] = [
+    Direction { dx: 1, dy: 1 },
+    Direction { dx: -1, dy: 1 },
+    Direction { dx: 1, dy: -1 },
+    Direction { dx: -1, dy: -1 },
+];
+
+/// Configuration of the 2-D KBA Sweep3D variant.
+#[derive(Debug, Clone)]
+pub struct Sweep3dKbaApp {
+    /// Processor grid extents; `px * py` must equal the rank count.
+    pub px: u32,
+    pub py: u32,
+    /// Elements per (X or Y) face message.
+    pub face: usize,
+    /// Angle groups per octant (the paper's `mk`).
+    pub mk: u32,
+    /// Time steps (each runs all four in-plane octants).
+    pub iters: u32,
+    /// Instructions per angle-group sweep of the local cells.
+    pub sweep_instr: u64,
+    /// Start of the finalization pass (66.3% in Table II).
+    pub final_pass_at: f64,
+    /// Finalization profile exponent.
+    pub profile_exp: f64,
+}
+
+impl Default for Sweep3dKbaApp {
+    fn default() -> Sweep3dKbaApp {
+        Sweep3dKbaApp {
+            px: 4,
+            py: 4,
+            face: 1_500,
+            mk: 5,
+            iters: 1,
+            sweep_instr: 2_300_000, // ~1 ms at 2300 MIPS
+            final_pass_at: 0.663,
+            profile_exp: 0.125,
+        }
+    }
+}
+
+impl Sweep3dKbaApp {
+    /// A tiny configuration for unit tests (2×2 grid).
+    pub fn quick() -> Sweep3dKbaApp {
+        Sweep3dKbaApp {
+            px: 2,
+            py: 2,
+            face: 32,
+            mk: 2,
+            iters: 1,
+            sweep_instr: 30_000,
+            ..Sweep3dKbaApp::default()
+        }
+    }
+
+    fn coords(&self, rank: u32) -> (i32, i32) {
+        ((rank % self.px) as i32, (rank / self.px) as i32)
+    }
+
+    fn rank_at(&self, x: i32, y: i32) -> Option<Rank> {
+        if x < 0 || y < 0 || x >= self.px as i32 || y >= self.py as i32 {
+            None
+        } else {
+            Some(Rank(y as u32 * self.px + x as u32))
+        }
+    }
+}
+
+impl MpiApp for Sweep3dKbaApp {
+    fn name(&self) -> &str {
+        "sweep3d-kba"
+    }
+
+    fn run(&self, ctx: &mut RankCtx) {
+        assert_eq!(
+            (self.px * self.py) as usize,
+            ctx.nranks(),
+            "grid extents must match the rank count"
+        );
+        let (x, y) = self.coords(ctx.rank().get());
+        let n = self.face;
+        let span = 1.0 - self.final_pass_at;
+        let mut x_in = ctx.buffer(n);
+        let mut y_in = ctx.buffer(n);
+        let mut x_out = ctx.buffer(n);
+        let mut y_out = ctx.buffer(n);
+
+        for it in 0..self.iters {
+            ctx.iter_begin(it);
+            for (oct, dir) in DIRECTIONS.iter().enumerate() {
+                ctx.phase(oct as u32);
+                // tags distinguish the x and y pipelines per octant
+                let tag_x = 70 + 2 * oct as u32;
+                let tag_y = 71 + 2 * oct as u32;
+                let upstream_x = self.rank_at(x - dir.dx, y);
+                let upstream_y = self.rank_at(x, y - dir.dy);
+                let downstream_x = self.rank_at(x + dir.dx, y);
+                let downstream_y = self.rank_at(x, y + dir.dy);
+
+                for _g in 0..self.mk {
+                    // the wavefront needs both upstream faces at once
+                    let mut inflow = 1.0;
+                    if let Some(up) = upstream_x {
+                        ctx.recv(up, tag_x, &mut x_in);
+                        inflow += copy_in(ctx, &mut x_in, 1) / n as f64;
+                    }
+                    if let Some(up) = upstream_y {
+                        ctx.recv(up, tag_y, &mut y_in);
+                        inflow += copy_in(ctx, &mut y_in, 1) / n as f64;
+                    }
+
+                    // the sweep burst: both outgoing faces revisited,
+                    // final versions concentrated late (Table II shape)
+                    let start = ctx.now();
+                    for i in 0..n {
+                        let frac =
+                            self.final_pass_at * ((i + 1) as f64 / n as f64);
+                        advance_to(ctx, start, frac, self.sweep_instr);
+                        x_out.store(i, inflow + i as f64);
+                        y_out.store(i, inflow - i as f64);
+                    }
+                    for i in 0..n {
+                        let xx = i as f64 / n as f64;
+                        let frac = self.final_pass_at + span * xx.powf(self.profile_exp);
+                        advance_to(ctx, start, frac.min(1.0), self.sweep_instr);
+                        x_out.store(i, inflow * 0.5 + i as f64);
+                        y_out.store(i, inflow * 0.25 + i as f64);
+                    }
+                    advance_to(ctx, start, 1.0, self.sweep_instr);
+
+                    if let Some(down) = downstream_x {
+                        ctx.send(down, tag_x, &mut x_out);
+                    }
+                    if let Some(down) = downstream_y {
+                        ctx.send(down, tag_y, &mut y_out);
+                    }
+                }
+            }
+            ctx.iter_end(it);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlp_core::chunk::ChunkPolicy;
+    use ovlp_core::pipeline::build_variants;
+    use ovlp_instr::trace_app;
+    use ovlp_machine::{simulate, Platform};
+    use ovlp_trace::validate::validate;
+
+    #[test]
+    fn trace_is_valid_and_simulates() {
+        let app = Sweep3dKbaApp::quick();
+        let run = trace_app(&app, 4).unwrap();
+        assert!(validate(&run.trace).is_empty());
+        let sim = simulate(&run.trace, &Platform::marenostrum(12)).unwrap();
+        assert!(sim.runtime() > 0.0);
+    }
+
+    #[test]
+    fn corner_ranks_have_asymmetric_communication() {
+        let app = Sweep3dKbaApp::quick(); // 2x2 grid
+        let run = trace_app(&app, 4).unwrap();
+        use ovlp_trace::record::Record;
+        let sends = |r: usize| {
+            run.trace.ranks[r]
+                .records
+                .iter()
+                .filter(|x| matches!(x, Record::Send { .. }))
+                .count()
+        };
+        let recvs = |r: usize| {
+            run.trace.ranks[r]
+                .records
+                .iter()
+                .filter(|x| matches!(x, Record::Recv { .. }))
+                .count()
+        };
+        // with all four octants, every rank is a corner of one octant:
+        // totals balance (every send matched by a recv somewhere)
+        let total_sends: usize = (0..4).map(sends).sum();
+        let total_recvs: usize = (0..4).map(recvs).sum();
+        assert_eq!(total_sends, total_recvs);
+        assert!(total_sends > 0);
+    }
+
+    #[test]
+    fn octant_reversal_changes_pipeline_direction() {
+        // rank 0 (corner 0,0) sends in octant (+1,+1) and receives in
+        // octant (-1,-1) on the same pipelines
+        let app = Sweep3dKbaApp::quick();
+        let run = trace_app(&app, 4).unwrap();
+        use ovlp_trace::record::Record;
+        let r0 = &run.trace.ranks[0].records;
+        let has_send_tag = |t: u32| {
+            r0.iter().any(
+                |x| matches!(x, Record::Send { tag, .. } if tag.0 == t),
+            )
+        };
+        let has_recv_tag = |t: u32| {
+            r0.iter().any(
+                |x| matches!(x, Record::Recv { tag, .. } if tag.0 == t),
+            )
+        };
+        // octant 0 (+1,+1): rank 0 only sends
+        assert!(has_send_tag(70) && !has_recv_tag(70));
+        // octant 3 (-1,-1): rank 0 only receives
+        assert!(has_recv_tag(76) && !has_send_tag(76));
+    }
+
+    #[test]
+    fn overlap_still_helps_the_2d_wavefront() {
+        let app = Sweep3dKbaApp {
+            px: 4,
+            py: 2,
+            face: 400,
+            mk: 3,
+            iters: 1,
+            sweep_instr: 500_000,
+            ..Sweep3dKbaApp::default()
+        };
+        let run = trace_app(&app, 8).unwrap();
+        let bundle = build_variants(&run, &ChunkPolicy::paper_default());
+        let p = Platform::marenostrum(12);
+        let orig = simulate(&bundle.original, &p).unwrap().runtime();
+        let ideal = simulate(&bundle.ideal, &p).unwrap().runtime();
+        assert!(
+            ideal < orig,
+            "ideal-pattern overlap must shorten the 2-D pipeline: {ideal} vs {orig}"
+        );
+    }
+
+    #[test]
+    fn wrong_grid_is_rejected() {
+        // the rank-side assertion surfaces as a tracing error (rank
+        // panics are captured by the harness, not propagated raw)
+        let app = Sweep3dKbaApp::quick(); // 2x2 = 4 ranks
+        let err = trace_app(&app, 6).unwrap_err();
+        assert!(err.to_string().contains("grid extents"), "{err}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = trace_app(&Sweep3dKbaApp::quick(), 4).unwrap();
+        let b = trace_app(&Sweep3dKbaApp::quick(), 4).unwrap();
+        assert_eq!(a.trace, b.trace);
+    }
+}

@@ -1,0 +1,84 @@
+//! Engine throughput: how fast the discrete-event replay core processes
+//! traces, as a function of rank count and communication density.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ovlp_machine::{simulate, Platform};
+use ovlp_trace::record::{Record, SendMode};
+use ovlp_trace::{Bytes, Instructions, Rank, Tag, Trace, TransferId};
+
+/// Ring exchange with `iters` rounds over `nranks` ranks.
+fn ring_trace(nranks: u32, iters: u32, bytes: u64) -> Trace {
+    let mut t = Trace::new(nranks as usize);
+    for r in 0..nranks {
+        let next = (r + 1) % nranks;
+        let prev = (r + nranks - 1) % nranks;
+        let rt = t.rank_mut(Rank(r));
+        for i in 0..iters {
+            rt.push(Record::Compute {
+                instr: Instructions(100_000),
+            });
+            rt.push(Record::Send {
+                dst: Rank(next),
+                tag: Tag::user(0),
+                bytes: Bytes(bytes),
+                mode: SendMode::Eager,
+                transfer: TransferId::new(Rank(r), 2 * i),
+            });
+            rt.push(Record::Recv {
+                src: Rank(prev),
+                tag: Tag::user(0),
+                bytes: Bytes(bytes),
+                transfer: TransferId::new(Rank(r), 2 * i + 1),
+            });
+        }
+    }
+    t
+}
+
+fn bench_rank_scaling(c: &mut Criterion) {
+    let platform = Platform::marenostrum(12);
+    let mut g = c.benchmark_group("simulator/rank-scaling");
+    for nranks in [4u32, 16, 64, 256] {
+        let trace = ring_trace(nranks, 50, 8192);
+        let events = simulate(&trace, &platform).unwrap().events_processed;
+        g.throughput(Throughput::Elements(events));
+        g.bench_with_input(BenchmarkId::from_parameter(nranks), &trace, |b, t| {
+            b.iter(|| simulate(t, &platform).unwrap().runtime())
+        });
+    }
+    g.finish();
+}
+
+fn bench_message_density(c: &mut Criterion) {
+    let platform = Platform::marenostrum(12);
+    let mut g = c.benchmark_group("simulator/message-density");
+    for iters in [10u32, 100, 1000] {
+        let trace = ring_trace(16, iters, 1024);
+        let events = simulate(&trace, &platform).unwrap().events_processed;
+        g.throughput(Throughput::Elements(events));
+        g.bench_with_input(BenchmarkId::from_parameter(iters), &trace, |b, t| {
+            b.iter(|| simulate(t, &platform).unwrap().runtime())
+        });
+    }
+    g.finish();
+}
+
+fn bench_contention(c: &mut Criterion) {
+    // heavy bus contention stresses the pending-queue scan
+    let trace = ring_trace(64, 100, 65536);
+    let mut g = c.benchmark_group("simulator/contention");
+    for buses in [1u32, 4, 0] {
+        let platform = Platform::marenostrum(buses);
+        g.bench_with_input(BenchmarkId::from_parameter(buses), &platform, |b, p| {
+            b.iter(|| simulate(&trace, p).unwrap().runtime())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_rank_scaling, bench_message_density, bench_contention
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Internal calibration sweep (not a paper artifact): explores app
+//! parameters and prints the Fig. 6 metrics for each, so defaults can
+//! be pinned to the paper's reported shapes.
+
+use ovlp_apps::specfem3d::Specfem3dApp;
+use ovlp_apps::sweep3d::Sweep3dApp;
+use ovlp_core::chunk::ChunkPolicy;
+use ovlp_core::experiments::{bandwidth_relaxation, equivalent_bandwidth, EquivalentBandwidth};
+use ovlp_core::pipeline::build_variants;
+use ovlp_core::presets::marenostrum_for;
+use ovlp_instr::{trace_app, MpiApp};
+use ovlp_machine::simulate;
+
+fn eval(name: &str, app: &dyn MpiApp, ranks: usize, label: &str) {
+    let platform = marenostrum_for(name);
+    let run = trace_app(app, ranks).unwrap();
+    let bundle = build_variants(&run, &ChunkPolicy::paper_default());
+    let orig = simulate(&bundle.original, &platform).unwrap().runtime();
+    let real = simulate(&bundle.overlapped, &platform).unwrap().runtime();
+    let ideal = simulate(&bundle.ideal, &platform).unwrap().runtime();
+    let relax = bandwidth_relaxation(&bundle, &platform).unwrap();
+    let eq_r = equivalent_bandwidth(&bundle.original, &platform, real).unwrap();
+    let eq_i = equivalent_bandwidth(&bundle.original, &platform, ideal).unwrap();
+    let show = |e: EquivalentBandwidth| match e {
+        EquivalentBandwidth::Finite(bw) => format!("{:.2}x", bw / 250.0),
+        EquivalentBandwidth::Divergent => "INF".to_string(),
+    };
+    println!(
+        "{label:<40} 6a real x{:.3} ideal x{:.3} | 6b real {:>7} ideal {:>7} | 6c real {:>6} ideal {:>6}",
+        orig / real,
+        orig / ideal,
+        relax.real_mbs.map(|b| format!("{b:.1}")).unwrap_or("-".into()),
+        relax.ideal_mbs.map(|b| format!("{b:.1}")).unwrap_or("-".into()),
+        show(eq_r),
+        show(eq_i),
+    );
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    if which == "sweep3d" || which == "all" {
+        for face in [2000usize, 3000, 4000] {
+            let app = Sweep3dApp {
+                face,
+                ..Sweep3dApp::default()
+            };
+            eval("sweep3d", &app, 16, &format!("sweep3d face={face}"));
+        }
+    }
+    if which == "specfem3d" || which == "all" {
+        for boundary in [2400usize, 2500, 2600, 2700, 2800] {
+            for step in [9_200_000u64, 9_660_000, 10_120_000] {
+                let app = Specfem3dApp {
+                    boundary,
+                    step_instr: step,
+                    ..Specfem3dApp::default()
+                };
+                eval(
+                    "specfem3d",
+                    &app,
+                    16,
+                    &format!("specfem3d bnd={boundary} step={step}"),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Baseline comparison: the analytical overlap model of Sancho et al.
+//! (SC'06, the paper's reference \[23\]) versus this framework's
+//! simulation — the quantitative version of the paper's §VI claim that
+//! the simulation "accounts for more delicate application properties"
+//! (chunk-level windows, contention, cross-rank pipelining) than the
+//! single-loop analytical model can.
+
+use ovlp_bench::prepare_pool;
+use ovlp_core::analytic::estimate;
+use ovlp_core::experiments::run_variants;
+use ovlp_core::patterns::{consumption_stats, production_stats};
+
+fn main() {
+    println!("Analytical baseline (Sancho et al.) vs simulated overlap speedup");
+    println!();
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>12} {:>12} {:>12}",
+        "app", "f", "Tc (ms)", "Tm (ms)", "analytic", "analytic-ub", "simulated"
+    );
+    for p in prepare_pool() {
+        let r = run_variants(&p.bundle, &p.platform).expect("simulation failed");
+        let mut db = p.run.access.clone();
+        if p.name != "alya" {
+            for rank in &mut db.ranks {
+                rank.productions.retain(|_, l| l.elems > 1);
+                rank.consumptions.retain(|_, l| l.elems > 1);
+            }
+        }
+        let e = estimate(&r.original, &production_stats(&db), &consumption_stats(&db));
+        println!(
+            "{:<12} {:>8.3} {:>10.2} {:>10.3} {:>11.3}x {:>11.3}x {:>11.3}x",
+            p.name,
+            e.f,
+            e.tc * 1e3,
+            e.tm * 1e3,
+            e.speedup,
+            e.upper_bound,
+            r.speedup_real()
+        );
+    }
+    println!();
+    println!(
+        "Where the analytical column overshoots the simulated one, contention and\n\
+         per-chunk serialization (which the loop model cannot see) are the cause;\n\
+         where it undershoots (Sweep3D), cross-rank pipeline effects are — the\n\
+         motivation for simulating instead of estimating (paper §VI)."
+    );
+}

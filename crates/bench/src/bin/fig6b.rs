@@ -1,0 +1,22 @@
+//! Figure 6(b): bandwidth relaxation — the minimum network bandwidth at
+//! which the overlapped execution still matches the performance of the
+//! non-overlapped execution at 250 MB/s.
+//!
+//! Paper shape: every application tolerates a substantial reduction;
+//! Sweep3D benefits the most (down to 11.75 MB/s).
+
+use ovlp_bench::prepare_pool;
+use ovlp_core::experiments::bandwidth_relaxation;
+use ovlp_core::report::fig6b_row;
+
+fn main() {
+    println!(
+        "Figure 6(b) — minimum bandwidth for the overlapped execution to match\n\
+         the original execution at 250 MB/s"
+    );
+    println!();
+    for p in prepare_pool() {
+        let r = bandwidth_relaxation(&p.bundle, &p.platform).expect("simulation failed");
+        println!("{}", fig6b_row(&p.name, p.platform.bandwidth_mbs, &r));
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 6(c): equivalent bandwidth — the bandwidth the
+//! *non-overlapped* execution would need to match the overlapped
+//! execution at 250 MB/s ("the overlap's equivalent in increased
+//! network bandwidth").
+//!
+//! Paper shape: SPECFEM3D's modest speedup is worth almost a 4×
+//! bandwidth increase; for Sweep3D no finite bandwidth suffices — the
+//! result "tends to infinity" (chunking creates finer-grain pipeline
+//! dependencies a faster network cannot emulate).
+
+use ovlp_bench::prepare_pool;
+use ovlp_core::experiments::equivalent_bandwidth;
+use ovlp_core::report::fig6c_row;
+use ovlp_machine::simulate;
+
+fn main() {
+    println!(
+        "Figure 6(c) — bandwidth required by the non-overlapped execution to match\n\
+         the overlapped execution at 250 MB/s"
+    );
+    println!();
+    for p in prepare_pool() {
+        let real = simulate(&p.bundle.overlapped, &p.platform)
+            .expect("simulation failed")
+            .runtime();
+        let ideal = simulate(&p.bundle.ideal, &p.platform)
+            .expect("simulation failed")
+            .runtime();
+        let er = equivalent_bandwidth(&p.bundle.original, &p.platform, real)
+            .expect("simulation failed");
+        let ei = equivalent_bandwidth(&p.bundle.original, &p.platform, ideal)
+            .expect("simulation failed");
+        println!("{}", fig6c_row(&p.name, p.platform.bandwidth_mbs, "real", &er));
+        println!("{}", fig6c_row(&p.name, p.platform.bandwidth_mbs, "ideal", &ei));
+    }
+}

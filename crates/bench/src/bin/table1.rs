@@ -1,0 +1,45 @@
+//! Table I: the number of Dimemas buses used for each application, plus
+//! a sensitivity sweep showing what the calibration knob does — the bus
+//! count bounds how many messages travel concurrently, and was tuned in
+//! the paper so simulated runs match real Marenostrum runs.
+
+use ovlp_bench::prepare_pool;
+use ovlp_core::presets::table1;
+use ovlp_machine::simulate;
+
+fn main() {
+    println!("Table I — number of network buses used in the simulator per application");
+    println!();
+    print!("{:<14}", "");
+    for (name, _) in table1() {
+        print!("{name:>11}");
+    }
+    println!();
+    print!("{:<14}", "buses");
+    for (_, buses) in table1() {
+        print!("{buses:>11}");
+    }
+    println!();
+    println!();
+    println!("Sensitivity of the simulated original runtime to the bus count:");
+    println!();
+    let pool = prepare_pool();
+    print!("{:<14}", "buses");
+    for p in &pool {
+        print!("{:>11}", p.name);
+    }
+    println!();
+    for buses in [1u32, 2, 4, 8, 12, 22, 0] {
+        if buses == 0 {
+            print!("{:<14}", "unlimited");
+        } else {
+            print!("{buses:<14}");
+        }
+        for p in &pool {
+            let r = simulate(&p.bundle.original, &p.platform.with_buses(buses))
+                .expect("simulation failed");
+            print!("{:>10.2}ms", r.runtime() * 1e3);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,70 @@
+//! Shared harness for the table/figure reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (§V). This library provides the common steps:
+//! trace the application pool under instrumentation, build the three
+//! trace variants, and pair each application with its Table I platform.
+
+use ovlp_core::chunk::ChunkPolicy;
+use ovlp_core::pipeline::{build_variants, VariantBundle};
+use ovlp_core::presets::marenostrum_for;
+use ovlp_instr::{trace_app, TraceRun};
+use ovlp_machine::Platform;
+
+/// One prepared application: traced, transformed, and configured.
+pub struct PreparedApp {
+    pub name: String,
+    pub ranks: usize,
+    pub run: TraceRun,
+    pub bundle: VariantBundle,
+    pub platform: Platform,
+}
+
+/// Trace and transform the whole pool with the paper's chunk policy
+/// (4 chunks) and Table I bus counts.
+///
+/// Set `OVLP_QUICK=1` to use the miniature app configurations (CI and
+/// smoke runs).
+pub fn prepare_pool() -> Vec<PreparedApp> {
+    let quick = std::env::var("OVLP_QUICK").is_ok_and(|v| v != "0");
+    let policy = ChunkPolicy::paper_default();
+    ovlp_apps::paper_pool()
+        .into_iter()
+        .map(|entry| {
+            let (app, ranks): (Box<dyn ovlp_instr::MpiApp>, usize) = if quick {
+                (quick_variant(entry.name), 4)
+            } else {
+                (entry.app, entry.ranks)
+            };
+            let run = trace_app(app.as_ref(), ranks).expect("tracing failed");
+            let bundle = build_variants(&run, &policy);
+            PreparedApp {
+                name: entry.name.to_string(),
+                ranks,
+                run,
+                bundle,
+                platform: marenostrum_for(entry.name),
+            }
+        })
+        .collect()
+}
+
+fn quick_variant(name: &str) -> Box<dyn ovlp_instr::MpiApp> {
+    match name {
+        "sweep3d" => Box::new(ovlp_apps::sweep3d::Sweep3dApp::quick()),
+        "pop" => Box::new(ovlp_apps::pop::PopApp::quick()),
+        "alya" => Box::new(ovlp_apps::alya::AlyaApp::quick()),
+        "specfem3d" => Box::new(ovlp_apps::specfem3d::Specfem3dApp::quick()),
+        "nas-bt" => Box::new(ovlp_apps::nas_bt::NasBtApp::quick()),
+        "nas-cg" => Box::new(ovlp_apps::nas_cg::NasCgApp::quick()),
+        other => panic!("unknown app {other}"),
+    }
+}
+
+/// Prepare a single application by name.
+pub fn prepare_one(name: &str) -> PreparedApp {
+    prepare_pool()
+        .into_iter()
+        .find(|p| p.name == name)
+        .unwrap_or_else(|| panic!("unknown app {name}"))
+}

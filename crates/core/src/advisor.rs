@@ -1,0 +1,371 @@
+//! The restructuring advisor: *why* is a transfer not overlapping, and
+//! what would fixing it buy?
+//!
+//! The paper's motivation (§I): "code optimizations that aim to
+//! increase communication-computation overlap are cumbersome … it is
+//! hard to anticipate how much these optimizations can improve real
+//! applications, so the programmer cannot know in advance whether the
+//! code restructuring is worth the effort." The framework's output
+//! makes that call possible; this module condenses it into a
+//! per-transfer diagnosis:
+//!
+//! * how much overlap window the *measured* patterns expose (advance +
+//!   postpone, per Eq. 1 of the paper),
+//! * how much the *ideal* patterns would expose (the restructuring
+//!   ceiling),
+//! * whether the transfer is already hidden, limited by production
+//!   (restructure the sender), limited by consumption (restructure the
+//!   receiver), or bandwidth-bound (no restructuring helps — buy
+//!   network instead).
+
+use crate::chunk::ChunkPolicy;
+use crate::patterns::{consumption_fractions, production_fractions};
+use crate::transform::match_p2p;
+use ovlp_machine::Platform;
+use ovlp_trace::{AccessDb, Bytes, Instructions, Trace, TransferId};
+
+/// What limits one transfer's overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The measured window already covers the transfer time.
+    AlreadyHidden,
+    /// The sender produces the data too late; restructuring the
+    /// producing loop would grow the window the most.
+    ProductionLimited,
+    /// The receiver needs the data too early; restructuring the
+    /// consuming loop would grow the window the most.
+    ConsumptionLimited,
+    /// Even ideal patterns cannot hide this transfer; it is bound by
+    /// the network, not the code.
+    BandwidthLimited,
+}
+
+impl Verdict {
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::AlreadyHidden => "already-hidden",
+            Verdict::ProductionLimited => "production-limited",
+            Verdict::ConsumptionLimited => "consumption-limited",
+            Verdict::BandwidthLimited => "bandwidth-limited",
+        }
+    }
+}
+
+/// Advice for one matched transfer pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferAdvice {
+    pub send_side: TransferId,
+    pub recv_side: TransferId,
+    pub bytes: Bytes,
+    /// Mean overlap window with measured patterns, seconds.
+    pub window_real: f64,
+    /// Mean overlap window with ideal patterns, seconds.
+    pub window_ideal: f64,
+    /// Uncontended transfer time at the platform bandwidth, seconds.
+    pub transfer_time: f64,
+    pub verdict: Verdict,
+}
+
+/// Advice for a whole run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Advice {
+    pub transfers: Vec<TransferAdvice>,
+}
+
+impl Advice {
+    /// Count of transfers per verdict, in a fixed order.
+    pub fn summary(&self) -> [(Verdict, usize); 4] {
+        let mut out = [
+            (Verdict::AlreadyHidden, 0),
+            (Verdict::ProductionLimited, 0),
+            (Verdict::ConsumptionLimited, 0),
+            (Verdict::BandwidthLimited, 0),
+        ];
+        for t in &self.transfers {
+            for slot in out.iter_mut() {
+                if slot.0 == t.verdict {
+                    slot.1 += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Render a short report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("restructuring advice (per matched transfer pair):\n");
+        for (v, n) in self.summary() {
+            if n > 0 {
+                out.push_str(&format!("  {:<22} {}\n", v.name(), n));
+            }
+        }
+        let worth: Vec<&TransferAdvice> = self
+            .transfers
+            .iter()
+            .filter(|t| {
+                matches!(
+                    t.verdict,
+                    Verdict::ProductionLimited | Verdict::ConsumptionLimited
+                )
+            })
+            .collect();
+        if worth.is_empty() {
+            out.push_str(
+                "  no transfer benefits from restructuring: the code either \
+                 already overlaps or is bandwidth-bound\n",
+            );
+        } else {
+            let gain: f64 = worth
+                .iter()
+                .map(|t| {
+                    (t.transfer_time.min(t.window_ideal) - t.window_real).max(0.0)
+                })
+                .sum();
+            out.push_str(&format!(
+                "  restructuring ceiling: ~{:.1} us of additional hideable \
+                 transfer time across {} transfers\n",
+                gain * 1e6,
+                worth.len()
+            ));
+        }
+        out
+    }
+}
+
+/// Produce per-transfer restructuring advice.
+///
+/// For each matched send/recv pair, the measured window is the mean
+/// over chunks of (production remaining after the chunk is final) +
+/// (consumption passable before the chunk is needed), in seconds; the
+/// ideal window is the same under uniform patterns (¾ of the producing
+/// burst + the mean consumption offset, per Eq. 1 with 4 chunks →
+/// mean k/n = 3/8 of the consuming burst).
+pub fn advise(
+    trace: &Trace,
+    access: &AccessDb,
+    platform: &Platform,
+    policy: &ChunkPolicy,
+) -> Advice {
+    let matches = match_p2p(trace, Some(access));
+    let mut advice = Advice::default();
+    // only visit each pair once: iterate send-side transfers
+    for rank in &access.ranks {
+        let mut prods: Vec<_> = rank.productions.values().collect();
+        prods.sort_by_key(|p| (p.transfer.rank, p.transfer.seq));
+        for plog in prods {
+            if !matches.decisions.contains_key(&plog.transfer) {
+                continue;
+            }
+            let Some(recv_tid) = matches.peers.get(&plog.transfer) else {
+                continue;
+            };
+            let Some(clog) = access.consumption(*recv_tid) else {
+                continue;
+            };
+            let bytes = Bytes::of_elems(plog.elems as u64, 8);
+            let n = policy.effective_chunks(plog.elems) as f64;
+
+            let prod_span = secs(
+                platform,
+                plog.interval_end
+                    .saturating_sub(plog.interval_start),
+            );
+            let cons_span = secs(
+                platform,
+                clog.interval_end
+                    .saturating_sub(clog.interval_start),
+            );
+            let window_real = {
+                let pf = production_fractions(plog);
+                let cf = consumption_fractions(clog);
+                match (pf, cf) {
+                    (Some((_, pq, ph, pw)), Some((cz, cq, ch))) => {
+                        // per-chunk windows as in analytic::overlappable_fraction
+                        let p = [
+                            pq.unwrap_or(pw) / 100.0,
+                            ph.unwrap_or(pw) / 100.0,
+                            pw / 100.0,
+                            pw / 100.0,
+                        ];
+                        let c = [
+                            cz / 100.0,
+                            cq.unwrap_or(cz) / 100.0,
+                            ch.unwrap_or(cz) / 100.0,
+                            ch.unwrap_or(cz) / 100.0,
+                        ];
+                        (0..4)
+                            .map(|k| (1.0 - p[k]) * prod_span + c[k] * cons_span)
+                            .sum::<f64>()
+                            / 4.0
+                    }
+                    _ => 0.0,
+                }
+            };
+            // ideal: chunk k final at (k+1)/n of production, needed at
+            // k/n of consumption → mean windows (n-1)/2n + (n-1)/2n
+            let ideal_frac = (n - 1.0) / (2.0 * n);
+            let window_ideal = ideal_frac * (prod_span + cons_span);
+            let transfer_time = platform.transfer_time(bytes).as_secs();
+
+            let verdict = if window_real >= transfer_time {
+                Verdict::AlreadyHidden
+            } else if window_ideal < transfer_time {
+                Verdict::BandwidthLimited
+            } else {
+                // restructuring helps; blame the side with the smaller
+                // measured contribution relative to its ideal share
+                let prod_part = window_real_production_part(plog, prod_span);
+                let cons_part = window_real - prod_part;
+                let prod_deficit = ideal_frac * prod_span - prod_part;
+                let cons_deficit = ideal_frac * cons_span - cons_part;
+                if prod_deficit >= cons_deficit {
+                    Verdict::ProductionLimited
+                } else {
+                    Verdict::ConsumptionLimited
+                }
+            };
+            advice.transfers.push(TransferAdvice {
+                send_side: plog.transfer,
+                recv_side: clog.transfer,
+                bytes,
+                window_real,
+                window_ideal,
+                transfer_time,
+                verdict,
+            });
+        }
+    }
+    advice
+}
+
+fn secs(platform: &Platform, instr: Instructions) -> f64 {
+    platform.compute_time(instr).as_secs()
+}
+
+fn window_real_production_part(
+    plog: &ovlp_trace::access::ProductionLog,
+    prod_span: f64,
+) -> f64 {
+    match production_fractions(plog) {
+        Some((_, pq, ph, pw)) => {
+            let p = [
+                pq.unwrap_or(pw) / 100.0,
+                ph.unwrap_or(pw) / 100.0,
+                pw / 100.0,
+                pw / 100.0,
+            ];
+            (0..4).map(|k| (1.0 - p[k]) * prod_span).sum::<f64>() / 4.0
+        }
+        None => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlp_trace::access::{consumption_log_for_test, production_log_for_test};
+    use ovlp_trace::record::{Record, SendMode};
+    use ovlp_trace::{Rank, Tag};
+
+    /// One matched pair with configurable pattern times.
+    fn setup(
+        last_store: &[Option<u64>],
+        first_load: &[Option<u64>],
+        bandwidth: f64,
+    ) -> (Trace, AccessDb, Platform) {
+        let n = last_store.len();
+        let mut t = Trace::new(2);
+        t.rank_mut(Rank(0)).push(Record::Compute {
+            instr: Instructions(1_000_000),
+        });
+        t.rank_mut(Rank(0)).push(Record::Send {
+            dst: Rank(1),
+            tag: Tag::user(0),
+            bytes: Bytes(8 * n as u64),
+            mode: SendMode::Eager,
+            transfer: TransferId::new(Rank(0), 0),
+        });
+        t.rank_mut(Rank(1)).push(Record::Recv {
+            src: Rank(0),
+            tag: Tag::user(0),
+            bytes: Bytes(8 * n as u64),
+            transfer: TransferId::new(Rank(1), 0),
+        });
+        t.rank_mut(Rank(1)).push(Record::Compute {
+            instr: Instructions(1_000_000),
+        });
+        let mut db = AccessDb::new(2);
+        db.insert_production(production_log_for_test(0, 0, 0, 1_000_000, last_store));
+        db.insert_consumption(consumption_log_for_test(1, 0, 0, 1_000_000, first_load));
+        let platform = Platform {
+            mips: 1000.0,
+            bandwidth_mbs: bandwidth,
+            latency_us: 1.0,
+            ..Platform::default()
+        };
+        (t, db, platform)
+    }
+
+    fn one_advice(t: &Trace, db: &AccessDb, p: &Platform) -> TransferAdvice {
+        let a = advise(t, db, p, &ChunkPolicy::paper_default());
+        assert_eq!(a.transfers.len(), 1, "{a:?}");
+        a.transfers[0].clone()
+    }
+
+    #[test]
+    fn linear_patterns_with_small_transfer_are_hidden() {
+        // production spread linearly; message tiny vs the windows
+        let stores: Vec<Option<u64>> = (0..100).map(|i| Some(i * 10_000)).collect();
+        let loads: Vec<Option<u64>> = (0..100).map(|i| Some(i * 10_000)).collect();
+        let (t, db, p) = setup(&stores, &loads, 1000.0);
+        let a = one_advice(&t, &db, &p);
+        assert_eq!(a.verdict, Verdict::AlreadyHidden, "{a:?}");
+        assert!(a.window_real > a.transfer_time);
+    }
+
+    #[test]
+    fn late_production_is_production_limited() {
+        // everything produced in the last 1%, consumed linearly
+        let stores: Vec<Option<u64>> = (0..100).map(|i| Some(990_000 + i * 100)).collect();
+        let loads: Vec<Option<u64>> = (0..100).map(|i| Some(i * 10_000)).collect();
+        // bandwidth such that the transfer (800 B) is hideable ideally
+        // but not with the measured production
+        let (t, db, p) = setup(&stores, &loads, 0.01); // 800B at 10 KB/s = 80 ms
+        let a = one_advice(&t, &db, &p);
+        // windows are ~ms, transfer 80 ms > ideal window too
+        assert_eq!(a.verdict, Verdict::BandwidthLimited, "{a:?}");
+        let (t, db, p) = setup(&stores, &loads, 2.0); // 800B at 2 MB/s = 0.4 ms
+        let a = one_advice(&t, &db, &p);
+        assert_eq!(a.verdict, Verdict::ProductionLimited, "{a:?}");
+    }
+
+    #[test]
+    fn early_consumption_is_consumption_limited() {
+        // produced linearly, consumed all at once immediately
+        let stores: Vec<Option<u64>> = (0..100).map(|i| Some(i * 10_000)).collect();
+        let loads: Vec<Option<u64>> = (0..100).map(|i| Some(100 + i)).collect();
+        let (t, db, p) = setup(&stores, &loads, 2.0);
+        let a = one_advice(&t, &db, &p);
+        assert_eq!(a.verdict, Verdict::ConsumptionLimited, "{a:?}");
+    }
+
+    #[test]
+    fn render_mentions_counts() {
+        let stores: Vec<Option<u64>> = (0..100).map(|i| Some(i * 10_000)).collect();
+        let loads: Vec<Option<u64>> = (0..100).map(|i| Some(i * 10_000)).collect();
+        let (t, db, p) = setup(&stores, &loads, 1000.0);
+        let a = advise(&t, &db, &p, &ChunkPolicy::paper_default());
+        let s = a.render();
+        assert!(s.contains("already-hidden"), "{s}");
+    }
+
+    #[test]
+    fn unmatched_transfers_are_skipped() {
+        let (t, mut db, p) = setup(&[Some(1)], &[Some(1)], 100.0);
+        // drop the consumption side: the pair can no longer be advised
+        db.ranks[1].consumptions.clear();
+        let a = advise(&t, &db, &p, &ChunkPolicy::paper_default());
+        assert!(a.transfers.is_empty());
+    }
+}

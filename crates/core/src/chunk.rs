@@ -1,0 +1,161 @@
+//! Chunking policy: how messages are split into independently
+//! transferable pieces.
+//!
+//! The paper fixes four chunks per message in its evaluation ("the
+//! chunking technique in the overlapped case splits every MPI message
+//! in four chunks", §IV) and notes that single-element transfers —
+//! Alya's 1-element reductions — cannot be chunked. The policy
+//! generalizes both choices so the chunk count can be ablated.
+
+use ovlp_trace::record::SendMode;
+use ovlp_trace::Tag;
+
+/// Parameters of the overlap rewriting.
+///
+/// ```
+/// use ovlp_core::chunk::ChunkPolicy;
+///
+/// let policy = ChunkPolicy::paper_default(); // 4 chunks, double buffering
+/// assert_eq!(policy.boundaries(100), vec![(0, 25), (25, 50), (50, 75), (75, 100)]);
+/// // single-element messages (Alya's reductions) cannot be chunked
+/// assert_eq!(policy.effective_chunks(1), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkPolicy {
+    /// Target number of chunks per message.
+    pub chunks: u32,
+    /// Minimum elements per chunk; messages smaller than
+    /// `2 * min_chunk_elems` are not split.
+    pub min_chunk_elems: u32,
+    /// Send mode for rewritten chunk transfers. `Eager` models the
+    /// double-buffered receiver of the paper (chunks may land before
+    /// the consuming iteration starts); `Rendezvous` is the
+    /// no-double-buffering ablation — a chunk transfer cannot begin
+    /// until its receive is posted.
+    pub mode: SendMode,
+}
+
+impl Default for ChunkPolicy {
+    fn default() -> ChunkPolicy {
+        ChunkPolicy::paper_default()
+    }
+}
+
+impl ChunkPolicy {
+    /// The evaluation setup of the paper: 4 chunks, double buffering on.
+    pub fn paper_default() -> ChunkPolicy {
+        ChunkPolicy {
+            chunks: 4,
+            min_chunk_elems: 1,
+            mode: SendMode::Eager,
+        }
+    }
+
+    /// A policy with a different chunk count (ablation axis).
+    pub fn with_chunks(chunks: u32) -> ChunkPolicy {
+        assert!((1..Tag::MAX_CHUNKS).contains(&chunks));
+        ChunkPolicy {
+            chunks,
+            ..ChunkPolicy::paper_default()
+        }
+    }
+
+    /// Number of chunks a message of `elems` elements is split into.
+    pub fn effective_chunks(&self, elems: u32) -> u32 {
+        if elems < 2 * self.min_chunk_elems.max(1) {
+            return 1;
+        }
+        self.chunks
+            .min(elems / self.min_chunk_elems.max(1))
+            .clamp(1, Tag::MAX_CHUNKS - 1)
+            .min(elems)
+    }
+
+    /// Contiguous element ranges `[lo, hi)` of the chunks of a message
+    /// of `elems` elements. Ranges partition `[0, elems)`, sizes differ
+    /// by at most one element (remainder spread over leading chunks).
+    pub fn boundaries(&self, elems: u32) -> Vec<(u32, u32)> {
+        let n = self.effective_chunks(elems);
+        let base = elems / n;
+        let extra = elems % n;
+        let mut out = Vec::with_capacity(n as usize);
+        let mut lo = 0;
+        for k in 0..n {
+            let size = base + u32::from(k < extra);
+            out.push((lo, lo + size));
+            lo += size;
+        }
+        debug_assert_eq!(lo, elems);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_default_is_four_chunks() {
+        let p = ChunkPolicy::paper_default();
+        assert_eq!(p.chunks, 4);
+        assert_eq!(p.effective_chunks(100), 4);
+        assert_eq!(p.boundaries(100), vec![(0, 25), (25, 50), (50, 75), (75, 100)]);
+    }
+
+    #[test]
+    fn single_element_messages_not_chunked() {
+        let p = ChunkPolicy::paper_default();
+        assert_eq!(p.effective_chunks(1), 1);
+        assert_eq!(p.boundaries(1), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn tiny_messages_get_fewer_chunks() {
+        let p = ChunkPolicy::paper_default();
+        assert_eq!(p.effective_chunks(2), 2);
+        assert_eq!(p.effective_chunks(3), 3);
+        assert_eq!(p.boundaries(3), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn remainder_spread_over_leading_chunks() {
+        let p = ChunkPolicy::paper_default();
+        // 10 elements over 4 chunks: 3,3,2,2
+        assert_eq!(p.boundaries(10), vec![(0, 3), (3, 6), (6, 8), (8, 10)]);
+    }
+
+    #[test]
+    fn min_chunk_elems_respected() {
+        let p = ChunkPolicy {
+            chunks: 8,
+            min_chunk_elems: 10,
+            mode: SendMode::Eager,
+        };
+        assert_eq!(p.effective_chunks(19), 1, "below 2*min");
+        assert_eq!(p.effective_chunks(20), 2);
+        assert_eq!(p.effective_chunks(200), 8);
+    }
+
+    proptest! {
+        #[test]
+        fn boundaries_partition_exactly(elems in 1u32..10_000, chunks in 1u32..64) {
+            let p = ChunkPolicy::with_chunks(chunks);
+            let b = p.boundaries(elems);
+            // starts at 0, ends at elems, contiguous, nonempty
+            prop_assert_eq!(b[0].0, 0);
+            prop_assert_eq!(b.last().unwrap().1, elems);
+            for w in b.windows(2) {
+                prop_assert_eq!(w[0].1, w[1].0);
+            }
+            for (lo, hi) in &b {
+                prop_assert!(lo < hi);
+            }
+            // sizes differ by at most 1
+            let sizes: Vec<u32> = b.iter().map(|(l, h)| h - l).collect();
+            let mn = *sizes.iter().min().unwrap();
+            let mx = *sizes.iter().max().unwrap();
+            prop_assert!(mx - mn <= 1);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Chunk-count optimization: the paper fixes 4 chunks per message; this
+//! search finds the count that actually minimizes the simulated
+//! overlapped runtime for a given application and platform — the kind
+//! of implementer-facing question the framework is meant to answer
+//! ("an implementer can easily identify bottlenecks in the overlapping
+//! technique and try to fix them", §I).
+
+use crate::chunk::ChunkPolicy;
+use crate::transform::transform;
+use ovlp_instr::TraceRun;
+use ovlp_machine::{simulate, Platform, SimError};
+
+/// One point of the chunk-count sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkPoint {
+    pub chunks: u32,
+    pub runtime: f64,
+    pub speedup_vs_original: f64,
+}
+
+/// Result of the chunk-count search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkSearch {
+    /// Runtime of the untransformed trace.
+    pub original_runtime: f64,
+    /// All evaluated points, in candidate order.
+    pub points: Vec<ChunkPoint>,
+    /// The best candidate (smallest runtime; ties go to fewer chunks).
+    pub best: ChunkPoint,
+}
+
+/// Evaluate the overlapped runtime for each chunk count in
+/// `candidates` and report the best.
+pub fn chunk_search(
+    run: &TraceRun,
+    platform: &Platform,
+    candidates: &[u32],
+) -> Result<ChunkSearch, SimError> {
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    let original_runtime = simulate(&run.trace, platform)?.runtime();
+    let mut points = Vec::with_capacity(candidates.len());
+    for &chunks in candidates {
+        let policy = ChunkPolicy::with_chunks(chunks);
+        let t = transform(&run.trace, &run.access, &policy);
+        let runtime = simulate(&t, platform)?.runtime();
+        points.push(ChunkPoint {
+            chunks,
+            runtime,
+            speedup_vs_original: original_runtime / runtime,
+        });
+    }
+    let best = *points
+        .iter()
+        .min_by(|a, b| {
+            a.runtime
+                .total_cmp(&b.runtime)
+                .then(a.chunks.cmp(&b.chunks))
+        })
+        .expect("non-empty candidates");
+    Ok(ChunkSearch {
+        original_runtime,
+        points,
+        best,
+    })
+}
+
+/// The default candidate set: powers of two up to the tag-encoding
+/// limit, bracketing the paper's fixed 4.
+pub fn default_candidates() -> Vec<u32> {
+    vec![1, 2, 4, 8, 16, 32, 64]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlp_instr::trace_app;
+
+    fn linear_run() -> TraceRun {
+        use ovlp_apps_shim::*;
+        shim_linear_run()
+    }
+
+    // ovlp-core cannot depend on ovlp-apps (cycle); build the linear
+    // workload inline through the instr API instead.
+    mod ovlp_apps_shim {
+        use super::*;
+        use ovlp_instr::{FnApp, RankCtx};
+        use ovlp_trace::Rank;
+
+        pub fn shim_linear_run() -> TraceRun {
+            let app = FnApp::new("linear", |ctx: &mut RankCtx| {
+                let me = ctx.rank().get();
+                let partner = Rank(me ^ 1);
+                let n = 2_000usize;
+                let mut out = ctx.buffer(n);
+                let mut inp = ctx.buffer(n);
+                for _ in 0..3 {
+                    let start = ctx.now();
+                    for i in 0..n {
+                        let target = start + (1_000_000 * (i as u64 + 1) / n as u64);
+                        let now = ctx.now();
+                        if target > now {
+                            ctx.compute(target - now);
+                        }
+                        out.store(i, i as f64);
+                    }
+                    ctx.sendrecv(partner, 0, &mut out, partner, 0, &mut inp);
+                    let start = ctx.now();
+                    for i in 0..n {
+                        let target = start + (1_000_000 * i as u64 / n as u64);
+                        let now = ctx.now();
+                        if target > now {
+                            ctx.compute(target - now);
+                        }
+                        let _ = inp.load(i);
+                    }
+                }
+            });
+            trace_app(&app, 4).unwrap()
+        }
+    }
+
+    #[test]
+    fn search_finds_an_improvement_on_linear_patterns() {
+        let run = linear_run();
+        let platform = Platform::marenostrum(0);
+        let s = chunk_search(&run, &platform, &default_candidates()).unwrap();
+        assert_eq!(s.points.len(), 7);
+        assert!(s.best.runtime <= s.original_runtime);
+        assert!(
+            s.best.speedup_vs_original > 1.0,
+            "linear patterns must benefit: {:?}",
+            s.best
+        );
+        // the best is at least as good as the paper's fixed 4
+        let four = s.points.iter().find(|p| p.chunks == 4).unwrap();
+        assert!(s.best.runtime <= four.runtime + 1e-15);
+    }
+
+    #[test]
+    fn ties_prefer_fewer_chunks() {
+        let run = linear_run();
+        let platform = Platform::marenostrum(0);
+        let s = chunk_search(&run, &platform, &[4, 4]).unwrap();
+        assert_eq!(s.best.chunks, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidates_rejected() {
+        let run = linear_run();
+        let _ = chunk_search(&run, &Platform::marenostrum(0), &[]);
+    }
+}

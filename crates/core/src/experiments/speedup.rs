@@ -1,0 +1,35 @@
+//! Figure 6(a): speedup of the overlapped executions over the original.
+
+use crate::pipeline::VariantBundle;
+use ovlp_machine::{simulate, Platform, SimError, SimResult};
+
+/// Simulated runtimes of all three variants on one platform.
+#[derive(Debug, Clone)]
+pub struct SpeedupResult {
+    pub app: String,
+    pub original: SimResult,
+    pub overlapped: SimResult,
+    pub ideal: SimResult,
+}
+
+impl SpeedupResult {
+    /// Speedup of the real-pattern overlapped execution.
+    pub fn speedup_real(&self) -> f64 {
+        self.original.runtime() / self.overlapped.runtime()
+    }
+
+    /// Speedup of the ideal-pattern overlapped execution.
+    pub fn speedup_ideal(&self) -> f64 {
+        self.original.runtime() / self.ideal.runtime()
+    }
+}
+
+/// Simulate all three variants of `bundle` on `platform`.
+pub fn run_variants(bundle: &VariantBundle, platform: &Platform) -> Result<SpeedupResult, SimError> {
+    Ok(SpeedupResult {
+        app: bundle.app_name().to_string(),
+        original: simulate(&bundle.original, platform)?,
+        overlapped: simulate(&bundle.overlapped, platform)?,
+        ideal: simulate(&bundle.ideal, platform)?,
+    })
+}

@@ -1,0 +1,138 @@
+//! Double-buffering demand analysis.
+//!
+//! The paper's overlapping technique assumes a double-buffered receiver
+//! (§II): a chunk of iteration *i+1* may physically arrive while the
+//! receiver is still consuming iteration *i*'s values, so the incoming
+//! data must land in a second buffer. This module quantifies how often
+//! the simulated overlapped execution actually relies on that
+//! assumption: for every channel, it counts messages whose arrival
+//! precedes the *consumption* of the previous message on the same
+//! channel.
+//!
+//! A high demand fraction means disabling double buffering (the
+//! rendezvous-chunk ablation — see
+//! [`ChunkPolicy::mode`](crate::chunk::ChunkPolicy)) will cost real
+//! performance; a zero demand means the overlap gains came from
+//! advancing/postponing alone.
+
+use ovlp_machine::SimResult;
+use std::collections::HashMap;
+
+/// Result of the double-buffering demand analysis.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DoubleBufferDemand {
+    /// Messages that arrived before their channel predecessor was
+    /// consumed (needing a second buffer).
+    pub early_arrivals: usize,
+    /// Messages with a predecessor on their channel (the denominator).
+    pub candidates: usize,
+    /// All messages observed.
+    pub total_messages: usize,
+}
+
+impl DoubleBufferDemand {
+    /// Fraction of candidate messages that required double buffering.
+    pub fn fraction(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.early_arrivals as f64 / self.candidates as f64
+        }
+    }
+}
+
+/// Analyze a simulated execution for double-buffering demand.
+pub fn double_buffer_demand(sim: &SimResult) -> DoubleBufferDemand {
+    // channel = (src, dst, tag); comms are in initiation order, which is
+    // FIFO per channel
+    let mut last_consume: HashMap<(u32, u32, u32), ovlp_machine::Time> = HashMap::new();
+    let mut demand = DoubleBufferDemand {
+        total_messages: sim.comms.len(),
+        ..DoubleBufferDemand::default()
+    };
+    for c in &sim.comms {
+        let key = (c.src.get(), c.dst.get(), c.tag.0);
+        if let Some(&prev_consume) = last_consume.get(&key) {
+            demand.candidates += 1;
+            if c.t_arrive < prev_consume {
+                demand.early_arrivals += 1;
+            }
+        }
+        last_consume.insert(key, c.t_consume);
+    }
+    demand
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlp_machine::{CommRecord, Time};
+    use ovlp_trace::{Bytes, Rank, Tag};
+
+    fn comm(tag: u32, t_arrive: f64, t_consume: f64) -> CommRecord {
+        CommRecord {
+            src: Rank(0),
+            dst: Rank(1),
+            tag: Tag::user(tag),
+            bytes: Bytes(8),
+            t_send: Time::ZERO,
+            t_start: Time::ZERO,
+            t_arrive: Time::secs(t_arrive),
+            t_consume: Time::secs(t_consume),
+        }
+    }
+
+    fn sim_with(comms: Vec<CommRecord>) -> SimResult {
+        SimResult {
+            runtime: Time::secs(1.0),
+            timelines: vec![],
+            comms,
+            totals: vec![],
+            markers: vec![],
+            network: Default::default(),
+            events_processed: 0,
+        }
+    }
+
+    #[test]
+    fn no_overlap_no_demand() {
+        // each message consumed before the next arrives
+        let sim = sim_with(vec![comm(0, 1.0, 1.0), comm(0, 2.0, 2.0), comm(0, 3.0, 3.0)]);
+        let d = double_buffer_demand(&sim);
+        assert_eq!(d.early_arrivals, 0);
+        assert_eq!(d.candidates, 2);
+        assert_eq!(d.fraction(), 0.0);
+    }
+
+    #[test]
+    fn early_arrival_detected() {
+        // second message arrives at 1.5 but the first is consumed at 2.0
+        let sim = sim_with(vec![comm(0, 1.0, 2.0), comm(0, 1.5, 2.5)]);
+        let d = double_buffer_demand(&sim);
+        assert_eq!(d.early_arrivals, 1);
+        assert_eq!(d.candidates, 1);
+        assert_eq!(d.fraction(), 1.0);
+    }
+
+    #[test]
+    fn channels_tracked_independently() {
+        // early arrival on tag 1 only
+        let sim = sim_with(vec![
+            comm(0, 1.0, 1.0),
+            comm(1, 1.0, 5.0),
+            comm(0, 2.0, 2.0), // fine: prev tag-0 consumed at 1.0
+            comm(1, 2.0, 6.0), // early: prev tag-1 consumed at 5.0
+        ]);
+        let d = double_buffer_demand(&sim);
+        assert_eq!(d.early_arrivals, 1);
+        assert_eq!(d.candidates, 2);
+        assert_eq!(d.total_messages, 4);
+    }
+
+    #[test]
+    fn empty_sim_is_zero() {
+        let d = double_buffer_demand(&sim_with(vec![]));
+        assert_eq!(d.fraction(), 0.0);
+        assert_eq!(d.total_messages, 0);
+    }
+}

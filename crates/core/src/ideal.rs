@@ -1,0 +1,314 @@
+//! The overlap transformation under *ideal* production/consumption
+//! patterns.
+//!
+//! §III-C: "in order to stress the influence of production/consumption
+//! patterns, the tool generates the second overlapped trace which
+//! assumes that the application's production/consumption patterns are
+//! ideal … by uniformly distributing the chunked
+//! transmissions/receptions throughout the original computation
+//! bursts."
+//!
+//! Concretely, for a message split into `n` chunks:
+//!
+//! * chunk `k`'s send is injected at `(k+1)/n` of the computation burst
+//!   that precedes the original send (the chunk is ready as soon as its
+//!   share of the production phase has run);
+//! * the chunk receives are posted at the original receive point and
+//!   chunk `k`'s wait is injected at `k/n` of the burst that follows it
+//!   (chunk `k` is first needed after `k/n` of the consumption phase) —
+//!   the ideal rows of Table II: produce 25% at 25%, pass 25% upon a
+//!   quarter.
+//!
+//! No access logs are needed: this is the upper bound of Eq. 1.
+
+use crate::chunk::ChunkPolicy;
+use crate::transform::{chunk_bytes, match_p2p, rebuild};
+use ovlp_trace::record::Record;
+use ovlp_trace::{Rank, ReqId, Trace};
+
+/// Rewrite `trace` into the overlapped-ideal trace.
+pub fn ideal_transform(trace: &Trace, policy: &ChunkPolicy) -> Trace {
+    let matches = match_p2p(trace, None);
+    let mut out = Trace::new(trace.nranks());
+    out.meta = trace.meta.clone();
+    out.meta
+        .insert("variant".to_string(), "overlapped-ideal".to_string());
+    out.meta
+        .insert("chunks".to_string(), policy.chunks.to_string());
+
+    for (r, rt) in trace.ranks.iter().enumerate() {
+        let mut next_req = rt
+            .records
+            .iter()
+            .filter_map(|rec| match *rec {
+                Record::ISend { req, .. } | Record::IRecv { req, .. } | Record::Wait { req } => {
+                    Some(req.0)
+                }
+                _ => None,
+            })
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0);
+        let mut fresh_req = || {
+            let q = ReqId(next_req);
+            next_req += 1;
+            q
+        };
+
+        // absolute position of each record + surrounding burst extents
+        let positions: Vec<u64> = {
+            let mut v = Vec::with_capacity(rt.records.len());
+            let mut at = 0u64;
+            for rec in &rt.records {
+                v.push(at);
+                if let Some(len) = rec.compute_len() {
+                    at += len.get();
+                }
+            }
+            v
+        };
+        let total = rt.total_compute().get();
+
+        // The production burst preceding record i: scan back over
+        // markers and *other communication records* to the nearest
+        // compute burst. Skipping comm records matters for fused
+        // exchanges (send;recv;send;recv …) where the producing burst
+        // sits before the whole block; the ideal model assumes the
+        // message was produced throughout that burst.
+        let preceding_burst_start = |i: usize| -> u64 {
+            let mut j = i;
+            while j > 0 {
+                j -= 1;
+                match rt.records[j] {
+                    Record::Compute { instr } => return positions[j + 1] - instr.get(),
+                    _ => continue,
+                }
+            }
+            positions[i]
+        };
+        // The consumption burst following record i, symmetrically.
+        let following_burst_end = |i: usize| -> u64 {
+            let mut j = i + 1;
+            while j < rt.records.len() {
+                match rt.records[j] {
+                    Record::Compute { instr } => return positions[j] + instr.get(),
+                    _ => {
+                        j += 1;
+                    }
+                }
+            }
+            positions[i]
+        };
+
+        let mut events: Vec<(u64, Record)> = Vec::with_capacity(rt.records.len());
+        for (i, rec) in rt.records.iter().enumerate() {
+            let at = positions[i];
+            match *rec {
+                Record::Compute { .. } => {}
+                Record::Send {
+                    dst,
+                    tag,
+                    bytes,
+                    transfer,
+                    ..
+                } if matches.decisions.contains_key(&transfer) => {
+                    let d = matches.decisions[&transfer];
+                    let start = preceding_burst_start(i);
+                    let span = at - start;
+                    let bounds = policy.boundaries(d.elems);
+                    let n = bounds.len() as u64;
+                    for (k, (lo, hi)) in bounds.into_iter().enumerate() {
+                        // chunk k ready after (k+1)/n of the burst
+                        let t = start + span * (k as u64 + 1) / n;
+                        events.push((
+                            t,
+                            Record::ISend {
+                                dst,
+                                tag: tag.chunk(k as u32),
+                                bytes: chunk_bytes(bytes, d.elems, lo, hi),
+                                mode: policy.mode,
+                                req: fresh_req(),
+                                transfer,
+                            },
+                        ));
+                    }
+                }
+                Record::Recv {
+                    src,
+                    tag,
+                    bytes,
+                    transfer,
+                } if matches.decisions.contains_key(&transfer) => {
+                    let d = matches.decisions[&transfer];
+                    let end = following_burst_end(i);
+                    let span = end - at;
+                    let bounds = policy.boundaries(d.elems);
+                    let n = bounds.len() as u64;
+                    let mut reqs = Vec::with_capacity(bounds.len());
+                    for (k, (lo, hi)) in bounds.iter().enumerate() {
+                        let req = fresh_req();
+                        reqs.push(req);
+                        events.push((
+                            at,
+                            Record::IRecv {
+                                src,
+                                tag: tag.chunk(k as u32),
+                                bytes: chunk_bytes(bytes, d.elems, *lo, *hi),
+                                req,
+                                transfer,
+                            },
+                        ));
+                    }
+                    for (k, req) in reqs.into_iter().enumerate() {
+                        // chunk k first needed after k/n of the burst
+                        let t = at + span * (k as u64) / n;
+                        events.push((t, Record::Wait { req }));
+                    }
+                }
+                other => events.push((at, other)),
+            }
+        }
+        out.ranks[r] = rebuild(events, total);
+        debug_assert_eq!(
+            out.ranks[r].total_compute().get(),
+            total,
+            "ideal transformation must preserve per-rank compute (rank {})",
+            Rank(r as u32)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlp_trace::record::SendMode;
+    use ovlp_trace::validate::validate;
+    use ovlp_trace::{Bytes, Instructions, Tag, TransferId};
+
+    fn fixture() -> Trace {
+        let mut t = Trace::new(2);
+        t.rank_mut(Rank(0)).push(Record::Compute {
+            instr: Instructions(1000),
+        });
+        t.rank_mut(Rank(0)).push(Record::Send {
+            dst: Rank(1),
+            tag: Tag::user(0),
+            bytes: Bytes(32), // 4 elements
+            mode: SendMode::Eager,
+            transfer: TransferId::new(Rank(0), 0),
+        });
+        t.rank_mut(Rank(1)).push(Record::Recv {
+            src: Rank(0),
+            tag: Tag::user(0),
+            bytes: Bytes(32),
+            transfer: TransferId::new(Rank(1), 0),
+        });
+        t.rank_mut(Rank(1)).push(Record::Compute {
+            instr: Instructions(1000),
+        });
+        t
+    }
+
+    #[test]
+    fn sends_uniform_over_preceding_burst() {
+        let out = ideal_transform(&fixture(), &ChunkPolicy::paper_default());
+        assert!(validate(&out).is_empty(), "{:?}", validate(&out));
+        let r0 = &out.ranks[0].records;
+        // Compute(250) ISend Compute(250) ISend ... ISend(at 1000)
+        assert_eq!(r0[0].compute_len(), Some(Instructions(250)));
+        assert!(matches!(r0[1], Record::ISend { .. }));
+        assert_eq!(r0[2].compute_len(), Some(Instructions(250)));
+        // final chunk exactly at the original send point: no trailing compute
+        assert!(matches!(r0.last().unwrap(), Record::ISend { .. }));
+        assert_eq!(out.ranks[0].total_compute(), Instructions(1000));
+    }
+
+    #[test]
+    fn waits_uniform_over_following_burst() {
+        let out = ideal_transform(&fixture(), &ChunkPolicy::paper_default());
+        let r1 = &out.ranks[1].records;
+        // 4 IRecvs then Wait(chunk0) at 0, compute 250, Wait, ...
+        assert!(matches!(r1[0], Record::IRecv { .. }));
+        assert!(matches!(r1[3], Record::IRecv { .. }));
+        assert!(matches!(r1[4], Record::Wait { .. }), "{r1:?}");
+        assert_eq!(r1[5].compute_len(), Some(Instructions(250)));
+        assert!(matches!(r1[6], Record::Wait { .. }));
+        // ends with the final 250-instruction slice
+        assert_eq!(
+            r1.last().unwrap().compute_len(),
+            Some(Instructions(250))
+        );
+        assert_eq!(out.ranks[1].total_compute(), Instructions(1000));
+    }
+
+    #[test]
+    fn zero_length_burst_degenerates_gracefully() {
+        // recv immediately followed by send (no burst): all waits at the
+        // recv point, all chunk sends at the send point
+        let mut t = Trace::new(2);
+        t.rank_mut(Rank(0)).push(Record::Send {
+            dst: Rank(1),
+            tag: Tag::user(0),
+            bytes: Bytes(16),
+            mode: SendMode::Eager,
+            transfer: TransferId::new(Rank(0), 0),
+        });
+        t.rank_mut(Rank(1)).push(Record::Recv {
+            src: Rank(0),
+            tag: Tag::user(0),
+            bytes: Bytes(16),
+            transfer: TransferId::new(Rank(1), 0),
+        });
+        let out = ideal_transform(&t, &ChunkPolicy::paper_default());
+        assert!(validate(&out).is_empty());
+        // everything at position 0, trace still well-formed
+        assert!(out.ranks[0]
+            .records
+            .iter()
+            .all(|r| !matches!(r, Record::Compute { .. })));
+    }
+
+    #[test]
+    fn markers_do_not_break_burst_detection() {
+        let mut t = fixture();
+        // insert a marker between compute and send on rank 0
+        let recs = &mut t.rank_mut(Rank(0)).records;
+        recs.insert(
+            1,
+            Record::Marker {
+                marker: ovlp_trace::record::Marker::IterEnd(0),
+            },
+        );
+        let out = ideal_transform(&t, &ChunkPolicy::paper_default());
+        // burst still found through the marker: first chunk at 250
+        assert_eq!(
+            out.ranks[0].records[0].compute_len(),
+            Some(Instructions(250))
+        );
+    }
+
+    #[test]
+    fn ideal_preserves_collectives_and_unmatched() {
+        let mut t = fixture();
+        t.rank_mut(Rank(0)).push(Record::Collective {
+            op: ovlp_trace::CollOp::Barrier,
+            bytes_in: Bytes::ZERO,
+            bytes_out: Bytes::ZERO,
+            root: Rank(0),
+            transfer: TransferId::new(Rank(0), 1),
+        });
+        t.rank_mut(Rank(1)).push(Record::Collective {
+            op: ovlp_trace::CollOp::Barrier,
+            bytes_in: Bytes::ZERO,
+            bytes_out: Bytes::ZERO,
+            root: Rank(0),
+            transfer: TransferId::new(Rank(1), 1),
+        });
+        let out = ideal_transform(&t, &ChunkPolicy::paper_default());
+        assert!(out.ranks[0]
+            .records
+            .iter()
+            .any(|r| matches!(r, Record::Collective { .. })));
+    }
+}

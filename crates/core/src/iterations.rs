@@ -1,0 +1,144 @@
+//! Per-iteration timing analysis.
+//!
+//! The paper's Fig. 4 discussion looks at "the execution time for the
+//! first five iterations" of CG. Applications bracket their iterations
+//! with [`Marker::IterBegin`]/[`Marker::IterEnd`]; the simulator stamps
+//! each marker with simulated time, and this module turns those stamps
+//! into per-iteration durations and comparisons.
+
+use ovlp_machine::{SimResult, Time};
+use ovlp_trace::record::Marker;
+use std::collections::BTreeMap;
+
+/// Timing of one application iteration across ranks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationSpan {
+    pub iter: u32,
+    /// Earliest `IterBegin` across ranks.
+    pub begin: Time,
+    /// Latest `IterEnd` across ranks.
+    pub end: Time,
+}
+
+impl IterationSpan {
+    pub fn duration(&self) -> Time {
+        self.end - self.begin
+    }
+}
+
+/// Extract global iteration spans from a simulated execution.
+///
+/// Iterations missing either marker on every rank are skipped; ranks
+/// that never emit markers (e.g. rank 0 of a wavefront prologue) simply
+/// don't contribute.
+pub fn iteration_spans(sim: &SimResult) -> Vec<IterationSpan> {
+    let mut begins: BTreeMap<u32, Time> = BTreeMap::new();
+    let mut ends: BTreeMap<u32, Time> = BTreeMap::new();
+    for rank_markers in &sim.markers {
+        for &(marker, t) in rank_markers {
+            match marker {
+                Marker::IterBegin(n) => {
+                    begins
+                        .entry(n)
+                        .and_modify(|b| *b = (*b).min(t))
+                        .or_insert(t);
+                }
+                Marker::IterEnd(n) => {
+                    ends.entry(n).and_modify(|e| *e = (*e).max(t)).or_insert(t);
+                }
+                Marker::Phase(_) => {}
+            }
+        }
+    }
+    begins
+        .into_iter()
+        .filter_map(|(iter, begin)| {
+            let end = *ends.get(&iter)?;
+            (end >= begin).then_some(IterationSpan { iter, begin, end })
+        })
+        .collect()
+}
+
+/// Side-by-side per-iteration comparison of two executions (typically
+/// original vs overlapped), formatted like the paper's Fig. 4 reading.
+pub fn iteration_comparison(a_label: &str, a: &SimResult, b_label: &str, b: &SimResult) -> String {
+    let sa = iteration_spans(a);
+    let sb = iteration_spans(b);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>6} {:>14} {:>14} {:>9}\n",
+        "iter", a_label, b_label, "gain"
+    ));
+    for (x, y) in sa.iter().zip(sb.iter()) {
+        let da = x.duration().as_secs();
+        let db = y.duration().as_secs();
+        out.push_str(&format!(
+            "{:>6} {:>12.3}ms {:>12.3}ms {:>8.1}%\n",
+            x.iter,
+            da * 1e3,
+            db * 1e3,
+            100.0 * (1.0 - db / da.max(1e-300)),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlp_machine::{simulate, Platform};
+    use ovlp_trace::record::Record;
+    use ovlp_trace::{Instructions, Rank, Trace};
+
+    fn trace_with_iters() -> Trace {
+        let mut t = Trace::new(2);
+        for r in 0..2u32 {
+            let rt = t.rank_mut(Rank(r));
+            for it in 0..3 {
+                rt.push(Record::Marker {
+                    marker: Marker::IterBegin(it),
+                });
+                rt.push(Record::Compute {
+                    instr: Instructions(1_000_000 * (it as u64 + 1)),
+                });
+                rt.push(Record::Marker {
+                    marker: Marker::IterEnd(it),
+                });
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn spans_cover_each_iteration() {
+        let sim = simulate(&trace_with_iters(), &Platform::default()).unwrap();
+        let spans = iteration_spans(&sim);
+        assert_eq!(spans.len(), 3);
+        // durations grow with the compute we gave each iteration
+        assert!(spans[1].duration() > spans[0].duration());
+        assert!(spans[2].duration() > spans[1].duration());
+        // contiguous, ordered
+        assert!(spans[0].end <= spans[1].begin + ovlp_machine::Time::micros(1.0));
+        assert_eq!(spans[0].iter, 0);
+        assert_eq!(spans[2].iter, 2);
+    }
+
+    #[test]
+    fn no_markers_yields_empty() {
+        let mut t = Trace::new(1);
+        t.rank_mut(Rank(0)).push(Record::Compute {
+            instr: Instructions(100),
+        });
+        let sim = simulate(&t, &Platform::default()).unwrap();
+        assert!(iteration_spans(&sim).is_empty());
+    }
+
+    #[test]
+    fn comparison_renders_gains() {
+        let sim = simulate(&trace_with_iters(), &Platform::default()).unwrap();
+        let s = iteration_comparison("original", &sim, "overlapped", &sim);
+        assert!(s.contains("iter"));
+        assert!(s.contains("0.0%"), "{s}");
+        assert_eq!(s.lines().count(), 4);
+    }
+}

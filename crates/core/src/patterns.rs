@@ -1,0 +1,423 @@
+//! Production/consumption pattern analysis — the data behind Table II
+//! and Figure 5 of the paper.
+//!
+//! * **Production** (potential for *advancing sends*): for each send
+//!   transfer, at what fraction of its production interval are the
+//!   first element, the first quarter, half and the whole message
+//!   produced (all elements carry their final values)?
+//! * **Consumption** (potential for *post-postponing receptions*): for
+//!   each receive transfer, what fraction of its consumption interval
+//!   can run given nothing / the first quarter / the first half of the
+//!   message? (i.e. when is the first element *outside* that prefix
+//!   first loaded?)
+//!
+//! The per-transfer values are averaged per application; single-element
+//! transfers (Alya's reductions) only define the "first element" and
+//! "whole" columns — the paper's tables leave the rest blank.
+
+use ovlp_trace::access::{AccessDb, ConsumptionLog, ProductionLog};
+use ovlp_trace::Instructions;
+
+/// Averaged production pattern (percent of production interval).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProductionStats {
+    /// % of the interval at which the first final element exists.
+    pub first: Option<f64>,
+    /// % by which a quarter of the elements are final.
+    pub quarter: Option<f64>,
+    /// % by which half of the elements are final.
+    pub half: Option<f64>,
+    /// % by which the whole message is final.
+    pub whole: Option<f64>,
+    /// Transfers the averages cover.
+    pub samples: usize,
+}
+
+/// Averaged consumption pattern (percent of consumption interval).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ConsumptionStats {
+    /// % of the interval passable before needing *any* element.
+    pub nothing: Option<f64>,
+    /// % passable given the first quarter of the message.
+    pub quarter: Option<f64>,
+    /// % passable given the first half of the message.
+    pub half: Option<f64>,
+    pub samples: usize,
+}
+
+/// Per-transfer production fractions.
+///
+/// Element production time defaults to the interval start for elements
+/// never written (their values predate the interval).
+pub fn production_fractions(log: &ProductionLog) -> Option<(f64, Option<f64>, Option<f64>, f64)> {
+    let n = log.elems as usize;
+    if n == 0 {
+        return None;
+    }
+    let mut times: Vec<Instructions> = (0..n).map(|i| log.produced_at(i)).collect();
+    times.sort_unstable();
+    let frac =
+        |t: Instructions| -> f64 { 100.0 * t.fraction_within(log.interval_start, log.interval_end) };
+    let first = frac(times[0]);
+    let whole = frac(*times.last().unwrap());
+    // time by which ceil(q*n) elements are final = the ceil(q*n)-th
+    // smallest production time
+    let kth = |q: f64| -> Option<f64> {
+        if n < 4 {
+            return None; // quarter/half undefined for tiny messages
+        }
+        let k = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(frac(times[k - 1]))
+    };
+    Some((first, kth(0.25), kth(0.5), whole))
+}
+
+/// Per-transfer consumption fractions.
+pub fn consumption_fractions(log: &ConsumptionLog) -> Option<(f64, Option<f64>, Option<f64>)> {
+    let n = log.elems as usize;
+    if n == 0 {
+        return None;
+    }
+    let frac =
+        |t: Instructions| -> f64 { 100.0 * t.fraction_within(log.interval_start, log.interval_end) };
+    // passable-with-prefix-k: first load of any element with index >= k
+    let pass = |k: usize| -> f64 {
+        (k..n)
+            .map(|i| log.needed_at(i))
+            .min()
+            .map(frac)
+            .unwrap_or(100.0)
+    };
+    let nothing = pass(0);
+    let with_prefix = |q: f64| -> Option<f64> {
+        if n < 4 {
+            return None;
+        }
+        Some(pass(((q * n as f64).ceil() as usize).min(n - 1)))
+    };
+    Some((nothing, with_prefix(0.25), with_prefix(0.5)))
+}
+
+fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Average the production pattern over every send transfer in `db`.
+pub fn production_stats(db: &AccessDb) -> ProductionStats {
+    let mut firsts = Vec::new();
+    let mut quarters = Vec::new();
+    let mut halves = Vec::new();
+    let mut wholes = Vec::new();
+    let mut samples = 0;
+    for log in db.all_productions() {
+        if let Some((f, q, h, w)) = production_fractions(log) {
+            samples += 1;
+            firsts.push(f);
+            wholes.push(w);
+            if let Some(q) = q {
+                quarters.push(q);
+            }
+            if let Some(h) = h {
+                halves.push(h);
+            }
+        }
+    }
+    ProductionStats {
+        first: mean(&firsts),
+        quarter: mean(&quarters),
+        half: mean(&halves),
+        whole: mean(&wholes),
+        samples,
+    }
+}
+
+/// Average the consumption pattern over every receive transfer in `db`.
+pub fn consumption_stats(db: &AccessDb) -> ConsumptionStats {
+    let mut nothings = Vec::new();
+    let mut quarters = Vec::new();
+    let mut halves = Vec::new();
+    let mut samples = 0;
+    for log in db.all_consumptions() {
+        if let Some((z, q, h)) = consumption_fractions(log) {
+            samples += 1;
+            nothings.push(z);
+            if let Some(q) = q {
+                quarters.push(q);
+            }
+            if let Some(h) = h {
+                halves.push(h);
+            }
+        }
+    }
+    ConsumptionStats {
+        nothing: mean(&nothings),
+        quarter: mean(&quarters),
+        half: mean(&halves),
+        samples,
+    }
+}
+
+/// One point of a Figure 5 scatter: normalized interval time (0..1) ×
+/// element offset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScatterPoint {
+    pub time: f64,
+    pub offset: u32,
+}
+
+/// Scatter of all stores in a production interval (Figure 5a).
+pub fn production_scatter(log: &ProductionLog) -> Vec<ScatterPoint> {
+    log.events
+        .iter()
+        .map(|e| ScatterPoint {
+            time: e.at.fraction_within(log.interval_start, log.interval_end),
+            offset: e.offset,
+        })
+        .collect()
+}
+
+/// Scatter of all loads in a consumption interval (Figure 5b/5c).
+pub fn consumption_scatter(log: &ConsumptionLog) -> Vec<ScatterPoint> {
+    log.events
+        .iter()
+        .map(|e| ScatterPoint {
+            time: e.at.fraction_within(log.interval_start, log.interval_end),
+            offset: e.offset,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlp_trace::access::{consumption_log_for_test, production_log_for_test};
+
+    #[test]
+    fn ideal_linear_production_matches_paper_ideal_row() {
+        // 100 elements produced uniformly: first ~1%, quarter 25%, half
+        // 50%, whole 100% (the "ideal" row of Table IIa)
+        let times: Vec<Option<u64>> = (0..100).map(|i| Some((i + 1) * 10)).collect();
+        let log = production_log_for_test(0, 0, 0, 1000, &times);
+        let (f, q, h, w) = production_fractions(&log).unwrap();
+        assert!((f - 1.0).abs() < 1e-9, "{f}");
+        assert!((q.unwrap() - 25.0).abs() < 1e-9);
+        assert!((h.unwrap() - 50.0).abs() < 1e-9);
+        assert!((w - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn late_production_pattern() {
+        // everything produced in the last 1% (the NAS-BT shape)
+        let times: Vec<Option<u64>> = (0..100).map(|i| Some(990 + i / 10)).collect();
+        let log = production_log_for_test(0, 0, 0, 1000, &times);
+        let (f, q, h, w) = production_fractions(&log).unwrap();
+        assert!(f >= 99.0);
+        assert!(q.unwrap() >= 99.0);
+        assert!(w <= 100.0);
+        assert!(h.unwrap() <= w);
+    }
+
+    #[test]
+    fn production_fractions_monotone() {
+        let times: Vec<Option<u64>> = (0..40)
+            .map(|i| Some(((i * 37) % 1000 + 1) as u64))
+            .collect();
+        let log = production_log_for_test(0, 0, 0, 1000, &times);
+        let (f, q, h, w) = production_fractions(&log).unwrap();
+        let q = q.unwrap();
+        let h = h.unwrap();
+        assert!(f <= q && q <= h && h <= w);
+        assert!((0.0..=100.0).contains(&f) && w <= 100.0);
+    }
+
+    #[test]
+    fn never_written_elements_count_as_preexisting() {
+        let log = production_log_for_test(0, 0, 100, 200, &[None, Some(150)]);
+        let (f, _, _, w) = production_fractions(&log).unwrap();
+        assert_eq!(f, 0.0, "unwritten element is ready at interval start");
+        assert!((w - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn consumption_linear_matches_ideal_row() {
+        // 100 elements loaded in order: nothing ~0%, quarter ~25%, half ~50%
+        let times: Vec<Option<u64>> = (0..100).map(|i| Some(i * 10)).collect();
+        let log = consumption_log_for_test(0, 0, 0, 1000, &times);
+        let (z, q, h) = consumption_fractions(&log).unwrap();
+        assert!(z < 1.0);
+        assert!((q.unwrap() - 25.0).abs() < 1.0);
+        assert!((h.unwrap() - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn independent_work_then_copy_out() {
+        // the NAS-BT shape: nothing until 13.7%, then everything at once
+        let times: Vec<Option<u64>> = (0..100).map(|i| Some(137 + i / 30)).collect();
+        let log = consumption_log_for_test(0, 0, 0, 1000, &times);
+        let (z, q, h) = consumption_fractions(&log).unwrap();
+        assert!((z - 13.7).abs() < 0.2);
+        assert!((q.unwrap() - 13.7).abs() < 0.5, "flat after the copy starts");
+        assert!((h.unwrap() - 13.7).abs() < 0.5);
+    }
+
+    #[test]
+    fn consumption_fractions_monotone_in_prefix() {
+        let times: Vec<Option<u64>> = (0..50)
+            .map(|i| Some(((i * 613) % 997) as u64))
+            .collect();
+        let log = consumption_log_for_test(0, 0, 0, 997, &times);
+        let (z, q, h) = consumption_fractions(&log).unwrap();
+        assert!(z <= q.unwrap() + 1e-9);
+        assert!(q.unwrap() <= h.unwrap() + 1e-9);
+    }
+
+    #[test]
+    fn never_loaded_message_passes_whole_interval() {
+        let log = consumption_log_for_test(0, 0, 0, 100, &[None, None]);
+        let (z, _, _) = consumption_fractions(&log).unwrap();
+        assert_eq!(z, 100.0);
+    }
+
+    #[test]
+    fn tiny_messages_leave_quarter_half_blank() {
+        let plog = production_log_for_test(0, 0, 0, 100, &[Some(99)]);
+        let (_, q, h, _) = production_fractions(&plog).unwrap();
+        assert!(q.is_none() && h.is_none(), "Alya's 1-element case");
+        let clog = consumption_log_for_test(0, 0, 0, 100, &[Some(1)]);
+        let (_, q, h) = consumption_fractions(&clog).unwrap();
+        assert!(q.is_none() && h.is_none());
+    }
+
+    #[test]
+    fn stats_average_over_transfers() {
+        let mut db = AccessDb::new(1);
+        db.insert_production(production_log_for_test(
+            0,
+            0,
+            0,
+            100,
+            &[Some(50), Some(50), Some(50), Some(50)],
+        ));
+        db.insert_production(production_log_for_test(
+            0,
+            1,
+            0,
+            100,
+            &[Some(100), Some(100), Some(100), Some(100)],
+        ));
+        let s = production_stats(&db);
+        assert_eq!(s.samples, 2);
+        assert!((s.first.unwrap() - 75.0).abs() < 1e-9);
+        assert!((s.whole.unwrap() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_db_yields_no_stats() {
+        let db = AccessDb::new(1);
+        assert_eq!(production_stats(&db).samples, 0);
+        assert!(production_stats(&db).first.is_none());
+        assert_eq!(consumption_stats(&db).samples, 0);
+    }
+
+    #[test]
+    fn scatter_normalizes_times() {
+        use ovlp_trace::access::AccessEvent;
+        let mut log = production_log_for_test(0, 0, 0, 200, &[Some(100)]);
+        log.events = vec![
+            AccessEvent {
+                offset: 0,
+                at: Instructions(50),
+            },
+            AccessEvent {
+                offset: 0,
+                at: Instructions(100),
+            },
+        ];
+        let pts = production_scatter(&log);
+        assert_eq!(pts.len(), 2);
+        assert!((pts[0].time - 0.25).abs() < 1e-12);
+        assert!((pts[1].time - 0.5).abs() < 1e-12);
+    }
+}
+
+/// Fraction of a consumption interval *after its last load* — trailing
+/// computation provably independent of the received data.
+///
+/// This quantifies the paper's stated future work (§VII: "exploit
+/// overlap at the level of the application's computation phases"): a
+/// phase-reordering compiler or runtime could hoist this tail ahead of
+/// the first use, growing every chunk's postponement window by the
+/// returned fraction. Requires scatter capture (returns `None` when the
+/// interval recorded no load events).
+pub fn independent_tail_fraction(log: &ConsumptionLog) -> Option<f64> {
+    let last = log.events.iter().map(|e| e.at).max()?;
+    Some(1.0 - last.fraction_within(log.interval_start, log.interval_end))
+}
+
+/// Mean independent-tail fraction over all consumption intervals with
+/// load events.
+pub fn mean_independent_tail(db: &AccessDb) -> Option<f64> {
+    let vals: Vec<f64> = db
+        .all_consumptions()
+        .filter_map(independent_tail_fraction)
+        .collect();
+    if vals.is_empty() {
+        None
+    } else {
+        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tail_tests {
+    use super::*;
+    use ovlp_trace::access::{consumption_log_for_test, AccessEvent};
+
+    fn with_events(events: &[(u32, u64)], start: u64, end: u64) -> ConsumptionLog {
+        let mut log = consumption_log_for_test(0, 0, start, end, &[Some(events[0].1)]);
+        log.events = events
+            .iter()
+            .map(|&(offset, at)| AccessEvent {
+                offset,
+                at: Instructions(at),
+            })
+            .collect();
+        log
+    }
+
+    #[test]
+    fn tail_measures_trailing_independence() {
+        // loads end at 40% of the interval: 60% tail
+        let log = with_events(&[(0, 100), (1, 200), (2, 400)], 0, 1000);
+        let t = independent_tail_fraction(&log).unwrap();
+        assert!((t - 0.6).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn no_events_no_tail_estimate() {
+        let mut log = consumption_log_for_test(0, 0, 0, 100, &[Some(5)]);
+        log.events.clear();
+        assert_eq!(independent_tail_fraction(&log), None);
+    }
+
+    #[test]
+    fn loads_to_the_end_mean_zero_tail() {
+        let log = with_events(&[(0, 1000)], 0, 1000);
+        assert!(independent_tail_fraction(&log).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn mean_over_db() {
+        let mut db = AccessDb::new(1);
+        db.insert_consumption(with_events(&[(0, 500)], 0, 1000)); // tail .5
+        let mut second = with_events(&[(0, 900)], 0, 1000); // tail .1
+        second.transfer = ovlp_trace::TransferId::new(ovlp_trace::Rank(0), 1);
+        db.insert_consumption(second);
+        let m = mean_independent_tail(&db).unwrap();
+        assert!((m - 0.3).abs() < 1e-9, "{m}");
+    }
+}

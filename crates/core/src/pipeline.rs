@@ -1,0 +1,42 @@
+//! The one-call analysis pipeline: one instrumented run in, the three
+//! trace variants out.
+//!
+//! "In every run, the tracing tool generates one non-overlapped
+//! (original) and two overlapped (potential) Dimemas traces" (§III-C).
+
+use crate::chunk::ChunkPolicy;
+use crate::ideal::ideal_transform;
+use crate::transform::transform;
+use ovlp_instr::TraceRun;
+use ovlp_trace::Trace;
+
+/// The three traces one instrumented run yields.
+#[derive(Debug, Clone)]
+pub struct VariantBundle {
+    /// The legacy execution as traced.
+    pub original: Trace,
+    /// Overlapped execution under the measured patterns.
+    pub overlapped: Trace,
+    /// Overlapped execution under ideal (uniform) patterns.
+    pub ideal: Trace,
+}
+
+/// Build all three variants from one instrumented run.
+pub fn build_variants(run: &TraceRun, policy: &ChunkPolicy) -> VariantBundle {
+    VariantBundle {
+        original: run.trace.clone(),
+        overlapped: transform(&run.trace, &run.access, policy),
+        ideal: ideal_transform(&run.trace, policy),
+    }
+}
+
+impl VariantBundle {
+    /// App name carried in the traces' metadata.
+    pub fn app_name(&self) -> &str {
+        self.original
+            .meta
+            .get("app")
+            .map(String::as_str)
+            .unwrap_or("app")
+    }
+}

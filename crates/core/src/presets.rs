@@ -1,0 +1,78 @@
+//! Platform presets from the paper's experimental setup (§IV).
+//!
+//! The test bed is Marenostrum: PowerPC 970 2.3 GHz processors on
+//! Myrinet at 250 MB/s unidirectional bandwidth. The number of Dimemas
+//! buses is calibrated per application so the simulation matches the
+//! real runs — Table I:
+//!
+//! | Sweep3D | POP | Alya | SPECFEM3D | BT | CG |
+//! |---------|-----|------|-----------|----|----|
+//! | 12      | 12  | 11   | 8         | 22 | 6  |
+
+use ovlp_machine::Platform;
+
+/// Table I: the calibrated Dimemas bus count for each application of
+/// the paper's pool. Returns `None` for unknown applications.
+pub fn bus_preset(app: &str) -> Option<u32> {
+    let key = app.to_ascii_lowercase();
+    match key.as_str() {
+        "sweep3d" => Some(12),
+        "pop" => Some(12),
+        "alya" => Some(11),
+        "specfem3d" => Some(8),
+        "bt" | "nas-bt" | "nas_bt" => Some(22),
+        "cg" | "nas-cg" | "nas_cg" => Some(6),
+        _ => None,
+    }
+}
+
+/// All Table I rows in paper order.
+pub fn table1() -> Vec<(&'static str, u32)> {
+    vec![
+        ("sweep3d", 12),
+        ("pop", 12),
+        ("alya", 11),
+        ("specfem3d", 8),
+        ("nas-bt", 22),
+        ("nas-cg", 6),
+    ]
+}
+
+/// The Marenostrum platform configured for `app` (unknown apps get
+/// unlimited buses).
+pub fn marenostrum_for(app: &str) -> Platform {
+    Platform::marenostrum(bus_preset(app).unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_match_paper() {
+        assert_eq!(bus_preset("Sweep3D"), Some(12));
+        assert_eq!(bus_preset("pop"), Some(12));
+        assert_eq!(bus_preset("alya"), Some(11));
+        assert_eq!(bus_preset("SPECFEM3D"), Some(8));
+        assert_eq!(bus_preset("nas-bt"), Some(22));
+        assert_eq!(bus_preset("nas-cg"), Some(6));
+        assert_eq!(bus_preset("unknown"), None);
+    }
+
+    #[test]
+    fn marenostrum_platform_matches_test_bed() {
+        let p = marenostrum_for("nas-cg");
+        assert_eq!(p.buses, 6);
+        assert!((p.bandwidth_mbs - 250.0).abs() < 1e-12);
+        assert!((p.mips - 2300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table1_has_six_apps() {
+        let t = table1();
+        assert_eq!(t.len(), 6);
+        for (name, buses) in t {
+            assert_eq!(bus_preset(name), Some(buses));
+        }
+    }
+}

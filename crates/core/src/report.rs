@@ -1,0 +1,313 @@
+//! Plain-text report formatting for the table/figure regeneration
+//! binaries.
+
+use crate::experiments::{BandwidthRelaxation, EquivalentBandwidth, SpeedupResult};
+use crate::patterns::{ConsumptionStats, ProductionStats};
+
+/// Format an optional percentage, paper-style ("—" for undefined, as in
+/// the Alya row).
+pub fn pct(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.2}%"),
+        None => "—".to_string(),
+    }
+}
+
+/// Render Table II(a): production patterns.
+pub fn table2a(rows: &[(String, ProductionStats)]) -> String {
+    let mut out = String::new();
+    out.push_str("Table II(a) — Potential for advancing sends\n");
+    out.push_str("percent of production phase needed to produce a part of a message\n");
+    out.push_str(&format!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12} {:>8}\n",
+        "app", "1st element", "quarter", "half", "whole", "samples"
+    ));
+    out.push_str(&format!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12} {:>8}\n",
+        "ideal", "0%", "25%", "50%", "100%", "-"
+    ));
+    for (name, s) in rows {
+        out.push_str(&format!(
+            "{:<12} {:>12} {:>12} {:>12} {:>12} {:>8}\n",
+            name,
+            pct(s.first),
+            pct(s.quarter),
+            pct(s.half),
+            pct(s.whole),
+            s.samples
+        ));
+    }
+    out
+}
+
+/// Render Table II(b): consumption patterns.
+pub fn table2b(rows: &[(String, ConsumptionStats)]) -> String {
+    let mut out = String::new();
+    out.push_str("Table II(b) — Potential for post-postponing receptions\n");
+    out.push_str(
+        "percent of consumption phase that can be passed upon reception of a part of a message\n",
+    );
+    out.push_str(&format!(
+        "{:<12} {:>12} {:>12} {:>12} {:>8}\n",
+        "app", "nothing", "quarter", "half", "samples"
+    ));
+    out.push_str(&format!(
+        "{:<12} {:>12} {:>12} {:>12} {:>8}\n",
+        "ideal", "0%", "25%", "50%", "-"
+    ));
+    for (name, s) in rows {
+        out.push_str(&format!(
+            "{:<12} {:>12} {:>12} {:>12} {:>8}\n",
+            name,
+            pct(s.nothing),
+            pct(s.quarter),
+            pct(s.half),
+            s.samples
+        ));
+    }
+    out
+}
+
+/// Render one Figure 6(a) row.
+pub fn fig6a_row(r: &SpeedupResult) -> String {
+    format!(
+        "{:<12} orig {:>10.4}s  real x{:<6.3} ideal x{:<6.3}",
+        r.app,
+        r.original.runtime(),
+        r.speedup_real(),
+        r.speedup_ideal()
+    )
+}
+
+/// Render one Figure 6(b) row.
+pub fn fig6b_row(app: &str, baseline_mbs: f64, r: &BandwidthRelaxation) -> String {
+    let f = |v: Option<f64>| match v {
+        Some(bw) => format!("{bw:.2} MB/s ({:.1}x less)", baseline_mbs / bw),
+        None => "no relaxation".to_string(),
+    };
+    format!(
+        "{:<12} baseline {:>9.4}s  real {:<26} ideal {}",
+        app,
+        r.baseline_runtime,
+        f(r.real_mbs),
+        f(r.ideal_mbs)
+    )
+}
+
+/// Render one Figure 6(c) row.
+pub fn fig6c_row(app: &str, baseline_mbs: f64, which: &str, e: &EquivalentBandwidth) -> String {
+    match e {
+        EquivalentBandwidth::Finite(bw) => format!(
+            "{:<12} {:<6} equivalent bandwidth {:>10.1} MB/s ({:.2}x advancement)",
+            app,
+            which,
+            bw,
+            bw / baseline_mbs
+        ),
+        EquivalentBandwidth::Divergent => format!(
+            "{:<12} {:<6} equivalent bandwidth -> infinity (not reachable by bandwidth alone)",
+            app, which
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(Some(99.123)), "99.12%");
+        assert_eq!(pct(None), "—");
+    }
+
+    #[test]
+    fn table2a_renders_ideal_and_rows() {
+        let rows = vec![(
+            "cg".to_string(),
+            ProductionStats {
+                first: Some(3.98),
+                quarter: Some(27.98),
+                half: Some(51.99),
+                whole: Some(99.97),
+                samples: 10,
+            },
+        )];
+        let s = table2a(&rows);
+        assert!(s.contains("ideal"));
+        assert!(s.contains("cg"));
+        assert!(s.contains("27.98%"));
+    }
+
+    #[test]
+    fn table2b_renders_blank_columns() {
+        let rows = vec![(
+            "alya".to_string(),
+            ConsumptionStats {
+                nothing: Some(0.4),
+                quarter: None,
+                half: None,
+                samples: 5,
+            },
+        )];
+        let s = table2b(&rows);
+        assert!(s.contains("alya"));
+        assert!(s.contains("—"));
+    }
+
+    #[test]
+    fn fig6c_divergent_renders_infinity() {
+        let s = fig6c_row("sweep3d", 250.0, "ideal", &EquivalentBandwidth::Divergent);
+        assert!(s.contains("infinity"));
+        let s = fig6c_row(
+            "specfem3d",
+            250.0,
+            "real",
+            &EquivalentBandwidth::Finite(1000.0),
+        );
+        assert!(s.contains("4.00x"));
+    }
+}
+
+/// CSV rendering of the Figure 6 series, for external plotting. One
+/// function per figure; headers included.
+pub mod csv {
+    use super::*;
+
+    fn field(v: Option<f64>) -> String {
+        v.map(|x| format!("{x:.6}")).unwrap_or_default()
+    }
+
+    /// Figure 6(a): `app,original_s,overlapped_s,ideal_s,speedup_real,speedup_ideal`.
+    pub fn fig6a(rows: &[SpeedupResult]) -> String {
+        let mut out =
+            String::from("app,original_s,overlapped_s,ideal_s,speedup_real,speedup_ideal\n");
+        for r in rows {
+            out.push_str(&format!(
+                "{},{:.9},{:.9},{:.9},{:.6},{:.6}\n",
+                r.app,
+                r.original.runtime(),
+                r.overlapped.runtime(),
+                r.ideal.runtime(),
+                r.speedup_real(),
+                r.speedup_ideal()
+            ));
+        }
+        out
+    }
+
+    /// Figure 6(b): `app,baseline_s,real_mbs,ideal_mbs` (empty = no relaxation).
+    pub fn fig6b(rows: &[(String, BandwidthRelaxation)]) -> String {
+        let mut out = String::from("app,baseline_s,real_mbs,ideal_mbs\n");
+        for (app, r) in rows {
+            out.push_str(&format!(
+                "{},{:.9},{},{}\n",
+                app,
+                r.baseline_runtime,
+                field(r.real_mbs),
+                field(r.ideal_mbs)
+            ));
+        }
+        out
+    }
+
+    /// Figure 6(c): `app,variant,equivalent_mbs` (`inf` for divergent).
+    pub fn fig6c(rows: &[(String, String, EquivalentBandwidth)]) -> String {
+        let mut out = String::from("app,variant,equivalent_mbs\n");
+        for (app, variant, e) in rows {
+            let v = match e {
+                EquivalentBandwidth::Finite(bw) => format!("{bw:.3}"),
+                EquivalentBandwidth::Divergent => "inf".to_string(),
+            };
+            out.push_str(&format!("{app},{variant},{v}\n"));
+        }
+        out
+    }
+
+    /// Table II: `app,side,first_or_nothing,quarter,half,whole,samples`.
+    pub fn table2(
+        prod: &[(String, ProductionStats)],
+        cons: &[(String, ConsumptionStats)],
+    ) -> String {
+        let mut out = String::from("app,side,first_or_nothing,quarter,half,whole,samples\n");
+        for (app, s) in prod {
+            out.push_str(&format!(
+                "{},production,{},{},{},{},{}\n",
+                app,
+                field(s.first),
+                field(s.quarter),
+                field(s.half),
+                field(s.whole),
+                s.samples
+            ));
+        }
+        for (app, s) in cons {
+            out.push_str(&format!(
+                "{},consumption,{},{},{},,{}\n",
+                app,
+                field(s.nothing),
+                field(s.quarter),
+                field(s.half),
+                s.samples
+            ));
+        }
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fig6b_csv_blank_for_none() {
+            let rows = vec![(
+                "x".to_string(),
+                BandwidthRelaxation {
+                    baseline_runtime: 0.5,
+                    real_mbs: None,
+                    ideal_mbs: Some(11.27),
+                },
+            )];
+            let s = fig6b(&rows);
+            assert!(s.lines().nth(1).unwrap().contains(",,11.27"), "{s}");
+        }
+
+        #[test]
+        fn fig6c_csv_inf_for_divergent() {
+            let rows = vec![(
+                "sweep3d".to_string(),
+                "ideal".to_string(),
+                EquivalentBandwidth::Divergent,
+            )];
+            let s = fig6c(&rows);
+            assert!(s.contains("sweep3d,ideal,inf"));
+        }
+
+        #[test]
+        fn table2_csv_has_both_sides() {
+            let s = table2(
+                &[(
+                    "cg".to_string(),
+                    ProductionStats {
+                        first: Some(4.0),
+                        quarter: Some(28.0),
+                        half: Some(52.0),
+                        whole: Some(100.0),
+                        samples: 5,
+                    },
+                )],
+                &[(
+                    "cg".to_string(),
+                    ConsumptionStats {
+                        nothing: Some(2.0),
+                        quarter: None,
+                        half: None,
+                        samples: 5,
+                    },
+                )],
+            );
+            assert!(s.contains("cg,production,4.0"));
+            assert!(s.contains("cg,consumption,2.0"));
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The tracing harness: run an [`MpiApp`] with one thread per rank and
+//! collect the original trace plus the access database.
+
+use crate::cost::CostModel;
+use crate::ctx::RankCtx;
+use crate::error::InstrError;
+use crate::router::Router;
+use ovlp_trace::{AccessDb, Rank, Trace};
+use std::time::Duration;
+
+/// A rank-parametric message-passing application.
+///
+/// `run` is executed once per rank, concurrently, each invocation with
+/// its own [`RankCtx`]. Implementations must be deterministic functions
+/// of `(rank, nranks, received data)` — the tracer relies on this for
+/// reproducible traces.
+pub trait MpiApp: Sync {
+    /// Short identifier used in trace metadata and reports.
+    fn name(&self) -> &str {
+        "app"
+    }
+
+    /// The per-rank program.
+    fn run(&self, ctx: &mut RankCtx);
+}
+
+/// Adapter turning a closure into an [`MpiApp`].
+pub struct FnApp<F: Fn(&mut RankCtx) + Sync> {
+    name: String,
+    f: F,
+}
+
+impl<F: Fn(&mut RankCtx) + Sync> FnApp<F> {
+    pub fn new(name: &str, f: F) -> FnApp<F> {
+        FnApp {
+            name: name.to_string(),
+            f,
+        }
+    }
+}
+
+impl<F: Fn(&mut RankCtx) + Sync> MpiApp for FnApp<F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&self, ctx: &mut RankCtx) {
+        (self.f)(ctx)
+    }
+}
+
+/// Tracing options.
+#[derive(Debug, Clone)]
+pub struct TraceOptions {
+    /// Cost model for tracked accesses and call overhead.
+    pub cost: CostModel,
+    /// Capture full access scatter data (Figure 5). Summaries
+    /// (last-store/first-load) are always captured.
+    pub scatter: bool,
+    /// Cap on scatter events per interval.
+    pub scatter_cap: usize,
+    /// Data-plane receive timeout — an application blocking this long
+    /// is reported as deadlocked.
+    pub timeout: Duration,
+}
+
+impl Default for TraceOptions {
+    fn default() -> TraceOptions {
+        TraceOptions {
+            cost: CostModel::default(),
+            scatter: true,
+            scatter_cap: 1 << 20,
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Output of one instrumented run: the original (non-overlapped) trace
+/// and the element-level access database.
+#[derive(Debug, Clone)]
+pub struct TraceRun {
+    pub trace: Trace,
+    pub access: AccessDb,
+}
+
+impl TraceRun {
+    pub fn nranks(&self) -> usize {
+        self.trace.nranks()
+    }
+}
+
+/// Trace `app` on `nranks` ranks with default options.
+///
+/// ```
+/// use ovlp_instr::{trace_app, FnApp, RankCtx};
+/// use ovlp_trace::Rank;
+///
+/// let app = FnApp::new("ping", |ctx: &mut RankCtx| {
+///     let mut buf = ctx.buffer(4);
+///     if ctx.rank() == Rank(0) {
+///         for i in 0..4 { buf.store(i, i as f64); }
+///         ctx.send(Rank(1), 0, &mut buf);
+///     } else {
+///         ctx.recv(Rank(0), 0, &mut buf);
+///         assert_eq!(buf.load(2), 2.0);
+///     }
+/// });
+/// let run = trace_app(&app, 2).unwrap();
+/// assert_eq!(run.nranks(), 2);
+/// assert!(run.access.all_productions().count() > 0);
+/// ```
+pub fn trace_app(app: &(impl MpiApp + ?Sized), nranks: usize) -> Result<TraceRun, InstrError> {
+    trace_app_with(app, nranks, &TraceOptions::default())
+}
+
+/// Trace `app` on `nranks` ranks.
+pub fn trace_app_with(
+    app: &(impl MpiApp + ?Sized),
+    nranks: usize,
+    opts: &TraceOptions,
+) -> Result<TraceRun, InstrError> {
+    if nranks == 0 {
+        return Err(InstrError::BadConfig("nranks must be >= 1".to_string()));
+    }
+    let router = Router::new(nranks, opts.timeout);
+    let mut results: Vec<Option<_>> = (0..nranks).map(|_| None).collect();
+    let mut first_error: Option<InstrError> = None;
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..nranks)
+            .map(|r| {
+                let router = router.clone();
+                let opts = opts.clone();
+                scope.spawn(move || {
+                    let mut ctx = RankCtx::new(
+                        Rank(r as u32),
+                        nranks,
+                        router,
+                        opts.cost,
+                        opts.scatter,
+                        opts.scatter_cap,
+                    );
+                    app.run(&mut ctx);
+                    ctx.finalize()
+                })
+            })
+            .collect();
+        for (r, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(out) => results[r] = Some(out),
+                Err(payload) => {
+                    let message = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "rank panicked".to_string());
+                    if first_error.is_none() {
+                        first_error = Some(InstrError::RankFailed {
+                            rank: Rank(r as u32),
+                            message,
+                        });
+                    }
+                }
+            }
+        }
+    });
+
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    let mut trace = Trace::new(nranks);
+    let mut access = AccessDb::new(nranks);
+    for (r, out) in results.into_iter().enumerate() {
+        let (rt, log) = out.expect("rank result missing without error");
+        trace.ranks[r] = rt;
+        access.ranks[r] = log;
+    }
+    trace.meta.insert("app".to_string(), app.name().to_string());
+    trace.meta.insert("nranks".to_string(), nranks.to_string());
+    trace
+        .meta
+        .insert("variant".to_string(), "original".to_string());
+    Ok(TraceRun { trace, access })
+}

@@ -1,0 +1,631 @@
+//! Per-rank execution context: the MPI-like API applications program
+//! against, with every call "wrapped" by the tracer.
+//!
+//! Each context owns a virtual instruction counter. Communication and
+//! tracked buffer accesses advance it through the cost model; bulk
+//! numerical work is charged with [`RankCtx::compute`]. Every MPI-like
+//! call appends a trace record stamped with the current counter value,
+//! and drives the production/consumption lifecycle of the
+//! [`TrackedBuf`]s involved — exactly the behaviour of the paper's
+//! Valgrind tool (§III-C).
+
+use crate::buffer::{RankShared, TrackedBuf};
+use crate::cost::CostModel;
+use crate::router::Router;
+use ovlp_trace::access::RankAccessLog;
+use ovlp_trace::record::{Marker, Record, SendMode};
+use ovlp_trace::trace::RankTrace;
+use ovlp_trace::{Bytes, CollOp, Instructions, Rank, ReqId, Tag, TransferId};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Element size of tracked buffers, in bytes.
+pub const ELEM_BYTES: u64 = 8;
+
+/// Reduction operator for `reduce`/`allreduce`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Max,
+    Min,
+}
+
+impl ReduceOp {
+    fn fold(self, acc: f64, x: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => acc + x,
+            ReduceOp::Max => acc.max(x),
+            ReduceOp::Min => acc.min(x),
+        }
+    }
+
+    fn identity(self) -> f64 {
+        match self {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Max => f64::NEG_INFINITY,
+            ReduceOp::Min => f64::INFINITY,
+        }
+    }
+}
+
+/// Handle of a posted non-blocking send.
+#[must_use = "pair isend with wait_send to model completion"]
+#[derive(Debug, Clone, Copy)]
+pub struct SendReqHandle {
+    req: ReqId,
+}
+
+/// Handle of a posted non-blocking receive.
+#[must_use = "pair irecv with wait_recv to complete the transfer"]
+#[derive(Debug, Clone, Copy)]
+pub struct RecvReqHandle {
+    req: ReqId,
+    src: Rank,
+    tag: u32,
+    len: usize,
+    transfer: TransferId,
+}
+
+/// Per-rank execution context.
+pub struct RankCtx {
+    rank: Rank,
+    nranks: usize,
+    shared: Rc<RankShared>,
+    router: Arc<Router>,
+    /// Trace events with the instruction count at which they occurred.
+    events: Vec<(u64, Record)>,
+    access: RankAccessLog,
+    comm_seq: u32,
+    next_req: u64,
+}
+
+impl RankCtx {
+    pub(crate) fn new(
+        rank: Rank,
+        nranks: usize,
+        router: Arc<Router>,
+        cost: CostModel,
+        scatter: bool,
+        scatter_cap: usize,
+    ) -> RankCtx {
+        RankCtx {
+            rank,
+            nranks,
+            shared: Rc::new(RankShared {
+                icount: Cell::new(0),
+                cost,
+                scatter,
+                scatter_cap,
+                cons_sink: RefCell::new(Vec::new()),
+            }),
+            router,
+            events: Vec::new(),
+            access: RankAccessLog::default(),
+            comm_seq: 0,
+            next_req: 0,
+        }
+    }
+
+    /// This rank's id.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// World size.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Current virtual instruction count.
+    pub fn now(&self) -> u64 {
+        self.shared.now()
+    }
+
+    /// Allocate a tracked communication buffer of `len` elements.
+    pub fn buffer(&self, len: usize) -> TrackedBuf {
+        TrackedBuf::new(self.shared.clone(), len)
+    }
+
+    /// Charge `instr` instructions of bulk (untracked) computation.
+    pub fn compute(&mut self, instr: u64) {
+        self.shared.charge(instr);
+    }
+
+    fn next_transfer(&mut self) -> TransferId {
+        let t = TransferId::new(self.rank, self.comm_seq);
+        self.comm_seq += 1;
+        t
+    }
+
+    fn next_req_id(&mut self) -> ReqId {
+        let r = ReqId(self.next_req);
+        self.next_req += 1;
+        r
+    }
+
+    fn record(&mut self, rec: Record) {
+        self.events.push((self.shared.now(), rec));
+    }
+
+    fn enter_call(&mut self) {
+        self.shared.charge(self.shared.cost.mpi_call);
+    }
+
+    // ------------------------------------------------------------------
+    // markers
+    // ------------------------------------------------------------------
+
+    /// Mark the beginning of application iteration `n`.
+    pub fn iter_begin(&mut self, n: u32) {
+        self.record(Record::Marker {
+            marker: Marker::IterBegin(n),
+        });
+    }
+
+    /// Mark the end of application iteration `n`.
+    pub fn iter_end(&mut self, n: u32) {
+        self.record(Record::Marker {
+            marker: Marker::IterEnd(n),
+        });
+    }
+
+    /// Mark an application phase.
+    pub fn phase(&mut self, p: u32) {
+        self.record(Record::Marker {
+            marker: Marker::Phase(p),
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // point-to-point
+    // ------------------------------------------------------------------
+
+    /// Blocking send of a tracked buffer. Closes the buffer's production
+    /// interval (the access data *advancing sends* needs).
+    pub fn send(&mut self, dst: Rank, tag: u32, buf: &mut TrackedBuf) {
+        self.enter_call();
+        let now = self.shared.now();
+        let transfer = self.next_transfer();
+        let log = buf.take_production(now, transfer);
+        self.access.productions.insert(transfer, log);
+        self.record(Record::Send {
+            dst,
+            tag: Tag::user(tag),
+            bytes: Bytes::of_elems(buf.len() as u64, ELEM_BYTES),
+            mode: SendMode::Eager,
+            transfer,
+        });
+        self.router
+            .send(self.rank.get(), dst.get(), tag, buf.snapshot());
+    }
+
+    /// Blocking receive into a tracked buffer. Closes the previous
+    /// consumption interval of the buffer and opens a new one (the
+    /// access data *post-postponing receptions* needs).
+    pub fn recv(&mut self, src: Rank, tag: u32, buf: &mut TrackedBuf) {
+        self.enter_call();
+        let now = self.shared.now();
+        let transfer = self.next_transfer();
+        if let Some(log) = buf.end_consumption(now) {
+            self.access.consumptions.insert(log.transfer, log);
+        }
+        let payload = self
+            .router
+            .recv(self.rank.get(), src.get(), tag)
+            .unwrap_or_else(|e| panic!("{e}"));
+        buf.install_payload(&payload);
+        self.record(Record::Recv {
+            src,
+            tag: Tag::user(tag),
+            bytes: Bytes::of_elems(buf.len() as u64, ELEM_BYTES),
+            transfer,
+        });
+        buf.begin_consumption(now, transfer);
+    }
+
+    /// Non-blocking send: the payload is captured immediately (buffered
+    /// semantics); completion is modeled by [`RankCtx::wait_send`].
+    pub fn isend(&mut self, dst: Rank, tag: u32, buf: &mut TrackedBuf) -> SendReqHandle {
+        self.enter_call();
+        let now = self.shared.now();
+        let transfer = self.next_transfer();
+        let req = self.next_req_id();
+        let log = buf.take_production(now, transfer);
+        self.access.productions.insert(transfer, log);
+        self.record(Record::ISend {
+            dst,
+            tag: Tag::user(tag),
+            bytes: Bytes::of_elems(buf.len() as u64, ELEM_BYTES),
+            mode: SendMode::Eager,
+            req,
+            transfer,
+        });
+        self.router
+            .send(self.rank.get(), dst.get(), tag, buf.snapshot());
+        SendReqHandle { req }
+    }
+
+    /// Post a non-blocking receive for a message shaped like `buf`.
+    /// The data lands at [`RankCtx::wait_recv`].
+    pub fn irecv(&mut self, src: Rank, tag: u32, buf: &TrackedBuf) -> RecvReqHandle {
+        self.enter_call();
+        let transfer = self.next_transfer();
+        let req = self.next_req_id();
+        self.record(Record::IRecv {
+            src,
+            tag: Tag::user(tag),
+            bytes: Bytes::of_elems(buf.len() as u64, ELEM_BYTES),
+            req,
+            transfer,
+        });
+        RecvReqHandle {
+            req,
+            src,
+            tag,
+            len: buf.len(),
+            transfer,
+        }
+    }
+
+    /// Complete a non-blocking send.
+    pub fn wait_send(&mut self, h: SendReqHandle) {
+        self.enter_call();
+        self.record(Record::Wait { req: h.req });
+    }
+
+    /// Complete a non-blocking receive: blocks for the payload, installs
+    /// it into `buf`, and opens the buffer's consumption interval.
+    pub fn wait_recv(&mut self, h: RecvReqHandle, buf: &mut TrackedBuf) {
+        self.enter_call();
+        assert_eq!(
+            buf.len(),
+            h.len,
+            "wait_recv buffer does not match the posted irecv"
+        );
+        let now = self.shared.now();
+        if let Some(log) = buf.end_consumption(now) {
+            self.access.consumptions.insert(log.transfer, log);
+        }
+        let payload = self
+            .router
+            .recv(self.rank.get(), h.src.get(), h.tag)
+            .unwrap_or_else(|e| panic!("{e}"));
+        buf.install_payload(&payload);
+        self.record(Record::Wait { req: h.req });
+        buf.begin_consumption(now, h.transfer);
+    }
+
+    /// Combined send+receive (never deadlocks: the data plane buffers
+    /// sends).
+    pub fn sendrecv(
+        &mut self,
+        dst: Rank,
+        send_tag: u32,
+        send_buf: &mut TrackedBuf,
+        src: Rank,
+        recv_tag: u32,
+        recv_buf: &mut TrackedBuf,
+    ) {
+        self.send(dst, send_tag, send_buf);
+        self.recv(src, recv_tag, recv_buf);
+    }
+
+    // ------------------------------------------------------------------
+    // collectives
+    // ------------------------------------------------------------------
+
+    fn exchange(&mut self, contribution: Vec<f64>) -> Arc<Vec<Vec<f64>>> {
+        self.router
+            .exchange_all(self.rank.get(), contribution)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Barrier over all ranks.
+    pub fn barrier(&mut self) {
+        self.enter_call();
+        let transfer = self.next_transfer();
+        self.record(Record::Collective {
+            op: CollOp::Barrier,
+            bytes_in: Bytes::ZERO,
+            bytes_out: Bytes::ZERO,
+            root: Rank(0),
+            transfer,
+        });
+        let _ = self.exchange(Vec::new());
+    }
+
+    /// Broadcast `buf` from `root` to everyone.
+    pub fn bcast(&mut self, root: Rank, buf: &mut TrackedBuf) {
+        self.enter_call();
+        let now = self.shared.now();
+        let transfer = self.next_transfer();
+        let bytes = Bytes::of_elems(buf.len() as u64, ELEM_BYTES);
+        let contribution = if self.rank == root {
+            let log = buf.take_production(now, transfer);
+            self.access.productions.insert(transfer, log);
+            buf.snapshot()
+        } else {
+            Vec::new()
+        };
+        self.record(Record::Collective {
+            op: CollOp::Bcast,
+            bytes_in: bytes,
+            bytes_out: bytes,
+            root,
+            transfer,
+        });
+        let all = self.exchange(contribution);
+        if self.rank != root {
+            if let Some(log) = buf.end_consumption(now) {
+                self.access.consumptions.insert(log.transfer, log);
+            }
+            buf.install_payload(&all[root.idx()]);
+            buf.begin_consumption(now, transfer);
+        }
+    }
+
+    /// Elementwise reduction of `buf` across ranks; the result lands in
+    /// `root`'s buffer only.
+    pub fn reduce(&mut self, op: ReduceOp, root: Rank, buf: &mut TrackedBuf) {
+        self.enter_call();
+        let now = self.shared.now();
+        let transfer = self.next_transfer();
+        let bytes = Bytes::of_elems(buf.len() as u64, ELEM_BYTES);
+        let log = buf.take_production(now, transfer);
+        self.access.productions.insert(transfer, log);
+        self.record(Record::Collective {
+            op: CollOp::Reduce,
+            bytes_in: bytes,
+            bytes_out: bytes,
+            root,
+            transfer,
+        });
+        let all = self.exchange(buf.snapshot());
+        if self.rank == root {
+            let combined = combine(op, &all, buf.len());
+            if let Some(l) = buf.end_consumption(now) {
+                self.access.consumptions.insert(l.transfer, l);
+            }
+            buf.install_payload(&combined);
+            buf.begin_consumption(now, transfer);
+        }
+    }
+
+    /// Elementwise reduction of `buf` across ranks; everyone gets the
+    /// result (this is Alya's dominant operation — 1-element allreduces
+    /// that the chunking technique cannot split).
+    pub fn allreduce(&mut self, op: ReduceOp, buf: &mut TrackedBuf) {
+        self.enter_call();
+        let now = self.shared.now();
+        let transfer = self.next_transfer();
+        let bytes = Bytes::of_elems(buf.len() as u64, ELEM_BYTES);
+        let log = buf.take_production(now, transfer);
+        self.access.productions.insert(transfer, log);
+        self.record(Record::Collective {
+            op: CollOp::Allreduce,
+            bytes_in: bytes,
+            bytes_out: bytes,
+            root: Rank(0),
+            transfer,
+        });
+        let all = self.exchange(buf.snapshot());
+        let combined = combine(op, &all, buf.len());
+        if let Some(l) = buf.end_consumption(now) {
+            self.access.consumptions.insert(l.transfer, l);
+        }
+        buf.install_payload(&combined);
+        buf.begin_consumption(now, transfer);
+    }
+
+    /// Gather equal-size contributions from every rank into `recv_buf`
+    /// on all ranks (`recv_buf.len() == nranks * send_buf.len()`).
+    pub fn allgather(&mut self, send_buf: &mut TrackedBuf, recv_buf: &mut TrackedBuf) {
+        self.enter_call();
+        assert_eq!(
+            recv_buf.len(),
+            send_buf.len() * self.nranks,
+            "allgather receive buffer must hold nranks blocks"
+        );
+        let now = self.shared.now();
+        let transfer = self.next_transfer();
+        let log = send_buf.take_production(now, transfer);
+        self.access.productions.insert(transfer, log);
+        self.record(Record::Collective {
+            op: CollOp::Allgather,
+            bytes_in: Bytes::of_elems(send_buf.len() as u64, ELEM_BYTES),
+            bytes_out: Bytes::of_elems(recv_buf.len() as u64, ELEM_BYTES),
+            root: Rank(0),
+            transfer,
+        });
+        let all = self.exchange(send_buf.snapshot());
+        let mut gathered = Vec::with_capacity(recv_buf.len());
+        for part in all.iter() {
+            gathered.extend_from_slice(part);
+        }
+        if let Some(l) = recv_buf.end_consumption(now) {
+            self.access.consumptions.insert(l.transfer, l);
+        }
+        recv_buf.install_payload(&gathered);
+        recv_buf.begin_consumption(now, transfer);
+    }
+
+    /// Gather equal-size contributions from every rank into `recv_buf`
+    /// on `root` only (`recv_buf.len() == nranks * send_buf.len()`;
+    /// non-root ranks may pass any buffer, its contents are untouched).
+    pub fn gather(&mut self, root: Rank, send_buf: &mut TrackedBuf, recv_buf: &mut TrackedBuf) {
+        self.enter_call();
+        let now = self.shared.now();
+        let transfer = self.next_transfer();
+        let log = send_buf.take_production(now, transfer);
+        self.access.productions.insert(transfer, log);
+        self.record(Record::Collective {
+            op: CollOp::Gather,
+            bytes_in: Bytes::of_elems(send_buf.len() as u64, ELEM_BYTES),
+            bytes_out: Bytes::of_elems((send_buf.len() * self.nranks) as u64, ELEM_BYTES),
+            root,
+            transfer,
+        });
+        let all = self.exchange(send_buf.snapshot());
+        if self.rank == root {
+            assert_eq!(
+                recv_buf.len(),
+                send_buf.len() * self.nranks,
+                "gather receive buffer must hold nranks blocks"
+            );
+            let mut gathered = Vec::with_capacity(recv_buf.len());
+            for part in all.iter() {
+                gathered.extend_from_slice(part);
+            }
+            if let Some(l) = recv_buf.end_consumption(now) {
+                self.access.consumptions.insert(l.transfer, l);
+            }
+            recv_buf.install_payload(&gathered);
+            recv_buf.begin_consumption(now, transfer);
+        }
+    }
+
+    /// Scatter `root`'s `send_buf` (holding `nranks` equal blocks) so
+    /// every rank receives one block into `recv_buf`.
+    pub fn scatter(&mut self, root: Rank, send_buf: &mut TrackedBuf, recv_buf: &mut TrackedBuf) {
+        self.enter_call();
+        let now = self.shared.now();
+        let transfer = self.next_transfer();
+        let block = recv_buf.len();
+        self.record(Record::Collective {
+            op: CollOp::Scatter,
+            bytes_in: Bytes::of_elems(block as u64, ELEM_BYTES),
+            bytes_out: Bytes::of_elems(block as u64, ELEM_BYTES),
+            root,
+            transfer,
+        });
+        let contribution = if self.rank == root {
+            assert_eq!(
+                send_buf.len(),
+                block * self.nranks,
+                "scatter send buffer must hold nranks blocks"
+            );
+            let log = send_buf.take_production(now, transfer);
+            self.access.productions.insert(transfer, log);
+            send_buf.snapshot()
+        } else {
+            Vec::new()
+        };
+        let all = self.exchange(contribution);
+        let me = self.rank.idx();
+        let slice = &all[root.idx()][me * block..(me + 1) * block];
+        if let Some(l) = recv_buf.end_consumption(now) {
+            self.access.consumptions.insert(l.transfer, l);
+        }
+        recv_buf.install_payload(slice);
+        recv_buf.begin_consumption(now, transfer);
+    }
+
+    /// Complete a batch of non-blocking sends in order.
+    pub fn waitall_send(&mut self, handles: impl IntoIterator<Item = SendReqHandle>) {
+        for h in handles {
+            self.wait_send(h);
+        }
+    }
+
+    /// Personalized all-to-all: `send_buf` holds `nranks` equal blocks,
+    /// block `i` goes to rank `i`; `recv_buf` receives one block from
+    /// every rank.
+    pub fn alltoall(&mut self, send_buf: &mut TrackedBuf, recv_buf: &mut TrackedBuf) {
+        self.enter_call();
+        assert_eq!(
+            send_buf.len() % self.nranks,
+            0,
+            "alltoall send buffer must split into nranks blocks"
+        );
+        assert_eq!(send_buf.len(), recv_buf.len());
+        let block = send_buf.len() / self.nranks;
+        let now = self.shared.now();
+        let transfer = self.next_transfer();
+        let log = send_buf.take_production(now, transfer);
+        self.access.productions.insert(transfer, log);
+        self.record(Record::Collective {
+            op: CollOp::Alltoall,
+            bytes_in: Bytes::of_elems(block as u64, ELEM_BYTES),
+            bytes_out: Bytes::of_elems(block as u64, ELEM_BYTES),
+            root: Rank(0),
+            transfer,
+        });
+        let all = self.exchange(send_buf.snapshot());
+        let me = self.rank.idx();
+        let mut out = Vec::with_capacity(recv_buf.len());
+        for part in all.iter() {
+            out.extend_from_slice(&part[me * block..(me + 1) * block]);
+        }
+        if let Some(l) = recv_buf.end_consumption(now) {
+            self.access.consumptions.insert(l.transfer, l);
+        }
+        recv_buf.install_payload(&out);
+        recv_buf.begin_consumption(now, transfer);
+    }
+
+    // ------------------------------------------------------------------
+    // finalization
+    // ------------------------------------------------------------------
+
+    /// Convert the recorded events into a rank trace (bursts become
+    /// explicit `Compute` records) plus the access log. Called by the
+    /// harness after the application returns and its buffers dropped.
+    pub(crate) fn finalize(mut self) -> (RankTrace, RankAccessLog) {
+        for log in self.shared.cons_sink.borrow_mut().drain(..) {
+            self.access.consumptions.insert(log.transfer, log);
+        }
+        let mut rt = RankTrace::new();
+        let mut prev = 0u64;
+        for (at, rec) in self.events.drain(..) {
+            debug_assert!(at >= prev, "events out of order");
+            if at > prev {
+                rt.push(Record::Compute {
+                    instr: Instructions(at - prev),
+                });
+                prev = at;
+            }
+            rt.push(rec);
+        }
+        let end = self.shared.now();
+        if end > prev {
+            rt.push(Record::Compute {
+                instr: Instructions(end - prev),
+            });
+        }
+        (rt, self.access)
+    }
+}
+
+fn combine(op: ReduceOp, all: &[Vec<f64>], len: usize) -> Vec<f64> {
+    let mut out = vec![op.identity(); len];
+    for part in all {
+        debug_assert_eq!(part.len(), len, "reduce contribution size mismatch");
+        for (o, &x) in out.iter_mut().zip(part.iter()) {
+            *o = op.fold(*o, x);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_op_folding() {
+        assert_eq!(ReduceOp::Sum.fold(1.0, 2.0), 3.0);
+        assert_eq!(ReduceOp::Max.fold(1.0, 2.0), 2.0);
+        assert_eq!(ReduceOp::Min.fold(1.0, 2.0), 1.0);
+        assert_eq!(ReduceOp::Sum.identity(), 0.0);
+        assert!(ReduceOp::Max.identity().is_infinite());
+    }
+
+    #[test]
+    fn combine_elementwise() {
+        let parts = vec![vec![1.0, 5.0], vec![3.0, 2.0]];
+        assert_eq!(combine(ReduceOp::Sum, &parts, 2), vec![4.0, 7.0]);
+        assert_eq!(combine(ReduceOp::Max, &parts, 2), vec![3.0, 5.0]);
+        assert_eq!(combine(ReduceOp::Min, &parts, 2), vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,26 @@
+//! Instrumentation errors.
+
+use ovlp_trace::Rank;
+
+/// Failure while running an application under instrumentation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstrError {
+    /// A rank panicked (application bug, or a runtime-detected problem
+    /// such as a receive timing out — likely an application deadlock).
+    RankFailed { rank: Rank, message: String },
+    /// Invalid harness configuration.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for InstrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstrError::RankFailed { rank, message } => {
+                write!(f, "{rank} failed: {message}")
+            }
+            InstrError::BadConfig(s) => write!(f, "bad configuration: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for InstrError {}

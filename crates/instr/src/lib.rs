@@ -1,0 +1,38 @@
+//! Instrumented message-passing runtime — the framework's Valgrind tool.
+//!
+//! The paper instruments unmodified MPI binaries with a Valgrind tool
+//! that (a) wraps every MPI call to read transfer parameters and
+//! (b) intercepts every load and store to communicated buffers
+//! (§III-C). This crate provides the equivalent front end for
+//! mini-applications written against its MPI-like API:
+//!
+//! * an application implements [`MpiApp`]; each rank runs on its own OS
+//!   thread with a [`RankCtx`] exposing `send`/`recv`/`isend`/`irecv`/
+//!   `wait`/collectives plus bulk [`RankCtx::compute`];
+//! * communication payloads **really move** between ranks (so
+//!   data-dependent control flow behaves like the real application);
+//! * communicated buffers are [`TrackedBuf`]s whose `load`/`store`
+//!   accessors advance the rank's virtual instruction counter through a
+//!   [`CostModel`] and record per-element production/consumption
+//!   events — the exact side channel the Valgrind tool extracts;
+//! * [`trace_app`] runs the application and returns a [`TraceRun`]: the
+//!   *original* (non-overlapped) trace and the
+//!   [`AccessDb`](ovlp_trace::AccessDb) from which `ovlp-core` derives
+//!   the overlapped traces.
+//!
+//! Virtual time is a per-rank instruction count; the runtime never
+//! consults wall-clock time, so traces are bit-identical across runs
+//! regardless of host scheduling.
+
+pub mod app;
+pub mod buffer;
+pub mod cost;
+pub mod ctx;
+pub mod error;
+pub mod router;
+
+pub use app::{trace_app, trace_app_with, FnApp, MpiApp, TraceOptions, TraceRun};
+pub use buffer::TrackedBuf;
+pub use cost::CostModel;
+pub use ctx::{RankCtx, RecvReqHandle, ReduceOp, SendReqHandle};
+pub use error::InstrError;

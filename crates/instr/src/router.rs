@@ -1,0 +1,251 @@
+//! Inter-rank data plane: point-to-point mailboxes and a generic
+//! all-ranks exchange used to implement every collective.
+//!
+//! The router moves *real payloads* between rank threads so applications
+//! compute with real data; it is purely a data plane — trace timing is
+//! derived from each rank's virtual instruction counter, never from the
+//! wall-clock behaviour of these queues.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Payload of one point-to-point message.
+pub type Payload = Vec<f64>;
+
+#[derive(Default)]
+struct Mailbox {
+    queues: HashMap<(u32, u32), VecDeque<Payload>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CollPhase {
+    /// Accepting contributions for the current instance.
+    Gathering,
+    /// All arrived; ranks are reading the result.
+    Draining,
+}
+
+struct CollInner {
+    phase: CollPhase,
+    arrived: usize,
+    contribs: Vec<Option<Payload>>,
+    result: Option<Arc<Vec<Payload>>>,
+    readers_left: usize,
+}
+
+/// Shared communication fabric for one traced run.
+pub struct Router {
+    nranks: usize,
+    mailboxes: Vec<Mutex<Mailbox>>,
+    signals: Vec<Condvar>,
+    coll: Mutex<CollInner>,
+    coll_cv: Condvar,
+    timeout: Duration,
+}
+
+impl Router {
+    pub fn new(nranks: usize, timeout: Duration) -> Arc<Router> {
+        Arc::new(Router {
+            nranks,
+            mailboxes: (0..nranks).map(|_| Mutex::new(Mailbox::default())).collect(),
+            signals: (0..nranks).map(|_| Condvar::new()).collect(),
+            coll: Mutex::new(CollInner {
+                phase: CollPhase::Gathering,
+                arrived: 0,
+                contribs: vec![None; nranks],
+                result: None,
+                readers_left: 0,
+            }),
+            coll_cv: Condvar::new(),
+            timeout,
+        })
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Deliver a payload into `dst`'s mailbox (never blocks — the data
+    /// plane is infinitely buffered; timing semantics live in the
+    /// machine simulator, not here).
+    pub fn send(&self, src: u32, dst: u32, tag: u32, payload: Payload) {
+        let mut mb = self.mailboxes[dst as usize].lock();
+        mb.queues.entry((src, tag)).or_default().push_back(payload);
+        self.signals[dst as usize].notify_all();
+    }
+
+    /// Take the next payload on channel `(src, tag)` for rank `me`,
+    /// blocking until one arrives. Returns `Err` with a description on
+    /// timeout (an application-level deadlock).
+    pub fn recv(&self, me: u32, src: u32, tag: u32) -> Result<Payload, String> {
+        let mut mb = self.mailboxes[me as usize].lock();
+        loop {
+            if let Some(q) = mb.queues.get_mut(&(src, tag)) {
+                if let Some(p) = q.pop_front() {
+                    return Ok(p);
+                }
+            }
+            if self.signals[me as usize]
+                .wait_for(&mut mb, self.timeout)
+                .timed_out()
+            {
+                return Err(format!(
+                    "rank {me}: receive from rank {src} tag {tag} timed out \
+                     ({}s) — application deadlock?",
+                    self.timeout.as_secs_f64()
+                ));
+            }
+        }
+    }
+
+    /// Generic collective primitive: every rank deposits a contribution
+    /// and receives all ranks' contributions, indexed by rank. Each
+    /// collective operation is a pure local function of this result, so
+    /// this one primitive implements barrier, bcast, reduce, allreduce,
+    /// allgather and alltoall.
+    ///
+    /// Two-phase (gather → drain) with a full handshake, so a fast rank
+    /// cannot race into the next collective instance before everyone
+    /// has read the current one.
+    pub fn exchange_all(&self, me: u32, contribution: Payload) -> Result<Arc<Vec<Payload>>, String> {
+        let mut inner = self.coll.lock();
+        // wait for any previous instance to finish draining
+        while inner.phase == CollPhase::Draining {
+            if self.coll_cv.wait_for(&mut inner, self.timeout).timed_out() {
+                return Err(format!("rank {me}: collective entry timed out"));
+            }
+        }
+        debug_assert!(inner.contribs[me as usize].is_none(), "double contribution");
+        inner.contribs[me as usize] = Some(contribution);
+        inner.arrived += 1;
+        if inner.arrived == self.nranks {
+            let contribs: Vec<Payload> = inner
+                .contribs
+                .iter_mut()
+                .map(|c| c.take().expect("missing contribution"))
+                .collect();
+            inner.result = Some(Arc::new(contribs));
+            inner.phase = CollPhase::Draining;
+            inner.readers_left = self.nranks;
+            self.coll_cv.notify_all();
+        } else {
+            while inner.phase != CollPhase::Draining {
+                if self.coll_cv.wait_for(&mut inner, self.timeout).timed_out() {
+                    return Err(format!(
+                        "rank {me}: collective timed out waiting for peers \
+                         ({}/{} arrived) — application deadlock?",
+                        inner.arrived, self.nranks
+                    ));
+                }
+            }
+        }
+        let result = inner.result.clone().expect("collective result missing");
+        inner.readers_left -= 1;
+        if inner.readers_left == 0 {
+            inner.phase = CollPhase::Gathering;
+            inner.arrived = 0;
+            inner.result = None;
+            self.coll_cv.notify_all();
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn router(n: usize) -> Arc<Router> {
+        Router::new(n, Duration::from_secs(5))
+    }
+
+    #[test]
+    fn p2p_fifo_per_channel() {
+        let r = router(2);
+        r.send(0, 1, 7, vec![1.0]);
+        r.send(0, 1, 7, vec![2.0]);
+        assert_eq!(r.recv(1, 0, 7).unwrap(), vec![1.0]);
+        assert_eq!(r.recv(1, 0, 7).unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn p2p_channels_are_independent() {
+        let r = router(2);
+        r.send(0, 1, 1, vec![1.0]);
+        r.send(0, 1, 2, vec![2.0]);
+        // receive in opposite tag order
+        assert_eq!(r.recv(1, 0, 2).unwrap(), vec![2.0]);
+        assert_eq!(r.recv(1, 0, 1).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let r = router(2);
+        let r2 = r.clone();
+        let h = thread::spawn(move || r2.recv(1, 0, 0).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        r.send(0, 1, 0, vec![42.0]);
+        assert_eq!(h.join().unwrap(), vec![42.0]);
+    }
+
+    #[test]
+    fn recv_timeout_reports_deadlock() {
+        let r = Router::new(1, Duration::from_millis(30));
+        let err = r.recv(0, 0, 9).unwrap_err();
+        assert!(err.contains("timed out"));
+    }
+
+    #[test]
+    fn exchange_all_gathers_everyone() {
+        let n = 4;
+        let r = router(n);
+        let handles: Vec<_> = (0..n as u32)
+            .map(|me| {
+                let r = r.clone();
+                thread::spawn(move || r.exchange_all(me, vec![me as f64]).unwrap())
+            })
+            .collect();
+        for h in handles {
+            let res = h.join().unwrap();
+            let flat: Vec<f64> = res.iter().flat_map(|v| v.iter().copied()).collect();
+            assert_eq!(flat, vec![0.0, 1.0, 2.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn exchange_all_reusable_across_instances() {
+        let n = 3;
+        let r = router(n);
+        let handles: Vec<_> = (0..n as u32)
+            .map(|me| {
+                let r = r.clone();
+                thread::spawn(move || {
+                    let mut sums = Vec::new();
+                    for round in 0..10u32 {
+                        let res = r
+                            .exchange_all(me, vec![(me + round) as f64])
+                            .unwrap();
+                        let s: f64 = res.iter().map(|v| v[0]).sum();
+                        sums.push(s);
+                    }
+                    sums
+                })
+            })
+            .collect();
+        let expected: Vec<f64> = (0..10).map(|round| (3 * round + 3) as f64).collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn collective_timeout_reports_missing_peers() {
+        let r = Router::new(2, Duration::from_millis(30));
+        let err = r.exchange_all(0, vec![]).unwrap_err();
+        assert!(err.contains("1/2 arrived"), "{err}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Per-channel communication statistics.
+//!
+//! Aggregates the simulated [`CommRecord`]s by `(src, dst, tag)`
+//! channel — the granularity at which the overlap transformation
+//! operates — exposing where bytes, queueing and synchronization spans
+//! concentrate. The `ovlp analyze` CLI prints the heaviest channels.
+
+use crate::replay::SimResult;
+use crate::time::Time;
+use ovlp_trace::{Bytes, Rank, Tag};
+use std::collections::HashMap;
+
+/// Aggregate statistics of one `(src, dst, tag)` channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelStat {
+    pub src: Rank,
+    pub dst: Rank,
+    pub tag: Tag,
+    pub messages: usize,
+    pub bytes: Bytes,
+    /// Mean time messages queued for network resources.
+    pub mean_queue: Time,
+    /// Mean send-to-consume span (the Paraver synchronization line).
+    pub mean_span: Time,
+    pub max_span: Time,
+}
+
+/// Aggregate all channels, sorted by total bytes descending (ties by
+/// channel key, so the output is deterministic).
+pub fn channel_stats(sim: &SimResult) -> Vec<ChannelStat> {
+    let mut agg: HashMap<(u32, u32, u32), (usize, u64, f64, f64, f64)> = HashMap::new();
+    for c in &sim.comms {
+        let e = agg
+            .entry((c.src.get(), c.dst.get(), c.tag.0))
+            .or_insert((0, 0, 0.0, 0.0, 0.0));
+        e.0 += 1;
+        e.1 += c.bytes.get();
+        e.2 += c.queue_delay().as_secs();
+        e.3 += c.span().as_secs();
+        e.4 = e.4.max(c.span().as_secs());
+    }
+    let mut out: Vec<ChannelStat> = agg
+        .into_iter()
+        .map(|((src, dst, tag), (n, bytes, q, s, mx))| ChannelStat {
+            src: Rank(src),
+            dst: Rank(dst),
+            tag: Tag(tag),
+            messages: n,
+            bytes: Bytes(bytes),
+            mean_queue: Time::secs(q / n as f64),
+            mean_span: Time::secs(s / n as f64),
+            max_span: Time::secs(mx),
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.bytes
+            .cmp(&a.bytes)
+            .then(a.src.cmp(&b.src))
+            .then(a.dst.cmp(&b.dst))
+            .then(a.tag.0.cmp(&b.tag.0))
+    });
+    out
+}
+
+/// Render the `top` heaviest channels as a text table.
+pub fn render_top(sim: &SimResult, top: usize) -> String {
+    let stats = channel_stats(sim);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>6} {:>12} {:>12} {:>12} {:>12}\n",
+        "channel", "msgs", "bytes", "mean queue", "mean span", "max span"
+    ));
+    for s in stats.iter().take(top) {
+        out.push_str(&format!(
+            "{:<16} {:>6} {:>12} {:>12} {:>12} {:>12}\n",
+            format!("{}->{} {}", s.src, s.dst, s.tag),
+            s.messages,
+            s.bytes.to_string(),
+            s.mean_queue.to_string(),
+            s.mean_span.to_string(),
+            s.max_span.to_string()
+        ));
+    }
+    if stats.len() > top {
+        out.push_str(&format!("  … {} more channels\n", stats.len() - top));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::simulate;
+    use crate::platform::Platform;
+    use ovlp_trace::record::{Record, SendMode};
+    use ovlp_trace::{Instructions, Trace, TransferId};
+
+    fn sim() -> SimResult {
+        let mut t = Trace::new(2);
+        let r0 = t.rank_mut(Rank(0));
+        for s in 0..3u32 {
+            r0.push(Record::Compute {
+                instr: Instructions(100_000),
+            });
+            r0.push(Record::Send {
+                dst: Rank(1),
+                tag: Tag::user(s % 2), // two channels: tags 0 and 1
+                bytes: Bytes(1000 * (s as u64 + 1)),
+                mode: SendMode::Eager,
+                transfer: TransferId::new(Rank(0), s),
+            });
+        }
+        let r1 = t.rank_mut(Rank(1));
+        for s in 0..3u32 {
+            r1.push(Record::Recv {
+                src: Rank(0),
+                tag: Tag::user(s % 2),
+                bytes: Bytes(1000 * (s as u64 + 1)),
+                transfer: TransferId::new(Rank(1), s),
+            });
+        }
+        simulate(&t, &Platform::default()).unwrap()
+    }
+
+    #[test]
+    fn channels_aggregate_by_key() {
+        let stats = channel_stats(&sim());
+        assert_eq!(stats.len(), 2);
+        // tag 0 carried messages 1 and 3 (1000 + 3000 bytes)
+        let tag0 = stats.iter().find(|s| s.tag == Tag::user(0)).unwrap();
+        assert_eq!(tag0.messages, 2);
+        assert_eq!(tag0.bytes, Bytes(4000));
+        let tag1 = stats.iter().find(|s| s.tag == Tag::user(1)).unwrap();
+        assert_eq!(tag1.messages, 1);
+        assert_eq!(tag1.bytes, Bytes(2000));
+        // sorted by bytes descending
+        assert!(stats[0].bytes >= stats[1].bytes);
+    }
+
+    #[test]
+    fn spans_are_positive_and_bounded() {
+        for s in channel_stats(&sim()) {
+            assert!(s.mean_span.as_secs() > 0.0);
+            assert!(s.max_span >= s.mean_span);
+        }
+    }
+
+    #[test]
+    fn render_caps_output() {
+        let text = render_top(&sim(), 1);
+        assert!(text.contains("… 1 more channels"), "{text}");
+        assert!(text.contains("r0->r1"));
+    }
+
+    #[test]
+    fn empty_sim_renders_header_only() {
+        let t = Trace::new(1);
+        let s = simulate(&t, &Platform::default()).unwrap();
+        let text = render_top(&s, 5);
+        assert_eq!(text.lines().count(), 1);
+    }
+}

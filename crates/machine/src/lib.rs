@@ -1,0 +1,44 @@
+//! Trace-driven machine simulator — the framework's Dimemas.
+//!
+//! Given a [`Trace`](ovlp_trace::Trace) (per-rank streams of computation
+//! bursts and communication records) and a [`Platform`] description,
+//! [`simulate`] reconstructs the application's time behaviour with a
+//! discrete-event engine implementing the Dimemas communication model
+//! (Girona, Labarta & Badia, EuroPVM/MPI 2000):
+//!
+//! * a **linear model** — a point-to-point transfer takes
+//!   `latency + size / bandwidth`;
+//! * **non-linear contention effects** — a finite number of *global
+//!   buses* bounds how many messages may concurrently travel through the
+//!   network, and per-node *input/output ports* bound each processor's
+//!   injection/extraction concurrency;
+//! * **CPU speed** — computation bursts (virtual instruction counts) are
+//!   scaled by a MIPS rate;
+//! * **collectives decomposed into point-to-point transfers** (the paper
+//!   assumes no collective hardware support), via linear or
+//!   binomial-tree algorithms selected by the platform.
+//!
+//! The simulator is fully deterministic: simultaneous events are ordered
+//! by insertion sequence, and pending transfers acquire resources in a
+//! deterministic first-fit scan.
+//!
+//! Output is a [`SimResult`]: total runtime, a per-rank state
+//! [`Timeline`] (compute / wait-receive / wait-send / collective), and
+//! the list of physical communication events — everything the
+//! visualization layer (`ovlp-viz`, the framework's Paraver) needs.
+
+pub mod chanstat;
+pub mod collective;
+pub mod event;
+pub mod platform;
+pub mod replay;
+pub mod resources;
+pub mod time;
+pub mod timeline;
+
+pub use chanstat::{channel_stats, ChannelStat};
+pub use collective::expand_collectives;
+pub use platform::{CollectiveAlgo, Platform};
+pub use replay::{simulate, NetworkStats, SimError, SimResult};
+pub use time::Time;
+pub use timeline::{CommRecord, Interval, State, StateTotals, Timeline};

@@ -1,0 +1,1127 @@
+//! The trace replay engine.
+//!
+//! Reconstructs an application's time behaviour from per-rank record
+//! streams. Each rank is an interpreter over its stream; ranks interact
+//! only through messages and shared network resources, and all
+//! interactions are sequenced through a deterministic event queue.
+//!
+//! ## Communication semantics
+//!
+//! A point-to-point transfer passes through three phases:
+//!
+//! 1. **Initiation** — the sender executes the send record at its local
+//!    time `t_send`. The message enters the pending queue.
+//! 2. **Grant** — the message atomically acquires its resource triple
+//!    (sender output port, receiver input port, one global bus) at
+//!    `t_start ≥ t_send`; grants happen in a deterministic first-fit
+//!    scan of the pending queue. A rendezvous-mode message additionally
+//!    requires the matching receive to be posted before it can be
+//!    granted.
+//! 3. **Delivery** — the transfer occupies its resources for
+//!    `latency + size/bandwidth` and completes at `t_arrive`.
+//!
+//! Blocking semantics: an eager `Send` releases the sender at
+//! `t_start + latency` (local injection); a rendezvous `Send` blocks
+//! until `t_arrive`. `Recv`/`Wait` block until the matched message's
+//! `t_arrive`. Matching is first-in-first-out per `(src, dst, tag)`
+//! channel, like MPI's non-overtaking rule.
+
+use crate::collective::expand_collectives;
+use crate::event::{Event, EventQueue};
+use crate::platform::Platform;
+use crate::resources::Resources;
+use crate::time::Time;
+use crate::timeline::{CommRecord, State, StateTotals, Timeline};
+use ovlp_trace::record::{Record, SendMode};
+use ovlp_trace::{Bytes, Rank, ReqId, Tag, Trace};
+use std::collections::{HashMap, VecDeque};
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The event queue drained while some ranks were still blocked.
+    Deadlock { stuck: Vec<(usize, String)> },
+    /// A `Wait` referenced a request never issued.
+    UnknownRequest { rank: usize, req: ReqId },
+    /// Platform configuration rejected.
+    BadPlatform(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { stuck } => {
+                write!(f, "deadlock; stuck ranks: ")?;
+                for (r, why) in stuck {
+                    write!(f, "[rank {r}: {why}] ")?;
+                }
+                Ok(())
+            }
+            SimError::UnknownRequest { rank, req } => {
+                write!(f, "rank {rank}: wait on unknown request {req}")
+            }
+            SimError::BadPlatform(s) => write!(f, "bad platform: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of one replay.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Completion time of the slowest rank.
+    pub runtime: Time,
+    /// Per-rank state timelines.
+    pub timelines: Vec<Timeline>,
+    /// Every physical message transfer, in initiation order.
+    pub comms: Vec<CommRecord>,
+    /// Per-rank aggregated state totals.
+    pub totals: Vec<StateTotals>,
+    /// Time at which each rank passed each structural marker, in
+    /// execution order (feeds per-iteration analysis).
+    pub markers: Vec<Vec<(ovlp_trace::record::Marker, Time)>>,
+    /// Aggregate network behaviour.
+    pub network: NetworkStats,
+    /// Discrete events processed (engine throughput metric).
+    pub events_processed: u64,
+}
+
+/// Aggregate network statistics of one replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NetworkStats {
+    /// Point-to-point transfers simulated (after collective
+    /// decomposition).
+    pub transfers: usize,
+    /// Transfers that used the intra-node (shared-memory) path.
+    pub intra_node: usize,
+    /// Transfers that crossed machines (WAN path).
+    pub inter_machine: usize,
+    /// Total bus·seconds consumed by inter-node transfers.
+    pub bus_seconds: f64,
+    /// Total time transfers spent queued for network resources.
+    pub queue_seconds: f64,
+}
+
+impl NetworkStats {
+    /// Mean number of buses simultaneously in use over the run.
+    pub fn mean_bus_concurrency(&self, runtime: Time) -> f64 {
+        let rt = runtime.as_secs();
+        if rt <= 0.0 {
+            0.0
+        } else {
+            self.bus_seconds / rt
+        }
+    }
+}
+
+impl SimResult {
+    /// Runtime in seconds.
+    pub fn runtime(&self) -> f64 {
+        self.runtime.as_secs()
+    }
+
+    /// Sum of all ranks' wait time (everything but compute), seconds.
+    pub fn total_wait(&self) -> f64 {
+        self.totals
+            .iter()
+            .map(|t| t.total_wait().as_secs())
+            .sum()
+    }
+
+    /// Parallel efficiency: compute time over total rank-time.
+    pub fn efficiency(&self) -> f64 {
+        let nranks = self.totals.len().max(1) as f64;
+        let denom = self.runtime.as_secs() * nranks;
+        if denom == 0.0 {
+            return 1.0;
+        }
+        let compute: f64 = self.totals.iter().map(|t| t.compute.as_secs()).sum();
+        compute / denom
+    }
+}
+
+/// Simulate `trace` on `platform`.
+///
+/// Collective records are decomposed into point-to-point transfers
+/// first (per the platform's [`CollectiveAlgo`](crate::CollectiveAlgo)).
+pub fn simulate(trace: &Trace, platform: &Platform) -> Result<SimResult, SimError> {
+    platform.check().map_err(SimError::BadPlatform)?;
+    let has_collectives = trace.ranks.iter().any(|rt| {
+        rt.records
+            .iter()
+            .any(|r| matches!(r, Record::Collective { .. }))
+    });
+    let expanded;
+    let trace = if has_collectives {
+        expanded = expand_collectives(trace, platform.collective);
+        &expanded
+    } else {
+        trace
+    };
+    Engine::new(trace, platform).run()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum MsgState {
+    /// Waiting for resources (and, if rendezvous, for a match).
+    Pending,
+    /// Resources held; arrives at `t1`.
+    Flying { t1: Time },
+    /// Delivered at `t1`.
+    Done { t1: Time },
+}
+
+/// Which level of the platform hierarchy a transfer crosses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Link {
+    /// Same node: shared-memory model, no network resources.
+    Intra,
+    /// Same machine: the network model (buses + ports).
+    Net,
+    /// Different machines: the WAN model (WAN links + ports).
+    Wan,
+}
+
+#[derive(Debug)]
+struct Msg {
+    src: usize,
+    dst: usize,
+    tag: Tag,
+    bytes: Bytes,
+    mode: SendMode,
+    t_send: Time,
+    t_start: Time,
+    link: Link,
+    state: MsgState,
+    /// Index of the paired receive request, once matched.
+    paired: Option<usize>,
+    /// Rank blocked on this message (blocking send, or wait on isend).
+    waiter: Option<usize>,
+    waiter_since: Time,
+}
+
+#[derive(Debug)]
+struct RecvReq {
+    rank: usize,
+    /// Completion time (message arrival), once known.
+    complete: Option<Time>,
+    /// When the receiver's recv/wait actually returned.
+    consumed_at: Option<Time>,
+    msg: Option<usize>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ReqHandle {
+    Recv(usize),
+    Send(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Blocked {
+    /// Runnable or running.
+    None,
+    /// A Resume event is already scheduled.
+    ResumeScheduled,
+    /// Blocked on a receive request with unknown completion time.
+    OnReq { req: usize, since: Time, state: State },
+    /// Blocked on a message (send side) with unknown grant time.
+    OnMsg { since: Time, state: State },
+    /// Trace fully interpreted.
+    Finished,
+}
+
+struct RankState {
+    pc: usize,
+    clock: Time,
+    blocked: Blocked,
+    reqs: HashMap<ReqId, ReqHandle>,
+    timeline: Timeline,
+    markers: Vec<(ovlp_trace::record::Marker, Time)>,
+}
+
+#[derive(Default)]
+struct Channel {
+    unmatched_msgs: VecDeque<usize>,
+    unmatched_reqs: VecDeque<usize>,
+}
+
+struct Engine<'a> {
+    trace: &'a Trace,
+    platform: &'a Platform,
+    queue: EventQueue,
+    ranks: Vec<RankState>,
+    msgs: Vec<Msg>,
+    recv_reqs: Vec<RecvReq>,
+    channels: HashMap<(usize, usize, u32), Channel>,
+    pending: VecDeque<usize>,
+    resources: Resources,
+    /// Tag each receive request was posted with (for state labeling).
+    recv_req_tags: Vec<Tag>,
+}
+
+enum Flow {
+    Continue,
+    Yield,
+}
+
+impl<'a> Engine<'a> {
+    fn new(trace: &'a Trace, platform: &'a Platform) -> Engine<'a> {
+        let n = trace.nranks();
+        Engine {
+            trace,
+            platform,
+            queue: EventQueue::new(),
+            ranks: (0..n)
+                .map(|_| RankState {
+                    pc: 0,
+                    clock: Time::ZERO,
+                    blocked: Blocked::None,
+                    reqs: HashMap::new(),
+                    timeline: Timeline::default(),
+                    markers: Vec::new(),
+                })
+                .collect(),
+            msgs: Vec::new(),
+            recv_reqs: Vec::new(),
+            channels: HashMap::new(),
+            pending: VecDeque::new(),
+            recv_req_tags: Vec::new(),
+            resources: Resources::with_wan(
+                n,
+                platform.buses,
+                platform.input_ports,
+                platform.output_ports,
+                platform.wan_links,
+            ),
+        }
+    }
+
+    fn run(mut self) -> Result<SimResult, SimError> {
+        for r in 0..self.ranks.len() {
+            self.queue.push(Time::ZERO, Event::Resume { rank: r });
+            self.ranks[r].blocked = Blocked::ResumeScheduled;
+        }
+        while let Some((t, ev)) = self.queue.pop() {
+            match ev {
+                Event::Resume { rank } => self.step(rank, t)?,
+                Event::TransferDone { msg } => self.on_transfer_done(msg, t),
+            }
+        }
+        let stuck: Vec<(usize, String)> = self
+            .ranks
+            .iter()
+            .enumerate()
+            .filter(|(_, rs)| rs.blocked != Blocked::Finished)
+            .map(|(r, rs)| {
+                (
+                    r,
+                    format!(
+                        "pc={} of {} ({:?})",
+                        rs.pc,
+                        self.trace.ranks[r].records.len(),
+                        rs.blocked
+                    ),
+                )
+            })
+            .collect();
+        if !stuck.is_empty() {
+            return Err(SimError::Deadlock { stuck });
+        }
+        let runtime = self
+            .ranks
+            .iter()
+            .map(|rs| rs.clock)
+            .max()
+            .unwrap_or(Time::ZERO);
+        let totals = self
+            .ranks
+            .iter()
+            .map(|rs| StateTotals::of(&rs.timeline))
+            .collect();
+        let mut network = NetworkStats {
+            transfers: self.msgs.len(),
+            ..NetworkStats::default()
+        };
+        for m in &self.msgs {
+            match m.link {
+                Link::Intra => network.intra_node += 1,
+                Link::Wan => network.inter_machine += 1,
+                Link::Net => {
+                    if let MsgState::Done { t1 } | MsgState::Flying { t1 } = m.state {
+                        network.bus_seconds += (t1 - m.t_start).as_secs();
+                    }
+                }
+            }
+            network.queue_seconds += (m.t_start - m.t_send).as_secs();
+        }
+        let comms = self
+            .msgs
+            .iter()
+            .map(|m| {
+                let t_arrive = match m.state {
+                    MsgState::Done { t1 } | MsgState::Flying { t1 } => t1,
+                    MsgState::Pending => m.t_send, // never started (unmatched rendezvous)
+                };
+                let t_consume = m
+                    .paired
+                    .and_then(|r| self.recv_reqs[r].consumed_at)
+                    .unwrap_or(t_arrive)
+                    .max(t_arrive);
+                CommRecord {
+                    src: Rank(m.src as u32),
+                    dst: Rank(m.dst as u32),
+                    tag: m.tag,
+                    bytes: m.bytes,
+                    t_send: m.t_send,
+                    t_start: m.t_start,
+                    t_arrive,
+                    t_consume,
+                }
+            })
+            .collect();
+        let (timelines, markers) = self
+            .ranks
+            .into_iter()
+            .map(|rs| (rs.timeline, rs.markers))
+            .unzip();
+        Ok(SimResult {
+            runtime,
+            timelines,
+            comms,
+            totals,
+            markers,
+            network,
+            events_processed: self.queue.processed,
+        })
+    }
+
+    /// Wait-state label for a tag (collective-internal traffic is
+    /// rendered as collective time).
+    fn wait_state(tag: Tag, base: State) -> State {
+        if tag.0 & Tag::COLL_BIT != 0 {
+            State::Collective
+        } else {
+            base
+        }
+    }
+
+    fn step(&mut self, rank: usize, now: Time) -> Result<(), SimError> {
+        debug_assert!(self.ranks[rank].clock <= now + Time::micros(1e-6));
+        self.ranks[rank].clock = now;
+        self.ranks[rank].blocked = Blocked::None;
+        loop {
+            let pc = self.ranks[rank].pc;
+            let Some(rec) = self.trace.ranks[rank].records.get(pc).copied() else {
+                self.ranks[rank].blocked = Blocked::Finished;
+                return Ok(());
+            };
+            let clock = self.ranks[rank].clock;
+            match rec {
+                Record::Marker { marker } => {
+                    self.ranks[rank].markers.push((marker, clock));
+                    self.ranks[rank].pc += 1;
+                }
+                Record::Compute { instr } => {
+                    let dt = self.platform.compute_time_for(rank, instr);
+                    let end = clock + dt;
+                    self.ranks[rank].timeline.push(clock, end, State::Compute);
+                    self.ranks[rank].clock = end;
+                    self.ranks[rank].pc += 1;
+                    self.queue.push(end, Event::Resume { rank });
+                    self.ranks[rank].blocked = Blocked::ResumeScheduled;
+                    return Ok(());
+                }
+                Record::IRecv {
+                    src, tag, req, ..
+                } => {
+                    let r = self.post_recv(rank, src.idx(), tag, clock);
+                    self.ranks[rank].reqs.insert(req, ReqHandle::Recv(r));
+                    self.ranks[rank].pc += 1;
+                }
+                Record::ISend {
+                    dst,
+                    tag,
+                    bytes,
+                    mode,
+                    req,
+                    ..
+                } => {
+                    let m = self.start_send(rank, dst.idx(), tag, bytes, mode, clock);
+                    self.ranks[rank].reqs.insert(req, ReqHandle::Send(m));
+                    self.ranks[rank].pc += 1;
+                }
+                Record::Send {
+                    dst,
+                    tag,
+                    bytes,
+                    mode,
+                    ..
+                } => {
+                    let m = self.start_send(rank, dst.idx(), tag, bytes, mode, clock);
+                    self.ranks[rank].pc += 1;
+                    match self.wait_on_send(rank, m, clock) {
+                        Flow::Continue => {}
+                        Flow::Yield => return Ok(()),
+                    }
+                }
+                Record::Recv { src, tag, .. } => {
+                    let r = self.post_recv(rank, src.idx(), tag, clock);
+                    self.ranks[rank].pc += 1;
+                    match self.wait_on_recv(rank, r, tag, clock) {
+                        Flow::Continue => {}
+                        Flow::Yield => return Ok(()),
+                    }
+                }
+                Record::Wait { req } => {
+                    let handle = self
+                        .ranks[rank]
+                        .reqs
+                        .remove(&req)
+                        .ok_or(SimError::UnknownRequest { rank, req })?;
+                    self.ranks[rank].pc += 1;
+                    let flow = match handle {
+                        ReqHandle::Recv(r) => {
+                            let tag = self.msgs_tag_of_req(r);
+                            self.wait_on_recv(rank, r, tag, clock)
+                        }
+                        ReqHandle::Send(m) => self.wait_on_send(rank, m, clock),
+                    };
+                    match flow {
+                        Flow::Continue => {}
+                        Flow::Yield => return Ok(()),
+                    }
+                }
+                Record::Collective { .. } => {
+                    unreachable!("collectives must be expanded before replay")
+                }
+            }
+        }
+    }
+
+    /// Tag a receive request was posted with (for state labeling).
+    fn msgs_tag_of_req(&self, r: usize) -> Tag {
+        self.recv_req_tags[r]
+    }
+
+    fn post_recv(&mut self, rank: usize, src: usize, tag: Tag, now: Time) -> usize {
+        let idx = self.recv_reqs.len();
+        self.recv_reqs.push(RecvReq {
+            rank,
+            complete: None,
+            consumed_at: None,
+            msg: None,
+        });
+        self.recv_req_tags.push(tag);
+        let ch = self.channels.entry((src, rank, tag.0)).or_default();
+        if let Some(mid) = ch.unmatched_msgs.pop_front() {
+            self.pair(mid, idx);
+            // a rendezvous message may have been waiting for this match
+            if self.msgs[mid].mode == SendMode::Rendezvous
+                && self.msgs[mid].state == MsgState::Pending
+            {
+                self.try_start_all(now);
+            }
+        } else {
+            ch.unmatched_reqs.push_back(idx);
+        }
+        idx
+    }
+
+    fn start_send(
+        &mut self,
+        src: usize,
+        dst: usize,
+        tag: Tag,
+        bytes: Bytes,
+        mode: SendMode,
+        now: Time,
+    ) -> usize {
+        let mode = self.platform.effective_mode(mode, bytes);
+        let link = if self.platform.node_of(src) == self.platform.node_of(dst) {
+            Link::Intra
+        } else if self.platform.machine_of(src) == self.platform.machine_of(dst) {
+            Link::Net
+        } else {
+            Link::Wan
+        };
+        let mid = self.msgs.len();
+        self.msgs.push(Msg {
+            src,
+            dst,
+            tag,
+            bytes,
+            mode,
+            t_send: now,
+            t_start: now,
+            link,
+            state: MsgState::Pending,
+            paired: None,
+            waiter: None,
+            waiter_since: now,
+        });
+        let ch = self.channels.entry((src, dst, tag.0)).or_default();
+        if let Some(req) = ch.unmatched_reqs.pop_front() {
+            self.pair(mid, req);
+        } else {
+            ch.unmatched_msgs.push_back(mid);
+        }
+        self.pending.push_back(mid);
+        self.try_start_all(now);
+        mid
+    }
+
+    fn pair(&mut self, mid: usize, req: usize) {
+        debug_assert!(self.msgs[mid].paired.is_none());
+        debug_assert!(self.recv_reqs[req].msg.is_none());
+        self.msgs[mid].paired = Some(req);
+        self.recv_reqs[req].msg = Some(mid);
+        if let MsgState::Done { t1 } | MsgState::Flying { t1 } = self.msgs[mid].state {
+            // arrival time already known
+            self.complete_recv_req(req, t1);
+        }
+        // rendezvous messages may have been waiting for this match
+        // (grant attempted by the caller via try_start_all where needed)
+    }
+
+    /// Record a receive request's completion time and unblock its owner
+    /// if currently parked on it.
+    fn complete_recv_req(&mut self, req: usize, t1: Time) {
+        self.recv_reqs[req].complete = Some(t1);
+        let owner = self.recv_reqs[req].rank;
+        if let Blocked::OnReq { req: r, since, state } = self.ranks[owner].blocked {
+            if r == req {
+                let resume = t1.max(since);
+                self.ranks[owner].timeline.push(since, resume, state);
+                self.recv_reqs[req].consumed_at = Some(resume);
+                self.queue.push(resume, Event::Resume { rank: owner });
+                self.ranks[owner].blocked = Blocked::ResumeScheduled;
+            }
+        }
+    }
+
+    /// First-fit scan of the pending queue, granting resources to every
+    /// startable transfer at time `now`.
+    fn try_start_all(&mut self, now: Time) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            let mid = self.pending[i];
+            let (src, dst, mode, paired, bytes, link) = {
+                let m = &self.msgs[mid];
+                (m.src, m.dst, m.mode, m.paired, m.bytes, m.link)
+            };
+            if mode == SendMode::Rendezvous && paired.is_none() {
+                i += 1;
+                continue;
+            }
+            let granted = match link {
+                Link::Intra => true,
+                Link::Net => self.resources.try_acquire(src, dst),
+                Link::Wan => self.resources.try_acquire_wan(src, dst),
+            };
+            if !granted {
+                i += 1;
+                continue;
+            }
+            self.pending.remove(i);
+            let t1 = now
+                + match link {
+                    Link::Intra => self.platform.intra_transfer_time(bytes),
+                    Link::Net => self.platform.transfer_time(bytes),
+                    Link::Wan => self.platform.wan_transfer_time(bytes),
+                };
+            self.msgs[mid].t_start = now;
+            self.msgs[mid].state = MsgState::Flying { t1 };
+            self.queue.push(t1, Event::TransferDone { msg: mid });
+            // a sender parked on this message can now compute its
+            // release time
+            if let Some(w) = self.msgs[mid].waiter {
+                let resume = match mode {
+                    SendMode::Eager => now + self.injection_latency(link),
+                    SendMode::Rendezvous => t1,
+                };
+                let since = self.msgs[mid].waiter_since;
+                if let Blocked::OnMsg { state, .. } = self.ranks[w].blocked {
+                    self.ranks[w].timeline.push(since, resume, state);
+                    self.queue.push(resume, Event::Resume { rank: w });
+                    self.ranks[w].blocked = Blocked::ResumeScheduled;
+                    self.msgs[mid].waiter = None;
+                }
+            }
+        }
+    }
+
+    /// Sender-side injection latency per link class (eager sends).
+    fn injection_latency(&self, link: Link) -> Time {
+        match link {
+            Link::Intra => Time::micros(self.platform.intra_latency_us),
+            Link::Net => self.platform.latency(),
+            Link::Wan => Time::micros(self.platform.wan_latency_us),
+        }
+    }
+
+    fn on_transfer_done(&mut self, mid: usize, t1: Time) {
+        let (src, dst) = (self.msgs[mid].src, self.msgs[mid].dst);
+        self.msgs[mid].state = MsgState::Done { t1 };
+        match self.msgs[mid].link {
+            Link::Intra => {}
+            Link::Net => self.resources.release(src, dst),
+            Link::Wan => self.resources.release_wan(src, dst),
+        }
+        self.try_start_all(t1);
+        if let Some(req) = self.msgs[mid].paired {
+            if self.recv_reqs[req].complete.is_none() {
+                self.complete_recv_req(req, t1);
+            }
+        }
+    }
+
+    /// Receiver-side wait (blocking recv, or wait on an irecv request).
+    fn wait_on_recv(&mut self, rank: usize, req: usize, tag: Tag, clock: Time) -> Flow {
+        let state = Self::wait_state(tag, State::WaitRecv);
+        // arrival time, if already determined
+        let known = self.recv_reqs[req].complete.or_else(|| {
+            self.recv_reqs[req].msg.and_then(|m| match self.msgs[m].state {
+                MsgState::Flying { t1 } | MsgState::Done { t1 } => Some(t1),
+                MsgState::Pending => None,
+            })
+        });
+        match known {
+            Some(tc) if tc <= clock => {
+                self.recv_reqs[req].consumed_at = Some(clock);
+                Flow::Continue
+            }
+            Some(tc) => {
+                self.ranks[rank].timeline.push(clock, tc, state);
+                self.recv_reqs[req].consumed_at = Some(tc);
+                self.queue.push(tc, Event::Resume { rank });
+                self.ranks[rank].blocked = Blocked::ResumeScheduled;
+                Flow::Yield
+            }
+            None => {
+                self.ranks[rank].blocked = Blocked::OnReq {
+                    req,
+                    since: clock,
+                    state,
+                };
+                Flow::Yield
+            }
+        }
+    }
+
+    /// Sender-side wait (blocking send, or wait on an isend request).
+    fn wait_on_send(&mut self, rank: usize, mid: usize, clock: Time) -> Flow {
+        let state = Self::wait_state(self.msgs[mid].tag, State::WaitSend);
+        let release = match (self.msgs[mid].state, self.msgs[mid].mode) {
+            (MsgState::Pending, _) => None,
+            (MsgState::Flying { .. } | MsgState::Done { .. }, SendMode::Eager) => {
+                Some(self.msgs[mid].t_start + self.injection_latency(self.msgs[mid].link))
+            }
+            (MsgState::Flying { t1 } | MsgState::Done { t1 }, SendMode::Rendezvous) => Some(t1),
+        };
+        match release {
+            Some(tc) if tc <= clock => Flow::Continue,
+            Some(tc) => {
+                self.ranks[rank].timeline.push(clock, tc, state);
+                self.queue.push(tc, Event::Resume { rank });
+                self.ranks[rank].blocked = Blocked::ResumeScheduled;
+                Flow::Yield
+            }
+            None => {
+                self.msgs[mid].waiter = Some(rank);
+                self.msgs[mid].waiter_since = clock;
+                self.ranks[rank].blocked = Blocked::OnMsg {
+                    since: clock,
+                    state,
+                };
+                Flow::Yield
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlp_trace::{Instructions, TransferId};
+
+    const EPS: f64 = 1e-9;
+
+    fn plat() -> Platform {
+        // round numbers: 1000 MIPS, 100 MB/s, 10 us latency
+        Platform {
+            mips: 1000.0,
+            bandwidth_mbs: 100.0,
+            latency_us: 10.0,
+            buses: 0,
+            input_ports: 1,
+            output_ports: 1,
+            collective: crate::platform::CollectiveAlgo::Binomial,
+            ..Platform::default()
+        }
+    }
+
+    fn tid(r: u32, s: u32) -> TransferId {
+        TransferId::new(Rank(r), s)
+    }
+
+    fn compute(instr: u64) -> Record {
+        Record::Compute {
+            instr: Instructions(instr),
+        }
+    }
+
+    fn send(dst: u32, tag: u32, bytes: u64, s: u32) -> Record {
+        Record::Send {
+            dst: Rank(dst),
+            tag: Tag::user(tag),
+            bytes: Bytes(bytes),
+            mode: SendMode::Eager,
+            transfer: tid(99, s),
+        }
+    }
+
+    fn recv(src: u32, tag: u32, bytes: u64, s: u32) -> Record {
+        Record::Recv {
+            src: Rank(src),
+            tag: Tag::user(tag),
+            bytes: Bytes(bytes),
+            transfer: tid(98, s),
+        }
+    }
+
+    /// Single message on an idle network: receiver finishes exactly at
+    /// latency + size/BW (sender sends at t=0, receiver posted at t=0).
+    #[test]
+    fn single_message_linear_model() {
+        let mut t = Trace::new(2);
+        t.rank_mut(Rank(0)).push(send(1, 0, 1_000_000, 0)); // 1 MB
+        t.rank_mut(Rank(1)).push(recv(0, 0, 1_000_000, 0));
+        let res = simulate(&t, &plat()).unwrap();
+        // wire = 1e6 / 100e6 = 10 ms; latency 10 us
+        let expect = 0.01 + 10e-6;
+        assert!((res.runtime() - expect).abs() < EPS, "{}", res.runtime());
+        // receiver waited the whole transfer
+        assert!(
+            (res.totals[1].wait_recv.as_secs() - expect).abs() < EPS,
+            "{:?}",
+            res.totals[1]
+        );
+        // sender released after latency only (eager)
+        assert!((res.totals[0].wait_send.as_secs() - 10e-6).abs() < EPS);
+        // comm record fields agree
+        let c = &res.comms[0];
+        assert_eq!(c.t_send, Time::ZERO);
+        assert_eq!(c.t_start, Time::ZERO);
+        assert!((c.t_arrive.as_secs() - expect).abs() < EPS);
+    }
+
+    /// Computation bursts scale by MIPS.
+    #[test]
+    fn compute_only() {
+        let mut t = Trace::new(1);
+        t.rank_mut(Rank(0)).push(compute(5_000_000)); // 5 Minstr @ 1000 MIPS = 5 ms
+        let res = simulate(&t, &plat()).unwrap();
+        assert!((res.runtime() - 0.005).abs() < EPS);
+        assert!((res.totals[0].compute.as_secs() - 0.005).abs() < EPS);
+        assert!((res.efficiency() - 1.0).abs() < EPS);
+    }
+
+    /// Ping-pong: runtime = 2 * (latency + size/BW) when both sides are
+    /// otherwise idle.
+    #[test]
+    fn ping_pong() {
+        let mut t = Trace::new(2);
+        let r0 = t.rank_mut(Rank(0));
+        r0.push(send(1, 0, 100_000, 0));
+        r0.push(recv(1, 1, 100_000, 1));
+        let r1 = t.rank_mut(Rank(1));
+        r1.push(recv(0, 0, 100_000, 0));
+        r1.push(send(0, 1, 100_000, 1));
+        let res = simulate(&t, &plat()).unwrap();
+        let one = 10e-6 + 1e5 / 100e6;
+        assert!((res.runtime() - 2.0 * one).abs() < EPS, "{}", res.runtime());
+    }
+
+    /// k simultaneous messages over b buses serialize into ceil(k/b)
+    /// wire rounds. Use distinct (src,dst) pairs so ports don't bind.
+    #[test]
+    fn bus_contention_serializes() {
+        let k = 4u32;
+        let bytes = 1_000_000u64; // 10 ms each
+        for buses in [1u32, 2, 4] {
+            let mut t = Trace::new(2 * k as usize);
+            for i in 0..k {
+                t.rank_mut(Rank(i)).push(send(k + i, 0, bytes, 0));
+                t.rank_mut(Rank(k + i)).push(recv(i, 0, bytes, 0));
+            }
+            let p = Platform {
+                buses,
+                ..plat()
+            };
+            let res = simulate(&t, &p).unwrap();
+            let rounds = k.div_ceil(buses);
+            let expect = rounds as f64 * 0.01 + 10e-6 * 1.0; // latency overlaps per round start... 
+            // each round's transfers start when a bus frees: round r starts at r*(10ms+10us)?
+            // transfer occupies resources for latency+wire, so rounds serialize fully:
+            let expect_full = rounds as f64 * (0.01 + 10e-6);
+            let _ = expect;
+            assert!(
+                (res.runtime() - expect_full).abs() < 1e-6,
+                "buses={buses}: got {} want {}",
+                res.runtime(),
+                expect_full
+            );
+        }
+    }
+
+    /// A single output port serializes two sends from the same rank.
+    #[test]
+    fn output_port_serializes() {
+        let mut t = Trace::new(3);
+        let r0 = t.rank_mut(Rank(0));
+        r0.push(Record::ISend {
+            dst: Rank(1),
+            tag: Tag::user(0),
+            bytes: Bytes(1_000_000),
+            mode: SendMode::Eager,
+            req: ovlp_trace::ReqId(0),
+            transfer: tid(0, 0),
+        });
+        r0.push(Record::ISend {
+            dst: Rank(2),
+            tag: Tag::user(0),
+            bytes: Bytes(1_000_000),
+            mode: SendMode::Eager,
+            req: ovlp_trace::ReqId(1),
+            transfer: tid(0, 1),
+        });
+        t.rank_mut(Rank(1)).push(recv(0, 0, 1_000_000, 0));
+        t.rank_mut(Rank(2)).push(recv(0, 0, 1_000_000, 0));
+        let res = simulate(&t, &plat()).unwrap();
+        let one = 0.01 + 10e-6;
+        assert!((res.runtime() - 2.0 * one).abs() < EPS, "{}", res.runtime());
+
+        // with 2 output ports they run concurrently
+        let p = Platform {
+            output_ports: 2,
+            ..plat()
+        };
+        let res2 = simulate(&t, &p).unwrap();
+        assert!((res2.runtime() - one).abs() < EPS, "{}", res2.runtime());
+    }
+
+    /// IRecv + overlap: receiver computes while the message flies; the
+    /// wait costs nothing if compute covers the transfer.
+    #[test]
+    fn irecv_overlaps_compute() {
+        let mut t = Trace::new(2);
+        t.rank_mut(Rank(0)).push(send(1, 0, 1_000_000, 0)); // arrives ~10ms
+        let r1 = t.rank_mut(Rank(1));
+        r1.push(Record::IRecv {
+            src: Rank(0),
+            tag: Tag::user(0),
+            bytes: Bytes(1_000_000),
+            req: ovlp_trace::ReqId(0),
+            transfer: tid(1, 0),
+        });
+        r1.push(compute(20_000_000)); // 20 ms > transfer
+        r1.push(Record::Wait {
+            req: ovlp_trace::ReqId(0),
+        });
+        let res = simulate(&t, &plat()).unwrap();
+        assert!((res.runtime() - 0.02).abs() < EPS, "{}", res.runtime());
+        assert_eq!(res.totals[1].wait_recv, Time::ZERO);
+    }
+
+    /// Blocking recv with no overlap pays the full transfer.
+    #[test]
+    fn blocking_recv_pays_transfer() {
+        let mut t = Trace::new(2);
+        t.rank_mut(Rank(0)).push(send(1, 0, 1_000_000, 0));
+        let r1 = t.rank_mut(Rank(1));
+        r1.push(recv(0, 0, 1_000_000, 0));
+        r1.push(compute(20_000_000));
+        let res = simulate(&t, &plat()).unwrap();
+        let expect = 0.01 + 10e-6 + 0.02;
+        assert!((res.runtime() - expect).abs() < EPS, "{}", res.runtime());
+    }
+
+    /// Rendezvous sender blocks until delivery; transfer cannot start
+    /// before the receive is posted.
+    #[test]
+    fn rendezvous_waits_for_match() {
+        let mut t = Trace::new(2);
+        t.rank_mut(Rank(0)).push(Record::Send {
+            dst: Rank(1),
+            tag: Tag::user(0),
+            bytes: Bytes(1_000_000),
+            mode: SendMode::Rendezvous,
+            transfer: tid(0, 0),
+        });
+        let r1 = t.rank_mut(Rank(1));
+        r1.push(compute(50_000_000)); // 50 ms before posting recv
+        r1.push(recv(0, 0, 1_000_000, 0));
+        let res = simulate(&t, &plat()).unwrap();
+        let expect = 0.05 + 0.01 + 10e-6;
+        assert!((res.runtime() - expect).abs() < EPS, "{}", res.runtime());
+        // sender was blocked the whole time
+        assert!((res.totals[0].wait_send.as_secs() - expect).abs() < EPS);
+    }
+
+    /// Eager message sent before recv posted: arrival buffered, recv
+    /// returns immediately when late-posted.
+    #[test]
+    fn eager_early_arrival_buffers() {
+        let mut t = Trace::new(2);
+        t.rank_mut(Rank(0)).push(send(1, 0, 1000, 0)); // tiny, arrives fast
+        let r1 = t.rank_mut(Rank(1));
+        r1.push(compute(50_000_000)); // 50 ms
+        r1.push(recv(0, 0, 1000, 0));
+        let res = simulate(&t, &plat()).unwrap();
+        assert!((res.runtime() - 0.05).abs() < EPS, "{}", res.runtime());
+        assert_eq!(res.totals[1].wait_recv, Time::ZERO);
+    }
+
+    /// FIFO matching: two same-tag messages of different sizes must
+    /// match their receives in order.
+    #[test]
+    fn fifo_matching_preserves_order() {
+        let mut t = Trace::new(2);
+        let r0 = t.rank_mut(Rank(0));
+        r0.push(send(1, 0, 1_000_000, 0)); // big first
+        r0.push(send(1, 0, 1000, 1)); // small second
+        let r1 = t.rank_mut(Rank(1));
+        r1.push(recv(0, 0, 1_000_000, 0));
+        r1.push(recv(0, 0, 1000, 1));
+        let res = simulate(&t, &plat()).unwrap();
+        // first recv completes after big message; second after small
+        // (serialized by the sender's single output port)
+        let big = 0.01 + 10e-6;
+        let small = 1e3 / 100e6 + 10e-6;
+        assert!((res.runtime() - (big + small)).abs() < EPS);
+        assert!(res.comms[0].t_arrive < res.comms[1].t_arrive);
+    }
+
+    /// Deadlock (recv with no sender) is detected, not an infinite loop.
+    #[test]
+    fn deadlock_detected() {
+        let mut t = Trace::new(2);
+        t.rank_mut(Rank(0)).push(recv(1, 0, 100, 0));
+        let err = simulate(&t, &plat()).unwrap_err();
+        match err {
+            SimError::Deadlock { stuck } => {
+                assert_eq!(stuck.len(), 1);
+                assert_eq!(stuck[0].0, 0);
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    /// Wait on an unknown request is an error.
+    #[test]
+    fn unknown_request_detected() {
+        let mut t = Trace::new(1);
+        t.rank_mut(Rank(0)).push(Record::Wait {
+            req: ovlp_trace::ReqId(42),
+        });
+        assert!(matches!(
+            simulate(&t, &plat()),
+            Err(SimError::UnknownRequest { .. })
+        ));
+    }
+
+    /// Collectives are expanded transparently: a barrier synchronizes
+    /// skewed ranks.
+    #[test]
+    fn barrier_synchronizes() {
+        let mut t = Trace::new(4);
+        for r in 0..4u32 {
+            let rt = t.rank_mut(Rank(r));
+            rt.push(compute((r as u64 + 1) * 1_000_000)); // 1..4 ms
+            rt.push(Record::Collective {
+                op: ovlp_trace::CollOp::Barrier,
+                bytes_in: Bytes::ZERO,
+                bytes_out: Bytes::ZERO,
+                root: Rank(0),
+                transfer: tid(r, 0),
+            });
+            rt.push(compute(1_000_000));
+        }
+        let res = simulate(&t, &plat()).unwrap();
+        // all ranks leave the barrier after the slowest (4 ms) plus
+        // a few latencies; then 1 ms of compute
+        assert!(res.runtime() > 0.005);
+        assert!(res.runtime() < 0.0052, "{}", res.runtime());
+        // collective time is labeled as such
+        assert!(res.totals[0].collective > Time::ZERO);
+    }
+
+    /// Determinism: identical inputs give identical outputs.
+    #[test]
+    fn deterministic() {
+        let mut t = Trace::new(4);
+        for r in 0..4u32 {
+            let rt = t.rank_mut(Rank(r));
+            rt.push(compute(1_000_000 * (r as u64 + 1)));
+            rt.push(send((r + 1) % 4, 0, 10_000, 0));
+            rt.push(recv((r + 3) % 4, 0, 10_000, 1));
+            rt.push(compute(500_000));
+        }
+        let p = Platform {
+            buses: 2,
+            ..plat()
+        };
+        let a = simulate(&t, &p).unwrap();
+        let b = simulate(&t, &p).unwrap();
+        assert_eq!(a.runtime, b.runtime);
+        assert_eq!(a.timelines, b.timelines);
+        assert_eq!(a.events_processed, b.events_processed);
+    }
+
+    /// More bandwidth never hurts.
+    #[test]
+    fn runtime_monotone_in_bandwidth() {
+        let mut t = Trace::new(2);
+        let r0 = t.rank_mut(Rank(0));
+        r0.push(compute(1_000_000));
+        r0.push(send(1, 0, 500_000, 0));
+        let r1 = t.rank_mut(Rank(1));
+        r1.push(recv(0, 0, 500_000, 0));
+        r1.push(compute(1_000_000));
+        let mut last = f64::INFINITY;
+        for bw in [10.0, 50.0, 100.0, 1000.0, f64::INFINITY] {
+            let res = simulate(&t, &plat().with_bandwidth(bw)).unwrap();
+            assert!(
+                res.runtime() <= last + EPS,
+                "bw={bw}: {} > {last}",
+                res.runtime()
+            );
+            last = res.runtime();
+        }
+    }
+
+    /// Marker records are free.
+    #[test]
+    fn markers_cost_nothing() {
+        let mut t = Trace::new(1);
+        let rt = t.rank_mut(Rank(0));
+        rt.push(Record::Marker {
+            marker: ovlp_trace::record::Marker::IterBegin(0),
+        });
+        rt.push(compute(1_000_000));
+        rt.push(Record::Marker {
+            marker: ovlp_trace::record::Marker::IterEnd(0),
+        });
+        let res = simulate(&t, &plat()).unwrap();
+        assert!((res.runtime() - 0.001).abs() < EPS);
+    }
+
+    /// Empty trace simulates to zero time.
+    #[test]
+    fn empty_trace() {
+        let res = simulate(&Trace::new(3), &plat()).unwrap();
+        assert_eq!(res.runtime, Time::ZERO);
+        assert_eq!(res.comms.len(), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Network resource accounting: global buses and per-node ports.
+//!
+//! Dimemas bounds network concurrency two ways: a global bus count (how
+//! many messages may be in flight anywhere in the network — the knob
+//! Table I calibrates per application) and per-node input/output port
+//! counts (each processor's injection/extraction concurrency). A
+//! transfer must hold one unit of all three (sender output port,
+//! receiver input port, one bus) for its whole duration.
+
+/// Resource pool for one simulation.
+#[derive(Debug, Clone)]
+pub struct Resources {
+    bus_cap: u32,
+    bus_used: u32,
+    out_cap: u32,
+    in_cap: u32,
+    out_used: Vec<u32>,
+    in_used: Vec<u32>,
+    wan_cap: u32,
+    wan_used: u32,
+}
+
+impl Resources {
+    /// `buses == 0` means unlimited buses.
+    pub fn new(nranks: usize, buses: u32, input_ports: u32, output_ports: u32) -> Resources {
+        Resources::with_wan(nranks, buses, input_ports, output_ports, 0)
+    }
+
+    /// Pool with an inter-machine link limit (`wan_links == 0` means
+    /// unlimited).
+    pub fn with_wan(
+        nranks: usize,
+        buses: u32,
+        input_ports: u32,
+        output_ports: u32,
+        wan_links: u32,
+    ) -> Resources {
+        assert!(input_ports > 0 && output_ports > 0, "ports must be >= 1");
+        Resources {
+            bus_cap: buses,
+            bus_used: 0,
+            out_cap: output_ports,
+            in_cap: input_ports,
+            out_used: vec![0; nranks],
+            in_used: vec![0; nranks],
+            wan_cap: wan_links,
+            wan_used: 0,
+        }
+    }
+
+    /// Whether an inter-machine `src -> dst` transfer could start now
+    /// (ports + a WAN link; machine-local buses are not involved).
+    pub fn wan_available(&self, src: usize, dst: usize) -> bool {
+        let wan_ok = self.wan_cap == 0 || self.wan_used < self.wan_cap;
+        wan_ok && self.out_used[src] < self.out_cap && self.in_used[dst] < self.in_cap
+    }
+
+    /// Acquire (sender out port, receiver in port, one WAN link).
+    pub fn try_acquire_wan(&mut self, src: usize, dst: usize) -> bool {
+        if !self.wan_available(src, dst) {
+            return false;
+        }
+        self.wan_used += 1;
+        self.out_used[src] += 1;
+        self.in_used[dst] += 1;
+        true
+    }
+
+    /// Release the triple acquired by [`Resources::try_acquire_wan`].
+    pub fn release_wan(&mut self, src: usize, dst: usize) {
+        debug_assert!(self.wan_used > 0, "wan release underflow");
+        self.wan_used -= 1;
+        self.out_used[src] -= 1;
+        self.in_used[dst] -= 1;
+    }
+
+    /// Whether a `src -> dst` transfer could start right now.
+    pub fn available(&self, src: usize, dst: usize) -> bool {
+        let bus_ok = self.bus_cap == 0 || self.bus_used < self.bus_cap;
+        bus_ok && self.out_used[src] < self.out_cap && self.in_used[dst] < self.in_cap
+    }
+
+    /// Atomically acquire (sender out port, receiver in port, one bus).
+    /// Returns `false` (and acquires nothing) if any is exhausted.
+    pub fn try_acquire(&mut self, src: usize, dst: usize) -> bool {
+        if !self.available(src, dst) {
+            return false;
+        }
+        self.bus_used += 1;
+        self.out_used[src] += 1;
+        self.in_used[dst] += 1;
+        true
+    }
+
+    /// Release the triple acquired by [`Resources::try_acquire`].
+    pub fn release(&mut self, src: usize, dst: usize) {
+        debug_assert!(self.bus_used > 0, "bus release underflow");
+        debug_assert!(self.out_used[src] > 0, "out port release underflow");
+        debug_assert!(self.in_used[dst] > 0, "in port release underflow");
+        self.bus_used -= 1;
+        self.out_used[src] -= 1;
+        self.in_used[dst] -= 1;
+    }
+
+    /// Buses currently in use (for occupancy statistics).
+    pub fn buses_in_use(&self) -> u32 {
+        self.bus_used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_limit_enforced() {
+        let mut r = Resources::new(4, 2, 4, 4);
+        assert!(r.try_acquire(0, 1));
+        assert!(r.try_acquire(2, 3));
+        // third concurrent transfer exceeds the 2-bus limit
+        assert!(!r.try_acquire(1, 0));
+        r.release(0, 1);
+        assert!(r.try_acquire(1, 0));
+    }
+
+    #[test]
+    fn zero_buses_means_unlimited() {
+        let mut r = Resources::new(8, 0, 8, 8);
+        for i in 0..4 {
+            assert!(r.try_acquire(i, i + 4));
+        }
+        assert_eq!(r.buses_in_use(), 4);
+    }
+
+    #[test]
+    fn port_limits_enforced() {
+        let mut r = Resources::new(4, 0, 1, 1);
+        assert!(r.try_acquire(0, 1));
+        // node 0's single output port is busy
+        assert!(!r.try_acquire(0, 2));
+        // node 1's single input port is busy
+        assert!(!r.try_acquire(2, 1));
+        // unrelated pair is fine
+        assert!(r.try_acquire(2, 3));
+        r.release(0, 1);
+        assert!(r.try_acquire(0, 2));
+    }
+
+    #[test]
+    fn failed_acquire_acquires_nothing() {
+        let mut r = Resources::new(2, 1, 1, 1);
+        assert!(r.try_acquire(0, 1));
+        assert!(!r.try_acquire(1, 0)); // bus exhausted
+        r.release(0, 1);
+        // if the failed acquire had leaked anything this would fail
+        assert!(r.try_acquire(1, 0));
+        r.release(1, 0);
+        assert_eq!(r.buses_in_use(), 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Per-rank state timelines and physical communication records — the
+//! simulator's output, consumed by analysis and by the visualization
+//! layer (the framework's Paraver).
+
+use crate::time::Time;
+use ovlp_trace::{Bytes, Rank, Tag};
+
+/// What a rank is doing during an interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum State {
+    /// Running application code.
+    Compute,
+    /// Blocked in a receive or a wait on a receive request.
+    WaitRecv,
+    /// Blocked in a send (resource backpressure / injection latency /
+    /// rendezvous completion).
+    WaitSend,
+    /// Blocked inside a decomposed collective operation.
+    Collective,
+    /// Finished its trace while others still run.
+    Done,
+}
+
+impl State {
+    pub fn name(self) -> &'static str {
+        match self {
+            State::Compute => "compute",
+            State::WaitRecv => "wait-recv",
+            State::WaitSend => "wait-send",
+            State::Collective => "collective",
+            State::Done => "done",
+        }
+    }
+
+    /// Numeric code used by the Paraver export.
+    pub fn code(self) -> u32 {
+        match self {
+            State::Compute => 1,
+            State::WaitRecv => 2,
+            State::WaitSend => 3,
+            State::Collective => 4,
+            State::Done => 0,
+        }
+    }
+}
+
+/// One homogeneous interval in a rank's timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    pub start: Time,
+    pub end: Time,
+    pub state: State,
+}
+
+impl Interval {
+    pub fn duration(&self) -> Time {
+        self.end - self.start
+    }
+}
+
+/// A rank's full state timeline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    pub intervals: Vec<Interval>,
+}
+
+impl Timeline {
+    /// Append an interval; zero-length intervals are dropped and
+    /// adjacent same-state intervals merged.
+    pub fn push(&mut self, start: Time, end: Time, state: State) {
+        debug_assert!(end >= start, "timeline interval reversed");
+        if end <= start {
+            return;
+        }
+        if let Some(last) = self.intervals.last_mut() {
+            debug_assert!(
+                start >= last.end - Time::micros(1e-3),
+                "timeline overlap: {:?} then {:?}..{:?}",
+                last,
+                start,
+                end
+            );
+            if last.state == state && (start - last.end) <= Time::ZERO {
+                last.end = end;
+                return;
+            }
+        }
+        self.intervals.push(Interval { start, end, state });
+    }
+
+    /// Total time spent in `state`.
+    pub fn total_in(&self, state: State) -> Time {
+        self.intervals
+            .iter()
+            .filter(|i| i.state == state)
+            .map(|i| i.duration())
+            .sum()
+    }
+
+    /// End time of the last interval.
+    pub fn end(&self) -> Time {
+        self.intervals.last().map(|i| i.end).unwrap_or(Time::ZERO)
+    }
+
+    /// The state active at time `t`, if any interval covers it.
+    pub fn state_at(&self, t: Time) -> Option<State> {
+        let idx = self
+            .intervals
+            .partition_point(|i| i.end <= t);
+        self.intervals
+            .get(idx)
+            .filter(|i| i.start <= t)
+            .map(|i| i.state)
+    }
+}
+
+/// Aggregated per-state totals for one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StateTotals {
+    pub compute: Time,
+    pub wait_recv: Time,
+    pub wait_send: Time,
+    pub collective: Time,
+}
+
+impl StateTotals {
+    pub fn of(tl: &Timeline) -> StateTotals {
+        StateTotals {
+            compute: tl.total_in(State::Compute),
+            wait_recv: tl.total_in(State::WaitRecv),
+            wait_send: tl.total_in(State::WaitSend),
+            collective: tl.total_in(State::Collective),
+        }
+    }
+
+    /// All non-compute time.
+    pub fn total_wait(&self) -> Time {
+        self.wait_recv + self.wait_send + self.collective
+    }
+}
+
+/// One physical message transfer as simulated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommRecord {
+    pub src: Rank,
+    pub dst: Rank,
+    pub tag: Tag,
+    pub bytes: Bytes,
+    /// When the sender executed the send record (logical injection).
+    pub t_send: Time,
+    /// When the transfer physically started (resources granted).
+    pub t_start: Time,
+    /// When the last byte arrived at the receiver.
+    pub t_arrive: Time,
+    /// When the receiver actually consumed it (matching recv/wait
+    /// returned); `t_arrive` if it was consumed later than it arrived.
+    pub t_consume: Time,
+}
+
+impl CommRecord {
+    /// Time the message spent queued for network resources.
+    pub fn queue_delay(&self) -> Time {
+        self.t_start - self.t_send
+    }
+
+    /// The "synchronization line" length Paraver draws: send to consume.
+    pub fn span(&self) -> Time {
+        self.t_consume - self.t_send
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_merges_adjacent_same_state() {
+        let mut tl = Timeline::default();
+        tl.push(Time::secs(0.0), Time::secs(1.0), State::Compute);
+        tl.push(Time::secs(1.0), Time::secs(2.0), State::Compute);
+        tl.push(Time::secs(2.0), Time::secs(3.0), State::WaitRecv);
+        assert_eq!(tl.intervals.len(), 2);
+        assert!((tl.total_in(State::Compute).as_secs() - 2.0).abs() < 1e-12);
+        assert_eq!(tl.end(), Time::secs(3.0));
+    }
+
+    #[test]
+    fn push_drops_zero_length() {
+        let mut tl = Timeline::default();
+        tl.push(Time::secs(1.0), Time::secs(1.0), State::Compute);
+        assert!(tl.intervals.is_empty());
+    }
+
+    #[test]
+    fn state_at_lookup() {
+        let mut tl = Timeline::default();
+        tl.push(Time::secs(0.0), Time::secs(1.0), State::Compute);
+        tl.push(Time::secs(1.0), Time::secs(2.0), State::WaitRecv);
+        assert_eq!(tl.state_at(Time::secs(0.5)), Some(State::Compute));
+        assert_eq!(tl.state_at(Time::secs(1.5)), Some(State::WaitRecv));
+        assert_eq!(tl.state_at(Time::secs(5.0)), None);
+    }
+
+    #[test]
+    fn totals() {
+        let mut tl = Timeline::default();
+        tl.push(Time::secs(0.0), Time::secs(2.0), State::Compute);
+        tl.push(Time::secs(2.0), Time::secs(3.0), State::WaitRecv);
+        tl.push(Time::secs(3.0), Time::secs(3.5), State::WaitSend);
+        tl.push(Time::secs(3.5), Time::secs(4.0), State::Collective);
+        let t = StateTotals::of(&tl);
+        assert!((t.compute.as_secs() - 2.0).abs() < 1e-12);
+        assert!((t.total_wait().as_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_record_derived_times() {
+        let c = CommRecord {
+            src: Rank(0),
+            dst: Rank(1),
+            tag: Tag::user(0),
+            bytes: Bytes(100),
+            t_send: Time::secs(1.0),
+            t_start: Time::secs(1.5),
+            t_arrive: Time::secs(2.0),
+            t_consume: Time::secs(3.0),
+        };
+        assert!((c.queue_delay().as_secs() - 0.5).abs() < 1e-12);
+        assert!((c.span().as_secs() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,183 @@
+//! Closed-form validations: workloads whose simulated runtime has an
+//! exact analytical expression under the Dimemas linear model. Any
+//! engine regression in timing, matching or resource accounting breaks
+//! these equalities.
+
+use ovlp_machine::{simulate, Platform};
+use ovlp_trace::record::{Record, SendMode};
+use ovlp_trace::{Bytes, Instructions, Rank, Tag, Trace, TransferId};
+
+const EPS: f64 = 1e-9;
+
+fn plat() -> Platform {
+    Platform {
+        mips: 1000.0,          // 1 instr = 1 ns
+        bandwidth_mbs: 100.0,  // 1 MB = 10 ms
+        latency_us: 10.0,
+        buses: 0,
+        ..Platform::default()
+    }
+}
+
+/// 1-D wavefront: rank r receives from r-1, computes T, sends to r+1,
+/// for `sweeps` rounds.
+fn wavefront(nranks: u32, sweeps: u32, burst: u64, bytes: u64) -> Trace {
+    let mut t = Trace::new(nranks as usize);
+    for r in 0..nranks {
+        let rt = t.rank_mut(Rank(r));
+        for s in 0..sweeps {
+            if r > 0 {
+                rt.push(Record::Recv {
+                    src: Rank(r - 1),
+                    tag: Tag::user(0),
+                    bytes: Bytes(bytes),
+                    transfer: TransferId::new(Rank(r), 2 * s),
+                });
+            }
+            rt.push(Record::Compute {
+                instr: Instructions(burst),
+            });
+            if r < nranks - 1 {
+                rt.push(Record::Send {
+                    dst: Rank(r + 1),
+                    tag: Tag::user(0),
+                    bytes: Bytes(bytes),
+                    mode: SendMode::Eager,
+                    transfer: TransferId::new(Rank(r), 2 * s + 1),
+                });
+            }
+        }
+    }
+    t
+}
+
+/// Pipeline fill plus steady state:
+/// `runtime = (P-1)·(T + τ) + S·T + (S-1)·L` where
+/// `τ = latency + bytes/BW` and the `(S-1)·L` term is the eager send's
+/// injection block the sender pays between consecutive sweeps, for a
+/// compute-bound pipeline (T ≥ τ).
+#[test]
+fn wavefront_closed_form() {
+    let p = plat();
+    for (nranks, sweeps, burst, bytes) in [
+        (2u32, 1u32, 1_000_000u64, 10_000u64),
+        (4, 3, 2_000_000, 50_000),
+        (8, 5, 5_000_000, 100_000),
+        (16, 2, 1_000_000, 1_000),
+    ] {
+        let t_burst = burst as f64 / 1e9; // seconds at 1000 MIPS
+        let tau = 10e-6 + bytes as f64 / 100e6;
+        assert!(t_burst >= tau, "test setup must be compute-bound");
+        let expect = (nranks - 1) as f64 * (t_burst + tau)
+            + sweeps as f64 * t_burst
+            + (sweeps - 1) as f64 * 10e-6;
+        let sim = simulate(&wavefront(nranks, sweeps, burst, bytes), &p).unwrap();
+        assert!(
+            (sim.runtime() - expect).abs() < EPS,
+            "P={nranks} S={sweeps}: got {} want {expect}",
+            sim.runtime()
+        );
+    }
+}
+
+/// Transfer-bound pipeline: when τ > T the stage period is τ (the wire,
+/// not the CPU, is the bottleneck):
+/// `runtime = (P-1)·(T + τ) + T + (S-1)·τ`.
+#[test]
+fn wavefront_closed_form_transfer_bound() {
+    let p = plat();
+    let (nranks, sweeps, burst, bytes) = (4u32, 6u32, 100_000u64, 1_000_000u64);
+    let t_burst = burst as f64 / 1e9; // 0.1 ms
+    let tau = 10e-6 + bytes as f64 / 100e6; // ~10 ms
+    assert!(tau > t_burst);
+    let expect =
+        (nranks - 1) as f64 * (t_burst + tau) + t_burst + (sweeps - 1) as f64 * tau;
+    let sim = simulate(&wavefront(nranks, sweeps, burst, bytes), &p).unwrap();
+    assert!(
+        (sim.runtime() - expect).abs() < EPS,
+        "got {} want {expect}",
+        sim.runtime()
+    );
+}
+
+/// Binomial barrier on 2^k ranks with equal arrival and ample ports:
+/// exactly `2·k` zero-byte message latencies on the critical path
+/// (k up the reduce tree, k down the bcast tree). With single ports the
+/// tree serializes further, so ports are widened here.
+#[test]
+fn barrier_critical_path_closed_form() {
+    let p = Platform {
+        input_ports: 16,
+        output_ports: 16,
+        ..plat()
+    };
+    for k in 1u32..=4 {
+        let nranks = 1u32 << k;
+        let mut t = Trace::new(nranks as usize);
+        for r in 0..nranks {
+            t.rank_mut(Rank(r)).push(Record::Collective {
+                op: ovlp_trace::CollOp::Barrier,
+                bytes_in: Bytes::ZERO,
+                bytes_out: Bytes::ZERO,
+                root: Rank(0),
+                transfer: TransferId::new(Rank(r), 0),
+            });
+        }
+        let sim = simulate(&t, &p).unwrap();
+        let expect = 2.0 * k as f64 * 10e-6;
+        assert!(
+            (sim.runtime() - expect).abs() < EPS,
+            "P={nranks}: got {} want {expect}",
+            sim.runtime()
+        );
+    }
+}
+
+/// Pairwise exchange on one bus: 2k messages serialize exactly.
+#[test]
+fn single_bus_full_serialization() {
+    let p = Platform { buses: 1, ..plat() };
+    let pairs = 3u32;
+    let bytes = 500_000u64;
+    let mut t = Trace::new(2 * pairs as usize);
+    for i in 0..pairs {
+        let a = 2 * i;
+        let b = 2 * i + 1;
+        t.rank_mut(Rank(a)).push(Record::Send {
+            dst: Rank(b),
+            tag: Tag::user(0),
+            bytes: Bytes(bytes),
+            mode: SendMode::Eager,
+            transfer: TransferId::new(Rank(a), 0),
+        });
+        t.rank_mut(Rank(a)).push(Record::Recv {
+            src: Rank(b),
+            tag: Tag::user(1),
+            bytes: Bytes(bytes),
+            transfer: TransferId::new(Rank(a), 1),
+        });
+        t.rank_mut(Rank(b)).push(Record::Recv {
+            src: Rank(a),
+            tag: Tag::user(0),
+            bytes: Bytes(bytes),
+            transfer: TransferId::new(Rank(b), 0),
+        });
+        t.rank_mut(Rank(b)).push(Record::Send {
+            dst: Rank(a),
+            tag: Tag::user(1),
+            bytes: Bytes(bytes),
+            mode: SendMode::Eager,
+            transfer: TransferId::new(Rank(b), 1),
+        });
+    }
+    let sim = simulate(&t, &p).unwrap();
+    let tau = 10e-6 + bytes as f64 / 100e6;
+    // the `pairs` forward messages serialize; then the `pairs` replies
+    // serialize behind them: 2·pairs transfers end-to-end on one bus
+    let expect = 2.0 * pairs as f64 * tau;
+    assert!(
+        (sim.runtime() - expect).abs() < EPS,
+        "got {} want {expect}",
+        sim.runtime()
+    );
+}

@@ -1,0 +1,320 @@
+//! Tests of the extended platform model: multi-core nodes, the eager
+//! threshold, and heterogeneous CPU ratios.
+
+use ovlp_machine::{simulate, Platform};
+use ovlp_trace::record::{Record, SendMode};
+use ovlp_trace::{Bytes, Instructions, Rank, Tag, Trace, TransferId};
+
+const EPS: f64 = 1e-9;
+
+fn base() -> Platform {
+    Platform {
+        mips: 1000.0,
+        bandwidth_mbs: 100.0,
+        latency_us: 10.0,
+        buses: 0,
+        ..Platform::default()
+    }
+}
+
+fn send(dst: u32, bytes: u64, seq: u32) -> Record {
+    Record::Send {
+        dst: Rank(dst),
+        tag: Tag::user(0),
+        bytes: Bytes(bytes),
+        mode: SendMode::Eager,
+        transfer: TransferId::new(Rank(99), seq),
+    }
+}
+
+fn recv(src: u32, bytes: u64, seq: u32) -> Record {
+    Record::Recv {
+        src: Rank(src),
+        tag: Tag::user(0),
+        bytes: Bytes(bytes),
+        transfer: TransferId::new(Rank(98), seq),
+    }
+}
+
+/// ranks 0,1 on node 0; 2,3 on node 1 (ranks_per_node = 2).
+fn two_node_platform() -> Platform {
+    base().with_nodes(2, 1000.0, 1.0) // 1 GB/s, 1 us intra
+}
+
+#[test]
+fn intra_node_messages_use_intra_model() {
+    let mut t = Trace::new(2);
+    t.rank_mut(Rank(0)).push(send(1, 1_000_000, 0));
+    t.rank_mut(Rank(1)).push(recv(0, 1_000_000, 0));
+    let p = two_node_platform();
+    let r = simulate(&t, &p).unwrap();
+    // 1 MB at 1 GB/s = 1 ms + 1 us latency (not 10 ms + 10 us)
+    let expect = 1e6 / 1e9 + 1e-6;
+    assert!((r.runtime() - expect).abs() < EPS, "{}", r.runtime());
+}
+
+#[test]
+fn inter_node_messages_still_use_network() {
+    let mut t = Trace::new(4);
+    t.rank_mut(Rank(0)).push(send(2, 1_000_000, 0)); // node 0 -> node 1
+    t.rank_mut(Rank(2)).push(recv(0, 1_000_000, 0));
+    let p = two_node_platform();
+    let r = simulate(&t, &p).unwrap();
+    let expect = 1e6 / 100e6 + 10e-6; // network model
+    assert!((r.runtime() - expect).abs() < EPS, "{}", r.runtime());
+}
+
+#[test]
+fn intra_node_messages_do_not_consume_buses() {
+    // one bus; two simultaneous transfers: an inter-node pair and an
+    // intra-node pair. The intra pair must not queue behind the bus.
+    let mut t = Trace::new(4);
+    t.rank_mut(Rank(0)).push(send(2, 1_000_000, 0)); // inter (node0->node1)
+    t.rank_mut(Rank(2)).push(recv(0, 1_000_000, 0));
+    t.rank_mut(Rank(1)).push(send(0, 1_000_000, 1)); // wait, 1->0 is intra
+    t.rank_mut(Rank(0)).push(recv(1, 1_000_000, 1));
+    let p = Platform {
+        buses: 1,
+        ..two_node_platform()
+    };
+    let r = simulate(&t, &p).unwrap();
+    // rank 0: eager send (released after 10us), then intra recv at ~1ms;
+    // rank 2 waits the network transfer ~10ms; overall = network time
+    let expect = 1e6 / 100e6 + 10e-6;
+    assert!((r.runtime() - expect).abs() < 1e-6, "{}", r.runtime());
+    // the intra transfer arrived long before the network one
+    let intra = r
+        .comms
+        .iter()
+        .find(|c| c.src == Rank(1) && c.dst == Rank(0))
+        .unwrap();
+    assert!(intra.t_arrive.as_secs() < 0.002);
+}
+
+#[test]
+fn eager_threshold_forces_rendezvous_for_large_messages() {
+    // the receiver posts late; a small message is buffered eagerly, a
+    // large one must wait for the posting
+    for (bytes, expect_rendezvous) in [(1000u64, false), (1_000_000, true)] {
+        let mut t = Trace::new(2);
+        t.rank_mut(Rank(0)).push(send(1, bytes, 0));
+        let r1 = t.rank_mut(Rank(1));
+        r1.push(Record::Compute {
+            instr: Instructions(50_000_000), // 50 ms before posting
+        });
+        r1.push(recv(0, bytes, 0));
+        let p = Platform {
+            eager_threshold_bytes: Some(32_768),
+            ..base()
+        };
+        let r = simulate(&t, &p).unwrap();
+        let transfer = bytes as f64 / 100e6 + 10e-6;
+        if expect_rendezvous {
+            // transfer starts only when the recv posts at 50 ms
+            let expect = 0.05 + transfer;
+            assert!(
+                (r.runtime() - expect).abs() < EPS,
+                "bytes={bytes}: {}",
+                r.runtime()
+            );
+        } else {
+            // eager: arrives during the compute; runtime = compute
+            assert!(
+                (r.runtime() - 0.05).abs() < EPS,
+                "bytes={bytes}: {}",
+                r.runtime()
+            );
+        }
+    }
+}
+
+#[test]
+fn cpu_ratios_scale_per_rank_compute() {
+    let mut t = Trace::new(2);
+    for r in 0..2u32 {
+        t.rank_mut(Rank(r)).push(Record::Compute {
+            instr: Instructions(1_000_000),
+        });
+    }
+    let p = Platform {
+        cpu_ratios: vec![1.0, 0.5], // rank 1 at half speed
+        ..base()
+    };
+    let r = simulate(&t, &p).unwrap();
+    // rank 0: 1 ms; rank 1: 2 ms
+    assert!((r.totals[0].compute.as_secs() - 1e-3).abs() < EPS);
+    assert!((r.totals[1].compute.as_secs() - 2e-3).abs() < EPS);
+    assert!((r.runtime() - 2e-3).abs() < EPS);
+}
+
+#[test]
+fn missing_ratios_default_to_one() {
+    let mut t = Trace::new(3);
+    for r in 0..3u32 {
+        t.rank_mut(Rank(r)).push(Record::Compute {
+            instr: Instructions(1_000_000),
+        });
+    }
+    let p = Platform {
+        cpu_ratios: vec![2.0], // only rank 0 specified (double speed)
+        ..base()
+    };
+    let r = simulate(&t, &p).unwrap();
+    assert!((r.totals[0].compute.as_secs() - 0.5e-3).abs() < EPS);
+    assert!((r.totals[1].compute.as_secs() - 1e-3).abs() < EPS);
+}
+
+#[test]
+fn node_mapping_helper() {
+    let p = base().with_nodes(4, 1000.0, 1.0);
+    assert_eq!(p.node_of(0), 0);
+    assert_eq!(p.node_of(3), 0);
+    assert_eq!(p.node_of(4), 1);
+    assert_eq!(p.node_of(11), 2);
+}
+
+#[test]
+fn multicore_speeds_up_neighbor_exchanges() {
+    // a ring where neighbors land on the same node half the time:
+    // packing 2 ranks per node must not be slower than 1 per node
+    let nranks = 8u32;
+    let mut t = Trace::new(nranks as usize);
+    for r in 0..nranks {
+        let rt = t.rank_mut(Rank(r));
+        rt.push(send((r + 1) % nranks, 100_000, 0));
+        rt.push(recv((r + nranks - 1) % nranks, 100_000, 1));
+    }
+    let single = simulate(&t, &base()).unwrap().runtime();
+    let multi = simulate(&t, &two_node_platform()).unwrap().runtime();
+    assert!(multi <= single + EPS, "multi {multi} vs single {single}");
+}
+
+#[test]
+fn network_stats_account_transfers() {
+    let mut t = Trace::new(4);
+    t.rank_mut(Rank(0)).push(send(1, 1_000_000, 0)); // intra (node 0)
+    t.rank_mut(Rank(1)).push(recv(0, 1_000_000, 0));
+    t.rank_mut(Rank(2)).push(send(3, 1_000_000, 1)); // intra (node 1)
+    t.rank_mut(Rank(3)).push(recv(2, 1_000_000, 1));
+    t.rank_mut(Rank(0)).push(send(2, 2_000_000, 2)); // inter
+    t.rank_mut(Rank(2)).push(recv(0, 2_000_000, 2));
+    let p = two_node_platform();
+    let r = simulate(&t, &p).unwrap();
+    assert_eq!(r.network.transfers, 3);
+    assert_eq!(r.network.intra_node, 2);
+    // the inter-node transfer held a bus for latency + wire time
+    let expect_bus = 10e-6 + 2e6 / 100e6;
+    assert!(
+        (r.network.bus_seconds - expect_bus).abs() < 1e-9,
+        "{}",
+        r.network.bus_seconds
+    );
+    assert!(r.network.mean_bus_concurrency(r.runtime) > 0.0);
+}
+
+#[test]
+fn queue_seconds_measure_contention() {
+    // two inter-node transfers through one bus: the second queues
+    let mut t = Trace::new(4);
+    t.rank_mut(Rank(0)).push(send(2, 1_000_000, 0));
+    t.rank_mut(Rank(2)).push(recv(0, 1_000_000, 0));
+    t.rank_mut(Rank(1)).push(send(3, 1_000_000, 1));
+    t.rank_mut(Rank(3)).push(recv(1, 1_000_000, 1));
+    let free = Platform {
+        buses: 0,
+        ..two_node_platform()
+    };
+    let tight = Platform {
+        buses: 1,
+        ..two_node_platform()
+    };
+    let r_free = simulate(&t, &free).unwrap();
+    let r_tight = simulate(&t, &tight).unwrap();
+    assert!(r_free.network.queue_seconds < 1e-12);
+    // second transfer queued for the first's full duration
+    let one = 10e-6 + 1e6 / 100e6;
+    assert!(
+        (r_tight.network.queue_seconds - one).abs() < 1e-9,
+        "{}",
+        r_tight.network.queue_seconds
+    );
+}
+
+/// 2 machines × 2 nodes × 2 ranks: ranks 0..3 on machine 0, 4..7 on
+/// machine 1 (nodes_per_machine = 2, ranks_per_node = 2).
+fn two_machine_platform() -> Platform {
+    let mut p = two_node_platform().with_machines(2, 1.0, 1000.0, 0);
+    p.intra_latency_us = 1.0;
+    p
+}
+
+#[test]
+fn machine_mapping_helper() {
+    let p = two_machine_platform();
+    assert_eq!(p.machine_of(0), 0);
+    assert_eq!(p.machine_of(3), 0);
+    assert_eq!(p.machine_of(4), 1);
+    assert_eq!(p.machine_of(7), 1);
+    // disabled level: everything machine 0
+    assert_eq!(base().machine_of(100), 0);
+}
+
+#[test]
+fn inter_machine_transfers_use_wan_model() {
+    let mut t = Trace::new(8);
+    t.rank_mut(Rank(0)).push(send(4, 1_000_000, 0)); // machine 0 -> 1
+    t.rank_mut(Rank(4)).push(recv(0, 1_000_000, 0));
+    let p = two_machine_platform();
+    let r = simulate(&t, &p).unwrap();
+    // 1 MB at 1 MB/s = 1 s, plus 1 ms WAN latency
+    let expect = 1.0 + 1e-3;
+    assert!((r.runtime() - expect).abs() < 1e-9, "{}", r.runtime());
+    assert_eq!(r.network.inter_machine, 1);
+}
+
+#[test]
+fn intra_machine_transfers_unaffected_by_wan() {
+    let mut t = Trace::new(8);
+    t.rank_mut(Rank(0)).push(send(2, 1_000_000, 0)); // same machine, different node
+    t.rank_mut(Rank(2)).push(recv(0, 1_000_000, 0));
+    let p = two_machine_platform();
+    let r = simulate(&t, &p).unwrap();
+    let expect = 1e6 / 100e6 + 10e-6; // the ordinary network model
+    assert!((r.runtime() - expect).abs() < 1e-9, "{}", r.runtime());
+}
+
+#[test]
+fn wan_links_serialize_inter_machine_traffic() {
+    // two concurrent machine-crossing transfers over one WAN link
+    let mk = |wan_links: u32| {
+        let mut t = Trace::new(8);
+        t.rank_mut(Rank(0)).push(send(4, 1_000_000, 0));
+        t.rank_mut(Rank(4)).push(recv(0, 1_000_000, 0));
+        t.rank_mut(Rank(1)).push(send(5, 1_000_000, 1));
+        t.rank_mut(Rank(5)).push(recv(1, 1_000_000, 1));
+        let p = two_machine_platform().with_machines(2, 1.0, 1000.0, wan_links);
+        simulate(&t, &p).unwrap().runtime()
+    };
+    let one = 1.0 + 1e-3;
+    let serialized = mk(1);
+    let parallel = mk(0);
+    assert!((parallel - one).abs() < 1e-9, "{parallel}");
+    assert!((serialized - 2.0 * one).abs() < 1e-9, "{serialized}");
+}
+
+#[test]
+fn wan_does_not_consume_machine_buses() {
+    // one bus; a WAN transfer and an intra-machine transfer overlap
+    let mut t = Trace::new(8);
+    t.rank_mut(Rank(0)).push(send(4, 100_000, 0)); // WAN: 0.1 s
+    t.rank_mut(Rank(4)).push(recv(0, 100_000, 0));
+    t.rank_mut(Rank(1)).push(send(3, 1_000_000, 1)); // net: ~10 ms
+    t.rank_mut(Rank(3)).push(recv(1, 1_000_000, 1));
+    let mut p = two_machine_platform();
+    p.buses = 1;
+    let r = simulate(&t, &p).unwrap();
+    // the intra-machine transfer finishes long before the WAN one;
+    // total = the WAN time, not the sum
+    let expect = 100_000.0 / 1e6 + 1e-3;
+    assert!((r.runtime() - expect).abs() < 1e-9, "{}", r.runtime());
+}

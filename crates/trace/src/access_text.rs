@@ -1,0 +1,320 @@
+//! Text serialization of access logs.
+//!
+//! The paper's Valgrind tool emits its artifacts as files consumed
+//! off-line by Dimemas; the framework mirrors that for the access
+//! database so a traced run can be fully captured on disk
+//! (`.trf` + `.acc`) and transformed later.
+//!
+//! Format (line oriented):
+//!
+//! ```text
+//! #OVLP-ACCESS 1
+//! ranks 2
+//! p 0.3 8 100 900          # production: transfer elems start end
+//! ls 0 150                 #   last store: offset at
+//! e 0 120                  #   raw store event (scatter)
+//! c 1.3 8 900 1800         # consumption: transfer elems start end
+//! fl 2 950                 #   first load: offset at
+//! ```
+//!
+//! Summaries (`ls`/`fl`) only list elements that were accessed; raw
+//! events (`e`) are optional scatter data.
+
+use crate::access::{AccessDb, AccessEvent, ConsumptionLog, ProductionLog};
+use crate::ids::{Rank, TransferId};
+use crate::units::Instructions;
+use std::fmt::Write as _;
+
+pub const MAGIC: &str = "#OVLP-ACCESS 1";
+
+/// Errors produced when parsing an access-log file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for AccessParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "access parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AccessParseError {}
+
+fn err(line: usize, message: impl ToString) -> AccessParseError {
+    AccessParseError {
+        line,
+        message: message.to_string(),
+    }
+}
+
+/// Serialize an access database.
+pub fn emit(db: &AccessDb) -> String {
+    let mut out = String::new();
+    out.push_str(MAGIC);
+    out.push('\n');
+    let _ = writeln!(out, "ranks {}", db.ranks.len());
+    for rank in &db.ranks {
+        let mut prods: Vec<&ProductionLog> = rank.productions.values().collect();
+        prods.sort_by_key(|p| p.transfer.seq);
+        for p in prods {
+            let _ = writeln!(
+                out,
+                "p {}.{} {} {} {}",
+                p.transfer.rank.get(),
+                p.transfer.seq,
+                p.elems,
+                p.interval_start.get(),
+                p.interval_end.get()
+            );
+            for (i, t) in p.last_store.iter().enumerate() {
+                if let Some(t) = t {
+                    let _ = writeln!(out, "ls {} {}", i, t.get());
+                }
+            }
+            for e in &p.events {
+                let _ = writeln!(out, "e {} {}", e.offset, e.at.get());
+            }
+        }
+        let mut cons: Vec<&ConsumptionLog> = rank.consumptions.values().collect();
+        cons.sort_by_key(|c| c.transfer.seq);
+        for c in cons {
+            let _ = writeln!(
+                out,
+                "c {}.{} {} {} {}",
+                c.transfer.rank.get(),
+                c.transfer.seq,
+                c.elems,
+                c.interval_start.get(),
+                c.interval_end.get()
+            );
+            for (i, t) in c.first_load.iter().enumerate() {
+                if let Some(t) = t {
+                    let _ = writeln!(out, "fl {} {}", i, t.get());
+                }
+            }
+            for e in &c.events {
+                let _ = writeln!(out, "e {} {}", e.offset, e.at.get());
+            }
+        }
+    }
+    out
+}
+
+enum Open {
+    None,
+    Prod(ProductionLog),
+    Cons(ConsumptionLog),
+}
+
+/// Parse an access database.
+pub fn parse(input: &str) -> Result<AccessDb, AccessParseError> {
+    let mut lines = input.lines().enumerate();
+    let (_, first) = lines.next().ok_or_else(|| err(0, "empty input"))?;
+    if first.trim() != MAGIC {
+        return Err(err(1, format!("bad magic line `{first}`")));
+    }
+    let mut db: Option<AccessDb> = None;
+    let mut open = Open::None;
+
+    fn flush(db: &mut AccessDb, open: &mut Open) {
+        match std::mem::replace(open, Open::None) {
+            Open::None => {}
+            Open::Prod(p) => db.insert_production(p),
+            Open::Cons(c) => db.insert_consumption(c),
+        }
+    }
+
+    for (idx, raw) in lines {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut f = line.split_whitespace();
+        let kw = f.next().unwrap();
+        let rest: Vec<&str> = f.collect();
+        match kw {
+            "ranks" => {
+                let n: usize = parse_field(&rest, 0, lineno)?;
+                db = Some(AccessDb::new(n));
+            }
+            "p" | "c" => {
+                let db_ref = db.as_mut().ok_or_else(|| err(lineno, "record before `ranks`"))?;
+                flush(db_ref, &mut open);
+                let tid = parse_tid(rest.first().copied(), lineno)?;
+                if tid.rank.idx() >= db_ref.ranks.len() {
+                    return Err(err(lineno, format!("rank {} out of range", tid.rank)));
+                }
+                let elems: u32 = parse_field(&rest, 1, lineno)?;
+                let start: u64 = parse_field(&rest, 2, lineno)?;
+                let end: u64 = parse_field(&rest, 3, lineno)?;
+                if kw == "p" {
+                    open = Open::Prod(ProductionLog {
+                        transfer: tid,
+                        elems,
+                        interval_start: Instructions(start),
+                        interval_end: Instructions(end),
+                        last_store: vec![None; elems as usize],
+                        events: Vec::new(),
+                    });
+                } else {
+                    open = Open::Cons(ConsumptionLog {
+                        transfer: tid,
+                        elems,
+                        interval_start: Instructions(start),
+                        interval_end: Instructions(end),
+                        first_load: vec![None; elems as usize],
+                        events: Vec::new(),
+                    });
+                }
+            }
+            "ls" => {
+                let i: usize = parse_field(&rest, 0, lineno)?;
+                let t: u64 = parse_field(&rest, 1, lineno)?;
+                match &mut open {
+                    Open::Prod(p) => {
+                        *p.last_store
+                            .get_mut(i)
+                            .ok_or_else(|| err(lineno, "ls offset out of range"))? =
+                            Some(Instructions(t));
+                    }
+                    _ => return Err(err(lineno, "`ls` outside production block")),
+                }
+            }
+            "fl" => {
+                let i: usize = parse_field(&rest, 0, lineno)?;
+                let t: u64 = parse_field(&rest, 1, lineno)?;
+                match &mut open {
+                    Open::Cons(c) => {
+                        *c.first_load
+                            .get_mut(i)
+                            .ok_or_else(|| err(lineno, "fl offset out of range"))? =
+                            Some(Instructions(t));
+                    }
+                    _ => return Err(err(lineno, "`fl` outside consumption block")),
+                }
+            }
+            "e" => {
+                let offset: u32 = parse_field(&rest, 0, lineno)?;
+                let at: u64 = parse_field(&rest, 1, lineno)?;
+                let ev = AccessEvent {
+                    offset,
+                    at: Instructions(at),
+                };
+                match &mut open {
+                    Open::Prod(p) => p.events.push(ev),
+                    Open::Cons(c) => c.events.push(ev),
+                    Open::None => return Err(err(lineno, "`e` outside any block")),
+                }
+            }
+            other => return Err(err(lineno, format!("unknown keyword `{other}`"))),
+        }
+    }
+    let mut db = db.ok_or_else(|| err(0, "missing `ranks` header"))?;
+    flush(&mut db, &mut open);
+    Ok(db)
+}
+
+fn parse_field<T: std::str::FromStr>(
+    rest: &[&str],
+    i: usize,
+    line: usize,
+) -> Result<T, AccessParseError>
+where
+    T::Err: std::fmt::Display,
+{
+    rest.get(i)
+        .ok_or_else(|| err(line, format!("missing field {i}")))?
+        .parse()
+        .map_err(|e| err(line, format!("bad field {i}: {e}")))
+}
+
+fn parse_tid(s: Option<&str>, line: usize) -> Result<TransferId, AccessParseError> {
+    let s = s.ok_or_else(|| err(line, "missing transfer id"))?;
+    let (a, b) = s
+        .split_once('.')
+        .ok_or_else(|| err(line, format!("bad transfer id `{s}`")))?;
+    Ok(TransferId::new(
+        Rank(a.parse().map_err(|e| err(line, format!("bad rank: {e}")))?),
+        b.parse().map_err(|e| err(line, format!("bad seq: {e}")))?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{consumption_log_for_test, production_log_for_test};
+
+    fn sample() -> AccessDb {
+        let mut db = AccessDb::new(2);
+        let mut p = production_log_for_test(0, 3, 100, 900, &[Some(200), None, Some(850)]);
+        p.events = vec![
+            AccessEvent {
+                offset: 0,
+                at: Instructions(150),
+            },
+            AccessEvent {
+                offset: 2,
+                at: Instructions(850),
+            },
+        ];
+        db.insert_production(p);
+        db.insert_consumption(consumption_log_for_test(
+            1,
+            7,
+            900,
+            1800,
+            &[Some(950), None],
+        ));
+        db.insert_production(production_log_for_test(1, 8, 0, 10, &[None]));
+        db
+    }
+
+    #[test]
+    fn roundtrip_preserves_db() {
+        let db = sample();
+        let back = parse(&emit(&db)).expect("roundtrip");
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn emit_is_stable() {
+        let db = sample();
+        let a = emit(&db);
+        let b = emit(&parse(&a).unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(parse("#WRONG\n").is_err());
+    }
+
+    #[test]
+    fn rejects_summary_outside_block() {
+        let e = parse("#OVLP-ACCESS 1\nranks 1\nls 0 5\n").unwrap_err();
+        assert!(e.message.contains("outside production"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_offset() {
+        let txt = "#OVLP-ACCESS 1\nranks 1\np 0.0 2 0 10\nls 5 3\n";
+        let e = parse(txt).unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_rank_overflow() {
+        let txt = "#OVLP-ACCESS 1\nranks 1\np 7.0 1 0 10\n";
+        let e = parse(txt).unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn empty_db_roundtrips() {
+        let db = AccessDb::new(3);
+        assert_eq!(parse(&emit(&db)).unwrap(), db);
+    }
+}

@@ -1,0 +1,258 @@
+//! Identifier newtypes: ranks, tags, requests, transfers, collectives.
+
+use std::fmt;
+
+/// A process rank inside the (single, world) communicator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Rank(pub u32);
+
+impl Rank {
+    #[inline]
+    pub fn get(self) -> u32 {
+        self.0
+    }
+
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Message tag.
+///
+/// The 32-bit tag space is partitioned so that rewritten traces can
+/// carry chunk transfers and decomposed collectives without colliding
+/// with application tags:
+///
+/// * user tags occupy `[0, 2^16)`;
+/// * chunk tags set bit 31 and encode `(parent_tag << 8) | chunk_index`;
+/// * collective-internal tags set bit 30 and encode a per-instance id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tag(pub u32);
+
+impl Tag {
+    pub const CHUNK_BIT: u32 = 1 << 31;
+    pub const COLL_BIT: u32 = 1 << 30;
+    /// Exclusive upper bound of the user tag space.
+    pub const MAX_USER: u32 = 1 << 16;
+    /// Maximum number of chunks a message can be split into (tag-encoding limit).
+    pub const MAX_CHUNKS: u32 = 1 << 8;
+
+    /// A user-level tag. Panics if outside the user tag space.
+    pub fn user(t: u32) -> Tag {
+        assert!(t < Self::MAX_USER, "user tag {t} out of range");
+        Tag(t)
+    }
+
+    /// The tag carried by chunk `k` of a message originally tagged `self`.
+    ///
+    /// Distinct per-chunk tags are what keep first-in-first-out matching
+    /// correct in rewritten traces: advancing sends reorders chunk
+    /// injection by *production* time while the receiver waits on chunks
+    /// in *consumption* order, so chunks of one message must never match
+    /// each other's requests.
+    pub fn chunk(self, k: u32) -> Tag {
+        assert!(self.0 < Self::MAX_USER, "only user tags can be chunked");
+        assert!(k < Self::MAX_CHUNKS, "chunk index {k} out of range");
+        Tag(Self::CHUNK_BIT | (self.0 << 8) | k)
+    }
+
+    /// An internal tag for point-to-point stages of collective instance `inst`.
+    pub fn collective(inst: u32) -> Tag {
+        assert!(inst < (1 << 24), "collective instance id overflow");
+        Tag(Self::COLL_BIT | inst)
+    }
+
+    /// Whether this tag belongs to the user tag space.
+    pub fn is_user(self) -> bool {
+        self.0 < Self::MAX_USER
+    }
+
+    /// Whether this is a chunk tag, and if so of which `(parent, index)`.
+    pub fn chunk_parts(self) -> Option<(Tag, u32)> {
+        if self.0 & Self::CHUNK_BIT != 0 {
+            Some((Tag((self.0 & !Self::CHUNK_BIT) >> 8), self.0 & 0xff))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some((p, k)) = self.chunk_parts() {
+            write!(f, "t{}#{}", p.0, k)
+        } else if self.0 & Self::COLL_BIT != 0 {
+            write!(f, "tC{}", self.0 & !Self::COLL_BIT)
+        } else {
+            write!(f, "t{}", self.0)
+        }
+    }
+}
+
+/// A non-blocking request handle, unique within one rank's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ReqId(pub u64);
+
+impl fmt::Display for ReqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Identity of one communication operation in one rank's stream.
+///
+/// `seq` is the 0-based index of the operation among that rank's
+/// communication events (not among all records). Access logs are keyed
+/// by `TransferId`, which is how the overlap transformation joins the
+/// record stream with the element-level production/consumption data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransferId {
+    pub rank: Rank,
+    pub seq: u32,
+}
+
+impl TransferId {
+    pub fn new(rank: Rank, seq: u32) -> TransferId {
+        TransferId { rank, seq }
+    }
+}
+
+impl fmt::Display for TransferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}.{}", self.rank.0, self.seq)
+    }
+}
+
+/// One chunk of a (split) transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChunkId {
+    pub transfer: TransferId,
+    pub index: u32,
+}
+
+impl fmt::Display for ChunkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.transfer, self.index)
+    }
+}
+
+/// Collective operation kinds supported by the framework.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CollOp {
+    Barrier,
+    Bcast,
+    Reduce,
+    Allreduce,
+    Gather,
+    Allgather,
+    Scatter,
+    Alltoall,
+}
+
+impl CollOp {
+    pub const ALL: [CollOp; 8] = [
+        CollOp::Barrier,
+        CollOp::Bcast,
+        CollOp::Reduce,
+        CollOp::Allreduce,
+        CollOp::Gather,
+        CollOp::Allgather,
+        CollOp::Scatter,
+        CollOp::Alltoall,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            CollOp::Barrier => "barrier",
+            CollOp::Bcast => "bcast",
+            CollOp::Reduce => "reduce",
+            CollOp::Allreduce => "allreduce",
+            CollOp::Gather => "gather",
+            CollOp::Allgather => "allgather",
+            CollOp::Scatter => "scatter",
+            CollOp::Alltoall => "alltoall",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<CollOp> {
+        CollOp::ALL.into_iter().find(|op| op.name() == s)
+    }
+}
+
+impl fmt::Display for CollOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_partitions_are_disjoint() {
+        let user = Tag::user(77);
+        let chunk = user.chunk(3);
+        let coll = Tag::collective(77);
+        assert!(user.is_user());
+        assert!(!chunk.is_user());
+        assert!(!coll.is_user());
+        assert_ne!(chunk.0 & Tag::CHUNK_BIT, 0);
+        assert_eq!(coll.0 & Tag::CHUNK_BIT, 0);
+        assert_ne!(coll.0 & Tag::COLL_BIT, 0);
+    }
+
+    #[test]
+    fn chunk_roundtrip() {
+        let parent = Tag::user(1234);
+        for k in [0u32, 1, 7, 255] {
+            let c = parent.chunk(k);
+            assert_eq!(c.chunk_parts(), Some((parent, k)));
+        }
+        assert_eq!(parent.chunk_parts(), None);
+    }
+
+    #[test]
+    fn distinct_chunks_distinct_tags() {
+        let parent = Tag::user(9);
+        assert_ne!(parent.chunk(0), parent.chunk(1));
+        assert_ne!(parent.chunk(0), Tag::user(8).chunk(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn user_tag_range_enforced() {
+        let _ = Tag::user(Tag::MAX_USER);
+    }
+
+    #[test]
+    fn collop_names_roundtrip() {
+        for op in CollOp::ALL {
+            assert_eq!(CollOp::from_name(op.name()), Some(op));
+        }
+        assert_eq!(CollOp::from_name("nonesuch"), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Rank(3).to_string(), "r3");
+        assert_eq!(Tag::user(5).to_string(), "t5");
+        assert_eq!(Tag::user(5).chunk(2).to_string(), "t5#2");
+        assert_eq!(TransferId::new(Rank(1), 9).to_string(), "x1.9");
+        assert_eq!(
+            ChunkId {
+                transfer: TransferId::new(Rank(1), 9),
+                index: 2
+            }
+            .to_string(),
+            "x1.9#2"
+        );
+    }
+}

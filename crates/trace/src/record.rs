@@ -1,0 +1,272 @@
+//! Trace records: the per-rank event vocabulary the replay simulator
+//! understands (the analogue of Dimemas trace records).
+
+use crate::ids::{CollOp, Rank, ReqId, Tag, TransferId};
+use crate::units::{Bytes, Instructions};
+use std::fmt;
+
+/// Point-to-point send completion semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SendMode {
+    /// Eager/buffered: the sender is released as soon as the message is
+    /// handed to the network (after injection latency); delivery happens
+    /// asynchronously. This is the mode the paper's overlap study
+    /// assumes ("the underlying communication layer is fully capable of
+    /// overlapping communication and computation").
+    #[default]
+    Eager,
+    /// Rendezvous/synchronous: the sender blocks until the matching
+    /// receive is posted *and* the transfer completes.
+    Rendezvous,
+}
+
+impl SendMode {
+    pub fn code(self) -> &'static str {
+        match self {
+            SendMode::Eager => "E",
+            SendMode::Rendezvous => "R",
+        }
+    }
+
+    pub fn from_code(s: &str) -> Option<SendMode> {
+        match s {
+            "E" => Some(SendMode::Eager),
+            "R" => Some(SendMode::Rendezvous),
+            _ => None,
+        }
+    }
+}
+
+/// Structural markers preserved in traces for analysis and visualization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Marker {
+    /// Start of application iteration `n`.
+    IterBegin(u32),
+    /// End of application iteration `n`.
+    IterEnd(u32),
+    /// An application-defined phase label.
+    Phase(u32),
+}
+
+/// One record of a rank's trace stream.
+///
+/// A trace alternates `Compute` bursts with communication records; the
+/// machine simulator turns bursts into time via the platform MIPS rate
+/// and communication records into transfers governed by the network
+/// model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Record {
+    /// A computation burst of the given virtual-instruction length.
+    Compute { instr: Instructions },
+    /// Blocking send.
+    Send {
+        dst: Rank,
+        tag: Tag,
+        bytes: Bytes,
+        mode: SendMode,
+        transfer: TransferId,
+    },
+    /// Blocking receive.
+    Recv {
+        src: Rank,
+        tag: Tag,
+        bytes: Bytes,
+        transfer: TransferId,
+    },
+    /// Non-blocking send; completion is not tracked unless waited on.
+    ISend {
+        dst: Rank,
+        tag: Tag,
+        bytes: Bytes,
+        mode: SendMode,
+        req: ReqId,
+        transfer: TransferId,
+    },
+    /// Non-blocking receive posting.
+    IRecv {
+        src: Rank,
+        tag: Tag,
+        bytes: Bytes,
+        req: ReqId,
+        transfer: TransferId,
+    },
+    /// Block until request `req` completes.
+    Wait { req: ReqId },
+    /// A collective operation over the world communicator.
+    ///
+    /// `bytes_in`/`bytes_out` are the per-rank contribution/result sizes
+    /// (e.g. for `Allreduce` both equal the vector size; for `Alltoall`
+    /// they are the total sent/received by this rank). The machine
+    /// simulator decomposes collectives into point-to-point transfers —
+    /// the paper assumes no collective hardware support.
+    Collective {
+        op: CollOp,
+        bytes_in: Bytes,
+        bytes_out: Bytes,
+        root: Rank,
+        transfer: TransferId,
+    },
+    /// Structural marker (iteration/phase boundary).
+    Marker { marker: Marker },
+}
+
+impl Record {
+    /// The transfer id carried by communication records, if any.
+    pub fn transfer(&self) -> Option<TransferId> {
+        match *self {
+            Record::Send { transfer, .. }
+            | Record::Recv { transfer, .. }
+            | Record::ISend { transfer, .. }
+            | Record::IRecv { transfer, .. }
+            | Record::Collective { transfer, .. } => Some(transfer),
+            _ => None,
+        }
+    }
+
+    /// Instruction length if this is a compute burst.
+    pub fn compute_len(&self) -> Option<Instructions> {
+        match *self {
+            Record::Compute { instr } => Some(instr),
+            _ => None,
+        }
+    }
+
+    /// Whether the record is a communication operation (anything that
+    /// can interact with the network, including waits).
+    pub fn is_comm(&self) -> bool {
+        !matches!(self, Record::Compute { .. } | Record::Marker { .. })
+    }
+
+    /// Bytes moved by this record from the emitting rank's perspective
+    /// (sends count `bytes`, receives count 0 — conservation checks use
+    /// both sides explicitly).
+    pub fn sent_bytes(&self) -> Bytes {
+        match *self {
+            Record::Send { bytes, .. } | Record::ISend { bytes, .. } => bytes,
+            _ => Bytes::ZERO,
+        }
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Record::Compute { instr } => write!(f, "compute {instr}"),
+            Record::Send {
+                dst,
+                tag,
+                bytes,
+                mode,
+                transfer,
+            } => write!(f, "send {dst} {tag} {bytes} {} {transfer}", mode.code()),
+            Record::Recv {
+                src,
+                tag,
+                bytes,
+                transfer,
+            } => write!(f, "recv {src} {tag} {bytes} {transfer}"),
+            Record::ISend {
+                dst,
+                tag,
+                bytes,
+                mode,
+                req,
+                transfer,
+            } => write!(
+                f,
+                "isend {dst} {tag} {bytes} {} {req} {transfer}",
+                mode.code()
+            ),
+            Record::IRecv {
+                src,
+                tag,
+                bytes,
+                req,
+                transfer,
+            } => write!(f, "irecv {src} {tag} {bytes} {req} {transfer}"),
+            Record::Wait { req } => write!(f, "wait {req}"),
+            Record::Collective {
+                op,
+                bytes_in,
+                bytes_out,
+                root,
+                transfer,
+            } => write!(f, "coll {op} {bytes_in} {bytes_out} {root} {transfer}"),
+            Record::Marker { marker } => match marker {
+                Marker::IterBegin(n) => write!(f, "iter-begin {n}"),
+                Marker::IterEnd(n) => write!(f, "iter-end {n}"),
+                Marker::Phase(n) => write!(f, "phase {n}"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid() -> TransferId {
+        TransferId::new(Rank(0), 0)
+    }
+
+    #[test]
+    fn transfer_extraction() {
+        let r = Record::Send {
+            dst: Rank(1),
+            tag: Tag::user(0),
+            bytes: Bytes(8),
+            mode: SendMode::Eager,
+            transfer: tid(),
+        };
+        assert_eq!(r.transfer(), Some(tid()));
+        assert_eq!(
+            Record::Compute {
+                instr: Instructions(5)
+            }
+            .transfer(),
+            None
+        );
+        assert_eq!(Record::Wait { req: ReqId(1) }.transfer(), None);
+    }
+
+    #[test]
+    fn comm_classification() {
+        assert!(!Record::Compute {
+            instr: Instructions(1)
+        }
+        .is_comm());
+        assert!(!Record::Marker {
+            marker: Marker::IterBegin(0)
+        }
+        .is_comm());
+        assert!(Record::Wait { req: ReqId(0) }.is_comm());
+    }
+
+    #[test]
+    fn sent_bytes_only_counts_sends() {
+        let s = Record::ISend {
+            dst: Rank(1),
+            tag: Tag::user(0),
+            bytes: Bytes(64),
+            mode: SendMode::Eager,
+            req: ReqId(0),
+            transfer: tid(),
+        };
+        assert_eq!(s.sent_bytes(), Bytes(64));
+        let r = Record::Recv {
+            src: Rank(1),
+            tag: Tag::user(0),
+            bytes: Bytes(64),
+            transfer: tid(),
+        };
+        assert_eq!(r.sent_bytes(), Bytes::ZERO);
+    }
+
+    #[test]
+    fn send_mode_roundtrip() {
+        for m in [SendMode::Eager, SendMode::Rendezvous] {
+            assert_eq!(SendMode::from_code(m.code()), Some(m));
+        }
+        assert_eq!(SendMode::from_code("x"), None);
+    }
+}

@@ -1,0 +1,150 @@
+//! Aggregate trace statistics (used by reports and sanity tests).
+
+use crate::record::Record;
+use crate::trace::Trace;
+use crate::units::{Bytes, Instructions};
+
+/// Summary statistics over one trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceStats {
+    pub nranks: usize,
+    pub total_records: usize,
+    pub compute_bursts: usize,
+    pub total_compute: Instructions,
+    pub max_rank_compute: Instructions,
+    pub p2p_messages: usize,
+    pub p2p_bytes: Bytes,
+    pub collectives: usize,
+    pub waits: usize,
+}
+
+impl TraceStats {
+    /// Compute statistics for `trace`.
+    pub fn of(trace: &Trace) -> TraceStats {
+        let mut s = TraceStats {
+            nranks: trace.nranks(),
+            ..TraceStats::default()
+        };
+        for rt in &trace.ranks {
+            let mut rank_compute = Instructions::ZERO;
+            for rec in &rt.records {
+                s.total_records += 1;
+                match rec {
+                    Record::Compute { instr } => {
+                        s.compute_bursts += 1;
+                        s.total_compute += *instr;
+                        rank_compute += *instr;
+                    }
+                    Record::Send { bytes, .. } | Record::ISend { bytes, .. } => {
+                        s.p2p_messages += 1;
+                        s.p2p_bytes += *bytes;
+                    }
+                    Record::Collective { .. } => s.collectives += 1,
+                    Record::Wait { .. } => s.waits += 1,
+                    _ => {}
+                }
+            }
+            s.max_rank_compute = s.max_rank_compute.max(rank_compute);
+        }
+        s
+    }
+
+    /// Mean message size, or zero if there are no messages.
+    pub fn mean_message_bytes(&self) -> f64 {
+        if self.p2p_messages == 0 {
+            0.0
+        } else {
+            self.p2p_bytes.get() as f64 / self.p2p_messages as f64
+        }
+    }
+}
+
+impl std::fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "ranks:            {}", self.nranks)?;
+        writeln!(f, "records:          {}", self.total_records)?;
+        writeln!(
+            f,
+            "compute:          {} bursts, {} instr total, {} instr max/rank",
+            self.compute_bursts,
+            self.total_compute.get(),
+            self.max_rank_compute.get()
+        )?;
+        writeln!(
+            f,
+            "p2p:              {} messages, {} bytes (mean {:.1} B)",
+            self.p2p_messages,
+            self.p2p_bytes.get(),
+            self.mean_message_bytes()
+        )?;
+        writeln!(f, "collectives:      {}", self.collectives)?;
+        write!(f, "waits:            {}", self.waits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{CollOp, Rank, ReqId, Tag, TransferId};
+    use crate::record::SendMode;
+
+    #[test]
+    fn stats_counts() {
+        let mut t = Trace::new(2);
+        t.rank_mut(Rank(0)).push(Record::Compute {
+            instr: Instructions(100),
+        });
+        t.rank_mut(Rank(0)).push(Record::Send {
+            dst: Rank(1),
+            tag: Tag::user(0),
+            bytes: Bytes(10),
+            mode: SendMode::Eager,
+            transfer: TransferId::new(Rank(0), 0),
+        });
+        t.rank_mut(Rank(0)).push(Record::ISend {
+            dst: Rank(1),
+            tag: Tag::user(1),
+            bytes: Bytes(30),
+            mode: SendMode::Eager,
+            req: ReqId(0),
+            transfer: TransferId::new(Rank(0), 1),
+        });
+        t.rank_mut(Rank(1)).push(Record::Compute {
+            instr: Instructions(400),
+        });
+        t.rank_mut(Rank(1)).push(Record::Wait { req: ReqId(3) });
+        t.rank_mut(Rank(1)).push(Record::Collective {
+            op: CollOp::Barrier,
+            bytes_in: Bytes(0),
+            bytes_out: Bytes(0),
+            root: Rank(0),
+            transfer: TransferId::new(Rank(1), 0),
+        });
+        let s = TraceStats::of(&t);
+        assert_eq!(s.nranks, 2);
+        assert_eq!(s.total_records, 6);
+        assert_eq!(s.compute_bursts, 2);
+        assert_eq!(s.total_compute, Instructions(500));
+        assert_eq!(s.max_rank_compute, Instructions(400));
+        assert_eq!(s.p2p_messages, 2);
+        assert_eq!(s.p2p_bytes, Bytes(40));
+        assert_eq!(s.collectives, 1);
+        assert_eq!(s.waits, 1);
+        assert!((s.mean_message_bytes() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let s = TraceStats::of(&Trace::new(0));
+        assert_eq!(s.mean_message_bytes(), 0.0);
+        assert_eq!(s.total_records, 0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = TraceStats::of(&Trace::new(1));
+        let text = s.to_string();
+        assert!(text.contains("ranks"));
+        assert!(text.contains("waits"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Whole-run trace containers.
+
+use crate::ids::Rank;
+use crate::record::Record;
+use crate::units::Instructions;
+use std::collections::BTreeMap;
+
+/// One rank's record stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankTrace {
+    pub records: Vec<Record>,
+}
+
+impl RankTrace {
+    pub fn new() -> RankTrace {
+        RankTrace::default()
+    }
+
+    pub fn push(&mut self, r: Record) {
+        self.records.push(r);
+    }
+
+    /// Total compute instructions in this stream.
+    pub fn total_compute(&self) -> Instructions {
+        self.records.iter().filter_map(|r| r.compute_len()).sum()
+    }
+
+    /// Number of communication records (including waits).
+    pub fn comm_records(&self) -> usize {
+        self.records.iter().filter(|r| r.is_comm()).count()
+    }
+
+    /// Iterate over records together with the absolute instruction count
+    /// at which each record *starts* (compute bursts advance the count).
+    ///
+    /// This is the canonical way to recover event positions from the
+    /// burst-delta encoding.
+    pub fn timed(&self) -> impl Iterator<Item = (Instructions, &Record)> + '_ {
+        let mut at = Instructions::ZERO;
+        self.records.iter().map(move |r| {
+            let here = at;
+            if let Some(len) = r.compute_len() {
+                at += len;
+            }
+            (here, r)
+        })
+    }
+
+    /// Merge adjacent `Compute` records into single bursts; removes
+    /// zero-length bursts. Rewriting passes use this to normalize their
+    /// output.
+    pub fn coalesce_compute(&mut self) {
+        let mut out: Vec<Record> = Vec::with_capacity(self.records.len());
+        for r in self.records.drain(..) {
+            match (out.last_mut(), &r) {
+                (Some(Record::Compute { instr: prev }), Record::Compute { instr }) => {
+                    *prev += *instr;
+                }
+                (_, Record::Compute { instr }) if *instr == Instructions::ZERO => {}
+                _ => out.push(r),
+            }
+        }
+        self.records = out;
+    }
+}
+
+/// A complete trace of one application run: one record stream per rank
+/// plus free-form metadata (application name, parameters, variant).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    pub ranks: Vec<RankTrace>,
+    pub meta: BTreeMap<String, String>,
+}
+
+impl Trace {
+    pub fn new(nranks: usize) -> Trace {
+        Trace {
+            ranks: vec![RankTrace::new(); nranks],
+            meta: BTreeMap::new(),
+        }
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    pub fn rank(&self, r: Rank) -> &RankTrace {
+        &self.ranks[r.idx()]
+    }
+
+    pub fn rank_mut(&mut self, r: Rank) -> &mut RankTrace {
+        &mut self.ranks[r.idx()]
+    }
+
+    pub fn with_meta(mut self, key: &str, value: impl ToString) -> Trace {
+        self.meta.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Total records across all ranks.
+    pub fn total_records(&self) -> usize {
+        self.ranks.iter().map(|r| r.records.len()).sum()
+    }
+
+    /// The longest per-rank compute total — a lower bound on any
+    /// simulated runtime (no rank can finish before running its code).
+    pub fn critical_compute(&self) -> Instructions {
+        self.ranks
+            .iter()
+            .map(|r| r.total_compute())
+            .max()
+            .unwrap_or(Instructions::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Tag, TransferId};
+    use crate::record::SendMode;
+    use crate::units::Bytes;
+
+    fn send(dst: u32) -> Record {
+        Record::Send {
+            dst: Rank(dst),
+            tag: Tag::user(0),
+            bytes: Bytes(8),
+            mode: SendMode::Eager,
+            transfer: TransferId::new(Rank(0), 0),
+        }
+    }
+
+    #[test]
+    fn timed_positions() {
+        let mut rt = RankTrace::new();
+        rt.push(Record::Compute {
+            instr: Instructions(100),
+        });
+        rt.push(send(1));
+        rt.push(Record::Compute {
+            instr: Instructions(50),
+        });
+        rt.push(send(2));
+        let pos: Vec<u64> = rt.timed().map(|(at, _)| at.get()).collect();
+        assert_eq!(pos, vec![0, 100, 100, 150]);
+    }
+
+    #[test]
+    fn coalesce_merges_and_drops_zero() {
+        let mut rt = RankTrace::new();
+        rt.push(Record::Compute {
+            instr: Instructions(10),
+        });
+        rt.push(Record::Compute {
+            instr: Instructions(0),
+        });
+        rt.push(Record::Compute {
+            instr: Instructions(5),
+        });
+        rt.push(send(1));
+        rt.push(Record::Compute {
+            instr: Instructions(0),
+        });
+        rt.coalesce_compute();
+        assert_eq!(rt.records.len(), 2);
+        assert_eq!(rt.records[0].compute_len(), Some(Instructions(15)));
+        assert_eq!(rt.total_compute(), Instructions(15));
+    }
+
+    #[test]
+    fn trace_aggregates() {
+        let mut t = Trace::new(2);
+        t.rank_mut(Rank(0)).push(Record::Compute {
+            instr: Instructions(100),
+        });
+        t.rank_mut(Rank(1)).push(Record::Compute {
+            instr: Instructions(300),
+        });
+        t.rank_mut(Rank(1)).push(send(0));
+        assert_eq!(t.nranks(), 2);
+        assert_eq!(t.total_records(), 3);
+        assert_eq!(t.critical_compute(), Instructions(300));
+        assert_eq!(t.rank(Rank(1)).comm_records(), 1);
+    }
+
+    #[test]
+    fn meta_builder() {
+        let t = Trace::new(1).with_meta("app", "cg").with_meta("iters", 5);
+        assert_eq!(t.meta.get("app").map(String::as_str), Some("cg"));
+        assert_eq!(t.meta.get("iters").map(String::as_str), Some("5"));
+    }
+}

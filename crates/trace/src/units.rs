@@ -1,0 +1,233 @@
+//! Scalar unit newtypes used throughout the framework.
+//!
+//! Keeping instruction counts and byte counts in distinct types prevents
+//! the classic replay-simulator bug of feeding a message size where a
+//! burst length is expected.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A count of virtual instructions executed by one rank.
+///
+/// This is the only notion of "time" the tracing front end knows about;
+/// wall-clock time exists only inside the machine simulator, which
+/// scales instruction counts by a MIPS rate (paper §III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instructions(pub u64);
+
+impl Instructions {
+    pub const ZERO: Instructions = Instructions(0);
+
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction; useful when clamping interval-relative times.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Instructions) -> Instructions {
+        Instructions(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Fraction of the way between `start` and `end` (clamped to `[0, 1]`).
+    ///
+    /// Degenerate intervals (`end <= start`) report `0.0`, matching the
+    /// convention used for pattern statistics: within a zero-length
+    /// production interval everything is "produced at the very start".
+    pub fn fraction_within(self, start: Instructions, end: Instructions) -> f64 {
+        if end <= start {
+            return 0.0;
+        }
+        let span = (end.0 - start.0) as f64;
+        let off = self.0.saturating_sub(start.0) as f64;
+        (off / span).clamp(0.0, 1.0)
+    }
+}
+
+impl Add for Instructions {
+    type Output = Instructions;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Instructions(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Instructions {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Instructions {
+    type Output = Instructions;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        debug_assert!(self.0 >= rhs.0, "Instructions subtraction underflow");
+        Instructions(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Instructions {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for Instructions {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Instructions(iter.map(|i| i.0).sum())
+    }
+}
+
+impl Mul<u64> for Instructions {
+    type Output = Instructions;
+    #[inline]
+    fn mul(self, rhs: u64) -> Self {
+        Instructions(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Instructions {
+    type Output = Instructions;
+    #[inline]
+    fn div(self, rhs: u64) -> Self {
+        Instructions(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for Instructions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}i", self.0)
+    }
+}
+
+/// A message or buffer size in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes(pub u64);
+
+impl Bytes {
+    pub const ZERO: Bytes = Bytes(0);
+
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Size of `n` elements of `elem_bytes` each.
+    #[inline]
+    pub fn of_elems(n: u64, elem_bytes: u64) -> Bytes {
+        Bytes(n * elem_bytes)
+    }
+
+    /// Kibibytes helper for tests and workload definitions.
+    #[inline]
+    pub fn kib(n: u64) -> Bytes {
+        Bytes(n * 1024)
+    }
+
+    /// Mebibytes helper.
+    #[inline]
+    pub fn mib(n: u64) -> Bytes {
+        Bytes(n * 1024 * 1024)
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        debug_assert!(self.0 >= rhs.0, "Bytes subtraction underflow");
+        Bytes(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Bytes(iter.map(|b| b.0).sum())
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instructions_arithmetic() {
+        let a = Instructions(100);
+        let b = Instructions(40);
+        assert_eq!(a + b, Instructions(140));
+        assert_eq!(a - b, Instructions(60));
+        assert_eq!(b.saturating_sub(a), Instructions(0));
+        assert_eq!(a * 3, Instructions(300));
+        assert_eq!(a / 4, Instructions(25));
+        let s: Instructions = [a, b].into_iter().sum();
+        assert_eq!(s, Instructions(140));
+    }
+
+    #[test]
+    fn fraction_within_basic() {
+        let t = Instructions(150);
+        assert!((t.fraction_within(Instructions(100), Instructions(200)) - 0.5).abs() < 1e-12);
+        // before the interval clamps to 0
+        assert_eq!(
+            Instructions(50).fraction_within(Instructions(100), Instructions(200)),
+            0.0
+        );
+        // after the interval clamps to 1
+        assert_eq!(
+            Instructions(500).fraction_within(Instructions(100), Instructions(200)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn fraction_within_degenerate_interval() {
+        assert_eq!(
+            Instructions(5).fraction_within(Instructions(10), Instructions(10)),
+            0.0
+        );
+        assert_eq!(
+            Instructions(5).fraction_within(Instructions(10), Instructions(3)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn bytes_helpers() {
+        assert_eq!(Bytes::kib(2), Bytes(2048));
+        assert_eq!(Bytes::mib(1), Bytes(1 << 20));
+        assert_eq!(Bytes::of_elems(10, 8), Bytes(80));
+        assert_eq!(Bytes(10) + Bytes(5), Bytes(15));
+        assert_eq!(Bytes(10) - Bytes(5), Bytes(5));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Instructions(42).to_string(), "42i");
+        assert_eq!(Bytes(42).to_string(), "42B");
+    }
+}

@@ -1,0 +1,120 @@
+//! Terminal Gantt rendering.
+
+use ovlp_machine::{SimResult, State, Time};
+
+/// Glyph for a state.
+fn glyph(state: Option<State>) -> char {
+    match state {
+        Some(State::Compute) => '#',
+        Some(State::WaitRecv) => 'r',
+        Some(State::WaitSend) => 's',
+        Some(State::Collective) => 'c',
+        Some(State::Done) | None => '.',
+    }
+}
+
+/// Render one simulated execution as an ASCII Gantt chart: one lane per
+/// rank, `width` columns spanning `[0, span]` seconds.
+///
+/// Each column shows the state occupying the majority of its time
+/// slice. The legend: `#` compute, `r` wait-recv, `s` wait-send,
+/// `c` collective, `.` idle/done.
+pub fn gantt(sim: &SimResult, width: usize, span: Time) -> String {
+    let width = width.max(10);
+    let mut out = String::new();
+    let dt = span.as_secs() / width as f64;
+    for (r, tl) in sim.timelines.iter().enumerate() {
+        out.push_str(&format!("r{r:<3}|"));
+        for col in 0..width {
+            // sample mid-column
+            let t = Time::secs((col as f64 + 0.5) * dt);
+            out.push(glyph(tl.state_at(t)));
+        }
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "     runtime {}   [#=compute r=wait-recv s=wait-send c=collective .=idle]\n",
+        sim.runtime
+    ));
+    out
+}
+
+/// Render two executions (typically original vs overlapped) one above
+/// the other on a shared time axis — the Fig. 4 comparison.
+pub fn gantt_comparison(
+    label_a: &str,
+    a: &SimResult,
+    label_b: &str,
+    b: &SimResult,
+    width: usize,
+) -> String {
+    let span = a.runtime.max(b.runtime);
+    let mut out = String::new();
+    out.push_str(&format!("== {label_a} ==\n"));
+    out.push_str(&gantt(a, width, span));
+    out.push_str(&format!("== {label_b} ==\n"));
+    out.push_str(&gantt(b, width, span));
+    out.push_str(&format!(
+        "speedup: x{:.3}\n",
+        a.runtime.as_secs() / b.runtime.as_secs()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlp_machine::{simulate, Platform};
+    use ovlp_trace::record::{Record, SendMode};
+    use ovlp_trace::{Bytes, Instructions, Rank, Tag, Trace, TransferId};
+
+    fn sim() -> SimResult {
+        let mut t = Trace::new(2);
+        t.rank_mut(Rank(0)).push(Record::Compute {
+            instr: Instructions(10_000_000),
+        });
+        t.rank_mut(Rank(0)).push(Record::Send {
+            dst: Rank(1),
+            tag: Tag::user(0),
+            bytes: Bytes(1_000_000),
+            mode: SendMode::Eager,
+            transfer: TransferId::new(Rank(0), 0),
+        });
+        t.rank_mut(Rank(1)).push(Record::Recv {
+            src: Rank(0),
+            tag: Tag::user(0),
+            bytes: Bytes(1_000_000),
+            transfer: TransferId::new(Rank(1), 0),
+        });
+        t.rank_mut(Rank(1)).push(Record::Compute {
+            instr: Instructions(10_000_000),
+        });
+        simulate(&t, &Platform::default()).unwrap()
+    }
+
+    #[test]
+    fn gantt_shows_all_ranks_and_states() {
+        let s = sim();
+        let g = gantt(&s, 60, s.runtime);
+        assert_eq!(g.lines().count(), 3); // 2 lanes + legend
+        assert!(g.contains('#'), "compute visible: {g}");
+        assert!(g.contains('r'), "wait visible: {g}");
+        assert!(g.contains("runtime"));
+    }
+
+    #[test]
+    fn comparison_reports_speedup() {
+        let s = sim();
+        let c = gantt_comparison("original", &s, "overlapped", &s, 40);
+        assert!(c.contains("== original =="));
+        assert!(c.contains("== overlapped =="));
+        assert!(c.contains("speedup: x1.000"));
+    }
+
+    #[test]
+    fn width_is_clamped() {
+        let s = sim();
+        let g = gantt(&s, 0, s.runtime);
+        assert!(g.lines().next().unwrap().len() >= 10);
+    }
+}

@@ -1,0 +1,161 @@
+//! State-duration histograms — the textual counterpart of Paraver's
+//! 2-D analyzer view: how long do the waits of each kind last, and how
+//! are they distributed across ranks?
+
+use ovlp_machine::{SimResult, State};
+use std::fmt::Write as _;
+
+/// A log-scaled histogram of interval durations for one state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurationHistogram {
+    pub state: State,
+    /// Bucket upper bounds in seconds (last bucket is open-ended).
+    pub bounds: Vec<f64>,
+    pub counts: Vec<usize>,
+    pub total: usize,
+}
+
+/// Default log-scale bucket bounds: 1 µs … 1 s.
+pub fn default_bounds() -> Vec<f64> {
+    (0..7).map(|i| 1e-6 * 10f64.powi(i)).collect()
+}
+
+/// Histogram the durations of all `state` intervals across ranks.
+pub fn duration_histogram(sim: &SimResult, state: State, bounds: &[f64]) -> DurationHistogram {
+    let mut counts = vec![0usize; bounds.len() + 1];
+    let mut total = 0usize;
+    for tl in &sim.timelines {
+        for iv in &tl.intervals {
+            if iv.state != state {
+                continue;
+            }
+            total += 1;
+            let d = iv.duration().as_secs();
+            let idx = bounds.partition_point(|&b| b < d);
+            counts[idx] += 1;
+        }
+    }
+    DurationHistogram {
+        state,
+        bounds: bounds.to_vec(),
+        counts,
+        total,
+    }
+}
+
+fn human(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.0}s")
+    } else if secs >= 1e-3 {
+        format!("{:.0}ms", secs * 1e3)
+    } else {
+        format!("{:.0}us", secs * 1e6)
+    }
+}
+
+/// Render a histogram with proportional bars.
+pub fn render(h: &DurationHistogram, width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} intervals: {} total",
+        h.state.name(),
+        h.total
+    );
+    let max = h.counts.iter().copied().max().unwrap_or(0).max(1);
+    for (i, &c) in h.counts.iter().enumerate() {
+        let label = if i == 0 {
+            format!("      <{}", human(h.bounds[0]))
+        } else if i == h.bounds.len() {
+            format!("     >={}", human(h.bounds[i - 1]))
+        } else {
+            format!("{:>7}-{}", human(h.bounds[i - 1]), human(h.bounds[i]))
+        };
+        let bar = "#".repeat(c * width / max);
+        let _ = writeln!(out, "{label:>16} | {c:>6} {bar}");
+    }
+    out
+}
+
+/// Full wait-analysis report: histograms for every wait state.
+pub fn wait_report(sim: &SimResult, width: usize) -> String {
+    let bounds = default_bounds();
+    let mut out = String::new();
+    for state in [State::WaitRecv, State::WaitSend, State::Collective] {
+        let h = duration_histogram(sim, state, &bounds);
+        if h.total > 0 {
+            out.push_str(&render(&h, width));
+            out.push('\n');
+        }
+    }
+    if out.is_empty() {
+        out.push_str("no wait intervals\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlp_machine::{simulate, Platform};
+    use ovlp_trace::record::{Record, SendMode};
+    use ovlp_trace::{Bytes, Instructions, Rank, Tag, Trace, TransferId};
+
+    fn sim() -> SimResult {
+        let mut t = Trace::new(2);
+        t.rank_mut(Rank(0)).push(Record::Compute {
+            instr: Instructions(23_000_000), // 10 ms
+        });
+        t.rank_mut(Rank(0)).push(Record::Send {
+            dst: Rank(1),
+            tag: Tag::user(0),
+            bytes: Bytes(1_000_000),
+            mode: SendMode::Eager,
+            transfer: TransferId::new(Rank(0), 0),
+        });
+        t.rank_mut(Rank(1)).push(Record::Recv {
+            src: Rank(0),
+            tag: Tag::user(0),
+            bytes: Bytes(1_000_000),
+            transfer: TransferId::new(Rank(1), 0),
+        });
+        simulate(&t, &Platform::default()).unwrap()
+    }
+
+    #[test]
+    fn wait_recv_interval_lands_in_ms_bucket() {
+        let s = sim();
+        let h = duration_histogram(&s, State::WaitRecv, &default_bounds());
+        assert_eq!(h.total, 1);
+        // ~14 ms wait: bounds are 1us..1s; 14 ms falls in the
+        // 10ms-100ms bucket (index 5: bounds[4]=10ms <= d < bounds[5]=100ms)
+        assert_eq!(h.counts[5], 1, "{h:?}");
+    }
+
+    #[test]
+    fn render_shows_bars_and_labels() {
+        let s = sim();
+        let h = duration_histogram(&s, State::WaitRecv, &default_bounds());
+        let text = render(&h, 40);
+        assert!(text.contains("wait-recv intervals: 1 total"));
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn wait_report_covers_states_present() {
+        let s = sim();
+        let text = wait_report(&s, 40);
+        assert!(text.contains("wait-recv"));
+        assert!(!text.contains("collective"), "no collectives here");
+    }
+
+    #[test]
+    fn empty_sim_reports_no_waits() {
+        let mut t = Trace::new(1);
+        t.rank_mut(Rank(0)).push(Record::Compute {
+            instr: Instructions(100),
+        });
+        let s = simulate(&t, &Platform::default()).unwrap();
+        assert_eq!(wait_report(&s, 40), "no wait intervals\n");
+    }
+}

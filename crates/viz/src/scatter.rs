@@ -1,0 +1,87 @@
+//! ASCII scatter plots of production/consumption patterns — the
+//! terminal rendition of the paper's Figure 5 panels ("the x axis
+//! represents the normalized time within the corresponding computation
+//! interval, the y axis represents an element's offset within the
+//! transferred buffer").
+
+use ovlp_core::patterns::ScatterPoint;
+
+/// Render scatter points into a `width`×`height` character grid.
+/// X: normalized interval time (0..1); Y: element offset (0 at the
+/// bottom, like the paper's plots).
+pub fn scatter_ascii(points: &[ScatterPoint], width: usize, height: usize) -> String {
+    let width = width.max(10);
+    let height = height.max(4);
+    let max_off = points.iter().map(|p| p.offset).max().unwrap_or(0).max(1);
+    let mut grid = vec![vec![' '; width]; height];
+    for p in points {
+        let xi = ((p.time * (width - 1) as f64).round() as usize).min(width - 1);
+        let yi = ((p.offset as f64 / max_off as f64) * (height - 1) as f64).round() as usize;
+        let row = height - 1 - yi.min(height - 1);
+        grid[row][xi] = '*';
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{max_off:>6} |")
+        } else if i == height - 1 {
+            format!("{:>6} |", 0)
+        } else {
+            "       |".to_string()
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("       +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "        0%{}100%  (normalized interval time)\n",
+        " ".repeat(width.saturating_sub(10))
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_pattern_renders_diagonally() {
+        let points: Vec<ScatterPoint> = (0..10)
+            .map(|i| ScatterPoint {
+                time: i as f64 / 9.0,
+                offset: i,
+            })
+            .collect();
+        let s = scatter_ascii(&points, 20, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        // bottom-left and top-right stars
+        assert!(lines[9].contains('*'));
+        assert!(lines[0].contains('*'));
+        // bottom row star near the left, top row star near the right
+        let bottom = lines[9].find('*').unwrap();
+        let top = lines[0].find('*').unwrap();
+        assert!(top > bottom);
+    }
+
+    #[test]
+    fn empty_points_render_empty_grid() {
+        let s = scatter_ascii(&[], 12, 5);
+        assert!(!s.contains('*'));
+        assert!(s.contains('+'));
+    }
+
+    #[test]
+    fn axis_labels_present() {
+        let points = vec![ScatterPoint {
+            time: 0.5,
+            offset: 100,
+        }];
+        let s = scatter_ascii(&points, 30, 8);
+        assert!(s.contains("100 |"), "{s}");
+        assert!(s.contains("0%"));
+        assert!(s.contains("100%"));
+    }
+}

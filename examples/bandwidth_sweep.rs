@@ -1,0 +1,54 @@
+//! Sweep the network bandwidth and watch the three execution variants
+//! diverge — the data behind the paper's bandwidth-relaxation argument
+//! (Fig. 6b): the overlapped execution degrades much later than the
+//! original as the network gets slower.
+//!
+//! ```sh
+//! cargo run --release --example bandwidth_sweep [app]
+//! ```
+
+use overlap_sim::core::experiments::bandwidth_relaxation;
+use overlap_sim::prelude::*;
+
+fn main() {
+    let app_name = std::env::args().nth(1).unwrap_or_else(|| "sweep3d".into());
+    let entry = overlap_sim::apps::registry::by_name(&app_name)
+        .unwrap_or_else(|| panic!("unknown app {app_name}"));
+    let platform = overlap_sim::core::presets::marenostrum_for(entry.name);
+
+    let run = trace_app(entry.app.as_ref(), entry.ranks).expect("tracing failed");
+    let bundle = build_variants(&run, &ChunkPolicy::paper_default());
+
+    println!("bandwidth sweep for `{}` ({} ranks, {} buses)", entry.name, entry.ranks, platform.buses);
+    println!();
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "MB/s", "original", "overlapped", "ideal"
+    );
+    for bw in [2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0] {
+        let p = platform.with_bandwidth(bw);
+        let o = simulate(&bundle.original, &p).unwrap().runtime();
+        let v = simulate(&bundle.overlapped, &p).unwrap().runtime();
+        let i = simulate(&bundle.ideal, &p).unwrap().runtime();
+        println!(
+            "{bw:>10.0} {:>12.2}ms {:>12.2}ms {:>12.2}ms",
+            o * 1e3,
+            v * 1e3,
+            i * 1e3
+        );
+    }
+
+    let relax = bandwidth_relaxation(&bundle, &platform).expect("search failed");
+    println!();
+    println!(
+        "to match the original at {:.0} MB/s ({:.2} ms):",
+        platform.bandwidth_mbs,
+        relax.baseline_runtime * 1e3
+    );
+    let fmt = |v: Option<f64>| match v {
+        Some(bw) => format!("{bw:.2} MB/s ({:.1}x less)", platform.bandwidth_mbs / bw),
+        None => "not reachable".to_string(),
+    };
+    println!("  overlapped (measured patterns) needs {}", fmt(relax.real_mbs));
+    println!("  overlapped (ideal patterns)    needs {}", fmt(relax.ideal_mbs));
+}

@@ -1,0 +1,81 @@
+//! Analyze the overlap potential of *your own* application.
+//!
+//! The point of the paper's framework is that no knowledge of the
+//! source is needed — but the framework is equally useful as a design
+//! tool. Here we write a small stencil-style kernel against the
+//! instrumented API, then ask: how much would chunked overlap buy, and
+//! how do its production/consumption patterns look?
+//!
+//! ```sh
+//! cargo run --example custom_app
+//! ```
+
+use overlap_sim::core::patterns::{consumption_stats, production_stats};
+use overlap_sim::core::report::{table2a, table2b};
+use overlap_sim::instr::{FnApp, RankCtx};
+use overlap_sim::prelude::*;
+use overlap_sim::trace::Rank;
+
+fn main() {
+    // A 1-D Jacobi-like kernel: compute interior, write boundary late,
+    // exchange with the ring neighbors, consume early next iteration.
+    let cells = 4_000usize;
+    let iters = 6u32;
+    let app = FnApp::new("jacobi-ring", move |ctx: &mut RankCtx| {
+        let p = ctx.nranks() as u32;
+        let me = ctx.rank().get();
+        let right = Rank((me + 1) % p);
+        let left = Rank((me + p - 1) % p);
+        let mut out = ctx.buffer(cells);
+        let mut inp = ctx.buffer(cells);
+        for it in 0..iters {
+            ctx.iter_begin(it);
+            // interior update: ~2.3 Minstr, boundary written in the
+            // last tenth
+            let start = ctx.now();
+            for i in 0..cells {
+                let frac = 0.9 + 0.1 * (i as f64 + 1.0) / cells as f64;
+                overlap_sim::apps::util::advance_to(ctx, start, frac, 2_300_000);
+                out.store(i, (me * 1000 + i as u32) as f64);
+            }
+            // ring exchange
+            ctx.sendrecv(right, 1, &mut out, left, 1, &mut inp);
+            // next phase needs the halo after a short independent part
+            let start = ctx.now();
+            overlap_sim::apps::util::advance_to(ctx, start, 0.05, 460_000);
+            let mut acc = 0.0;
+            for i in 0..cells {
+                acc += inp.load(i);
+            }
+            overlap_sim::apps::util::advance_to(ctx, start, 1.0, 460_000);
+            ctx.compute((acc as u64) % 3); // data-dependent tail
+            ctx.iter_end(it);
+        }
+    });
+
+    let run = trace_app(&app, 8).expect("tracing failed");
+    println!(
+        "{}",
+        table2a(&[("jacobi-ring".into(), production_stats(&run.access))])
+    );
+    println!(
+        "{}",
+        table2b(&[("jacobi-ring".into(), consumption_stats(&run.access))])
+    );
+
+    let bundle = build_variants(&run, &ChunkPolicy::paper_default());
+    let platform = Platform::marenostrum(0);
+    let orig = simulate(&bundle.original, &platform).unwrap();
+    let ovl = simulate(&bundle.overlapped, &platform).unwrap();
+    let ideal = simulate(&bundle.ideal, &platform).unwrap();
+    println!(
+        "speedup from overlap: measured patterns x{:.3}, ideal patterns x{:.3}",
+        orig.runtime() / ovl.runtime(),
+        orig.runtime() / ideal.runtime()
+    );
+    println!(
+        "verdict: this kernel produces its boundary in the last 10% of the step —\n\
+         advancing sends has little room; restructure the loop to update the\n\
+         boundary first and the ideal column shows what becomes reachable."
+    );
+}

@@ -1,0 +1,60 @@
+//! Quickstart: trace an application, derive the overlapped traces, and
+//! quantify the benefit — the whole §III pipeline in ~30 lines.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use overlap_sim::prelude::*;
+
+fn main() {
+    // 1. Run the application under instrumentation (the Valgrind step):
+    //    one thread per rank, every MPI call wrapped, every tracked
+    //    load/store recorded.
+    let app = overlap_sim::apps::nas_cg::NasCgApp::default();
+    let run = trace_app(&app, 4).expect("tracing failed");
+    println!(
+        "traced `{}` on {} ranks: {} records, {} production logs",
+        app.name(),
+        run.nranks(),
+        run.trace.total_records(),
+        run.access.all_productions().count(),
+    );
+
+    // 2. Rewrite the original trace into the overlapped variants
+    //    (message chunking + advancing sends + double buffering +
+    //    post-postponing receptions).
+    let bundle = build_variants(&run, &ChunkPolicy::paper_default());
+
+    // 3. Replay all three on a Marenostrum-like platform (the Dimemas
+    //    step): 250 MB/s, 8 us latency, 6 buses (Table I for CG).
+    let platform = Platform::marenostrum(6);
+    let original = simulate(&bundle.original, &platform).expect("simulation failed");
+    let overlapped = simulate(&bundle.overlapped, &platform).expect("simulation failed");
+    let ideal = simulate(&bundle.ideal, &platform).expect("simulation failed");
+
+    println!("original runtime:   {:.3} ms", original.runtime() * 1e3);
+    println!(
+        "overlapped runtime: {:.3} ms  (speedup x{:.3})",
+        overlapped.runtime() * 1e3,
+        original.runtime() / overlapped.runtime()
+    );
+    println!(
+        "ideal runtime:      {:.3} ms  (speedup x{:.3})",
+        ideal.runtime() * 1e3,
+        original.runtime() / ideal.runtime()
+    );
+
+    // 4. Look at the timelines (the Paraver step).
+    println!();
+    println!(
+        "{}",
+        overlap_sim::viz::gantt_comparison(
+            "non-overlapped",
+            &original,
+            "overlapped",
+            &overlapped,
+            96
+        )
+    );
+}

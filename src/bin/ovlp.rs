@@ -1,0 +1,416 @@
+//! `ovlp` — command-line front end for the overlap-analysis framework.
+//!
+//! ```text
+//! ovlp analyze <app> <ranks>             full pipeline report (patterns + benefits)
+//! ovlp trace <app> <ranks> <outdir>      write .trf traces + the .acc access log
+//! ovlp transform <trace.trf> <log.acc>   rewrite a trace offline (stdout)
+//! ovlp simulate <trace.trf> [bw] [buses] replay a trace file on a platform
+//! ovlp stats <trace.trf>                 structural statistics of a trace file
+//! ovlp gantt <app> <ranks>               original vs overlapped ASCII timelines
+//! ovlp waits <app> <ranks>               wait-duration histograms (both variants)
+//! ovlp chunks <app> <ranks>              find the best chunk count
+//! ovlp advise <app> <ranks>              per-transfer restructuring advice
+//! ovlp report <app> <ranks> <out.html>   self-contained HTML analysis report
+//! ovlp paraver <app> <ranks> <outdir>    export Paraver .prv/.pcf/.row for both variants
+//! ovlp list                              list the application pool
+//! ```
+
+use overlap_sim::core::chunk::ChunkPolicy;
+use overlap_sim::core::experiments::run_variants;
+use overlap_sim::core::patterns::{consumption_stats, production_stats};
+use overlap_sim::core::pipeline::build_variants;
+use overlap_sim::core::presets::marenostrum_for;
+use overlap_sim::core::report::{pct, table2a, table2b};
+use overlap_sim::instr::trace_app;
+use overlap_sim::machine::{simulate, Platform};
+use overlap_sim::trace::text;
+use overlap_sim::viz::{gantt_comparison, paraver, timeline_svg};
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match strs.as_slice() {
+        ["list"] => {
+            for e in overlap_sim::apps::paper_pool() {
+                println!("{:<12} (default {} ranks)", e.name, e.ranks);
+            }
+            ExitCode::SUCCESS
+        }
+        ["analyze", app, ranks] => analyze(app, ranks),
+        ["trace", app, ranks, outdir] => trace_cmd(app, ranks, outdir),
+        ["transform", trf, acc] => transform_cmd(trf, acc),
+        ["simulate", path, rest @ ..] => simulate_cmd(path, rest),
+        ["stats", path] => stats_cmd(path),
+        ["gantt", app, ranks] => gantt_cmd(app, ranks),
+        ["waits", app, ranks] => waits_cmd(app, ranks),
+        ["chunks", app, ranks] => chunks_cmd(app, ranks),
+        ["advise", app, ranks] => advise_cmd(app, ranks),
+        ["report", app, ranks, out] => report_cmd(app, ranks, out),
+        ["paraver", app, ranks, outdir] => paraver_cmd(app, ranks, outdir),
+        _ => {
+            eprintln!(
+                "usage: ovlp <list | analyze <app> <ranks> | trace <app> <ranks> <outdir> |\n\
+                 \x20      transform <trace.trf> <log.acc> | simulate <trace.trf> [bw] [buses] |\n\
+                 \x20      stats <trace.trf> | gantt <app> <ranks> | waits <app> <ranks> |\n\
+                 \x20      chunks <app> <ranks> | advise <app> <ranks> |\n\
+                 \x20      report <app> <ranks> <out.html> | paraver <app> <ranks> <outdir>>"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn prepare(app_name: &str, ranks: &str) -> Result<(overlap_sim::core::pipeline::VariantBundle, overlap_sim::instr::TraceRun, Platform), String> {
+    let ranks: usize = ranks.parse().map_err(|e| format!("bad rank count: {e}"))?;
+    let entry = overlap_sim::apps::registry::by_name(app_name)
+        .ok_or_else(|| format!("unknown app `{app_name}` (try `ovlp list`)"))?;
+    let run = trace_app(entry.app.as_ref(), ranks).map_err(|e| e.to_string())?;
+    let bundle = build_variants(&run, &ChunkPolicy::paper_default());
+    Ok((bundle, run, marenostrum_for(entry.name)))
+}
+
+fn fail(msg: String) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}
+
+fn analyze(app: &str, ranks: &str) -> ExitCode {
+    let (bundle, run, platform) = match prepare(app, ranks) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    let p = production_stats(&run.access);
+    let c = consumption_stats(&run.access);
+    println!("{}", table2a(&[(app.to_string(), p)]));
+    println!("{}", table2b(&[(app.to_string(), c)]));
+    match run_variants(&bundle, &platform) {
+        Ok(r) => {
+            println!(
+                "runtime: original {:.4}s  overlapped {:.4}s (x{:.3})  ideal {:.4}s (x{:.3})",
+                r.original.runtime(),
+                r.overlapped.runtime(),
+                r.speedup_real(),
+                r.ideal.runtime(),
+                r.speedup_ideal()
+            );
+            println!(
+                "wait/rank: original {:.1}us  overlapped {:.1}us",
+                r.original.total_wait() * 1e6 / r.original.totals.len() as f64,
+                r.overlapped.total_wait() * 1e6 / r.overlapped.totals.len() as f64,
+            );
+            let demand =
+                overlap_sim::core::double_buffer_demand(&r.overlapped);
+            println!(
+                "double-buffering demand: {} of {} candidate transfers ({})",
+                demand.early_arrivals,
+                demand.candidates,
+                pct(Some(100.0 * demand.fraction()))
+            );
+            // the paper's §VII future work, quantified: how much more
+            // postponement would phase-level reordering expose?
+            match overlap_sim::core::patterns::mean_independent_tail(&run.access) {
+                Some(tail) => println!(
+                    "phase-reorder potential (mean independent tail): {}",
+                    pct(Some(100.0 * tail))
+                ),
+                None => println!("phase-reorder potential: n/a (scatter capture off)"),
+            }
+            println!("\nheaviest channels (original execution):");
+            print!(
+                "{}",
+                overlap_sim::machine::chanstat::render_top(&r.original, 8)
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e.to_string()),
+    }
+}
+
+fn trace_cmd(app: &str, ranks: &str, outdir: &str) -> ExitCode {
+    let (bundle, run, _) = match prepare(app, ranks) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    let dir = Path::new(outdir);
+    if let Err(e) = fs::create_dir_all(dir) {
+        return fail(e.to_string());
+    }
+    for (name, body) in [
+        ("original.trf", text::emit(&bundle.original)),
+        ("overlapped.trf", text::emit(&bundle.overlapped)),
+        ("ideal.trf", text::emit(&bundle.ideal)),
+        (
+            "access.acc",
+            overlap_sim::trace::access_text::emit(&run.access),
+        ),
+    ] {
+        let path = dir.join(name);
+        if let Err(e) = fs::write(&path, body) {
+            return fail(e.to_string());
+        }
+        println!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Offline transformation: the paper's §III-C generation step applied
+/// to artifacts on disk.
+fn transform_cmd(trf: &str, acc: &str) -> ExitCode {
+    let trace = match fs::read_to_string(trf).map_err(|e| e.to_string()).and_then(|c| {
+        text::parse(&c).map_err(|e| e.to_string())
+    }) {
+        Ok(t) => t,
+        Err(e) => return fail(format!("{trf}: {e}")),
+    };
+    let access = match fs::read_to_string(acc).map_err(|e| e.to_string()).and_then(|c| {
+        overlap_sim::trace::access_text::parse(&c).map_err(|e| e.to_string())
+    }) {
+        Ok(a) => a,
+        Err(e) => return fail(format!("{acc}: {e}")),
+    };
+    let out = overlap_sim::core::transform(&trace, &access, &ChunkPolicy::paper_default());
+    print!("{}", text::emit(&out));
+    ExitCode::SUCCESS
+}
+
+fn stats_cmd(path: &str) -> ExitCode {
+    let trace = match fs::read_to_string(path).map_err(|e| e.to_string()).and_then(|c| {
+        text::parse(&c).map_err(|e| e.to_string())
+    }) {
+        Ok(t) => t,
+        Err(e) => return fail(format!("{path}: {e}")),
+    };
+    println!("{}", overlap_sim::trace::TraceStats::of(&trace));
+    let errs = overlap_sim::trace::validate(&trace);
+    if errs.is_empty() {
+        println!("validation:       ok");
+        ExitCode::SUCCESS
+    } else {
+        println!("validation:       {} problems", errs.len());
+        for e in errs.iter().take(10) {
+            println!("  - {e}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn waits_cmd(app: &str, ranks: &str) -> ExitCode {
+    let (bundle, _, platform) = match prepare(app, ranks) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    match run_variants(&bundle, &platform) {
+        Ok(r) => {
+            println!("== non-overlapped ==");
+            println!("{}", overlap_sim::viz::wait_report(&r.original, 48));
+            println!("== overlapped ==");
+            println!("{}", overlap_sim::viz::wait_report(&r.overlapped, 48));
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e.to_string()),
+    }
+}
+
+fn chunks_cmd(app: &str, ranks: &str) -> ExitCode {
+    use overlap_sim::core::experiments::{chunk_search, default_candidates};
+    let ranks_n: usize = match ranks.parse() {
+        Ok(n) => n,
+        Err(e) => return fail(format!("bad rank count: {e}")),
+    };
+    let entry = match overlap_sim::apps::registry::by_name(app) {
+        Some(e) => e,
+        None => return fail(format!("unknown app `{app}`")),
+    };
+    let run = match trace_app(entry.app.as_ref(), ranks_n) {
+        Ok(r) => r,
+        Err(e) => return fail(e.to_string()),
+    };
+    let platform = marenostrum_for(entry.name);
+    match chunk_search(&run, &platform, &default_candidates()) {
+        Ok(s) => {
+            println!("original runtime: {:.4}s", s.original_runtime);
+            for p in &s.points {
+                let marker = if p.chunks == s.best.chunks { "  <= best" } else { "" };
+                println!(
+                    "{:>3} chunks: {:.4}s (x{:.3}){}",
+                    p.chunks, p.runtime, p.speedup_vs_original, marker
+                );
+            }
+            println!(
+                "recommendation: {} chunks (the paper fixes 4)",
+                s.best.chunks
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e.to_string()),
+    }
+}
+
+fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
+    let content = match fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => return fail(format!("{path}: {e}")),
+    };
+    let trace = match text::parse(&content) {
+        Ok(t) => t,
+        Err(e) => return fail(e.to_string()),
+    };
+    let mut platform = Platform::default();
+    if let Some(bw) = rest.first() {
+        match bw.parse() {
+            Ok(v) => platform.bandwidth_mbs = v,
+            Err(e) => return fail(format!("bad bandwidth: {e}")),
+        }
+    }
+    if let Some(buses) = rest.get(1) {
+        match buses.parse() {
+            Ok(v) => platform.buses = v,
+            Err(e) => return fail(format!("bad bus count: {e}")),
+        }
+    }
+    match simulate(&trace, &platform) {
+        Ok(r) => {
+            println!(
+                "runtime {:.6}s  ({} ranks, {} events, efficiency {:.1}%)",
+                r.runtime(),
+                r.timelines.len(),
+                r.events_processed,
+                100.0 * r.efficiency()
+            );
+            for (i, t) in r.totals.iter().enumerate() {
+                println!(
+                    "  r{i}: compute {:.3}ms  wait-recv {:.3}ms  wait-send {:.3}ms  collective {:.3}ms",
+                    t.compute.as_secs() * 1e3,
+                    t.wait_recv.as_secs() * 1e3,
+                    t.wait_send.as_secs() * 1e3,
+                    t.collective.as_secs() * 1e3
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e.to_string()),
+    }
+}
+
+fn gantt_cmd(app: &str, ranks: &str) -> ExitCode {
+    let (bundle, _, platform) = match prepare(app, ranks) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    match run_variants(&bundle, &platform) {
+        Ok(r) => {
+            println!(
+                "{}",
+                gantt_comparison("non-overlapped", &r.original, "overlapped", &r.overlapped, 100)
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e.to_string()),
+    }
+}
+
+fn advise_cmd(app: &str, ranks: &str) -> ExitCode {
+    let (_, run, platform) = match prepare(app, ranks) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    let advice = overlap_sim::core::advisor::advise(
+        &run.trace,
+        &run.access,
+        &platform,
+        &ChunkPolicy::paper_default(),
+    );
+    print!("{}", advice.render());
+    ExitCode::SUCCESS
+}
+
+fn report_cmd(app: &str, ranks: &str, out: &str) -> ExitCode {
+    let (bundle, run, platform) = match prepare(app, ranks) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    let r = match run_variants(&bundle, &platform) {
+        Ok(r) => r,
+        Err(e) => return fail(e.to_string()),
+    };
+    let mut tables = table2a(&[(app.to_string(), production_stats(&run.access))]);
+    tables.push('\n');
+    tables.push_str(&table2b(&[(app.to_string(), consumption_stats(&run.access))]));
+    let advice = overlap_sim::core::advisor::advise(
+        &run.trace,
+        &run.access,
+        &platform,
+        &ChunkPolicy::paper_default(),
+    )
+    .render();
+    let mut notes = vec![format!(
+        "double-buffering demand: {:.1}% of candidate transfers",
+        100.0 * overlap_sim::core::double_buffer_demand(&r.overlapped).fraction()
+    )];
+    if let Some(tail) =
+        overlap_sim::core::patterns::mean_independent_tail(&run.access)
+    {
+        notes.push(format!(
+            "phase-reorder potential (mean independent tail): {:.1}%",
+            100.0 * tail
+        ));
+    }
+    let inputs = overlap_sim::viz::ReportInputs {
+        app: app.to_string(),
+        ranks: r.original.totals.len(),
+        platform: format!(
+            "{} MB/s, {} us latency, {} buses, 4 chunks",
+            platform.bandwidth_mbs, platform.latency_us, platform.buses
+        ),
+        pattern_tables: tables,
+        advice,
+        notes,
+    };
+    let html = overlap_sim::viz::html_report(
+        &inputs,
+        &[
+            ("non-overlapped (original)", &r.original),
+            ("overlapped (measured patterns)", &r.overlapped),
+            ("overlapped (ideal patterns)", &r.ideal),
+        ],
+    );
+    if let Err(e) = fs::write(out, html) {
+        return fail(e.to_string());
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn paraver_cmd(app: &str, ranks: &str, outdir: &str) -> ExitCode {
+    let (bundle, _, platform) = match prepare(app, ranks) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    let r = match run_variants(&bundle, &platform) {
+        Ok(r) => r,
+        Err(e) => return fail(e.to_string()),
+    };
+    let dir = Path::new(outdir);
+    if let Err(e) = fs::create_dir_all(dir) {
+        return fail(e.to_string());
+    }
+    let span = r.original.runtime.max(r.overlapped.runtime);
+    for (label, sim) in [("original", &r.original), ("overlapped", &r.overlapped)] {
+        let e = paraver::export(&format!("{app}-{label}"), sim);
+        for (ext, body) in [("prv", e.prv), ("pcf", e.pcf), ("row", e.row)] {
+            let path = dir.join(format!("{app}-{label}.{ext}"));
+            if let Err(err) = fs::write(&path, body) {
+                return fail(err.to_string());
+            }
+        }
+        let svg = timeline_svg(&format!("{app} {label}"), sim, 1200, span);
+        if let Err(err) = fs::write(dir.join(format!("{app}-{label}.svg")), svg) {
+            return fail(err.to_string());
+        }
+    }
+    println!("wrote Paraver + SVG artifacts to {}", dir.display());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,60 @@
+//! Whole-pipeline determinism: host thread scheduling must never leak
+//! into traces, transformations or simulations.
+
+use overlap_sim::core::chunk::ChunkPolicy;
+use overlap_sim::core::pipeline::build_variants;
+use overlap_sim::instr::trace_app;
+use overlap_sim::machine::{simulate, Platform};
+use overlap_sim::trace::text;
+
+#[test]
+fn tracing_is_deterministic_across_runs() {
+    let app = overlap_sim::apps::pop::PopApp::quick();
+    let a = trace_app(&app, 6).unwrap();
+    let b = trace_app(&app, 6).unwrap();
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.access, b.access);
+}
+
+#[test]
+fn transform_and_simulation_are_deterministic() {
+    let app = overlap_sim::apps::nas_cg::NasCgApp::quick();
+    let platform = Platform::marenostrum(6);
+    let policy = ChunkPolicy::paper_default();
+    let mut emitted: Vec<(String, String, String)> = Vec::new();
+    let mut runtimes: Vec<(u64, u64, u64)> = Vec::new();
+    for _ in 0..3 {
+        let run = trace_app(&app, 4).unwrap();
+        let b = build_variants(&run, &policy);
+        emitted.push((
+            text::emit(&b.original),
+            text::emit(&b.overlapped),
+            text::emit(&b.ideal),
+        ));
+        runtimes.push((
+            simulate(&b.original, &platform).unwrap().runtime().to_bits(),
+            simulate(&b.overlapped, &platform).unwrap().runtime().to_bits(),
+            simulate(&b.ideal, &platform).unwrap().runtime().to_bits(),
+        ));
+    }
+    assert_eq!(emitted[0], emitted[1]);
+    assert_eq!(emitted[1], emitted[2]);
+    // bit-exact runtimes, not just approximately equal
+    assert_eq!(runtimes[0], runtimes[1]);
+    assert_eq!(runtimes[1], runtimes[2]);
+}
+
+#[test]
+fn simulation_events_are_deterministic() {
+    let app = overlap_sim::apps::sweep3d::Sweep3dApp::quick();
+    let run = trace_app(&app, 4).unwrap();
+    let p = Platform::marenostrum(2); // force contention
+    let a = simulate(&run.trace, &p).unwrap();
+    let b = simulate(&run.trace, &p).unwrap();
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.timelines, b.timelines);
+    assert_eq!(a.comms.len(), b.comms.len());
+    for (x, y) in a.comms.iter().zip(b.comms.iter()) {
+        assert_eq!(x, y);
+    }
+}

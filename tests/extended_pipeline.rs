@@ -1,0 +1,88 @@
+//! The full overlap analysis on extended platforms: multi-core nodes,
+//! the machine/WAN hierarchy, eager thresholds and heterogeneous CPUs
+//! must compose with tracing, transformation and the experiments.
+
+use overlap_sim::core::chunk::ChunkPolicy;
+use overlap_sim::core::pipeline::build_variants;
+use overlap_sim::instr::trace_app;
+use overlap_sim::machine::{simulate, Platform};
+
+fn cg_bundle() -> (overlap_sim::core::pipeline::VariantBundle, usize) {
+    let app = overlap_sim::apps::nas_cg::NasCgApp::default();
+    let ranks = 8;
+    let run = trace_app(&app, ranks).unwrap();
+    (build_variants(&run, &ChunkPolicy::paper_default()), ranks)
+}
+
+#[test]
+fn overlap_still_wins_on_multicore_nodes() {
+    let (bundle, _) = cg_bundle();
+    // 4 ranks per node: the XOR partner of every rank is on-node, so
+    // the exchanges ride the fast intra path; the scalar reductions
+    // still cross nodes
+    let p = Platform::marenostrum(6).with_nodes(4, 2000.0, 0.5);
+    let orig = simulate(&bundle.original, &p).unwrap();
+    let ovl = simulate(&bundle.overlapped, &p).unwrap();
+    assert!(ovl.runtime() <= orig.runtime() * 1.0001);
+    // and the multicore original beats the single-core original
+    let single = simulate(&bundle.original, &Platform::marenostrum(6)).unwrap();
+    assert!(orig.runtime() < single.runtime());
+    assert!(orig.network.intra_node > 0);
+}
+
+#[test]
+fn overlap_matters_more_across_the_wan() {
+    let (bundle, _) = cg_bundle();
+    // two machines of 4 ranks; partner exchanges stay local but the
+    // reductions cross the slow WAN
+    let lan = Platform::marenostrum(6);
+    let wan = lan.with_nodes(1, 2000.0, 0.5).with_machines(4, 25.0, 100.0, 0);
+    let orig_lan = simulate(&bundle.original, &lan).unwrap();
+    let orig_wan = simulate(&bundle.original, &wan).unwrap();
+    // the WAN hurts
+    assert!(orig_wan.runtime() > orig_lan.runtime());
+    assert!(orig_wan.network.inter_machine > 0);
+    // and the overlapped execution still never loses
+    let ovl_wan = simulate(&bundle.overlapped, &wan).unwrap();
+    assert!(ovl_wan.runtime() <= orig_wan.runtime() * 1.0001);
+}
+
+#[test]
+fn eager_threshold_exposes_buffering_dependence() {
+    // CG's prologue sends before it receives — legal only because MPI
+    // buffers eagerly. Forcing large messages to rendezvous makes the
+    // ORIGINAL trace deadlock (which the engine detects rather than
+    // hangs on), while the OVERLAPPED trace survives: the
+    // transformation replaced every blocking send with non-blocking
+    // chunk sends, removing the dependence on eager buffering.
+    let (bundle, _) = cg_bundle();
+    let p = Platform {
+        eager_threshold_bytes: Some(4096),
+        ..Platform::marenostrum(6)
+    };
+    let orig = simulate(&bundle.original, &p);
+    assert!(
+        matches!(orig, Err(overlap_sim::machine::SimError::Deadlock { .. })),
+        "the legacy code depends on eager buffering: {orig:?}"
+    );
+    let ovl = simulate(&bundle.overlapped, &p).unwrap();
+    assert!(ovl.runtime() > 0.0);
+}
+
+#[test]
+fn heterogeneous_cpus_shift_the_critical_path() {
+    let (bundle, ranks) = cg_bundle();
+    let mut ratios = vec![1.0; ranks];
+    ratios[3] = 0.5; // one straggler at half speed
+    let p = Platform {
+        cpu_ratios: ratios,
+        ..Platform::marenostrum(6)
+    };
+    let uniform = simulate(&bundle.original, &Platform::marenostrum(6)).unwrap();
+    let skewed = simulate(&bundle.original, &p).unwrap();
+    assert!(skewed.runtime() > uniform.runtime() * 1.5, "straggler dominates");
+    // overlap cannot fix a compute straggler
+    let ovl = simulate(&bundle.overlapped, &p).unwrap();
+    let floor = p.compute_time_for(3, bundle.original.ranks[3].total_compute());
+    assert!(ovl.runtime() >= floor.as_secs());
+}

@@ -1,0 +1,50 @@
+//! Trace text-format round trips across the full pipeline: anything the
+//! framework produces must survive serialization and replay
+//! identically — the property that makes traces real artifacts (files
+//! on disk, as in the Dimemas toolchain) rather than in-memory objects.
+
+use overlap_sim::core::chunk::ChunkPolicy;
+use overlap_sim::core::pipeline::build_variants;
+use overlap_sim::instr::trace_app;
+use overlap_sim::machine::{simulate, Platform};
+use overlap_sim::trace::text;
+
+#[test]
+fn all_variants_roundtrip_and_replay_identically() {
+    let app = overlap_sim::apps::specfem3d::Specfem3dApp::quick();
+    let run = trace_app(&app, 4).unwrap();
+    let bundle = build_variants(&run, &ChunkPolicy::paper_default());
+    let platform = Platform::marenostrum(8);
+    for (name, t) in [
+        ("original", &bundle.original),
+        ("overlapped", &bundle.overlapped),
+        ("ideal", &bundle.ideal),
+    ] {
+        let emitted = text::emit(t);
+        let parsed = text::parse(&emitted).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(*t, parsed, "{name}: structural roundtrip");
+        let direct = simulate(t, &platform).unwrap();
+        let reparsed = simulate(&parsed, &platform).unwrap();
+        assert_eq!(
+            direct.runtime().to_bits(),
+            reparsed.runtime().to_bits(),
+            "{name}: replay differs after roundtrip"
+        );
+        // emitting twice is stable
+        assert_eq!(emitted, text::emit(&parsed));
+    }
+}
+
+#[test]
+fn roundtrip_through_the_filesystem() {
+    let app = overlap_sim::apps::nas_bt::NasBtApp::quick();
+    let run = trace_app(&app, 4).unwrap();
+    let dir = std::env::temp_dir().join("ovlp-roundtrip-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bt.trf");
+    std::fs::write(&path, text::emit(&run.trace)).unwrap();
+    let content = std::fs::read_to_string(&path).unwrap();
+    let parsed = text::parse(&content).unwrap();
+    assert_eq!(run.trace, parsed);
+    std::fs::remove_file(&path).ok();
+}
