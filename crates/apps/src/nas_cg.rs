@@ -100,8 +100,7 @@ impl MpiApp for NasCgApp {
             let load_at =
                 |i: usize| self.load_from + (self.load_to - self.load_from) * i as f64 / n as f64;
             let store_at = |i: usize| {
-                self.store_from
-                    + (self.store_to - self.store_from) * (i as f64 + 1.0) / n as f64
+                self.store_from + (self.store_to - self.store_from) * (i as f64 + 1.0) / n as f64
             };
             let (mut li, mut si) = (0usize, 0usize);
             let mut pv = 0.0;

@@ -169,8 +169,13 @@ mod tests {
         // middle ranks both receive and send every sweep
         let run = trace_app(&Sweep3dApp::quick(), 4).unwrap();
         use ovlp_trace::record::Record;
-        let count =
-            |r: usize, pred: fn(&Record) -> bool| run.trace.ranks[r].records.iter().filter(|x| pred(x)).count();
+        let count = |r: usize, pred: fn(&Record) -> bool| {
+            run.trace.ranks[r]
+                .records
+                .iter()
+                .filter(|x| pred(x))
+                .count()
+        };
         let sweeps = (Sweep3dApp::quick().mk * Sweep3dApp::quick().iters) as usize;
         assert_eq!(count(0, |r| matches!(r, Record::Send { .. })), sweeps);
         assert_eq!(count(0, |r| matches!(r, Record::Recv { .. })), 0);

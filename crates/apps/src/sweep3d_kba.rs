@@ -146,8 +146,7 @@ impl MpiApp for Sweep3dKbaApp {
                     // final versions concentrated late (Table II shape)
                     let start = ctx.now();
                     for i in 0..n {
-                        let frac =
-                            self.final_pass_at * ((i + 1) as f64 / n as f64);
+                        let frac = self.final_pass_at * ((i + 1) as f64 / n as f64);
                         advance_to(ctx, start, frac, self.sweep_instr);
                         x_out.store(i, inflow + i as f64);
                         y_out.store(i, inflow - i as f64);
@@ -228,14 +227,12 @@ mod tests {
         use ovlp_trace::record::Record;
         let r0 = &run.trace.ranks[0].records;
         let has_send_tag = |t: u32| {
-            r0.iter().any(
-                |x| matches!(x, Record::Send { tag, .. } if tag.0 == t),
-            )
+            r0.iter()
+                .any(|x| matches!(x, Record::Send { tag, .. } if tag.0 == t))
         };
         let has_recv_tag = |t: u32| {
-            r0.iter().any(
-                |x| matches!(x, Record::Recv { tag, .. } if tag.0 == t),
-            )
+            r0.iter()
+                .any(|x| matches!(x, Record::Recv { tag, .. } if tag.0 == t))
         };
         // octant 0 (+1,+1): rank 0 only sends
         assert!(has_send_tag(70) && !has_recv_tag(70));

@@ -181,10 +181,7 @@ mod tests {
             elems: 200,
             iters: 3,
             phase_instr: 500_000,
-            production: Production::Window {
-                from: 0.9,
-                to: 1.0,
-            },
+            production: Production::Window { from: 0.9, to: 1.0 },
             consumption: Consumption::CopyAfter { indep: 0.1 },
         };
         let run = trace_app(&app, 2).unwrap();

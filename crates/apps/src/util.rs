@@ -86,7 +86,10 @@ pub fn copy_out(ctx: &mut RankCtx, buf: &mut TrackedBuf, seed: f64) {
 /// The partner of `me` under pairwise (XOR) exchange; requires an even
 /// world size.
 pub fn xor_partner(me: u32, nranks: usize) -> u32 {
-    assert!(nranks.is_multiple_of(2), "pairwise exchange needs an even rank count");
+    assert!(
+        nranks.is_multiple_of(2),
+        "pairwise exchange needs an even rank count"
+    );
     me ^ 1
 }
 
@@ -133,8 +136,7 @@ mod tests {
         });
         let run = trace_app_with(&app, 2, &free()).unwrap();
         let p = run.access.production(TransferId::new(Rank(0), 0)).unwrap();
-        let (first, quarter, half, whole) =
-            ovlp_core::patterns::production_fractions(p).unwrap();
+        let (first, quarter, half, whole) = ovlp_core::patterns::production_fractions(p).unwrap();
         assert!(first < 2.0, "{first}");
         assert!((quarter.unwrap() - 25.0).abs() < 2.0);
         assert!((half.unwrap() - 50.0).abs() < 2.0);
@@ -156,8 +158,7 @@ mod tests {
         });
         let run = trace_app_with(&app, 2, &free()).unwrap();
         let p = run.access.production(TransferId::new(Rank(0), 0)).unwrap();
-        let (first, quarter, _, whole) =
-            ovlp_core::patterns::production_fractions(p).unwrap();
+        let (first, quarter, _, whole) = ovlp_core::patterns::production_fractions(p).unwrap();
         assert!((first - 95.5).abs() < 0.5, "{first}");
         assert!((quarter.unwrap() - 96.6).abs() < 0.5);
         assert!(whole <= 100.0 && whole > 99.5);
@@ -181,8 +182,7 @@ mod tests {
         // default cost model: loads cost 1 instruction each
         let run = ovlp_instr::trace_app(&app, 2).unwrap();
         let c = run.access.consumption(TransferId::new(Rank(1), 0)).unwrap();
-        let (nothing, quarter, half) =
-            ovlp_core::patterns::consumption_fractions(c).unwrap();
+        let (nothing, quarter, half) = ovlp_core::patterns::consumption_fractions(c).unwrap();
         // first load right after the 1000-instruction independent work
         assert!(nothing > 10.0, "{nothing}");
         // copy-in is compact: all prefixes available almost at once

@@ -3,8 +3,8 @@
 //! *simulated* runtimes per setting — the scientific output — are
 //! printed once per run so `cargo bench` output records them.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ovlp_apps::synthetic::{Consumption, PatternApp, Production};
+use ovlp_bench::timing::Group;
 use ovlp_core::chunk::ChunkPolicy;
 use ovlp_core::transform::transform;
 use ovlp_instr::{trace_app, TraceRun};
@@ -23,42 +23,44 @@ fn linear_run() -> TraceRun {
 }
 
 /// Ablation 1 + 2: chunk count and bus count.
-fn bench_chunks_and_buses(c: &mut Criterion) {
+fn bench_chunks_and_buses() {
     let run = linear_run();
     let platform = Platform::marenostrum(0);
     println!("\n[ablation] chunk count -> simulated runtime (linear patterns):");
     let orig = simulate(&run.trace, &platform).unwrap().runtime();
     println!("  original: {:.3} ms", orig * 1e3);
-    let mut g = c.benchmark_group("ablation/chunks");
+    let g = Group::new("ablation/chunks", 10);
     for chunks in [1u32, 2, 4, 8, 16, 32] {
         let t = transform(&run.trace, &run.access, &ChunkPolicy::with_chunks(chunks));
         let rt = simulate(&t, &platform).unwrap().runtime();
-        println!("  {chunks:>2} chunks: {:.3} ms (x{:.3})", rt * 1e3, orig / rt);
-        g.bench_with_input(BenchmarkId::from_parameter(chunks), &t, |b, t| {
-            b.iter(|| simulate(t, &platform).unwrap().runtime())
-        });
+        println!(
+            "  {chunks:>2} chunks: {:.3} ms (x{:.3})",
+            rt * 1e3,
+            orig / rt
+        );
+        g.bench(chunks, || simulate(&t, &platform).unwrap().runtime());
     }
-    g.finish();
 
     println!("\n[ablation] bus count -> simulated runtime (original trace):");
-    let mut g = c.benchmark_group("ablation/buses");
+    let g = Group::new("ablation/buses", 10);
     for buses in [1u32, 2, 4, 8, 12, 0] {
         let p = platform.with_buses(buses);
         let rt = simulate(&run.trace, &p).unwrap().runtime();
         println!(
             "  {:>9} buses: {:.3} ms",
-            if buses == 0 { "unlimited".to_string() } else { buses.to_string() },
+            if buses == 0 {
+                "unlimited".to_string()
+            } else {
+                buses.to_string()
+            },
             rt * 1e3
         );
-        g.bench_with_input(BenchmarkId::from_parameter(buses), &p, |b, p| {
-            b.iter(|| simulate(&run.trace, p).unwrap().runtime())
-        });
+        g.bench(buses, || simulate(&run.trace, &p).unwrap().runtime());
     }
-    g.finish();
 }
 
 /// Ablation 3: collective decomposition algorithm.
-fn bench_collectives(c: &mut Criterion) {
+fn bench_collectives() {
     use ovlp_instr::{FnApp, RankCtx, ReduceOp};
     let app = FnApp::new("allreduce-chain", |ctx: &mut RankCtx| {
         let mut buf = ctx.buffer(1024);
@@ -70,7 +72,7 @@ fn bench_collectives(c: &mut Criterion) {
     });
     let run = trace_app(&app, 32).unwrap();
     println!("\n[ablation] collective algorithm -> simulated runtime (32 ranks):");
-    let mut g = c.benchmark_group("ablation/collectives");
+    let g = Group::new("ablation/collectives", 10);
     for algo in [CollectiveAlgo::Binomial, CollectiveAlgo::Linear] {
         let p = Platform {
             collective: algo,
@@ -78,16 +80,13 @@ fn bench_collectives(c: &mut Criterion) {
         };
         let rt = simulate(&run.trace, &p).unwrap().runtime();
         println!("  {:<9}: {:.3} ms", algo.name(), rt * 1e3);
-        g.bench_with_input(BenchmarkId::from_parameter(algo.name()), &p, |b, p| {
-            b.iter(|| simulate(&run.trace, p).unwrap().runtime())
-        });
+        g.bench(algo.name(), || simulate(&run.trace, &p).unwrap().runtime());
     }
-    g.finish();
 }
 
 /// Ablation 4 + 5: eager (double-buffered) vs rendezvous chunk
 /// transfers.
-fn bench_protocol(c: &mut Criterion) {
+fn bench_protocol() {
     let app = PatternApp {
         elems: 4_000,
         iters: 4,
@@ -98,8 +97,11 @@ fn bench_protocol(c: &mut Criterion) {
     let run = trace_app(&app, 8).unwrap();
     let platform = Platform::marenostrum(0);
     println!("\n[ablation] chunk transfer protocol -> simulated runtime:");
-    let mut g = c.benchmark_group("ablation/protocol");
-    for (label, mode) in [("eager", SendMode::Eager), ("rendezvous", SendMode::Rendezvous)] {
+    let g = Group::new("ablation/protocol", 10);
+    for (label, mode) in [
+        ("eager", SendMode::Eager),
+        ("rendezvous", SendMode::Rendezvous),
+    ] {
         let policy = ChunkPolicy {
             mode,
             ..ChunkPolicy::paper_default()
@@ -107,16 +109,12 @@ fn bench_protocol(c: &mut Criterion) {
         let t = transform(&run.trace, &run.access, &policy);
         let rt = simulate(&t, &platform).unwrap().runtime();
         println!("  {label:<10}: {:.3} ms", rt * 1e3);
-        g.bench_with_input(BenchmarkId::from_parameter(label), &t, |b, t| {
-            b.iter(|| simulate(t, &platform).unwrap().runtime())
-        });
+        g.bench(label, || simulate(&t, &platform).unwrap().runtime());
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_chunks_and_buses, bench_collectives, bench_protocol
+fn main() {
+    bench_chunks_and_buses();
+    bench_collectives();
+    bench_protocol();
 }
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! variant construction, and replay — the full §III toolchain pass the
 //! paper calls "fast and precise".
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ovlp_bench::timing::Group;
 use ovlp_core::chunk::ChunkPolicy;
 use ovlp_core::pipeline::build_variants;
 use ovlp_core::presets::marenostrum_for;
@@ -11,46 +11,44 @@ use ovlp_machine::simulate;
 
 fn quick_pool() -> Vec<(&'static str, Box<dyn MpiApp>)> {
     vec![
-        ("sweep3d", Box::new(ovlp_apps::sweep3d::Sweep3dApp::quick()) as Box<dyn MpiApp>),
+        (
+            "sweep3d",
+            Box::new(ovlp_apps::sweep3d::Sweep3dApp::quick()) as Box<dyn MpiApp>,
+        ),
         ("pop", Box::new(ovlp_apps::pop::PopApp::quick())),
         ("alya", Box::new(ovlp_apps::alya::AlyaApp::quick())),
-        ("specfem3d", Box::new(ovlp_apps::specfem3d::Specfem3dApp::quick())),
+        (
+            "specfem3d",
+            Box::new(ovlp_apps::specfem3d::Specfem3dApp::quick()),
+        ),
         ("nas-bt", Box::new(ovlp_apps::nas_bt::NasBtApp::quick())),
         ("nas-cg", Box::new(ovlp_apps::nas_cg::NasCgApp::quick())),
     ]
 }
 
-fn bench_tracing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pipeline/tracing");
+fn bench_tracing() {
+    let g = Group::new("pipeline/tracing", 10);
     for (name, app) in quick_pool() {
-        g.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| trace_app(app.as_ref(), 4).unwrap())
-        });
+        g.bench(name, || trace_app(app.as_ref(), 4).unwrap());
     }
-    g.finish();
 }
 
-fn bench_full_analysis(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pipeline/full-analysis");
+fn bench_full_analysis() {
+    let g = Group::new("pipeline/full-analysis", 10);
     for (name, app) in quick_pool() {
         let run = trace_app(app.as_ref(), 4).unwrap();
         let platform = marenostrum_for(name);
-        g.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                let bundle = build_variants(&run, &ChunkPolicy::paper_default());
-                let o = simulate(&bundle.original, &platform).unwrap().runtime();
-                let v = simulate(&bundle.overlapped, &platform).unwrap().runtime();
-                let i = simulate(&bundle.ideal, &platform).unwrap().runtime();
-                (o, v, i)
-            })
+        g.bench(name, || {
+            let bundle = build_variants(&run, &ChunkPolicy::paper_default());
+            let o = simulate(&bundle.original, &platform).unwrap().runtime();
+            let v = simulate(&bundle.overlapped, &platform).unwrap().runtime();
+            let i = simulate(&bundle.ideal, &platform).unwrap().runtime();
+            (o, v, i)
         });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_tracing, bench_full_analysis
+fn main() {
+    bench_tracing();
+    bench_full_analysis();
 }
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Engine throughput: how fast the discrete-event replay core processes
 //! traces, as a function of rank count and communication density.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ovlp_bench::timing::Group;
 use ovlp_machine::{simulate, Platform};
 use ovlp_trace::record::{Record, SendMode};
 use ovlp_trace::{Bytes, Instructions, Rank, Tag, Trace, TransferId};
@@ -35,50 +35,42 @@ fn ring_trace(nranks: u32, iters: u32, bytes: u64) -> Trace {
     t
 }
 
-fn bench_rank_scaling(c: &mut Criterion) {
+fn bench_rank_scaling() {
     let platform = Platform::marenostrum(12);
-    let mut g = c.benchmark_group("simulator/rank-scaling");
+    let g = Group::new("simulator/rank-scaling", 15);
     for nranks in [4u32, 16, 64, 256] {
         let trace = ring_trace(nranks, 50, 8192);
         let events = simulate(&trace, &platform).unwrap().events_processed;
-        g.throughput(Throughput::Elements(events));
-        g.bench_with_input(BenchmarkId::from_parameter(nranks), &trace, |b, t| {
-            b.iter(|| simulate(t, &platform).unwrap().runtime())
+        g.bench_elems(nranks, events, || {
+            simulate(&trace, &platform).unwrap().runtime()
         });
     }
-    g.finish();
 }
 
-fn bench_message_density(c: &mut Criterion) {
+fn bench_message_density() {
     let platform = Platform::marenostrum(12);
-    let mut g = c.benchmark_group("simulator/message-density");
+    let g = Group::new("simulator/message-density", 15);
     for iters in [10u32, 100, 1000] {
         let trace = ring_trace(16, iters, 1024);
         let events = simulate(&trace, &platform).unwrap().events_processed;
-        g.throughput(Throughput::Elements(events));
-        g.bench_with_input(BenchmarkId::from_parameter(iters), &trace, |b, t| {
-            b.iter(|| simulate(t, &platform).unwrap().runtime())
+        g.bench_elems(iters, events, || {
+            simulate(&trace, &platform).unwrap().runtime()
         });
     }
-    g.finish();
 }
 
-fn bench_contention(c: &mut Criterion) {
+fn bench_contention() {
     // heavy bus contention stresses the pending-queue scan
     let trace = ring_trace(64, 100, 65536);
-    let mut g = c.benchmark_group("simulator/contention");
+    let g = Group::new("simulator/contention", 15);
     for buses in [1u32, 4, 0] {
         let platform = Platform::marenostrum(buses);
-        g.bench_with_input(BenchmarkId::from_parameter(buses), &platform, |b, p| {
-            b.iter(|| simulate(&trace, p).unwrap().runtime())
-        });
+        g.bench(buses, || simulate(&trace, &platform).unwrap().runtime());
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_rank_scaling, bench_message_density, bench_contention
+fn main() {
+    bench_rank_scaling();
+    bench_message_density();
+    bench_contention();
 }
-criterion_main!(benches);

@@ -1,8 +1,8 @@
 //! Cost of the overlap transformation itself: rewriting grows linearly
 //! with trace size and chunk count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ovlp_apps::synthetic::{Consumption, PatternApp, Production};
+use ovlp_bench::timing::Group;
 use ovlp_core::chunk::ChunkPolicy;
 use ovlp_core::{ideal_transform, transform};
 use ovlp_instr::{trace_app, TraceRun};
@@ -18,47 +18,38 @@ fn traced(elems: usize, iters: u32) -> TraceRun {
     trace_app(&app, 8).unwrap()
 }
 
-fn bench_real_transform(c: &mut Criterion) {
-    let mut g = c.benchmark_group("transform/real");
+fn bench_real_transform() {
+    let g = Group::new("transform/real", 20);
     for iters in [4u32, 16, 64] {
         let run = traced(500, iters);
         let records = run.trace.total_records() as u64;
-        g.throughput(Throughput::Elements(records));
-        g.bench_with_input(BenchmarkId::from_parameter(iters), &run, |b, run| {
-            let policy = ChunkPolicy::paper_default();
-            b.iter(|| transform(&run.trace, &run.access, &policy))
+        let policy = ChunkPolicy::paper_default();
+        g.bench_elems(iters, records, || {
+            transform(&run.trace, &run.access, &policy)
         });
     }
-    g.finish();
 }
 
-fn bench_ideal_transform(c: &mut Criterion) {
-    let mut g = c.benchmark_group("transform/ideal");
+fn bench_ideal_transform() {
+    let g = Group::new("transform/ideal", 20);
     for iters in [4u32, 16, 64] {
         let run = traced(500, iters);
-        g.bench_with_input(BenchmarkId::from_parameter(iters), &run, |b, run| {
-            let policy = ChunkPolicy::paper_default();
-            b.iter(|| ideal_transform(&run.trace, &policy))
-        });
+        let policy = ChunkPolicy::paper_default();
+        g.bench(iters, || ideal_transform(&run.trace, &policy));
     }
-    g.finish();
 }
 
-fn bench_chunk_count_cost(c: &mut Criterion) {
+fn bench_chunk_count_cost() {
     let run = traced(2000, 16);
-    let mut g = c.benchmark_group("transform/chunk-count");
+    let g = Group::new("transform/chunk-count", 20);
     for chunks in [1u32, 4, 16, 64] {
         let policy = ChunkPolicy::with_chunks(chunks);
-        g.bench_with_input(BenchmarkId::from_parameter(chunks), &policy, |b, p| {
-            b.iter(|| transform(&run.trace, &run.access, p))
-        });
+        g.bench(chunks, || transform(&run.trace, &run.access, &policy));
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_real_transform, bench_ideal_transform, bench_chunk_count_cost
+fn main() {
+    bench_real_transform();
+    bench_ideal_transform();
+    bench_chunk_count_cost();
 }
-criterion_main!(benches);

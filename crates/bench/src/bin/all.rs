@@ -4,9 +4,7 @@
 //! traced pool.
 
 use ovlp_bench::prepare_pool;
-use ovlp_core::experiments::{
-    bandwidth_relaxation, equivalent_bandwidth, run_variants,
-};
+use ovlp_core::experiments::{bandwidth_relaxation, equivalent_bandwidth, run_variants};
 use ovlp_core::patterns::{consumption_stats, production_stats};
 use ovlp_core::report::{csv, fig6a_row, fig6b_row, fig6c_row, table2a, table2b};
 use ovlp_machine::simulate;
@@ -62,12 +60,20 @@ fn main() {
     println!("\n=== Figure 6(c) — equivalent bandwidth ===\n");
     let mut fig6c_rows = Vec::new();
     for p in &pool {
-        let real = simulate(&p.bundle.overlapped, &p.platform).unwrap().runtime();
+        let real = simulate(&p.bundle.overlapped, &p.platform)
+            .unwrap()
+            .runtime();
         let ideal = simulate(&p.bundle.ideal, &p.platform).unwrap().runtime();
         let er = equivalent_bandwidth(&p.bundle.original, &p.platform, real).unwrap();
         let ei = equivalent_bandwidth(&p.bundle.original, &p.platform, ideal).unwrap();
-        println!("{}", fig6c_row(&p.name, p.platform.bandwidth_mbs, "real", &er));
-        println!("{}", fig6c_row(&p.name, p.platform.bandwidth_mbs, "ideal", &ei));
+        println!(
+            "{}",
+            fig6c_row(&p.name, p.platform.bandwidth_mbs, "real", &er)
+        );
+        println!(
+            "{}",
+            fig6c_row(&p.name, p.platform.bandwidth_mbs, "ideal", &ei)
+        );
         fig6c_rows.push((p.name.clone(), "real".to_string(), er));
         fig6c_rows.push((p.name.clone(), "ideal".to_string(), ei));
     }

@@ -12,9 +12,11 @@
 //! (`fig4-{original,overlapped}.{prv,pcf,row}`) into `target/fig4/`.
 
 use ovlp_apps::nas_cg::NasCgApp;
+use ovlp_bench::parse_jobs;
 use ovlp_core::chunk::ChunkPolicy;
 use ovlp_core::pipeline::build_variants;
 use ovlp_core::presets::marenostrum_for;
+use ovlp_core::sweep::scheduler;
 use ovlp_instr::trace_app;
 use ovlp_machine::simulate;
 use ovlp_viz::{gantt_comparison, paraver, timeline_svg};
@@ -35,8 +37,19 @@ fn main() {
     let platform = marenostrum_for("nas-cg");
     let run = trace_app(&app, ranks).expect("tracing failed");
     let bundle = build_variants(&run, &ChunkPolicy::paper_default());
-    let original = simulate(&bundle.original, &platform).expect("simulation failed");
-    let overlapped = simulate(&bundle.overlapped, &platform).expect("simulation failed");
+    // both variants replay on the sweep engine's worker pool (--jobs N;
+    // results are identical for any N)
+    let jobs = parse_jobs();
+    let mut sims = scheduler::run_indexed(
+        vec![&bundle.original, &bundle.overlapped],
+        jobs,
+        2 * jobs,
+        |_i, trace| simulate(trace, &platform).expect("simulation failed"),
+    )
+    .into_iter()
+    .map(|slot| slot.expect("replay worker failed"));
+    let original = sims.next().expect("original result");
+    let overlapped = sims.next().expect("overlapped result");
 
     println!("Figure 4 — NAS-CG on {ranks} processes, 5 iterations, Marenostrum (6 buses)");
     println!();

@@ -8,7 +8,7 @@
 //!   short intervals");
 //! * (c) POP consumption: visible independent work before the copy-in.
 
-use ovlp_bench::prepare_one;
+use ovlp_bench::{parse_jobs, prepare_named};
 use ovlp_core::patterns::{consumption_scatter, production_scatter};
 use ovlp_trace::access::{ConsumptionLog, ProductionLog};
 use ovlp_viz::scatter_ascii;
@@ -48,18 +48,32 @@ fn main() {
     println!("Figure 5 — production and consumption patterns");
     println!("(x: normalized time within the computation interval; y: element offset)");
 
-    let sweep = prepare_one("sweep3d");
+    let apps = prepare_named(&["sweep3d", "nas-bt", "pop"], parse_jobs());
+    let [sweep, bt, pop] = &apps[..] else {
+        panic!("expected three prepared apps");
+    };
+
     let p = pick_production(&sweep.run.access);
-    println!("\n(a) Sweep3D production pattern ({} elements, {} stores):", p.elems, p.events.len());
+    println!(
+        "\n(a) Sweep3D production pattern ({} elements, {} stores):",
+        p.elems,
+        p.events.len()
+    );
     println!("{}", scatter_ascii(&production_scatter(p), 100, 24));
 
-    let bt = prepare_one("nas-bt");
     let c = pick_consumption(&bt.run.access);
-    println!("(b) NAS-BT consumption pattern ({} elements, {} loads):", c.elems, c.events.len());
+    println!(
+        "(b) NAS-BT consumption pattern ({} elements, {} loads):",
+        c.elems,
+        c.events.len()
+    );
     println!("{}", scatter_ascii(&consumption_scatter(c), 100, 24));
 
-    let pop = prepare_one("pop");
     let c = pick_consumption(&pop.run.access);
-    println!("(c) POP consumption pattern ({} elements, {} loads):", c.elems, c.events.len());
+    println!(
+        "(c) POP consumption pattern ({} elements, {} loads):",
+        c.elems,
+        c.events.len()
+    );
     println!("{}", scatter_ascii(&consumption_scatter(c), 100, 24));
 }

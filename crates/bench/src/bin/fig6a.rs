@@ -6,15 +6,20 @@
 //! ideal patterns give a decent speedup for several applications, the
 //! largest for Sweep3D (wavefront pipelining).
 
-use ovlp_bench::prepare_pool;
+use ovlp_bench::{parse_jobs, prepare_pool_jobs};
 use ovlp_core::experiments::run_variants;
 use ovlp_core::report::fig6a_row;
 
 fn main() {
     println!("Figure 6(a) — speedup of overlapped execution (4 chunks, Marenostrum)");
     println!();
-    for p in prepare_pool() {
+    for p in prepare_pool_jobs(parse_jobs()) {
         let r = run_variants(&p.bundle, &p.platform).expect("simulation failed");
-        println!("{}  ({} ranks, {} buses)", fig6a_row(&r), p.ranks, p.platform.buses);
+        println!(
+            "{}  ({} ranks, {} buses)",
+            fig6a_row(&r),
+            p.ranks,
+            p.platform.buses
+        );
     }
 }

@@ -5,7 +5,7 @@
 //! Paper shape: every application tolerates a substantial reduction;
 //! Sweep3D benefits the most (down to 11.75 MB/s).
 
-use ovlp_bench::prepare_pool;
+use ovlp_bench::{parse_jobs, prepare_pool_jobs};
 use ovlp_core::experiments::bandwidth_relaxation;
 use ovlp_core::report::fig6b_row;
 
@@ -15,7 +15,7 @@ fn main() {
          the original execution at 250 MB/s"
     );
     println!();
-    for p in prepare_pool() {
+    for p in prepare_pool_jobs(parse_jobs()) {
         let r = bandwidth_relaxation(&p.bundle, &p.platform).expect("simulation failed");
         println!("{}", fig6b_row(&p.name, p.platform.bandwidth_mbs, &r));
     }

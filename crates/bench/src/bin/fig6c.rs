@@ -8,7 +8,7 @@
 //! result "tends to infinity" (chunking creates finer-grain pipeline
 //! dependencies a faster network cannot emulate).
 
-use ovlp_bench::prepare_pool;
+use ovlp_bench::{parse_jobs, prepare_pool_jobs};
 use ovlp_core::experiments::equivalent_bandwidth;
 use ovlp_core::report::fig6c_row;
 use ovlp_machine::simulate;
@@ -19,18 +19,24 @@ fn main() {
          the overlapped execution at 250 MB/s"
     );
     println!();
-    for p in prepare_pool() {
+    for p in prepare_pool_jobs(parse_jobs()) {
         let real = simulate(&p.bundle.overlapped, &p.platform)
             .expect("simulation failed")
             .runtime();
         let ideal = simulate(&p.bundle.ideal, &p.platform)
             .expect("simulation failed")
             .runtime();
-        let er = equivalent_bandwidth(&p.bundle.original, &p.platform, real)
-            .expect("simulation failed");
+        let er =
+            equivalent_bandwidth(&p.bundle.original, &p.platform, real).expect("simulation failed");
         let ei = equivalent_bandwidth(&p.bundle.original, &p.platform, ideal)
             .expect("simulation failed");
-        println!("{}", fig6c_row(&p.name, p.platform.bandwidth_mbs, "real", &er));
-        println!("{}", fig6c_row(&p.name, p.platform.bandwidth_mbs, "ideal", &ei));
+        println!(
+            "{}",
+            fig6c_row(&p.name, p.platform.bandwidth_mbs, "real", &er)
+        );
+        println!(
+            "{}",
+            fig6c_row(&p.name, p.platform.bandwidth_mbs, "ideal", &ei)
+        );
     }
 }

@@ -4,12 +4,21 @@
 //! paper's evaluation (§V). This library provides the common steps:
 //! trace the application pool under instrumentation, build the three
 //! trace variants, and pair each application with its Table I platform.
+//!
+//! All binaries accept `--jobs N`: preparation (tracing + variant
+//! construction, the expensive part) fans out over the sweep engine's
+//! worker pool. Results are identical for every `N` — apps are
+//! constructed by name inside each worker and results are slotted by
+//! pool index.
 
 use ovlp_core::chunk::ChunkPolicy;
 use ovlp_core::pipeline::{build_variants, VariantBundle};
 use ovlp_core::presets::marenostrum_for;
+use ovlp_core::sweep::scheduler;
 use ovlp_instr::{trace_app, TraceRun};
 use ovlp_machine::Platform;
+
+pub mod timing;
 
 /// One prepared application: traced, transformed, and configured.
 pub struct PreparedApp {
@@ -20,33 +29,70 @@ pub struct PreparedApp {
     pub platform: Platform,
 }
 
+/// Read `--jobs N` from the process arguments (default 1).
+pub fn parse_jobs() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--jobs") {
+        None => 1,
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                eprintln!("warning: bad --jobs value, using 1");
+                1
+            }),
+    }
+}
+
 /// Trace and transform the whole pool with the paper's chunk policy
-/// (4 chunks) and Table I bus counts.
+/// (4 chunks) and Table I bus counts, sequentially.
 ///
 /// Set `OVLP_QUICK=1` to use the miniature app configurations (CI and
 /// smoke runs).
 pub fn prepare_pool() -> Vec<PreparedApp> {
+    prepare_pool_jobs(1)
+}
+
+/// [`prepare_pool`] with the preparation of different apps fanned over
+/// `jobs` worker threads.
+pub fn prepare_pool_jobs(jobs: usize) -> Vec<PreparedApp> {
+    let names: Vec<&'static str> = ovlp_apps::paper_pool().iter().map(|e| e.name).collect();
+    prepare_named(&names, jobs)
+}
+
+/// Prepare the named subset of the pool, fanning app preparation over
+/// `jobs` worker threads. Output order follows `names`.
+pub fn prepare_named(names: &[&str], jobs: usize) -> Vec<PreparedApp> {
     let quick = std::env::var("OVLP_QUICK").is_ok_and(|v| v != "0");
+    scheduler::run_indexed(names.to_vec(), jobs, 2 * jobs, |_i, name| {
+        prepare_app(name, quick)
+    })
+    .into_iter()
+    .map(|slot| slot.unwrap_or_else(|e| panic!("preparation failed: {e}")))
+    .collect()
+}
+
+/// Prepare one application. The `dyn MpiApp` is built *inside* this
+/// call so workers never need to move trait objects across threads.
+fn prepare_app(name: &str, quick: bool) -> PreparedApp {
     let policy = ChunkPolicy::paper_default();
-    ovlp_apps::paper_pool()
-        .into_iter()
-        .map(|entry| {
-            let (app, ranks): (Box<dyn ovlp_instr::MpiApp>, usize) = if quick {
-                (quick_variant(entry.name), 4)
-            } else {
-                (entry.app, entry.ranks)
-            };
-            let run = trace_app(app.as_ref(), ranks).expect("tracing failed");
-            let bundle = build_variants(&run, &policy);
-            PreparedApp {
-                name: entry.name.to_string(),
-                ranks,
-                run,
-                bundle,
-                platform: marenostrum_for(entry.name),
-            }
-        })
-        .collect()
+    let (app, ranks): (Box<dyn ovlp_instr::MpiApp>, usize) = if quick {
+        (quick_variant(name), 4)
+    } else {
+        let entry =
+            ovlp_apps::registry::by_name(name).unwrap_or_else(|| panic!("unknown app {name}"));
+        (entry.app, entry.ranks)
+    };
+    let run = trace_app(app.as_ref(), ranks).expect("tracing failed");
+    let bundle = build_variants(&run, &policy);
+    PreparedApp {
+        name: name.to_string(),
+        ranks,
+        run,
+        bundle,
+        platform: marenostrum_for(name),
+    }
 }
 
 fn quick_variant(name: &str) -> Box<dyn ovlp_instr::MpiApp> {
@@ -61,10 +107,11 @@ fn quick_variant(name: &str) -> Box<dyn ovlp_instr::MpiApp> {
     }
 }
 
-/// Prepare a single application by name.
+/// Prepare a single application by name (no longer traces the whole
+/// pool to produce one entry).
 pub fn prepare_one(name: &str) -> PreparedApp {
-    prepare_pool()
+    prepare_named(&[name], 1)
         .into_iter()
-        .find(|p| p.name == name)
-        .unwrap_or_else(|| panic!("unknown app {name}"))
+        .next()
+        .expect("one name in, one app out")
 }

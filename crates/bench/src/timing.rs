@@ -1,0 +1,114 @@
+//! Minimal wall-clock benchmark harness for the `benches/` targets.
+//!
+//! The container image has no access to crates.io, so Criterion cannot
+//! be used; this keeps the `cargo bench` targets runnable offline. Each
+//! measurement takes `samples` timed runs after a warmup and reports
+//! min / median / mean, plus element throughput when requested. There
+//! is no statistical regression machinery — the point is a quick,
+//! dependency-free reading of engine cost.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A named group of measurements, mirroring Criterion's
+/// `benchmark_group` layout in the printed output.
+pub struct Group {
+    name: String,
+    samples: usize,
+}
+
+impl Group {
+    pub fn new(name: &str, samples: usize) -> Group {
+        println!("\n== {name} ==");
+        Group {
+            name: name.to_string(),
+            samples: samples.max(1),
+        }
+    }
+
+    /// Time `f` and print one result line. The closure's return value is
+    /// routed through `black_box` so the work cannot be optimized away.
+    pub fn bench<R>(&self, id: impl std::fmt::Display, mut f: impl FnMut() -> R) {
+        self.bench_inner(id, None, &mut f);
+    }
+
+    /// Like [`bench`](Group::bench), also reporting `elements / second`
+    /// throughput for the given per-iteration element count.
+    pub fn bench_elems<R>(&self, id: impl std::fmt::Display, elems: u64, mut f: impl FnMut() -> R) {
+        self.bench_inner(id, Some(elems), &mut f);
+    }
+
+    fn bench_inner<R>(
+        &self,
+        id: impl std::fmt::Display,
+        elems: Option<u64>,
+        f: &mut dyn FnMut() -> R,
+    ) {
+        // warmup: at least one run, until ~50ms spent or `samples` runs
+        let warm_start = Instant::now();
+        let mut warmups = 0usize;
+        while warmups == 0
+            || (warm_start.elapsed() < Duration::from_millis(50) && warmups < self.samples)
+        {
+            black_box(f());
+            warmups += 1;
+        }
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+        times.sort();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        let mut line = format!(
+            "{}/{id:<12} min {:>10}  median {:>10}  mean {:>10}",
+            self.name,
+            fmt_dur(min),
+            fmt_dur(median),
+            fmt_dur(mean),
+        );
+        if let Some(n) = elems {
+            let per_sec = n as f64 / median.as_secs_f64();
+            line.push_str(&format!("  ({:.2} Melem/s)", per_sec / 1e6));
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_cover_magnitudes() {
+        assert_eq!(fmt_dur(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_dur(Duration::from_micros(120)), "120.00 µs");
+        assert_eq!(fmt_dur(Duration::from_millis(35)), "35.00 ms");
+        assert_eq!(fmt_dur(Duration::from_secs(12)), "12.00 s");
+    }
+
+    #[test]
+    fn bench_runs_closure() {
+        let mut calls = 0u32;
+        let g = Group::new("test", 3);
+        g.bench("noop", || calls += 1);
+        assert!(calls >= 4, "warmup + samples should call the closure");
+    }
+}

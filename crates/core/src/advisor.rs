@@ -118,9 +118,7 @@ impl Advice {
         } else {
             let gain: f64 = worth
                 .iter()
-                .map(|t| {
-                    (t.transfer_time.min(t.window_ideal) - t.window_real).max(0.0)
-                })
+                .map(|t| (t.transfer_time.min(t.window_ideal) - t.window_real).max(0.0))
                 .sum();
             out.push_str(&format!(
                 "  restructuring ceiling: ~{:.1} us of additional hideable \
@@ -168,13 +166,11 @@ pub fn advise(
 
             let prod_span = secs(
                 platform,
-                plog.interval_end
-                    .saturating_sub(plog.interval_start),
+                plog.interval_end.saturating_sub(plog.interval_start),
             );
             let cons_span = secs(
                 platform,
-                clog.interval_end
-                    .saturating_sub(clog.interval_start),
+                clog.interval_end.saturating_sub(clog.interval_start),
             );
             let window_real = {
                 let pf = production_fractions(plog);
@@ -243,10 +239,7 @@ fn secs(platform: &Platform, instr: Instructions) -> f64 {
     platform.compute_time(instr).as_secs()
 }
 
-fn window_real_production_part(
-    plog: &ovlp_trace::access::ProductionLog,
-    prod_span: f64,
-) -> f64 {
+fn window_real_production_part(plog: &ovlp_trace::access::ProductionLog, prod_span: f64) -> f64 {
     match production_fractions(plog) {
         Some((_, pq, ph, pw)) => {
             let p = [

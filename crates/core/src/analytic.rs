@@ -77,7 +77,12 @@ pub fn estimate(
     cons: &ConsumptionStats,
 ) -> AnalyticEstimate {
     let n = original.totals.len().max(1) as f64;
-    let tc: f64 = original.totals.iter().map(|t| t.compute.as_secs()).sum::<f64>() / n;
+    let tc: f64 = original
+        .totals
+        .iter()
+        .map(|t| t.compute.as_secs())
+        .sum::<f64>()
+        / n;
     let tm: f64 = original
         .totals
         .iter()
@@ -101,8 +106,8 @@ pub fn estimate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ovlp_machine::{StateTotals, Time, Timeline};
     use ovlp_machine::timeline::State;
+    use ovlp_machine::{StateTotals, Time, Timeline};
 
     fn sim_with(tc_s: f64, tm_s: f64, ranks: usize) -> SimResult {
         let mut tl = Timeline::default();

@@ -93,14 +93,16 @@ impl ChunkPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn paper_default_is_four_chunks() {
         let p = ChunkPolicy::paper_default();
         assert_eq!(p.chunks, 4);
         assert_eq!(p.effective_chunks(100), 4);
-        assert_eq!(p.boundaries(100), vec![(0, 25), (25, 50), (50, 75), (75, 100)]);
+        assert_eq!(
+            p.boundaries(100),
+            vec![(0, 25), (25, 50), (50, 75), (75, 100)]
+        );
     }
 
     #[test]
@@ -137,6 +139,11 @@ mod tests {
         assert_eq!(p.effective_chunks(200), 8);
     }
 
+    // property check; runs with `cargo test --features proptest-tests`
+    #[cfg(feature = "proptest-tests")]
+    use proptest::prelude::*;
+
+    #[cfg(feature = "proptest-tests")]
     proptest! {
         #[test]
         fn boundaries_partition_exactly(elems in 1u32..10_000, chunks in 1u32..64) {

@@ -82,8 +82,13 @@ pub fn bandwidth_relaxation(
 ) -> Result<BandwidthRelaxation, SimError> {
     let base_bw = platform.bandwidth_mbs;
     let baseline_runtime = simulate(&bundle.original, platform)?.runtime();
-    let real_mbs =
-        min_bandwidth_matching(&bundle.overlapped, platform, baseline_runtime, MIN_BW, base_bw)?;
+    let real_mbs = min_bandwidth_matching(
+        &bundle.overlapped,
+        platform,
+        baseline_runtime,
+        MIN_BW,
+        base_bw,
+    )?;
     let ideal_mbs =
         min_bandwidth_matching(&bundle.ideal, platform, baseline_runtime, MIN_BW, base_bw)?;
     Ok(BandwidthRelaxation {
@@ -222,7 +227,9 @@ mod tests {
             .unwrap();
         assert!(bw <= 250.0);
         // at half that bandwidth it must be slower than target
-        let slower = simulate(&orig, &p.with_bandwidth(bw * 0.5)).unwrap().runtime();
+        let slower = simulate(&orig, &p.with_bandwidth(bw * 0.5))
+            .unwrap()
+            .runtime();
         assert!(slower > target);
     }
 
@@ -252,7 +259,9 @@ mod tests {
         let (orig, _) = pair();
         let p = Platform::marenostrum(0);
         // a target the original achieves at exactly 1000 MB/s
-        let target = simulate(&orig, &p.with_bandwidth(1000.0)).unwrap().runtime();
+        let target = simulate(&orig, &p.with_bandwidth(1000.0))
+            .unwrap()
+            .runtime();
         match equivalent_bandwidth(&orig, &p, target).unwrap() {
             EquivalentBandwidth::Finite(bw) => {
                 assert!(bw > 250.0, "needs more bandwidth than baseline: {bw}");

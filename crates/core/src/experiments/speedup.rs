@@ -25,7 +25,10 @@ impl SpeedupResult {
 }
 
 /// Simulate all three variants of `bundle` on `platform`.
-pub fn run_variants(bundle: &VariantBundle, platform: &Platform) -> Result<SpeedupResult, SimError> {
+pub fn run_variants(
+    bundle: &VariantBundle,
+    platform: &Platform,
+) -> Result<SpeedupResult, SimError> {
     Ok(SpeedupResult {
         app: bundle.app_name().to_string(),
         original: simulate(&bundle.original, platform)?,

@@ -97,7 +97,11 @@ mod tests {
     #[test]
     fn no_overlap_no_demand() {
         // each message consumed before the next arrives
-        let sim = sim_with(vec![comm(0, 1.0, 1.0), comm(0, 2.0, 2.0), comm(0, 3.0, 3.0)]);
+        let sim = sim_with(vec![
+            comm(0, 1.0, 1.0),
+            comm(0, 2.0, 2.0),
+            comm(0, 3.0, 3.0),
+        ]);
         let d = double_buffer_demand(&sim);
         assert_eq!(d.early_arrivals, 0);
         assert_eq!(d.candidates, 2);

@@ -235,10 +235,7 @@ mod tests {
         assert_eq!(r1[5].compute_len(), Some(Instructions(250)));
         assert!(matches!(r1[6], Record::Wait { .. }));
         // ends with the final 250-instruction slice
-        assert_eq!(
-            r1.last().unwrap().compute_len(),
-            Some(Instructions(250))
-        );
+        assert_eq!(r1.last().unwrap().compute_len(), Some(Instructions(250)));
         assert_eq!(out.ranks[1].total_compute(), Instructions(1000));
     }
 

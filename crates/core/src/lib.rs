@@ -30,10 +30,12 @@ pub mod patterns;
 pub mod pipeline;
 pub mod presets;
 pub mod report;
+pub mod sweep;
 pub mod transform;
 
 pub use chunk::ChunkPolicy;
 pub use hazard::{double_buffer_demand, DoubleBufferDemand};
 pub use ideal::ideal_transform;
 pub use pipeline::{build_variants, VariantBundle};
+pub use sweep::{sweep, SweepCache, SweepConfig, SweepGrid};
 pub use transform::transform;

@@ -56,8 +56,9 @@ pub fn production_fractions(log: &ProductionLog) -> Option<(f64, Option<f64>, Op
     }
     let mut times: Vec<Instructions> = (0..n).map(|i| log.produced_at(i)).collect();
     times.sort_unstable();
-    let frac =
-        |t: Instructions| -> f64 { 100.0 * t.fraction_within(log.interval_start, log.interval_end) };
+    let frac = |t: Instructions| -> f64 {
+        100.0 * t.fraction_within(log.interval_start, log.interval_end)
+    };
     let first = frac(times[0]);
     let whole = frac(*times.last().unwrap());
     // time by which ceil(q*n) elements are final = the ceil(q*n)-th
@@ -78,8 +79,9 @@ pub fn consumption_fractions(log: &ConsumptionLog) -> Option<(f64, Option<f64>, 
     if n == 0 {
         return None;
     }
-    let frac =
-        |t: Instructions| -> f64 { 100.0 * t.fraction_within(log.interval_start, log.interval_end) };
+    let frac = |t: Instructions| -> f64 {
+        100.0 * t.fraction_within(log.interval_start, log.interval_end)
+    };
     // passable-with-prefix-k: first load of any element with index >= k
     let pass = |k: usize| -> f64 {
         (k..n)
@@ -260,15 +262,16 @@ mod tests {
         let log = consumption_log_for_test(0, 0, 0, 1000, &times);
         let (z, q, h) = consumption_fractions(&log).unwrap();
         assert!((z - 13.7).abs() < 0.2);
-        assert!((q.unwrap() - 13.7).abs() < 0.5, "flat after the copy starts");
+        assert!(
+            (q.unwrap() - 13.7).abs() < 0.5,
+            "flat after the copy starts"
+        );
         assert!((h.unwrap() - 13.7).abs() < 0.5);
     }
 
     #[test]
     fn consumption_fractions_monotone_in_prefix() {
-        let times: Vec<Option<u64>> = (0..50)
-            .map(|i| Some(((i * 613) % 997) as u64))
-            .collect();
+        let times: Vec<Option<u64>> = (0..50).map(|i| Some(((i * 613) % 997) as u64)).collect();
         let log = consumption_log_for_test(0, 0, 0, 997, &times);
         let (z, q, h) = consumption_fractions(&log).unwrap();
         assert!(z <= q.unwrap() + 1e-9);

@@ -1,0 +1,734 @@
+//! Parallel parameter-sweep engine with deterministic replay.
+//!
+//! The paper's experiments (Fig. 6a–c, Table III) are all sweeps: the
+//! same traced run simulated across a grid of platforms and chunk
+//! policies. This module turns that pattern into a first-class
+//! subsystem:
+//!
+//! * [`SweepGrid`] — the cartesian product of traced apps ×
+//!   [`Platform`]s × [`ChunkPolicy`]s;
+//! * [`sweep()`] — evaluates every grid point on a
+//!   [`scheduler`] worker pool (`--jobs N`), with results slotted by
+//!   point index so **output is bit-identical for any worker count**;
+//! * [`SweepCache`] — a content-hash cache keyed by
+//!   `(trace fingerprint, platform fingerprint, policy fingerprint)`:
+//!   re-sweeping an unchanged point is a lookup, not a simulation;
+//! * graceful failure — a panicking or erroring point yields a
+//!   [`PointError`] in its slot ([`PointOutcome`]); the sweep always
+//!   completes.
+//!
+//! Determinism rests on three facts: the replay engine is a pure
+//! function of `(trace, platform)`; the scheduler assigns results by
+//! input index; and fingerprints/hashes are computed with FNV-1a over
+//! canonical byte encodings (`f64::to_bits`, sorted access-log keys),
+//! never over pointer identity or iteration order of hash maps.
+
+pub mod scheduler;
+
+use crate::chunk::ChunkPolicy;
+use crate::pipeline::{build_variants, VariantBundle};
+use ovlp_instr::TraceRun;
+use ovlp_machine::Platform;
+use ovlp_trace::record::SendMode;
+use ovlp_trace::text;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// FNV-1a hashing over canonical encodings
+// ---------------------------------------------------------------------
+
+/// Incremental 64-bit FNV-1a hasher over explicit byte encodings.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv {
+    pub fn new() -> Fnv {
+        Fnv::default()
+    }
+
+    pub fn bytes(mut self, bytes: &[u8]) -> Fnv {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self
+    }
+
+    pub fn u64(self, v: u64) -> Fnv {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    pub fn u32(self, v: u32) -> Fnv {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Canonical f64 encoding: the IEEE-754 bit pattern. Distinguishes
+    /// `-0.0` from `0.0` and hashes infinities/NaNs stably, which is
+    /// exactly right for "same platform ⇒ same key".
+    pub fn f64(self, v: f64) -> Fnv {
+        self.u64(v.to_bits())
+    }
+
+    pub fn str(self, s: &str) -> Fnv {
+        self.u64(s.len() as u64).bytes(s.as_bytes())
+    }
+
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fingerprints and cache keys
+// ---------------------------------------------------------------------
+
+/// Content fingerprint of one traced run: the canonical text emission
+/// of the trace plus every access log in sorted-transfer order (the
+/// access DB is hash-map backed, so its iteration order must not leak
+/// into the fingerprint).
+pub fn trace_fingerprint(run: &TraceRun) -> u64 {
+    let mut h = Fnv::new().str(&text::emit(&run.trace));
+    for (r, rank) in run.access.ranks.iter().enumerate() {
+        h = h.u64(r as u64);
+        let mut prods: Vec<_> = rank.productions.values().collect();
+        prods.sort_by_key(|p| (p.transfer.rank.0, p.transfer.seq));
+        for p in prods {
+            h = h
+                .u32(p.transfer.rank.0)
+                .u32(p.transfer.seq)
+                .u32(p.elems)
+                .u64(p.interval_start.0)
+                .u64(p.interval_end.0);
+            for s in &p.last_store {
+                h = h.u64(s.map(|i| i.0 + 1).unwrap_or(0));
+            }
+        }
+        let mut cons: Vec<_> = rank.consumptions.values().collect();
+        cons.sort_by_key(|c| (c.transfer.rank.0, c.transfer.seq));
+        for c in cons {
+            h = h
+                .u32(c.transfer.rank.0)
+                .u32(c.transfer.seq)
+                .u32(c.elems)
+                .u64(c.interval_start.0)
+                .u64(c.interval_end.0);
+            for l in &c.first_load {
+                h = h.u64(l.map(|i| i.0 + 1).unwrap_or(0));
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Fingerprint of every field that influences simulated time.
+pub fn platform_fingerprint(p: &Platform) -> u64 {
+    let mut h = Fnv::new()
+        .f64(p.mips)
+        .f64(p.bandwidth_mbs)
+        .f64(p.latency_us)
+        .u32(p.buses)
+        .u32(p.input_ports)
+        .u32(p.output_ports)
+        .str(p.collective.name())
+        .u32(p.ranks_per_node)
+        .f64(p.intra_bandwidth_mbs)
+        .f64(p.intra_latency_us)
+        .u64(match p.eager_threshold_bytes {
+            Some(b) => b + 1,
+            None => 0,
+        })
+        .u32(p.nodes_per_machine)
+        .f64(p.wan_bandwidth_mbs)
+        .f64(p.wan_latency_us)
+        .u32(p.wan_links);
+    h = h.u64(p.cpu_ratios.len() as u64);
+    for &r in &p.cpu_ratios {
+        h = h.f64(r);
+    }
+    h.finish()
+}
+
+/// Fingerprint of a chunking policy.
+pub fn policy_fingerprint(p: &ChunkPolicy) -> u64 {
+    Fnv::new()
+        .u32(p.chunks)
+        .u32(p.min_chunk_elems)
+        .str(match p.mode {
+            SendMode::Eager => "eager",
+            SendMode::Rendezvous => "rendezvous",
+        })
+        .finish()
+}
+
+/// Cache key of one sweep point: what was simulated, not where it sat
+/// in the grid. Two grids containing the same (trace, platform, policy)
+/// triple share cache entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PointKey(pub u64);
+
+pub fn point_key(trace_fp: u64, platform: &Platform, policy: &ChunkPolicy) -> PointKey {
+    PointKey(
+        Fnv::new()
+            .u64(trace_fp)
+            .u64(platform_fingerprint(platform))
+            .u64(policy_fingerprint(policy))
+            .finish(),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Grid
+// ---------------------------------------------------------------------
+
+/// One traced application entering a sweep. The trace fingerprint is
+/// computed once at construction (it is the expensive part of cache
+/// keying) and shared by every grid point of this app.
+#[derive(Debug, Clone)]
+pub struct SweepApp {
+    pub name: String,
+    pub run: Arc<TraceRun>,
+    fingerprint: u64,
+}
+
+impl SweepApp {
+    pub fn new(name: impl Into<String>, run: TraceRun) -> SweepApp {
+        let fingerprint = trace_fingerprint(&run);
+        SweepApp {
+            name: name.into(),
+            run: Arc::new(run),
+            fingerprint,
+        }
+    }
+
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// The full cartesian sweep specification.
+#[derive(Debug, Clone, Default)]
+pub struct SweepGrid {
+    pub apps: Vec<SweepApp>,
+    pub platforms: Vec<Platform>,
+    pub policies: Vec<ChunkPolicy>,
+}
+
+/// Indices of one grid point, `(app, platform, policy)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SweepPoint {
+    pub app: usize,
+    pub platform: usize,
+    pub policy: usize,
+}
+
+impl SweepGrid {
+    pub fn len(&self) -> usize {
+        self.apps.len() * self.platforms.len() * self.policies.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Grid points in canonical order: app-major, then platform, then
+    /// policy. This order defines point indices and therefore report
+    /// order, regardless of execution interleaving.
+    pub fn points(&self) -> Vec<SweepPoint> {
+        let mut pts = Vec::with_capacity(self.len());
+        for app in 0..self.apps.len() {
+            for platform in 0..self.platforms.len() {
+                for policy in 0..self.policies.len() {
+                    pts.push(SweepPoint {
+                        app,
+                        platform,
+                        policy,
+                    });
+                }
+            }
+        }
+        pts
+    }
+}
+
+// ---------------------------------------------------------------------
+// Results
+// ---------------------------------------------------------------------
+
+/// Simulated outcome of one grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointResult {
+    pub point: SweepPoint,
+    pub key: PointKey,
+    pub app: String,
+    /// Simulated runtime of the original (non-overlapped) trace, s.
+    pub t_original: f64,
+    /// Simulated runtime of the overlapped trace (measured patterns), s.
+    pub t_overlapped: f64,
+    /// Simulated runtime of the overlapped-ideal trace, s.
+    pub t_ideal: f64,
+}
+
+impl PointResult {
+    pub fn speedup_real(&self) -> f64 {
+        self.t_original / self.t_overlapped
+    }
+
+    pub fn speedup_ideal(&self) -> f64 {
+        self.t_original / self.t_ideal
+    }
+
+    /// Content hash of the numeric result — exact bit patterns, so two
+    /// runs agree on this hash iff they agree on every output bit.
+    pub fn result_hash(&self) -> u64 {
+        Fnv::new()
+            .str(&self.app)
+            .u64(self.key.0)
+            .f64(self.t_original)
+            .f64(self.t_overlapped)
+            .f64(self.t_ideal)
+            .finish()
+    }
+}
+
+/// A failed grid point: simulation error, invalid platform, or a panic
+/// inside the worker. The sweep reports it and carries on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointError {
+    pub point: SweepPoint,
+    pub message: String,
+}
+
+/// What one grid point produced.
+pub type PointOutcome = Result<PointResult, PointError>;
+
+// ---------------------------------------------------------------------
+// Cache
+// ---------------------------------------------------------------------
+
+/// Content-addressed result cache shared across sweeps. Because keys
+/// are content fingerprints, a hit is guaranteed to be the result the
+/// simulation would have produced — replay is a pure function of the
+/// keyed inputs.
+#[derive(Debug, Default)]
+pub struct SweepCache {
+    map: Mutex<HashMap<PointKey, PointResult>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SweepCache {
+    pub fn new() -> SweepCache {
+        SweepCache::default()
+    }
+
+    fn lookup(&self, key: PointKey) -> Option<PointResult> {
+        let found = lock_ok(&self.map).get(&key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn insert(&self, result: PointResult) {
+        lock_ok(&self.map).insert(result.key, result);
+    }
+
+    pub fn len(&self) -> usize {
+        lock_ok(&self.map).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+fn lock_ok<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------
+// Sweep execution
+// ---------------------------------------------------------------------
+
+/// Execution knobs. `jobs == 1` runs inline on the calling thread.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Worker threads for grid evaluation.
+    pub jobs: usize,
+    /// Bounded work-queue depth (items in flight beyond running ones).
+    pub queue_depth: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> SweepConfig {
+        SweepConfig::with_jobs(1)
+    }
+}
+
+impl SweepConfig {
+    pub fn with_jobs(jobs: usize) -> SweepConfig {
+        let jobs = jobs.max(1);
+        SweepConfig {
+            jobs,
+            queue_depth: 2 * jobs,
+        }
+    }
+}
+
+/// Outcome of a whole sweep.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// One outcome per grid point, in [`SweepGrid::points`] order.
+    pub outcomes: Vec<PointOutcome>,
+    /// Cache hits observed during this sweep.
+    pub cache_hits: u64,
+    /// Cache misses (points actually simulated) during this sweep.
+    pub cache_misses: u64,
+    /// Wall-clock duration of the grid evaluation.
+    pub elapsed: Duration,
+}
+
+impl SweepReport {
+    pub fn ok_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_ok()).count()
+    }
+
+    pub fn err_count(&self) -> usize {
+        self.outcomes.len() - self.ok_count()
+    }
+
+    /// Per-point result hashes (0 for failed points) — the quantity the
+    /// determinism tests compare across worker counts.
+    pub fn result_hashes(&self) -> Vec<u64> {
+        self.outcomes
+            .iter()
+            .map(|o| o.as_ref().map(|r| r.result_hash()).unwrap_or(0))
+            .collect()
+    }
+
+    /// Combined hash over all points.
+    pub fn grid_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        for v in self.result_hashes() {
+            h = h.u64(v);
+        }
+        h.finish()
+    }
+
+    /// Deterministic human-readable rendering: depends only on the grid
+    /// and the simulated numbers, never on timing, worker count, or
+    /// cache state.
+    pub fn render(&self, grid: &SweepGrid) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "sweep: {} apps x {} platforms x {} policies = {} points ({} ok, {} failed)\n",
+            grid.apps.len(),
+            grid.platforms.len(),
+            grid.policies.len(),
+            self.outcomes.len(),
+            self.ok_count(),
+            self.err_count(),
+        ));
+        out.push_str(
+            "app          platform                 policy            t_orig[ms]  t_ovlp[ms] t_ideal[ms]  real  ideal  hash\n",
+        );
+        for outcome in &self.outcomes {
+            match outcome {
+                Ok(r) => {
+                    let p = &grid.platforms[r.point.platform];
+                    let pol = &grid.policies[r.point.policy];
+                    out.push_str(&format!(
+                        "{:<12} bw={:<7} buses={:<4} chunks={:<2} {:<10} {:>11.6} {:>11.6} {:>11.6} {:>5.3} {:>6.3}  {:016x}\n",
+                        r.app,
+                        fmt_bw(p.bandwidth_mbs),
+                        fmt_buses(p.buses),
+                        pol.chunks,
+                        match pol.mode {
+                            SendMode::Eager => "eager",
+                            SendMode::Rendezvous => "rendezvous",
+                        },
+                        r.t_original * 1e3,
+                        r.t_overlapped * 1e3,
+                        r.t_ideal * 1e3,
+                        r.speedup_real(),
+                        r.speedup_ideal(),
+                        r.result_hash(),
+                    ));
+                }
+                Err(e) => {
+                    out.push_str(&format!(
+                        "point (app {}, platform {}, policy {}): FAILED: {}\n",
+                        e.point.app, e.point.platform, e.point.policy, e.message
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn fmt_bw(bw: f64) -> String {
+    if bw.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{bw}")
+    }
+}
+
+fn fmt_buses(buses: u32) -> String {
+    if buses == 0 {
+        "inf".to_string()
+    } else {
+        buses.to_string()
+    }
+}
+
+/// Evaluate every grid point.
+///
+/// Runs in two pooled stages, both on the [`scheduler`]:
+///
+/// 1. **Transform** — build the [`VariantBundle`] for each
+///    `(app, policy)` combination once (platform sweeps share it);
+/// 2. **Replay** — simulate the three variants of each point, honouring
+///    `cache` (hit ⇒ no simulation).
+///
+/// Failures (platform validation, simulation errors, worker panics) are
+/// per-point [`PointError`]s; the report always covers the whole grid.
+pub fn sweep(grid: &SweepGrid, config: &SweepConfig, cache: &SweepCache) -> SweepReport {
+    let started = std::time::Instant::now();
+    let (hits0, misses0) = cache.stats();
+
+    // Stage 1: one variant bundle per (app, policy) combination.
+    let combos: Vec<(usize, usize)> = (0..grid.apps.len())
+        .flat_map(|a| (0..grid.policies.len()).map(move |p| (a, p)))
+        .collect();
+    let bundles: Vec<Result<Arc<VariantBundle>, String>> =
+        scheduler::run_indexed(combos, config.jobs, config.queue_depth, |_i, (a, p)| {
+            Arc::new(build_variants(&grid.apps[a].run, &grid.policies[p]))
+        });
+    let bundle_for = |point: &SweepPoint| -> &Result<Arc<VariantBundle>, String> {
+        &bundles[point.app * grid.policies.len() + point.policy]
+    };
+
+    // Stage 2: replay each point (or hit the cache).
+    let points = grid.points();
+    let outcomes: Vec<PointOutcome> =
+        scheduler::run_indexed(points, config.jobs, config.queue_depth, |_i, point| {
+            evaluate_point(grid, &point, bundle_for(&point), cache)
+        })
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| match slot {
+            Ok(outcome) => outcome,
+            // A panic that escaped evaluate_point (it has no
+            // catch_unwind of its own): report it on the point.
+            Err(message) => Err(PointError {
+                point: grid.points()[i],
+                message,
+            }),
+        })
+        .collect();
+
+    let (hits1, misses1) = cache.stats();
+    SweepReport {
+        outcomes,
+        cache_hits: hits1 - hits0,
+        cache_misses: misses1 - misses0,
+        elapsed: started.elapsed(),
+    }
+}
+
+fn evaluate_point(
+    grid: &SweepGrid,
+    point: &SweepPoint,
+    bundle: &Result<Arc<VariantBundle>, String>,
+    cache: &SweepCache,
+) -> PointOutcome {
+    let app = &grid.apps[point.app];
+    let platform = &grid.platforms[point.platform];
+    let policy = &grid.policies[point.policy];
+    let fail = |message: String| PointError {
+        point: *point,
+        message,
+    };
+
+    let key = point_key(app.fingerprint(), platform, policy);
+    if let Some(mut hit) = cache.lookup(key) {
+        // The cache stores content-keyed results; re-stamp the grid
+        // position so the report refers to *this* sweep's indices.
+        hit.point = *point;
+        hit.app.clone_from(&app.name);
+        return Ok(hit);
+    }
+
+    platform
+        .check()
+        .map_err(|e| fail(format!("invalid platform: {e}")))?;
+    let bundle = bundle
+        .as_ref()
+        .map_err(|e| fail(format!("transform failed: {e}")))?;
+
+    let sim = crate::experiments::speedup::run_variants(bundle, platform)
+        .map_err(|e| fail(format!("simulation failed: {e:?}")))?;
+    let result = PointResult {
+        point: *point,
+        key,
+        app: app.name.clone(),
+        t_original: sim.original.runtime(),
+        t_overlapped: sim.overlapped.runtime(),
+        t_ideal: sim.ideal.runtime(),
+    };
+    cache.insert(result.clone());
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlp_apps::synthetic::{Consumption, PatternApp, Production};
+    use ovlp_instr::trace_app;
+
+    fn tiny_app() -> SweepApp {
+        let app = PatternApp {
+            elems: 200,
+            iters: 2,
+            phase_instr: 50_000,
+            production: Production::Linear,
+            consumption: Consumption::Linear,
+        };
+        SweepApp::new("pattern-linear", trace_app(&app, 4).unwrap())
+    }
+
+    fn tiny_grid() -> SweepGrid {
+        SweepGrid {
+            apps: vec![tiny_app()],
+            platforms: vec![Platform::marenostrum(0), Platform::marenostrum(2)],
+            policies: vec![ChunkPolicy::paper_default(), ChunkPolicy::with_chunks(8)],
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_discriminating() {
+        let app = tiny_app();
+        let again = tiny_app();
+        assert_eq!(
+            app.fingerprint(),
+            again.fingerprint(),
+            "same run, same fingerprint"
+        );
+
+        let p = Platform::marenostrum(4);
+        assert_eq!(platform_fingerprint(&p), platform_fingerprint(&p.clone()));
+        assert_ne!(
+            platform_fingerprint(&p),
+            platform_fingerprint(&p.with_bandwidth(100.0))
+        );
+        assert_ne!(
+            policy_fingerprint(&ChunkPolicy::with_chunks(2)),
+            policy_fingerprint(&ChunkPolicy::with_chunks(4))
+        );
+    }
+
+    #[test]
+    fn grid_points_are_canonically_ordered() {
+        let grid = tiny_grid();
+        let pts = grid.points();
+        assert_eq!(pts.len(), 4);
+        assert_eq!(
+            pts[0],
+            SweepPoint {
+                app: 0,
+                platform: 0,
+                policy: 0
+            }
+        );
+        assert_eq!(
+            pts[1],
+            SweepPoint {
+                app: 0,
+                platform: 0,
+                policy: 1
+            }
+        );
+        assert_eq!(
+            pts[3],
+            SweepPoint {
+                app: 0,
+                platform: 1,
+                policy: 1
+            }
+        );
+    }
+
+    #[test]
+    fn sweep_is_worker_count_invariant() {
+        let grid = tiny_grid();
+        let base = sweep(&grid, &SweepConfig::with_jobs(1), &SweepCache::new());
+        assert_eq!(base.err_count(), 0, "{:?}", base.outcomes);
+        for jobs in [2, 4] {
+            let r = sweep(&grid, &SweepConfig::with_jobs(jobs), &SweepCache::new());
+            assert_eq!(r.result_hashes(), base.result_hashes(), "jobs={jobs}");
+            assert_eq!(r.render(&grid), base.render(&grid), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn cache_serves_repeat_sweeps() {
+        let grid = tiny_grid();
+        let cache = SweepCache::new();
+        let first = sweep(&grid, &SweepConfig::with_jobs(2), &cache);
+        assert_eq!(first.cache_hits, 0);
+        assert_eq!(first.cache_misses, grid.len() as u64);
+        let second = sweep(&grid, &SweepConfig::with_jobs(2), &cache);
+        assert_eq!(second.cache_hits, grid.len() as u64);
+        assert_eq!(second.cache_misses, 0);
+        assert_eq!(second.result_hashes(), first.result_hashes());
+        assert_eq!(second.render(&grid), first.render(&grid));
+    }
+
+    #[test]
+    fn invalid_platform_is_a_point_error_not_a_crash() {
+        let mut grid = tiny_grid();
+        grid.platforms.push(Platform {
+            mips: -1.0,
+            ..Platform::default()
+        });
+        let r = sweep(&grid, &SweepConfig::with_jobs(2), &SweepCache::new());
+        assert_eq!(r.outcomes.len(), 6);
+        assert_eq!(r.err_count(), 2, "both policies on the bad platform fail");
+        for o in &r.outcomes {
+            if let Err(e) = o {
+                assert_eq!(e.point.platform, 2);
+                assert!(e.message.contains("invalid platform"), "{}", e.message);
+            }
+        }
+    }
+
+    #[test]
+    fn report_render_lists_every_point() {
+        let grid = tiny_grid();
+        let r = sweep(&grid, &SweepConfig::default(), &SweepCache::new());
+        let text = r.render(&grid);
+        assert_eq!(text.lines().count(), 2 + grid.len());
+        assert!(text.contains("pattern-linear"));
+        assert!(text.contains("4 points (4 ok, 0 failed)"));
+    }
+}

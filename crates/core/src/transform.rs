@@ -348,7 +348,9 @@ mod tests {
         let kinds: Vec<String> = r0.iter().map(|r| r.to_string()).collect();
         assert_eq!(r0.len(), 9, "{kinds:?}");
         assert_eq!(r0[0].compute_len(), Some(Instructions(200)));
-        assert!(matches!(r0[1], Record::ISend { tag, .. } if tag.chunk_parts() == Some((Tag::user(3), 0))));
+        assert!(
+            matches!(r0[1], Record::ISend { tag, .. } if tag.chunk_parts() == Some((Tag::user(3), 0)))
+        );
         assert_eq!(r0[2].compute_len(), Some(Instructions(200)));
         assert!(matches!(r0[7], Record::ISend { .. }));
         // trailing compute back to 1000 total
@@ -407,10 +409,7 @@ mod tests {
             });
         }
         let out = transform(&t, &AccessDb::new(2), &ChunkPolicy::paper_default());
-        assert!(matches!(
-            out.ranks[0].records[0],
-            Record::Collective { .. }
-        ));
+        assert!(matches!(out.ranks[0].records[0], Record::Collective { .. }));
     }
 
     #[test]

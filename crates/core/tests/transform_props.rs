@@ -1,0 +1,205 @@
+//! Property-based invariants of the chunking policy and the overlap
+//! transformation: for arbitrary pattern shapes, sizes and chunk
+//! counts, no bytes appear or vanish, no record is dropped or
+//! duplicated, and every rank's stream stays well-ordered.
+//!
+//! Off by default; run with `cargo test --features proptest-tests`.
+#![cfg(feature = "proptest-tests")]
+
+use ovlp_apps::synthetic::{Consumption, PatternApp, Production};
+use ovlp_core::chunk::ChunkPolicy;
+use ovlp_core::transform::transform;
+use ovlp_instr::trace_app;
+use ovlp_trace::record::Record;
+use ovlp_trace::validate::validate;
+use ovlp_trace::{Trace, TransferId};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+fn pattern_strategy() -> impl Strategy<Value = (Production, Consumption)> {
+    let prod = prop_oneof![
+        Just(Production::Linear),
+        (0.0f64..0.9, 0.05f64..2.0).prop_map(|(start, exp)| Production::Profile { start, exp }),
+    ];
+    let cons = prop_oneof![
+        Just(Consumption::Linear),
+        (0.0f64..0.9).prop_map(|indep| Consumption::CopyAfter { indep }),
+    ];
+    (prod, cons)
+}
+
+fn traced(elems: usize, iters: u32, prod: Production, cons: Consumption) -> ovlp_instr::TraceRun {
+    let app = PatternApp {
+        elems,
+        iters,
+        phase_instr: 60_000,
+        production: prod,
+        consumption: cons,
+    };
+    trace_app(&app, 4).unwrap()
+}
+
+/// Per-rank byte totals for blocking and non-blocking sends/receives.
+fn byte_totals(t: &Trace) -> Vec<(u64, u64)> {
+    t.ranks
+        .iter()
+        .map(|rt| {
+            let mut sent = 0;
+            let mut received = 0;
+            for rec in &rt.records {
+                match *rec {
+                    Record::Send { bytes, .. } | Record::ISend { bytes, .. } => sent += bytes.get(),
+                    Record::Recv { bytes, .. } | Record::IRecv { bytes, .. } => {
+                        received += bytes.get()
+                    }
+                    _ => {}
+                }
+            }
+            (sent, received)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case traces + transforms a 4-rank run
+        ..ProptestConfig::default()
+    })]
+
+    /// Chunk sizes sum to the message size: for every original blocking
+    /// send that was rewritten, its ISend chunks carry exactly the
+    /// original byte count — per transfer, not just in aggregate.
+    #[test]
+    fn chunk_bytes_sum_to_message_bytes(
+        (prod, cons) in pattern_strategy(),
+        elems in 1usize..400,
+        chunks in 1u32..9,
+    ) {
+        let run = traced(elems, 2, prod, cons);
+        let out = transform(&run.trace, &run.access, &ChunkPolicy::with_chunks(chunks));
+
+        let mut original: HashMap<TransferId, u64> = HashMap::new();
+        for rt in &run.trace.ranks {
+            for rec in &rt.records {
+                if let Record::Send { bytes, transfer, .. } = *rec {
+                    original.insert(transfer, bytes.get());
+                }
+            }
+        }
+        let mut chunked: HashMap<TransferId, u64> = HashMap::new();
+        for rt in &out.ranks {
+            for rec in &rt.records {
+                if let Record::ISend { bytes, transfer, .. } = *rec {
+                    *chunked.entry(transfer).or_default() += bytes.get();
+                }
+            }
+        }
+        for (tid, total) in &chunked {
+            prop_assert_eq!(
+                original.get(tid),
+                Some(total),
+                "transfer {:?} chunks must sum to the original size",
+                tid
+            );
+        }
+    }
+
+    /// Conservation: the transformation neither creates nor destroys
+    /// traffic or records — per-rank byte totals match, per-rank
+    /// compute totals match, the record mix only changes
+    /// blocking -> non-blocking, and nothing is duplicated.
+    #[test]
+    fn no_record_dropped_or_duplicated(
+        (prod, cons) in pattern_strategy(),
+        elems in 1usize..400,
+        iters in 1u32..4,
+        chunks in 1u32..9,
+    ) {
+        let run = traced(elems, iters, prod, cons);
+        let policy = ChunkPolicy::with_chunks(chunks);
+        let out = transform(&run.trace, &run.access, &policy);
+
+        prop_assert!(validate(&out).is_empty(), "{:?}", validate(&out));
+        prop_assert_eq!(byte_totals(&out), byte_totals(&run.trace));
+        for r in 0..run.trace.nranks() {
+            prop_assert_eq!(
+                out.ranks[r].total_compute(),
+                run.trace.ranks[r].total_compute(),
+                "rank {} compute must be preserved", r
+            );
+        }
+
+        // every rewritten send appears exactly effective_chunks times,
+        // with distinct chunk tags (no duplicates, none dropped)
+        let mut seen: HashMap<TransferId, HashSet<u32>> = HashMap::new();
+        for rt in &out.ranks {
+            for rec in &rt.records {
+                if let Record::ISend { tag, transfer, .. } = *rec {
+                    let (_, k) = tag.chunk_parts().expect("chunk sends carry chunk tags");
+                    prop_assert!(
+                        seen.entry(transfer).or_default().insert(k),
+                        "duplicate chunk {} of {:?}", k, transfer
+                    );
+                }
+            }
+        }
+        let mut original_sends = 0usize;
+        for rt in &run.trace.ranks {
+            for rec in &rt.records {
+                if let Record::Send { transfer, .. } = *rec {
+                    original_sends += 1;
+                    if let Some(ks) = seen.get(&transfer) {
+                        // contiguous chunk indices 0..n
+                        let n = ks.len() as u32;
+                        prop_assert!((0..n).all(|k| ks.contains(&k)));
+                    }
+                }
+            }
+        }
+        let plain_sends = out
+            .ranks
+            .iter()
+            .flat_map(|rt| &rt.records)
+            .filter(|r| matches!(r, Record::Send { .. }))
+            .count();
+        prop_assert_eq!(
+            plain_sends + seen.len(),
+            original_sends,
+            "every original send is either kept or chunked, never both or neither"
+        );
+    }
+
+    /// Stream order: in every transformed rank, a Wait only ever
+    /// references a request posted earlier in the same stream, and each
+    /// request is waited at most once — the timestamps the rebuild
+    /// assigns are monotone by construction, so cross-record order is
+    /// the observable invariant.
+    #[test]
+    fn waits_follow_their_posts(
+        (prod, cons) in pattern_strategy(),
+        elems in 1usize..300,
+        chunks in 1u32..9,
+    ) {
+        let run = traced(elems, 2, prod, cons);
+        let out = transform(&run.trace, &run.access, &ChunkPolicy::with_chunks(chunks));
+        for (r, rt) in out.ranks.iter().enumerate() {
+            let mut posted = HashSet::new();
+            let mut waited = HashSet::new();
+            for rec in &rt.records {
+                match *rec {
+                    Record::ISend { req, .. } | Record::IRecv { req, .. } => {
+                        prop_assert!(posted.insert(req), "rank {}: request {:?} reused", r, req);
+                    }
+                    Record::Wait { req } => {
+                        prop_assert!(
+                            posted.contains(&req),
+                            "rank {}: wait for unposted {:?}", r, req
+                        );
+                        prop_assert!(waited.insert(req), "rank {}: double wait {:?}", r, req);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}

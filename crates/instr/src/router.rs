@@ -6,11 +6,17 @@
 //! derived from each rank's virtual instruction counter, never from the
 //! wall-clock behaviour of these queues.
 
-use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
+
+/// Lock, recovering from poisoning: a panicking rank is already turned
+/// into an `InstrError::RankFailed` by the tracer, and the router's
+/// invariants hold at every await point, so the data is still sound.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Payload of one point-to-point message.
 pub type Payload = Vec<f64>;
@@ -50,7 +56,9 @@ impl Router {
     pub fn new(nranks: usize, timeout: Duration) -> Arc<Router> {
         Arc::new(Router {
             nranks,
-            mailboxes: (0..nranks).map(|_| Mutex::new(Mailbox::default())).collect(),
+            mailboxes: (0..nranks)
+                .map(|_| Mutex::new(Mailbox::default()))
+                .collect(),
             signals: (0..nranks).map(|_| Condvar::new()).collect(),
             coll: Mutex::new(CollInner {
                 phase: CollPhase::Gathering,
@@ -72,7 +80,7 @@ impl Router {
     /// plane is infinitely buffered; timing semantics live in the
     /// machine simulator, not here).
     pub fn send(&self, src: u32, dst: u32, tag: u32, payload: Payload) {
-        let mut mb = self.mailboxes[dst as usize].lock();
+        let mut mb = lock(&self.mailboxes[dst as usize]);
         mb.queues.entry((src, tag)).or_default().push_back(payload);
         self.signals[dst as usize].notify_all();
     }
@@ -81,17 +89,18 @@ impl Router {
     /// blocking until one arrives. Returns `Err` with a description on
     /// timeout (an application-level deadlock).
     pub fn recv(&self, me: u32, src: u32, tag: u32) -> Result<Payload, String> {
-        let mut mb = self.mailboxes[me as usize].lock();
+        let mut mb = lock(&self.mailboxes[me as usize]);
         loop {
             if let Some(q) = mb.queues.get_mut(&(src, tag)) {
                 if let Some(p) = q.pop_front() {
                     return Ok(p);
                 }
             }
-            if self.signals[me as usize]
-                .wait_for(&mut mb, self.timeout)
-                .timed_out()
-            {
+            let (guard, timeout) = self.signals[me as usize]
+                .wait_timeout(mb, self.timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            mb = guard;
+            if timeout.timed_out() {
                 return Err(format!(
                     "rank {me}: receive from rank {src} tag {tag} timed out \
                      ({}s) — application deadlock?",
@@ -110,11 +119,20 @@ impl Router {
     /// Two-phase (gather → drain) with a full handshake, so a fast rank
     /// cannot race into the next collective instance before everyone
     /// has read the current one.
-    pub fn exchange_all(&self, me: u32, contribution: Payload) -> Result<Arc<Vec<Payload>>, String> {
-        let mut inner = self.coll.lock();
+    pub fn exchange_all(
+        &self,
+        me: u32,
+        contribution: Payload,
+    ) -> Result<Arc<Vec<Payload>>, String> {
+        let mut inner = lock(&self.coll);
         // wait for any previous instance to finish draining
         while inner.phase == CollPhase::Draining {
-            if self.coll_cv.wait_for(&mut inner, self.timeout).timed_out() {
+            let (guard, timeout) = self
+                .coll_cv
+                .wait_timeout(inner, self.timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+            if timeout.timed_out() {
                 return Err(format!("rank {me}: collective entry timed out"));
             }
         }
@@ -133,7 +151,12 @@ impl Router {
             self.coll_cv.notify_all();
         } else {
             while inner.phase != CollPhase::Draining {
-                if self.coll_cv.wait_for(&mut inner, self.timeout).timed_out() {
+                let (guard, timeout) = self
+                    .coll_cv
+                    .wait_timeout(inner, self.timeout)
+                    .unwrap_or_else(|e| e.into_inner());
+                inner = guard;
+                if timeout.timed_out() {
                     return Err(format!(
                         "rank {me}: collective timed out waiting for peers \
                          ({}/{} arrived) — application deadlock?",
@@ -226,9 +249,7 @@ mod tests {
                 thread::spawn(move || {
                     let mut sums = Vec::new();
                     for round in 0..10u32 {
-                        let res = r
-                            .exchange_all(me, vec![(me + round) as f64])
-                            .unwrap();
+                        let res = r.exchange_all(me, vec![(me + round) as f64]).unwrap();
                         let s: f64 = res.iter().map(|v| v[0]).sum();
                         sums.push(s);
                     }

@@ -25,10 +25,13 @@ pub struct ChannelStat {
     pub max_span: Time,
 }
 
+/// Running `(messages, bytes, queue_sum, span_sum, span_max)` totals.
+type ChannelAgg = (usize, u64, f64, f64, f64);
+
 /// Aggregate all channels, sorted by total bytes descending (ties by
 /// channel key, so the output is deterministic).
 pub fn channel_stats(sim: &SimResult) -> Vec<ChannelStat> {
-    let mut agg: HashMap<(u32, u32, u32), (usize, u64, f64, f64, f64)> = HashMap::new();
+    let mut agg: HashMap<(u32, u32, u32), ChannelAgg> = HashMap::new();
     for c in &sim.comms {
         let e = agg
             .entry((c.src.get(), c.dst.get(), c.tag.0))
@@ -90,8 +93,8 @@ pub fn render_top(sim: &SimResult, top: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::replay::simulate;
     use crate::platform::Platform;
+    use crate::replay::simulate;
     use ovlp_trace::record::{Record, SendMode};
     use ovlp_trace::{Instructions, Trace, TransferId};
 

@@ -154,9 +154,7 @@ fn plan(op: CollOp, algo: CollectiveAlgo, p: u32, me: Rank, root: Rank, bytes: B
             v.extend(bcast_linear(p, me, Rank(0), Bytes(bytes.get() * p as u64)));
             v
         }
-        (CollOp::Scatter, CollectiveAlgo::Binomial) => {
-            scatter_tree(p, me, root, bytes)
-        }
+        (CollOp::Scatter, CollectiveAlgo::Binomial) => scatter_tree(p, me, root, bytes),
         (CollOp::Scatter, CollectiveAlgo::Linear) => scatter_linear(p, me, root, bytes),
         (CollOp::Alltoall, _) => alltoall_pairwise(p, me, bytes),
     }
@@ -235,12 +233,18 @@ fn reduce_tree(
     let mut m = start;
     while r + m < p {
         let child = r + m;
-        steps.push(Step::RecvFrom(abs(child, root, p), msg_size(subtree_size(child, p))));
+        steps.push(Step::RecvFrom(
+            abs(child, root, p),
+            msg_size(subtree_size(child, p)),
+        ));
         m <<= 1;
     }
     if r != 0 {
         let high = 1u32 << (31 - r.leading_zeros());
-        steps.push(Step::SendTo(abs(r - high, root, p), msg_size(subtree_size(r, p))));
+        steps.push(Step::SendTo(
+            abs(r - high, root, p),
+            msg_size(subtree_size(r, p)),
+        ));
     }
     steps
 }

@@ -42,3 +42,17 @@ pub use platform::{CollectiveAlgo, Platform};
 pub use replay::{simulate, NetworkStats, SimError, SimResult};
 pub use time::Time;
 pub use timeline::{CommRecord, Interval, State, StateTotals, Timeline};
+
+// The parallel sweep engine (ovlp-core::sweep) replays traces from
+// worker threads; everything crossing [`simulate`]'s boundary must stay
+// thread-safe. These assertions turn an accidental `Rc`/`RefCell`/raw
+// pointer regression into a compile error right here.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Platform>();
+    assert_send_sync::<SimResult>();
+    assert_send_sync::<SimError>();
+    assert_send_sync::<Timeline>();
+    assert_send_sync::<ovlp_trace::Trace>();
+    assert_send_sync::<ovlp_trace::AccessDb>();
+};

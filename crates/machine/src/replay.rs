@@ -123,10 +123,7 @@ impl SimResult {
 
     /// Sum of all ranks' wait time (everything but compute), seconds.
     pub fn total_wait(&self) -> f64 {
-        self.totals
-            .iter()
-            .map(|t| t.total_wait().as_secs())
-            .sum()
+        self.totals.iter().map(|t| t.total_wait().as_secs()).sum()
     }
 
     /// Parallel efficiency: compute time over total rank-time.
@@ -224,7 +221,11 @@ enum Blocked {
     /// A Resume event is already scheduled.
     ResumeScheduled,
     /// Blocked on a receive request with unknown completion time.
-    OnReq { req: usize, since: Time, state: State },
+    OnReq {
+        req: usize,
+        since: Time,
+        state: State,
+    },
     /// Blocked on a message (send side) with unknown grant time.
     OnMsg { since: Time, state: State },
     /// Trace fully interpreted.
@@ -432,9 +433,7 @@ impl<'a> Engine<'a> {
                     self.ranks[rank].blocked = Blocked::ResumeScheduled;
                     return Ok(());
                 }
-                Record::IRecv {
-                    src, tag, req, ..
-                } => {
+                Record::IRecv { src, tag, req, .. } => {
                     let r = self.post_recv(rank, src.idx(), tag, clock);
                     self.ranks[rank].reqs.insert(req, ReqHandle::Recv(r));
                     self.ranks[rank].pc += 1;
@@ -474,8 +473,7 @@ impl<'a> Engine<'a> {
                     }
                 }
                 Record::Wait { req } => {
-                    let handle = self
-                        .ranks[rank]
+                    let handle = self.ranks[rank]
                         .reqs
                         .remove(&req)
                         .ok_or(SimError::UnknownRequest { rank, req })?;
@@ -589,7 +587,12 @@ impl<'a> Engine<'a> {
     fn complete_recv_req(&mut self, req: usize, t1: Time) {
         self.recv_reqs[req].complete = Some(t1);
         let owner = self.recv_reqs[req].rank;
-        if let Blocked::OnReq { req: r, since, state } = self.ranks[owner].blocked {
+        if let Blocked::OnReq {
+            req: r,
+            since,
+            state,
+        } = self.ranks[owner].blocked
+        {
             if r == req {
                 let resume = t1.max(since);
                 self.ranks[owner].timeline.push(since, resume, state);
@@ -681,10 +684,12 @@ impl<'a> Engine<'a> {
         let state = Self::wait_state(tag, State::WaitRecv);
         // arrival time, if already determined
         let known = self.recv_reqs[req].complete.or_else(|| {
-            self.recv_reqs[req].msg.and_then(|m| match self.msgs[m].state {
-                MsgState::Flying { t1 } | MsgState::Done { t1 } => Some(t1),
-                MsgState::Pending => None,
-            })
+            self.recv_reqs[req]
+                .msg
+                .and_then(|m| match self.msgs[m].state {
+                    MsgState::Flying { t1 } | MsgState::Done { t1 } => Some(t1),
+                    MsgState::Pending => None,
+                })
         });
         match known {
             Some(tc) if tc <= clock => {
@@ -855,15 +860,12 @@ mod tests {
                 t.rank_mut(Rank(i)).push(send(k + i, 0, bytes, 0));
                 t.rank_mut(Rank(k + i)).push(recv(i, 0, bytes, 0));
             }
-            let p = Platform {
-                buses,
-                ..plat()
-            };
+            let p = Platform { buses, ..plat() };
             let res = simulate(&t, &p).unwrap();
             let rounds = k.div_ceil(buses);
-            let expect = rounds as f64 * 0.01 + 10e-6 * 1.0; // latency overlaps per round start... 
-            // each round's transfers start when a bus frees: round r starts at r*(10ms+10us)?
-            // transfer occupies resources for latency+wire, so rounds serialize fully:
+            let expect = rounds as f64 * 0.01 + 10e-6 * 1.0; // latency overlaps per round start...
+                                                             // each round's transfers start when a bus frees: round r starts at r*(10ms+10us)?
+                                                             // transfer occupies resources for latency+wire, so rounds serialize fully:
             let expect_full = rounds as f64 * (0.01 + 10e-6);
             let _ = expect;
             assert!(
@@ -1068,10 +1070,7 @@ mod tests {
             rt.push(recv((r + 3) % 4, 0, 10_000, 1));
             rt.push(compute(500_000));
         }
-        let p = Platform {
-            buses: 2,
-            ..plat()
-        };
+        let p = Platform { buses: 2, ..plat() };
         let a = simulate(&t, &p).unwrap();
         let b = simulate(&t, &p).unwrap();
         assert_eq!(a.runtime, b.runtime);

@@ -104,9 +104,7 @@ impl Timeline {
 
     /// The state active at time `t`, if any interval covers it.
     pub fn state_at(&self, t: Time) -> Option<State> {
-        let idx = self
-            .intervals
-            .partition_point(|i| i.end <= t);
+        let idx = self.intervals.partition_point(|i| i.end <= t);
         self.intervals
             .get(idx)
             .filter(|i| i.start <= t)

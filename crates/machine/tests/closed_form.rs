@@ -11,8 +11,8 @@ const EPS: f64 = 1e-9;
 
 fn plat() -> Platform {
     Platform {
-        mips: 1000.0,          // 1 instr = 1 ns
-        bandwidth_mbs: 100.0,  // 1 MB = 10 ms
+        mips: 1000.0,         // 1 instr = 1 ns
+        bandwidth_mbs: 100.0, // 1 MB = 10 ms
         latency_us: 10.0,
         buses: 0,
         ..Platform::default()
@@ -90,8 +90,7 @@ fn wavefront_closed_form_transfer_bound() {
     let t_burst = burst as f64 / 1e9; // 0.1 ms
     let tau = 10e-6 + bytes as f64 / 100e6; // ~10 ms
     assert!(tau > t_burst);
-    let expect =
-        (nranks - 1) as f64 * (t_burst + tau) + t_burst + (sweeps - 1) as f64 * tau;
+    let expect = (nranks - 1) as f64 * (t_burst + tau) + t_burst + (sweeps - 1) as f64 * tau;
     let sim = simulate(&wavefront(nranks, sweeps, burst, bytes), &p).unwrap();
     assert!(
         (sim.runtime() - expect).abs() < EPS,

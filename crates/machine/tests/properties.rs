@@ -1,6 +1,9 @@
 //! Property-based invariants of the replay engine over randomized ring
 //! workloads: message conservation, timeline well-formedness, and
 //! contention monotonicity.
+//!
+//! Off by default; run with `cargo test --features proptest-tests`.
+#![cfg(feature = "proptest-tests")]
 
 use ovlp_machine::{simulate, Platform, State};
 use ovlp_trace::record::{Record, SendMode};

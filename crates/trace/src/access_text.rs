@@ -36,7 +36,11 @@ pub struct AccessParseError {
 
 impl std::fmt::Display for AccessParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "access parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "access parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -141,7 +145,9 @@ pub fn parse(input: &str) -> Result<AccessDb, AccessParseError> {
                 db = Some(AccessDb::new(n));
             }
             "p" | "c" => {
-                let db_ref = db.as_mut().ok_or_else(|| err(lineno, "record before `ranks`"))?;
+                let db_ref = db
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "record before `ranks`"))?;
                 flush(db_ref, &mut open);
                 let tid = parse_tid(rest.first().copied(), lineno)?;
                 if tid.rank.idx() >= db_ref.ranks.len() {

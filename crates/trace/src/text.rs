@@ -38,7 +38,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -186,7 +190,10 @@ fn parse_tid(s: &str, line: usize) -> Result<TransferId, ParseError> {
         .split_once('.')
         .ok_or_else(|| err(line, format!("bad transfer id `{s}`")))?;
     Ok(TransferId::new(
-        Rank(a.parse().map_err(|e| err(line, format!("bad rank in transfer id: {e}")))?),
+        Rank(
+            a.parse()
+                .map_err(|e| err(line, format!("bad rank in transfer id: {e}")))?,
+        ),
         b.parse()
             .map_err(|e| err(line, format!("bad seq in transfer id: {e}")))?,
     ))

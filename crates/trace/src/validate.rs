@@ -45,7 +45,12 @@ impl std::fmt::Display for ValidationError {
             ValidationError::DuplicateRequest { rank, req } => {
                 write!(f, "{rank}: request {req} reissued while outstanding")
             }
-            ValidationError::ChannelMismatch { src, dst, tag, detail } => {
+            ValidationError::ChannelMismatch {
+                src,
+                dst,
+                tag,
+                detail,
+            } => {
                 write!(f, "channel {src}->{dst} {tag}: {detail}")
             }
             ValidationError::CollectiveMismatch { index, detail } => {
@@ -73,13 +78,13 @@ fn check_requests(trace: &Trace, errors: &mut Vec<ValidationError>) {
         for rec in &rt.records {
             match *rec {
                 Record::ISend { req, .. } | Record::IRecv { req, .. }
-                    if !outstanding.insert(req) => {
-                        errors.push(ValidationError::DuplicateRequest { rank, req });
-                    }
-                Record::Wait { req }
-                    if !outstanding.remove(&req) => {
-                        errors.push(ValidationError::UnknownRequest { rank, req });
-                    }
+                    if !outstanding.insert(req) =>
+                {
+                    errors.push(ValidationError::DuplicateRequest { rank, req });
+                }
+                Record::Wait { req } if !outstanding.remove(&req) => {
+                    errors.push(ValidationError::UnknownRequest { rank, req });
+                }
                 _ => {}
             }
         }
@@ -96,10 +101,20 @@ fn check_channels(trace: &Trace, errors: &mut Vec<ValidationError>) {
         let rank = Rank(r as u32);
         for rec in &rt.records {
             match *rec {
-                Record::Send { dst, tag, bytes, .. } | Record::ISend { dst, tag, bytes, .. } => {
+                Record::Send {
+                    dst, tag, bytes, ..
+                }
+                | Record::ISend {
+                    dst, tag, bytes, ..
+                } => {
                     sent.entry((rank, dst, tag)).or_default().push(bytes.get());
                 }
-                Record::Recv { src, tag, bytes, .. } | Record::IRecv { src, tag, bytes, .. } => {
+                Record::Recv {
+                    src, tag, bytes, ..
+                }
+                | Record::IRecv {
+                    src, tag, bytes, ..
+                } => {
                     recvd.entry((src, rank, tag)).or_default().push(bytes.get());
                 }
                 _ => {}

@@ -3,8 +3,7 @@
 //! whitespace/comment noise.
 
 use ovlp_trace::record::{Record, SendMode};
-use ovlp_trace::{access_text, text, Bytes, Instructions, Rank, Tag, Trace, TransferId};
-use proptest::prelude::*;
+use ovlp_trace::{text, Bytes, Instructions, Rank, Tag, Trace, TransferId};
 
 fn valid_trace_text() -> String {
     let mut t = Trace::new(2).with_meta("app", "fuzz");
@@ -27,39 +26,48 @@ fn valid_trace_text() -> String {
     text::emit(&t)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+/// Fuzz-style properties; off by default, run with
+/// `cargo test --features proptest-tests`.
+#[cfg(feature = "proptest-tests")]
+mod fuzzing {
+    use super::*;
+    use ovlp_trace::access_text;
+    use proptest::prelude::*;
 
-    #[test]
-    fn trace_parser_never_panics_on_arbitrary_input(s in ".{0,400}") {
-        let _ = text::parse(&s); // Ok or Err, never panic
-    }
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
 
-    #[test]
-    fn access_parser_never_panics_on_arbitrary_input(s in ".{0,400}") {
-        let _ = access_text::parse(&s);
-    }
+        #[test]
+        fn trace_parser_never_panics_on_arbitrary_input(s in ".{0,400}") {
+            let _ = text::parse(&s); // Ok or Err, never panic
+        }
 
-    #[test]
-    fn trace_parser_survives_random_line_corruption(
-        line_idx in 0usize..12,
-        junk in "[ -~]{0,40}",
-    ) {
-        let valid = valid_trace_text();
-        let mut lines: Vec<String> = valid.lines().map(String::from).collect();
-        let i = line_idx % lines.len();
-        lines[i] = junk;
-        let corrupted = lines.join("\n");
-        // must terminate with Ok or Err (often Err); never panic
-        let _ = text::parse(&corrupted);
-    }
+        #[test]
+        fn access_parser_never_panics_on_arbitrary_input(s in ".{0,400}") {
+            let _ = access_text::parse(&s);
+        }
 
-    #[test]
-    fn trace_parser_survives_truncation(cut in 0usize..200) {
-        let valid = valid_trace_text();
-        let cut = cut.min(valid.len());
-        // truncate at a char boundary (ASCII format, always is)
-        let _ = text::parse(&valid[..cut]);
+        #[test]
+        fn trace_parser_survives_random_line_corruption(
+            line_idx in 0usize..12,
+            junk in "[ -~]{0,40}",
+        ) {
+            let valid = valid_trace_text();
+            let mut lines: Vec<String> = valid.lines().map(String::from).collect();
+            let i = line_idx % lines.len();
+            lines[i] = junk;
+            let corrupted = lines.join("\n");
+            // must terminate with Ok or Err (often Err); never panic
+            let _ = text::parse(&corrupted);
+        }
+
+        #[test]
+        fn trace_parser_survives_truncation(cut in 0usize..200) {
+            let valid = valid_trace_text();
+            let cut = cut.min(valid.len());
+            // truncate at a char boundary (ASCII format, always is)
+            let _ = text::parse(&valid[..cut]);
+        }
     }
 }
 

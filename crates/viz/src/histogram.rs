@@ -56,12 +56,7 @@ fn human(secs: f64) -> String {
 /// Render a histogram with proportional bars.
 pub fn render(h: &DurationHistogram, width: usize) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{} intervals: {} total",
-        h.state.name(),
-        h.total
-    );
+    let _ = writeln!(out, "{} intervals: {} total", h.state.name(), h.total);
     let max = h.counts.iter().copied().max().unwrap_or(0).max(1);
     for (i, &c) in h.counts.iter().enumerate() {
         let label = if i == 0 {

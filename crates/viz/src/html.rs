@@ -25,7 +25,9 @@ pub struct ReportInputs {
 }
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Build the report. `variants` pairs a label with its simulation; the
@@ -33,11 +35,7 @@ fn esc(s: &str) -> String {
 pub fn report(inputs: &ReportInputs, variants: &[(&str, &SimResult)]) -> String {
     let mut html = String::new();
     html.push_str("<!DOCTYPE html><html><head><meta charset=\"utf-8\">");
-    let _ = write!(
-        html,
-        "<title>overlap-sim — {}</title>",
-        esc(&inputs.app)
-    );
+    let _ = write!(html, "<title>overlap-sim — {}</title>", esc(&inputs.app));
     html.push_str(
         "<style>body{font-family:sans-serif;max-width:1280px;margin:2em auto;\
          padding:0 1em;color:#222}pre{background:#f6f6f6;padding:.8em;\
@@ -55,8 +53,10 @@ pub fn report(inputs: &ReportInputs, variants: &[(&str, &SimResult)]) -> String 
     );
 
     // runtimes
-    html.push_str("<h2>Simulated runtimes</h2><table><tr><th>variant</th>\
-                   <th>runtime</th><th>speedup</th><th>wait/rank</th></tr>");
+    html.push_str(
+        "<h2>Simulated runtimes</h2><table><tr><th>variant</th>\
+                   <th>runtime</th><th>speedup</th><th>wait/rank</th></tr>",
+    );
     let base = variants.first().map(|(_, s)| s.runtime()).unwrap_or(1.0);
     for (label, sim) in variants {
         let nranks = sim.totals.len().max(1) as f64;

@@ -79,12 +79,7 @@ pub fn export(name: &str, sim: &SimResult) -> ParaverExport {
         // trailing idle until the global end
         let end = tl.end();
         if end < sim.runtime {
-            let _ = writeln!(
-                prv,
-                "1:{cpu}:1:{task}:1:{}:{}:0",
-                ns(end),
-                ns(sim.runtime)
-            );
+            let _ = writeln!(prv, "1:{cpu}:1:{task}:1:{}:{}:0", ns(end), ns(sim.runtime));
         }
     }
 

@@ -75,7 +75,9 @@ pub fn timeline_svg(title: &str, sim: &SimResult, width: u32, span: Time) -> Str
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

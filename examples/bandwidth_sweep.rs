@@ -19,7 +19,10 @@ fn main() {
     let run = trace_app(entry.app.as_ref(), entry.ranks).expect("tracing failed");
     let bundle = build_variants(&run, &ChunkPolicy::paper_default());
 
-    println!("bandwidth sweep for `{}` ({} ranks, {} buses)", entry.name, entry.ranks, platform.buses);
+    println!(
+        "bandwidth sweep for `{}` ({} ranks, {} buses)",
+        entry.name, entry.ranks, platform.buses
+    );
     println!();
     println!(
         "{:>10} {:>14} {:>14} {:>14}",
@@ -49,6 +52,12 @@ fn main() {
         Some(bw) => format!("{bw:.2} MB/s ({:.1}x less)", platform.bandwidth_mbs / bw),
         None => "not reachable".to_string(),
     };
-    println!("  overlapped (measured patterns) needs {}", fmt(relax.real_mbs));
-    println!("  overlapped (ideal patterns)    needs {}", fmt(relax.ideal_mbs));
+    println!(
+        "  overlapped (measured patterns) needs {}",
+        fmt(relax.real_mbs)
+    );
+    println!(
+        "  overlapped (ideal patterns)    needs {}",
+        fmt(relax.ideal_mbs)
+    );
 }

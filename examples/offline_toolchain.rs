@@ -24,8 +24,16 @@ fn main() {
     let acc = dir.join("access.acc");
     fs::write(&trf, text::emit(&run.trace)).unwrap();
     fs::write(&acc, access_text::emit(&run.access)).unwrap();
-    println!("wrote {} ({} bytes)", trf.display(), fs::metadata(&trf).unwrap().len());
-    println!("wrote {} ({} bytes)", acc.display(), fs::metadata(&acc).unwrap().len());
+    println!(
+        "wrote {} ({} bytes)",
+        trf.display(),
+        fs::metadata(&trf).unwrap().len()
+    );
+    println!(
+        "wrote {} ({} bytes)",
+        acc.display(),
+        fs::metadata(&acc).unwrap().len()
+    );
 
     // stage 2: transform (a different process, in principle) — read
     // the artifacts back and rewrite

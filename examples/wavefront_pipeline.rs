@@ -23,11 +23,7 @@ fn main() {
 
     let orig = simulate(&bundle.original, &platform).unwrap();
     let ideal = simulate(&bundle.ideal, &platform).unwrap();
-    let orig_inf = simulate(
-        &bundle.original,
-        &platform.with_bandwidth(f64::INFINITY),
-    )
-    .unwrap();
+    let orig_inf = simulate(&bundle.original, &platform.with_bandwidth(f64::INFINITY)).unwrap();
 
     // pipeline fill: when does each rank first start computing?
     println!("wavefront start skew (first compute interval per rank):");
@@ -44,8 +40,12 @@ fn main() {
         println!("{r:>6} {:>14.3}ms {:>14.3}ms", first(&orig), first(&ideal));
     }
     println!();
-    println!("runtime @250 MB/s: original {:.2} ms, ideal overlap {:.2} ms (x{:.2})",
-        orig.runtime() * 1e3, ideal.runtime() * 1e3, orig.runtime() / ideal.runtime());
+    println!(
+        "runtime @250 MB/s: original {:.2} ms, ideal overlap {:.2} ms (x{:.2})",
+        orig.runtime() * 1e3,
+        ideal.runtime() * 1e3,
+        orig.runtime() / ideal.runtime()
+    );
     println!(
         "runtime of the ORIGINAL on an infinitely fast network: {:.2} ms",
         orig_inf.runtime() * 1e3

@@ -12,6 +12,8 @@
 //! ovlp advise <app> <ranks>              per-transfer restructuring advice
 //! ovlp report <app> <ranks> <out.html>   self-contained HTML analysis report
 //! ovlp paraver <app> <ranks> <outdir>    export Paraver .prv/.pcf/.row for both variants
+//! ovlp sweep <app> <ranks> [--jobs N] [--chunks a,b,..] [--bw a,b,..] [--buses a,b,..]
+//!                                        parallel parameter sweep over platforms x policies
 //! ovlp list                              list the application pool
 //! ```
 
@@ -50,20 +52,32 @@ fn main() -> ExitCode {
         ["advise", app, ranks] => advise_cmd(app, ranks),
         ["report", app, ranks, out] => report_cmd(app, ranks, out),
         ["paraver", app, ranks, outdir] => paraver_cmd(app, ranks, outdir),
+        ["sweep", app, ranks, rest @ ..] => sweep_cmd(app, ranks, rest),
         _ => {
             eprintln!(
                 "usage: ovlp <list | analyze <app> <ranks> | trace <app> <ranks> <outdir> |\n\
                  \x20      transform <trace.trf> <log.acc> | simulate <trace.trf> [bw] [buses] |\n\
                  \x20      stats <trace.trf> | gantt <app> <ranks> | waits <app> <ranks> |\n\
                  \x20      chunks <app> <ranks> | advise <app> <ranks> |\n\
-                 \x20      report <app> <ranks> <out.html> | paraver <app> <ranks> <outdir>>"
+                 \x20      report <app> <ranks> <out.html> | paraver <app> <ranks> <outdir> |\n\
+                 \x20      sweep <app> <ranks> [--jobs N] [--chunks a,b,..] [--bw a,b,..] [--buses a,b,..]>"
             );
             ExitCode::FAILURE
         }
     }
 }
 
-fn prepare(app_name: &str, ranks: &str) -> Result<(overlap_sim::core::pipeline::VariantBundle, overlap_sim::instr::TraceRun, Platform), String> {
+fn prepare(
+    app_name: &str,
+    ranks: &str,
+) -> Result<
+    (
+        overlap_sim::core::pipeline::VariantBundle,
+        overlap_sim::instr::TraceRun,
+        Platform,
+    ),
+    String,
+> {
     let ranks: usize = ranks.parse().map_err(|e| format!("bad rank count: {e}"))?;
     let entry = overlap_sim::apps::registry::by_name(app_name)
         .ok_or_else(|| format!("unknown app `{app_name}` (try `ovlp list`)"))?;
@@ -101,8 +115,7 @@ fn analyze(app: &str, ranks: &str) -> ExitCode {
                 r.original.total_wait() * 1e6 / r.original.totals.len() as f64,
                 r.overlapped.total_wait() * 1e6 / r.overlapped.totals.len() as f64,
             );
-            let demand =
-                overlap_sim::core::double_buffer_demand(&r.overlapped);
+            let demand = overlap_sim::core::double_buffer_demand(&r.overlapped);
             println!(
                 "double-buffering demand: {} of {} candidate transfers ({})",
                 demand.early_arrivals,
@@ -159,15 +172,17 @@ fn trace_cmd(app: &str, ranks: &str, outdir: &str) -> ExitCode {
 /// Offline transformation: the paper's §III-C generation step applied
 /// to artifacts on disk.
 fn transform_cmd(trf: &str, acc: &str) -> ExitCode {
-    let trace = match fs::read_to_string(trf).map_err(|e| e.to_string()).and_then(|c| {
-        text::parse(&c).map_err(|e| e.to_string())
-    }) {
+    let trace = match fs::read_to_string(trf)
+        .map_err(|e| e.to_string())
+        .and_then(|c| text::parse(&c).map_err(|e| e.to_string()))
+    {
         Ok(t) => t,
         Err(e) => return fail(format!("{trf}: {e}")),
     };
-    let access = match fs::read_to_string(acc).map_err(|e| e.to_string()).and_then(|c| {
-        overlap_sim::trace::access_text::parse(&c).map_err(|e| e.to_string())
-    }) {
+    let access = match fs::read_to_string(acc)
+        .map_err(|e| e.to_string())
+        .and_then(|c| overlap_sim::trace::access_text::parse(&c).map_err(|e| e.to_string()))
+    {
         Ok(a) => a,
         Err(e) => return fail(format!("{acc}: {e}")),
     };
@@ -177,9 +192,10 @@ fn transform_cmd(trf: &str, acc: &str) -> ExitCode {
 }
 
 fn stats_cmd(path: &str) -> ExitCode {
-    let trace = match fs::read_to_string(path).map_err(|e| e.to_string()).and_then(|c| {
-        text::parse(&c).map_err(|e| e.to_string())
-    }) {
+    let trace = match fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|c| text::parse(&c).map_err(|e| e.to_string()))
+    {
         Ok(t) => t,
         Err(e) => return fail(format!("{path}: {e}")),
     };
@@ -233,7 +249,11 @@ fn chunks_cmd(app: &str, ranks: &str) -> ExitCode {
         Ok(s) => {
             println!("original runtime: {:.4}s", s.original_runtime);
             for p in &s.points {
-                let marker = if p.chunks == s.best.chunks { "  <= best" } else { "" };
+                let marker = if p.chunks == s.best.chunks {
+                    "  <= best"
+                } else {
+                    ""
+                };
                 println!(
                     "{:>3} chunks: {:.4}s (x{:.3}){}",
                     p.chunks, p.runtime, p.speedup_vs_original, marker
@@ -304,7 +324,13 @@ fn gantt_cmd(app: &str, ranks: &str) -> ExitCode {
         Ok(r) => {
             println!(
                 "{}",
-                gantt_comparison("non-overlapped", &r.original, "overlapped", &r.overlapped, 100)
+                gantt_comparison(
+                    "non-overlapped",
+                    &r.original,
+                    "overlapped",
+                    &r.overlapped,
+                    100
+                )
             );
             ExitCode::SUCCESS
         }
@@ -338,7 +364,10 @@ fn report_cmd(app: &str, ranks: &str, out: &str) -> ExitCode {
     };
     let mut tables = table2a(&[(app.to_string(), production_stats(&run.access))]);
     tables.push('\n');
-    tables.push_str(&table2b(&[(app.to_string(), consumption_stats(&run.access))]));
+    tables.push_str(&table2b(&[(
+        app.to_string(),
+        consumption_stats(&run.access),
+    )]));
     let advice = overlap_sim::core::advisor::advise(
         &run.trace,
         &run.access,
@@ -350,9 +379,7 @@ fn report_cmd(app: &str, ranks: &str, out: &str) -> ExitCode {
         "double-buffering demand: {:.1}% of candidate transfers",
         100.0 * overlap_sim::core::double_buffer_demand(&r.overlapped).fraction()
     )];
-    if let Some(tail) =
-        overlap_sim::core::patterns::mean_independent_tail(&run.access)
-    {
+    if let Some(tail) = overlap_sim::core::patterns::mean_independent_tail(&run.access) {
         notes.push(format!(
             "phase-reorder potential (mean independent tail): {:.1}%",
             100.0 * tail
@@ -382,6 +409,122 @@ fn report_cmd(app: &str, ranks: &str, out: &str) -> ExitCode {
     }
     println!("wrote {out}");
     ExitCode::SUCCESS
+}
+
+/// `ovlp sweep`: evaluate the app on a grid of platforms x chunk
+/// policies using the parallel sweep engine. Results are bit-identical
+/// for any `--jobs` value.
+fn sweep_cmd(app: &str, ranks: &str, rest: &[&str]) -> ExitCode {
+    use overlap_sim::core::sweep::{sweep, SweepApp, SweepCache, SweepConfig, SweepGrid};
+
+    let ranks_n: usize = match ranks.parse() {
+        Ok(n) => n,
+        Err(e) => return fail(format!("bad rank count: {e}")),
+    };
+    let jobs = match parse_flag(rest, "--jobs", 1usize) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    let chunk_counts = match parse_list_flag(rest, "--chunks", vec![1u32, 2, 4, 8]) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    let max_chunks = overlap_sim::trace::Tag::MAX_CHUNKS;
+    if let Some(c) = chunk_counts.iter().find(|&&c| c == 0 || c >= max_chunks) {
+        return fail(format!(
+            "bad --chunks entry `{c}`: must be in 1..{max_chunks}"
+        ));
+    }
+    let bandwidths = match parse_list_flag(rest, "--bw", vec![250.0f64]) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    let entry = match overlap_sim::apps::registry::by_name(app) {
+        Some(e) => e,
+        None => return fail(format!("unknown app `{app}` (try `ovlp list`)")),
+    };
+    let base = marenostrum_for(entry.name);
+    let bus_counts = match parse_list_flag(rest, "--buses", vec![base.buses]) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+
+    let run = match trace_app(entry.app.as_ref(), ranks_n) {
+        Ok(r) => r,
+        Err(e) => return fail(e.to_string()),
+    };
+    let grid = SweepGrid {
+        apps: vec![SweepApp::new(entry.name, run)],
+        platforms: bandwidths
+            .iter()
+            .flat_map(|&bw| {
+                let base = &base;
+                bus_counts
+                    .iter()
+                    .map(move |&buses| base.with_bandwidth(bw).with_buses(buses))
+            })
+            .collect(),
+        policies: chunk_counts
+            .iter()
+            .map(|&c| ChunkPolicy::with_chunks(c))
+            .collect(),
+    };
+    let report = sweep(&grid, &SweepConfig::with_jobs(jobs), &SweepCache::new());
+    print!("{}", report.render(&grid));
+    eprintln!(
+        "({} points in {:.2}s with {} jobs; {} simulated, {} from cache)",
+        report.outcomes.len(),
+        report.elapsed.as_secs_f64(),
+        jobs,
+        report.cache_misses,
+        report.cache_hits,
+    );
+    if report.err_count() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `--flag value` lookup with a default.
+fn parse_flag<T: std::str::FromStr>(args: &[&str], flag: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match args.iter().position(|a| *a == flag) {
+        None => Ok(default),
+        Some(i) => match args.get(i + 1) {
+            None => Err(format!("{flag} needs a value")),
+            Some(v) => v
+                .parse()
+                .map_err(|e| format!("bad {flag} value `{v}`: {e}")),
+        },
+    }
+}
+
+/// `--flag a,b,c` lookup with a default list.
+fn parse_list_flag<T: std::str::FromStr>(
+    args: &[&str],
+    flag: &str,
+    default: Vec<T>,
+) -> Result<Vec<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match args.iter().position(|a| *a == flag) {
+        None => Ok(default),
+        Some(i) => match args.get(i + 1) {
+            None => Err(format!("{flag} needs a comma-separated list")),
+            Some(v) => v
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .map_err(|e| format!("bad {flag} entry `{s}`: {e}"))
+                })
+                .collect(),
+        },
+    }
 }
 
 fn paraver_cmd(app: &str, ranks: &str, outdir: &str) -> ExitCode {

@@ -120,8 +120,12 @@ fn bus_count_reproduces_contention_calibration() {
         consumption: Consumption::Linear,
     };
     let run = trace_app(&app, 8).unwrap();
-    let one = simulate(&run.trace, &Platform::marenostrum(1)).unwrap().runtime();
-    let many = simulate(&run.trace, &Platform::marenostrum(0)).unwrap().runtime();
+    let one = simulate(&run.trace, &Platform::marenostrum(1))
+        .unwrap()
+        .runtime();
+    let many = simulate(&run.trace, &Platform::marenostrum(0))
+        .unwrap()
+        .runtime();
     assert!(
         one > many * 1.2,
         "1 bus must visibly serialize 8 ranks' traffic: {one} vs {many}"

@@ -3,6 +3,7 @@
 
 use overlap_sim::core::chunk::ChunkPolicy;
 use overlap_sim::core::pipeline::build_variants;
+use overlap_sim::core::sweep::{sweep, SweepApp, SweepCache, SweepConfig, SweepGrid};
 use overlap_sim::instr::trace_app;
 use overlap_sim::machine::{simulate, Platform};
 use overlap_sim::trace::text;
@@ -32,8 +33,14 @@ fn transform_and_simulation_are_deterministic() {
             text::emit(&b.ideal),
         ));
         runtimes.push((
-            simulate(&b.original, &platform).unwrap().runtime().to_bits(),
-            simulate(&b.overlapped, &platform).unwrap().runtime().to_bits(),
+            simulate(&b.original, &platform)
+                .unwrap()
+                .runtime()
+                .to_bits(),
+            simulate(&b.overlapped, &platform)
+                .unwrap()
+                .runtime()
+                .to_bits(),
             simulate(&b.ideal, &platform).unwrap().runtime().to_bits(),
         ));
     }
@@ -42,6 +49,91 @@ fn transform_and_simulation_are_deterministic() {
     // bit-exact runtimes, not just approximately equal
     assert_eq!(runtimes[0], runtimes[1]);
     assert_eq!(runtimes[1], runtimes[2]);
+}
+
+/// A 64-point sweep grid: 1 app x (4 bandwidths x 4 bus counts) x 4
+/// chunk policies. Big enough that parallel scheduling genuinely
+/// interleaves, small enough to run in a test.
+fn grid_64() -> SweepGrid {
+    let app = overlap_sim::apps::synthetic::PatternApp {
+        elems: 600,
+        iters: 4,
+        phase_instr: 200_000,
+        ..overlap_sim::apps::synthetic::PatternApp::quick()
+    };
+    let run = trace_app(&app, 4).unwrap();
+    let mut platforms = Vec::new();
+    for bw in [25.0, 100.0, 250.0, 1000.0] {
+        for buses in [0u32, 1, 4, 16] {
+            platforms.push(Platform::marenostrum(buses).with_bandwidth(bw));
+        }
+    }
+    SweepGrid {
+        apps: vec![SweepApp::new("pattern", run)],
+        platforms,
+        policies: [1u32, 2, 4, 8]
+            .into_iter()
+            .map(ChunkPolicy::with_chunks)
+            .collect(),
+    }
+}
+
+#[test]
+fn sweep_is_bit_identical_for_any_worker_count() {
+    let grid = grid_64();
+    assert_eq!(grid.len(), 64);
+
+    let run_with = |jobs: usize| {
+        let cache = SweepCache::new(); // fresh cache: every point simulated
+        let t0 = std::time::Instant::now();
+        let report = sweep(&grid, &SweepConfig::with_jobs(jobs), &cache);
+        let wall = t0.elapsed();
+        assert_eq!(report.ok_count(), 64, "jobs={jobs}");
+        assert_eq!(report.err_count(), 0, "jobs={jobs}");
+        (report, wall)
+    };
+    let (serial, t_serial) = run_with(1);
+    let (parallel, t_parallel) = run_with(4);
+
+    // bit-identical per-point results and identical report output,
+    // regardless of how the points were scheduled across workers
+    assert_eq!(serial.result_hashes(), parallel.result_hashes());
+    assert_eq!(serial.grid_hash(), parallel.grid_hash());
+    assert_eq!(serial.render(&grid), parallel.render(&grid));
+
+    // wall-clock: with >= 4 cores, 4 workers must be at least 2x faster.
+    // On smaller machines the determinism assertions above still ran;
+    // only the timing claim is meaningless, so it is skipped.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores >= 4 {
+        let speedup = t_serial.as_secs_f64() / t_parallel.as_secs_f64();
+        assert!(
+            speedup >= 2.0,
+            "jobs=4 must be >= 2x faster than jobs=1 on {cores} cores: \
+             {t_serial:?} serial vs {t_parallel:?} parallel ({speedup:.2}x)"
+        );
+    } else {
+        eprintln!("note: {cores} core(s) available, skipping the >=2x wall-clock assertion");
+    }
+}
+
+#[test]
+fn sweep_cache_replay_matches_fresh_run() {
+    let grid = grid_64();
+    let cache = SweepCache::new();
+    let fresh = sweep(&grid, &SweepConfig::with_jobs(2), &cache);
+    let (h0, m0) = cache.stats();
+    assert_eq!((h0, m0), (0, 64), "first run simulates everything");
+
+    // second run over the same grid: everything replayed from cache,
+    // with the exact same report
+    let replay = sweep(&grid, &SweepConfig::with_jobs(4), &cache);
+    let (h1, m1) = cache.stats();
+    assert_eq!((h1 - h0, m1 - m0), (64, 0), "second run is all cache hits");
+    assert_eq!(fresh.result_hashes(), replay.result_hashes());
+    assert_eq!(fresh.render(&grid), replay.render(&grid));
 }
 
 #[test]

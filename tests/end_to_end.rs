@@ -40,10 +40,7 @@ fn full_pipeline_for_every_app() {
         assert!(errs.is_empty(), "{name}: original invalid: {errs:?}");
 
         let bundle = build_variants(&run, &ChunkPolicy::paper_default());
-        for (variant, t) in [
-            ("overlapped", &bundle.overlapped),
-            ("ideal", &bundle.ideal),
-        ] {
+        for (variant, t) in [("overlapped", &bundle.overlapped), ("ideal", &bundle.ideal)] {
             let errs = validate(t);
             assert!(errs.is_empty(), "{name}/{variant} invalid: {errs:?}");
             // compute preserved rank by rank
@@ -61,8 +58,8 @@ fn full_pipeline_for_every_app() {
             .unwrap_or_else(|e| panic!("{name}/original: {e}"));
         let ovl = simulate(&bundle.overlapped, &platform)
             .unwrap_or_else(|e| panic!("{name}/overlapped: {e}"));
-        let ideal = simulate(&bundle.ideal, &platform)
-            .unwrap_or_else(|e| panic!("{name}/ideal: {e}"));
+        let ideal =
+            simulate(&bundle.ideal, &platform).unwrap_or_else(|e| panic!("{name}/ideal: {e}"));
 
         // On miniature configs per-chunk latency can legitimately beat
         // the tiny overlap windows, so only sanity-bound the ratio here
@@ -157,11 +154,7 @@ fn collectives_timeline_is_labeled() {
     let app = overlap_sim::apps::alya::AlyaApp::quick();
     let run = trace_app(&app, 4).unwrap();
     let sim = simulate(&run.trace, &marenostrum_for("alya")).unwrap();
-    let coll_time: f64 = sim
-        .totals
-        .iter()
-        .map(|t| t.collective.as_secs())
-        .sum();
+    let coll_time: f64 = sim.totals.iter().map(|t| t.collective.as_secs()).sum();
     assert!(coll_time > 0.0, "collective waits must be labeled as such");
 }
 
@@ -204,8 +197,7 @@ fn all_collective_ops_replay_end_to_end() {
             collective: algo,
             ..overlap_sim::machine::Platform::marenostrum(4)
         };
-        let sim = simulate(&run.trace, &p)
-            .unwrap_or_else(|e| panic!("{algo:?}: {e}"));
+        let sim = simulate(&run.trace, &p).unwrap_or_else(|e| panic!("{algo:?}: {e}"));
         assert!(sim.runtime() > 0.0);
         assert!(sim.totals.iter().any(|t| t.collective.as_secs() > 0.0));
     }

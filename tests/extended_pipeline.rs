@@ -36,7 +36,9 @@ fn overlap_matters_more_across_the_wan() {
     // two machines of 4 ranks; partner exchanges stay local but the
     // reductions cross the slow WAN
     let lan = Platform::marenostrum(6);
-    let wan = lan.with_nodes(1, 2000.0, 0.5).with_machines(4, 25.0, 100.0, 0);
+    let wan = lan
+        .with_nodes(1, 2000.0, 0.5)
+        .with_machines(4, 25.0, 100.0, 0);
     let orig_lan = simulate(&bundle.original, &lan).unwrap();
     let orig_wan = simulate(&bundle.original, &wan).unwrap();
     // the WAN hurts
@@ -80,7 +82,10 @@ fn heterogeneous_cpus_shift_the_critical_path() {
     };
     let uniform = simulate(&bundle.original, &Platform::marenostrum(6)).unwrap();
     let skewed = simulate(&bundle.original, &p).unwrap();
-    assert!(skewed.runtime() > uniform.runtime() * 1.5, "straggler dominates");
+    assert!(
+        skewed.runtime() > uniform.runtime() * 1.5,
+        "straggler dominates"
+    );
     // overlap cannot fix a compute straggler
     let ovl = simulate(&bundle.overlapped, &p).unwrap();
     let floor = p.compute_time_for(3, bundle.original.ranks[3].total_compute());

@@ -2,6 +2,9 @@
 //! pattern workload: for arbitrary production/consumption shapes,
 //! message sizes and chunk counts, the invariants of the framework must
 //! hold.
+//!
+//! Off by default; run with `cargo test --features proptest-tests`.
+#![cfg(feature = "proptest-tests")]
 
 use overlap_sim::apps::synthetic::{Consumption, PatternApp, Production};
 use overlap_sim::core::chunk::ChunkPolicy;

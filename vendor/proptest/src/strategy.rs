@@ -1,0 +1,496 @@
+//! Value-generation strategies: the shim's counterpart of
+//! `proptest::strategy`.
+//!
+//! A [`Strategy`] deterministically draws a value from a [`TestRng`].
+//! There is no shrink tree — generation is single-shot.
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type. `Debug` so failing cases can be reported.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with a pure function.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate with one strategy, then build a second strategy from
+    /// the drawn value and generate from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (bounded retries).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Type-erase the strategy (needed by [`prop_oneof!`](crate::prop_oneof)).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe generation, used behind [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 1000 candidates in a row",
+            self.whence
+        );
+    }
+}
+
+/// Uniform (or weighted) choice between type-erased strategies.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T: Debug> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        Union::weighted(arms.into_iter().map(|a| (1, a)).collect())
+    }
+
+    pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| *w as u64).sum::<u64>();
+        assert!(total > 0, "prop_oneof! weights must not all be zero");
+        Union { arms, total }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, arm) in &self.arms {
+            if pick < *w as u64 {
+                return arm.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty => $as64:ident),+ $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "empty integer range strategy {:?}",
+                    self
+                );
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategy! {
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(
+            self.start < self.end,
+            "empty float range strategy {:?}",
+            self
+        );
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        // unit_f64 < 1.0, but fp rounding could still land on `end`
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        (Range {
+            start: self.start as f64,
+            end: self.end as f64,
+        })
+        .generate(rng) as f32
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// `&str` as a strategy: a small regex subset generating `String`s.
+///
+/// Grammar: a sequence of atoms, each optionally repeated.
+///
+/// * `.` — any printable ASCII character (plus occasional `\n`/`\t`);
+/// * `[a-z_]` / `[ -~]` — a character class of literals and ranges
+///   (leading `^` negates over printable ASCII);
+/// * any other character — itself (use `\\` to escape `.`, `[`, `{`);
+/// * `{n}` / `{lo,hi}` — repeat the preceding atom `n` or `lo..=hi`
+///   times; `*` ≈ `{0,8}`, `+` ≈ `{1,8}`, `?` ≈ `{0,1}`.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+mod pattern {
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Any,
+        Literal(char),
+        Class {
+            negated: bool,
+            options: Vec<(char, char)>,
+        },
+    }
+
+    const PRINTABLE: (char, char) = (' ', '~');
+
+    fn parse(pattern: &str) -> Vec<(Atom, u32, u32)> {
+        let mut chars = pattern.chars().peekable();
+        let mut out: Vec<(Atom, u32, u32)> = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '.' => Atom::Any,
+                '\\' => Atom::Literal(chars.next().unwrap_or('\\')),
+                '[' => {
+                    let mut negated = false;
+                    if chars.peek() == Some(&'^') {
+                        chars.next();
+                        negated = true;
+                    }
+                    let mut inner: Vec<char> = Vec::new();
+                    for d in chars.by_ref() {
+                        if d == ']' {
+                            break;
+                        }
+                        inner.push(d);
+                    }
+                    let mut options = Vec::new();
+                    let mut i = 0;
+                    while i < inner.len() {
+                        if i + 2 < inner.len() && inner[i + 1] == '-' {
+                            options.push((inner[i], inner[i + 2]));
+                            i += 3;
+                        } else {
+                            options.push((inner[i], inner[i]));
+                            i += 1;
+                        }
+                    }
+                    assert!(
+                        !options.is_empty(),
+                        "empty character class in pattern {pattern:?}"
+                    );
+                    Atom::Class { negated, options }
+                }
+                '{' | '}' | '*' | '+' | '?' => {
+                    panic!("quantifier with no preceding atom in pattern {pattern:?}")
+                }
+                other => Atom::Literal(other),
+            };
+            // optional quantifier
+            let (lo, hi) = match chars.peek().copied() {
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('{') => {
+                    chars.next();
+                    let mut body = String::new();
+                    for d in chars.by_ref() {
+                        if d == '}' {
+                            break;
+                        }
+                        body.push(d);
+                    }
+                    let parts: Vec<&str> = body.split(',').collect();
+                    let lo: u32 = parts[0].trim().parse().unwrap_or_else(|_| {
+                        panic!("bad repetition {body:?} in pattern {pattern:?}")
+                    });
+                    let hi: u32 = if parts.len() > 1 {
+                        parts[1].trim().parse().unwrap_or_else(|_| {
+                            panic!("bad repetition {body:?} in pattern {pattern:?}")
+                        })
+                    } else {
+                        lo
+                    };
+                    assert!(lo <= hi, "inverted repetition in pattern {pattern:?}");
+                    (lo, hi)
+                }
+                _ => (1, 1),
+            };
+            out.push((atom, lo, hi));
+        }
+        out
+    }
+
+    fn draw_char(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Literal(c) => *c,
+            Atom::Any => {
+                // mostly printable ASCII, sometimes whitespace controls
+                match rng.below(16) {
+                    0 => '\n',
+                    1 => '\t',
+                    _ => draw_in_ranges(&[PRINTABLE], rng),
+                }
+            }
+            Atom::Class {
+                negated: false,
+                options,
+            } => draw_in_ranges(options, rng),
+            Atom::Class {
+                negated: true,
+                options,
+            } => {
+                for _ in 0..64 {
+                    let c = draw_in_ranges(&[PRINTABLE], rng);
+                    if !options.iter().any(|&(lo, hi)| lo <= c && c <= hi) {
+                        return c;
+                    }
+                }
+                panic!("negated class excludes all of printable ASCII")
+            }
+        }
+    }
+
+    fn draw_in_ranges(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+        let total: u64 = ranges
+            .iter()
+            .map(|&(lo, hi)| (hi as u64).saturating_sub(lo as u64) + 1)
+            .sum();
+        let mut pick = rng.below(total.max(1));
+        for &(lo, hi) in ranges {
+            let span = (hi as u64).saturating_sub(lo as u64) + 1;
+            if pick < span {
+                return char::from_u32(lo as u32 + pick as u32).unwrap_or(lo);
+            }
+            pick -= span;
+        }
+        ranges[0].0
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, lo, hi) in parse(pattern) {
+            let n = lo as u64 + rng.below(hi as u64 - lo as u64 + 1);
+            for _ in 0..n {
+                out.push(draw_char(&atom, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let v = (3u32..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+            let i = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_their_own_grammar() {
+        let mut rng = TestRng::from_name("patterns");
+        for _ in 0..200 {
+            let s = ".{0,40}".generate(&mut rng);
+            assert!(s.chars().count() <= 40);
+            let t = "[ -~]{0,10}".generate(&mut rng);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+            assert!(t.chars().count() <= 10);
+            let u = "[a-c]{2,2}x".generate(&mut rng);
+            assert_eq!(u.len(), 3);
+            assert!(u.ends_with('x'));
+        }
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let mut rng = TestRng::from_name("union");
+        let u = crate::prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[u.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = (0u64..1_000_000, "[a-z]{0,12}");
+        let draw = || {
+            let mut rng = TestRng::from_name("determinism");
+            (0..50)
+                .map(|_| strat.generate(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+}

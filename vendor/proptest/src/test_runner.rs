@@ -1,0 +1,188 @@
+//! The deterministic case runner and its tiny RNG.
+
+use crate::strategy::Strategy;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Runner configuration; the struct-update-from-default idiom of the
+/// real crate (`ProptestConfig { cases: 24, ..Default::default() }`)
+/// works unchanged.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate and check per property.
+    pub cases: u32,
+    /// Accepted for source compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for source compatibility; persistence is not
+    /// implemented.
+    pub failure_persistence: Option<()>,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+            failure_persistence: None,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Convenience constructor mirroring the real crate.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// A failed property case (produced by `prop_assert!` and friends).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+
+    /// Source-compatibility alias used by some call sites.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// SplitMix64: tiny, fast, and plenty for test-case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed deterministically from a test name (FNV-1a), optionally
+    /// perturbed by `PROPTEST_SEED` to explore a different stream.
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+            if let Ok(s) = extra.trim().parse::<u64>() {
+                h ^= s.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            }
+        }
+        TestRng(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "TestRng::below(0)");
+        // multiply-shift; bias is negligible for test generation
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Execute one property: generate `config.cases` inputs from `strategy`
+/// and run `body` on each. Failures and panics report the generated
+/// input (there is no shrinking).
+pub fn run_property<S, F>(name: &str, config: &ProptestConfig, strategy: S, body: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::from_name(name);
+    for case in 0..config.cases {
+        let value = strategy.generate(&mut rng);
+        let description = format!("{value:#?}");
+        match catch_unwind(AssertUnwindSafe(|| body(value))) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => panic!(
+                "property `{name}` failed at case {case}/{}:\n{e}\ninput: {description}",
+                config.cases
+            ),
+            Err(payload) => {
+                eprintln!(
+                    "property `{name}` panicked at case {case}/{}\ninput: {description}",
+                    config.cases
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_passes_trivial_property() {
+        run_property(
+            "trivial",
+            &ProptestConfig::with_cases(64),
+            (0u32..10,),
+            |(x,)| {
+                crate::prop_assert!(x < 10);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn runner_reports_failing_input() {
+        run_property(
+            "failing",
+            &ProptestConfig::with_cases(64),
+            (0u32..10,),
+            |(x,)| {
+                crate::prop_assert!(x < 5, "x was {x}");
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn runner_propagates_panics() {
+        run_property(
+            "panicking",
+            &ProptestConfig::with_cases(8),
+            (0u32..10,),
+            |(_x,)| -> Result<(), TestCaseError> { panic!("boom") },
+        );
+    }
+
+    #[test]
+    fn rng_streams_differ_by_name() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::from_name("a");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::from_name("b");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+    }
+}
