@@ -121,6 +121,7 @@ mod tests {
             totals: vec![totals; ranks],
             markers: vec![Vec::new(); ranks],
             network: Default::default(),
+            links: Vec::new(),
             events_processed: 0,
         }
     }

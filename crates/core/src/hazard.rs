@@ -90,6 +90,7 @@ mod tests {
             totals: vec![],
             markers: vec![],
             network: Default::default(),
+            links: Vec::new(),
             events_processed: 0,
         }
     }

@@ -9,7 +9,7 @@
 //! |---------|-----|------|-----------|----|----|
 //! | 12      | 12  | 11   | 8         | 22 | 6  |
 
-use ovlp_machine::Platform;
+use ovlp_machine::{ContentionModel, Platform, Topology};
 
 /// Table I: the calibrated Dimemas bus count for each application of
 /// the paper's pool. Returns `None` for unknown applications.
@@ -44,6 +44,48 @@ pub fn marenostrum_for(app: &str) -> Platform {
     Platform::marenostrum(bus_preset(app).unwrap_or(0))
 }
 
+/// The Marenostrum platform for `app` with its network replaced by the
+/// contention model named by `topology` (`bus`, `crossbar`,
+/// `fat-tree:<radix>[:<oversub>]`, `torus:<A>x<B>[x<C>]`). Invalid
+/// specs come back as a clean error, never a panic.
+pub fn platform_for(app: &str, topology: &str) -> Result<Platform, String> {
+    let model = ContentionModel::parse(topology)?;
+    Ok(marenostrum_for(app).with_contention(model))
+}
+
+/// Named topology presets: Marenostrum-like nodes and links on explicit
+/// fabrics, the starting grid for `ovlp sweep --topology`.
+pub fn topology_presets() -> Vec<(&'static str, Platform)> {
+    let base = Platform::default();
+    vec![
+        ("crossbar", base.with_topology(Topology::Crossbar)),
+        (
+            "fat-tree:4",
+            base.with_topology(Topology::FatTree {
+                radix: 4,
+                oversubscription: 1,
+            }),
+        ),
+        (
+            "fat-tree:8:2",
+            base.with_topology(Topology::FatTree {
+                radix: 8,
+                oversubscription: 2,
+            }),
+        ),
+        (
+            "torus:4x4",
+            base.with_topology(Topology::Torus { dims: vec![4, 4] }),
+        ),
+        (
+            "torus:4x4x4",
+            base.with_topology(Topology::Torus {
+                dims: vec![4, 4, 4],
+            }),
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,6 +107,34 @@ mod tests {
         assert_eq!(p.buses, 6);
         assert!((p.bandwidth_mbs - 250.0).abs() < 1e-12);
         assert!((p.mips - 2300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn platform_for_parses_topologies_and_rejects_garbage() {
+        let p = platform_for("nas-cg", "fat-tree:4").unwrap();
+        assert_eq!(
+            p.contention,
+            ContentionModel::Flow(Topology::FatTree {
+                radix: 4,
+                oversubscription: 1
+            })
+        );
+        assert_eq!(p.buses, 6, "Table I calibration survives");
+        assert_eq!(
+            platform_for("nas-cg", "bus").unwrap().contention,
+            ContentionModel::Bus
+        );
+        assert!(platform_for("nas-cg", "fat-tree:0").is_err());
+        assert!(platform_for("nas-cg", "torus:1x1").is_err());
+        assert!(platform_for("nas-cg", "hypercube").is_err());
+    }
+
+    #[test]
+    fn topology_presets_are_valid() {
+        for (name, p) in topology_presets() {
+            p.check().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(p.contention.to_string(), name, "name matches the spec");
+        }
     }
 
     #[test]

@@ -149,7 +149,9 @@ pub fn platform_fingerprint(p: &Platform) -> u64 {
         .u32(p.nodes_per_machine)
         .f64(p.wan_bandwidth_mbs)
         .f64(p.wan_latency_us)
-        .u32(p.wan_links);
+        .u32(p.wan_links)
+        // canonical topology spec: "bus", "crossbar", "fat-tree:8:2", …
+        .str(&p.contention.to_string());
     h = h.u64(p.cpu_ratios.len() as u64);
     for &r in &p.cpu_ratios {
         h = h.f64(r);
@@ -448,7 +450,7 @@ impl SweepReport {
             self.err_count(),
         ));
         out.push_str(
-            "app          platform                 policy            t_orig[ms]  t_ovlp[ms] t_ideal[ms]  real  ideal  hash\n",
+            "app          platform                               policy            t_orig[ms]  t_ovlp[ms] t_ideal[ms]  real  ideal  hash\n",
         );
         for outcome in &self.outcomes {
             match outcome {
@@ -456,10 +458,11 @@ impl SweepReport {
                     let p = &grid.platforms[r.point.platform];
                     let pol = &grid.policies[r.point.policy];
                     out.push_str(&format!(
-                        "{:<12} bw={:<7} buses={:<4} chunks={:<2} {:<10} {:>11.6} {:>11.6} {:>11.6} {:>5.3} {:>6.3}  {:016x}\n",
+                        "{:<12} bw={:<7} buses={:<4} net={:<13} chunks={:<2} {:<10} {:>11.6} {:>11.6} {:>11.6} {:>5.3} {:>6.3}  {:016x}\n",
                         r.app,
                         fmt_bw(p.bandwidth_mbs),
                         fmt_buses(p.buses),
+                        p.contention.to_string(),
                         pol.chunks,
                         match pol.mode {
                             SendMode::Eager => "eager",

@@ -11,6 +11,9 @@ pub enum Event {
     Resume { rank: usize },
     /// A network transfer finishes delivery.
     TransferDone { msg: usize },
+    /// A flow-level transfer estimate fires. Stale if `epoch` is no
+    /// longer the flow's current estimate (resharing re-estimated it).
+    FlowDone { msg: usize, epoch: u64 },
 }
 
 #[derive(Debug, Clone, Copy)]

@@ -30,6 +30,7 @@
 pub mod chanstat;
 pub mod collective;
 pub mod event;
+pub mod net;
 pub mod platform;
 pub mod replay;
 pub mod resources;
@@ -38,6 +39,7 @@ pub mod timeline;
 
 pub use chanstat::{channel_stats, ChannelStat};
 pub use collective::expand_collectives;
+pub use net::{ContentionModel, LinkUsage, Topology};
 pub use platform::{CollectiveAlgo, Platform};
 pub use replay::{simulate, NetworkStats, SimError, SimResult};
 pub use time::Time;

@@ -1,0 +1,170 @@
+//! Progressive-filling max-min fair bandwidth allocation.
+//!
+//! Given the set of active flows (each a list of links it crosses) and
+//! the per-link capacities, water-fill: raise every unfrozen flow's rate
+//! uniformly until some link saturates, freeze the flows crossing that
+//! link at their current rate, subtract their share from the remaining
+//! links, repeat. The result is the unique max-min fair allocation; it
+//! is computed from scratch on every reshare, which is O(links × flows)
+//! per bottleneck round — plenty for the flow counts a trace replay
+//! produces, and (unlike incremental updates) trivially deterministic.
+
+use super::topology::LinkId;
+
+/// Max-min fair rates (bytes/s) for `flows`, where `flows[i]` is the
+/// link path of flow `i` and `caps[l]` the capacity of link `l`.
+///
+/// * A flow with an empty path (e.g. intra-node in a degenerate layout)
+///   gets `f64::INFINITY`.
+/// * Infinite-capacity links never bottleneck; if every link a flow
+///   crosses is infinite, the flow gets `f64::INFINITY`.
+/// * Every returned rate is `> 0` (capacities are validated positive at
+///   graph build time), so completion times stay finite.
+pub fn max_min_rates(flows: &[&[LinkId]], caps: &[f64]) -> Vec<f64> {
+    let n = flows.len();
+    let mut rates = vec![f64::INFINITY; n];
+    if n == 0 {
+        return rates;
+    }
+    // residual capacity and number of unfrozen flows per link
+    let mut residual = caps.to_vec();
+    let mut load = vec![0u32; caps.len()];
+    let mut unfrozen: Vec<usize> = Vec::with_capacity(n);
+    for (i, path) in flows.iter().enumerate() {
+        if path.is_empty() {
+            continue; // stays INFINITY
+        }
+        unfrozen.push(i);
+        for l in *path {
+            load[l.idx()] += 1;
+        }
+    }
+
+    let mut level = 0.0f64; // current water level
+    while !unfrozen.is_empty() {
+        // the next link to saturate is the one with the smallest
+        // fair-share increment residual/load
+        let mut inc = f64::INFINITY;
+        for (l, &r) in residual.iter().enumerate() {
+            if load[l] > 0 && r.is_finite() {
+                let step = (r / load[l] as f64).max(0.0);
+                if step < inc {
+                    inc = step;
+                }
+            }
+        }
+        if !inc.is_finite() {
+            // every remaining flow crosses only infinite links
+            break;
+        }
+        level += inc;
+        // charge the increment to every link still carrying unfrozen flows
+        for (l, r) in residual.iter_mut().enumerate() {
+            if load[l] > 0 && r.is_finite() {
+                *r = (*r - inc * load[l] as f64).max(0.0);
+            }
+        }
+        // freeze flows crossing a saturated link
+        let mut still = Vec::with_capacity(unfrozen.len());
+        for &i in &unfrozen {
+            let bottlenecked = flows[i]
+                .iter()
+                .any(|l| residual[l.idx()] <= 0.0 && caps[l.idx()].is_finite());
+            if bottlenecked {
+                rates[i] = level;
+                for l in flows[i] {
+                    load[l.idx()] -= 1;
+                }
+            } else {
+                still.push(i);
+            }
+        }
+        debug_assert!(
+            still.len() < unfrozen.len(),
+            "progressive filling must freeze at least one flow per round"
+        );
+        if still.len() == unfrozen.len() {
+            // numerical pathology guard: freeze everything at the level
+            for &i in &still {
+                rates[i] = level;
+            }
+            break;
+        }
+        unfrozen = still;
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: fn(u32) -> LinkId = LinkId;
+
+    fn rates(flows: &[Vec<LinkId>], caps: &[f64]) -> Vec<f64> {
+        let refs: Vec<&[LinkId]> = flows.iter().map(|p| p.as_slice()).collect();
+        max_min_rates(&refs, caps)
+    }
+
+    #[test]
+    fn single_flow_gets_bottleneck_capacity() {
+        let r = rates(&[vec![L(0), L(1)]], &[100.0, 40.0]);
+        assert_eq!(r, vec![40.0]);
+    }
+
+    #[test]
+    fn equal_flows_split_a_link() {
+        let r = rates(&[vec![L(0)], vec![L(0)], vec![L(0)], vec![L(0)]], &[100.0]);
+        assert_eq!(r, vec![25.0; 4]);
+    }
+
+    #[test]
+    fn unconstrained_flow_takes_the_leftovers() {
+        // flow 0 crosses the narrow link 1 (cap 10); flow 1 shares link 0
+        // (cap 100) with it but is otherwise free: max-min gives it 90.
+        let r = rates(&[vec![L(0), L(1)], vec![L(0)]], &[100.0, 10.0]);
+        assert_eq!(r[0], 10.0);
+        assert_eq!(r[1], 90.0);
+    }
+
+    #[test]
+    fn classic_three_flow_parking_lot() {
+        // A: 0-1, B: 0, C: 1, caps 10 each -> all get 5
+        let r = rates(&[vec![L(0), L(1)], vec![L(0)], vec![L(1)]], &[10.0, 10.0]);
+        assert_eq!(r, vec![5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn empty_path_and_infinite_links_yield_infinity() {
+        let r = rates(&[vec![], vec![L(0)]], &[f64::INFINITY]);
+        assert!(r[0].is_infinite());
+        assert!(r[1].is_infinite());
+    }
+
+    #[test]
+    fn shares_never_exceed_capacity() {
+        let flows = vec![
+            vec![L(0), L(2)],
+            vec![L(1), L(2)],
+            vec![L(0), L(1)],
+            vec![L(2)],
+        ];
+        let caps = [30.0, 20.0, 25.0];
+        let r = rates(&flows, &caps);
+        for (l, &cap) in caps.iter().enumerate() {
+            let used: f64 = flows
+                .iter()
+                .zip(&r)
+                .filter(|(p, _)| p.iter().any(|x| x.idx() == l))
+                .map(|(_, &rate)| rate)
+                .sum();
+            assert!(
+                used <= cap * (1.0 + 1e-9),
+                "link {l}: used {used} > cap {cap}"
+            );
+        }
+        for &rate in &r {
+            assert!(rate > 0.0);
+        }
+    }
+}

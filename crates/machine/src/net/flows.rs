@@ -1,0 +1,327 @@
+//! Active-flow bookkeeping for the flow-level contention model.
+//!
+//! A [`FlowNet`] tracks every in-flight inter-node transfer as a flow
+//! over its static route. Rates are piecewise constant: they only
+//! change when a flow starts or finishes, so the net settles lazily —
+//! at each change point it drains `rate · dt` bytes from every flow,
+//! recomputes the max-min fair allocation, and re-estimates the
+//! completion time of each flow whose rate changed.
+//!
+//! Completion events already sitting in the engine's queue cannot be
+//! removed, so each re-estimate carries a fresh *epoch*: the engine
+//! drops any `FlowDone` whose epoch is no longer the flow's current
+//! one. A flow's estimate is deliberately left untouched while its rate
+//! is bit-for-bit unchanged — this keeps an uncontended flow's arrival
+//! time identical (to the last bit) to the legacy bus model's
+//! `latency + size/bandwidth`, which the crossbar-equivalence tests
+//! pin down.
+
+use super::fairshare::max_min_rates;
+use super::topology::{LinkGraph, LinkId};
+use super::LinkUsage;
+use crate::time::Time;
+use std::collections::BTreeMap;
+
+/// A (re-)estimated completion the engine must schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowEvent {
+    /// Message index of the flow.
+    pub msg: usize,
+    /// Estimated completion time.
+    pub at: Time,
+    /// Epoch the estimate was issued under; stale epochs are ignored.
+    pub epoch: u64,
+}
+
+#[derive(Debug)]
+struct ActiveFlow {
+    path: Vec<LinkId>,
+    /// Startup latency still to elapse, seconds.
+    latency_left: f64,
+    /// Bytes still to drain.
+    remaining: f64,
+    /// Current max-min fair rate, bytes/s (`0.0` until first reshare).
+    rate: f64,
+    /// Epoch of the currently scheduled completion (0 = none yet).
+    epoch: u64,
+}
+
+/// Flow-level network state for one replay.
+#[derive(Debug)]
+pub struct FlowNet {
+    graph: LinkGraph,
+    caps: Vec<f64>,
+    /// Active flows keyed by message index (ordered, so the allocator
+    /// input — and thus every result — is deterministic).
+    flows: BTreeMap<usize, ActiveFlow>,
+    /// Time the net was last settled to.
+    last: Time,
+    next_epoch: u64,
+    reshares: u64,
+    // per-link statistics
+    bytes: Vec<f64>,
+    busy_secs: Vec<f64>,
+    active: Vec<u32>,
+    peak_flows: Vec<u32>,
+}
+
+impl FlowNet {
+    pub fn new(graph: LinkGraph) -> FlowNet {
+        let n = graph.len();
+        let caps = graph.links().iter().map(|l| l.capacity).collect();
+        FlowNet {
+            graph,
+            caps,
+            flows: BTreeMap::new(),
+            last: Time::ZERO,
+            next_epoch: 1,
+            reshares: 0,
+            bytes: vec![0.0; n],
+            busy_secs: vec![0.0; n],
+            active: vec![0; n],
+            peak_flows: vec![0; n],
+        }
+    }
+
+    /// Register a new flow granted at `now` and reshare. Emits a
+    /// completion estimate for the new flow and for every existing flow
+    /// whose rate changed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start(
+        &mut self,
+        msg: usize,
+        src_node: usize,
+        dst_node: usize,
+        bytes: f64,
+        latency_s: f64,
+        now: Time,
+        out: &mut Vec<FlowEvent>,
+    ) {
+        self.settle(now);
+        let path = self.graph.route(src_node, dst_node);
+        for l in &path {
+            let i = l.idx();
+            self.active[i] += 1;
+            self.peak_flows[i] = self.peak_flows[i].max(self.active[i]);
+        }
+        let prev = self.flows.insert(
+            msg,
+            ActiveFlow {
+                path,
+                latency_left: latency_s,
+                remaining: bytes,
+                rate: 0.0,
+                epoch: 0,
+            },
+        );
+        debug_assert!(prev.is_none(), "flow {msg} started twice");
+        self.reshare(now, out);
+    }
+
+    /// Remove a completed flow at `now` and reshare the survivors.
+    pub fn finish(&mut self, msg: usize, now: Time, out: &mut Vec<FlowEvent>) {
+        self.settle(now);
+        let Some(f) = self.flows.remove(&msg) else {
+            debug_assert!(false, "finishing unknown flow {msg}");
+            return;
+        };
+        for l in &f.path {
+            let i = l.idx();
+            self.active[i] -= 1;
+            // credit the last settle's rounding tail so per-link byte
+            // totals are exact
+            self.bytes[i] += f.remaining;
+        }
+        if !self.flows.is_empty() {
+            self.reshare(now, out);
+        }
+    }
+
+    /// Whether `epoch` is still the live completion estimate of `msg`
+    /// (false once resharing superseded it or the flow finished).
+    pub fn is_current(&self, msg: usize, epoch: u64) -> bool {
+        self.flows.get(&msg).is_some_and(|f| f.epoch == epoch)
+    }
+
+    /// Number of reshare passes performed (an engine cost metric).
+    pub fn reshares(&self) -> u64 {
+        self.reshares
+    }
+
+    /// Flows currently in flight.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Per-link usage statistics accumulated so far.
+    pub fn usage(&self) -> Vec<LinkUsage> {
+        self.graph
+            .links()
+            .iter()
+            .enumerate()
+            .map(|(i, l)| LinkUsage {
+                label: l.label.clone(),
+                capacity_bps: l.capacity,
+                bytes: self.bytes[i],
+                busy_secs: self.busy_secs[i],
+                peak_flows: self.peak_flows[i],
+            })
+            .collect()
+    }
+
+    /// Advance all flows from `last` to `now` at their current rates.
+    fn settle(&mut self, now: Time) {
+        let dt = (now - self.last).as_secs();
+        self.last = now;
+        if dt <= 0.0 {
+            return;
+        }
+        for (i, &a) in self.active.iter().enumerate() {
+            if a > 0 {
+                self.busy_secs[i] += dt;
+            }
+        }
+        for f in self.flows.values_mut() {
+            let mut avail = dt;
+            if f.latency_left > 0.0 {
+                let spent = f.latency_left.min(avail);
+                f.latency_left -= spent;
+                avail -= spent;
+            }
+            if avail <= 0.0 || f.remaining <= 0.0 {
+                continue;
+            }
+            // infinite rate · dt would drain everything; the clamp also
+            // keeps `remaining` non-negative under f64 rounding
+            let drained = (f.rate * avail).min(f.remaining);
+            f.remaining -= drained;
+            for l in &f.path {
+                self.bytes[l.idx()] += drained;
+            }
+        }
+    }
+
+    /// Recompute the max-min allocation and re-estimate completions.
+    /// Flows whose rate is bitwise unchanged keep their scheduled event.
+    fn reshare(&mut self, now: Time, out: &mut Vec<FlowEvent>) {
+        self.reshares += 1;
+        let rates = {
+            let paths: Vec<&[LinkId]> = self.flows.values().map(|f| f.path.as_slice()).collect();
+            max_min_rates(&paths, &self.caps)
+        };
+        for ((&msg, f), rate) in self.flows.iter_mut().zip(rates) {
+            if f.epoch != 0 && rate.to_bits() == f.rate.to_bits() {
+                continue;
+            }
+            f.rate = rate;
+            // rate is either +inf (remaining/rate == 0) or > 0, so the
+            // estimate is always finite; for an uncontended flow at its
+            // start this is exactly `now + (latency + size/capacity)`,
+            // the same float ops as the bus model's transfer_time
+            let eta = now + Time::secs(f.latency_left + f.remaining / f.rate);
+            f.epoch = self.next_epoch;
+            self.next_epoch += 1;
+            out.push(FlowEvent {
+                msg,
+                at: eta,
+                epoch: f.epoch,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::topology::Topology;
+
+    fn net(nodes: usize, mbs: f64) -> FlowNet {
+        FlowNet::new(LinkGraph::build(&Topology::Crossbar, nodes, mbs).unwrap())
+    }
+
+    #[test]
+    fn lone_flow_completes_at_linear_model_time() {
+        let mut out = Vec::new();
+        let mut n = net(2, 100.0);
+        n.start(0, 0, 1, 1_000_000.0, 10e-6, Time::ZERO, &mut out);
+        assert_eq!(out.len(), 1);
+        let expect = Time::secs(10e-6 + 1_000_000.0 / 100e6);
+        assert_eq!(out[0].at, expect, "must match latency + size/capacity");
+        assert!(n.is_current(0, out[0].epoch));
+        out.clear();
+        n.finish(0, expect, &mut out);
+        assert!(out.is_empty());
+        assert!(!n.is_current(0, 1));
+        let usage = n.usage();
+        let up = &usage[0];
+        assert!((up.bytes - 1_000_000.0).abs() < 1e-6, "{}", up.bytes);
+    }
+
+    #[test]
+    fn second_flow_on_same_link_halves_rates_and_bumps_epochs() {
+        let mut out = Vec::new();
+        // both flows leave node 0: they share its single up link
+        let mut n = net(3, 100.0);
+        n.start(0, 0, 1, 1_000_000.0, 0.0, Time::ZERO, &mut out);
+        let first = out[0];
+        out.clear();
+        n.start(1, 0, 2, 1_000_000.0, 0.0, Time::ZERO, &mut out);
+        // both flows re-estimated at 50 MB/s
+        assert_eq!(out.len(), 2);
+        assert!(!n.is_current(0, first.epoch), "old estimate must be stale");
+        for e in &out {
+            assert_eq!(e.at, Time::secs(1_000_000.0 / 50e6));
+        }
+    }
+
+    #[test]
+    fn unchanged_rate_keeps_the_original_estimate() {
+        let mut out = Vec::new();
+        // disjoint node pairs: no shared links, no re-estimates
+        let mut n = net(4, 100.0);
+        n.start(0, 0, 1, 1_000_000.0, 5e-6, Time::ZERO, &mut out);
+        let first = out[0];
+        out.clear();
+        n.start(1, 2, 3, 500_000.0, 5e-6, Time::secs(0.001), &mut out);
+        assert_eq!(out.len(), 1, "only the new flow gets an event");
+        assert_eq!(out[0].msg, 1);
+        assert!(n.is_current(0, first.epoch));
+    }
+
+    #[test]
+    fn finishing_a_flow_speeds_up_the_survivor() {
+        let mut out = Vec::new();
+        let mut n = net(3, 100.0);
+        n.start(0, 0, 1, 1_000_000.0, 0.0, Time::ZERO, &mut out);
+        n.start(1, 0, 2, 500_000.0, 0.0, Time::ZERO, &mut out);
+        out.clear();
+        // flow 1 (500 kB at 50 MB/s) completes at 10 ms
+        let t = Time::secs(0.01);
+        n.finish(1, t, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].msg, 0);
+        // flow 0 drained 500 kB in those 10 ms; the rest at full rate
+        let expect = Time::secs(0.01 + 500_000.0 / 100e6);
+        assert!(
+            (out[0].at.as_secs() - expect.as_secs()).abs() < 1e-12,
+            "{} vs {}",
+            out[0].at,
+            expect
+        );
+    }
+
+    #[test]
+    fn busy_seconds_and_peak_flows_accumulate() {
+        let mut out = Vec::new();
+        let mut n = net(3, 100.0);
+        n.start(0, 0, 1, 1_000_000.0, 0.0, Time::ZERO, &mut out);
+        n.start(1, 0, 2, 1_000_000.0, 0.0, Time::ZERO, &mut out);
+        n.finish(0, Time::secs(0.02), &mut out);
+        n.finish(1, Time::secs(0.02), &mut out);
+        let usage = n.usage();
+        assert_eq!(usage[0].peak_flows, 2, "node 0 up link carried both");
+        assert!((usage[0].busy_secs - 0.02).abs() < 1e-12);
+        assert_eq!(usage[3 + 1].peak_flows, 1, "down link of node 1");
+        assert!((usage[0].bytes - 2_000_000.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,60 @@
+//! Topology-aware flow-level network model.
+//!
+//! The legacy Dimemas contention model (global buses + per-node ports)
+//! treats the fabric as a counter; this subsystem replaces the counter
+//! with an explicit topology when [`ContentionModel::Flow`] is selected
+//! on the [`Platform`](crate::Platform):
+//!
+//! * [`topology`] — declarative topologies (crossbar, k-ary fat-tree,
+//!   torus) compiled into a [`LinkGraph`](topology::LinkGraph) of
+//!   unidirectional capacitated links with deterministic static routing;
+//! * [`fairshare`] — the progressive-filling max-min fair bandwidth
+//!   allocator;
+//! * [`flows`] — [`FlowNet`](flows::FlowNet), the in-flight flow state
+//!   the replay engine drives: flows drain at their fair rate, and every
+//!   start/finish reshares the affected links and re-estimates
+//!   completion times (htsim-style), with epoch counters invalidating
+//!   completion events that resharing made stale.
+//!
+//! Per-node ports still gate injection/extraction concurrency in flow
+//! mode (the global bus limit is ignored — the topology itself is the
+//! contention), which makes a single-switch crossbar with one port per
+//! node behave bit-identically to the uncontended bus model.
+
+pub mod fairshare;
+pub mod flows;
+pub mod topology;
+
+pub use fairshare::max_min_rates;
+pub use flows::{FlowEvent, FlowNet};
+pub use topology::{ContentionModel, Link, LinkGraph, LinkId, Topology};
+
+/// Usage statistics of one link over a whole replay, reported through
+/// [`SimResult::links`](crate::SimResult::links).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkUsage {
+    /// Human-readable endpoint pair (e.g. `h3->e1`, `n0->n1(+x)`).
+    pub label: String,
+    /// Link capacity, bytes per second.
+    pub capacity_bps: f64,
+    /// Total bytes carried.
+    pub bytes: f64,
+    /// Seconds the link carried at least one flow.
+    pub busy_secs: f64,
+    /// Maximum number of simultaneous flows observed.
+    pub peak_flows: u32,
+}
+
+impl LinkUsage {
+    /// Mean utilization over `runtime_s` seconds: bytes carried over
+    /// bytes the link could have carried. Zero for a degenerate runtime
+    /// or an infinite-capacity link.
+    pub fn utilization(&self, runtime_s: f64) -> f64 {
+        let denom = self.capacity_bps * runtime_s;
+        if denom > 0.0 && denom.is_finite() {
+            self.bytes / denom
+        } else {
+            0.0
+        }
+    }
+}

@@ -1,0 +1,630 @@
+//! Explicit network topologies and deterministic routing.
+//!
+//! A [`Topology`] is a declarative description (crossbar, k-ary
+//! fat-tree, N-dimensional torus); [`LinkGraph::build`] compiles it into
+//! a flat list of unidirectional [`Link`]s plus a routing function.
+//! Routing is static and deterministic — fat-tree up-paths are selected
+//! by destination (d-mod ECMP, so every packet to a given host takes the
+//! same core), tori use dimension-order routing taking the shorter wrap
+//! direction (ties go the positive way) — which keeps the flow-level
+//! simulation a pure function of `(trace, platform)`.
+
+use std::fmt;
+
+/// How network contention is modelled for intra-machine transfers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub enum ContentionModel {
+    /// The legacy Dimemas model: a global bus count plus per-node
+    /// input/output ports ([`crate::resources::Resources`]). This is the
+    /// calibrated model of the paper's Table I and the default.
+    #[default]
+    Bus,
+    /// Flow-level model: each transfer becomes a flow routed over an
+    /// explicit [`Topology`]; link bandwidth is shared max-min fair and
+    /// in-flight completion times are re-estimated whenever flows start
+    /// or finish. Per-node ports still bound injection/extraction
+    /// concurrency; the global bus count is ignored.
+    Flow(Topology),
+}
+
+/// Declarative network topology for [`ContentionModel::Flow`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// Single ideal switch: every node gets a dedicated full-capacity
+    /// up link and down link. With one in/out port per node this is
+    /// exactly the bus model with unlimited buses.
+    Crossbar,
+    /// Classic three-level k-ary fat-tree (`radix` even, ≥ 2): k pods of
+    /// k/2 edge and k/2 aggregation switches, (k/2)² core switches,
+    /// k³/4 host endpoints. `oversubscription` divides the capacity of
+    /// every fabric (edge↔agg, agg↔core) link; 1 is fully provisioned.
+    FatTree { radix: u32, oversubscription: u32 },
+    /// N-dimensional torus (1–3 dims, each ≥ 2) with dimension-order
+    /// routing and wraparound links; one node per endpoint.
+    Torus { dims: Vec<u32> },
+}
+
+impl Topology {
+    /// Validate the topology parameters themselves (endpoint
+    /// sufficiency is checked at build time, when the node count is
+    /// known).
+    pub fn check(&self) -> Result<(), String> {
+        match self {
+            Topology::Crossbar => Ok(()),
+            Topology::FatTree {
+                radix,
+                oversubscription,
+            } => {
+                if *radix < 2 || radix % 2 != 0 {
+                    return Err(format!("fat-tree radix must be even and >= 2, got {radix}"));
+                }
+                if *oversubscription == 0 {
+                    return Err("fat-tree oversubscription must be >= 1, got 0".to_string());
+                }
+                Ok(())
+            }
+            Topology::Torus { dims } => {
+                if dims.is_empty() || dims.len() > 3 {
+                    return Err(format!("torus needs 1 to 3 dimensions, got {}", dims.len()));
+                }
+                if let Some(d) = dims.iter().find(|&&d| d < 2) {
+                    return Err(format!("torus dimensions must each be >= 2, got {d}"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Number of host endpoints the topology provides. `None` means the
+    /// topology scales to any node count (the crossbar grows a port per
+    /// node).
+    pub fn endpoints(&self) -> Option<usize> {
+        match self {
+            Topology::Crossbar => None,
+            Topology::FatTree { radix, .. } => {
+                let k = *radix as usize;
+                Some(k * k * k / 4)
+            }
+            Topology::Torus { dims } => Some(dims.iter().map(|&d| d as usize).product()),
+        }
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Topology::Crossbar => write!(f, "crossbar"),
+            Topology::FatTree {
+                radix,
+                oversubscription: 1,
+            } => write!(f, "fat-tree:{radix}"),
+            Topology::FatTree {
+                radix,
+                oversubscription,
+            } => write!(f, "fat-tree:{radix}:{oversubscription}"),
+            Topology::Torus { dims } => {
+                write!(f, "torus:")?;
+                for (i, d) in dims.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "x")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for ContentionModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContentionModel::Bus => write!(f, "bus"),
+            ContentionModel::Flow(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl ContentionModel {
+    /// Parse a CLI topology spec. Accepted forms:
+    ///
+    /// ```text
+    /// bus                         legacy buses + ports model
+    /// crossbar                    single ideal switch
+    /// fat-tree:<radix>            fully provisioned k-ary fat-tree
+    /// fat-tree:<radix>:<oversub>  with oversubscribed fabric links
+    /// torus:<A>x<B>[x<C>]        1-3 dimensional torus
+    /// ```
+    ///
+    /// The parsed topology is validated, so invalid parameters (zero or
+    /// odd radix, dims < 2, …) fail here with a clean message.
+    pub fn parse(spec: &str) -> Result<ContentionModel, String> {
+        let spec = spec.trim();
+        let model = match spec {
+            "bus" => ContentionModel::Bus,
+            "crossbar" | "xbar" => ContentionModel::Flow(Topology::Crossbar),
+            _ => {
+                if let Some(rest) = spec
+                    .strip_prefix("fat-tree:")
+                    .or_else(|| spec.strip_prefix("fattree:"))
+                {
+                    let mut parts = rest.split(':');
+                    let radix_s = parts.next().unwrap_or("");
+                    let radix: u32 = radix_s
+                        .parse()
+                        .map_err(|_| format!("bad fat-tree radix `{radix_s}`"))?;
+                    let oversubscription = match parts.next() {
+                        None => 1,
+                        Some(o) => o
+                            .parse()
+                            .map_err(|_| format!("bad fat-tree oversubscription `{o}`"))?,
+                    };
+                    if let Some(extra) = parts.next() {
+                        return Err(format!("trailing fat-tree parameter `{extra}`"));
+                    }
+                    ContentionModel::Flow(Topology::FatTree {
+                        radix,
+                        oversubscription,
+                    })
+                } else if let Some(rest) = spec.strip_prefix("torus:") {
+                    let dims = rest
+                        .split('x')
+                        .map(|d| {
+                            d.parse::<u32>()
+                                .map_err(|_| format!("bad torus dimension `{d}`"))
+                        })
+                        .collect::<Result<Vec<u32>, String>>()?;
+                    ContentionModel::Flow(Topology::Torus { dims })
+                } else {
+                    return Err(format!(
+                        "unknown topology `{spec}` (expected bus | crossbar | \
+                         fat-tree:<radix>[:<oversub>] | torus:<A>x<B>[x<C>])"
+                    ));
+                }
+            }
+        };
+        if let ContentionModel::Flow(t) = &model {
+            t.check()?;
+        }
+        Ok(model)
+    }
+}
+
+impl std::str::FromStr for ContentionModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ContentionModel, String> {
+        ContentionModel::parse(s)
+    }
+}
+
+/// Index of a unidirectional link in a [`LinkGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One unidirectional link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    /// Human-readable endpoint pair, e.g. `h3->e1` or `n5->n6(+x)`.
+    pub label: String,
+    /// Capacity in bytes per second (`f64::INFINITY` allowed).
+    pub capacity: f64,
+}
+
+/// Compiled topology: the link list plus a static routing function.
+#[derive(Debug, Clone)]
+pub struct LinkGraph {
+    links: Vec<Link>,
+    router: Router,
+}
+
+#[derive(Debug, Clone)]
+enum Router {
+    Crossbar { nodes: usize },
+    FatTree { half: usize },
+    Torus { dims: Vec<u32> },
+}
+
+impl LinkGraph {
+    /// Compile `topo` for `nodes` endpoints with `bandwidth_mbs` MB/s
+    /// host links. Errors if the topology cannot host that many nodes.
+    pub fn build(topo: &Topology, nodes: usize, bandwidth_mbs: f64) -> Result<LinkGraph, String> {
+        topo.check()?;
+        if let Some(cap) = topo.endpoints() {
+            if nodes > cap {
+                return Err(format!(
+                    "topology `{topo}` has {cap} endpoints but the trace needs {nodes} nodes"
+                ));
+            }
+        }
+        let host_cap = bandwidth_mbs * 1e6;
+        let mut links = Vec::new();
+        let router = match topo {
+            Topology::Crossbar => {
+                for i in 0..nodes {
+                    links.push(Link {
+                        label: format!("n{i}->sw"),
+                        capacity: host_cap,
+                    });
+                }
+                for i in 0..nodes {
+                    links.push(Link {
+                        label: format!("sw->n{i}"),
+                        capacity: host_cap,
+                    });
+                }
+                Router::Crossbar { nodes }
+            }
+            Topology::FatTree {
+                radix,
+                oversubscription,
+            } => {
+                let k = *radix as usize;
+                let half = k / 2;
+                let hosts = k * half * half;
+                let fabric_cap = host_cap / *oversubscription as f64;
+                // Block layout: host-up, host-down, edge->agg, agg->edge,
+                // agg->core, core->agg. Each block has `hosts` links.
+                for h in 0..hosts {
+                    links.push(Link {
+                        label: format!("h{h}->e{}", h / half),
+                        capacity: host_cap,
+                    });
+                }
+                for h in 0..hosts {
+                    links.push(Link {
+                        label: format!("e{}->h{h}", h / half),
+                        capacity: host_cap,
+                    });
+                }
+                for edge in 0..k * half {
+                    for a in 0..half {
+                        let agg = (edge / half) * half + a;
+                        links.push(Link {
+                            label: format!("e{edge}->a{agg}"),
+                            capacity: fabric_cap,
+                        });
+                    }
+                }
+                for edge in 0..k * half {
+                    for a in 0..half {
+                        let agg = (edge / half) * half + a;
+                        links.push(Link {
+                            label: format!("a{agg}->e{edge}"),
+                            capacity: fabric_cap,
+                        });
+                    }
+                }
+                for pod in 0..k {
+                    for a in 0..half {
+                        for i in 0..half {
+                            links.push(Link {
+                                label: format!("a{}->c{}", pod * half + a, a * half + i),
+                                capacity: fabric_cap,
+                            });
+                        }
+                    }
+                }
+                for pod in 0..k {
+                    for a in 0..half {
+                        for i in 0..half {
+                            links.push(Link {
+                                label: format!("c{}->a{}", a * half + i, pod * half + a),
+                                capacity: fabric_cap,
+                            });
+                        }
+                    }
+                }
+                Router::FatTree { half }
+            }
+            Topology::Torus { dims } => {
+                let n: usize = dims.iter().map(|&d| d as usize).product();
+                let ndims = dims.len();
+                const AXES: [char; 3] = ['x', 'y', 'z'];
+                for node in 0..n {
+                    for (dim, &axis) in AXES.iter().enumerate().take(ndims) {
+                        for dir in 0..2usize {
+                            let to = torus_neighbor(node, dims, dim, dir);
+                            let sign = if dir == 0 { '+' } else { '-' };
+                            links.push(Link {
+                                label: format!("n{node}->n{to}({sign}{axis})"),
+                                capacity: host_cap,
+                            });
+                        }
+                    }
+                }
+                Router::Torus { dims: dims.clone() }
+            }
+        };
+        Ok(LinkGraph { links, router })
+    }
+
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// The static route for a `src -> dst` node pair (`src != dst`).
+    pub fn route(&self, src: usize, dst: usize) -> Vec<LinkId> {
+        debug_assert_ne!(src, dst, "routing a node to itself");
+        match &self.router {
+            Router::Crossbar { nodes } => {
+                vec![LinkId(src as u32), LinkId((nodes + dst) as u32)]
+            }
+            Router::FatTree { half } => fat_tree_route(src, dst, *half),
+            Router::Torus { dims } => torus_route(src, dst, dims),
+        }
+    }
+}
+
+/// Coordinates of `node` in mixed radix (dimension 0 fastest).
+fn torus_coords(node: usize, dims: &[u32]) -> [usize; 3] {
+    let mut c = [0usize; 3];
+    let mut rest = node;
+    for (i, &d) in dims.iter().enumerate() {
+        c[i] = rest % d as usize;
+        rest /= d as usize;
+    }
+    c
+}
+
+fn torus_index(coords: &[usize; 3], dims: &[u32]) -> usize {
+    let mut idx = 0usize;
+    for (i, &d) in dims.iter().enumerate().rev() {
+        idx = idx * d as usize + coords[i];
+    }
+    idx
+}
+
+/// Neighbour of `node` one hop along `dim` (`dir` 0 = +, 1 = −).
+fn torus_neighbor(node: usize, dims: &[u32], dim: usize, dir: usize) -> usize {
+    let d = dims[dim] as usize;
+    let mut c = torus_coords(node, dims);
+    c[dim] = if dir == 0 {
+        (c[dim] + 1) % d
+    } else {
+        (c[dim] + d - 1) % d
+    };
+    torus_index(&c, dims)
+}
+
+/// Link id of the `(node, dim, dir)` torus link, matching build order.
+fn torus_link(node: usize, ndims: usize, dim: usize, dir: usize) -> LinkId {
+    LinkId(((node * ndims + dim) * 2 + dir) as u32)
+}
+
+/// Dimension-order routing, shorter wrap direction, ties positive.
+fn torus_route(src: usize, dst: usize, dims: &[u32]) -> Vec<LinkId> {
+    let ndims = dims.len();
+    let mut cur = torus_coords(src, dims);
+    let target = torus_coords(dst, dims);
+    let mut path = Vec::new();
+    for dim in 0..ndims {
+        let d = dims[dim] as usize;
+        while cur[dim] != target[dim] {
+            let forward = (target[dim] + d - cur[dim]) % d;
+            let dir = if forward <= d - forward { 0 } else { 1 };
+            path.push(torus_link(torus_index(&cur, dims), ndims, dim, dir));
+            cur[dim] = if dir == 0 {
+                (cur[dim] + 1) % d
+            } else {
+                (cur[dim] + d - 1) % d
+            };
+        }
+    }
+    path
+}
+
+/// d-mod ECMP fat-tree route; see [`LinkGraph::build`] for the link
+/// block layout.
+fn fat_tree_route(src: usize, dst: usize, half: usize) -> Vec<LinkId> {
+    let hosts_per_pod = half * half;
+    let total_hosts = 2 * half * hosts_per_pod; // k * half * half
+    let edge_of = |h: usize| h / half; // global edge index
+    let pod_of = |h: usize| h / hosts_per_pod;
+    let up_host = |h: usize| LinkId(h as u32);
+    let down_host = |h: usize| LinkId((total_hosts + h) as u32);
+    let edge_up = |edge: usize, a: usize| LinkId((2 * total_hosts + edge * half + a) as u32);
+    let edge_down = |edge: usize, a: usize| LinkId((3 * total_hosts + edge * half + a) as u32);
+    let agg_up = |pod: usize, a: usize, i: usize| {
+        LinkId((4 * total_hosts + (pod * half + a) * half + i) as u32)
+    };
+    let agg_down = |pod: usize, a: usize, i: usize| {
+        LinkId((5 * total_hosts + (pod * half + a) * half + i) as u32)
+    };
+
+    let (es, ed) = (edge_of(src), edge_of(dst));
+    let mut path = vec![up_host(src)];
+    if es == ed {
+        path.push(down_host(dst));
+        return path;
+    }
+    // deterministic ECMP: the destination picks the aggregation plane
+    // and, across pods, the core within the plane
+    let a = dst % half;
+    if pod_of(src) == pod_of(dst) {
+        path.push(edge_up(es, a));
+        path.push(edge_down(ed, a));
+    } else {
+        let i = (dst / half) % half;
+        path.push(edge_up(es, a));
+        path.push(agg_up(pod_of(src), a, i));
+        path.push(agg_down(pod_of(dst), a, i));
+        path.push(edge_down(ed, a));
+    }
+    path.push(down_host(dst));
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_through_display() {
+        for spec in [
+            "bus",
+            "crossbar",
+            "fat-tree:4",
+            "fat-tree:8:2",
+            "torus:4x4",
+            "torus:2x2x2",
+        ] {
+            let m = ContentionModel::parse(spec).unwrap();
+            assert_eq!(m.to_string(), spec, "display must match the parsed spec");
+            assert_eq!(ContentionModel::parse(&m.to_string()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        for spec in [
+            "mesh",
+            "fat-tree:0",
+            "fat-tree:3",
+            "fat-tree:x",
+            "fat-tree:4:0",
+            "fat-tree:4:1:9",
+            "torus:",
+            "torus:1x4",
+            "torus:2x2x2x2",
+            "torus:axb",
+        ] {
+            assert!(ContentionModel::parse(spec).is_err(), "{spec} must fail");
+        }
+    }
+
+    #[test]
+    fn endpoint_counts() {
+        assert_eq!(Topology::Crossbar.endpoints(), None);
+        assert_eq!(
+            Topology::FatTree {
+                radix: 4,
+                oversubscription: 1
+            }
+            .endpoints(),
+            Some(16)
+        );
+        assert_eq!(Topology::Torus { dims: vec![4, 2] }.endpoints(), Some(8));
+    }
+
+    #[test]
+    fn build_rejects_too_many_nodes() {
+        let t = Topology::Torus { dims: vec![2] };
+        assert!(LinkGraph::build(&t, 3, 250.0).is_err());
+        assert!(LinkGraph::build(&t, 2, 250.0).is_ok());
+    }
+
+    #[test]
+    fn crossbar_routes_are_two_hops() {
+        let g = LinkGraph::build(&Topology::Crossbar, 4, 100.0).unwrap();
+        assert_eq!(g.len(), 8);
+        let p = g.route(1, 3);
+        assert_eq!(p, vec![LinkId(1), LinkId(4 + 3)]);
+        assert_eq!(g.links()[1].label, "n1->sw");
+        assert_eq!(g.links()[7].label, "sw->n3");
+    }
+
+    #[test]
+    fn fat_tree_structure_and_routes() {
+        let t = Topology::FatTree {
+            radix: 4,
+            oversubscription: 1,
+        };
+        let g = LinkGraph::build(&t, 16, 100.0).unwrap();
+        assert_eq!(g.len(), 6 * 16);
+        // same edge switch: up, down
+        assert_eq!(g.route(0, 1).len(), 2);
+        // same pod, different edge: 4 hops
+        assert_eq!(g.route(0, 2).len(), 4);
+        // cross-pod: 6 hops
+        assert_eq!(g.route(0, 4).len(), 6);
+        // routes to the same destination share their down-path core
+        let p1 = g.route(0, 14);
+        let p2 = g.route(2, 14);
+        assert_eq!(p1.last(), p2.last());
+        assert_eq!(p1[p1.len() - 2], p2[p2.len() - 2]);
+        // every hop is a real link
+        for p in [g.route(0, 15), g.route(7, 8), g.route(13, 2)] {
+            for l in p {
+                assert!(l.idx() < g.len());
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_oversubscription_reduces_fabric_capacity() {
+        let t = Topology::FatTree {
+            radix: 4,
+            oversubscription: 2,
+        };
+        let g = LinkGraph::build(&t, 16, 100.0).unwrap();
+        assert!((g.links()[0].capacity - 100e6).abs() < 1.0, "host link");
+        let fabric = &g.links()[2 * 16]; // first edge->agg link
+        assert!(
+            (fabric.capacity - 50e6).abs() < 1.0,
+            "fabric link must be halved, got {}",
+            fabric.capacity
+        );
+    }
+
+    #[test]
+    fn torus_dimension_order_routing() {
+        let t = Topology::Torus { dims: vec![4, 4] };
+        let g = LinkGraph::build(&t, 16, 100.0).unwrap();
+        assert_eq!(g.len(), 16 * 2 * 2);
+        // node 0 -> node 5 = (1,1): one +x hop then one +y hop
+        let p = g.route(0, 5);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0], torus_link(0, 2, 0, 0));
+        assert_eq!(p[1], torus_link(1, 2, 1, 0));
+        // wraparound: 0 -> 3 in x is one -x hop, not three +x hops
+        let p = g.route(0, 3);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0], torus_link(0, 2, 0, 1));
+        // opposite corner: two hops per dimension max
+        assert_eq!(g.route(0, 10).len(), 4);
+    }
+
+    #[test]
+    fn torus_route_ends_at_destination() {
+        let dims = vec![2u32, 3, 2];
+        let t = Topology::Torus { dims: dims.clone() };
+        let g = LinkGraph::build(&t, 12, 100.0).unwrap();
+        for src in 0..12 {
+            for dst in 0..12 {
+                if src == dst {
+                    continue;
+                }
+                let p = g.route(src, dst);
+                assert!(!p.is_empty());
+                // replaying the hops from src must land on dst
+                let mut cur = src;
+                for l in &p {
+                    let ndims = dims.len();
+                    let slot = l.idx();
+                    let dir = slot % 2;
+                    let dim = (slot / 2) % ndims;
+                    let node = slot / (2 * ndims);
+                    assert_eq!(node, cur, "hop must leave the current node");
+                    cur = torus_neighbor(node, &dims, dim, dir);
+                }
+                assert_eq!(cur, dst);
+            }
+        }
+    }
+}

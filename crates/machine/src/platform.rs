@@ -5,6 +5,7 @@
 //! input/output ports, and the CPU speed used to scale instruction
 //! counts into time.
 
+use crate::net::{ContentionModel, Topology};
 use crate::time::Time;
 use ovlp_trace::{Bytes, Instructions};
 
@@ -96,6 +97,13 @@ pub struct Platform {
     pub wan_latency_us: f64,
     /// Concurrent inter-machine transfers network-wide (0 = unlimited).
     pub wan_links: u32,
+    /// How intra-machine network contention is modelled:
+    /// [`ContentionModel::Bus`] (the default) is the Dimemas buses+ports
+    /// counter; [`ContentionModel::Flow`] routes each transfer over an
+    /// explicit topology with max-min fair link sharing. In flow mode
+    /// `buses` is ignored (ports still apply) and `bandwidth_mbs` is the
+    /// endpoint link capacity.
+    pub contention: ContentionModel,
 }
 
 impl Default for Platform {
@@ -117,6 +125,7 @@ impl Default for Platform {
             wan_bandwidth_mbs: 10.0,
             wan_latency_us: 1000.0,
             wan_links: 0,
+            contention: ContentionModel::Bus,
         }
     }
 }
@@ -151,6 +160,20 @@ impl Platform {
             buses,
             ..self.clone()
         }
+    }
+
+    /// Same platform with a different contention model.
+    pub fn with_contention(&self, contention: ContentionModel) -> Platform {
+        Platform {
+            contention,
+            ..self.clone()
+        }
+    }
+
+    /// Same platform routed over an explicit topology (flow-level
+    /// contention instead of the bus counter).
+    pub fn with_topology(&self, topology: Topology) -> Platform {
+        self.with_contention(ContentionModel::Flow(topology))
     }
 
     /// Same platform with multi-core nodes: `ranks_per_node` ranks
@@ -296,6 +319,9 @@ impl Platform {
         }
         if self.input_ports == 0 || self.output_ports == 0 {
             return Err("ports must be >= 1".to_string());
+        }
+        if let ContentionModel::Flow(topo) = &self.contention {
+            topo.check()?;
         }
         Ok(())
     }

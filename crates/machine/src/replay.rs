@@ -28,6 +28,8 @@
 
 use crate::collective::expand_collectives;
 use crate::event::{Event, EventQueue};
+use crate::net::flows::{FlowEvent, FlowNet};
+use crate::net::{ContentionModel, LinkGraph, LinkUsage};
 use crate::platform::Platform;
 use crate::resources::Resources;
 use crate::time::Time;
@@ -45,6 +47,10 @@ pub enum SimError {
     UnknownRequest { rank: usize, req: ReqId },
     /// Platform configuration rejected.
     BadPlatform(String),
+    /// Internal resource accounting went corrupt (e.g. a release
+    /// without a matching acquire). Always a bug in the engine; fails
+    /// loudly in release builds too.
+    Accounting(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -61,6 +67,7 @@ impl std::fmt::Display for SimError {
                 write!(f, "rank {rank}: wait on unknown request {req}")
             }
             SimError::BadPlatform(s) => write!(f, "bad platform: {s}"),
+            SimError::Accounting(s) => write!(f, "resource accounting corrupt: {s}"),
         }
     }
 }
@@ -83,6 +90,9 @@ pub struct SimResult {
     pub markers: Vec<Vec<(ovlp_trace::record::Marker, Time)>>,
     /// Aggregate network behaviour.
     pub network: NetworkStats,
+    /// Per-link usage when the platform used flow-level contention
+    /// ([`ContentionModel::Flow`]); empty under the bus model.
+    pub links: Vec<LinkUsage>,
     /// Discrete events processed (engine throughput metric).
     pub events_processed: u64,
 }
@@ -101,6 +111,8 @@ pub struct NetworkStats {
     pub bus_seconds: f64,
     /// Total time transfers spent queued for network resources.
     pub queue_seconds: f64,
+    /// Max-min reshare passes performed (flow-level contention only).
+    pub reshares: u64,
 }
 
 impl NetworkStats {
@@ -144,6 +156,20 @@ impl SimResult {
 /// first (per the platform's [`CollectiveAlgo`](crate::CollectiveAlgo)).
 pub fn simulate(trace: &Trace, platform: &Platform) -> Result<SimResult, SimError> {
     platform.check().map_err(SimError::BadPlatform)?;
+    let flownet = match &platform.contention {
+        ContentionModel::Bus => None,
+        ContentionModel::Flow(topo) => {
+            let nranks = trace.nranks();
+            let nodes = if nranks == 0 {
+                0
+            } else {
+                platform.node_of(nranks - 1) + 1
+            };
+            let graph = LinkGraph::build(topo, nodes, platform.bandwidth_mbs)
+                .map_err(SimError::BadPlatform)?;
+            Some(FlowNet::new(graph))
+        }
+    };
     let has_collectives = trace.ranks.iter().any(|rt| {
         rt.records
             .iter()
@@ -156,7 +182,7 @@ pub fn simulate(trace: &Trace, platform: &Platform) -> Result<SimResult, SimErro
     } else {
         trace
     };
-    Engine::new(trace, platform).run()
+    Engine::new(trace, platform, flownet).run()
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -259,6 +285,11 @@ struct Engine<'a> {
     resources: Resources,
     /// Tag each receive request was posted with (for state labeling).
     recv_req_tags: Vec<Tag>,
+    /// Flow-level network state when the platform selected
+    /// [`ContentionModel::Flow`]; `None` under the bus model.
+    flownet: Option<FlowNet>,
+    /// Reusable scratch buffer for flow (re-)estimates.
+    flow_scratch: Vec<FlowEvent>,
 }
 
 enum Flow {
@@ -267,8 +298,12 @@ enum Flow {
 }
 
 impl<'a> Engine<'a> {
-    fn new(trace: &'a Trace, platform: &'a Platform) -> Engine<'a> {
+    fn new(trace: &'a Trace, platform: &'a Platform, flownet: Option<FlowNet>) -> Engine<'a> {
         let n = trace.nranks();
+        // In flow mode the topology itself is the contention: the global
+        // bus limit is ignored (0 = unlimited), ports still gate each
+        // endpoint's injection/extraction concurrency.
+        let buses = if flownet.is_some() { 0 } else { platform.buses };
         Engine {
             trace,
             platform,
@@ -290,12 +325,22 @@ impl<'a> Engine<'a> {
             recv_req_tags: Vec::new(),
             resources: Resources::with_wan(
                 n,
-                platform.buses,
+                buses,
                 platform.input_ports,
                 platform.output_ports,
                 platform.wan_links,
             ),
+            flownet,
+            flow_scratch: Vec::new(),
         }
+    }
+
+    /// Whether `Flying { t1 }` carries an exact arrival time for `mid`.
+    /// Under flow-level contention a network transfer's `t1` is only an
+    /// estimate that resharing may move, so arrival-dependent decisions
+    /// must wait for the actual `FlowDone`.
+    fn exact_flight(&self, mid: usize) -> bool {
+        self.flownet.is_none() || self.msgs[mid].link != Link::Net
     }
 
     fn run(mut self) -> Result<SimResult, SimError> {
@@ -306,7 +351,8 @@ impl<'a> Engine<'a> {
         while let Some((t, ev)) = self.queue.pop() {
             match ev {
                 Event::Resume { rank } => self.step(rank, t)?,
-                Event::TransferDone { msg } => self.on_transfer_done(msg, t),
+                Event::TransferDone { msg } => self.on_transfer_done(msg, t)?,
+                Event::FlowDone { msg, epoch } => self.on_flow_done(msg, epoch, t)?,
             }
         }
         let stuck: Vec<(usize, String)> = self
@@ -356,6 +402,8 @@ impl<'a> Engine<'a> {
             }
             network.queue_seconds += (m.t_start - m.t_send).as_secs();
         }
+        network.reshares = self.flownet.as_ref().map_or(0, |n| n.reshares());
+        let links = self.flownet.as_ref().map(|n| n.usage()).unwrap_or_default();
         let comms = self
             .msgs
             .iter()
@@ -393,6 +441,7 @@ impl<'a> Engine<'a> {
             totals,
             markers,
             network,
+            links,
             events_processed: self.queue.processed,
         })
     }
@@ -574,7 +623,12 @@ impl<'a> Engine<'a> {
         debug_assert!(self.recv_reqs[req].msg.is_none());
         self.msgs[mid].paired = Some(req);
         self.recv_reqs[req].msg = Some(mid);
-        if let MsgState::Done { t1 } | MsgState::Flying { t1 } = self.msgs[mid].state {
+        let known = match self.msgs[mid].state {
+            MsgState::Done { t1 } => Some(t1),
+            MsgState::Flying { t1 } if self.exact_flight(mid) => Some(t1),
+            _ => None,
+        };
+        if let Some(t1) = known {
             // arrival time already known
             self.complete_recv_req(req, t1);
         }
@@ -627,31 +681,129 @@ impl<'a> Engine<'a> {
                 continue;
             }
             self.pending.remove(i);
-            let t1 = now
-                + match link {
-                    Link::Intra => self.platform.intra_transfer_time(bytes),
-                    Link::Net => self.platform.transfer_time(bytes),
-                    Link::Wan => self.platform.wan_transfer_time(bytes),
-                };
             self.msgs[mid].t_start = now;
+            let flow_mode = self.flownet.is_some() && link == Link::Net;
+            let t1 = if flow_mode {
+                // flow-level: register the flow; its completion arrives
+                // as an epoch-guarded FlowDone, `t1` is only the current
+                // estimate
+                self.start_flow(mid, src, dst, bytes, now)
+            } else {
+                let t1 = now
+                    + match link {
+                        Link::Intra => self.platform.intra_transfer_time(bytes),
+                        Link::Net => self.platform.transfer_time(bytes),
+                        Link::Wan => self.platform.wan_transfer_time(bytes),
+                    };
+                self.queue.push(t1, Event::TransferDone { msg: mid });
+                t1
+            };
             self.msgs[mid].state = MsgState::Flying { t1 };
-            self.queue.push(t1, Event::TransferDone { msg: mid });
             // a sender parked on this message can now compute its
-            // release time
+            // release time (a rendezvous sender in flow mode cannot:
+            // it stays parked until the actual FlowDone)
             if let Some(w) = self.msgs[mid].waiter {
                 let resume = match mode {
-                    SendMode::Eager => now + self.injection_latency(link),
-                    SendMode::Rendezvous => t1,
+                    SendMode::Eager => Some(now + self.injection_latency(link)),
+                    SendMode::Rendezvous if !flow_mode => Some(t1),
+                    SendMode::Rendezvous => None,
                 };
-                let since = self.msgs[mid].waiter_since;
-                if let Blocked::OnMsg { state, .. } = self.ranks[w].blocked {
-                    self.ranks[w].timeline.push(since, resume, state);
-                    self.queue.push(resume, Event::Resume { rank: w });
-                    self.ranks[w].blocked = Blocked::ResumeScheduled;
-                    self.msgs[mid].waiter = None;
+                if let Some(resume) = resume {
+                    let since = self.msgs[mid].waiter_since;
+                    if let Blocked::OnMsg { state, .. } = self.ranks[w].blocked {
+                        self.ranks[w].timeline.push(since, resume, state);
+                        self.queue.push(resume, Event::Resume { rank: w });
+                        self.ranks[w].blocked = Blocked::ResumeScheduled;
+                        self.msgs[mid].waiter = None;
+                    }
                 }
             }
         }
+    }
+
+    /// Register message `mid` as a flow over the topology and schedule
+    /// every (re-)estimated completion. Returns the new flow's estimate.
+    fn start_flow(&mut self, mid: usize, src: usize, dst: usize, bytes: Bytes, now: Time) -> Time {
+        let mut evs = std::mem::take(&mut self.flow_scratch);
+        evs.clear();
+        let net = self.flownet.as_mut().expect("flow mode");
+        net.start(
+            mid,
+            self.platform.node_of(src),
+            self.platform.node_of(dst),
+            bytes.get() as f64,
+            self.platform.latency().as_secs(),
+            now,
+            &mut evs,
+        );
+        let mut est = now;
+        for e in &evs {
+            self.queue.push(
+                e.at,
+                Event::FlowDone {
+                    msg: e.msg,
+                    epoch: e.epoch,
+                },
+            );
+            if e.msg == mid {
+                est = e.at;
+            }
+        }
+        self.flow_scratch = evs;
+        est
+    }
+
+    /// A flow's completion estimate fired. Ignored when stale (the flow
+    /// was re-estimated or already finished); otherwise the transfer is
+    /// delivered exactly like a `TransferDone`, and the freed bandwidth
+    /// is reshared among the surviving flows.
+    fn on_flow_done(&mut self, mid: usize, epoch: u64, t1: Time) -> Result<(), SimError> {
+        let current = self
+            .flownet
+            .as_ref()
+            .is_some_and(|n| n.is_current(mid, epoch));
+        if !current {
+            return Ok(());
+        }
+        let mut evs = std::mem::take(&mut self.flow_scratch);
+        evs.clear();
+        self.flownet
+            .as_mut()
+            .expect("flow mode")
+            .finish(mid, t1, &mut evs);
+        for e in &evs {
+            self.queue.push(
+                e.at,
+                Event::FlowDone {
+                    msg: e.msg,
+                    epoch: e.epoch,
+                },
+            );
+        }
+        self.flow_scratch = evs;
+        let (src, dst) = (self.msgs[mid].src, self.msgs[mid].dst);
+        self.msgs[mid].state = MsgState::Done { t1 };
+        self.resources
+            .release(src, dst)
+            .map_err(SimError::Accounting)?;
+        self.try_start_all(t1);
+        // a rendezvous sender may still be parked on this message
+        if let Some(w) = self.msgs[mid].waiter {
+            let since = self.msgs[mid].waiter_since;
+            if let Blocked::OnMsg { state, .. } = self.ranks[w].blocked {
+                let resume = t1.max(since);
+                self.ranks[w].timeline.push(since, resume, state);
+                self.queue.push(resume, Event::Resume { rank: w });
+                self.ranks[w].blocked = Blocked::ResumeScheduled;
+                self.msgs[mid].waiter = None;
+            }
+        }
+        if let Some(req) = self.msgs[mid].paired {
+            if self.recv_reqs[req].complete.is_none() {
+                self.complete_recv_req(req, t1);
+            }
+        }
+        Ok(())
     }
 
     /// Sender-side injection latency per link class (eager sends).
@@ -663,20 +815,22 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn on_transfer_done(&mut self, mid: usize, t1: Time) {
+    fn on_transfer_done(&mut self, mid: usize, t1: Time) -> Result<(), SimError> {
         let (src, dst) = (self.msgs[mid].src, self.msgs[mid].dst);
         self.msgs[mid].state = MsgState::Done { t1 };
         match self.msgs[mid].link {
-            Link::Intra => {}
+            Link::Intra => Ok(()),
             Link::Net => self.resources.release(src, dst),
             Link::Wan => self.resources.release_wan(src, dst),
         }
+        .map_err(SimError::Accounting)?;
         self.try_start_all(t1);
         if let Some(req) = self.msgs[mid].paired {
             if self.recv_reqs[req].complete.is_none() {
                 self.complete_recv_req(req, t1);
             }
         }
+        Ok(())
     }
 
     /// Receiver-side wait (blocking recv, or wait on an irecv request).
@@ -687,8 +841,9 @@ impl<'a> Engine<'a> {
             self.recv_reqs[req]
                 .msg
                 .and_then(|m| match self.msgs[m].state {
-                    MsgState::Flying { t1 } | MsgState::Done { t1 } => Some(t1),
-                    MsgState::Pending => None,
+                    MsgState::Done { t1 } => Some(t1),
+                    MsgState::Flying { t1 } if self.exact_flight(m) => Some(t1),
+                    _ => None,
                 })
         });
         match known {
@@ -722,7 +877,10 @@ impl<'a> Engine<'a> {
             (MsgState::Flying { .. } | MsgState::Done { .. }, SendMode::Eager) => {
                 Some(self.msgs[mid].t_start + self.injection_latency(self.msgs[mid].link))
             }
-            (MsgState::Flying { t1 } | MsgState::Done { t1 }, SendMode::Rendezvous) => Some(t1),
+            (MsgState::Done { t1 }, SendMode::Rendezvous) => Some(t1),
+            (MsgState::Flying { t1 }, SendMode::Rendezvous) if self.exact_flight(mid) => Some(t1),
+            // flow-level estimate: park until the actual FlowDone
+            (MsgState::Flying { .. }, SendMode::Rendezvous) => None,
         };
         match release {
             Some(tc) if tc <= clock => Flow::Continue,

@@ -6,6 +6,12 @@
 //! counts (each processor's injection/extraction concurrency). A
 //! transfer must hold one unit of all three (sender output port,
 //! receiver input port, one bus) for its whole duration.
+//!
+//! Releases are checked: releasing more than was acquired means the
+//! engine's accounting is corrupt, and that is reported as a hard
+//! error in every build profile (not just a `debug_assert!`), surfacing
+//! through the replay error path as
+//! [`SimError::Accounting`](crate::replay::SimError::Accounting).
 
 /// Resource pool for one simulation.
 #[derive(Debug, Clone)]
@@ -67,11 +73,14 @@ impl Resources {
     }
 
     /// Release the triple acquired by [`Resources::try_acquire_wan`].
-    pub fn release_wan(&mut self, src: usize, dst: usize) {
-        debug_assert!(self.wan_used > 0, "wan release underflow");
+    /// Errors on underflow (a release without a matching acquire).
+    pub fn release_wan(&mut self, src: usize, dst: usize) -> Result<(), String> {
+        if self.wan_used == 0 {
+            return Err(format!("wan release underflow ({src} -> {dst})"));
+        }
+        self.release_ports(src, dst)?;
         self.wan_used -= 1;
-        self.out_used[src] -= 1;
-        self.in_used[dst] -= 1;
+        Ok(())
     }
 
     /// Whether a `src -> dst` transfer could start right now.
@@ -93,13 +102,27 @@ impl Resources {
     }
 
     /// Release the triple acquired by [`Resources::try_acquire`].
-    pub fn release(&mut self, src: usize, dst: usize) {
-        debug_assert!(self.bus_used > 0, "bus release underflow");
-        debug_assert!(self.out_used[src] > 0, "out port release underflow");
-        debug_assert!(self.in_used[dst] > 0, "in port release underflow");
+    /// Errors on underflow (a release without a matching acquire).
+    pub fn release(&mut self, src: usize, dst: usize) -> Result<(), String> {
+        if self.bus_used == 0 {
+            return Err(format!("bus release underflow ({src} -> {dst})"));
+        }
+        self.release_ports(src, dst)?;
         self.bus_used -= 1;
+        Ok(())
+    }
+
+    /// Release just the port pair (shared by the bus and WAN paths).
+    fn release_ports(&mut self, src: usize, dst: usize) -> Result<(), String> {
+        if self.out_used[src] == 0 {
+            return Err(format!("out port release underflow at endpoint {src}"));
+        }
+        if self.in_used[dst] == 0 {
+            return Err(format!("in port release underflow at endpoint {dst}"));
+        }
         self.out_used[src] -= 1;
         self.in_used[dst] -= 1;
+        Ok(())
     }
 
     /// Buses currently in use (for occupancy statistics).
@@ -119,7 +142,7 @@ mod tests {
         assert!(r.try_acquire(2, 3));
         // third concurrent transfer exceeds the 2-bus limit
         assert!(!r.try_acquire(1, 0));
-        r.release(0, 1);
+        r.release(0, 1).unwrap();
         assert!(r.try_acquire(1, 0));
     }
 
@@ -142,7 +165,7 @@ mod tests {
         assert!(!r.try_acquire(2, 1));
         // unrelated pair is fine
         assert!(r.try_acquire(2, 3));
-        r.release(0, 1);
+        r.release(0, 1).unwrap();
         assert!(r.try_acquire(0, 2));
     }
 
@@ -151,10 +174,24 @@ mod tests {
         let mut r = Resources::new(2, 1, 1, 1);
         assert!(r.try_acquire(0, 1));
         assert!(!r.try_acquire(1, 0)); // bus exhausted
-        r.release(0, 1);
+        r.release(0, 1).unwrap();
         // if the failed acquire had leaked anything this would fail
         assert!(r.try_acquire(1, 0));
-        r.release(1, 0);
+        r.release(1, 0).unwrap();
         assert_eq!(r.buses_in_use(), 0);
+    }
+
+    #[test]
+    fn release_underflow_is_a_hard_error() {
+        let mut r = Resources::new(2, 0, 1, 1);
+        assert!(r.release(0, 1).is_err(), "nothing acquired yet");
+        assert!(r.release_wan(0, 1).is_err());
+        assert!(r.try_acquire(0, 1));
+        // releasing the wrong endpoint pair underflows that endpoint
+        let err = r.release(1, 0).unwrap_err();
+        assert!(err.contains("underflow"), "{err}");
+        // the correct release still succeeds afterwards
+        r.release(0, 1).unwrap();
+        assert!(r.release(0, 1).is_err(), "double release");
     }
 }

@@ -1,0 +1,245 @@
+//! Integration tests for the flow-level network subsystem: bus/crossbar
+//! bit-equivalence, link sharing under max-min fairness, fat-tree
+//! oversubscription, torus routing, and clean rejection of fabrics that
+//! are too small for the trace.
+
+use ovlp_machine::{simulate, Platform, SimError, SimResult, Topology};
+use ovlp_trace::record::{Record, SendMode};
+use ovlp_trace::{Bytes, Instructions, Rank, ReqId, Tag, Trace, TransferId};
+
+/// A ring workload with computes and mixed eager/rendezvous transfers:
+/// enough variety to exercise admission, parking and completion paths.
+fn ring_trace(nranks: u32, iters: u32) -> Trace {
+    let mut t = Trace::new(nranks as usize);
+    for r in 0..nranks {
+        let next = (r + 1) % nranks;
+        let prev = (r + nranks - 1) % nranks;
+        let rt = t.rank_mut(Rank(r));
+        for i in 0..iters {
+            let size = |sender: u32| 40_000 + 13_000 * ((sender + i) % 5) as u64;
+            let mode = if i % 2 == 0 {
+                SendMode::Eager
+            } else {
+                SendMode::Rendezvous
+            };
+            rt.push(Record::Compute {
+                instr: Instructions(100_000 + 37_000 * ((r + i) % 3) as u64),
+            });
+            // IRecv-before-send keeps the rendezvous iterations
+            // deadlock-free (a blocking-send ring would hang for real).
+            rt.push(Record::IRecv {
+                src: Rank(prev),
+                tag: Tag::user(0),
+                bytes: Bytes(size(prev)),
+                req: ReqId(i as u64),
+                transfer: TransferId::new(Rank(r), 2 * i + 1),
+            });
+            rt.push(Record::Send {
+                dst: Rank(next),
+                tag: Tag::user(0),
+                bytes: Bytes(size(r)),
+                mode,
+                transfer: TransferId::new(Rank(r), 2 * i),
+            });
+            rt.push(Record::Wait {
+                req: ReqId(i as u64),
+            });
+        }
+    }
+    t
+}
+
+/// The observable replay outcome, rendered so two runs can be compared
+/// bit-for-bit (float Debug formatting is round-trip exact).
+fn outcome(sim: &SimResult) -> String {
+    format!(
+        "{:?} {:?} {:?} {:?} {:?}",
+        sim.runtime, sim.totals, sim.timelines, sim.comms, sim.markers
+    )
+}
+
+/// One rank per node, one port per direction, unlimited buses: every
+/// crossbar flow is alone on its two links, so the flow model must
+/// reproduce the linear bus-model estimate exactly — not approximately.
+#[test]
+fn crossbar_replay_is_bit_identical_to_bus() {
+    let trace = ring_trace(5, 6);
+    let bus = simulate(&trace, &Platform::default()).unwrap();
+    let flow = simulate(
+        &trace,
+        &Platform::default().with_topology(Topology::Crossbar),
+    )
+    .unwrap();
+    assert_eq!(outcome(&bus), outcome(&flow));
+    assert!(bus.links.is_empty(), "bus model reports no links");
+    assert!(!flow.links.is_empty(), "flow model reports link usage");
+}
+
+/// Two ranks per node and two simultaneous transfers between the same
+/// node pair: both flows share the up- and down-link, so max-min gives
+/// each half the capacity and the transfers take twice the wire time.
+#[test]
+fn concurrent_flows_share_a_link_fairly() {
+    let bytes = 1_000_000u64;
+    let mut t = Trace::new(4);
+    for (src, dst) in [(0u32, 2u32), (1, 3)] {
+        t.rank_mut(Rank(src)).push(Record::Send {
+            dst: Rank(dst),
+            tag: Tag::user(0),
+            bytes: Bytes(bytes),
+            mode: SendMode::Eager,
+            transfer: TransferId::new(Rank(src), 0),
+        });
+        t.rank_mut(Rank(dst)).push(Record::Recv {
+            src: Rank(src),
+            tag: Tag::user(0),
+            bytes: Bytes(bytes),
+            transfer: TransferId::new(Rank(dst), 0),
+        });
+    }
+    let base = Platform::default().with_nodes(2, 4000.0, 0.2);
+    let bus = simulate(&t, &base).unwrap();
+    let flow = simulate(&t, &base.with_topology(Topology::Crossbar)).unwrap();
+    let cap = base.bandwidth_mbs * 1e6;
+    let lat = base.latency().as_secs();
+    let expect_bus = lat + bytes as f64 / cap;
+    let expect_flow = lat + bytes as f64 / (cap / 2.0);
+    assert!(
+        (bus.runtime() - expect_bus).abs() < 1e-12,
+        "bus ports admit both transfers at full speed: {} vs {expect_bus}",
+        bus.runtime()
+    );
+    assert!(
+        (flow.runtime() - expect_flow).abs() < 1e-12,
+        "shared links halve the rate: {} vs {expect_flow}",
+        flow.runtime()
+    );
+    let up = flow
+        .links
+        .iter()
+        .find(|l| l.label == "n0->sw")
+        .expect("up link of node 0");
+    assert!(
+        (up.bytes - 2.0 * bytes as f64).abs() < 1.0,
+        "both flows crossed the shared up link: {}",
+        up.bytes
+    );
+    assert_eq!(up.peak_flows, 2);
+}
+
+/// A cross-pod transfer in an oversubscribed fat-tree is bottlenecked
+/// by the thinner fabric links; the same transfer at 1:1 runs at full
+/// host bandwidth.
+#[test]
+fn fat_tree_oversubscription_throttles_cross_pod_traffic() {
+    let bytes = 2_000_000u64;
+    // radix 4 => pods of 4 hosts; rank 0 -> rank 4 crosses pods.
+    let mut t = Trace::new(5);
+    t.rank_mut(Rank(0)).push(Record::Send {
+        dst: Rank(4),
+        tag: Tag::user(0),
+        bytes: Bytes(bytes),
+        mode: SendMode::Eager,
+        transfer: TransferId::new(Rank(0), 0),
+    });
+    t.rank_mut(Rank(4)).push(Record::Recv {
+        src: Rank(0),
+        tag: Tag::user(0),
+        bytes: Bytes(bytes),
+        transfer: TransferId::new(Rank(4), 0),
+    });
+    let platform = |oversub| {
+        Platform::default().with_topology(Topology::FatTree {
+            radix: 4,
+            oversubscription: oversub,
+        })
+    };
+    let flat = simulate(&t, &platform(1)).unwrap();
+    let thin = simulate(&t, &platform(4)).unwrap();
+    let cap = 250.0 * 1e6;
+    let lat = Platform::default().latency().as_secs();
+    let expect_flat = lat + bytes as f64 / cap;
+    let expect_thin = lat + bytes as f64 / (cap / 4.0);
+    assert!(
+        (flat.runtime() - expect_flat).abs() < 1e-12,
+        "1:1 fabric runs at host speed: {} vs {expect_flat}",
+        flat.runtime()
+    );
+    assert!(
+        (thin.runtime() - expect_thin).abs() < 1e-12,
+        "4:1 fabric quarters the rate: {} vs {expect_thin}",
+        thin.runtime()
+    );
+}
+
+/// Dimension-order routing on a 2x2 torus: the diagonal transfer
+/// resolves x before y, so exactly the +x then +y links carry traffic.
+#[test]
+fn torus_routes_dimension_order() {
+    let bytes = 500_000u64;
+    let mut t = Trace::new(4);
+    t.rank_mut(Rank(0)).push(Record::Send {
+        dst: Rank(3),
+        tag: Tag::user(0),
+        bytes: Bytes(bytes),
+        mode: SendMode::Rendezvous,
+        transfer: TransferId::new(Rank(0), 0),
+    });
+    t.rank_mut(Rank(3)).push(Record::Recv {
+        src: Rank(0),
+        tag: Tag::user(0),
+        bytes: Bytes(bytes),
+        transfer: TransferId::new(Rank(3), 0),
+    });
+    let sim = simulate(
+        &t,
+        &Platform::default().with_topology(Topology::Torus { dims: vec![2, 2] }),
+    )
+    .unwrap();
+    let trafficked: Vec<&str> = sim
+        .links
+        .iter()
+        .filter(|l| l.bytes > 0.0)
+        .map(|l| l.label.as_str())
+        .collect();
+    assert_eq!(
+        trafficked,
+        ["n0->n1(+x)", "n1->n3(+y)"],
+        "x resolved before y"
+    );
+    assert!(sim.runtime() > 0.0);
+}
+
+/// A trace with more nodes than the fabric has endpoints is a clean
+/// configuration error, not a panic or an out-of-bounds route.
+#[test]
+fn undersized_fabric_is_a_clean_error() {
+    let trace = ring_trace(8, 1);
+    let err = simulate(
+        &trace,
+        &Platform::default().with_topology(Topology::Torus { dims: vec![2, 2] }),
+    )
+    .unwrap_err();
+    match err {
+        SimError::BadPlatform(msg) => {
+            assert!(msg.contains("endpoints"), "{msg}");
+        }
+        other => panic!("expected BadPlatform, got {other:?}"),
+    }
+}
+
+/// Flow-level replays are reproducible: same trace, same platform, same
+/// bits — including the per-link accounting.
+#[test]
+fn flow_replay_is_deterministic() {
+    let trace = ring_trace(6, 4);
+    let platform = Platform::default().with_topology(Topology::FatTree {
+        radix: 4,
+        oversubscription: 2,
+    });
+    let a = simulate(&trace, &platform).unwrap();
+    let b = simulate(&trace, &platform).unwrap();
+    assert_eq!(outcome(&a), outcome(&b));
+    assert_eq!(format!("{:?}", a.links), format!("{:?}", b.links));
+    assert_eq!(a.network.reshares, b.network.reshares);
+}

@@ -19,6 +19,7 @@
 pub mod ascii;
 pub mod histogram;
 pub mod html;
+pub mod links;
 pub mod paraver;
 pub mod scatter;
 pub mod svg;
@@ -26,6 +27,7 @@ pub mod svg;
 pub use ascii::{gantt, gantt_comparison};
 pub use histogram::{duration_histogram, wait_report, DurationHistogram};
 pub use html::{report as html_report, ReportInputs};
+pub use links::link_report;
 pub use paraver::ParaverExport;
 pub use scatter::scatter_ascii;
 pub use svg::timeline_svg;

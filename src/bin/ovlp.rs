@@ -4,7 +4,8 @@
 //! ovlp analyze <app> <ranks>             full pipeline report (patterns + benefits)
 //! ovlp trace <app> <ranks> <outdir>      write .trf traces + the .acc access log
 //! ovlp transform <trace.trf> <log.acc>   rewrite a trace offline (stdout)
-//! ovlp simulate <trace.trf> [bw] [buses] replay a trace file on a platform
+//! ovlp simulate <trace.trf> [bw] [buses] [--topology T]
+//!                                        replay a trace file on a platform
 //! ovlp stats <trace.trf>                 structural statistics of a trace file
 //! ovlp gantt <app> <ranks>               original vs overlapped ASCII timelines
 //! ovlp waits <app> <ranks>               wait-duration histograms (both variants)
@@ -13,7 +14,10 @@
 //! ovlp report <app> <ranks> <out.html>   self-contained HTML analysis report
 //! ovlp paraver <app> <ranks> <outdir>    export Paraver .prv/.pcf/.row for both variants
 //! ovlp sweep <app> <ranks> [--jobs N] [--chunks a,b,..] [--bw a,b,..] [--buses a,b,..]
-//!                                        parallel parameter sweep over platforms x policies
+//!            [--topology t1,t2,..]       parallel parameter sweep over platforms x policies
+//!
+//! Topology specs: `bus` (legacy buses+ports), `crossbar`,
+//! `fat-tree:<radix>[:<oversub>]`, `torus:<A>x<B>[x<C>]`.
 //! ovlp list                              list the application pool
 //! ```
 
@@ -24,7 +28,7 @@ use overlap_sim::core::pipeline::build_variants;
 use overlap_sim::core::presets::marenostrum_for;
 use overlap_sim::core::report::{pct, table2a, table2b};
 use overlap_sim::instr::trace_app;
-use overlap_sim::machine::{simulate, Platform};
+use overlap_sim::machine::{simulate, ContentionModel, Platform};
 use overlap_sim::trace::text;
 use overlap_sim::viz::{gantt_comparison, paraver, timeline_svg};
 use std::fs;
@@ -56,11 +60,14 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: ovlp <list | analyze <app> <ranks> | trace <app> <ranks> <outdir> |\n\
-                 \x20      transform <trace.trf> <log.acc> | simulate <trace.trf> [bw] [buses] |\n\
+                 \x20      transform <trace.trf> <log.acc> |\n\
+                 \x20      simulate <trace.trf> [bw] [buses] [--topology T] |\n\
                  \x20      stats <trace.trf> | gantt <app> <ranks> | waits <app> <ranks> |\n\
                  \x20      chunks <app> <ranks> | advise <app> <ranks> |\n\
                  \x20      report <app> <ranks> <out.html> | paraver <app> <ranks> <outdir> |\n\
-                 \x20      sweep <app> <ranks> [--jobs N] [--chunks a,b,..] [--bw a,b,..] [--buses a,b,..]>"
+                 \x20      sweep <app> <ranks> [--jobs N] [--chunks a,b,..] [--bw a,b,..]\n\
+                 \x20            [--buses a,b,..] [--topology t1,t2,..]>\n\
+                 topologies: bus | crossbar | fat-tree:<radix>[:<oversub>] | torus:<A>x<B>[x<C>]"
             );
             ExitCode::FAILURE
         }
@@ -278,14 +285,30 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
         Ok(t) => t,
         Err(e) => return fail(e.to_string()),
     };
-    let mut platform = Platform::default();
-    if let Some(bw) = rest.first() {
+    let topology = match parse_flag(rest, "--topology", ContentionModel::Bus) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    // Positional args are what remains once the flag pair is stripped.
+    let mut pos: Vec<&str> = Vec::new();
+    let mut skip = false;
+    for a in rest {
+        if skip {
+            skip = false;
+        } else if *a == "--topology" {
+            skip = true;
+        } else {
+            pos.push(a);
+        }
+    }
+    let mut platform = Platform::default().with_contention(topology);
+    if let Some(bw) = pos.first() {
         match bw.parse() {
             Ok(v) => platform.bandwidth_mbs = v,
             Err(e) => return fail(format!("bad bandwidth: {e}")),
         }
     }
-    if let Some(buses) = rest.get(1) {
+    if let Some(buses) = pos.get(1) {
         match buses.parse() {
             Ok(v) => platform.buses = v,
             Err(e) => return fail(format!("bad bus count: {e}")),
@@ -308,6 +331,11 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
                     t.wait_send.as_secs() * 1e3,
                     t.collective.as_secs() * 1e3
                 );
+            }
+            let links = overlap_sim::viz::link_report(&r, 12);
+            if !links.is_empty() {
+                println!("network: {} fair-share recomputations", r.network.reshares);
+                print!("{links}");
             }
             ExitCode::SUCCESS
         }
@@ -448,6 +476,28 @@ fn sweep_cmd(app: &str, ranks: &str, rest: &[&str]) -> ExitCode {
         Ok(v) => v,
         Err(e) => return fail(e),
     };
+    let topologies = match parse_list_flag(rest, "--topology", vec![ContentionModel::Bus]) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    // Reject fixed-size fabrics that are too small before any point
+    // runs, mirroring the --chunks range check above.
+    for model in &topologies {
+        if let ContentionModel::Flow(topo) = model {
+            if let Some(cap) = topo.endpoints() {
+                let nodes = if ranks_n == 0 {
+                    0
+                } else {
+                    base.node_of(ranks_n - 1) + 1
+                };
+                if nodes > cap {
+                    return fail(format!(
+                        "bad --topology entry `{model}`: {cap} endpoints but {ranks_n} ranks need {nodes} nodes"
+                    ));
+                }
+            }
+        }
+    }
 
     let run = match trace_app(entry.app.as_ref(), ranks_n) {
         Ok(r) => r,
@@ -459,9 +509,14 @@ fn sweep_cmd(app: &str, ranks: &str, rest: &[&str]) -> ExitCode {
             .iter()
             .flat_map(|&bw| {
                 let base = &base;
-                bus_counts
-                    .iter()
-                    .map(move |&buses| base.with_bandwidth(bw).with_buses(buses))
+                let topologies = &topologies;
+                bus_counts.iter().flat_map(move |&buses| {
+                    topologies.iter().map(move |model| {
+                        base.with_bandwidth(bw)
+                            .with_buses(buses)
+                            .with_contention(model.clone())
+                    })
+                })
             })
             .collect(),
         policies: chunk_counts

@@ -1,0 +1,126 @@
+//! Golden equivalence and determinism for the topology-aware network
+//! subsystem, pinned on the committed trace fixtures.
+//!
+//! The flow-level model must be a strict generalization of the legacy
+//! bus model: on a non-blocking crossbar with one rank per node and one
+//! port per direction, every flow is alone on its links and the max-min
+//! rate equals the full link bandwidth, so replays must agree with the
+//! linear bus estimate bit-for-bit — not within a tolerance.
+
+use overlap_sim::core::chunk::ChunkPolicy;
+use overlap_sim::core::sweep::{sweep, SweepApp, SweepCache, SweepConfig, SweepGrid};
+use overlap_sim::instr::trace_app;
+use overlap_sim::machine::{simulate, Platform, SimResult, Topology};
+use overlap_sim::trace::text;
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> overlap_sim::trace::Trace {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let content = std::fs::read_to_string(&path).unwrap();
+    text::parse(&content).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+/// Everything observable about a replay's timing, rendered exactly
+/// (float Debug output is round-trip precise).
+fn timing(sim: &SimResult) -> String {
+    format!(
+        "{:?} {:?} {:?} {:?}",
+        sim.runtime, sim.totals, sim.timelines, sim.markers
+    )
+}
+
+/// Transfers as an order-insensitive multiset: when unrelated
+/// completions coincide, the two models may initiate queued transfers
+/// in a different order, but the transfers and all their timestamps
+/// must agree exactly.
+fn transfers(sim: &SimResult) -> Vec<String> {
+    let mut c: Vec<String> = sim.comms.iter().map(|r| format!("{r:?}")).collect();
+    c.sort();
+    c
+}
+
+#[test]
+fn fixtures_replay_identically_on_bus_and_crossbar() {
+    for name in ["sweep3d_4r.trf", "nas_cg_8r.trf"] {
+        let trace = fixture(name);
+        let bus = simulate(&trace, &Platform::default()).unwrap();
+        let flow = simulate(
+            &trace,
+            &Platform::default().with_topology(Topology::Crossbar),
+        )
+        .unwrap();
+        assert_eq!(timing(&bus), timing(&flow), "{name}: timing diverged");
+        assert_eq!(
+            transfers(&bus),
+            transfers(&flow),
+            "{name}: transfer set diverged"
+        );
+        assert!(bus.links.is_empty(), "{name}: bus model has no links");
+        assert!(
+            flow.links.iter().any(|l| l.bytes > 0.0),
+            "{name}: crossbar replay must report link traffic"
+        );
+    }
+}
+
+#[test]
+fn explicit_fabrics_replay_fixtures_deterministically() {
+    let cases = [
+        ("sweep3d_4r.trf", vec!["fat-tree:4", "torus:2x2"]),
+        ("nas_cg_8r.trf", vec!["fat-tree:4", "torus:2x2x2"]),
+    ];
+    for (name, topologies) in cases {
+        let trace = fixture(name);
+        for spec in topologies {
+            let platform = Platform::default().with_contention(spec.parse().unwrap());
+            let a = simulate(&trace, &platform).unwrap_or_else(|e| panic!("{name} on {spec}: {e}"));
+            let b = simulate(&trace, &platform).unwrap();
+            assert_eq!(timing(&a), timing(&b), "{name} on {spec}: nondeterministic");
+            assert_eq!(format!("{:?}", a.links), format!("{:?}", b.links));
+            assert!(a.runtime() > 0.0, "{name} on {spec}: degenerate replay");
+            assert!(
+                a.links.iter().any(|l| l.bytes > 0.0),
+                "{name} on {spec}: no link carried traffic"
+            );
+        }
+    }
+}
+
+/// The sweep grid gains a topology axis; results must stay bit-identical
+/// for any worker count, exactly like the original bus-only sweeps.
+#[test]
+fn sweep_over_topologies_is_bit_identical_across_jobs() {
+    let app = overlap_sim::apps::nas_cg::NasCgApp::quick();
+    let run = trace_app(&app, 8).unwrap();
+    let base = Platform::marenostrum(6);
+    let grid = SweepGrid {
+        apps: vec![SweepApp::new("nas-cg", run)],
+        platforms: ["bus", "crossbar", "fat-tree:4", "torus:2x2x2"]
+            .into_iter()
+            .map(|spec| base.with_contention(spec.parse().unwrap()))
+            .collect(),
+        policies: [2u32, 4]
+            .into_iter()
+            .map(ChunkPolicy::with_chunks)
+            .collect(),
+    };
+    let renders: Vec<String> = [1usize, 2, 4]
+        .into_iter()
+        .map(|jobs| {
+            let report = sweep(&grid, &SweepConfig::with_jobs(jobs), &SweepCache::new());
+            assert_eq!(report.err_count(), 0, "jobs={jobs}");
+            report.render(&grid)
+        })
+        .collect();
+    assert_eq!(renders[0], renders[1]);
+    assert_eq!(renders[1], renders[2]);
+    for (spec, hashed) in [("bus", true), ("crossbar", true), ("fat-tree:4", true)] {
+        assert!(
+            renders[0].contains(&format!("net={spec}")) == hashed,
+            "render lists {spec}:\n{}",
+            renders[0]
+        );
+    }
+}
