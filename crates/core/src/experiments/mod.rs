@@ -10,4 +10,4 @@ pub use bandwidth::{
     EquivalentBandwidth,
 };
 pub use chunks::{chunk_search, default_candidates, ChunkPoint, ChunkSearch};
-pub use speedup::{run_variants, SpeedupResult};
+pub use speedup::{run_variants, run_variants_probed, SpeedupResult, VariantMetrics};

@@ -1,7 +1,9 @@
 //! Figure 6(a): speedup of the overlapped executions over the original.
 
 use crate::pipeline::VariantBundle;
-use ovlp_machine::{simulate, Platform, SimError, SimResult};
+use ovlp_machine::{
+    simulate, simulate_probed, Metrics, Platform, SimError, SimResult, Time, WindowedRecorder,
+};
 
 /// Simulated runtimes of all three variants on one platform.
 #[derive(Debug, Clone)]
@@ -35,4 +37,56 @@ pub fn run_variants(
         overlapped: simulate(&bundle.overlapped, platform)?,
         ideal: simulate(&bundle.ideal, platform)?,
     })
+}
+
+/// Windowed metrics of all three variants (one recorder per variant,
+/// all with the same window width).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariantMetrics {
+    pub original: Metrics,
+    pub overlapped: Metrics,
+    pub ideal: Metrics,
+}
+
+impl VariantMetrics {
+    /// The three metric documents labelled like the simulation
+    /// variants.
+    pub fn labelled(&self) -> [(&'static str, &Metrics); 3] {
+        [
+            ("original", &self.original),
+            ("overlapped", &self.overlapped),
+            ("ideal", &self.ideal),
+        ]
+    }
+}
+
+/// [`run_variants`] with a [`WindowedRecorder`] attached to each
+/// replay. The simulated results are bit-identical to the unprobed
+/// ones — probes observe without perturbing.
+pub fn run_variants_probed(
+    bundle: &VariantBundle,
+    platform: &Platform,
+    window: Time,
+) -> Result<(SpeedupResult, VariantMetrics), SimError> {
+    let probed = |trace| -> Result<(SimResult, Metrics), SimError> {
+        let mut rec = WindowedRecorder::new(window);
+        let sim = simulate_probed(trace, platform, &mut rec)?;
+        Ok((sim, rec.into_metrics()))
+    };
+    let (original, m_original) = probed(&bundle.original)?;
+    let (overlapped, m_overlapped) = probed(&bundle.overlapped)?;
+    let (ideal, m_ideal) = probed(&bundle.ideal)?;
+    Ok((
+        SpeedupResult {
+            app: bundle.app_name().to_string(),
+            original,
+            overlapped,
+            ideal,
+        },
+        VariantMetrics {
+            original: m_original,
+            overlapped: m_overlapped,
+            ideal: m_ideal,
+        },
+    ))
 }

@@ -26,9 +26,10 @@
 pub mod scheduler;
 
 use crate::chunk::ChunkPolicy;
+use crate::experiments::speedup::VariantMetrics;
 use crate::pipeline::{build_variants, VariantBundle};
 use ovlp_instr::TraceRun;
-use ovlp_machine::Platform;
+use ovlp_machine::{Platform, Time};
 use ovlp_trace::record::SendMode;
 use ovlp_trace::text;
 use std::collections::HashMap;
@@ -277,6 +278,11 @@ pub struct PointResult {
     pub t_overlapped: f64,
     /// Simulated runtime of the overlapped-ideal trace, s.
     pub t_ideal: f64,
+    /// Windowed metrics of the three variants, recorded only when the
+    /// sweep ran with [`SweepConfig::probe_window_us`]. Deliberately
+    /// excluded from [`PointResult::result_hash`], so replay
+    /// fingerprints are identical with probes on or off.
+    pub metrics: Option<Arc<VariantMetrics>>,
 }
 
 impl PointResult {
@@ -377,6 +383,14 @@ pub struct SweepConfig {
     pub jobs: usize,
     /// Bounded work-queue depth (items in flight beyond running ones).
     pub queue_depth: usize,
+    /// When set, every point is replayed with a
+    /// [`WindowedRecorder`](ovlp_machine::WindowedRecorder) of this
+    /// width (microseconds) and its result carries
+    /// [`PointResult::metrics`]. Probed points bypass the cache both
+    /// ways (cached results carry no metrics, and metric-bearing
+    /// results are not stored), so the cache never changes what a
+    /// probed sweep observes.
+    pub probe_window_us: Option<f64>,
 }
 
 impl Default for SweepConfig {
@@ -391,6 +405,7 @@ impl SweepConfig {
         SweepConfig {
             jobs,
             queue_depth: 2 * jobs,
+            probe_window_us: None,
         }
     }
 }
@@ -535,7 +550,13 @@ pub fn sweep(grid: &SweepGrid, config: &SweepConfig, cache: &SweepCache) -> Swee
     let points = grid.points();
     let outcomes: Vec<PointOutcome> =
         scheduler::run_indexed(points, config.jobs, config.queue_depth, |_i, point| {
-            evaluate_point(grid, &point, bundle_for(&point), cache)
+            evaluate_point(
+                grid,
+                &point,
+                bundle_for(&point),
+                cache,
+                config.probe_window_us,
+            )
         })
         .into_iter()
         .enumerate()
@@ -564,6 +585,7 @@ fn evaluate_point(
     point: &SweepPoint,
     bundle: &Result<Arc<VariantBundle>, String>,
     cache: &SweepCache,
+    probe_window_us: Option<f64>,
 ) -> PointOutcome {
     let app = &grid.apps[point.app];
     let platform = &grid.platforms[point.platform];
@@ -574,12 +596,14 @@ fn evaluate_point(
     };
 
     let key = point_key(app.fingerprint(), platform, policy);
-    if let Some(mut hit) = cache.lookup(key) {
-        // The cache stores content-keyed results; re-stamp the grid
-        // position so the report refers to *this* sweep's indices.
-        hit.point = *point;
-        hit.app.clone_from(&app.name);
-        return Ok(hit);
+    if probe_window_us.is_none() {
+        if let Some(mut hit) = cache.lookup(key) {
+            // The cache stores content-keyed results; re-stamp the grid
+            // position so the report refers to *this* sweep's indices.
+            hit.point = *point;
+            hit.app.clone_from(&app.name);
+            return Ok(hit);
+        }
     }
 
     platform
@@ -589,8 +613,22 @@ fn evaluate_point(
         .as_ref()
         .map_err(|e| fail(format!("transform failed: {e}")))?;
 
-    let sim = crate::experiments::speedup::run_variants(bundle, platform)
-        .map_err(|e| fail(format!("simulation failed: {e:?}")))?;
+    let (sim, metrics) = match probe_window_us {
+        None => (
+            crate::experiments::speedup::run_variants(bundle, platform)
+                .map_err(|e| fail(format!("simulation failed: {e:?}")))?,
+            None,
+        ),
+        Some(us) => {
+            let (sim, m) = crate::experiments::speedup::run_variants_probed(
+                bundle,
+                platform,
+                Time::micros(us),
+            )
+            .map_err(|e| fail(format!("simulation failed: {e:?}")))?;
+            (sim, Some(Arc::new(m)))
+        }
+    };
     let result = PointResult {
         point: *point,
         key,
@@ -598,8 +636,11 @@ fn evaluate_point(
         t_original: sim.original.runtime(),
         t_overlapped: sim.overlapped.runtime(),
         t_ideal: sim.ideal.runtime(),
+        metrics,
     };
-    cache.insert(result.clone());
+    if result.metrics.is_none() {
+        cache.insert(result.clone());
+    }
     Ok(result)
 }
 

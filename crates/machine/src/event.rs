@@ -53,6 +53,8 @@ pub struct EventQueue {
     heap: BinaryHeap<Entry>,
     next_seq: u64,
     pub processed: u64,
+    /// High-water mark of pending entries (heap size after a push).
+    pub peak: usize,
 }
 
 impl EventQueue {
@@ -64,6 +66,7 @@ impl EventQueue {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, event });
+        self.peak = self.peak.max(self.heap.len());
     }
 
     pub fn pop(&mut self) -> Option<(Time, Event)> {

@@ -32,6 +32,7 @@ pub mod collective;
 pub mod event;
 pub mod net;
 pub mod platform;
+pub mod probe;
 pub mod replay;
 pub mod resources;
 pub mod time;
@@ -41,7 +42,8 @@ pub use chanstat::{channel_stats, ChannelStat};
 pub use collective::expand_collectives;
 pub use net::{ContentionModel, LinkUsage, Topology};
 pub use platform::{CollectiveAlgo, Platform};
-pub use replay::{simulate, NetworkStats, SimError, SimResult};
+pub use probe::{EventKind, Metrics, NoopSink, ProbeSink, WindowedRecorder};
+pub use replay::{simulate, simulate_probed, NetworkStats, SimError, SimResult};
 pub use time::Time;
 pub use timeline::{CommRecord, Interval, State, StateTotals, Timeline};
 

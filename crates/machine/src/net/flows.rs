@@ -17,8 +17,9 @@
 //! pin down.
 
 use super::fairshare::max_min_rates;
-use super::topology::{LinkGraph, LinkId};
+use super::topology::{Link, LinkGraph, LinkId};
 use super::LinkUsage;
+use crate::probe::ProbeSink;
 use crate::time::Time;
 use std::collections::BTreeMap;
 
@@ -87,7 +88,7 @@ impl FlowNet {
     /// completion estimate for the new flow and for every existing flow
     /// whose rate changed.
     #[allow(clippy::too_many_arguments)]
-    pub fn start(
+    pub fn start<P: ProbeSink>(
         &mut self,
         msg: usize,
         src_node: usize,
@@ -96,8 +97,9 @@ impl FlowNet {
         latency_s: f64,
         now: Time,
         out: &mut Vec<FlowEvent>,
+        probe: &mut P,
     ) {
-        self.settle(now);
+        self.settle(now, probe);
         let path = self.graph.route(src_node, dst_node);
         for l in &path {
             let i = l.idx();
@@ -115,12 +117,18 @@ impl FlowNet {
             },
         );
         debug_assert!(prev.is_none(), "flow {msg} started twice");
-        self.reshare(now, out);
+        self.reshare(now, out, probe);
     }
 
     /// Remove a completed flow at `now` and reshare the survivors.
-    pub fn finish(&mut self, msg: usize, now: Time, out: &mut Vec<FlowEvent>) {
-        self.settle(now);
+    pub fn finish<P: ProbeSink>(
+        &mut self,
+        msg: usize,
+        now: Time,
+        out: &mut Vec<FlowEvent>,
+        probe: &mut P,
+    ) {
+        self.settle(now, probe);
         let Some(f) = self.flows.remove(&msg) else {
             debug_assert!(false, "finishing unknown flow {msg}");
             return;
@@ -131,9 +139,12 @@ impl FlowNet {
             // credit the last settle's rounding tail so per-link byte
             // totals are exact
             self.bytes[i] += f.remaining;
+            if P::ENABLED && f.remaining > 0.0 {
+                probe.on_link_traffic(i, now, now, f.remaining);
+            }
         }
         if !self.flows.is_empty() {
-            self.reshare(now, out);
+            self.reshare(now, out, probe);
         }
     }
 
@@ -153,6 +164,11 @@ impl FlowNet {
         self.flows.len()
     }
 
+    /// The links of the underlying graph (topology order).
+    pub fn links(&self) -> &[Link] {
+        self.graph.links()
+    }
+
     /// Per-link usage statistics accumulated so far.
     pub fn usage(&self) -> Vec<LinkUsage> {
         self.graph
@@ -170,7 +186,7 @@ impl FlowNet {
     }
 
     /// Advance all flows from `last` to `now` at their current rates.
-    fn settle(&mut self, now: Time) {
+    fn settle<P: ProbeSink>(&mut self, now: Time, probe: &mut P) {
         let dt = (now - self.last).as_secs();
         self.last = now;
         if dt <= 0.0 {
@@ -197,14 +213,22 @@ impl FlowNet {
             f.remaining -= drained;
             for l in &f.path {
                 self.bytes[l.idx()] += drained;
+                if P::ENABLED && drained > 0.0 {
+                    // the drain covered the last `avail` seconds of the
+                    // settle interval (after injection latency elapsed)
+                    probe.on_link_traffic(l.idx(), now - Time::secs(avail), now, drained);
+                }
             }
         }
     }
 
     /// Recompute the max-min allocation and re-estimate completions.
     /// Flows whose rate is bitwise unchanged keep their scheduled event.
-    fn reshare(&mut self, now: Time, out: &mut Vec<FlowEvent>) {
+    fn reshare<P: ProbeSink>(&mut self, now: Time, out: &mut Vec<FlowEvent>, probe: &mut P) {
         self.reshares += 1;
+        if P::ENABLED {
+            probe.on_reshare(now, self.flows.len());
+        }
         let rates = {
             let paths: Vec<&[LinkId]> = self.flows.values().map(|f| f.path.as_slice()).collect();
             max_min_rates(&paths, &self.caps)
@@ -234,6 +258,7 @@ impl FlowNet {
 mod tests {
     use super::*;
     use crate::net::topology::Topology;
+    use crate::probe::NoopSink;
 
     fn net(nodes: usize, mbs: f64) -> FlowNet {
         FlowNet::new(LinkGraph::build(&Topology::Crossbar, nodes, mbs).unwrap())
@@ -243,13 +268,22 @@ mod tests {
     fn lone_flow_completes_at_linear_model_time() {
         let mut out = Vec::new();
         let mut n = net(2, 100.0);
-        n.start(0, 0, 1, 1_000_000.0, 10e-6, Time::ZERO, &mut out);
+        n.start(
+            0,
+            0,
+            1,
+            1_000_000.0,
+            10e-6,
+            Time::ZERO,
+            &mut out,
+            &mut NoopSink,
+        );
         assert_eq!(out.len(), 1);
         let expect = Time::secs(10e-6 + 1_000_000.0 / 100e6);
         assert_eq!(out[0].at, expect, "must match latency + size/capacity");
         assert!(n.is_current(0, out[0].epoch));
         out.clear();
-        n.finish(0, expect, &mut out);
+        n.finish(0, expect, &mut out, &mut NoopSink);
         assert!(out.is_empty());
         assert!(!n.is_current(0, 1));
         let usage = n.usage();
@@ -262,10 +296,28 @@ mod tests {
         let mut out = Vec::new();
         // both flows leave node 0: they share its single up link
         let mut n = net(3, 100.0);
-        n.start(0, 0, 1, 1_000_000.0, 0.0, Time::ZERO, &mut out);
+        n.start(
+            0,
+            0,
+            1,
+            1_000_000.0,
+            0.0,
+            Time::ZERO,
+            &mut out,
+            &mut NoopSink,
+        );
         let first = out[0];
         out.clear();
-        n.start(1, 0, 2, 1_000_000.0, 0.0, Time::ZERO, &mut out);
+        n.start(
+            1,
+            0,
+            2,
+            1_000_000.0,
+            0.0,
+            Time::ZERO,
+            &mut out,
+            &mut NoopSink,
+        );
         // both flows re-estimated at 50 MB/s
         assert_eq!(out.len(), 2);
         assert!(!n.is_current(0, first.epoch), "old estimate must be stale");
@@ -279,10 +331,28 @@ mod tests {
         let mut out = Vec::new();
         // disjoint node pairs: no shared links, no re-estimates
         let mut n = net(4, 100.0);
-        n.start(0, 0, 1, 1_000_000.0, 5e-6, Time::ZERO, &mut out);
+        n.start(
+            0,
+            0,
+            1,
+            1_000_000.0,
+            5e-6,
+            Time::ZERO,
+            &mut out,
+            &mut NoopSink,
+        );
         let first = out[0];
         out.clear();
-        n.start(1, 2, 3, 500_000.0, 5e-6, Time::secs(0.001), &mut out);
+        n.start(
+            1,
+            2,
+            3,
+            500_000.0,
+            5e-6,
+            Time::secs(0.001),
+            &mut out,
+            &mut NoopSink,
+        );
         assert_eq!(out.len(), 1, "only the new flow gets an event");
         assert_eq!(out[0].msg, 1);
         assert!(n.is_current(0, first.epoch));
@@ -292,12 +362,21 @@ mod tests {
     fn finishing_a_flow_speeds_up_the_survivor() {
         let mut out = Vec::new();
         let mut n = net(3, 100.0);
-        n.start(0, 0, 1, 1_000_000.0, 0.0, Time::ZERO, &mut out);
-        n.start(1, 0, 2, 500_000.0, 0.0, Time::ZERO, &mut out);
+        n.start(
+            0,
+            0,
+            1,
+            1_000_000.0,
+            0.0,
+            Time::ZERO,
+            &mut out,
+            &mut NoopSink,
+        );
+        n.start(1, 0, 2, 500_000.0, 0.0, Time::ZERO, &mut out, &mut NoopSink);
         out.clear();
         // flow 1 (500 kB at 50 MB/s) completes at 10 ms
         let t = Time::secs(0.01);
-        n.finish(1, t, &mut out);
+        n.finish(1, t, &mut out, &mut NoopSink);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].msg, 0);
         // flow 0 drained 500 kB in those 10 ms; the rest at full rate
@@ -314,10 +393,28 @@ mod tests {
     fn busy_seconds_and_peak_flows_accumulate() {
         let mut out = Vec::new();
         let mut n = net(3, 100.0);
-        n.start(0, 0, 1, 1_000_000.0, 0.0, Time::ZERO, &mut out);
-        n.start(1, 0, 2, 1_000_000.0, 0.0, Time::ZERO, &mut out);
-        n.finish(0, Time::secs(0.02), &mut out);
-        n.finish(1, Time::secs(0.02), &mut out);
+        n.start(
+            0,
+            0,
+            1,
+            1_000_000.0,
+            0.0,
+            Time::ZERO,
+            &mut out,
+            &mut NoopSink,
+        );
+        n.start(
+            1,
+            0,
+            2,
+            1_000_000.0,
+            0.0,
+            Time::ZERO,
+            &mut out,
+            &mut NoopSink,
+        );
+        n.finish(0, Time::secs(0.02), &mut out, &mut NoopSink);
+        n.finish(1, Time::secs(0.02), &mut out, &mut NoopSink);
         let usage = n.usage();
         assert_eq!(usage[0].peak_flows, 2, "node 0 up link carried both");
         assert!((usage[0].busy_secs - 0.02).abs() < 1e-12);

@@ -1,0 +1,744 @@
+//! Time-resolved observability probes for the replay engine.
+//!
+//! A [`ProbeSink`] receives callbacks from the engine at every state
+//! transition, transfer start/finish, flow reshare, and event dispatch.
+//! The engine is generic over the sink, so the default [`NoopSink`]
+//! (with [`ProbeSink::ENABLED`]` = false`) monomorphizes every hook to
+//! nothing — `simulate` pays zero cost for the instrumentation.
+//!
+//! [`WindowedRecorder`] is the production sink: it folds the callback
+//! stream into fixed-width time windows and produces a [`Metrics`]
+//! document with per-rank state occupancy, per-link utilization,
+//! network health gauges (in-flight transfers, event-queue depth,
+//! bus/port occupancy), and engine self-profiling counters. Everything
+//! is derived from simulated time and deterministic event order, so
+//! metrics are bit-identical across runs, worker counts, and probe
+//! on/off settings — and they never feed back into the simulation, so
+//! sweep replay fingerprints are unaffected.
+//!
+//! Durations are split across window boundaries proportionally;
+//! point-sampled gauges fill forward (a gauge holds its value until the
+//! next sample) and report each window's maximum.
+
+use crate::net::topology::Link;
+use crate::time::Time;
+use crate::timeline::State;
+
+/// Which engine event was dispatched (payload-free mirror of
+/// [`Event`](crate::event::Event), used for per-kind counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A rank resumed execution.
+    Resume,
+    /// A bus-model / intra-node / WAN transfer completed.
+    TransferDone,
+    /// A flow-level completion estimate fired (possibly stale).
+    FlowDone,
+}
+
+impl EventKind {
+    /// Dense index for counter arrays.
+    pub fn idx(self) -> usize {
+        match self {
+            EventKind::Resume => 0,
+            EventKind::TransferDone => 1,
+            EventKind::FlowDone => 2,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Resume => "resume",
+            EventKind::TransferDone => "transfer_done",
+            EventKind::FlowDone => "flow_done",
+        }
+    }
+}
+
+/// Observer of one replay. All methods default to no-ops; implement the
+/// ones you need. Implementations must not assume callbacks arrive in
+/// global time order — the engine emits them in *event processing*
+/// order, and a state interval is reported when it closes, not when it
+/// opens.
+#[allow(unused_variables)]
+pub trait ProbeSink {
+    /// `false` compiles every engine-side hook away ([`NoopSink`]).
+    const ENABLED: bool = true;
+
+    /// Replay starting: rank count and the link graph (empty under the
+    /// bus contention model).
+    fn on_begin(&mut self, nranks: usize, links: &[Link]) {}
+
+    /// A rank spent `[start, end)` in `state` (never zero-length).
+    fn on_state(&mut self, rank: usize, start: Time, end: Time, state: State) {}
+
+    /// An event was popped at `at`; `queue_depth` is the number of
+    /// events still pending after the pop.
+    fn on_event(&mut self, at: Time, kind: EventKind, queue_depth: usize) {}
+
+    /// A network-level (non-intra-node) transfer acquired its resources.
+    /// Gauges are sampled *after* the acquire.
+    fn on_transfer_start(&mut self, at: Time, in_flight: u32, buses: u32, ports: u32) {}
+
+    /// A network-level transfer released its resources. Gauges are
+    /// sampled *after* the release.
+    fn on_transfer_done(&mut self, at: Time, in_flight: u32, buses: u32, ports: u32) {}
+
+    /// A rank's transfer was granted: `bytes` entered the network at
+    /// `at` (all link classes, including intra-node).
+    fn on_injected(&mut self, rank: usize, at: Time, bytes: u64) {}
+
+    /// Link `link` carried `bytes` over `[t0, t1)`; `t0 == t1` means an
+    /// instantaneous credit (the rounding tail of a finishing flow).
+    fn on_link_traffic(&mut self, link: usize, t0: Time, t1: Time, bytes: f64) {}
+
+    /// The max-min allocator ran at `at` over `active_flows` flows.
+    fn on_reshare(&mut self, at: Time, active_flows: usize) {}
+
+    /// Replay finished: final runtime and the event-queue high-water
+    /// mark.
+    fn on_end(&mut self, runtime: Time, queue_peak: usize) {}
+}
+
+/// The do-nothing sink [`simulate`](crate::simulate) uses. With
+/// [`ProbeSink::ENABLED`]` = false` every hook call sits behind a
+/// constant-false branch and is removed by the compiler.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl ProbeSink for NoopSink {
+    const ENABLED: bool = false;
+}
+
+/// Point-sampled gauge folded to a per-window maximum with
+/// fill-forward: between samples the gauge holds its last value, so a
+/// window nobody sampled in reports the value carried into it.
+#[derive(Debug, Default)]
+struct PeakSeries {
+    vals: Vec<u32>,
+    cur: u32,
+}
+
+impl PeakSeries {
+    fn record(&mut self, w: usize, v: u32) {
+        // windows entered since the last sample held `cur`
+        while self.vals.len() <= w {
+            self.vals.push(self.cur);
+        }
+        self.vals[w] = self.vals[w].max(v);
+        self.cur = v;
+    }
+
+    fn finish(mut self, windows: usize) -> Vec<u32> {
+        while self.vals.len() < windows {
+            self.vals.push(self.cur);
+        }
+        self.vals.truncate(windows);
+        self.vals
+    }
+}
+
+/// Sink that folds probe callbacks into fixed-width time windows.
+///
+/// Feed it to [`simulate_probed`](crate::replay::simulate_probed), then
+/// call [`WindowedRecorder::into_metrics`] for the final document.
+#[derive(Debug)]
+pub struct WindowedRecorder {
+    window_s: f64,
+    link_meta: Vec<(String, f64)>,
+    /// rank -> window -> seconds in [compute, wait-recv, wait-send,
+    /// collective].
+    occupancy: Vec<Vec<[f64; 4]>>,
+    /// rank -> window -> bytes injected.
+    injected: Vec<Vec<u64>>,
+    /// link -> window -> bytes carried.
+    link_bytes: Vec<Vec<f64>>,
+    /// window -> events dispatched per [`EventKind`].
+    events_w: Vec<[u64; 3]>,
+    /// window -> reshare passes.
+    reshares_w: Vec<u64>,
+    in_flight: PeakSeries,
+    queue_depth: PeakSeries,
+    buses: PeakSeries,
+    ports: PeakSeries,
+    events_by_kind: [u64; 3],
+    reshares: u64,
+    queue_peak: usize,
+    max_in_flight: u32,
+    runtime_s: f64,
+}
+
+impl WindowedRecorder {
+    /// A recorder with `window` wide bins. Panics unless `window` is
+    /// positive and finite.
+    pub fn new(window: Time) -> WindowedRecorder {
+        let window_s = window.as_secs();
+        assert!(
+            window_s > 0.0 && window_s.is_finite(),
+            "probe window must be positive and finite, got {window_s}"
+        );
+        WindowedRecorder {
+            window_s,
+            link_meta: Vec::new(),
+            occupancy: Vec::new(),
+            injected: Vec::new(),
+            link_bytes: Vec::new(),
+            events_w: Vec::new(),
+            reshares_w: Vec::new(),
+            in_flight: PeakSeries::default(),
+            queue_depth: PeakSeries::default(),
+            buses: PeakSeries::default(),
+            ports: PeakSeries::default(),
+            events_by_kind: [0; 3],
+            reshares: 0,
+            queue_peak: 0,
+            max_in_flight: 0,
+            runtime_s: 0.0,
+        }
+    }
+
+    /// Window index containing time `t`.
+    fn window(&self, t: Time) -> usize {
+        (t.as_secs() / self.window_s).floor() as usize
+    }
+
+    /// Consume the recorder into the final [`Metrics`] document.
+    pub fn into_metrics(self) -> Metrics {
+        // enough windows to cover the runtime, and never fewer than any
+        // series touched (an event exactly at the runtime lands one
+        // window past ceil(runtime / dt))
+        let mut windows = ((self.runtime_s / self.window_s).ceil() as usize).max(1);
+        for r in &self.occupancy {
+            windows = windows.max(r.len());
+        }
+        for r in &self.injected {
+            windows = windows.max(r.len());
+        }
+        for l in &self.link_bytes {
+            windows = windows.max(l.len());
+        }
+        windows = windows.max(self.events_w.len()).max(self.reshares_w.len());
+
+        let pad = |mut v: Vec<f64>| {
+            v.resize(windows, 0.0);
+            v
+        };
+        let ranks = self
+            .occupancy
+            .into_iter()
+            .zip(self.injected)
+            .map(|(mut occ, mut inj)| {
+                occ.resize(windows, [0.0; 4]);
+                inj.resize(windows, 0);
+                RankSeries {
+                    occupancy: occ
+                        .into_iter()
+                        .map(|s| s.map(|secs| secs / self.window_s))
+                        .collect(),
+                    injected_bytes: inj,
+                }
+            })
+            .collect();
+        let links = self
+            .link_meta
+            .into_iter()
+            .zip(self.link_bytes)
+            .map(|((label, capacity_bps), bytes)| {
+                let bytes = pad(bytes);
+                let full = capacity_bps * self.window_s;
+                let utilization = bytes
+                    .iter()
+                    .map(|&b| {
+                        if full.is_finite() && full > 0.0 {
+                            b / full
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                LinkSeries {
+                    label,
+                    capacity_bps,
+                    utilization,
+                    bytes,
+                }
+            })
+            .collect();
+        let mut events_w = self.events_w;
+        events_w.resize(windows, [0; 3]);
+        let mut reshares_w = self.reshares_w;
+        reshares_w.resize(windows, 0);
+        Metrics {
+            window_s: self.window_s,
+            runtime_s: self.runtime_s,
+            windows,
+            ranks,
+            links,
+            net: NetSeries {
+                in_flight: self.in_flight.finish(windows),
+                queue_depth: self.queue_depth.finish(windows),
+                buses_busy: self.buses.finish(windows),
+                ports_busy: self.ports.finish(windows),
+            },
+            engine: EngineCounters {
+                events_by_kind: self.events_by_kind,
+                events_per_window: events_w,
+                reshares: self.reshares,
+                reshares_per_window: reshares_w,
+                queue_peak: self.queue_peak,
+                max_in_flight: self.max_in_flight,
+            },
+        }
+    }
+}
+
+fn bump_f64(series: &mut Vec<f64>, w: usize, amount: f64) {
+    if series.len() <= w {
+        series.resize(w + 1, 0.0);
+    }
+    series[w] += amount;
+}
+
+/// Split `[a, b)` into `dt`-wide windows, calling `f(window, seconds)`
+/// for every overlapped window.
+fn split_windows(dt: f64, a: Time, b: Time, mut f: impl FnMut(usize, f64)) {
+    let (a, b) = (a.as_secs(), b.as_secs());
+    let mut t = a;
+    let mut w = (a / dt).floor() as usize;
+    while t < b {
+        let edge = (w as f64 + 1.0) * dt;
+        let end = b.min(edge);
+        if end > t {
+            f(w, end - t);
+        }
+        t = edge;
+        w += 1;
+    }
+}
+
+impl ProbeSink for WindowedRecorder {
+    fn on_begin(&mut self, nranks: usize, links: &[Link]) {
+        self.occupancy = vec![Vec::new(); nranks];
+        self.injected = vec![Vec::new(); nranks];
+        self.link_meta = links
+            .iter()
+            .map(|l| (l.label.clone(), l.capacity))
+            .collect();
+        self.link_bytes = vec![Vec::new(); links.len()];
+    }
+
+    fn on_state(&mut self, rank: usize, start: Time, end: Time, state: State) {
+        let slot = match state {
+            State::Compute => 0,
+            State::WaitRecv => 1,
+            State::WaitSend => 2,
+            State::Collective => 3,
+            State::Done => return,
+        };
+        let occ = &mut self.occupancy[rank];
+        split_windows(self.window_s, start, end, |w, secs| {
+            if occ.len() <= w {
+                occ.resize(w + 1, [0.0; 4]);
+            }
+            occ[w][slot] += secs;
+        });
+    }
+
+    fn on_event(&mut self, at: Time, kind: EventKind, queue_depth: usize) {
+        let w = self.window(at);
+        if self.events_w.len() <= w {
+            self.events_w.resize(w + 1, [0; 3]);
+        }
+        self.events_w[w][kind.idx()] += 1;
+        self.events_by_kind[kind.idx()] += 1;
+        self.queue_depth.record(w, queue_depth as u32);
+    }
+
+    fn on_transfer_start(&mut self, at: Time, in_flight: u32, buses: u32, ports: u32) {
+        let w = self.window(at);
+        self.in_flight.record(w, in_flight);
+        self.buses.record(w, buses);
+        self.ports.record(w, ports);
+        self.max_in_flight = self.max_in_flight.max(in_flight);
+    }
+
+    fn on_transfer_done(&mut self, at: Time, in_flight: u32, buses: u32, ports: u32) {
+        let w = self.window(at);
+        self.in_flight.record(w, in_flight);
+        self.buses.record(w, buses);
+        self.ports.record(w, ports);
+    }
+
+    fn on_injected(&mut self, rank: usize, at: Time, bytes: u64) {
+        let w = self.window(at);
+        let inj = &mut self.injected[rank];
+        if inj.len() <= w {
+            inj.resize(w + 1, 0);
+        }
+        inj[w] += bytes;
+    }
+
+    fn on_link_traffic(&mut self, link: usize, t0: Time, t1: Time, bytes: f64) {
+        if bytes <= 0.0 {
+            return;
+        }
+        if t1 <= t0 {
+            let w = self.window(t0);
+            bump_f64(&mut self.link_bytes[link], w, bytes);
+            return;
+        }
+        let span = (t1 - t0).as_secs();
+        let series = &mut self.link_bytes[link];
+        split_windows(self.window_s, t0, t1, |w, secs| {
+            bump_f64(series, w, bytes * secs / span);
+        });
+    }
+
+    fn on_reshare(&mut self, at: Time, _active_flows: usize) {
+        let w = self.window(at);
+        if self.reshares_w.len() <= w {
+            self.reshares_w.resize(w + 1, 0);
+        }
+        self.reshares_w[w] += 1;
+        self.reshares += 1;
+    }
+
+    fn on_end(&mut self, runtime: Time, queue_peak: usize) {
+        self.runtime_s = runtime.as_secs();
+        self.queue_peak = queue_peak;
+    }
+}
+
+/// Windowed metric timelines of one replay. All series have exactly
+/// [`Metrics::windows`] entries; window `w` covers simulated time
+/// `[w·window_s, (w+1)·window_s)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metrics {
+    /// Window width, seconds.
+    pub window_s: f64,
+    /// Simulated runtime, seconds.
+    pub runtime_s: f64,
+    /// Number of windows in every series.
+    pub windows: usize,
+    /// Per-rank series, indexed by rank.
+    pub ranks: Vec<RankSeries>,
+    /// Per-link series (flow-level contention only; empty under the bus
+    /// model), in link-graph order.
+    pub links: Vec<LinkSeries>,
+    /// Network health gauges (per-window maxima, fill-forward).
+    pub net: NetSeries,
+    /// Engine self-profiling counters.
+    pub engine: EngineCounters,
+}
+
+/// One rank's windowed series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankSeries {
+    /// Fraction of each window spent in [compute, wait-recv, wait-send,
+    /// collective]. Sums to < 1.0 in windows the rank was idle/done.
+    pub occupancy: Vec<[f64; 4]>,
+    /// Bytes whose transfers were granted in each window.
+    pub injected_bytes: Vec<u64>,
+}
+
+/// One link's windowed series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkSeries {
+    /// Endpoint label from the topology (e.g. `n0->sw`).
+    pub label: String,
+    /// Capacity in bytes/s (possibly infinite).
+    pub capacity_bps: f64,
+    /// Bytes carried over capacity·window per window (0 for an
+    /// infinite-capacity link; the trailing partial window is
+    /// normalized by the full window width).
+    pub utilization: Vec<f64>,
+    /// Bytes carried per window.
+    pub bytes: Vec<f64>,
+}
+
+/// Network health gauges: each series holds the per-window maximum of a
+/// point-sampled gauge with fill-forward between samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetSeries {
+    /// Network-level (non-intra-node) transfers holding resources.
+    pub in_flight: Vec<u32>,
+    /// Event-queue depth after each pop.
+    pub queue_depth: Vec<u32>,
+    /// Global buses in use.
+    pub buses_busy: Vec<u32>,
+    /// Port units in use (2 per in-flight transfer).
+    pub ports_busy: Vec<u32>,
+}
+
+/// Engine self-profiling counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineCounters {
+    /// Total events dispatched, indexed like [`EventKind::idx`].
+    pub events_by_kind: [u64; 3],
+    /// Events dispatched per window, indexed like [`EventKind::idx`].
+    pub events_per_window: Vec<[u64; 3]>,
+    /// Total max-min reshare passes.
+    pub reshares: u64,
+    /// Reshare passes per window.
+    pub reshares_per_window: Vec<u64>,
+    /// Event-queue high-water mark.
+    pub queue_peak: usize,
+    /// Peak concurrent network-level transfers.
+    pub max_in_flight: u32,
+}
+
+impl Metrics {
+    /// Peak per-window utilization across all links, per window. Empty
+    /// when there are no links.
+    pub fn max_link_utilization(&self) -> Vec<f64> {
+        if self.links.is_empty() {
+            return Vec::new();
+        }
+        (0..self.windows)
+            .map(|w| {
+                self.links
+                    .iter()
+                    .map(|l| l.utilization[w])
+                    .fold(0.0, f64::max)
+            })
+            .collect()
+    }
+
+    /// Serialize as the stable `ovlp.metrics.v1` JSON document (see
+    /// `docs/observability.md` for the schema). Key order and number
+    /// formatting are deterministic; non-finite floats render as
+    /// `null`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n  \"schema\": \"ovlp.metrics.v1\",\n");
+        s.push_str(&format!("  \"window_s\": {},\n", json_f64(self.window_s)));
+        s.push_str(&format!("  \"runtime_s\": {},\n", json_f64(self.runtime_s)));
+        s.push_str(&format!("  \"windows\": {},\n", self.windows));
+        s.push_str("  \"ranks\": [\n");
+        for (i, r) in self.ranks.iter().enumerate() {
+            s.push_str("    {\"occupancy\": {");
+            for (j, name) in ["compute", "wait_recv", "wait_send", "collective"]
+                .iter()
+                .enumerate()
+            {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!(
+                    "\"{name}\": {}",
+                    json_f64_array(r.occupancy.iter().map(|o| o[j]))
+                ));
+            }
+            s.push_str("}, \"injected_bytes\": [");
+            push_join(&mut s, r.injected_bytes.iter().map(u64::to_string));
+            s.push_str("]}");
+            s.push_str(if i + 1 < self.ranks.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n  \"links\": [\n");
+        for (i, l) in self.links.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"label\": {}, \"capacity_bps\": {}, \"utilization\": {}, \"bytes\": {}}}",
+                json_str(&l.label),
+                json_f64(l.capacity_bps),
+                json_f64_array(l.utilization.iter().copied()),
+                json_f64_array(l.bytes.iter().copied()),
+            ));
+            s.push_str(if i + 1 < self.links.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n  \"net\": {\n");
+        for (j, (name, series)) in [
+            ("in_flight", &self.net.in_flight),
+            ("queue_depth", &self.net.queue_depth),
+            ("buses_busy", &self.net.buses_busy),
+            ("ports_busy", &self.net.ports_busy),
+        ]
+        .iter()
+        .enumerate()
+        {
+            s.push_str(&format!("    \"{name}\": ["));
+            push_join(&mut s, series.iter().map(u32::to_string));
+            s.push(']');
+            s.push_str(if j < 3 { ",\n" } else { "\n" });
+        }
+        s.push_str("  },\n  \"engine\": {\n    \"events\": {");
+        for (j, kind) in [
+            EventKind::Resume,
+            EventKind::TransferDone,
+            EventKind::FlowDone,
+        ]
+        .iter()
+        .enumerate()
+        {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "\"{}\": {}",
+                kind.name(),
+                self.engine.events_by_kind[kind.idx()]
+            ));
+        }
+        s.push_str("},\n    \"events_per_window\": [");
+        push_join(
+            &mut s,
+            self.engine
+                .events_per_window
+                .iter()
+                .map(|e| format!("[{},{},{}]", e[0], e[1], e[2])),
+        );
+        s.push_str("],\n    \"reshares\": ");
+        s.push_str(&self.engine.reshares.to_string());
+        s.push_str(",\n    \"reshares_per_window\": [");
+        push_join(
+            &mut s,
+            self.engine.reshares_per_window.iter().map(u64::to_string),
+        );
+        s.push_str("],\n    \"queue_peak\": ");
+        s.push_str(&self.engine.queue_peak.to_string());
+        s.push_str(",\n    \"max_in_flight\": ");
+        s.push_str(&self.engine.max_in_flight.to_string());
+        s.push_str("\n  }\n}\n");
+        s
+    }
+}
+
+fn push_join(s: &mut String, parts: impl Iterator<Item = String>) {
+    for (i, p) in parts.enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&p);
+    }
+}
+
+/// A finite f64 in shortest-roundtrip form; non-finite values are not
+/// representable in JSON and render as `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_f64_array(vals: impl Iterator<Item = f64>) -> String {
+    let mut s = String::from("[");
+    push_join(&mut s, vals.map(json_f64));
+    s.push(']');
+    s
+}
+
+fn json_str(v: &str) -> String {
+    let mut s = String::from("\"");
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}
+
+// NoopSink must stay disabled (that's the zero-overhead contract) and
+// the recorder enabled; checked at compile time.
+const _: () = {
+    assert!(!NoopSink::ENABLED);
+    assert!(WindowedRecorder::ENABLED);
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_splits_across_windows() {
+        let mut r = WindowedRecorder::new(Time::secs(1.0));
+        r.on_begin(1, &[]);
+        // 0.5 .. 2.25 compute: 0.5 s in w0, 1.0 s in w1, 0.25 s in w2
+        r.on_state(0, Time::secs(0.5), Time::secs(2.25), State::Compute);
+        r.on_end(Time::secs(2.25), 0);
+        let m = r.into_metrics();
+        assert_eq!(m.windows, 3);
+        let occ = &m.ranks[0].occupancy;
+        assert!((occ[0][0] - 0.5).abs() < 1e-12);
+        assert!((occ[1][0] - 1.0).abs() < 1e-12);
+        assert!((occ[2][0] - 0.25).abs() < 1e-12);
+        assert_eq!(occ[0][1], 0.0);
+    }
+
+    #[test]
+    fn gauges_fill_forward() {
+        let mut r = WindowedRecorder::new(Time::secs(1.0));
+        r.on_begin(1, &[]);
+        r.on_transfer_start(Time::secs(0.1), 2, 2, 4);
+        // nothing sampled in w1/w2; gauge holds 2
+        r.on_transfer_done(Time::secs(3.5), 1, 1, 2);
+        r.on_end(Time::secs(5.0), 0);
+        let m = r.into_metrics();
+        assert_eq!(m.net.in_flight, vec![2, 2, 2, 2, 1]);
+        assert_eq!(m.net.ports_busy, vec![4, 4, 4, 4, 2]);
+        assert_eq!(m.engine.max_in_flight, 2);
+    }
+
+    #[test]
+    fn link_traffic_is_split_proportionally() {
+        let links = vec![Link {
+            label: "n0->sw".into(),
+            capacity: 100.0,
+        }];
+        let mut r = WindowedRecorder::new(Time::secs(1.0));
+        r.on_begin(1, &links);
+        r.on_link_traffic(0, Time::secs(0.5), Time::secs(1.5), 100.0);
+        // instant credit lands in its own window
+        r.on_link_traffic(0, Time::secs(1.5), Time::secs(1.5), 7.0);
+        r.on_end(Time::secs(2.0), 0);
+        let m = r.into_metrics();
+        assert_eq!(m.links[0].bytes.len(), 2);
+        assert!((m.links[0].bytes[0] - 50.0).abs() < 1e-9);
+        assert!((m.links[0].bytes[1] - 57.0).abs() < 1e-9);
+        // capacity 100 B/s over a 1 s window
+        assert!((m.links[0].utilization[0] - 0.5).abs() < 1e-9);
+        assert_eq!(m.max_link_utilization().len(), 2);
+    }
+
+    #[test]
+    fn empty_run_has_one_window() {
+        let mut r = WindowedRecorder::new(Time::micros(100.0));
+        r.on_begin(2, &[]);
+        r.on_end(Time::ZERO, 0);
+        let m = r.into_metrics();
+        assert_eq!(m.windows, 1);
+        assert_eq!(m.ranks.len(), 2);
+        assert_eq!(m.ranks[0].occupancy, vec![[0.0; 4]]);
+        assert_eq!(m.net.queue_depth, vec![0]);
+    }
+
+    #[test]
+    fn json_is_stable_and_escapes() {
+        let mut r = WindowedRecorder::new(Time::secs(1.0));
+        r.on_begin(1, &[]);
+        r.on_state(0, Time::ZERO, Time::secs(0.5), State::Compute);
+        r.on_event(Time::ZERO, EventKind::Resume, 3);
+        r.on_end(Time::secs(0.5), 4);
+        let m = r.into_metrics();
+        let a = m.to_json();
+        let b = m.clone().to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema\": \"ovlp.metrics.v1\""));
+        assert!(a.contains("\"queue_peak\": 4"));
+        assert!(a.contains("\"compute\": [0.5]"));
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+}

@@ -31,6 +31,7 @@ use crate::event::{Event, EventQueue};
 use crate::net::flows::{FlowEvent, FlowNet};
 use crate::net::{ContentionModel, LinkGraph, LinkUsage};
 use crate::platform::Platform;
+use crate::probe::{EventKind, NoopSink, ProbeSink};
 use crate::resources::Resources;
 use crate::time::Time;
 use crate::timeline::{CommRecord, State, StateTotals, Timeline};
@@ -155,6 +156,21 @@ impl SimResult {
 /// Collective records are decomposed into point-to-point transfers
 /// first (per the platform's [`CollectiveAlgo`](crate::CollectiveAlgo)).
 pub fn simulate(trace: &Trace, platform: &Platform) -> Result<SimResult, SimError> {
+    simulate_probed(trace, platform, &mut NoopSink)
+}
+
+/// Simulate `trace` on `platform`, streaming observability callbacks
+/// into `probe`.
+///
+/// The probe observes the replay but never influences it: simulated
+/// time, timelines, and communication records are bit-identical to
+/// [`simulate`] for any [`ProbeSink`] implementation (a property the
+/// determinism test suite pins down).
+pub fn simulate_probed<P: ProbeSink>(
+    trace: &Trace,
+    platform: &Platform,
+    probe: &mut P,
+) -> Result<SimResult, SimError> {
     platform.check().map_err(SimError::BadPlatform)?;
     let flownet = match &platform.contention {
         ContentionModel::Bus => None,
@@ -182,7 +198,7 @@ pub fn simulate(trace: &Trace, platform: &Platform) -> Result<SimResult, SimErro
     } else {
         trace
     };
-    Engine::new(trace, platform, flownet).run()
+    Engine::new(trace, platform, flownet, probe).run()
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -273,7 +289,7 @@ struct Channel {
     unmatched_reqs: VecDeque<usize>,
 }
 
-struct Engine<'a> {
+struct Engine<'a, P: ProbeSink> {
     trace: &'a Trace,
     platform: &'a Platform,
     queue: EventQueue,
@@ -290,6 +306,11 @@ struct Engine<'a> {
     flownet: Option<FlowNet>,
     /// Reusable scratch buffer for flow (re-)estimates.
     flow_scratch: Vec<FlowEvent>,
+    /// Observability sink; [`NoopSink`] monomorphizes all hooks away.
+    probe: &'a mut P,
+    /// Network-level transfers currently holding resources (maintained
+    /// only when the probe is enabled).
+    in_flight: u32,
 }
 
 enum Flow {
@@ -297,8 +318,13 @@ enum Flow {
     Yield,
 }
 
-impl<'a> Engine<'a> {
-    fn new(trace: &'a Trace, platform: &'a Platform, flownet: Option<FlowNet>) -> Engine<'a> {
+impl<'a, P: ProbeSink> Engine<'a, P> {
+    fn new(
+        trace: &'a Trace,
+        platform: &'a Platform,
+        flownet: Option<FlowNet>,
+        probe: &'a mut P,
+    ) -> Engine<'a, P> {
         let n = trace.nranks();
         // In flow mode the topology itself is the contention: the global
         // bus limit is ignored (0 = unlimited), ports still gate each
@@ -332,7 +358,18 @@ impl<'a> Engine<'a> {
             ),
             flownet,
             flow_scratch: Vec::new(),
+            probe,
+            in_flight: 0,
         }
+    }
+
+    /// Append a state interval to a rank's timeline, mirroring it to
+    /// the probe (zero-length intervals are dropped by both).
+    fn push_state(&mut self, rank: usize, start: Time, end: Time, state: State) {
+        if P::ENABLED && end > start {
+            self.probe.on_state(rank, start, end, state);
+        }
+        self.ranks[rank].timeline.push(start, end, state);
     }
 
     /// Whether `Flying { t1 }` carries an exact arrival time for `mid`.
@@ -344,11 +381,23 @@ impl<'a> Engine<'a> {
     }
 
     fn run(mut self) -> Result<SimResult, SimError> {
+        if P::ENABLED {
+            let links = self.flownet.as_ref().map(|n| n.links()).unwrap_or(&[]);
+            self.probe.on_begin(self.ranks.len(), links);
+        }
         for r in 0..self.ranks.len() {
             self.queue.push(Time::ZERO, Event::Resume { rank: r });
             self.ranks[r].blocked = Blocked::ResumeScheduled;
         }
         while let Some((t, ev)) = self.queue.pop() {
+            if P::ENABLED {
+                let kind = match ev {
+                    Event::Resume { .. } => EventKind::Resume,
+                    Event::TransferDone { .. } => EventKind::TransferDone,
+                    Event::FlowDone { .. } => EventKind::FlowDone,
+                };
+                self.probe.on_event(t, kind, self.queue.len());
+            }
             match ev {
                 Event::Resume { rank } => self.step(rank, t)?,
                 Event::TransferDone { msg } => self.on_transfer_done(msg, t)?,
@@ -381,6 +430,9 @@ impl<'a> Engine<'a> {
             .map(|rs| rs.clock)
             .max()
             .unwrap_or(Time::ZERO);
+        if P::ENABLED {
+            self.probe.on_end(runtime, self.queue.peak);
+        }
         let totals = self
             .ranks
             .iter()
@@ -475,7 +527,7 @@ impl<'a> Engine<'a> {
                 Record::Compute { instr } => {
                     let dt = self.platform.compute_time_for(rank, instr);
                     let end = clock + dt;
-                    self.ranks[rank].timeline.push(clock, end, State::Compute);
+                    self.push_state(rank, clock, end, State::Compute);
                     self.ranks[rank].clock = end;
                     self.ranks[rank].pc += 1;
                     self.queue.push(end, Event::Resume { rank });
@@ -649,7 +701,7 @@ impl<'a> Engine<'a> {
         {
             if r == req {
                 let resume = t1.max(since);
-                self.ranks[owner].timeline.push(since, resume, state);
+                self.push_state(owner, since, resume, state);
                 self.recv_reqs[req].consumed_at = Some(resume);
                 self.queue.push(resume, Event::Resume { rank: owner });
                 self.ranks[owner].blocked = Blocked::ResumeScheduled;
@@ -682,6 +734,18 @@ impl<'a> Engine<'a> {
             }
             self.pending.remove(i);
             self.msgs[mid].t_start = now;
+            if P::ENABLED {
+                self.probe.on_injected(src, now, bytes.get());
+                if link != Link::Intra {
+                    self.in_flight += 1;
+                    self.probe.on_transfer_start(
+                        now,
+                        self.in_flight,
+                        self.resources.buses_in_use(),
+                        self.resources.ports_in_use(),
+                    );
+                }
+            }
             let flow_mode = self.flownet.is_some() && link == Link::Net;
             let t1 = if flow_mode {
                 // flow-level: register the flow; its completion arrives
@@ -711,7 +775,7 @@ impl<'a> Engine<'a> {
                 if let Some(resume) = resume {
                     let since = self.msgs[mid].waiter_since;
                     if let Blocked::OnMsg { state, .. } = self.ranks[w].blocked {
-                        self.ranks[w].timeline.push(since, resume, state);
+                        self.push_state(w, since, resume, state);
                         self.queue.push(resume, Event::Resume { rank: w });
                         self.ranks[w].blocked = Blocked::ResumeScheduled;
                         self.msgs[mid].waiter = None;
@@ -735,6 +799,7 @@ impl<'a> Engine<'a> {
             self.platform.latency().as_secs(),
             now,
             &mut evs,
+            self.probe,
         );
         let mut est = now;
         for e in &evs {
@@ -770,7 +835,7 @@ impl<'a> Engine<'a> {
         self.flownet
             .as_mut()
             .expect("flow mode")
-            .finish(mid, t1, &mut evs);
+            .finish(mid, t1, &mut evs, self.probe);
         for e in &evs {
             self.queue.push(
                 e.at,
@@ -786,13 +851,22 @@ impl<'a> Engine<'a> {
         self.resources
             .release(src, dst)
             .map_err(SimError::Accounting)?;
+        if P::ENABLED {
+            self.in_flight -= 1;
+            self.probe.on_transfer_done(
+                t1,
+                self.in_flight,
+                self.resources.buses_in_use(),
+                self.resources.ports_in_use(),
+            );
+        }
         self.try_start_all(t1);
         // a rendezvous sender may still be parked on this message
         if let Some(w) = self.msgs[mid].waiter {
             let since = self.msgs[mid].waiter_since;
             if let Blocked::OnMsg { state, .. } = self.ranks[w].blocked {
                 let resume = t1.max(since);
-                self.ranks[w].timeline.push(since, resume, state);
+                self.push_state(w, since, resume, state);
                 self.queue.push(resume, Event::Resume { rank: w });
                 self.ranks[w].blocked = Blocked::ResumeScheduled;
                 self.msgs[mid].waiter = None;
@@ -824,6 +898,15 @@ impl<'a> Engine<'a> {
             Link::Wan => self.resources.release_wan(src, dst),
         }
         .map_err(SimError::Accounting)?;
+        if P::ENABLED && self.msgs[mid].link != Link::Intra {
+            self.in_flight -= 1;
+            self.probe.on_transfer_done(
+                t1,
+                self.in_flight,
+                self.resources.buses_in_use(),
+                self.resources.ports_in_use(),
+            );
+        }
         self.try_start_all(t1);
         if let Some(req) = self.msgs[mid].paired {
             if self.recv_reqs[req].complete.is_none() {
@@ -852,7 +935,7 @@ impl<'a> Engine<'a> {
                 Flow::Continue
             }
             Some(tc) => {
-                self.ranks[rank].timeline.push(clock, tc, state);
+                self.push_state(rank, clock, tc, state);
                 self.recv_reqs[req].consumed_at = Some(tc);
                 self.queue.push(tc, Event::Resume { rank });
                 self.ranks[rank].blocked = Blocked::ResumeScheduled;
@@ -885,7 +968,7 @@ impl<'a> Engine<'a> {
         match release {
             Some(tc) if tc <= clock => Flow::Continue,
             Some(tc) => {
-                self.ranks[rank].timeline.push(clock, tc, state);
+                self.push_state(rank, clock, tc, state);
                 self.queue.push(tc, Event::Resume { rank });
                 self.ranks[rank].blocked = Blocked::ResumeScheduled;
                 Flow::Yield

@@ -24,6 +24,7 @@ pub struct Resources {
     in_used: Vec<u32>,
     wan_cap: u32,
     wan_used: u32,
+    ports_busy: u32,
 }
 
 impl Resources {
@@ -51,6 +52,7 @@ impl Resources {
             in_used: vec![0; nranks],
             wan_cap: wan_links,
             wan_used: 0,
+            ports_busy: 0,
         }
     }
 
@@ -69,6 +71,7 @@ impl Resources {
         self.wan_used += 1;
         self.out_used[src] += 1;
         self.in_used[dst] += 1;
+        self.ports_busy += 2;
         true
     }
 
@@ -98,6 +101,7 @@ impl Resources {
         self.bus_used += 1;
         self.out_used[src] += 1;
         self.in_used[dst] += 1;
+        self.ports_busy += 2;
         true
     }
 
@@ -122,12 +126,19 @@ impl Resources {
         }
         self.out_used[src] -= 1;
         self.in_used[dst] -= 1;
+        self.ports_busy -= 2;
         Ok(())
     }
 
     /// Buses currently in use (for occupancy statistics).
     pub fn buses_in_use(&self) -> u32 {
         self.bus_used
+    }
+
+    /// Port units currently held across all endpoints (each in-flight
+    /// transfer holds one output and one input port).
+    pub fn ports_in_use(&self) -> u32 {
+        self.ports_busy
     }
 }
 

@@ -3,7 +3,7 @@
 //! timelines and the restructuring verdicts — in a single file a
 //! colleague can open without any tooling.
 
-use ovlp_machine::{SimResult, Time};
+use ovlp_machine::{Metrics, SimResult, Time};
 use std::fmt::Write as _;
 
 /// Inputs for one report (everything is pre-rendered text/markup so
@@ -33,6 +33,19 @@ fn esc(s: &str) -> String {
 /// Build the report. `variants` pairs a label with its simulation; the
 /// first entry is the baseline for speedup computation.
 pub fn report(inputs: &ReportInputs, variants: &[(&str, &SimResult)]) -> String {
+    let with_metrics: Vec<(&str, &SimResult, Option<&Metrics>)> =
+        variants.iter().map(|&(l, s)| (l, s, None)).collect();
+    report_with_metrics(inputs, &with_metrics)
+}
+
+/// [`report`] with optional windowed metrics per variant: each variant
+/// carrying metrics gets a link-utilization heatmap panel directly
+/// under its timeline (shared time axis), and a per-link report table
+/// when the replay used flow-level contention.
+pub fn report_with_metrics(
+    inputs: &ReportInputs,
+    variants: &[(&str, &SimResult, Option<&Metrics>)],
+) -> String {
     let mut html = String::new();
     html.push_str("<!DOCTYPE html><html><head><meta charset=\"utf-8\">");
     let _ = write!(html, "<title>overlap-sim — {}</title>", esc(&inputs.app));
@@ -57,8 +70,8 @@ pub fn report(inputs: &ReportInputs, variants: &[(&str, &SimResult)]) -> String 
         "<h2>Simulated runtimes</h2><table><tr><th>variant</th>\
                    <th>runtime</th><th>speedup</th><th>wait/rank</th></tr>",
     );
-    let base = variants.first().map(|(_, s)| s.runtime()).unwrap_or(1.0);
-    for (label, sim) in variants {
+    let base = variants.first().map(|(_, s, _)| s.runtime()).unwrap_or(1.0);
+    for (label, sim, _) in variants {
         let nranks = sim.totals.len().max(1) as f64;
         let _ = write!(
             html,
@@ -72,16 +85,37 @@ pub fn report(inputs: &ReportInputs, variants: &[(&str, &SimResult)]) -> String 
     }
     html.push_str("</table>");
 
-    // timelines
+    // timelines, each with its link-utilization heatmap when windowed
+    // metrics were recorded (same width and span: the panels align)
     html.push_str("<h2>Timelines</h2>");
     let span = variants
         .iter()
-        .map(|(_, s)| s.runtime)
+        .map(|(_, s, _)| s.runtime)
         .max()
         .unwrap_or(Time::ZERO);
-    for (label, sim) in variants {
+    for (label, sim, metrics) in variants {
         let _ = write!(html, "<h3>{}</h3>", esc(label));
         html.push_str(&crate::svg::timeline_svg(label, sim, 1200, span));
+        if let Some(m) = metrics {
+            let heat = crate::heatmap::link_heatmap_svg("link utilization", m, 1200, span, 16);
+            if !heat.is_empty() {
+                html.push_str("<br>");
+                html.push_str(&heat);
+            }
+        }
+    }
+
+    // per-link usage tables (flow-level replays only)
+    let link_reports: Vec<(&str, String)> = variants
+        .iter()
+        .filter(|(_, s, _)| !s.links.is_empty())
+        .map(|(label, sim, _)| (*label, crate::links::link_report(sim, 12)))
+        .collect();
+    if !link_reports.is_empty() {
+        html.push_str("<h2>Link usage</h2>");
+        for (label, text) in link_reports {
+            let _ = write!(html, "<h3>{}</h3><pre>{}</pre>", esc(label), esc(&text));
+        }
     }
 
     // patterns + advice
@@ -167,6 +201,34 @@ mod tests {
         assert!(html.contains("demo &lt;app&gt;"));
         assert!(html.contains("orig&lt;inal"));
         assert!(html.contains("a &amp; b"));
+    }
+
+    #[test]
+    fn metrics_variant_gets_heatmap_and_link_table() {
+        use ovlp_machine::{simulate_probed, Topology, WindowedRecorder};
+        let mut t = Trace::new(2);
+        t.rank_mut(Rank(0)).push(Record::Send {
+            dst: Rank(1),
+            tag: Tag::user(0),
+            bytes: Bytes(1_000_000),
+            mode: SendMode::Eager,
+            transfer: TransferId::new(Rank(0), 0),
+        });
+        t.rank_mut(Rank(1)).push(Record::Recv {
+            src: Rank(0),
+            tag: Tag::user(0),
+            bytes: Bytes(1_000_000),
+            transfer: TransferId::new(Rank(1), 0),
+        });
+        let p = Platform::default().with_topology(Topology::Crossbar);
+        let mut rec = WindowedRecorder::new(Time::micros(500.0));
+        let s = simulate_probed(&t, &p, &mut rec).unwrap();
+        let m = rec.into_metrics();
+        let html = report_with_metrics(&inputs(), &[("original", &s, Some(&m))]);
+        assert!(html.contains("link utilization"), "heatmap panel");
+        assert_eq!(html.matches("<svg").count(), 2, "timeline + heatmap");
+        assert!(html.contains("Link usage"), "link report section");
+        assert!(html.contains("n0-&gt;sw"), "link labels escaped");
     }
 
     #[test]

@@ -11,14 +11,27 @@
 //!
 //! ```text
 //! 1:cpu:appl:task:thread:begin:end:state
+//! 2:cpu:appl:task:thread:time:type:value[:type:value...]
 //! 3:cpu_s:ptask_s:task_s:thread_s:logical_send:physical_send:
 //!   cpu_r:ptask_r:task_r:thread_r:logical_recv:physical_recv:size:tag
 //! ```
 //!
-//! Times are emitted in nanoseconds.
+//! Times are emitted in nanoseconds. When windowed
+//! [`Metrics`](ovlp_machine::Metrics) are supplied
+//! ([`export_with_metrics`]), counter series are appended as event
+//! records sampled at each window start, so wxParaver plots link
+//! utilization, in-flight transfers, queue depth, reshares, and
+//! injected bytes under the state timeline.
 
-use ovlp_machine::{SimResult, State, Time};
+use ovlp_machine::{Metrics, SimResult, State, Time};
 use std::fmt::Write as _;
+
+/// Counter event types used by the metrics export (see the `.pcf`).
+pub const EV_MAX_LINK_UTIL: u32 = 70000001;
+pub const EV_IN_FLIGHT: u32 = 70000002;
+pub const EV_QUEUE_DEPTH: u32 = 70000003;
+pub const EV_RESHARES: u32 = 70000004;
+pub const EV_INJECTED_BYTES: u32 = 70000005;
 
 /// The three Paraver files for one simulated execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +60,17 @@ fn state_code(s: State) -> u32 {
 ///
 /// `name` is used in the header comment only.
 pub fn export(name: &str, sim: &SimResult) -> ParaverExport {
+    export_with_metrics(name, sim, None)
+}
+
+/// Export a simulated execution, appending counter event records for
+/// each windowed metric series when `metrics` is given. Without
+/// metrics the output is byte-identical to [`export`].
+pub fn export_with_metrics(
+    name: &str,
+    sim: &SimResult,
+    metrics: Option<&Metrics>,
+) -> ParaverExport {
     let nranks = sim.timelines.len();
     let ftime = ns(sim.runtime);
     let mut prv = String::new();
@@ -83,6 +107,36 @@ pub fn export(name: &str, sim: &SimResult) -> ParaverExport {
         }
     }
 
+    // counter event records: every metric series sampled at each
+    // window start (a Paraver counter holds its value until the next
+    // event record)
+    if let Some(m) = metrics {
+        let max_util = m.max_link_utilization();
+        for w in 0..m.windows {
+            let t = ns(Time::secs(w as f64 * m.window_s));
+            let mut line = format!("2:1:1:1:1:{t}");
+            if !max_util.is_empty() {
+                let _ = write!(
+                    line,
+                    ":{EV_MAX_LINK_UTIL}:{}",
+                    (max_util[w] * 1000.0).round() as u64
+                );
+            }
+            let _ = write!(line, ":{EV_IN_FLIGHT}:{}", m.net.in_flight[w]);
+            let _ = write!(line, ":{EV_QUEUE_DEPTH}:{}", m.net.queue_depth[w]);
+            let _ = write!(line, ":{EV_RESHARES}:{}", m.engine.reshares_per_window[w]);
+            let _ = writeln!(prv, "{line}");
+            for (r, series) in m.ranks.iter().enumerate() {
+                let (cpu, task) = (r + 1, r + 1);
+                let _ = writeln!(
+                    prv,
+                    "2:{cpu}:1:{task}:1:{t}:{EV_INJECTED_BYTES}:{}",
+                    series.injected_bytes[w]
+                );
+            }
+        }
+    }
+
     // communication records
     for c in &sim.comms {
         let (cs, ts) = (c.src.idx() + 1, c.src.idx() + 1);
@@ -99,7 +153,7 @@ pub fn export(name: &str, sim: &SimResult) -> ParaverExport {
         );
     }
 
-    let pcf = "\
+    let mut pcf = "\
 DEFAULT_OPTIONS
 
 LEVEL               THREAD
@@ -120,6 +174,16 @@ STATES_COLOR
 9    {255,130,171}
 "
     .to_string();
+    if metrics.is_some() {
+        pcf.push_str(&format!(
+            "\nEVENT_TYPE\n\
+             7  {EV_MAX_LINK_UTIL}  Max link utilization (per-mille of capacity)\n\
+             7  {EV_IN_FLIGHT}  In-flight transfers (window peak)\n\
+             7  {EV_QUEUE_DEPTH}  Event queue depth (window peak)\n\
+             7  {EV_RESHARES}  Max-min reshares per window\n\
+             7  {EV_INJECTED_BYTES}  Injected bytes per window\n"
+        ));
+    }
 
     let mut row = String::new();
     let _ = writeln!(row, "LEVEL CPU SIZE {nranks}");
@@ -137,11 +201,11 @@ STATES_COLOR
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ovlp_machine::{simulate, Platform};
+    use ovlp_machine::{simulate, simulate_probed, Platform, Topology, WindowedRecorder};
     use ovlp_trace::record::{Record, SendMode};
     use ovlp_trace::{Bytes, Instructions, Rank, Tag, Trace, TransferId};
 
-    fn sim() -> SimResult {
+    fn trace() -> Trace {
         let mut t = Trace::new(2);
         t.rank_mut(Rank(0)).push(Record::Compute {
             instr: Instructions(1_000_000),
@@ -159,7 +223,11 @@ mod tests {
             bytes: Bytes(1024),
             transfer: TransferId::new(Rank(1), 0),
         });
-        simulate(&t, &Platform::default()).unwrap()
+        t
+    }
+
+    fn sim() -> SimResult {
+        simulate(&trace(), &Platform::default()).unwrap()
     }
 
     #[test]
@@ -198,7 +266,57 @@ mod tests {
     fn pcf_and_row_emitted() {
         let e = export("demo", &sim());
         assert!(e.pcf.contains("STATES_COLOR"));
+        assert!(!e.pcf.contains("EVENT_TYPE"), "no counters without metrics");
         assert!(e.row.contains("LEVEL THREAD SIZE 2"));
         assert!(e.row.contains("rank 1"));
+    }
+
+    #[test]
+    fn metrics_add_counter_records_and_event_types() {
+        let t = trace();
+        let p = Platform::default().with_topology(Topology::Crossbar);
+        let mut rec = WindowedRecorder::new(Time::micros(200.0));
+        let sim = simulate_probed(&t, &p, &mut rec).unwrap();
+        let m = rec.into_metrics();
+        let e = export_with_metrics("demo", &sim, Some(&m));
+        let counters: Vec<&str> = e.prv.lines().filter(|l| l.starts_with("2:")).collect();
+        assert_eq!(counters.len(), m.windows * (1 + m.ranks.len()));
+        // global line carries link-utilization + in-flight + queue +
+        // reshare counters
+        let global = counters
+            .iter()
+            .find(|l| l.starts_with("2:1:1:1:1:"))
+            .unwrap();
+        for ty in [EV_MAX_LINK_UTIL, EV_IN_FLIGHT, EV_QUEUE_DEPTH, EV_RESHARES] {
+            assert!(global.contains(&format!(":{ty}:")), "{global}");
+        }
+        assert!(
+            counters
+                .iter()
+                .any(|l| l.contains(&format!(":{EV_INJECTED_BYTES}:"))),
+            "per-rank injected-bytes series"
+        );
+        for ty in [
+            EV_MAX_LINK_UTIL,
+            EV_IN_FLIGHT,
+            EV_QUEUE_DEPTH,
+            EV_RESHARES,
+            EV_INJECTED_BYTES,
+        ] {
+            assert!(e.pcf.contains(&ty.to_string()), "pcf names type {ty}");
+        }
+    }
+
+    #[test]
+    fn export_without_metrics_is_unchanged_by_the_probe_run() {
+        let t = trace();
+        let p = Platform::default();
+        let plain = simulate(&t, &p).unwrap();
+        let mut rec = WindowedRecorder::new(Time::micros(200.0));
+        let probed = simulate_probed(&t, &p, &mut rec).unwrap();
+        assert_eq!(
+            export("demo", &plain),
+            export_with_metrics("demo", &probed, None)
+        );
     }
 }

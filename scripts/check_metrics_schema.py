@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Validate an `ovlp.metrics.v1` document (stdlib only, no deps).
+
+Checks the structural contract documented in docs/observability.md:
+key presence, types, series lengths (every per-window series has
+exactly `windows` entries), and value ranges where the schema promises
+them (occupancy fractions and utilization in [0, 1 + eps]).
+
+Usage: check_metrics_schema.py <metrics.json> [more.json ...]
+"""
+
+import json
+import sys
+
+EPS = 1e-9
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(cond, path, msg):
+    if not cond:
+        fail(path, msg)
+
+
+def is_num(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def check_series(path, name, series, n, kind):
+    expect(isinstance(series, list), path, f"{name} is not an array")
+    expect(len(series) == n, path, f"{name} has {len(series)} entries, want {n}")
+    for v in series:
+        if kind == "count":
+            expect(isinstance(v, int) and v >= 0, path, f"{name} entry {v!r} not a count")
+        elif kind == "fraction":
+            expect(
+                v is None or (is_num(v) and -EPS <= v <= 1.0 + EPS),
+                path,
+                f"{name} entry {v!r} outside [0, 1]",
+            )
+        else:  # non-negative number (seconds, bytes)
+            expect(v is None or (is_num(v) and v >= -EPS), path, f"{name} entry {v!r} negative")
+
+
+def check(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    expect(doc.get("schema") == "ovlp.metrics.v1", path, f"bad schema id {doc.get('schema')!r}")
+    for key in ("window_s", "runtime_s"):
+        expect(is_num(doc.get(key)) and doc[key] >= 0, path, f"bad {key}")
+    n = doc.get("windows")
+    expect(isinstance(n, int) and n >= 1, path, "windows must be a positive integer")
+
+    expect(isinstance(doc.get("ranks"), list) and doc["ranks"], path, "ranks missing or empty")
+    for i, rank in enumerate(doc["ranks"]):
+        occ = rank.get("occupancy")
+        expect(isinstance(occ, dict), path, f"rank {i}: occupancy missing")
+        for state in ("compute", "wait_recv", "wait_send", "collective"):
+            check_series(path, f"rank {i} occupancy.{state}", occ.get(state), n, "fraction")
+        check_series(path, f"rank {i} injected_bytes", rank.get("injected_bytes"), n, "count")
+
+    expect(isinstance(doc.get("links"), list), path, "links missing")
+    for i, link in enumerate(doc["links"]):
+        expect(isinstance(link.get("label"), str), path, f"link {i}: label missing")
+        expect(is_num(link.get("capacity_bps")), path, f"link {i}: capacity_bps missing")
+        check_series(path, f"link {i} utilization", link.get("utilization"), n, "fraction")
+        check_series(path, f"link {i} bytes", link.get("bytes"), n, "number")
+
+    net = doc.get("net")
+    expect(isinstance(net, dict), path, "net missing")
+    for key in ("in_flight", "queue_depth", "buses_busy", "ports_busy"):
+        check_series(path, f"net.{key}", net.get(key), n, "count")
+
+    eng = doc.get("engine")
+    expect(isinstance(eng, dict), path, "engine missing")
+    events = eng.get("events")
+    expect(isinstance(events, dict), path, "engine.events missing")
+    for key in ("resume", "transfer_done", "flow_done"):
+        expect(isinstance(events.get(key), int), path, f"engine.events.{key} missing")
+    epw = eng.get("events_per_window")
+    expect(isinstance(epw, list) and len(epw) == n, path, "engine.events_per_window length")
+    for trio in epw:
+        expect(
+            isinstance(trio, list) and len(trio) == 3 and all(isinstance(v, int) for v in trio),
+            path,
+            f"events_per_window entry {trio!r} is not an integer triple",
+        )
+    check_series(path, "engine.reshares_per_window", eng.get("reshares_per_window"), n, "count")
+    for key in ("reshares", "queue_peak", "max_in_flight"):
+        expect(isinstance(eng.get(key), int) and eng[key] >= 0, path, f"bad engine.{key}")
+
+    print(f"{path}: ok ({n} windows, {len(doc['ranks'])} ranks, {len(doc['links'])} links)")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    for p in sys.argv[1:]:
+        check(p)

@@ -1,39 +1,127 @@
 //! `ovlp` — command-line front end for the overlap-analysis framework.
 //!
-//! ```text
-//! ovlp analyze <app> <ranks>             full pipeline report (patterns + benefits)
-//! ovlp trace <app> <ranks> <outdir>      write .trf traces + the .acc access log
-//! ovlp transform <trace.trf> <log.acc>   rewrite a trace offline (stdout)
-//! ovlp simulate <trace.trf> [bw] [buses] [--topology T]
-//!                                        replay a trace file on a platform
-//! ovlp stats <trace.trf>                 structural statistics of a trace file
-//! ovlp gantt <app> <ranks>               original vs overlapped ASCII timelines
-//! ovlp waits <app> <ranks>               wait-duration histograms (both variants)
-//! ovlp chunks <app> <ranks>              find the best chunk count
-//! ovlp advise <app> <ranks>              per-transfer restructuring advice
-//! ovlp report <app> <ranks> <out.html>   self-contained HTML analysis report
-//! ovlp paraver <app> <ranks> <outdir>    export Paraver .prv/.pcf/.row for both variants
-//! ovlp sweep <app> <ranks> [--jobs N] [--chunks a,b,..] [--bw a,b,..] [--buses a,b,..]
-//!            [--topology t1,t2,..]       parallel parameter sweep over platforms x policies
-//!
-//! Topology specs: `bus` (legacy buses+ports), `crossbar`,
-//! `fat-tree:<radix>[:<oversub>]`, `torus:<A>x<B>[x<C>]`.
-//! ovlp list                              list the application pool
-//! ```
+//! Run `ovlp help` for the subcommand list; it is generated from the
+//! [`COMMANDS`] table, which is also the dispatch source of truth, so
+//! the help text cannot drift from what the binary accepts.
 
 use overlap_sim::core::chunk::ChunkPolicy;
-use overlap_sim::core::experiments::run_variants;
+use overlap_sim::core::experiments::{run_variants, run_variants_probed};
 use overlap_sim::core::patterns::{consumption_stats, production_stats};
-use overlap_sim::core::pipeline::build_variants;
+use overlap_sim::core::pipeline::{build_variants, VariantBundle};
 use overlap_sim::core::presets::marenostrum_for;
 use overlap_sim::core::report::{pct, table2a, table2b};
 use overlap_sim::instr::trace_app;
-use overlap_sim::machine::{simulate, ContentionModel, Platform};
+use overlap_sim::machine::{
+    simulate, simulate_probed, ContentionModel, Platform, Time, WindowedRecorder,
+};
 use overlap_sim::trace::text;
-use overlap_sim::viz::{gantt_comparison, paraver, timeline_svg};
+use overlap_sim::viz::{gantt_comparison, link_heatmap_ascii, paraver, timeline_svg};
 use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
+
+/// One `ovlp` subcommand. The usage text shown by `ovlp help` (and on
+/// bad invocations) is rendered from this table.
+struct Cmd {
+    name: &'static str,
+    args: &'static str,
+    about: &'static str,
+}
+
+const COMMANDS: &[Cmd] = &[
+    Cmd {
+        name: "list",
+        args: "",
+        about: "list the application pool",
+    },
+    Cmd {
+        name: "analyze",
+        args: "<app> <ranks>",
+        about: "full pipeline report (patterns + benefits)",
+    },
+    Cmd {
+        name: "trace",
+        args: "<app> <ranks> <outdir>",
+        about: "write .trf traces + the .acc access log",
+    },
+    Cmd {
+        name: "transform",
+        args: "<trace.trf> <log.acc>",
+        about: "rewrite a trace offline (stdout)",
+    },
+    Cmd {
+        name: "simulate",
+        args: "<trace.trf> [bw] [buses] [--topology T] [--metrics out.json] [--probe-window us]",
+        about: "replay a trace file on a platform",
+    },
+    Cmd {
+        name: "stats",
+        args: "<trace.trf>",
+        about: "structural statistics of a trace file",
+    },
+    Cmd {
+        name: "gantt",
+        args: "<app> <ranks>",
+        about: "original vs overlapped ASCII timelines",
+    },
+    Cmd {
+        name: "waits",
+        args: "<app> <ranks>",
+        about: "wait-duration histograms (both variants)",
+    },
+    Cmd {
+        name: "chunks",
+        args: "<app> <ranks>",
+        about: "find the best chunk count",
+    },
+    Cmd {
+        name: "advise",
+        args: "<app> <ranks>",
+        about: "per-transfer restructuring advice",
+    },
+    Cmd {
+        name: "report",
+        args: "<app> <ranks> <out.html> [--topology T] [--probe-window us]",
+        about: "self-contained HTML analysis report",
+    },
+    Cmd {
+        name: "paraver",
+        args: "<app> <ranks> <outdir> [--topology T] [--probe-window us]",
+        about: "Paraver .prv/.pcf/.row (with counters) + SVG for both variants",
+    },
+    Cmd {
+        name: "sweep",
+        args: "<app> <ranks> [--jobs N] [--chunks a,b,..] [--bw a,b,..] [--buses a,b,..] \
+               [--topology t1,t2,..] [--metrics dir] [--probe-window us]",
+        about: "parallel parameter sweep over platforms x policies",
+    },
+    Cmd {
+        name: "help",
+        args: "",
+        about: "show this help",
+    },
+];
+
+fn usage() -> String {
+    let mut s = String::from("usage: ovlp <command> [args]\n\ncommands:\n");
+    for c in COMMANDS {
+        let head = if c.args.is_empty() {
+            c.name.to_string()
+        } else {
+            format!("{} {}", c.name, c.args)
+        };
+        if head.len() <= 38 {
+            s.push_str(&format!("  {head:<38} {}\n", c.about));
+        } else {
+            s.push_str(&format!("  {head}\n  {:<38} {}\n", "", c.about));
+        }
+    }
+    s.push_str(
+        "\ntopologies: bus | crossbar | fat-tree:<radix>[:<oversub>] | torus:<A>x<B>[x<C>]\n\
+         probe windows are microseconds; omitted, they default to runtime/256\n",
+    );
+    s
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,21 +142,15 @@ fn main() -> ExitCode {
         ["waits", app, ranks] => waits_cmd(app, ranks),
         ["chunks", app, ranks] => chunks_cmd(app, ranks),
         ["advise", app, ranks] => advise_cmd(app, ranks),
-        ["report", app, ranks, out] => report_cmd(app, ranks, out),
-        ["paraver", app, ranks, outdir] => paraver_cmd(app, ranks, outdir),
+        ["report", app, ranks, out, rest @ ..] => report_cmd(app, ranks, out, rest),
+        ["paraver", app, ranks, outdir, rest @ ..] => paraver_cmd(app, ranks, outdir, rest),
         ["sweep", app, ranks, rest @ ..] => sweep_cmd(app, ranks, rest),
+        ["help"] | ["--help"] | ["-h"] => {
+            print!("{}", usage());
+            ExitCode::SUCCESS
+        }
         _ => {
-            eprintln!(
-                "usage: ovlp <list | analyze <app> <ranks> | trace <app> <ranks> <outdir> |\n\
-                 \x20      transform <trace.trf> <log.acc> |\n\
-                 \x20      simulate <trace.trf> [bw] [buses] [--topology T] |\n\
-                 \x20      stats <trace.trf> | gantt <app> <ranks> | waits <app> <ranks> |\n\
-                 \x20      chunks <app> <ranks> | advise <app> <ranks> |\n\
-                 \x20      report <app> <ranks> <out.html> | paraver <app> <ranks> <outdir> |\n\
-                 \x20      sweep <app> <ranks> [--jobs N] [--chunks a,b,..] [--bw a,b,..]\n\
-                 \x20            [--buses a,b,..] [--topology t1,t2,..]>\n\
-                 topologies: bus | crossbar | fat-tree:<radix>[:<oversub>] | torus:<A>x<B>[x<C>]"
-            );
+            eprint!("{}", usage());
             ExitCode::FAILURE
         }
     }
@@ -289,13 +371,21 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
         Ok(v) => v,
         Err(e) => return fail(e),
     };
-    // Positional args are what remains once the flag pair is stripped.
+    let metrics_out = match parse_opt_flag::<String>(rest, "--metrics") {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    let window_us = match parse_opt_flag::<f64>(rest, "--probe-window") {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    // Positional args are what remains once the flag pairs are stripped.
     let mut pos: Vec<&str> = Vec::new();
     let mut skip = false;
     for a in rest {
         if skip {
             skip = false;
-        } else if *a == "--topology" {
+        } else if matches!(*a, "--topology" | "--metrics" | "--probe-window") {
             skip = true;
         } else {
             pos.push(a);
@@ -314,32 +404,93 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
             Err(e) => return fail(format!("bad bus count: {e}")),
         }
     }
-    match simulate(&trace, &platform) {
-        Ok(r) => {
-            println!(
-                "runtime {:.6}s  ({} ranks, {} events, efficiency {:.1}%)",
-                r.runtime(),
-                r.timelines.len(),
-                r.events_processed,
-                100.0 * r.efficiency()
-            );
-            for (i, t) in r.totals.iter().enumerate() {
-                println!(
-                    "  r{i}: compute {:.3}ms  wait-recv {:.3}ms  wait-send {:.3}ms  collective {:.3}ms",
-                    t.compute.as_secs() * 1e3,
-                    t.wait_recv.as_secs() * 1e3,
-                    t.wait_send.as_secs() * 1e3,
-                    t.collective.as_secs() * 1e3
-                );
+    // Probing is on when either metrics flag is given; the replay
+    // results are bit-identical with and without it.
+    let probing = metrics_out.is_some() || window_us.is_some();
+    let (r, metrics) = if probing {
+        let window = match window_us {
+            Some(us) if us > 0.0 => Time::micros(us),
+            Some(us) => return fail(format!("bad --probe-window value `{us}`: must be positive")),
+            None => {
+                // auto window: 1/256 of this trace's runtime, measured
+                // by an extra (cheap, deterministic) unprobed replay
+                let base = match simulate(&trace, &platform) {
+                    Ok(r) => r,
+                    Err(e) => return fail(e.to_string()),
+                };
+                auto_window(base.runtime())
             }
-            let links = overlap_sim::viz::link_report(&r, 12);
-            if !links.is_empty() {
-                println!("network: {} fair-share recomputations", r.network.reshares);
-                print!("{links}");
-            }
-            ExitCode::SUCCESS
+        };
+        let mut rec = WindowedRecorder::new(window);
+        match simulate_probed(&trace, &platform, &mut rec) {
+            Ok(r) => (r, Some(rec.into_metrics())),
+            Err(e) => return fail(e.to_string()),
         }
-        Err(e) => fail(e.to_string()),
+    } else {
+        match simulate(&trace, &platform) {
+            Ok(r) => (r, None),
+            Err(e) => return fail(e.to_string()),
+        }
+    };
+    println!(
+        "runtime {:.6}s  ({} ranks, {} events, efficiency {:.1}%)",
+        r.runtime(),
+        r.timelines.len(),
+        r.events_processed,
+        100.0 * r.efficiency()
+    );
+    for (i, t) in r.totals.iter().enumerate() {
+        println!(
+            "  r{i}: compute {:.3}ms  wait-recv {:.3}ms  wait-send {:.3}ms  collective {:.3}ms",
+            t.compute.as_secs() * 1e3,
+            t.wait_recv.as_secs() * 1e3,
+            t.wait_send.as_secs() * 1e3,
+            t.collective.as_secs() * 1e3
+        );
+    }
+    let links = overlap_sim::viz::link_report(&r, 12);
+    if !links.is_empty() {
+        println!("network: {} fair-share recomputations", r.network.reshares);
+        print!("{links}");
+    }
+    if let Some(m) = &metrics {
+        let e = &m.engine;
+        println!(
+            "probe: {} windows of {:.1}us; events resume {} / transfer {} / flow {}; \
+             reshares {}; queue peak {}; in-flight peak {}",
+            m.windows,
+            m.window_s * 1e6,
+            e.events_by_kind[0],
+            e.events_by_kind[1],
+            e.events_by_kind[2],
+            e.reshares,
+            e.queue_peak,
+            e.max_in_flight
+        );
+        let heat = link_heatmap_ascii(m, 100, r.runtime, 12);
+        if !heat.is_empty() {
+            println!("link utilization over time:");
+            print!("{heat}");
+        }
+        if let Some(out) = &metrics_out {
+            if let Err(e) = fs::write(out, m.to_json()) {
+                return fail(e.to_string());
+            }
+            println!("wrote {out}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Probe window for commands without an explicit `--probe-window`:
+/// 1/256 of the run's span, so every trace gets a usefully dense
+/// timeline regardless of scale (floor of 1ns for degenerate runs).
+fn auto_window(runtime_s: f64) -> Time {
+    let w = runtime_s / 256.0;
+    if w > 0.0 {
+        Time::secs(w)
+    } else {
+        Time::secs(1e-9)
     }
 }
 
@@ -381,13 +532,22 @@ fn advise_cmd(app: &str, ranks: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn report_cmd(app: &str, ranks: &str, out: &str) -> ExitCode {
-    let (bundle, run, platform) = match prepare(app, ranks) {
+fn report_cmd(app: &str, ranks: &str, out: &str, rest: &[&str]) -> ExitCode {
+    let (bundle, run, mut platform) = match prepare(app, ranks) {
         Ok(v) => v,
         Err(e) => return fail(e),
     };
-    let r = match run_variants(&bundle, &platform) {
-        Ok(r) => r,
+    match parse_opt_flag::<ContentionModel>(rest, "--topology") {
+        Ok(Some(model)) => platform = platform.with_contention(model),
+        Ok(None) => {}
+        Err(e) => return fail(e),
+    }
+    let window = match probe_window_arg(rest, &bundle, &platform) {
+        Ok(w) => w,
+        Err(e) => return fail(e),
+    };
+    let (r, metrics) = match run_variants_probed(&bundle, &platform, window) {
+        Ok(v) => v,
         Err(e) => return fail(e.to_string()),
     };
     let mut tables = table2a(&[(app.to_string(), production_stats(&run.access))]);
@@ -424,12 +584,24 @@ fn report_cmd(app: &str, ranks: &str, out: &str) -> ExitCode {
         advice,
         notes,
     };
-    let html = overlap_sim::viz::html_report(
+    let html = overlap_sim::viz::report_with_metrics(
         &inputs,
         &[
-            ("non-overlapped (original)", &r.original),
-            ("overlapped (measured patterns)", &r.overlapped),
-            ("overlapped (ideal patterns)", &r.ideal),
+            (
+                "non-overlapped (original)",
+                &r.original,
+                Some(&metrics.original),
+            ),
+            (
+                "overlapped (measured patterns)",
+                &r.overlapped,
+                Some(&metrics.overlapped),
+            ),
+            (
+                "overlapped (ideal patterns)",
+                &r.ideal,
+                Some(&metrics.ideal),
+            ),
         ],
     );
     if let Err(e) = fs::write(out, html) {
@@ -524,16 +696,69 @@ fn sweep_cmd(app: &str, ranks: &str, rest: &[&str]) -> ExitCode {
             .map(|&c| ChunkPolicy::with_chunks(c))
             .collect(),
     };
-    let report = sweep(&grid, &SweepConfig::with_jobs(jobs), &SweepCache::new());
+    let metrics_dir = match parse_opt_flag::<String>(rest, "--metrics") {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    let window_us = match parse_opt_flag::<f64>(rest, "--probe-window") {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    if let Some(us) = window_us {
+        if us <= 0.0 {
+            return fail(format!("bad --probe-window value `{us}`: must be positive"));
+        }
+    }
+    let mut config = SweepConfig::with_jobs(jobs);
+    // --metrics alone probes at the 100us default window; probed points
+    // bypass the cache, so runtimes still replay deterministically.
+    config.probe_window_us = match (&metrics_dir, window_us) {
+        (_, Some(us)) => Some(us),
+        (Some(_), None) => Some(100.0),
+        (None, None) => None,
+    };
+
+    let report = sweep(&grid, &config, &SweepCache::new());
     print!("{}", report.render(&grid));
-    eprintln!(
-        "({} points in {:.2}s with {} jobs; {} simulated, {} from cache)",
-        report.outcomes.len(),
-        report.elapsed.as_secs_f64(),
-        jobs,
-        report.cache_misses,
-        report.cache_hits,
-    );
+    if config.probe_window_us.is_some() {
+        eprintln!(
+            "({} points in {:.2}s with {} jobs; probed, cache bypassed)",
+            report.outcomes.len(),
+            report.elapsed.as_secs_f64(),
+            jobs,
+        );
+    } else {
+        eprintln!(
+            "({} points in {:.2}s with {} jobs; {} simulated, {} from cache)",
+            report.outcomes.len(),
+            report.elapsed.as_secs_f64(),
+            jobs,
+            report.cache_misses,
+            report.cache_hits,
+        );
+    }
+    if let Some(dirname) = &metrics_dir {
+        let dir = Path::new(dirname);
+        if let Err(e) = fs::create_dir_all(dir) {
+            return fail(e.to_string());
+        }
+        let mut written = 0usize;
+        for p in report.outcomes.iter().flatten() {
+            if let Some(m) = &p.metrics {
+                for (label, doc) in m.labelled() {
+                    let name = format!(
+                        "{}-p{}c{}-{label}.json",
+                        p.app, p.point.platform, p.point.policy
+                    );
+                    if let Err(e) = fs::write(dir.join(&name), doc.to_json()) {
+                        return fail(e.to_string());
+                    }
+                    written += 1;
+                }
+            }
+        }
+        eprintln!("wrote {written} metric documents to {}", dir.display());
+    }
     if report.err_count() == 0 {
         ExitCode::SUCCESS
     } else {
@@ -552,6 +777,23 @@ where
             None => Err(format!("{flag} needs a value")),
             Some(v) => v
                 .parse()
+                .map_err(|e| format!("bad {flag} value `{v}`: {e}")),
+        },
+    }
+}
+
+/// `--flag value` lookup returning `None` when the flag is absent.
+fn parse_opt_flag<T: std::str::FromStr>(args: &[&str], flag: &str) -> Result<Option<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match args.iter().position(|a| *a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            None => Err(format!("{flag} needs a value")),
+            Some(v) => v
+                .parse()
+                .map(Some)
                 .map_err(|e| format!("bad {flag} value `{v}`: {e}")),
         },
     }
@@ -582,13 +824,22 @@ where
     }
 }
 
-fn paraver_cmd(app: &str, ranks: &str, outdir: &str) -> ExitCode {
-    let (bundle, _, platform) = match prepare(app, ranks) {
+fn paraver_cmd(app: &str, ranks: &str, outdir: &str, rest: &[&str]) -> ExitCode {
+    let (bundle, _, mut platform) = match prepare(app, ranks) {
         Ok(v) => v,
         Err(e) => return fail(e),
     };
-    let r = match run_variants(&bundle, &platform) {
-        Ok(r) => r,
+    match parse_opt_flag::<ContentionModel>(rest, "--topology") {
+        Ok(Some(model)) => platform = platform.with_contention(model),
+        Ok(None) => {}
+        Err(e) => return fail(e),
+    }
+    let window = match probe_window_arg(rest, &bundle, &platform) {
+        Ok(w) => w,
+        Err(e) => return fail(e),
+    };
+    let (r, metrics) = match run_variants_probed(&bundle, &platform, window) {
+        Ok(v) => v,
         Err(e) => return fail(e.to_string()),
     };
     let dir = Path::new(outdir);
@@ -596,8 +847,11 @@ fn paraver_cmd(app: &str, ranks: &str, outdir: &str) -> ExitCode {
         return fail(e.to_string());
     }
     let span = r.original.runtime.max(r.overlapped.runtime);
-    for (label, sim) in [("original", &r.original), ("overlapped", &r.overlapped)] {
-        let e = paraver::export(&format!("{app}-{label}"), sim);
+    for (label, sim, m) in [
+        ("original", &r.original, &metrics.original),
+        ("overlapped", &r.overlapped, &metrics.overlapped),
+    ] {
+        let e = paraver::export_with_metrics(&format!("{app}-{label}"), sim, Some(m));
         for (ext, body) in [("prv", e.prv), ("pcf", e.pcf), ("row", e.row)] {
             let path = dir.join(format!("{app}-{label}.{ext}"));
             if let Err(err) = fs::write(&path, body) {
@@ -611,4 +865,22 @@ fn paraver_cmd(app: &str, ranks: &str, outdir: &str) -> ExitCode {
     }
     println!("wrote Paraver + SVG artifacts to {}", dir.display());
     ExitCode::SUCCESS
+}
+
+/// Resolve `--probe-window` for the app-level commands: explicit value
+/// in microseconds, else 1/256 of the original variant's runtime
+/// (one extra unprobed replay to measure it).
+fn probe_window_arg(
+    rest: &[&str],
+    bundle: &VariantBundle,
+    platform: &Platform,
+) -> Result<Time, String> {
+    match parse_opt_flag::<f64>(rest, "--probe-window")? {
+        Some(us) if us > 0.0 => Ok(Time::micros(us)),
+        Some(us) => Err(format!("bad --probe-window value `{us}`: must be positive")),
+        None => {
+            let base = simulate(&bundle.original, platform).map_err(|e| e.to_string())?;
+            Ok(auto_window(base.runtime()))
+        }
+    }
 }
