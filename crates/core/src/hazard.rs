@@ -92,6 +92,8 @@ mod tests {
             network: Default::default(),
             links: Vec::new(),
             events_processed: 0,
+            queue_peak: 0,
+            stale_events: 0,
         }
     }
 

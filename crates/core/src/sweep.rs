@@ -548,8 +548,11 @@ pub fn sweep(grid: &SweepGrid, config: &SweepConfig, cache: &SweepCache) -> Swee
 
     // Stage 2: replay each point (or hit the cache).
     let points = grid.points();
-    let outcomes: Vec<PointOutcome> =
-        scheduler::run_indexed(points, config.jobs, config.queue_depth, |_i, point| {
+    let outcomes: Vec<PointOutcome> = scheduler::run_indexed(
+        points.clone(),
+        config.jobs,
+        config.queue_depth,
+        |_i, point| {
             evaluate_point(
                 grid,
                 &point,
@@ -557,19 +560,17 @@ pub fn sweep(grid: &SweepGrid, config: &SweepConfig, cache: &SweepCache) -> Swee
                 cache,
                 config.probe_window_us,
             )
-        })
-        .into_iter()
-        .enumerate()
-        .map(|(i, slot)| match slot {
-            Ok(outcome) => outcome,
-            // A panic that escaped evaluate_point (it has no
-            // catch_unwind of its own): report it on the point.
-            Err(message) => Err(PointError {
-                point: grid.points()[i],
-                message,
-            }),
-        })
-        .collect();
+        },
+    )
+    .into_iter()
+    .zip(&points)
+    .map(|(slot, &point)| match slot {
+        Ok(outcome) => outcome,
+        // A panic that escaped evaluate_point (it has no
+        // catch_unwind of its own): report it on the point.
+        Err(message) => Err(PointError { point, message }),
+    })
+    .collect();
 
     let (hits1, misses1) = cache.stats();
     SweepReport {

@@ -55,6 +55,9 @@ pub fn expand_collectives(trace: &Trace, algo: CollectiveAlgo) -> Trace {
         let rank = Rank(r as u32);
         let mut instance = 0u32;
         let dst = &mut out.ranks[r];
+        // collectives expand to at most 2·(P−1) records each; reserving
+        // for the common tree case (≤ 2·log₂P + 2) avoids most regrowth
+        dst.records.reserve(rt.records.len() + 4);
         for rec in &rt.records {
             match *rec {
                 Record::Collective {
@@ -66,10 +69,9 @@ pub fn expand_collectives(trace: &Trace, algo: CollectiveAlgo) -> Trace {
                 } => {
                     let tag = Tag::collective(instance);
                     instance += 1;
-                    let steps = plan(op, algo, nranks as u32, rank, root, bytes_in);
-                    for step in steps {
-                        dst.records.push(step.into_record(tag, transfer));
-                    }
+                    plan(op, algo, nranks as u32, rank, root, bytes_in, &mut |step| {
+                        dst.records.push(step.into_record(tag, transfer))
+                    });
                 }
                 other => dst.records.push(other),
             }
@@ -106,57 +108,66 @@ impl Step {
     }
 }
 
-/// Compute the point-to-point step sequence rank `me` executes for one
-/// collective instance.
-fn plan(op: CollOp, algo: CollectiveAlgo, p: u32, me: Rank, root: Rank, bytes: Bytes) -> Vec<Step> {
+/// Emit the point-to-point step sequence rank `me` executes for one
+/// collective instance (directly into `emit`, in execution order).
+fn plan(
+    op: CollOp,
+    algo: CollectiveAlgo,
+    p: u32,
+    me: Rank,
+    root: Rank,
+    bytes: Bytes,
+    emit: &mut impl FnMut(Step),
+) {
     if p <= 1 {
-        return Vec::new();
+        return;
     }
     match (op, algo) {
         (CollOp::Barrier, _) => {
             // reduce-to-0 then bcast-from-0, zero bytes, always tree-shaped
-            let mut v = reduce_tree(p, me, Rank(0), Bytes::ZERO, |_| Bytes::ZERO);
-            v.extend(bcast_tree(p, me, Rank(0), Bytes::ZERO));
-            v
+            reduce_tree(p, me, Rank(0), |_| Bytes::ZERO, emit);
+            bcast_tree(p, me, Rank(0), Bytes::ZERO, emit);
         }
-        (CollOp::Bcast, CollectiveAlgo::Binomial) => bcast_tree(p, me, root, bytes),
-        (CollOp::Bcast, CollectiveAlgo::Linear) => bcast_linear(p, me, root, bytes),
-        (CollOp::Reduce, CollectiveAlgo::Binomial) => {
-            reduce_tree(p, me, root, bytes, move |_| bytes)
-        }
-        (CollOp::Reduce, CollectiveAlgo::Linear) => reduce_linear(p, me, root, bytes),
+        (CollOp::Bcast, CollectiveAlgo::Binomial) => bcast_tree(p, me, root, bytes, emit),
+        (CollOp::Bcast, CollectiveAlgo::Linear) => bcast_linear(p, me, root, bytes, emit),
+        (CollOp::Reduce, CollectiveAlgo::Binomial) => reduce_tree(p, me, root, |_| bytes, emit),
+        (CollOp::Reduce, CollectiveAlgo::Linear) => reduce_linear(p, me, root, bytes, emit),
         (CollOp::Allreduce, CollectiveAlgo::Binomial) => {
-            let mut v = reduce_tree(p, me, Rank(0), bytes, move |_| bytes);
-            v.extend(bcast_tree(p, me, Rank(0), bytes));
-            v
+            reduce_tree(p, me, Rank(0), |_| bytes, emit);
+            bcast_tree(p, me, Rank(0), bytes, emit);
         }
         (CollOp::Allreduce, CollectiveAlgo::Linear) => {
-            let mut v = reduce_linear(p, me, Rank(0), bytes);
-            v.extend(bcast_linear(p, me, Rank(0), bytes));
-            v
+            reduce_linear(p, me, Rank(0), bytes, emit);
+            bcast_linear(p, me, Rank(0), bytes, emit);
         }
         (CollOp::Gather, CollectiveAlgo::Binomial) => {
             // message sizes grow with the gathered subtree
-            reduce_tree(p, me, root, bytes, move |subtree| {
-                Bytes(bytes.get() * subtree as u64)
-            })
+            reduce_tree(
+                p,
+                me,
+                root,
+                |subtree| Bytes(bytes.get() * subtree as u64),
+                emit,
+            )
         }
-        (CollOp::Gather, CollectiveAlgo::Linear) => reduce_linear(p, me, root, bytes),
+        (CollOp::Gather, CollectiveAlgo::Linear) => reduce_linear(p, me, root, bytes, emit),
         (CollOp::Allgather, CollectiveAlgo::Binomial) => {
-            let mut v = reduce_tree(p, me, Rank(0), bytes, move |subtree| {
-                Bytes(bytes.get() * subtree as u64)
-            });
-            v.extend(bcast_tree(p, me, Rank(0), Bytes(bytes.get() * p as u64)));
-            v
+            reduce_tree(
+                p,
+                me,
+                Rank(0),
+                |subtree| Bytes(bytes.get() * subtree as u64),
+                emit,
+            );
+            bcast_tree(p, me, Rank(0), Bytes(bytes.get() * p as u64), emit);
         }
         (CollOp::Allgather, CollectiveAlgo::Linear) => {
-            let mut v = reduce_linear(p, me, Rank(0), bytes);
-            v.extend(bcast_linear(p, me, Rank(0), Bytes(bytes.get() * p as u64)));
-            v
+            reduce_linear(p, me, Rank(0), bytes, emit);
+            bcast_linear(p, me, Rank(0), Bytes(bytes.get() * p as u64), emit);
         }
-        (CollOp::Scatter, CollectiveAlgo::Binomial) => scatter_tree(p, me, root, bytes),
-        (CollOp::Scatter, CollectiveAlgo::Linear) => scatter_linear(p, me, root, bytes),
-        (CollOp::Alltoall, _) => alltoall_pairwise(p, me, bytes),
+        (CollOp::Scatter, CollectiveAlgo::Binomial) => scatter_tree(p, me, root, bytes, emit),
+        (CollOp::Scatter, CollectiveAlgo::Linear) => scatter_linear(p, me, root, bytes, emit),
+        (CollOp::Alltoall, _) => alltoall_pairwise(p, me, bytes, emit),
     }
 }
 
@@ -186,12 +197,11 @@ fn subtree_size(rel: u32, p: u32) -> u32 {
 /// Binomial-tree broadcast from `root`. Parent of relative rank `r`
 /// (r>0) is `r` with its highest set bit cleared; parents forward to
 /// children in decreasing-subtree order (farthest first).
-fn bcast_tree(p: u32, me: Rank, root: Rank, bytes: Bytes) -> Vec<Step> {
+fn bcast_tree(p: u32, me: Rank, root: Rank, bytes: Bytes, emit: &mut impl FnMut(Step)) {
     let r = rel(me, root, p);
-    let mut steps = Vec::new();
     if r != 0 {
         let high = 1u32 << (31 - r.leading_zeros());
-        steps.push(Step::RecvFrom(abs(r - high, root, p), bytes));
+        emit(Step::RecvFrom(abs(r - high, root, p), bytes));
     }
     // children: r + m for m = next power of two above r (or 1 if r==0),
     // doubling while r + m < p. In the clear-highest-bit tree the
@@ -206,10 +216,9 @@ fn bcast_tree(p: u32, me: Rank, root: Rank, bytes: Bytes) -> Vec<Step> {
     };
     let mut m = start;
     while r + m < p {
-        steps.push(Step::SendTo(abs(r + m, root, p), bytes));
+        emit(Step::SendTo(abs(r + m, root, p), bytes));
         m <<= 1;
     }
-    steps
 }
 
 /// Binomial-tree reduction to `root`: mirror image of `bcast_tree`.
@@ -219,11 +228,10 @@ fn reduce_tree(
     p: u32,
     me: Rank,
     root: Rank,
-    _bytes: Bytes,
     msg_size: impl Fn(u32) -> Bytes,
-) -> Vec<Step> {
+    emit: &mut impl FnMut(Step),
+) {
     let r = rel(me, root, p);
-    let mut steps = Vec::new();
     // receive from children, nearest first (reverse of bcast order)
     let start = if r == 0 {
         1u32
@@ -233,7 +241,7 @@ fn reduce_tree(
     let mut m = start;
     while r + m < p {
         let child = r + m;
-        steps.push(Step::RecvFrom(
+        emit(Step::RecvFrom(
             abs(child, root, p),
             msg_size(subtree_size(child, p)),
         ));
@@ -241,21 +249,19 @@ fn reduce_tree(
     }
     if r != 0 {
         let high = 1u32 << (31 - r.leading_zeros());
-        steps.push(Step::SendTo(
+        emit(Step::SendTo(
             abs(r - high, root, p),
             msg_size(subtree_size(r, p)),
         ));
     }
-    steps
 }
 
 /// Binomial scatter: root pushes subtree-sized slices down the tree.
-fn scatter_tree(p: u32, me: Rank, root: Rank, bytes: Bytes) -> Vec<Step> {
+fn scatter_tree(p: u32, me: Rank, root: Rank, bytes: Bytes, emit: &mut impl FnMut(Step)) {
     let r = rel(me, root, p);
-    let mut steps = Vec::new();
     if r != 0 {
         let high = 1u32 << (31 - r.leading_zeros());
-        steps.push(Step::RecvFrom(
+        emit(Step::RecvFrom(
             abs(r - high, root, p),
             Bytes(bytes.get() * subtree_size(r, p) as u64),
         ));
@@ -268,54 +274,49 @@ fn scatter_tree(p: u32, me: Rank, root: Rank, bytes: Bytes) -> Vec<Step> {
     let mut m = start;
     while r + m < p {
         let child = r + m;
-        steps.push(Step::SendTo(
+        emit(Step::SendTo(
             abs(child, root, p),
             Bytes(bytes.get() * subtree_size(child, p) as u64),
         ));
         m <<= 1;
     }
-    steps
 }
 
-fn bcast_linear(p: u32, me: Rank, root: Rank, bytes: Bytes) -> Vec<Step> {
+fn bcast_linear(p: u32, me: Rank, root: Rank, bytes: Bytes, emit: &mut impl FnMut(Step)) {
     if me == root {
-        (0..p)
-            .filter(|&r| Rank(r) != root)
-            .map(|r| Step::SendTo(Rank(r), bytes))
-            .collect()
+        for r in (0..p).filter(|&r| Rank(r) != root) {
+            emit(Step::SendTo(Rank(r), bytes));
+        }
     } else {
-        vec![Step::RecvFrom(root, bytes)]
+        emit(Step::RecvFrom(root, bytes));
     }
 }
 
-fn reduce_linear(p: u32, me: Rank, root: Rank, bytes: Bytes) -> Vec<Step> {
+fn reduce_linear(p: u32, me: Rank, root: Rank, bytes: Bytes, emit: &mut impl FnMut(Step)) {
     if me == root {
-        (0..p)
-            .filter(|&r| Rank(r) != root)
-            .map(|r| Step::RecvFrom(Rank(r), bytes))
-            .collect()
+        for r in (0..p).filter(|&r| Rank(r) != root) {
+            emit(Step::RecvFrom(Rank(r), bytes));
+        }
     } else {
-        vec![Step::SendTo(root, bytes)]
+        emit(Step::SendTo(root, bytes));
     }
 }
 
-fn scatter_linear(p: u32, me: Rank, root: Rank, bytes: Bytes) -> Vec<Step> {
+fn scatter_linear(p: u32, me: Rank, root: Rank, bytes: Bytes, emit: &mut impl FnMut(Step)) {
     // same message pattern as a linear bcast, but per-leaf slice sizes
-    bcast_linear(p, me, root, bytes)
+    bcast_linear(p, me, root, bytes, emit)
 }
 
 /// Pairwise-ordered alltoall: in step `k` (1..P), exchange with
 /// `(me+k) mod P` / `(me-k) mod P`. Eager sends keep this deadlock-free
 /// in the replay model.
-fn alltoall_pairwise(p: u32, me: Rank, block: Bytes) -> Vec<Step> {
-    let mut steps = Vec::new();
+fn alltoall_pairwise(p: u32, me: Rank, block: Bytes, emit: &mut impl FnMut(Step)) {
     for k in 1..p {
         let to = Rank((me.get() + k) % p);
         let from = Rank((me.get() + p - k) % p);
-        steps.push(Step::SendTo(to, block));
-        steps.push(Step::RecvFrom(from, block));
+        emit(Step::SendTo(to, block));
+        emit(Step::RecvFrom(from, block));
     }
-    steps
 }
 
 #[cfg(test)]

@@ -70,6 +70,10 @@ impl EventQueue {
     }
 
     pub fn pop(&mut self) -> Option<(Time, Event)> {
+        // account for the size at drain start too, so the high-water
+        // mark is correct even if entries were bulk-scheduled through a
+        // path that bypasses `push`'s bookkeeping
+        self.peak = self.peak.max(self.heap.len());
         let e = self.heap.pop()?;
         self.processed += 1;
         Some((e.at, e.event))
@@ -116,6 +120,19 @@ mod tests {
             })
             .collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark_across_pops() {
+        let mut q = EventQueue::new();
+        for rank in 0..5 {
+            q.push(Time::secs(rank as f64), Event::Resume { rank });
+        }
+        assert_eq!(q.peak, 5);
+        while q.pop().is_some() {}
+        assert_eq!(q.peak, 5, "draining must not lower the mark");
+        q.push(Time::ZERO, Event::Resume { rank: 0 });
+        assert_eq!(q.peak, 5, "a smaller refill must not lower the mark");
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Minimal Fx-style hasher for the engine's hot-path maps.
+//!
+//! The replay engine keys small maps by dense integer tuples (channel
+//! triples, route endpoints). The default SipHash is DoS-resistant but
+//! costs more than the lookups themselves here; these keys come from
+//! the trace being replayed, not from an adversary, so a fast
+//! multiply-rotate hash (the rustc/Firefox "Fx" construction) is the
+//! right trade.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// See module docs. Not DoS-resistant; only for trusted integer keys.
+#[derive(Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+pub(crate) type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn hashes_are_stable_and_maps_work() {
+        let mut m: HashMap<(u32, u32, u32), u32, FxBuildHasher> = HashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i * 7, i % 3), i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(i, i * 7, i % 3)), Some(&i));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn byte_writes_cover_partial_chunks() {
+        let mut a = FxHasher::default();
+        a.write(b"abcdefghij"); // 8-byte chunk + 2-byte tail
+        let mut b = FxHasher::default();
+        b.write(b"abcdefghik");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

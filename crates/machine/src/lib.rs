@@ -30,6 +30,7 @@
 pub mod chanstat;
 pub mod collective;
 pub mod event;
+mod fx;
 pub mod net;
 pub mod platform;
 pub mod probe;

@@ -4,12 +4,171 @@
 //! the per-link capacities, water-fill: raise every unfrozen flow's rate
 //! uniformly until some link saturates, freeze the flows crossing that
 //! link at their current rate, subtract their share from the remaining
-//! links, repeat. The result is the unique max-min fair allocation; it
-//! is computed from scratch on every reshare, which is O(links × flows)
-//! per bottleneck round — plenty for the flow counts a trace replay
-//! produces, and (unlike incremental updates) trivially deterministic.
+//! links, repeat. The result is the unique max-min fair allocation.
+//!
+//! Two implementations share the algorithm:
+//!
+//! * [`max_min_rates`] — the from-scratch reference: allocates its own
+//!   working vectors and scans *every* link each round. O(links ×
+//!   flows) per bottleneck round and trivially auditable; the replay
+//!   engine keeps it as the debug oracle and as the
+//!   `simulate_reference` validation path.
+//! * [`max_min_rates_active`] — the production solver: reuses a
+//!   [`SolveScratch`], takes paths through an accessor (no intermediate
+//!   `Vec<&[LinkId]>` collect), and scans only the caller-maintained
+//!   set of links currently carrying flows — i.e. only the connected
+//!   component(s) of the flow/link graph actually touched by the
+//!   arrival or departure that triggered the reshare. Zero allocations
+//!   after warm-up.
+//!
+//! The two are bit-identical by construction, not merely approximately
+//! equal: a link with no unfrozen flows contributes nothing to any
+//! round's increment and is never written, so restricting every scan to
+//! the active-link superset performs exactly the same float operations
+//! in an order whose variation cannot change the result (a `min` over
+//! floats and independent per-link/per-flow updates). The debug build
+//! asserts this equivalence on every reshare, and the `proptest` suite
+//! checks it on randomized arrival/departure sequences.
 
 use super::topology::LinkId;
+
+/// Reusable working memory for [`max_min_rates_active`].
+///
+/// `residual` and `load` are full-size per-link tables whose entries
+/// are only (re-)initialized for the links named in the solve's
+/// `active_links`; entries for other links hold stale values from
+/// earlier solves and are never read.
+#[derive(Debug, Default)]
+pub(crate) struct SolveScratch {
+    residual: Vec<f64>,
+    load: Vec<u32>,
+    unfrozen: Vec<u32>,
+    still: Vec<u32>,
+}
+
+impl SolveScratch {
+    pub(crate) fn new(nlinks: usize) -> SolveScratch {
+        SolveScratch {
+            residual: vec![0.0; nlinks],
+            load: vec![0; nlinks],
+            unfrozen: Vec::new(),
+            still: Vec::new(),
+        }
+    }
+}
+
+/// Max-min fair rates for `n` flows whose paths are produced by
+/// `path_of`, written into `out` (cleared first; `out[i]` is flow `i`'s
+/// rate in bytes/s).
+///
+/// `active_links` must contain every link crossed by at least one of
+/// the `n` flows (a superset is fine). Bit-identical to
+/// [`max_min_rates`] over the same flows — see the module docs for why.
+pub(crate) fn max_min_rates_active<'a, F>(
+    n: usize,
+    path_of: F,
+    caps: &[f64],
+    active_links: &[u32],
+    s: &mut SolveScratch,
+    out: &mut Vec<f64>,
+) where
+    F: Fn(usize) -> &'a [LinkId],
+{
+    out.clear();
+    out.resize(n, f64::INFINITY);
+    if n == 0 {
+        return;
+    }
+    for &l in active_links {
+        let l = l as usize;
+        s.residual[l] = caps[l];
+        s.load[l] = 0;
+    }
+    s.unfrozen.clear();
+    for i in 0..n {
+        let path = path_of(i);
+        if path.is_empty() {
+            continue; // stays INFINITY
+        }
+        s.unfrozen.push(i as u32);
+        for l in path {
+            s.load[l.idx()] += 1;
+        }
+    }
+
+    if s.unfrozen.len() == 1 {
+        // a lone flow freezes in one round at its narrowest link; the
+        // general loop below computes exactly `min(caps over path)`
+        // for it (level = 0.0 + cap/1, residual hits exactly 0.0)
+        let i = s.unfrozen[0] as usize;
+        let mut cap = f64::INFINITY;
+        for l in path_of(i) {
+            let c = caps[l.idx()];
+            if c < cap {
+                cap = c;
+            }
+        }
+        if cap.is_finite() {
+            out[i] = cap;
+        }
+        return;
+    }
+
+    let mut level = 0.0f64; // current water level
+    while !s.unfrozen.is_empty() {
+        // the next link to saturate is the one with the smallest
+        // fair-share increment residual/load
+        let mut inc = f64::INFINITY;
+        for &l in active_links {
+            let l = l as usize;
+            let r = s.residual[l];
+            if s.load[l] > 0 && r.is_finite() {
+                let step = (r / s.load[l] as f64).max(0.0);
+                if step < inc {
+                    inc = step;
+                }
+            }
+        }
+        if !inc.is_finite() {
+            // every remaining flow crosses only infinite links
+            break;
+        }
+        level += inc;
+        // charge the increment to every link still carrying unfrozen flows
+        for &l in active_links {
+            let l = l as usize;
+            if s.load[l] > 0 && s.residual[l].is_finite() {
+                s.residual[l] = (s.residual[l] - inc * s.load[l] as f64).max(0.0);
+            }
+        }
+        // freeze flows crossing a saturated link
+        s.still.clear();
+        for &i in &s.unfrozen {
+            let path = path_of(i as usize);
+            let bottlenecked = path
+                .iter()
+                .any(|l| s.residual[l.idx()] <= 0.0 && caps[l.idx()].is_finite());
+            if bottlenecked {
+                out[i as usize] = level;
+                for l in path {
+                    s.load[l.idx()] -= 1;
+                }
+            } else {
+                s.still.push(i);
+            }
+        }
+        if s.still.len() == s.unfrozen.len() {
+            // no flow froze this round — float rounding left a positive
+            // sliver on the min link; freeze everything at the current
+            // level, exactly as the oracle does
+            for &i in &s.still {
+                out[i as usize] = level;
+            }
+            break;
+        }
+        std::mem::swap(&mut s.unfrozen, &mut s.still);
+    }
+}
 
 /// Max-min fair rates (bytes/s) for `flows`, where `flows[i]` is the
 /// link path of flow `i` and `caps[l]` the capacity of link `l`.
@@ -79,12 +238,12 @@ pub fn max_min_rates(flows: &[&[LinkId]], caps: &[f64]) -> Vec<f64> {
                 still.push(i);
             }
         }
-        debug_assert!(
-            still.len() < unfrozen.len(),
-            "progressive filling must freeze at least one flow per round"
-        );
         if still.len() == unfrozen.len() {
-            // numerical pathology guard: freeze everything at the level
+            // no flow froze this round: the min-achieving link's
+            // residual `r - (r/load)·load` can round to a positive
+            // sliver instead of exactly 0, leaving nothing saturated.
+            // Freeze everything at the current level (off by at most
+            // that sliver's share) rather than looping on it.
             for &i in &still {
                 rates[i] = level;
             }
@@ -139,6 +298,75 @@ mod tests {
         let r = rates(&[vec![], vec![L(0)]], &[f64::INFINITY]);
         assert!(r[0].is_infinite());
         assert!(r[1].is_infinite());
+    }
+
+    /// Run the production solver the way `FlowNet` does and compare it
+    /// bitwise against the oracle.
+    fn active_vs_oracle(flows: &[Vec<LinkId>], caps: &[f64]) {
+        let oracle = rates(flows, caps);
+        let mut active: Vec<u32> = flows.iter().flatten().map(|l| l.0).collect();
+        active.sort_unstable();
+        active.dedup();
+        let mut s = SolveScratch::new(caps.len());
+        let mut out = Vec::new();
+        // run twice on the same scratch: the second solve must not be
+        // contaminated by the first one's leftovers
+        for _ in 0..2 {
+            max_min_rates_active(
+                flows.len(),
+                |i| flows[i].as_slice(),
+                caps,
+                &active,
+                &mut s,
+                &mut out,
+            );
+            assert_eq!(oracle.len(), out.len());
+            for (i, (a, b)) in oracle.iter().zip(&out).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "flow {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn active_solver_matches_oracle_bitwise() {
+        let caps = [30.0, 20.0, 25.0, 100.0, 10.0, f64::INFINITY];
+        let cases: Vec<Vec<Vec<LinkId>>> = vec![
+            vec![vec![L(0), L(1)]],                   // lone finite flow
+            vec![vec![L(5)]],                         // lone infinite flow
+            vec![vec![]],                             // empty path
+            vec![vec![L(0)], vec![L(0)], vec![L(0)]], // one shared link
+            vec![vec![L(0), L(2)], vec![L(1), L(2)], vec![L(2)]],
+            // two independent components with different loads: the
+            // global water level interleaves their increments, which is
+            // exactly the float behaviour both solvers must share
+            vec![vec![L(0)], vec![L(0)], vec![L(0)], vec![L(4)], vec![L(4)]],
+            vec![vec![L(1), L(5)], vec![L(5)], vec![]],
+            vec![
+                vec![L(0), L(1), L(2)],
+                vec![L(3)],
+                vec![L(3), L(4)],
+                vec![L(2), L(3)],
+                vec![L(0)],
+            ],
+        ];
+        for flows in &cases {
+            active_vs_oracle(flows, &caps);
+        }
+    }
+
+    #[test]
+    fn active_solver_ignores_stale_scratch_outside_active_set() {
+        let caps = [10.0, 40.0, 7.0];
+        let mut s = SolveScratch::new(caps.len());
+        // poison the scratch for link 1, then solve a flow set that
+        // never touches it
+        s.residual[1] = -1.0;
+        s.load[1] = 99;
+        let flows = [vec![L(0), L(2)], vec![L(2)]];
+        let mut out = Vec::new();
+        max_min_rates_active(2, |i| flows[i].as_slice(), &caps, &[0, 2], &mut s, &mut out);
+        let oracle = rates(flows.as_ref(), &caps);
+        assert_eq!(out, oracle);
     }
 
     #[test]

@@ -15,13 +15,37 @@
 //! time identical (to the last bit) to the legacy bus model's
 //! `latency + size/bandwidth`, which the crossbar-equivalence tests
 //! pin down.
+//!
+//! ## State layout
+//!
+//! Everything on the reshare path is allocation-free after warm-up:
+//!
+//! * flows live in dense reusable **slots** (`slots` + `free`), found
+//!   from a message id through the direct-indexed `slot_of` table;
+//! * the ids of active flows are kept sorted in `active_ids` (with the
+//!   matching slots in `active_slots`), preserving the ascending-id
+//!   iteration order the previous `BTreeMap` storage provided — the
+//!   order every settle, solve, and event emission depends on;
+//! * routes are interned per `(src, dst)` pair into a shared **path
+//!   arena**, so each distinct pair is routed once per replay;
+//! * per-link active-flow counts double as the membership test for
+//!   `active_links`, the set of links currently carrying flows — the
+//!   connected component(s) the incremental solver
+//!   ([`max_min_rates_active`]) restricts every scan to.
+//!
+//! The from-scratch solver is retained as a debug oracle: debug builds
+//! re-solve every reshare with [`max_min_rates`] and assert bitwise
+//! agreement, and [`FlowNet::with_reference_solver`] switches a net to
+//! the oracle outright so whole replays can be cross-validated.
 
-use super::fairshare::max_min_rates;
+use super::fairshare::{max_min_rates, max_min_rates_active, SolveScratch};
 use super::topology::{Link, LinkGraph, LinkId};
 use super::LinkUsage;
+use crate::fx::FxBuildHasher;
 use crate::probe::ProbeSink;
 use crate::time::Time;
-use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A (re-)estimated completion the engine must schedule.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,9 +58,11 @@ pub struct FlowEvent {
     pub epoch: u64,
 }
 
-#[derive(Debug)]
-struct ActiveFlow {
-    path: Vec<LinkId>,
+#[derive(Debug, Clone, Copy, Default)]
+struct FlowSlot {
+    /// Path as an `(offset, len)` view into the route arena.
+    off: u32,
+    len: u32,
     /// Startup latency still to elapse, seconds.
     latency_left: f64,
     /// Bytes still to drain.
@@ -50,11 +76,34 @@ struct ActiveFlow {
 /// Flow-level network state for one replay.
 #[derive(Debug)]
 pub struct FlowNet {
-    graph: LinkGraph,
+    graph: Arc<LinkGraph>,
     caps: Vec<f64>,
-    /// Active flows keyed by message index (ordered, so the allocator
-    /// input — and thus every result — is deterministic).
-    flows: BTreeMap<usize, ActiveFlow>,
+    /// Dense flow storage; freed slots are recycled through `free`.
+    slots: Vec<FlowSlot>,
+    free: Vec<u32>,
+    /// Message id -> slot + 1 (0 = not active), grown on demand.
+    slot_of: Vec<u32>,
+    /// Active message ids, ascending, with their slots alongside.
+    active_ids: Vec<u32>,
+    active_slots: Vec<u32>,
+    /// Interned routes: `(src, dst) -> (offset, len)` into `arena`.
+    route_cache: HashMap<(u32, u32), (u32, u32), FxBuildHasher>,
+    arena: Vec<LinkId>,
+    /// Links with at least one active flow (unordered); lazily
+    /// compacted when a departure empties a link.
+    active_links: Vec<u32>,
+    links_dirty: bool,
+    /// Links currently carrying two or more flows. While zero (and the
+    /// graph is capacity-uniform) every flow trivially gets its
+    /// bottleneck capacity and the solve is skipped entirely.
+    shared_links: u32,
+    /// The common link capacity if every link has the same finite one.
+    uniform_cap: Option<f64>,
+    scratch: SolveScratch,
+    rates: Vec<f64>,
+    /// Solve with the from-scratch oracle instead of the incremental
+    /// active-set solver (validation mode; results are bit-identical).
+    reference: bool,
     /// Time the net was last settled to.
     last: Time,
     next_epoch: u64,
@@ -68,12 +117,33 @@ pub struct FlowNet {
 
 impl FlowNet {
     pub fn new(graph: LinkGraph) -> FlowNet {
+        FlowNet::new_shared(Arc::new(graph))
+    }
+
+    /// Build on a shared compiled topology (see [`LinkGraph::cached`]).
+    pub fn new_shared(graph: Arc<LinkGraph>) -> FlowNet {
         let n = graph.len();
-        let caps = graph.links().iter().map(|l| l.capacity).collect();
+        let caps: Vec<f64> = graph.links().iter().map(|l| l.capacity).collect();
+        let uniform_cap = match caps.first() {
+            Some(&c) if c.is_finite() && caps.iter().all(|x| x.to_bits() == c.to_bits()) => Some(c),
+            _ => None,
+        };
         FlowNet {
-            graph,
             caps,
-            flows: BTreeMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            slot_of: Vec::new(),
+            active_ids: Vec::new(),
+            active_slots: Vec::new(),
+            route_cache: HashMap::default(),
+            arena: Vec::new(),
+            active_links: Vec::new(),
+            links_dirty: false,
+            shared_links: 0,
+            uniform_cap,
+            scratch: SolveScratch::new(n),
+            rates: Vec::new(),
+            reference: false,
             last: Time::ZERO,
             next_epoch: 1,
             reshares: 0,
@@ -81,7 +151,16 @@ impl FlowNet {
             busy_secs: vec![0.0; n],
             active: vec![0; n],
             peak_flows: vec![0; n],
+            graph,
         }
+    }
+
+    /// Switch this net to the from-scratch oracle solver. Replays are
+    /// bit-identical either way; this exists so tests (and bisections)
+    /// can cross-validate the incremental solver against the original.
+    pub fn with_reference_solver(mut self) -> FlowNet {
+        self.reference = true;
+        self
     }
 
     /// Register a new flow granted at `now` and reshare. Emits a
@@ -100,23 +179,53 @@ impl FlowNet {
         probe: &mut P,
     ) {
         self.settle(now, probe);
-        let path = self.graph.route(src_node, dst_node);
-        for l in &path {
-            let i = l.idx();
+        // drop stale zero-load entries BEFORE registering the new path:
+        // a link this flow re-populates would otherwise be pushed a
+        // second time, and a duplicate entry double-charges the link in
+        // the solver's subtract pass. (Departure reshares tolerate the
+        // stale entries — zero-load links are never read — but the
+        // last-flow-finished path skips its reshare, so the set can
+        // still be dirty here.)
+        if self.links_dirty {
+            let active = &self.active;
+            self.active_links.retain(|&l| active[l as usize] > 0);
+            self.links_dirty = false;
+        }
+        let (off, len) = self.route_ref(src_node, dst_node);
+        for k in off..off + len {
+            let i = self.arena[k as usize].idx();
+            if self.active[i] == 0 {
+                self.active_links.push(i as u32);
+            }
             self.active[i] += 1;
+            if self.active[i] == 2 {
+                self.shared_links += 1;
+            }
             self.peak_flows[i] = self.peak_flows[i].max(self.active[i]);
         }
-        let prev = self.flows.insert(
-            msg,
-            ActiveFlow {
-                path,
-                latency_left: latency_s,
-                remaining: bytes,
-                rate: 0.0,
-                epoch: 0,
-            },
-        );
-        debug_assert!(prev.is_none(), "flow {msg} started twice");
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(FlowSlot::default());
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.slots[slot as usize] = FlowSlot {
+            off,
+            len,
+            latency_left: latency_s,
+            remaining: bytes,
+            rate: 0.0,
+            epoch: 0,
+        };
+        if self.slot_of.len() <= msg {
+            self.slot_of.resize(msg + 1, 0);
+        }
+        debug_assert!(self.slot_of[msg] == 0, "flow {msg} started twice");
+        self.slot_of[msg] = slot + 1;
+        let pos = self.active_ids.partition_point(|&m| m < msg as u32);
+        self.active_ids.insert(pos, msg as u32);
+        self.active_slots.insert(pos, slot);
         self.reshare(now, out, probe);
     }
 
@@ -129,13 +238,23 @@ impl FlowNet {
         probe: &mut P,
     ) {
         self.settle(now, probe);
-        let Some(f) = self.flows.remove(&msg) else {
-            debug_assert!(false, "finishing unknown flow {msg}");
-            return;
+        let slot = match self.slot_of.get(msg) {
+            Some(&s) if s != 0 => s - 1,
+            _ => {
+                debug_assert!(false, "finishing unknown flow {msg}");
+                return;
+            }
         };
-        for l in &f.path {
+        self.slot_of[msg] = 0;
+        let f = self.slots[slot as usize];
+        for l in &self.arena[f.off as usize..(f.off + f.len) as usize] {
             let i = l.idx();
             self.active[i] -= 1;
+            if self.active[i] == 1 {
+                self.shared_links -= 1;
+            } else if self.active[i] == 0 {
+                self.links_dirty = true;
+            }
             // credit the last settle's rounding tail so per-link byte
             // totals are exact
             self.bytes[i] += f.remaining;
@@ -143,7 +262,12 @@ impl FlowNet {
                 probe.on_link_traffic(i, now, now, f.remaining);
             }
         }
-        if !self.flows.is_empty() {
+        let pos = self.active_ids.partition_point(|&m| m < msg as u32);
+        debug_assert!(self.active_ids.get(pos) == Some(&(msg as u32)));
+        self.active_ids.remove(pos);
+        self.active_slots.remove(pos);
+        self.free.push(slot);
+        if !self.active_ids.is_empty() {
             self.reshare(now, out, probe);
         }
     }
@@ -151,7 +275,10 @@ impl FlowNet {
     /// Whether `epoch` is still the live completion estimate of `msg`
     /// (false once resharing superseded it or the flow finished).
     pub fn is_current(&self, msg: usize, epoch: u64) -> bool {
-        self.flows.get(&msg).is_some_and(|f| f.epoch == epoch)
+        match self.slot_of.get(msg) {
+            Some(&s) if s != 0 => self.slots[(s - 1) as usize].epoch == epoch,
+            _ => false,
+        }
     }
 
     /// Number of reshare passes performed (an engine cost metric).
@@ -161,7 +288,7 @@ impl FlowNet {
 
     /// Flows currently in flight.
     pub fn active_flows(&self) -> usize {
-        self.flows.len()
+        self.active_ids.len()
     }
 
     /// The links of the underlying graph (topology order).
@@ -185,6 +312,31 @@ impl FlowNet {
             .collect()
     }
 
+    /// Current `(msg, rate)` pairs in ascending message order. For the
+    /// property suite that cross-checks the incremental solver against
+    /// the from-scratch oracle; not a stable API.
+    #[doc(hidden)]
+    pub fn debug_rates(&self) -> Vec<(usize, f64)> {
+        self.active_ids
+            .iter()
+            .zip(&self.active_slots)
+            .map(|(&m, &s)| (m as usize, self.slots[s as usize].rate))
+            .collect()
+    }
+
+    /// Intern the `src -> dst` route and return its arena view.
+    fn route_ref(&mut self, src_node: usize, dst_node: usize) -> (u32, u32) {
+        let key = (src_node as u32, dst_node as u32);
+        if let Some(&r) = self.route_cache.get(&key) {
+            return r;
+        }
+        let off = self.arena.len() as u32;
+        self.graph.route_into(src_node, dst_node, &mut self.arena);
+        let len = self.arena.len() as u32 - off;
+        self.route_cache.insert(key, (off, len));
+        (off, len)
+    }
+
     /// Advance all flows from `last` to `now` at their current rates.
     fn settle<P: ProbeSink>(&mut self, now: Time, probe: &mut P) {
         let dt = (now - self.last).as_secs();
@@ -192,12 +344,19 @@ impl FlowNet {
         if dt <= 0.0 {
             return;
         }
-        for (i, &a) in self.active.iter().enumerate() {
-            if a > 0 {
+        // only links carrying flows accrue busy time; scan the active
+        // set, not the whole graph (stale zero-load entries awaiting
+        // compaction fail the a > 0 check, and each link's sum is
+        // independent, so the restriction is exact)
+        for &l in &self.active_links {
+            let i = l as usize;
+            if self.active[i] > 0 {
                 self.busy_secs[i] += dt;
             }
         }
-        for f in self.flows.values_mut() {
+        let (slots, arena, bytes) = (&mut self.slots, &self.arena, &mut self.bytes);
+        for &slot in &self.active_slots {
+            let f = &mut slots[slot as usize];
             let mut avail = dt;
             if f.latency_left > 0.0 {
                 let spent = f.latency_left.min(avail);
@@ -211,8 +370,8 @@ impl FlowNet {
             // keeps `remaining` non-negative under f64 rounding
             let drained = (f.rate * avail).min(f.remaining);
             f.remaining -= drained;
-            for l in &f.path {
-                self.bytes[l.idx()] += drained;
+            for l in &arena[f.off as usize..(f.off + f.len) as usize] {
+                bytes[l.idx()] += drained;
                 if P::ENABLED && drained > 0.0 {
                     // the drain covered the last `avail` seconds of the
                     // settle interval (after injection latency elapsed)
@@ -227,13 +386,73 @@ impl FlowNet {
     fn reshare<P: ProbeSink>(&mut self, now: Time, out: &mut Vec<FlowEvent>, probe: &mut P) {
         self.reshares += 1;
         if P::ENABLED {
-            probe.on_reshare(now, self.flows.len());
+            probe.on_reshare(now, self.active_ids.len());
         }
-        let rates = {
-            let paths: Vec<&[LinkId]> = self.flows.values().map(|f| f.path.as_slice()).collect();
-            max_min_rates(&paths, &self.caps)
-        };
-        for ((&msg, f), rate) in self.flows.iter_mut().zip(rates) {
+        let fast = !self.reference && self.shared_links == 0 && self.uniform_cap.is_some();
+        // the general solver wants the active set compacted; the fast
+        // path never reads it (stale entries stay until the next
+        // arrival or general solve compacts them)
+        if self.links_dirty && !fast {
+            let active = &self.active;
+            self.active_links.retain(|&l| active[l as usize] > 0);
+            self.links_dirty = false;
+        }
+        let n = self.active_ids.len();
+        {
+            let (slots, arena, active_slots) = (&self.slots, &self.arena, &self.active_slots);
+            let path_of = |k: usize| -> &[LinkId] {
+                let f = &slots[active_slots[k] as usize];
+                &arena[f.off as usize..(f.off + f.len) as usize]
+            };
+            if self.reference {
+                let paths: Vec<&[LinkId]> = (0..n).map(path_of).collect();
+                self.rates = max_min_rates(&paths, &self.caps);
+            } else {
+                if fast {
+                    // no link carries two flows and every capacity is
+                    // the same finite `c`: the water-fill's first round
+                    // raises the level by min(residual/load) = c/1 and
+                    // saturates every loaded link at once, freezing all
+                    // flows at exactly `0.0 + c == c`. Assigning `c`
+                    // directly is the identical result without the solve
+                    let c = self.uniform_cap.unwrap();
+                    self.rates.clear();
+                    self.rates.extend((0..n).map(|k| {
+                        if slots[active_slots[k] as usize].len == 0 {
+                            f64::INFINITY
+                        } else {
+                            c
+                        }
+                    }));
+                } else {
+                    max_min_rates_active(
+                        n,
+                        path_of,
+                        &self.caps,
+                        &self.active_links,
+                        &mut self.scratch,
+                        &mut self.rates,
+                    );
+                }
+                #[cfg(debug_assertions)]
+                {
+                    // debug oracle: the incremental solve must agree
+                    // with the from-scratch one to the last bit
+                    let paths: Vec<&[LinkId]> = (0..n).map(path_of).collect();
+                    let oracle = max_min_rates(&paths, &self.caps);
+                    for (k, (a, b)) in oracle.iter().zip(&self.rates).enumerate() {
+                        debug_assert!(
+                            a.to_bits() == b.to_bits(),
+                            "solver divergence on flow {}: oracle {a} vs incremental {b}",
+                            self.active_ids[k]
+                        );
+                    }
+                }
+            }
+        }
+        for k in 0..n {
+            let rate = self.rates[k];
+            let f = &mut self.slots[self.active_slots[k] as usize];
             if f.epoch != 0 && rate.to_bits() == f.rate.to_bits() {
                 continue;
             }
@@ -246,7 +465,7 @@ impl FlowNet {
             f.epoch = self.next_epoch;
             self.next_epoch += 1;
             out.push(FlowEvent {
-                msg,
+                msg: self.active_ids[k] as usize,
                 at: eta,
                 epoch: f.epoch,
             });
@@ -420,5 +639,102 @@ mod tests {
         assert!((usage[0].busy_secs - 0.02).abs() < 1e-12);
         assert_eq!(usage[3 + 1].peak_flows, 1, "down link of node 1");
         assert!((usage[0].bytes - 2_000_000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn slots_are_recycled_and_out_of_order_ids_stay_sorted() {
+        let mut out = Vec::new();
+        let mut n = net(6, 100.0);
+        // start 3, finish the middle one, then start a *lower* id than
+        // the current maximum (as rendezvous grants can) and a higher one
+        n.start(5, 0, 1, 1e6, 0.0, Time::ZERO, &mut out, &mut NoopSink);
+        n.start(7, 2, 3, 1e6, 0.0, Time::ZERO, &mut out, &mut NoopSink);
+        n.start(9, 4, 5, 1e6, 0.0, Time::ZERO, &mut out, &mut NoopSink);
+        n.finish(7, Time::secs(0.001), &mut out, &mut NoopSink);
+        n.start(
+            6,
+            2,
+            3,
+            1e6,
+            0.0,
+            Time::secs(0.001),
+            &mut out,
+            &mut NoopSink,
+        );
+        n.start(
+            11,
+            1,
+            0,
+            1e6,
+            0.0,
+            Time::secs(0.001),
+            &mut out,
+            &mut NoopSink,
+        );
+        let ids: Vec<usize> = n.debug_rates().iter().map(|&(m, _)| m).collect();
+        assert_eq!(ids, vec![5, 6, 9, 11], "ascending id order maintained");
+        assert_eq!(n.active_flows(), 4);
+        assert!(n.slots.len() <= 4, "freed slot must be reused");
+        // every flow is alone on its links: full capacity each
+        for (_, r) in n.debug_rates() {
+            assert_eq!(r, 100e6);
+        }
+    }
+
+    #[test]
+    fn repopulating_an_emptied_link_does_not_double_charge_it() {
+        let mut out = Vec::new();
+        let mut n = net(3, 100.0);
+        // drain the net to empty: the last finish skips its reshare, so
+        // node 0's up link lingers in the active set with zero load
+        n.start(0, 0, 1, 1e6, 0.0, Time::ZERO, &mut out, &mut NoopSink);
+        n.finish(0, Time::secs(0.02), &mut out, &mut NoopSink);
+        // re-populate that same link with two flows; a duplicate active
+        // entry would double-charge it and halve both rates
+        let t = Time::secs(0.03);
+        n.start(1, 0, 1, 1e6, 0.0, t, &mut out, &mut NoopSink);
+        n.start(2, 0, 2, 1e6, 0.0, t, &mut out, &mut NoopSink);
+        for (msg, r) in n.debug_rates() {
+            assert_eq!(r, 50e6, "flow {msg} must get half the shared link");
+        }
+    }
+
+    #[test]
+    fn reference_solver_replays_identically() {
+        let run = |reference: bool| {
+            let g = LinkGraph::build(&Topology::Crossbar, 3, 100.0).unwrap();
+            let mut n = if reference {
+                FlowNet::new(g).with_reference_solver()
+            } else {
+                FlowNet::new(g)
+            };
+            let mut out = Vec::new();
+            n.start(0, 0, 1, 1e6, 1e-5, Time::ZERO, &mut out, &mut NoopSink);
+            n.start(
+                1,
+                0,
+                2,
+                2e6,
+                1e-5,
+                Time::secs(1e-3),
+                &mut out,
+                &mut NoopSink,
+            );
+            n.start(
+                2,
+                1,
+                2,
+                5e5,
+                1e-5,
+                Time::secs(2e-3),
+                &mut out,
+                &mut NoopSink,
+            );
+            n.finish(0, Time::secs(3e-2), &mut out, &mut NoopSink);
+            out.iter()
+                .map(|e| (e.msg, e.at, e.epoch))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
     }
 }

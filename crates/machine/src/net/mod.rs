@@ -34,7 +34,7 @@ pub use topology::{ContentionModel, Link, LinkGraph, LinkId, Topology};
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinkUsage {
     /// Human-readable endpoint pair (e.g. `h3->e1`, `n0->n1(+x)`).
-    pub label: String,
+    pub label: std::sync::Arc<str>,
     /// Link capacity, bytes per second.
     pub capacity_bps: f64,
     /// Total bytes carried.

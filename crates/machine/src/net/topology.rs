@@ -9,7 +9,9 @@
 //! direction (ties go the positive way) — which keeps the flow-level
 //! simulation a pure function of `(trace, platform)`.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// How network contention is modelled for intra-machine transfers.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
@@ -213,7 +215,8 @@ impl LinkId {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Link {
     /// Human-readable endpoint pair, e.g. `h3->e1` or `n5->n6(+x)`.
-    pub label: String,
+    /// Shared so per-replay usage snapshots never copy the text.
+    pub label: Arc<str>,
     /// Capacity in bytes per second (`f64::INFINITY` allowed).
     pub capacity: f64,
 }
@@ -250,13 +253,13 @@ impl LinkGraph {
             Topology::Crossbar => {
                 for i in 0..nodes {
                     links.push(Link {
-                        label: format!("n{i}->sw"),
+                        label: format!("n{i}->sw").into(),
                         capacity: host_cap,
                     });
                 }
                 for i in 0..nodes {
                     links.push(Link {
-                        label: format!("sw->n{i}"),
+                        label: format!("sw->n{i}").into(),
                         capacity: host_cap,
                     });
                 }
@@ -274,13 +277,13 @@ impl LinkGraph {
                 // agg->core, core->agg. Each block has `hosts` links.
                 for h in 0..hosts {
                     links.push(Link {
-                        label: format!("h{h}->e{}", h / half),
+                        label: format!("h{h}->e{}", h / half).into(),
                         capacity: host_cap,
                     });
                 }
                 for h in 0..hosts {
                     links.push(Link {
-                        label: format!("e{}->h{h}", h / half),
+                        label: format!("e{}->h{h}", h / half).into(),
                         capacity: host_cap,
                     });
                 }
@@ -288,7 +291,7 @@ impl LinkGraph {
                     for a in 0..half {
                         let agg = (edge / half) * half + a;
                         links.push(Link {
-                            label: format!("e{edge}->a{agg}"),
+                            label: format!("e{edge}->a{agg}").into(),
                             capacity: fabric_cap,
                         });
                     }
@@ -297,7 +300,7 @@ impl LinkGraph {
                     for a in 0..half {
                         let agg = (edge / half) * half + a;
                         links.push(Link {
-                            label: format!("a{agg}->e{edge}"),
+                            label: format!("a{agg}->e{edge}").into(),
                             capacity: fabric_cap,
                         });
                     }
@@ -306,7 +309,7 @@ impl LinkGraph {
                     for a in 0..half {
                         for i in 0..half {
                             links.push(Link {
-                                label: format!("a{}->c{}", pod * half + a, a * half + i),
+                                label: format!("a{}->c{}", pod * half + a, a * half + i).into(),
                                 capacity: fabric_cap,
                             });
                         }
@@ -316,7 +319,7 @@ impl LinkGraph {
                     for a in 0..half {
                         for i in 0..half {
                             links.push(Link {
-                                label: format!("c{}->a{}", a * half + i, pod * half + a),
+                                label: format!("c{}->a{}", a * half + i, pod * half + a).into(),
                                 capacity: fabric_cap,
                             });
                         }
@@ -334,7 +337,7 @@ impl LinkGraph {
                             let to = torus_neighbor(node, dims, dim, dir);
                             let sign = if dir == 0 { '+' } else { '-' };
                             links.push(Link {
-                                label: format!("n{node}->n{to}({sign}{axis})"),
+                                label: format!("n{node}->n{to}({sign}{axis})").into(),
                                 capacity: host_cap,
                             });
                         }
@@ -360,16 +363,60 @@ impl LinkGraph {
 
     /// The static route for a `src -> dst` node pair (`src != dst`).
     pub fn route(&self, src: usize, dst: usize) -> Vec<LinkId> {
+        let mut out = Vec::new();
+        self.route_into(src, dst, &mut out);
+        out
+    }
+
+    /// Append the static `src -> dst` route to `out` without allocating
+    /// (beyond growing `out`). The hot path for flow registration: the
+    /// caller owns and reuses the buffer.
+    pub fn route_into(&self, src: usize, dst: usize, out: &mut Vec<LinkId>) {
         debug_assert_ne!(src, dst, "routing a node to itself");
         match &self.router {
             Router::Crossbar { nodes } => {
-                vec![LinkId(src as u32), LinkId((nodes + dst) as u32)]
+                out.push(LinkId(src as u32));
+                out.push(LinkId((nodes + dst) as u32));
             }
-            Router::FatTree { half } => fat_tree_route(src, dst, *half),
-            Router::Torus { dims } => torus_route(src, dst, dims),
+            Router::FatTree { half } => fat_tree_route(src, dst, *half, out),
+            Router::Torus { dims } => torus_route(src, dst, dims, out),
         }
     }
+
+    /// Build `topo` through a process-wide cache of compiled graphs.
+    ///
+    /// Compiling a topology is pure — the result depends only on
+    /// `(topo, nodes, bandwidth_mbs)` — but costs a few microseconds of
+    /// link-table and label construction, which dominates short replays
+    /// when a sweep revisits the same platform thousands of times. The
+    /// cache hands out shared immutable graphs instead; it is bounded
+    /// (wholesale-cleared beyond [`GRAPH_CACHE_CAP`] distinct keys, far
+    /// more than any sweep uses) and safe to share across sweep worker
+    /// threads.
+    pub fn cached(
+        topo: &Topology,
+        nodes: usize,
+        bandwidth_mbs: f64,
+    ) -> Result<Arc<LinkGraph>, String> {
+        type GraphCache = Mutex<HashMap<(Topology, usize, u64), Arc<LinkGraph>>>;
+        static CACHE: OnceLock<GraphCache> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let key = (topo.clone(), nodes, bandwidth_mbs.to_bits());
+        let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(g) = map.get(&key) {
+            return Ok(Arc::clone(g));
+        }
+        let g = Arc::new(LinkGraph::build(topo, nodes, bandwidth_mbs)?);
+        if map.len() >= GRAPH_CACHE_CAP {
+            map.clear();
+        }
+        map.insert(key, Arc::clone(&g));
+        Ok(g)
+    }
 }
+
+/// Distinct compiled topologies kept by [`LinkGraph::cached`].
+const GRAPH_CACHE_CAP: usize = 64;
 
 /// Coordinates of `node` in mixed radix (dimension 0 fastest).
 fn torus_coords(node: usize, dims: &[u32]) -> [usize; 3] {
@@ -408,11 +455,10 @@ fn torus_link(node: usize, ndims: usize, dim: usize, dir: usize) -> LinkId {
 }
 
 /// Dimension-order routing, shorter wrap direction, ties positive.
-fn torus_route(src: usize, dst: usize, dims: &[u32]) -> Vec<LinkId> {
+fn torus_route(src: usize, dst: usize, dims: &[u32], path: &mut Vec<LinkId>) {
     let ndims = dims.len();
     let mut cur = torus_coords(src, dims);
     let target = torus_coords(dst, dims);
-    let mut path = Vec::new();
     for dim in 0..ndims {
         let d = dims[dim] as usize;
         while cur[dim] != target[dim] {
@@ -426,12 +472,11 @@ fn torus_route(src: usize, dst: usize, dims: &[u32]) -> Vec<LinkId> {
             };
         }
     }
-    path
 }
 
 /// d-mod ECMP fat-tree route; see [`LinkGraph::build`] for the link
 /// block layout.
-fn fat_tree_route(src: usize, dst: usize, half: usize) -> Vec<LinkId> {
+fn fat_tree_route(src: usize, dst: usize, half: usize, path: &mut Vec<LinkId>) {
     let hosts_per_pod = half * half;
     let total_hosts = 2 * half * hosts_per_pod; // k * half * half
     let edge_of = |h: usize| h / half; // global edge index
@@ -448,10 +493,10 @@ fn fat_tree_route(src: usize, dst: usize, half: usize) -> Vec<LinkId> {
     };
 
     let (es, ed) = (edge_of(src), edge_of(dst));
-    let mut path = vec![up_host(src)];
+    path.push(up_host(src));
     if es == ed {
         path.push(down_host(dst));
-        return path;
+        return;
     }
     // deterministic ECMP: the destination picks the aggregation plane
     // and, across pods, the core within the plane
@@ -467,7 +512,6 @@ fn fat_tree_route(src: usize, dst: usize, half: usize) -> Vec<LinkId> {
         path.push(edge_down(ed, a));
     }
     path.push(down_host(dst));
-    path
 }
 
 #[cfg(test)]
@@ -535,8 +579,8 @@ mod tests {
         assert_eq!(g.len(), 8);
         let p = g.route(1, 3);
         assert_eq!(p, vec![LinkId(1), LinkId(4 + 3)]);
-        assert_eq!(g.links()[1].label, "n1->sw");
-        assert_eq!(g.links()[7].label, "sw->n3");
+        assert_eq!(&*g.links()[1].label, "n1->sw");
+        assert_eq!(&*g.links()[7].label, "sw->n3");
     }
 
     #[test]
@@ -626,5 +670,73 @@ mod tests {
                 assert_eq!(cur, dst);
             }
         }
+    }
+
+    #[test]
+    fn route_into_appends_without_clearing() {
+        let g = LinkGraph::build(&Topology::Crossbar, 4, 100.0).unwrap();
+        let mut arena = Vec::new();
+        g.route_into(0, 1, &mut arena);
+        let first = arena.len();
+        assert!(first > 0);
+        g.route_into(2, 3, &mut arena);
+        // the first route must be untouched and the second appended
+        assert_eq!(&arena[..first], g.route(0, 1).as_slice());
+        assert_eq!(&arena[first..], g.route(2, 3).as_slice());
+    }
+
+    #[test]
+    fn route_into_matches_route_on_every_topology() {
+        let topos: Vec<(Topology, usize)> = vec![
+            (Topology::Crossbar, 5),
+            (
+                Topology::FatTree {
+                    radix: 4,
+                    oversubscription: 2,
+                },
+                8,
+            ),
+            (Topology::Torus { dims: vec![3, 2] }, 6),
+        ];
+        for (topo, nodes) in topos {
+            let g = LinkGraph::build(&topo, nodes, 100.0).unwrap();
+            for src in 0..nodes {
+                for dst in 0..nodes {
+                    if src == dst {
+                        continue;
+                    }
+                    let mut out = Vec::new();
+                    g.route_into(src, dst, &mut out);
+                    assert_eq!(out, g.route(src, dst), "{topo:?} {src}->{dst}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_graphs_are_shared_and_keyed_on_all_inputs() {
+        let topo = Topology::Torus { dims: vec![2, 2] };
+        let a = LinkGraph::cached(&topo, 4, 125.0).unwrap();
+        let b = LinkGraph::cached(&topo, 4, 125.0).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "same key must share");
+        let c = LinkGraph::cached(&topo, 4, 250.0).unwrap();
+        assert!(
+            !std::sync::Arc::ptr_eq(&a, &c),
+            "bandwidth is part of the key"
+        );
+        let d = LinkGraph::cached(&Topology::Crossbar, 4, 125.0).unwrap();
+        assert!(
+            !std::sync::Arc::ptr_eq(&a, &d),
+            "topology is part of the key"
+        );
+        // the cached graph is the same compiled object as a fresh build
+        let fresh = LinkGraph::build(&topo, 4, 125.0).unwrap();
+        assert_eq!(a.len(), fresh.len());
+        for (x, y) in a.links().iter().zip(fresh.links()) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.capacity.to_bits(), y.capacity.to_bits());
+        }
+        // errors pass through rather than poisoning the cache
+        assert!(LinkGraph::cached(&Topology::Torus { dims: vec![] }, 4, 125.0).is_err());
     }
 }

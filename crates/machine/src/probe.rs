@@ -95,6 +95,11 @@ pub trait ProbeSink {
     /// The max-min allocator ran at `at` over `active_flows` flows.
     fn on_reshare(&mut self, at: Time, active_flows: usize) {}
 
+    /// A stale `FlowDone` was popped and discarded at `at` (its epoch
+    /// was superseded by a reshare before it fired). Counts the dead
+    /// heap traffic the epoch-guard scheme trades for O(1) rescheduling.
+    fn on_stale_flow_done(&mut self, at: Time) {}
+
     /// Replay finished: final runtime and the event-queue high-water
     /// mark.
     fn on_end(&mut self, runtime: Time, queue_peak: usize) {}
@@ -145,7 +150,7 @@ impl PeakSeries {
 #[derive(Debug)]
 pub struct WindowedRecorder {
     window_s: f64,
-    link_meta: Vec<(String, f64)>,
+    link_meta: Vec<(std::sync::Arc<str>, f64)>,
     /// rank -> window -> seconds in [compute, wait-recv, wait-send,
     /// collective].
     occupancy: Vec<Vec<[f64; 4]>>,
@@ -163,6 +168,7 @@ pub struct WindowedRecorder {
     ports: PeakSeries,
     events_by_kind: [u64; 3],
     reshares: u64,
+    stale_popped: u64,
     queue_peak: usize,
     max_in_flight: u32,
     runtime_s: f64,
@@ -191,6 +197,7 @@ impl WindowedRecorder {
             ports: PeakSeries::default(),
             events_by_kind: [0; 3],
             reshares: 0,
+            stale_popped: 0,
             queue_peak: 0,
             max_in_flight: 0,
             runtime_s: 0.0,
@@ -257,7 +264,7 @@ impl WindowedRecorder {
                     })
                     .collect();
                 LinkSeries {
-                    label,
+                    label: String::from(&*label),
                     capacity_bps,
                     utilization,
                     bytes,
@@ -285,6 +292,7 @@ impl WindowedRecorder {
                 events_per_window: events_w,
                 reshares: self.reshares,
                 reshares_per_window: reshares_w,
+                stale_popped: self.stale_popped,
                 queue_peak: self.queue_peak,
                 max_in_flight: self.max_in_flight,
             },
@@ -403,6 +411,10 @@ impl ProbeSink for WindowedRecorder {
         self.reshares += 1;
     }
 
+    fn on_stale_flow_done(&mut self, _at: Time) {
+        self.stale_popped += 1;
+    }
+
     fn on_end(&mut self, runtime: Time, queue_peak: usize) {
         self.runtime_s = runtime.as_secs();
         self.queue_peak = queue_peak;
@@ -481,6 +493,8 @@ pub struct EngineCounters {
     pub reshares: u64,
     /// Reshare passes per window.
     pub reshares_per_window: Vec<u64>,
+    /// Stale `FlowDone` events popped and discarded.
+    pub stale_popped: u64,
     /// Event-queue high-water mark.
     pub queue_peak: usize,
     /// Peak concurrent network-level transfers.
@@ -601,7 +615,9 @@ impl Metrics {
             &mut s,
             self.engine.reshares_per_window.iter().map(u64::to_string),
         );
-        s.push_str("],\n    \"queue_peak\": ");
+        s.push_str("],\n    \"stale_popped\": ");
+        s.push_str(&self.engine.stale_popped.to_string());
+        s.push_str(",\n    \"queue_peak\": ");
         s.push_str(&self.engine.queue_peak.to_string());
         s.push_str(",\n    \"max_in_flight\": ");
         s.push_str(&self.engine.max_in_flight.to_string());

@@ -28,6 +28,7 @@
 
 use crate::collective::expand_collectives;
 use crate::event::{Event, EventQueue};
+use crate::fx::FxBuildHasher;
 use crate::net::flows::{FlowEvent, FlowNet};
 use crate::net::{ContentionModel, LinkGraph, LinkUsage};
 use crate::platform::Platform;
@@ -96,6 +97,12 @@ pub struct SimResult {
     pub links: Vec<LinkUsage>,
     /// Discrete events processed (engine throughput metric).
     pub events_processed: u64,
+    /// Event-queue high-water mark (engine memory metric).
+    pub queue_peak: usize,
+    /// Stale `FlowDone` events popped and discarded — completions that
+    /// resharing re-estimated after they were scheduled. Zero under the
+    /// bus model; a cost metric of the flow-level engine.
+    pub stale_events: u64,
 }
 
 /// Aggregate network statistics of one replay.
@@ -171,6 +178,24 @@ pub fn simulate_probed<P: ProbeSink>(
     platform: &Platform,
     probe: &mut P,
 ) -> Result<SimResult, SimError> {
+    simulate_inner(trace, platform, probe, false)
+}
+
+/// [`simulate`], but forcing the from-scratch max-min solver instead of
+/// the incremental one. Results are bit-identical by construction; this
+/// entry exists so the test suite (and bisections) can cross-validate
+/// whole replays against the reference solver.
+#[doc(hidden)]
+pub fn simulate_reference(trace: &Trace, platform: &Platform) -> Result<SimResult, SimError> {
+    simulate_inner(trace, platform, &mut NoopSink, true)
+}
+
+fn simulate_inner<P: ProbeSink>(
+    trace: &Trace,
+    platform: &Platform,
+    probe: &mut P,
+    reference: bool,
+) -> Result<SimResult, SimError> {
     platform.check().map_err(SimError::BadPlatform)?;
     let flownet = match &platform.contention {
         ContentionModel::Bus => None,
@@ -181,9 +206,16 @@ pub fn simulate_probed<P: ProbeSink>(
             } else {
                 platform.node_of(nranks - 1) + 1
             };
-            let graph = LinkGraph::build(topo, nodes, platform.bandwidth_mbs)
+            // sweeps replay thousands of traces on the same platform:
+            // reuse the compiled topology across replays (and threads)
+            let graph = LinkGraph::cached(topo, nodes, platform.bandwidth_mbs)
                 .map_err(SimError::BadPlatform)?;
-            Some(FlowNet::new(graph))
+            let net = FlowNet::new_shared(graph);
+            Some(if reference {
+                net.with_reference_solver()
+            } else {
+                net
+            })
         }
     };
     let has_collectives = trace.ranks.iter().any(|rt| {
@@ -274,11 +306,47 @@ enum Blocked {
     Finished,
 }
 
+/// Per-rank registry of outstanding non-blocking requests. Tracers
+/// allocate request ids densely from zero, so lookups are a direct
+/// index into `dense`; ids past [`DENSE_REQ_LIMIT`] (synthetic or
+/// adversarial traces) fall back to a hash map.
+#[derive(Default)]
+struct ReqTable {
+    dense: Vec<Option<ReqHandle>>,
+    sparse: HashMap<u64, ReqHandle, FxBuildHasher>,
+}
+
+/// Bounds `dense` growth to 1 MiB per rank even if a trace uses one
+/// huge request id.
+const DENSE_REQ_LIMIT: u64 = 1 << 16;
+
+impl ReqTable {
+    fn insert(&mut self, req: ReqId, h: ReqHandle) {
+        if req.0 < DENSE_REQ_LIMIT {
+            let i = req.0 as usize;
+            if self.dense.len() <= i {
+                self.dense.resize(i + 1, None);
+            }
+            self.dense[i] = Some(h);
+        } else {
+            self.sparse.insert(req.0, h);
+        }
+    }
+
+    fn remove(&mut self, req: ReqId) -> Option<ReqHandle> {
+        if req.0 < DENSE_REQ_LIMIT {
+            self.dense.get_mut(req.0 as usize).and_then(Option::take)
+        } else {
+            self.sparse.remove(&req.0)
+        }
+    }
+}
+
 struct RankState {
     pc: usize,
     clock: Time,
     blocked: Blocked,
-    reqs: HashMap<ReqId, ReqHandle>,
+    reqs: ReqTable,
     timeline: Timeline,
     markers: Vec<(ovlp_trace::record::Marker, Time)>,
 }
@@ -296,7 +364,11 @@ struct Engine<'a, P: ProbeSink> {
     ranks: Vec<RankState>,
     msgs: Vec<Msg>,
     recv_reqs: Vec<RecvReq>,
-    channels: HashMap<(usize, usize, u32), Channel>,
+    /// Channels in dense storage; `(src, dst, tag)` triples are interned
+    /// into ids on first use so the hot matching path is a cheap hash
+    /// plus a vector index.
+    chan_ids: HashMap<(u32, u32, u32), u32, FxBuildHasher>,
+    channels: Vec<Channel>,
     pending: VecDeque<usize>,
     resources: Resources,
     /// Tag each receive request was posted with (for state labeling).
@@ -311,6 +383,8 @@ struct Engine<'a, P: ProbeSink> {
     /// Network-level transfers currently holding resources (maintained
     /// only when the probe is enabled).
     in_flight: u32,
+    /// Stale `FlowDone` events popped and discarded.
+    stale_popped: u64,
 }
 
 enum Flow {
@@ -339,14 +413,15 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
                     pc: 0,
                     clock: Time::ZERO,
                     blocked: Blocked::None,
-                    reqs: HashMap::new(),
+                    reqs: ReqTable::default(),
                     timeline: Timeline::default(),
                     markers: Vec::new(),
                 })
                 .collect(),
             msgs: Vec::new(),
             recv_reqs: Vec::new(),
-            channels: HashMap::new(),
+            chan_ids: HashMap::default(),
+            channels: Vec::new(),
             pending: VecDeque::new(),
             recv_req_tags: Vec::new(),
             resources: Resources::with_wan(
@@ -360,7 +435,21 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
             flow_scratch: Vec::new(),
             probe,
             in_flight: 0,
+            stale_popped: 0,
         }
+    }
+
+    /// The channel for `(src, dst, tag)`, created on first use.
+    fn channel(&mut self, src: usize, dst: usize, tag: Tag) -> &mut Channel {
+        let next = self.channels.len() as u32;
+        let id = *self
+            .chan_ids
+            .entry((src as u32, dst as u32, tag.0))
+            .or_insert(next);
+        if id == next {
+            self.channels.push(Channel::default());
+        }
+        &mut self.channels[id as usize]
     }
 
     /// Append a state interval to a rank's timeline, mirroring it to
@@ -401,7 +490,23 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
             match ev {
                 Event::Resume { rank } => self.step(rank, t)?,
                 Event::TransferDone { msg } => self.on_transfer_done(msg, t)?,
-                Event::FlowDone { msg, epoch } => self.on_flow_done(msg, epoch, t)?,
+                Event::FlowDone { msg, epoch } => {
+                    let current = self
+                        .flownet
+                        .as_ref()
+                        .is_some_and(|n| n.is_current(msg, epoch));
+                    if current {
+                        self.on_flow_done(msg, t)?;
+                    } else {
+                        // superseded by a reshare (or the flow already
+                        // finished): drop it here so the handler only
+                        // ever sees live completions
+                        self.stale_popped += 1;
+                        if P::ENABLED {
+                            self.probe.on_stale_flow_done(t);
+                        }
+                    }
+                }
             }
         }
         let stuck: Vec<(usize, String)> = self
@@ -495,6 +600,8 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
             network,
             links,
             events_processed: self.queue.processed,
+            queue_peak: self.queue.peak,
+            stale_events: self.stale_popped,
         })
     }
 
@@ -576,7 +683,7 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
                 Record::Wait { req } => {
                     let handle = self.ranks[rank]
                         .reqs
-                        .remove(&req)
+                        .remove(req)
                         .ok_or(SimError::UnknownRequest { rank, req })?;
                     self.ranks[rank].pc += 1;
                     let flow = match handle {
@@ -612,7 +719,7 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
             msg: None,
         });
         self.recv_req_tags.push(tag);
-        let ch = self.channels.entry((src, rank, tag.0)).or_default();
+        let ch = self.channel(src, rank, tag);
         if let Some(mid) = ch.unmatched_msgs.pop_front() {
             self.pair(mid, idx);
             // a rendezvous message may have been waiting for this match
@@ -659,7 +766,7 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
             waiter: None,
             waiter_since: now,
         });
-        let ch = self.channels.entry((src, dst, tag.0)).or_default();
+        let ch = self.channel(src, dst, tag);
         if let Some(req) = ch.unmatched_reqs.pop_front() {
             self.pair(mid, req);
         } else {
@@ -818,18 +925,11 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
         est
     }
 
-    /// A flow's completion estimate fired. Ignored when stale (the flow
-    /// was re-estimated or already finished); otherwise the transfer is
-    /// delivered exactly like a `TransferDone`, and the freed bandwidth
-    /// is reshared among the surviving flows.
-    fn on_flow_done(&mut self, mid: usize, epoch: u64, t1: Time) -> Result<(), SimError> {
-        let current = self
-            .flownet
-            .as_ref()
-            .is_some_and(|n| n.is_current(mid, epoch));
-        if !current {
-            return Ok(());
-        }
+    /// A flow's *live* completion estimate fired (the run loop already
+    /// discarded stale epochs): the transfer is delivered exactly like a
+    /// `TransferDone`, and the freed bandwidth is reshared among the
+    /// surviving flows.
+    fn on_flow_done(&mut self, mid: usize, t1: Time) -> Result<(), SimError> {
         let mut evs = std::mem::take(&mut self.flow_scratch);
         evs.clear();
         self.flownet

@@ -65,12 +65,18 @@ impl Resources {
 
     /// Acquire (sender out port, receiver in port, one WAN link).
     pub fn try_acquire_wan(&mut self, src: usize, dst: usize) -> bool {
-        if !self.wan_available(src, dst) {
+        // single read per counter: check and increment in one pass
+        // (this sits inside the first-fit scan over pending transfers)
+        let (out, inp) = (self.out_used[src], self.in_used[dst]);
+        if (self.wan_cap != 0 && self.wan_used >= self.wan_cap)
+            || out >= self.out_cap
+            || inp >= self.in_cap
+        {
             return false;
         }
         self.wan_used += 1;
-        self.out_used[src] += 1;
-        self.in_used[dst] += 1;
+        self.out_used[src] = out + 1;
+        self.in_used[dst] = inp + 1;
         self.ports_busy += 2;
         true
     }
@@ -95,12 +101,18 @@ impl Resources {
     /// Atomically acquire (sender out port, receiver in port, one bus).
     /// Returns `false` (and acquires nothing) if any is exhausted.
     pub fn try_acquire(&mut self, src: usize, dst: usize) -> bool {
-        if !self.available(src, dst) {
+        // single read per counter: check and increment in one pass
+        // (this sits inside the first-fit scan over pending transfers)
+        let (out, inp) = (self.out_used[src], self.in_used[dst]);
+        if (self.bus_cap != 0 && self.bus_used >= self.bus_cap)
+            || out >= self.out_cap
+            || inp >= self.in_cap
+        {
             return false;
         }
         self.bus_used += 1;
-        self.out_used[src] += 1;
-        self.in_used[dst] += 1;
+        self.out_used[src] = out + 1;
+        self.in_used[dst] = inp + 1;
         self.ports_busy += 2;
         true
     }

@@ -117,7 +117,7 @@ fn concurrent_flows_share_a_link_fairly() {
     let up = flow
         .links
         .iter()
-        .find(|l| l.label == "n0->sw")
+        .find(|l| &*l.label == "n0->sw")
         .expect("up link of node 0");
     assert!(
         (up.bytes - 2.0 * bytes as f64).abs() < 1.0,
@@ -200,7 +200,7 @@ fn torus_routes_dimension_order() {
         .links
         .iter()
         .filter(|l| l.bytes > 0.0)
-        .map(|l| l.label.as_str())
+        .map(|l| &*l.label)
         .collect();
     assert_eq!(
         trafficked,

@@ -6,8 +6,8 @@
 //! Off by default; run with `cargo test --features proptest-tests`.
 #![cfg(feature = "proptest-tests")]
 
-use ovlp_machine::net::{max_min_rates, LinkId};
-use ovlp_machine::{simulate, Platform, Topology};
+use ovlp_machine::net::{max_min_rates, FlowNet, LinkGraph, LinkId};
+use ovlp_machine::{simulate, NoopSink, Platform, Time, Topology};
 use ovlp_trace::record::{Record, SendMode};
 use ovlp_trace::{Bytes, Instructions, Rank, Tag, Trace, TransferId};
 use proptest::prelude::*;
@@ -167,5 +167,98 @@ proptest! {
             c
         };
         prop_assert_eq!(sorted(&bus), sorted(&flow));
+    }
+}
+
+/// One of the supported topologies plus a node count that fits it.
+fn arena(pick: usize) -> (Topology, usize) {
+    match pick % 4 {
+        0 => (Topology::Crossbar, 6),
+        1 => (
+            Topology::FatTree {
+                radix: 4,
+                oversubscription: 1,
+            },
+            8,
+        ),
+        2 => (Topology::Torus { dims: vec![2, 2] }, 4),
+        _ => (
+            Topology::Torus {
+                dims: vec![2, 2, 2],
+            },
+            8,
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The incremental active-set allocator inside [`FlowNet`] must
+    /// agree with the from-scratch oracle to the last bit after every
+    /// step of a randomized flow arrival/departure sequence, on every
+    /// topology. (Debug builds additionally assert this inside each
+    /// reshare; this suite pins it in release builds too, across
+    /// long churn sequences that empty and refill the link set.)
+    #[test]
+    fn incremental_allocator_matches_oracle_on_random_churn(
+        pick in 0usize..4,
+        ops in proptest::collection::vec(
+            (0u8..4, 0usize..64, 0usize..64, 1u64..2_000), 1..48),
+    ) {
+        let (topo, nodes) = arena(pick);
+        let graph = LinkGraph::build(&topo, nodes, 100.0).unwrap();
+        let caps: Vec<f64> = graph.links().iter().map(|l| l.capacity).collect();
+        let oracle_graph = LinkGraph::build(&topo, nodes, 100.0).unwrap();
+        let mut net = FlowNet::new(graph);
+        let mut active: Vec<(usize, usize, usize)> = Vec::new(); // (msg, src, dst)
+        let mut next_msg = 0usize;
+        let mut now = 0.0f64;
+        let mut evs = Vec::new();
+        for &(op, a, b, kb) in &ops {
+            now += kb as f64 * 1e-6; // strictly increasing settle points
+            evs.clear();
+            if op == 0 && !active.is_empty() {
+                // departure
+                let (msg, _, _) = active.remove(a % active.len());
+                net.finish(msg, Time::secs(now), &mut evs, &mut NoopSink);
+            } else {
+                // arrival on a random (src, dst) pair
+                let src = a % nodes;
+                let dst = (src + 1 + b % (nodes - 1)) % nodes;
+                let msg = next_msg;
+                next_msg += 1;
+                net.start(
+                    msg,
+                    src,
+                    dst,
+                    kb as f64 * 1024.0,
+                    1e-5,
+                    Time::secs(now),
+                    &mut evs,
+                    &mut NoopSink,
+                );
+                active.push((msg, src, dst));
+            }
+            // `active` stays in ascending msg order (arrivals take
+            // increasing ids, removals preserve order), matching the
+            // order FlowNet reports rates in
+            let paths: Vec<Vec<LinkId>> = active
+                .iter()
+                .map(|&(_, s, d)| oracle_graph.route(s, d))
+                .collect();
+            let flows: Vec<&[LinkId]> = paths.iter().map(Vec::as_slice).collect();
+            let want = max_min_rates(&flows, &caps);
+            let got = net.debug_rates();
+            prop_assert_eq!(got.len(), want.len());
+            for (k, (&(msg, r), &w)) in got.iter().zip(&want).enumerate() {
+                prop_assert_eq!(msg, active[k].0);
+                prop_assert_eq!(
+                    r.to_bits(), w.to_bits(),
+                    "flow {} after {} ops: incremental {} vs oracle {}",
+                    msg, next_msg, r, w
+                );
+            }
+        }
     }
 }

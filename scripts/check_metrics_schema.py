@@ -90,7 +90,7 @@ def check(path):
             f"events_per_window entry {trio!r} is not an integer triple",
         )
     check_series(path, "engine.reshares_per_window", eng.get("reshares_per_window"), n, "count")
-    for key in ("reshares", "queue_peak", "max_in_flight"):
+    for key in ("reshares", "stale_popped", "queue_peak", "max_in_flight"):
         expect(isinstance(eng.get(key), int) and eng[key] >= 0, path, f"bad engine.{key}")
 
     print(f"{path}: ok ({n} windows, {len(doc['ranks'])} ranks, {len(doc['links'])} links)")
