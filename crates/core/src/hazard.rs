@@ -94,6 +94,7 @@ mod tests {
             events_processed: 0,
             queue_peak: 0,
             stale_events: 0,
+            fault_log: Vec::new(),
         }
     }
 

@@ -152,7 +152,12 @@ pub fn platform_fingerprint(p: &Platform) -> u64 {
         .f64(p.wan_latency_us)
         .u32(p.wan_links)
         // canonical topology spec: "bus", "crossbar", "fat-tree:8:2", …
-        .str(&p.contention.to_string());
+        .str(&p.contention.to_string())
+        // canonical fault schedule: "" when empty, else
+        // "kill@0.001s:h0->e0;restore@0.002s:h0->e0"-style — Display is
+        // injective over validated schedules, so distinct schedules
+        // always get distinct cache keys
+        .str(&p.faults.to_string());
     h = h.u64(p.cpu_ratios.len() as u64);
     for &r in &p.cpu_ratios {
         h = h.f64(r);
@@ -473,11 +478,12 @@ impl SweepReport {
                     let p = &grid.platforms[r.point.platform];
                     let pol = &grid.policies[r.point.policy];
                     out.push_str(&format!(
-                        "{:<12} bw={:<7} buses={:<4} net={:<13} chunks={:<2} {:<10} {:>11.6} {:>11.6} {:>11.6} {:>5.3} {:>6.3}  {:016x}\n",
+                        "{:<12} bw={:<7} buses={:<4} net={:<13} faults={:<9} chunks={:<2} {:<10} {:>11.6} {:>11.6} {:>11.6} {:>5.3} {:>6.3}  {:016x}\n",
                         r.app,
                         fmt_bw(p.bandwidth_mbs),
                         fmt_buses(p.buses),
                         p.contention.to_string(),
+                        fmt_faults(p),
                         pol.chunks,
                         match pol.mode {
                             SendMode::Eager => "eager",
@@ -500,6 +506,70 @@ impl SweepReport {
             }
         }
         out
+    }
+
+    /// Resilience section: for every point simulated under a fault
+    /// schedule, how much of the fault-free overlap gain survives —
+    /// `retention = speedup_real(faulted) / speedup_real(baseline)`,
+    /// where the baseline is the same (app, policy, platform) point
+    /// with an empty fault schedule. Empty string when the grid carried
+    /// no fault scenarios; deterministic like [`SweepReport::render`].
+    pub fn render_retention(&self, grid: &SweepGrid) -> String {
+        use ovlp_machine::FaultSchedule;
+        // fault-free baselines keyed by (app, policy, clean-platform fp)
+        let mut base: HashMap<(usize, usize, u64), f64> = HashMap::new();
+        for r in self.outcomes.iter().flatten() {
+            let p = &grid.platforms[r.point.platform];
+            if p.faults.is_empty() {
+                let fp = platform_fingerprint(p);
+                base.insert((r.point.app, r.point.policy, fp), r.speedup_real());
+            }
+        }
+        let mut rows = String::new();
+        for r in self.outcomes.iter().flatten() {
+            let p = &grid.platforms[r.point.platform];
+            if p.faults.is_empty() {
+                continue;
+            }
+            let pol = &grid.policies[r.point.policy];
+            let clean = platform_fingerprint(&p.with_faults(FaultSchedule::default()));
+            let faulted = r.speedup_real();
+            match base.get(&(r.point.app, r.point.policy, clean)) {
+                Some(&b) if b > 0.0 => rows.push_str(&format!(
+                    "{:<12} chunks={:<2} {:<32} {:>6.3} {:>6.3} {:>9.1}%\n",
+                    r.app,
+                    pol.chunks,
+                    p.faults.to_string(),
+                    faulted,
+                    b,
+                    100.0 * faulted / b,
+                )),
+                _ => rows.push_str(&format!(
+                    "{:<12} chunks={:<2} {:<32} {:>6.3}   (no fault-free baseline in grid)\n",
+                    r.app,
+                    pol.chunks,
+                    p.faults.to_string(),
+                    faulted,
+                )),
+            }
+        }
+        if rows.is_empty() {
+            return rows;
+        }
+        let mut out = String::from(
+            "overlap-gain retention under faults (vs fault-free baseline)\n\
+             app          policy    faults                             real   base  retention\n",
+        );
+        out.push_str(&rows);
+        out
+    }
+}
+
+fn fmt_faults(p: &Platform) -> String {
+    if p.faults.is_empty() {
+        "none".to_string()
+    } else {
+        p.faults.to_string()
     }
 }
 
@@ -617,7 +687,7 @@ fn evaluate_point(
     let (sim, metrics) = match probe_window_us {
         None => (
             crate::experiments::speedup::run_variants(bundle, platform)
-                .map_err(|e| fail(format!("simulation failed: {e:?}")))?,
+                .map_err(|e| fail(format!("simulation failed: {e}")))?,
             None,
         ),
         Some(us) => {
@@ -626,7 +696,7 @@ fn evaluate_point(
                 platform,
                 Time::micros(us),
             )
-            .map_err(|e| fail(format!("simulation failed: {e:?}")))?;
+            .map_err(|e| fail(format!("simulation failed: {e}")))?;
             (sim, Some(Arc::new(m)))
         }
     };
@@ -690,6 +760,52 @@ mod tests {
             policy_fingerprint(&ChunkPolicy::with_chunks(2)),
             policy_fingerprint(&ChunkPolicy::with_chunks(4))
         );
+    }
+
+    #[test]
+    fn fault_scenarios_get_distinct_fingerprints() {
+        let base = Platform::marenostrum(0).with_topology(ovlp_machine::Topology::Crossbar);
+        let faulted = base.with_faults("degrade=0.5@1ms:n0->sw".parse().unwrap());
+        assert_ne!(platform_fingerprint(&base), platform_fingerprint(&faulted));
+        let moved = base.with_faults("degrade=0.5@2ms:n0->sw".parse().unwrap());
+        assert_ne!(platform_fingerprint(&faulted), platform_fingerprint(&moved));
+        assert_eq!(
+            platform_fingerprint(&faulted),
+            platform_fingerprint(&faulted.clone()),
+            "same schedule, same key"
+        );
+    }
+
+    #[test]
+    fn retention_section_compares_against_fault_free_baseline() {
+        let base = Platform::marenostrum(0).with_topology(ovlp_machine::Topology::Crossbar);
+        let faulted = base.with_faults("degrade=0.1@0.1ms:n0->sw".parse().unwrap());
+        let grid = SweepGrid {
+            apps: vec![tiny_app()],
+            platforms: vec![base.clone(), faulted],
+            policies: vec![ChunkPolicy::paper_default()],
+        };
+        let r = sweep(&grid, &SweepConfig::with_jobs(2), &SweepCache::new());
+        assert_eq!(r.err_count(), 0, "{:?}", r.outcomes);
+        let text = r.render_retention(&grid);
+        assert!(text.contains("retention"), "{text}");
+        assert!(text.contains("degrade=0.1@0.0001s:n0->sw"), "{text}");
+        assert!(!text.contains("no fault-free baseline"), "{text}");
+        // the main table marks the faulted platform too
+        assert!(
+            r.render(&grid).contains("faults=degrade"),
+            "{}",
+            r.render(&grid)
+        );
+
+        // a grid without fault scenarios renders no retention section
+        let clean = SweepGrid {
+            apps: vec![tiny_app()],
+            platforms: vec![base],
+            policies: vec![ChunkPolicy::paper_default()],
+        };
+        let rc = sweep(&clean, &SweepConfig::default(), &SweepCache::new());
+        assert!(rc.render_retention(&clean).is_empty());
     }
 
     #[test]

@@ -14,6 +14,9 @@ pub enum Event {
     /// A flow-level transfer estimate fires. Stale if `epoch` is no
     /// longer the flow's current estimate (resharing re-estimated it).
     FlowDone { msg: usize, epoch: u64 },
+    /// A scheduled link fault strikes. `idx` indexes the platform's
+    /// resolved fault schedule (see [`crate::net::fault`]).
+    Fault { idx: usize },
 }
 
 #[derive(Debug, Clone, Copy)]

@@ -41,7 +41,10 @@ pub mod timeline;
 
 pub use chanstat::{channel_stats, ChannelStat};
 pub use collective::expand_collectives;
-pub use net::{ContentionModel, LinkUsage, Topology};
+pub use net::{
+    AppliedFault, ContentionModel, FaultAction, FaultEvent, FaultSchedule, LinkSelector, LinkUsage,
+    Topology,
+};
 pub use platform::{CollectiveAlgo, Platform};
 pub use probe::{EventKind, Metrics, NoopSink, ProbeSink, WindowedRecorder};
 pub use replay::{simulate, simulate_probed, NetworkStats, SimError, SimResult};

@@ -1,0 +1,451 @@
+//! Deterministic link-fault schedules.
+//!
+//! A [`FaultSchedule`] is a list of `(time, action, selector)` triples
+//! applied to the flow-level fabric as first-class replay events:
+//! degrade a link's capacity by a factor, kill it outright, or restore
+//! it to full health. Schedules are part of the
+//! [`Platform`](crate::Platform), so a replay stays a pure function of
+//! `(trace, platform)` — the same schedule produces bit-identical
+//! results on every run and for any sweep worker count.
+//!
+//! The text grammar (used by `ovlp --faults` and the sweep
+//! fingerprints) is one event per `<action>@<time>:<selector>`, events
+//! joined by `;`:
+//!
+//! ```text
+//! kill@2ms:e0->a0                 kill a single link by label
+//! degrade=0.25@500us:uplink:*     degrade every upward link to 25%
+//! restore@4ms:e0->a0              bring a link back to full health
+//! kill@1ms:dim:1                  kill every dimension-1 torus link
+//! kill@1ms:link:3                 address a link by its LinkId
+//! ```
+//!
+//! Times are absolute sim times in seconds; `us`/`ms`/`s` suffixes are
+//! accepted. Selectors resolve against the compiled
+//! [`LinkGraph`](super::topology::LinkGraph) when the replay starts, so
+//! a schedule referencing links the topology does not have fails with a
+//! clean error instead of silently doing nothing.
+
+use super::topology::{LinkGraph, LinkId};
+use crate::time::Time;
+use std::fmt;
+use std::sync::Arc;
+
+/// What a fault event does to its selected links.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// Multiply the link capacity by `factor` (in `(0, 1]`).
+    Degrade { factor: f64 },
+    /// Remove the link: active flows crossing it are rerouted (or the
+    /// replay fails with `SimError::Partitioned` when no alternative
+    /// path exists) and new flows avoid it until restored.
+    Kill,
+    /// Undo any kill or degrade: full capacity, routable again.
+    Restore,
+}
+
+impl fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultAction::Degrade { factor } => write!(f, "degrade={factor}"),
+            FaultAction::Kill => write!(f, "kill"),
+            FaultAction::Restore => write!(f, "restore"),
+        }
+    }
+}
+
+/// Which links a fault event addresses.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LinkSelector {
+    /// One link by its exact label, e.g. `h3->e1` or `n0->n1(+x)`.
+    Label(String),
+    /// One link by its [`LinkId`] index (`link:<id>`).
+    Index(u32),
+    /// Every upward link (`uplink:*`): host→switch on the crossbar;
+    /// host-up, edge→agg and agg→core on the fat-tree.
+    Uplinks,
+    /// Every torus link along dimension `d` (`dim:<d>`).
+    Dim(u32),
+}
+
+impl fmt::Display for LinkSelector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkSelector::Label(l) => write!(f, "{l}"),
+            LinkSelector::Index(i) => write!(f, "link:{i}"),
+            LinkSelector::Uplinks => write!(f, "uplink:*"),
+            LinkSelector::Dim(d) => write!(f, "dim:{d}"),
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Absolute sim time, seconds (must be finite and > 0).
+    pub at_s: f64,
+    pub action: FaultAction,
+    pub selector: LinkSelector,
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}s:{}", self.action, self.at_s, self.selector)
+    }
+}
+
+/// A deterministic, replay-stable fault schedule (possibly empty).
+///
+/// The `Display` form is canonical — two schedules render identically
+/// iff they are equal — which is what the sweep fingerprints hash.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSchedule {
+    pub events: Vec<FaultEvent>,
+}
+
+impl fmt::Display for FaultSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                write!(f, ";")?;
+            }
+            write!(f, "{ev}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for FaultSchedule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<FaultSchedule, String> {
+        FaultSchedule::parse(s)
+    }
+}
+
+impl FaultSchedule {
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Parse a `;`-joined fault spec. The empty string (or `none`) is
+    /// the empty schedule. The parsed schedule is validated, so
+    /// malformed specs (unknown action or selector, time ≤ 0, degrade
+    /// factor outside `(0, 1]`, restore before any kill/degrade) fail
+    /// here with a clean message.
+    pub fn parse(spec: &str) -> Result<FaultSchedule, String> {
+        let spec = spec.trim();
+        if spec.is_empty() || spec == "none" {
+            return Ok(FaultSchedule::default());
+        }
+        let events = spec
+            .split(';')
+            .map(|ev| parse_event(ev.trim()))
+            .collect::<Result<Vec<FaultEvent>, String>>()?;
+        let schedule = FaultSchedule { events };
+        schedule.validate()?;
+        Ok(schedule)
+    }
+
+    /// Check event times, degrade factors, and restore ordering.
+    /// Construction via [`parse`](Self::parse) already validates; this
+    /// re-runs on hand-built schedules from `Platform::check`.
+    pub fn validate(&self) -> Result<(), String> {
+        for ev in &self.events {
+            if !ev.at_s.is_finite() || ev.at_s <= 0.0 {
+                return Err(format!(
+                    "fault time must be a finite value > 0, got `{}` in `{ev}`",
+                    ev.at_s
+                ));
+            }
+            if let FaultAction::Degrade { factor } = ev.action {
+                if !factor.is_finite() || factor <= 0.0 || factor > 1.0 {
+                    return Err(format!(
+                        "degrade factor must be in (0, 1], got `{factor}` in `{ev}`"
+                    ));
+                }
+            }
+        }
+        // a restore must follow a kill or degrade of the same selector;
+        // ordering is by time, insertion order breaking ties (exactly
+        // how the engine's event queue applies them)
+        let mut order: Vec<usize> = (0..self.events.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.events[a]
+                .at_s
+                .total_cmp(&self.events[b].at_s)
+                .then(a.cmp(&b))
+        });
+        let mut touched: Vec<&LinkSelector> = Vec::new();
+        for &i in &order {
+            let ev = &self.events[i];
+            match ev.action {
+                FaultAction::Restore => {
+                    if !touched.contains(&&ev.selector) {
+                        return Err(format!(
+                            "restore of `{}` at {}s has no earlier kill or degrade \
+                             of the same selector",
+                            ev.selector, ev.at_s
+                        ));
+                    }
+                }
+                FaultAction::Kill | FaultAction::Degrade { .. } => touched.push(&ev.selector),
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve every selector against a compiled graph, producing the
+    /// concrete per-event link sets the engine schedules. Fails when a
+    /// selector addresses links the topology does not have.
+    pub fn resolve(&self, graph: &LinkGraph) -> Result<Vec<ResolvedFault>, String> {
+        self.events
+            .iter()
+            .map(|ev| {
+                let links = graph.select(&ev.selector)?;
+                Ok(ResolvedFault {
+                    at: Time::secs(ev.at_s),
+                    action: ev.action,
+                    links,
+                    desc: ev.to_string(),
+                })
+            })
+            .collect()
+    }
+}
+
+fn parse_event(s: &str) -> Result<FaultEvent, String> {
+    let (action_s, rest) = s.split_once('@').ok_or_else(|| {
+        format!("bad fault event `{s}` (expected <action>@<time>:<selector>, e.g. kill@2ms:e0->a0)")
+    })?;
+    let (time_s, sel_s) = rest
+        .split_once(':')
+        .ok_or_else(|| format!("bad fault event `{s}` (missing `:<selector>` after the time)"))?;
+    Ok(FaultEvent {
+        at_s: parse_time(time_s.trim())?,
+        action: parse_action(action_s.trim())?,
+        selector: parse_selector(sel_s.trim())?,
+    })
+}
+
+fn parse_action(s: &str) -> Result<FaultAction, String> {
+    match s {
+        "kill" => Ok(FaultAction::Kill),
+        "restore" => Ok(FaultAction::Restore),
+        _ => {
+            if let Some(fs) = s.strip_prefix("degrade=") {
+                let factor: f64 = fs
+                    .parse()
+                    .map_err(|_| format!("bad degrade factor `{fs}`"))?;
+                Ok(FaultAction::Degrade { factor })
+            } else {
+                Err(format!(
+                    "unknown fault action `{s}` (expected kill | restore | degrade=<factor>)"
+                ))
+            }
+        }
+    }
+}
+
+fn parse_time(s: &str) -> Result<f64, String> {
+    // divide by the scale instead of multiplying by its reciprocal:
+    // 50/1e6 rounds to a double that Displays as `0.00005`, while
+    // 50*1e-6 lands one ulp off and Displays as 0.0000499..96
+    let (num, scale) = if let Some(n) = s.strip_suffix("us") {
+        (n, 1e6)
+    } else if let Some(n) = s.strip_suffix("ms") {
+        (n, 1e3)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1.0)
+    } else {
+        (s, 1.0)
+    };
+    let v: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad fault time `{s}` (expected seconds, or a us/ms/s suffix)"))?;
+    let at = v / scale;
+    if !at.is_finite() || at <= 0.0 {
+        return Err(format!("fault time must be > 0, got `{s}`"));
+    }
+    Ok(at)
+}
+
+fn parse_selector(s: &str) -> Result<LinkSelector, String> {
+    if s.is_empty() {
+        return Err("empty link selector".to_string());
+    }
+    if s == "uplink:*" || s == "uplinks" {
+        return Ok(LinkSelector::Uplinks);
+    }
+    if let Some(d) = s.strip_prefix("dim:") {
+        let dim: u32 = d
+            .parse()
+            .map_err(|_| format!("bad torus dimension `{d}` in selector `{s}`"))?;
+        return Ok(LinkSelector::Dim(dim));
+    }
+    if let Some(i) = s.strip_prefix("link:") {
+        let idx: u32 = i
+            .parse()
+            .map_err(|_| format!("bad link index `{i}` in selector `{s}`"))?;
+        return Ok(LinkSelector::Index(idx));
+    }
+    // remaining selectors are exact link labels; labels never contain
+    // `:`, so anything else colon-shaped is a typo, not a label
+    if s.contains(':') {
+        return Err(format!(
+            "unknown selector `{s}` (expected a link label | link:<id> | uplink:* | dim:<d>)"
+        ));
+    }
+    Ok(LinkSelector::Label(s.to_string()))
+}
+
+/// A schedule entry resolved against a compiled graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedFault {
+    pub at: Time,
+    pub action: FaultAction,
+    pub links: Vec<LinkId>,
+    /// The originating event's canonical text, for reports and markers.
+    pub desc: String,
+}
+
+/// One fault the engine actually applied, kept on
+/// [`SimResult`](crate::SimResult) for reports and Gantt rulers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppliedFault {
+    pub at: Time,
+    /// Canonical event text plus the resolved link count.
+    pub desc: String,
+}
+
+/// A killed link disconnected a node pair and no alternative path
+/// exists; the engine maps this to `SimError::Partitioned`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    pub src: usize,
+    pub dst: usize,
+    pub link: Arc<str>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::topology::Topology;
+
+    #[test]
+    fn parse_roundtrips_through_display() {
+        for spec in [
+            "kill@0.002s:e0->a0",
+            "degrade=0.25@0.0005s:uplink:*",
+            "kill@0.001s:dim:1;restore@0.002s:dim:1",
+            "kill@0.001s:link:3;degrade=0.5@0.002s:n0->sw",
+        ] {
+            let s = FaultSchedule::parse(spec).unwrap();
+            assert_eq!(s.to_string(), spec, "canonical display");
+            assert_eq!(FaultSchedule::parse(&s.to_string()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn time_suffixes_scale() {
+        let s = FaultSchedule::parse("kill@2ms:e0->a0;restore@500us:e0->a0;kill@1s:e1->a1")
+            .unwrap_err();
+        // restore at 500us precedes the kill at 2ms: ordering is by time
+        assert!(s.contains("no earlier kill"), "{s}");
+        let s = FaultSchedule::parse("kill@2ms:x;restore@4ms:x").unwrap();
+        assert_eq!(s.events[0].at_s, 2e-3);
+        assert_eq!(s.events[1].at_s, 4e-3);
+    }
+
+    #[test]
+    fn empty_and_none_are_the_empty_schedule() {
+        assert!(FaultSchedule::parse("").unwrap().is_empty());
+        assert!(FaultSchedule::parse("  none ").unwrap().is_empty());
+        assert_eq!(FaultSchedule::default().to_string(), "");
+    }
+
+    #[test]
+    fn malformed_specs_fail_cleanly() {
+        for (spec, needle) in [
+            ("boom@1ms:e0->a0", "unknown fault action"),
+            ("kill@0:e0->a0", "fault time must be > 0"),
+            ("kill@-1ms:e0->a0", "fault time must be > 0"),
+            ("kill@xyz:e0->a0", "bad fault time"),
+            ("degrade=0@1ms:e0->a0", "degrade factor must be in (0, 1]"),
+            ("degrade=1.5@1ms:e0->a0", "degrade factor must be in (0, 1]"),
+            ("degrade=abc@1ms:e0->a0", "bad degrade factor"),
+            ("restore@1ms:e0->a0", "no earlier kill or degrade"),
+            ("kill@1ms", "missing `:<selector>`"),
+            ("kill:e0->a0", "expected <action>@<time>:<selector>"),
+            ("kill@1ms:uplnk:*", "unknown selector"),
+            ("kill@1ms:dim:x", "bad torus dimension"),
+            ("kill@1ms:link:x", "bad link index"),
+        ] {
+            let err = FaultSchedule::parse(spec).unwrap_err();
+            assert!(err.contains(needle), "`{spec}`: {err}");
+        }
+    }
+
+    #[test]
+    fn restore_ordering_uses_time_not_text_order() {
+        // textually the restore comes first, but it fires after the kill
+        let s = FaultSchedule::parse("restore@2ms:x;kill@1ms:x").unwrap();
+        assert_eq!(s.events.len(), 2);
+    }
+
+    #[test]
+    fn resolve_maps_selectors_to_link_sets() {
+        let g = LinkGraph::build(&Topology::Crossbar, 4, 100.0).unwrap();
+        let s = FaultSchedule::parse("kill@1ms:n1->sw;degrade=0.5@2ms:uplink:*;kill@3ms:link:5")
+            .unwrap();
+        let r = s.resolve(&g).unwrap();
+        assert_eq!(r[0].links, vec![LinkId(1)]);
+        assert_eq!(r[1].links, (0..4).map(LinkId).collect::<Vec<_>>());
+        assert_eq!(r[2].links, vec![LinkId(5)]);
+        assert_eq!(r[0].at, Time::secs(1e-3));
+
+        let err = FaultSchedule::parse("kill@1ms:h9->e9")
+            .unwrap()
+            .resolve(&g)
+            .unwrap_err();
+        assert!(err.contains("no link labelled"), "{err}");
+        let err = FaultSchedule::parse("kill@1ms:dim:0")
+            .unwrap()
+            .resolve(&g)
+            .unwrap_err();
+        assert!(err.contains("only torus topologies"), "{err}");
+    }
+
+    #[test]
+    fn resolve_dims_and_uplinks_on_explicit_fabrics() {
+        let torus = LinkGraph::build(&Topology::Torus { dims: vec![2, 2] }, 4, 100.0).unwrap();
+        let s = FaultSchedule::parse("degrade=0.5@1ms:dim:1").unwrap();
+        let r = s.resolve(&torus).unwrap();
+        assert_eq!(r[0].links.len(), 8, "4 nodes x 2 directions in dim 1");
+        assert!(FaultSchedule::parse("kill@1ms:dim:2")
+            .unwrap()
+            .resolve(&torus)
+            .is_err());
+        assert!(FaultSchedule::parse("kill@1ms:uplink:*")
+            .unwrap()
+            .resolve(&torus)
+            .is_err());
+
+        let ft = LinkGraph::build(
+            &Topology::FatTree {
+                radix: 4,
+                oversubscription: 1,
+            },
+            16,
+            100.0,
+        )
+        .unwrap();
+        let r = FaultSchedule::parse("kill@1ms:uplink:*")
+            .unwrap()
+            .resolve(&ft)
+            .unwrap();
+        // host-up + edge->agg + agg->core = 3 blocks of 16 links
+        assert_eq!(r[0].links.len(), 48);
+    }
+}

@@ -39,6 +39,7 @@
 //! the oracle outright so whole replays can be cross-validated.
 
 use super::fairshare::{max_min_rates, max_min_rates_active, SolveScratch};
+use super::fault::{FaultAction, Partition};
 use super::topology::{Link, LinkGraph, LinkId};
 use super::LinkUsage;
 use crate::fx::FxBuildHasher;
@@ -58,11 +59,23 @@ pub struct FlowEvent {
     pub epoch: u64,
 }
 
+/// What applying one fault event did (for probes and engine counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultOutcome {
+    /// Active flows moved onto a new route by a kill.
+    pub rerouted: u32,
+    /// Whether the fault forced a reshare (it touched live traffic).
+    pub reshared: bool,
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct FlowSlot {
     /// Path as an `(offset, len)` view into the route arena.
     off: u32,
     len: u32,
+    /// Endpoint nodes, kept so a kill can reroute the flow mid-flight.
+    src: u32,
+    dst: u32,
     /// Startup latency still to elapse, seconds.
     latency_left: f64,
     /// Bytes still to drain.
@@ -108,6 +121,17 @@ pub struct FlowNet {
     last: Time,
     next_epoch: u64,
     reshares: u64,
+    /// Links removed by a fault (`kill`) and not yet restored. While
+    /// `dead_count > 0`, routing goes through the dead-aware fallback
+    /// and the route cache only holds routes valid for the current dead
+    /// set (it is cleared on every kill and restore).
+    dead: Vec<bool>,
+    dead_count: u32,
+    // fault statistics
+    link_faults: Vec<u32>,
+    faults_applied: u64,
+    flows_rerouted: u64,
+    reroute_reshares: u64,
     // per-link statistics
     bytes: Vec<f64>,
     busy_secs: Vec<f64>,
@@ -147,6 +171,12 @@ impl FlowNet {
             last: Time::ZERO,
             next_epoch: 1,
             reshares: 0,
+            dead: vec![false; n],
+            dead_count: 0,
+            link_faults: vec![0; n],
+            faults_applied: 0,
+            flows_rerouted: 0,
+            reroute_reshares: 0,
             bytes: vec![0.0; n],
             busy_secs: vec![0.0; n],
             active: vec![0; n],
@@ -165,7 +195,8 @@ impl FlowNet {
 
     /// Register a new flow granted at `now` and reshare. Emits a
     /// completion estimate for the new flow and for every existing flow
-    /// whose rate changed.
+    /// whose rate changed. Errs when killed links leave no path from
+    /// `src_node` to `dst_node`.
     #[allow(clippy::too_many_arguments)]
     pub fn start<P: ProbeSink>(
         &mut self,
@@ -177,7 +208,7 @@ impl FlowNet {
         now: Time,
         out: &mut Vec<FlowEvent>,
         probe: &mut P,
-    ) {
+    ) -> Result<(), Partition> {
         self.settle(now, probe);
         // drop stale zero-load entries BEFORE registering the new path:
         // a link this flow re-populates would otherwise be pushed a
@@ -191,7 +222,7 @@ impl FlowNet {
             self.active_links.retain(|&l| active[l as usize] > 0);
             self.links_dirty = false;
         }
-        let (off, len) = self.route_ref(src_node, dst_node);
+        let (off, len) = self.route_ref(src_node, dst_node)?;
         for k in off..off + len {
             let i = self.arena[k as usize].idx();
             if self.active[i] == 0 {
@@ -213,6 +244,8 @@ impl FlowNet {
         self.slots[slot as usize] = FlowSlot {
             off,
             len,
+            src: src_node as u32,
+            dst: dst_node as u32,
             latency_left: latency_s,
             remaining: bytes,
             rate: 0.0,
@@ -227,6 +260,7 @@ impl FlowNet {
         self.active_ids.insert(pos, msg as u32);
         self.active_slots.insert(pos, slot);
         self.reshare(now, out, probe);
+        Ok(())
     }
 
     /// Remove a completed flow at `now` and reshare the survivors.
@@ -272,6 +306,138 @@ impl FlowNet {
         }
     }
 
+    /// Apply one resolved fault event at `now`: mutate the selected
+    /// links' capacity/liveness, reroute active flows off killed links,
+    /// and reshare iff the fault can change any live rate — a fault
+    /// touching only idle links leaves every flow's timing untouched,
+    /// which keeps zero-traffic fault schedules bit-identical to the
+    /// fault-free replay.
+    ///
+    /// Degrade factors always apply to the healthy capacity (they do
+    /// not compound); restore resets both liveness and capacity.
+    pub fn apply_fault<P: ProbeSink>(
+        &mut self,
+        action: &FaultAction,
+        links: &[LinkId],
+        now: Time,
+        out: &mut Vec<FlowEvent>,
+        probe: &mut P,
+    ) -> Result<FaultOutcome, Partition> {
+        self.settle(now, probe);
+        self.faults_applied += 1;
+        // decided before any mutation: a touched link with traffic means
+        // rates can change (kill reroutes its flows away; degrade and
+        // restore change the capacity under them)
+        let mut needs_reshare = links.iter().any(|l| self.active[l.idx()] > 0);
+        let mut rerouted_now = 0u32;
+        match action {
+            FaultAction::Degrade { factor } => {
+                for l in links {
+                    let i = l.idx();
+                    self.link_faults[i] += 1;
+                    self.caps[i] = self.graph.links()[i].capacity * factor;
+                }
+            }
+            FaultAction::Restore => {
+                for l in links {
+                    let i = l.idx();
+                    self.link_faults[i] += 1;
+                    if self.dead[i] {
+                        self.dead[i] = false;
+                        self.dead_count -= 1;
+                    }
+                    self.caps[i] = self.graph.links()[i].capacity;
+                }
+                // routes may legitimately use the restored links again
+                self.route_cache.clear();
+            }
+            FaultAction::Kill => {
+                for l in links {
+                    let i = l.idx();
+                    self.link_faults[i] += 1;
+                    if !self.dead[i] {
+                        self.dead[i] = true;
+                        self.dead_count += 1;
+                    }
+                }
+                self.route_cache.clear();
+                rerouted_now = self.reroute_dead_flows()?;
+                self.flows_rerouted += u64::from(rerouted_now);
+                needs_reshare |= rerouted_now > 0;
+            }
+        }
+        // the uniform-capacity fast path must only consider links flows
+        // can still cross
+        let mut alive = self
+            .caps
+            .iter()
+            .zip(&self.dead)
+            .filter(|&(_, &d)| !d)
+            .map(|(&c, _)| c);
+        self.uniform_cap = match alive.next() {
+            Some(c) if c.is_finite() && alive.all(|x| x.to_bits() == c.to_bits()) => Some(c),
+            _ => None,
+        };
+        if needs_reshare {
+            self.reroute_reshares += 1;
+            self.reshare(now, out, probe);
+        }
+        Ok(FaultOutcome {
+            rerouted: rerouted_now,
+            reshared: needs_reshare,
+        })
+    }
+
+    /// Move every active flow whose path crosses a dead link onto an
+    /// alive route (ascending message id, so the pass is deterministic).
+    fn reroute_dead_flows(&mut self) -> Result<u32, Partition> {
+        let mut rerouted = 0u32;
+        for k in 0..self.active_ids.len() {
+            let slot = self.active_slots[k] as usize;
+            let f = self.slots[slot];
+            let crosses_dead = self.arena[f.off as usize..(f.off + f.len) as usize]
+                .iter()
+                .any(|l| self.dead[l.idx()]);
+            if !crosses_dead {
+                continue;
+            }
+            // unregister the old path
+            for idx in f.off..f.off + f.len {
+                let i = self.arena[idx as usize].idx();
+                self.active[i] -= 1;
+                if self.active[i] == 1 {
+                    self.shared_links -= 1;
+                } else if self.active[i] == 0 {
+                    self.links_dirty = true;
+                }
+            }
+            // compact stale zero-load entries before re-registering so a
+            // link this flow re-populates is not pushed twice
+            if self.links_dirty {
+                let active = &self.active;
+                self.active_links.retain(|&l| active[l as usize] > 0);
+                self.links_dirty = false;
+            }
+            let (off, len) = self.route_ref(f.src as usize, f.dst as usize)?;
+            for idx in off..off + len {
+                let i = self.arena[idx as usize].idx();
+                if self.active[i] == 0 {
+                    self.active_links.push(i as u32);
+                }
+                self.active[i] += 1;
+                if self.active[i] == 2 {
+                    self.shared_links += 1;
+                }
+                self.peak_flows[i] = self.peak_flows[i].max(self.active[i]);
+            }
+            let f = &mut self.slots[slot];
+            f.off = off;
+            f.len = len;
+            rerouted += 1;
+        }
+        Ok(rerouted)
+    }
+
     /// Whether `epoch` is still the live completion estimate of `msg`
     /// (false once resharing superseded it or the flow finished).
     pub fn is_current(&self, msg: usize, epoch: u64) -> bool {
@@ -284,6 +450,21 @@ impl FlowNet {
     /// Number of reshare passes performed (an engine cost metric).
     pub fn reshares(&self) -> u64 {
         self.reshares
+    }
+
+    /// Fault events applied so far.
+    pub fn faults_applied(&self) -> u64 {
+        self.faults_applied
+    }
+
+    /// Active flows moved onto a new route by kills so far.
+    pub fn flows_rerouted(&self) -> u64 {
+        self.flows_rerouted
+    }
+
+    /// Reshare passes forced by fault events (subset of `reshares`).
+    pub fn reroute_reshares(&self) -> u64 {
+        self.reroute_reshares
     }
 
     /// Flows currently in flight.
@@ -308,6 +489,7 @@ impl FlowNet {
                 bytes: self.bytes[i],
                 busy_secs: self.busy_secs[i],
                 peak_flows: self.peak_flows[i],
+                faults: self.link_faults[i],
             })
             .collect()
     }
@@ -324,17 +506,33 @@ impl FlowNet {
             .collect()
     }
 
-    /// Intern the `src -> dst` route and return its arena view.
-    fn route_ref(&mut self, src_node: usize, dst_node: usize) -> (u32, u32) {
+    /// Intern the `src -> dst` route and return its arena view. With
+    /// dead links in play the route avoids them (the cache is cleared
+    /// on every kill/restore, so cached routes always match the current
+    /// dead set); a disconnected pair errs instead of routing.
+    fn route_ref(&mut self, src_node: usize, dst_node: usize) -> Result<(u32, u32), Partition> {
         let key = (src_node as u32, dst_node as u32);
         if let Some(&r) = self.route_cache.get(&key) {
-            return r;
+            return Ok(r);
         }
         let off = self.arena.len() as u32;
-        self.graph.route_into(src_node, dst_node, &mut self.arena);
+        if self.dead_count == 0 {
+            self.graph.route_into(src_node, dst_node, &mut self.arena);
+        } else if let Err(link) =
+            self.graph
+                .route_avoiding(src_node, dst_node, &self.dead, &mut self.arena)
+        {
+            // drop any partial hops the torus fallback appended
+            self.arena.truncate(off as usize);
+            return Err(Partition {
+                src: src_node,
+                dst: dst_node,
+                link: self.graph.links()[link.idx()].label.clone(),
+            });
+        }
         let len = self.arena.len() as u32 - off;
         self.route_cache.insert(key, (off, len));
-        (off, len)
+        Ok((off, len))
     }
 
     /// Advance all flows from `last` to `now` at their current rates.
@@ -496,7 +694,8 @@ mod tests {
             Time::ZERO,
             &mut out,
             &mut NoopSink,
-        );
+        )
+        .unwrap();
         assert_eq!(out.len(), 1);
         let expect = Time::secs(10e-6 + 1_000_000.0 / 100e6);
         assert_eq!(out[0].at, expect, "must match latency + size/capacity");
@@ -524,7 +723,8 @@ mod tests {
             Time::ZERO,
             &mut out,
             &mut NoopSink,
-        );
+        )
+        .unwrap();
         let first = out[0];
         out.clear();
         n.start(
@@ -536,7 +736,8 @@ mod tests {
             Time::ZERO,
             &mut out,
             &mut NoopSink,
-        );
+        )
+        .unwrap();
         // both flows re-estimated at 50 MB/s
         assert_eq!(out.len(), 2);
         assert!(!n.is_current(0, first.epoch), "old estimate must be stale");
@@ -559,7 +760,8 @@ mod tests {
             Time::ZERO,
             &mut out,
             &mut NoopSink,
-        );
+        )
+        .unwrap();
         let first = out[0];
         out.clear();
         n.start(
@@ -571,7 +773,8 @@ mod tests {
             Time::secs(0.001),
             &mut out,
             &mut NoopSink,
-        );
+        )
+        .unwrap();
         assert_eq!(out.len(), 1, "only the new flow gets an event");
         assert_eq!(out[0].msg, 1);
         assert!(n.is_current(0, first.epoch));
@@ -590,8 +793,10 @@ mod tests {
             Time::ZERO,
             &mut out,
             &mut NoopSink,
-        );
-        n.start(1, 0, 2, 500_000.0, 0.0, Time::ZERO, &mut out, &mut NoopSink);
+        )
+        .unwrap();
+        n.start(1, 0, 2, 500_000.0, 0.0, Time::ZERO, &mut out, &mut NoopSink)
+            .unwrap();
         out.clear();
         // flow 1 (500 kB at 50 MB/s) completes at 10 ms
         let t = Time::secs(0.01);
@@ -621,7 +826,8 @@ mod tests {
             Time::ZERO,
             &mut out,
             &mut NoopSink,
-        );
+        )
+        .unwrap();
         n.start(
             1,
             0,
@@ -631,7 +837,8 @@ mod tests {
             Time::ZERO,
             &mut out,
             &mut NoopSink,
-        );
+        )
+        .unwrap();
         n.finish(0, Time::secs(0.02), &mut out, &mut NoopSink);
         n.finish(1, Time::secs(0.02), &mut out, &mut NoopSink);
         let usage = n.usage();
@@ -647,9 +854,12 @@ mod tests {
         let mut n = net(6, 100.0);
         // start 3, finish the middle one, then start a *lower* id than
         // the current maximum (as rendezvous grants can) and a higher one
-        n.start(5, 0, 1, 1e6, 0.0, Time::ZERO, &mut out, &mut NoopSink);
-        n.start(7, 2, 3, 1e6, 0.0, Time::ZERO, &mut out, &mut NoopSink);
-        n.start(9, 4, 5, 1e6, 0.0, Time::ZERO, &mut out, &mut NoopSink);
+        n.start(5, 0, 1, 1e6, 0.0, Time::ZERO, &mut out, &mut NoopSink)
+            .unwrap();
+        n.start(7, 2, 3, 1e6, 0.0, Time::ZERO, &mut out, &mut NoopSink)
+            .unwrap();
+        n.start(9, 4, 5, 1e6, 0.0, Time::ZERO, &mut out, &mut NoopSink)
+            .unwrap();
         n.finish(7, Time::secs(0.001), &mut out, &mut NoopSink);
         n.start(
             6,
@@ -660,7 +870,8 @@ mod tests {
             Time::secs(0.001),
             &mut out,
             &mut NoopSink,
-        );
+        )
+        .unwrap();
         n.start(
             11,
             1,
@@ -670,7 +881,8 @@ mod tests {
             Time::secs(0.001),
             &mut out,
             &mut NoopSink,
-        );
+        )
+        .unwrap();
         let ids: Vec<usize> = n.debug_rates().iter().map(|&(m, _)| m).collect();
         assert_eq!(ids, vec![5, 6, 9, 11], "ascending id order maintained");
         assert_eq!(n.active_flows(), 4);
@@ -687,16 +899,155 @@ mod tests {
         let mut n = net(3, 100.0);
         // drain the net to empty: the last finish skips its reshare, so
         // node 0's up link lingers in the active set with zero load
-        n.start(0, 0, 1, 1e6, 0.0, Time::ZERO, &mut out, &mut NoopSink);
+        n.start(0, 0, 1, 1e6, 0.0, Time::ZERO, &mut out, &mut NoopSink)
+            .unwrap();
         n.finish(0, Time::secs(0.02), &mut out, &mut NoopSink);
         // re-populate that same link with two flows; a duplicate active
         // entry would double-charge it and halve both rates
         let t = Time::secs(0.03);
-        n.start(1, 0, 1, 1e6, 0.0, t, &mut out, &mut NoopSink);
-        n.start(2, 0, 2, 1e6, 0.0, t, &mut out, &mut NoopSink);
+        n.start(1, 0, 1, 1e6, 0.0, t, &mut out, &mut NoopSink)
+            .unwrap();
+        n.start(2, 0, 2, 1e6, 0.0, t, &mut out, &mut NoopSink)
+            .unwrap();
         for (msg, r) in n.debug_rates() {
             assert_eq!(r, 50e6, "flow {msg} must get half the shared link");
         }
+    }
+
+    #[test]
+    fn kill_reroutes_a_mid_flight_fat_tree_flow() {
+        let g = LinkGraph::build(
+            &Topology::FatTree {
+                radix: 4,
+                oversubscription: 1,
+            },
+            16,
+            100.0,
+        )
+        .unwrap();
+        let route = g.route(0, 4);
+        let fabric = route[1]; // first fabric hop (e0 -> an agg)
+        let mut n = FlowNet::new(g);
+        let mut out = Vec::new();
+        // cross-pod flow occupying the default ECMP path
+        n.start(0, 0, 4, 1e6, 0.0, Time::ZERO, &mut out, &mut NoopSink)
+            .unwrap();
+        assert_eq!(n.usage()[fabric.idx()].peak_flows, 1);
+        out.clear();
+        let outcome = n
+            .apply_fault(
+                &FaultAction::Kill,
+                &[fabric],
+                Time::secs(1e-3),
+                &mut out,
+                &mut NoopSink,
+            )
+            .unwrap();
+        assert_eq!(outcome.rerouted, 1, "the flow must move off the dead link");
+        assert!(outcome.reshared);
+        assert_eq!(n.flows_rerouted(), 1);
+        // the survivor still drains at full rate on its alternate path,
+        // so no re-estimate is due (rate unchanged => old ETA stands)
+        for (_, r) in n.debug_rates() {
+            assert_eq!(r, 100e6);
+        }
+        assert!(out.is_empty());
+        // killing the host up-link leaves no alternate: partition
+        let host = FlowNet::new(
+            LinkGraph::build(
+                &Topology::FatTree {
+                    radix: 4,
+                    oversubscription: 1,
+                },
+                16,
+                100.0,
+            )
+            .unwrap(),
+        );
+        let mut host = host;
+        host.start(0, 0, 4, 1e6, 0.0, Time::ZERO, &mut out, &mut NoopSink)
+            .unwrap();
+        let up = host.graph.route(0, 4)[0];
+        let err = host
+            .apply_fault(
+                &FaultAction::Kill,
+                &[up],
+                Time::secs(1e-3),
+                &mut out,
+                &mut NoopSink,
+            )
+            .unwrap_err();
+        assert_eq!((err.src, err.dst), (0, 4));
+        assert_eq!(&*err.link, "h0->e0");
+    }
+
+    #[test]
+    fn degrade_then_restore_recovers_full_rate() {
+        let mut out = Vec::new();
+        let mut n = net(2, 100.0);
+        n.start(0, 0, 1, 1e6, 0.0, Time::ZERO, &mut out, &mut NoopSink)
+            .unwrap();
+        let up = LinkId(0);
+        let o = n
+            .apply_fault(
+                &FaultAction::Degrade { factor: 0.25 },
+                &[up],
+                Time::secs(1e-3),
+                &mut out,
+                &mut NoopSink,
+            )
+            .unwrap();
+        assert!(o.reshared, "active link: degrade must reshare");
+        assert_eq!(n.debug_rates()[0].1, 25e6);
+        // degrading again applies to the HEALTHY capacity, not compounding
+        let o2 = n
+            .apply_fault(
+                &FaultAction::Degrade { factor: 0.5 },
+                &[up],
+                Time::secs(2e-3),
+                &mut out,
+                &mut NoopSink,
+            )
+            .unwrap();
+        assert!(o2.reshared);
+        assert_eq!(n.debug_rates()[0].1, 50e6);
+        let o3 = n
+            .apply_fault(
+                &FaultAction::Restore,
+                &[up],
+                Time::secs(3e-3),
+                &mut out,
+                &mut NoopSink,
+            )
+            .unwrap();
+        assert!(o3.reshared);
+        assert_eq!(n.debug_rates()[0].1, 100e6);
+        assert_eq!(n.faults_applied(), 3);
+        assert_eq!(n.usage()[0].faults, 3);
+    }
+
+    #[test]
+    fn fault_on_idle_link_does_not_reshare() {
+        let mut out = Vec::new();
+        let mut n = net(3, 100.0);
+        n.start(0, 0, 1, 1e6, 0.0, Time::ZERO, &mut out, &mut NoopSink)
+            .unwrap();
+        let reshares_before = n.reshares();
+        // node 2's links carry nothing: fault must not touch flow state
+        let idle = LinkId(2);
+        let o = n
+            .apply_fault(
+                &FaultAction::Kill,
+                &[idle],
+                Time::secs(1e-3),
+                &mut out,
+                &mut NoopSink,
+            )
+            .unwrap();
+        assert!(!o.reshared);
+        assert_eq!(o.rerouted, 0);
+        assert_eq!(n.reshares(), reshares_before);
+        assert_eq!(n.debug_rates()[0].1, 100e6);
     }
 
     #[test]
@@ -709,7 +1060,8 @@ mod tests {
                 FlowNet::new(g)
             };
             let mut out = Vec::new();
-            n.start(0, 0, 1, 1e6, 1e-5, Time::ZERO, &mut out, &mut NoopSink);
+            n.start(0, 0, 1, 1e6, 1e-5, Time::ZERO, &mut out, &mut NoopSink)
+                .unwrap();
             n.start(
                 1,
                 0,
@@ -719,7 +1071,8 @@ mod tests {
                 Time::secs(1e-3),
                 &mut out,
                 &mut NoopSink,
-            );
+            )
+            .unwrap();
             n.start(
                 2,
                 1,
@@ -729,7 +1082,8 @@ mod tests {
                 Time::secs(2e-3),
                 &mut out,
                 &mut NoopSink,
-            );
+            )
+            .unwrap();
             n.finish(0, Time::secs(3e-2), &mut out, &mut NoopSink);
             out.iter()
                 .map(|e| (e.msg, e.at, e.epoch))

@@ -22,10 +22,12 @@
 //! node behave bit-identically to the uncontended bus model.
 
 pub mod fairshare;
+pub mod fault;
 pub mod flows;
 pub mod topology;
 
 pub use fairshare::max_min_rates;
+pub use fault::{AppliedFault, FaultAction, FaultEvent, FaultSchedule, LinkSelector};
 pub use flows::{FlowEvent, FlowNet};
 pub use topology::{ContentionModel, Link, LinkGraph, LinkId, Topology};
 
@@ -43,6 +45,8 @@ pub struct LinkUsage {
     pub busy_secs: f64,
     /// Maximum number of simultaneous flows observed.
     pub peak_flows: u32,
+    /// Fault events that touched this link (kill, degrade or restore).
+    pub faults: u32,
 }
 
 impl LinkUsage {

@@ -383,6 +383,99 @@ impl LinkGraph {
         }
     }
 
+    /// Resolve a fault selector to the concrete links it addresses.
+    pub fn select(&self, sel: &super::fault::LinkSelector) -> Result<Vec<LinkId>, String> {
+        use super::fault::LinkSelector;
+        match sel {
+            LinkSelector::Label(label) => self
+                .links
+                .iter()
+                .position(|l| &*l.label == label.as_str())
+                .map(|i| vec![LinkId(i as u32)])
+                .ok_or_else(|| format!("no link labelled `{label}` in this topology")),
+            LinkSelector::Index(i) => {
+                if (*i as usize) < self.links.len() {
+                    Ok(vec![LinkId(*i)])
+                } else {
+                    Err(format!(
+                        "link index {i} out of range (topology has {} links)",
+                        self.links.len()
+                    ))
+                }
+            }
+            LinkSelector::Uplinks => match &self.router {
+                Router::Crossbar { nodes } => Ok((0..*nodes as u32).map(LinkId).collect()),
+                Router::FatTree { .. } => {
+                    // block layout: host-up, host-down, edge->agg,
+                    // agg->edge, agg->core, core->agg (see `build`)
+                    let hosts = self.links.len() / 6;
+                    Ok((0..hosts)
+                        .chain(2 * hosts..3 * hosts)
+                        .chain(4 * hosts..5 * hosts)
+                        .map(|i| LinkId(i as u32))
+                        .collect())
+                }
+                Router::Torus { .. } => Err(
+                    "selector `uplink:*` needs an up direction; only crossbar and fat-tree \
+                     topologies have one"
+                        .to_string(),
+                ),
+            },
+            LinkSelector::Dim(d) => match &self.router {
+                Router::Torus { dims } => {
+                    let ndims = dims.len();
+                    if *d as usize >= ndims {
+                        return Err(format!(
+                            "torus dimension {d} out of range (topology has {ndims})"
+                        ));
+                    }
+                    Ok((0..self.links.len())
+                        .filter(|slot| (slot / 2) % ndims == *d as usize)
+                        .map(|i| LinkId(i as u32))
+                        .collect())
+                }
+                _ => Err(format!(
+                    "selector `dim:{d}` addresses torus dimensions; only torus topologies \
+                     have them"
+                )),
+            },
+        }
+    }
+
+    /// Deterministic route from `src` to `dst` avoiding every link with
+    /// `dead[link] == true`, exploiting whatever path diversity the
+    /// topology has: the fat-tree re-selects its ECMP plane/core pair,
+    /// the torus falls back to the reverse wrap direction per dimension.
+    /// Errs with the blocking link when the pair is partitioned.
+    pub fn route_avoiding(
+        &self,
+        src: usize,
+        dst: usize,
+        dead: &[bool],
+        out: &mut Vec<LinkId>,
+    ) -> Result<(), LinkId> {
+        debug_assert_ne!(src, dst, "routing a node to itself");
+        let alive = |l: LinkId| !dead[l.idx()];
+        match &self.router {
+            Router::Crossbar { nodes } => {
+                // a crossbar has exactly one path per pair
+                let up = LinkId(src as u32);
+                let down = LinkId((nodes + dst) as u32);
+                if !alive(up) {
+                    return Err(up);
+                }
+                if !alive(down) {
+                    return Err(down);
+                }
+                out.push(up);
+                out.push(down);
+                Ok(())
+            }
+            Router::FatTree { half } => fat_tree_route_avoiding(src, dst, *half, dead, out),
+            Router::Torus { dims } => torus_route_avoiding(src, dst, dims, dead, out),
+        }
+    }
+
     /// Build `topo` through a process-wide cache of compiled graphs.
     ///
     /// Compiling a topology is pure — the result depends only on
@@ -512,6 +605,144 @@ fn fat_tree_route(src: usize, dst: usize, half: usize, path: &mut Vec<LinkId>) {
         path.push(edge_down(ed, a));
     }
     path.push(down_host(dst));
+}
+
+/// Fat-tree routing with ECMP re-selection around dead links. The
+/// destination-preferred `(plane, core)` pair is tried first (so with
+/// no dead link on it the route equals [`fat_tree_route`] exactly),
+/// then the remaining pairs in ascending order — a fixed, load-blind
+/// order that keeps replays deterministic.
+fn fat_tree_route_avoiding(
+    src: usize,
+    dst: usize,
+    half: usize,
+    dead: &[bool],
+    path: &mut Vec<LinkId>,
+) -> Result<(), LinkId> {
+    let hosts_per_pod = half * half;
+    let total_hosts = 2 * half * hosts_per_pod;
+    let edge_of = |h: usize| h / half;
+    let pod_of = |h: usize| h / hosts_per_pod;
+    let up_host = |h: usize| LinkId(h as u32);
+    let down_host = |h: usize| LinkId((total_hosts + h) as u32);
+    let edge_up = |edge: usize, a: usize| LinkId((2 * total_hosts + edge * half + a) as u32);
+    let edge_down = |edge: usize, a: usize| LinkId((3 * total_hosts + edge * half + a) as u32);
+    let agg_up = |pod: usize, a: usize, i: usize| {
+        LinkId((4 * total_hosts + (pod * half + a) * half + i) as u32)
+    };
+    let agg_down = |pod: usize, a: usize, i: usize| {
+        LinkId((5 * total_hosts + (pod * half + a) * half + i) as u32)
+    };
+    let alive = |l: LinkId| !dead[l.idx()];
+
+    // the host links have no alternative
+    let (up, down) = (up_host(src), down_host(dst));
+    if !alive(up) {
+        return Err(up);
+    }
+    if !alive(down) {
+        return Err(down);
+    }
+    let (es, ed) = (edge_of(src), edge_of(dst));
+    if es == ed {
+        path.push(up);
+        path.push(down);
+        return Ok(());
+    }
+    let a0 = dst % half;
+    if pod_of(src) == pod_of(dst) {
+        // same pod: the free choice is the aggregation plane
+        let planes = std::iter::once(a0).chain((0..half).filter(|&a| a != a0));
+        let mut blocker = None;
+        for a in planes {
+            let hops = [edge_up(es, a), edge_down(ed, a)];
+            match hops.iter().find(|&&l| !alive(l)) {
+                None => {
+                    path.push(up);
+                    path.extend_from_slice(&hops);
+                    path.push(down);
+                    return Ok(());
+                }
+                Some(&l) => blocker.get_or_insert(l),
+            };
+        }
+        return Err(blocker.unwrap());
+    }
+    // cross-pod: the free choice is the (plane, core-within-plane) pair
+    let i0 = (dst / half) % half;
+    let (ps, pd) = (pod_of(src), pod_of(dst));
+    let pairs = std::iter::once((a0, i0))
+        .chain((0..half).flat_map(|a| (0..half).map(move |i| (a, i)).filter(|&p| p != (a0, i0))));
+    let mut blocker = None;
+    for (a, i) in pairs {
+        let hops = [
+            edge_up(es, a),
+            agg_up(ps, a, i),
+            agg_down(pd, a, i),
+            edge_down(ed, a),
+        ];
+        match hops.iter().find(|&&l| !alive(l)) {
+            None => {
+                path.push(up);
+                path.extend_from_slice(&hops);
+                path.push(down);
+                return Ok(());
+            }
+            Some(&l) => blocker.get_or_insert(l),
+        };
+    }
+    Err(blocker.unwrap())
+}
+
+/// Dimension-order torus routing with dimension-reversal fallback:
+/// when the preferred wrap direction crosses a dead link, the whole
+/// dimension is traversed the other way round instead.
+fn torus_route_avoiding(
+    src: usize,
+    dst: usize,
+    dims: &[u32],
+    dead: &[bool],
+    path: &mut Vec<LinkId>,
+) -> Result<(), LinkId> {
+    let ndims = dims.len();
+    let mut cur = torus_coords(src, dims);
+    let target = torus_coords(dst, dims);
+    let mut hops: Vec<LinkId> = Vec::new();
+    for dim in 0..ndims {
+        if cur[dim] == target[dim] {
+            continue;
+        }
+        let d = dims[dim] as usize;
+        let forward = (target[dim] + d - cur[dim]) % d;
+        let preferred = if forward <= d - forward { 0 } else { 1 };
+        let mut blocker = None;
+        let mut routed = false;
+        'dirs: for dir in [preferred, 1 - preferred] {
+            hops.clear();
+            let mut c = cur;
+            while c[dim] != target[dim] {
+                let l = torus_link(torus_index(&c, dims), ndims, dim, dir);
+                if dead[l.idx()] {
+                    blocker.get_or_insert(l);
+                    continue 'dirs;
+                }
+                hops.push(l);
+                c[dim] = if dir == 0 {
+                    (c[dim] + 1) % d
+                } else {
+                    (c[dim] + d - 1) % d
+                };
+            }
+            path.extend_from_slice(&hops);
+            cur[dim] = target[dim];
+            routed = true;
+            break;
+        }
+        if !routed {
+            return Err(blocker.unwrap());
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -738,5 +969,109 @@ mod tests {
         }
         // errors pass through rather than poisoning the cache
         assert!(LinkGraph::cached(&Topology::Torus { dims: vec![] }, 4, 125.0).is_err());
+    }
+
+    #[test]
+    fn route_avoiding_matches_route_when_nothing_is_dead() {
+        let topos: Vec<(Topology, usize)> = vec![
+            (Topology::Crossbar, 5),
+            (
+                Topology::FatTree {
+                    radix: 4,
+                    oversubscription: 1,
+                },
+                16,
+            ),
+            (Topology::Torus { dims: vec![3, 2] }, 6),
+        ];
+        for (topo, nodes) in topos {
+            let g = LinkGraph::build(&topo, nodes, 100.0).unwrap();
+            let dead = vec![false; g.len()];
+            for src in 0..nodes {
+                for dst in 0..nodes {
+                    if src == dst {
+                        continue;
+                    }
+                    let mut out = Vec::new();
+                    g.route_avoiding(src, dst, &dead, &mut out).unwrap();
+                    assert_eq!(out, g.route(src, dst), "{topo:?} {src}->{dst}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_reroutes_around_a_dead_fabric_link() {
+        let t = Topology::FatTree {
+            radix: 4,
+            oversubscription: 1,
+        };
+        let g = LinkGraph::build(&t, 16, 100.0).unwrap();
+        let mut dead = vec![false; g.len()];
+        // kill every link on the default 0->4 route except the host
+        // links; an alternate (plane, core) pair must be found
+        let default = g.route(0, 4);
+        assert_eq!(default.len(), 6);
+        for l in &default[1..5] {
+            dead[l.idx()] = true;
+        }
+        let mut out = Vec::new();
+        g.route_avoiding(0, 4, &dead, &mut out).unwrap();
+        assert_eq!(out.len(), 6);
+        assert_ne!(out, default);
+        assert!(out.iter().all(|l| !dead[l.idx()]));
+        assert_eq!(out[0], default[0], "host up link is fixed");
+        assert_eq!(out[5], default[5], "host down link is fixed");
+        // killing a host link partitions the pair: no alternative
+        dead[default[0].idx()] = true;
+        let mut out = Vec::new();
+        assert_eq!(g.route_avoiding(0, 4, &dead, &mut out), Err(default[0]));
+    }
+
+    #[test]
+    fn torus_reverses_a_dimension_around_a_dead_link() {
+        let t = Topology::Torus { dims: vec![4] };
+        let g = LinkGraph::build(&t, 4, 100.0).unwrap();
+        // preferred 0 -> 1 is one +x hop; kill it and the route must
+        // wrap the other way (three -x hops)
+        let mut dead = vec![false; g.len()];
+        dead[torus_link(0, 1, 0, 0).idx()] = true;
+        let mut out = Vec::new();
+        g.route_avoiding(0, 1, &dead, &mut out).unwrap();
+        assert_eq!(
+            out,
+            vec![
+                torus_link(0, 1, 0, 1),
+                torus_link(3, 1, 0, 1),
+                torus_link(2, 1, 0, 1),
+            ]
+        );
+        // killing both directions out of node 0 partitions it
+        dead[torus_link(0, 1, 0, 1).idx()] = true;
+        let mut out = Vec::new();
+        assert_eq!(
+            g.route_avoiding(0, 1, &dead, &mut out),
+            Err(torus_link(0, 1, 0, 0))
+        );
+    }
+
+    #[test]
+    fn select_resolves_labels_uplinks_and_dims() {
+        use crate::net::fault::LinkSelector;
+        let g = LinkGraph::build(&Topology::Crossbar, 3, 100.0).unwrap();
+        assert_eq!(
+            g.select(&LinkSelector::Label("sw->n2".into())).unwrap(),
+            vec![LinkId(5)]
+        );
+        assert_eq!(
+            g.select(&LinkSelector::Uplinks).unwrap(),
+            vec![LinkId(0), LinkId(1), LinkId(2)]
+        );
+        assert!(g.select(&LinkSelector::Index(99)).is_err());
+        assert!(g.select(&LinkSelector::Dim(0)).is_err());
+        let torus = LinkGraph::build(&Topology::Torus { dims: vec![2, 2] }, 4, 100.0).unwrap();
+        let d0 = torus.select(&LinkSelector::Dim(0)).unwrap();
+        assert_eq!(d0.len(), 8);
+        assert!(d0.iter().all(|l| (l.idx() / 2) % 2 == 0));
     }
 }

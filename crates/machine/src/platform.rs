@@ -5,7 +5,7 @@
 //! input/output ports, and the CPU speed used to scale instruction
 //! counts into time.
 
-use crate::net::{ContentionModel, Topology};
+use crate::net::{ContentionModel, FaultSchedule, Topology};
 use crate::time::Time;
 use ovlp_trace::{Bytes, Instructions};
 
@@ -104,6 +104,10 @@ pub struct Platform {
     /// `buses` is ignored (ports still apply) and `bandwidth_mbs` is the
     /// endpoint link capacity.
     pub contention: ContentionModel,
+    /// Deterministic link-fault schedule applied during the replay
+    /// (kill/degrade/restore events, see [`crate::net::fault`]). Only
+    /// meaningful in flow mode; empty (the default) injects nothing.
+    pub faults: FaultSchedule,
 }
 
 impl Default for Platform {
@@ -126,6 +130,7 @@ impl Default for Platform {
             wan_latency_us: 1000.0,
             wan_links: 0,
             contention: ContentionModel::Bus,
+            faults: FaultSchedule::default(),
         }
     }
 }
@@ -174,6 +179,15 @@ impl Platform {
     /// contention instead of the bus counter).
     pub fn with_topology(&self, topology: Topology) -> Platform {
         self.with_contention(ContentionModel::Flow(topology))
+    }
+
+    /// Same platform with a link-fault schedule (flow mode only; the
+    /// bus model has no links to fault — `check` rejects that combo).
+    pub fn with_faults(&self, faults: FaultSchedule) -> Platform {
+        Platform {
+            faults,
+            ..self.clone()
+        }
     }
 
     /// Same platform with multi-core nodes: `ranks_per_node` ranks
@@ -323,6 +337,15 @@ impl Platform {
         if let ContentionModel::Flow(topo) = &self.contention {
             topo.check()?;
         }
+        self.faults.validate()?;
+        if !self.faults.is_empty() && !matches!(self.contention, ContentionModel::Flow(_)) {
+            return Err(
+                "fault schedules need explicit links: use a flow-level topology \
+                 (crossbar | fat-tree:<radix>[:<oversub>] | torus:<A>x<B>[x<C>]), not the \
+                 bus model"
+                    .to_string(),
+            );
+        }
         Ok(())
     }
 }
@@ -385,5 +408,19 @@ mod tests {
         }
         .check()
         .is_err());
+    }
+
+    #[test]
+    fn faults_require_a_flow_topology() {
+        let faults: FaultSchedule = "kill@1ms:n0->sw".parse().unwrap();
+        let bus = Platform::default().with_faults(faults.clone());
+        let err = bus.check().unwrap_err();
+        assert!(err.contains("not the bus model"), "{err}");
+        let flow = Platform::default()
+            .with_topology(Topology::Crossbar)
+            .with_faults(faults);
+        assert!(flow.check().is_ok());
+        // builders must carry the schedule along
+        assert!(!flow.with_bandwidth(100.0).faults.is_empty());
     }
 }

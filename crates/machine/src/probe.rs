@@ -20,7 +20,8 @@
 //! point-sampled gauges fill forward (a gauge holds its value until the
 //! next sample) and report each window's maximum.
 
-use crate::net::topology::Link;
+use crate::net::fault::FaultAction;
+use crate::net::topology::{Link, LinkId};
 use crate::time::Time;
 use crate::timeline::State;
 
@@ -34,6 +35,8 @@ pub enum EventKind {
     TransferDone,
     /// A flow-level completion estimate fired (possibly stale).
     FlowDone,
+    /// A scheduled link fault struck (kill, degrade or restore).
+    Fault,
 }
 
 impl EventKind {
@@ -43,6 +46,7 @@ impl EventKind {
             EventKind::Resume => 0,
             EventKind::TransferDone => 1,
             EventKind::FlowDone => 2,
+            EventKind::Fault => 3,
         }
     }
 
@@ -51,6 +55,7 @@ impl EventKind {
             EventKind::Resume => "resume",
             EventKind::TransferDone => "transfer_done",
             EventKind::FlowDone => "flow_done",
+            EventKind::Fault => "fault",
         }
     }
 }
@@ -99,6 +104,20 @@ pub trait ProbeSink {
     /// was superseded by a reshare before it fired). Counts the dead
     /// heap traffic the epoch-guard scheme trades for O(1) rescheduling.
     fn on_stale_flow_done(&mut self, at: Time) {}
+
+    /// A scheduled fault was applied to `links` at `at`: `rerouted`
+    /// in-flight flows were moved off killed links, and `reshared` says
+    /// whether the allocator re-ran (faults on idle links don't
+    /// reshare, which keeps them invisible to flow timing).
+    fn on_fault(
+        &mut self,
+        at: Time,
+        links: &[LinkId],
+        action: &FaultAction,
+        rerouted: u32,
+        reshared: bool,
+    ) {
+    }
 
     /// Replay finished: final runtime and the event-queue high-water
     /// mark.
@@ -159,18 +178,23 @@ pub struct WindowedRecorder {
     /// link -> window -> bytes carried.
     link_bytes: Vec<Vec<f64>>,
     /// window -> events dispatched per [`EventKind`].
-    events_w: Vec<[u64; 3]>,
+    events_w: Vec<[u64; 4]>,
     /// window -> reshare passes.
     reshares_w: Vec<u64>,
     in_flight: PeakSeries,
     queue_depth: PeakSeries,
     buses: PeakSeries,
     ports: PeakSeries,
-    events_by_kind: [u64; 3],
+    events_by_kind: [u64; 4],
     reshares: u64,
     stale_popped: u64,
     queue_peak: usize,
     max_in_flight: u32,
+    /// link -> hit by at least one fault event.
+    link_faulted: Vec<bool>,
+    faults_applied: u64,
+    flows_rerouted: u64,
+    reroute_reshares: u64,
     runtime_s: f64,
 }
 
@@ -195,11 +219,15 @@ impl WindowedRecorder {
             queue_depth: PeakSeries::default(),
             buses: PeakSeries::default(),
             ports: PeakSeries::default(),
-            events_by_kind: [0; 3],
+            events_by_kind: [0; 4],
             reshares: 0,
             stale_popped: 0,
             queue_peak: 0,
             max_in_flight: 0,
+            link_faulted: Vec::new(),
+            faults_applied: 0,
+            flows_rerouted: 0,
+            reroute_reshares: 0,
             runtime_s: 0.0,
         }
     }
@@ -250,7 +278,8 @@ impl WindowedRecorder {
             .link_meta
             .into_iter()
             .zip(self.link_bytes)
-            .map(|((label, capacity_bps), bytes)| {
+            .zip(self.link_faulted)
+            .map(|(((label, capacity_bps), bytes), faulted)| {
                 let bytes = pad(bytes);
                 let full = capacity_bps * self.window_s;
                 let utilization = bytes
@@ -268,11 +297,12 @@ impl WindowedRecorder {
                     capacity_bps,
                     utilization,
                     bytes,
+                    faulted,
                 }
             })
             .collect();
         let mut events_w = self.events_w;
-        events_w.resize(windows, [0; 3]);
+        events_w.resize(windows, [0; 4]);
         let mut reshares_w = self.reshares_w;
         reshares_w.resize(windows, 0);
         Metrics {
@@ -295,6 +325,9 @@ impl WindowedRecorder {
                 stale_popped: self.stale_popped,
                 queue_peak: self.queue_peak,
                 max_in_flight: self.max_in_flight,
+                faults_applied: self.faults_applied,
+                flows_rerouted: self.flows_rerouted,
+                reroute_reshares: self.reroute_reshares,
             },
         }
     }
@@ -333,6 +366,7 @@ impl ProbeSink for WindowedRecorder {
             .map(|l| (l.label.clone(), l.capacity))
             .collect();
         self.link_bytes = vec![Vec::new(); links.len()];
+        self.link_faulted = vec![false; links.len()];
     }
 
     fn on_state(&mut self, rank: usize, start: Time, end: Time, state: State) {
@@ -355,7 +389,7 @@ impl ProbeSink for WindowedRecorder {
     fn on_event(&mut self, at: Time, kind: EventKind, queue_depth: usize) {
         let w = self.window(at);
         if self.events_w.len() <= w {
-            self.events_w.resize(w + 1, [0; 3]);
+            self.events_w.resize(w + 1, [0; 4]);
         }
         self.events_w[w][kind.idx()] += 1;
         self.events_by_kind[kind.idx()] += 1;
@@ -415,6 +449,24 @@ impl ProbeSink for WindowedRecorder {
         self.stale_popped += 1;
     }
 
+    fn on_fault(
+        &mut self,
+        _at: Time,
+        links: &[LinkId],
+        _action: &FaultAction,
+        rerouted: u32,
+        reshared: bool,
+    ) {
+        self.faults_applied += 1;
+        self.flows_rerouted += u64::from(rerouted);
+        self.reroute_reshares += u64::from(reshared);
+        for l in links {
+            if let Some(f) = self.link_faulted.get_mut(l.idx()) {
+                *f = true;
+            }
+        }
+    }
+
     fn on_end(&mut self, runtime: Time, queue_peak: usize) {
         self.runtime_s = runtime.as_secs();
         self.queue_peak = queue_peak;
@@ -466,6 +518,9 @@ pub struct LinkSeries {
     pub utilization: Vec<f64>,
     /// Bytes carried per window.
     pub bytes: Vec<f64>,
+    /// Whether any scheduled fault (kill, degrade or restore) touched
+    /// this link during the replay.
+    pub faulted: bool,
 }
 
 /// Network health gauges: each series holds the per-window maximum of a
@@ -486,9 +541,9 @@ pub struct NetSeries {
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineCounters {
     /// Total events dispatched, indexed like [`EventKind::idx`].
-    pub events_by_kind: [u64; 3],
+    pub events_by_kind: [u64; 4],
     /// Events dispatched per window, indexed like [`EventKind::idx`].
-    pub events_per_window: Vec<[u64; 3]>,
+    pub events_per_window: Vec<[u64; 4]>,
     /// Total max-min reshare passes.
     pub reshares: u64,
     /// Reshare passes per window.
@@ -499,6 +554,13 @@ pub struct EngineCounters {
     pub queue_peak: usize,
     /// Peak concurrent network-level transfers.
     pub max_in_flight: u32,
+    /// Scheduled fault events applied.
+    pub faults_applied: u64,
+    /// In-flight flows moved off killed links.
+    pub flows_rerouted: u64,
+    /// Reshare passes triggered by fault events (idle-link faults
+    /// don't reshare).
+    pub reroute_reshares: u64,
 }
 
 impl Metrics {
@@ -555,11 +617,12 @@ impl Metrics {
         s.push_str("  ],\n  \"links\": [\n");
         for (i, l) in self.links.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"label\": {}, \"capacity_bps\": {}, \"utilization\": {}, \"bytes\": {}}}",
+                "    {{\"label\": {}, \"capacity_bps\": {}, \"utilization\": {}, \"bytes\": {}, \"faulted\": {}}}",
                 json_str(&l.label),
                 json_f64(l.capacity_bps),
                 json_f64_array(l.utilization.iter().copied()),
                 json_f64_array(l.bytes.iter().copied()),
+                l.faulted,
             ));
             s.push_str(if i + 1 < self.links.len() {
                 ",\n"
@@ -587,6 +650,7 @@ impl Metrics {
             EventKind::Resume,
             EventKind::TransferDone,
             EventKind::FlowDone,
+            EventKind::Fault,
         ]
         .iter()
         .enumerate()
@@ -606,7 +670,7 @@ impl Metrics {
             self.engine
                 .events_per_window
                 .iter()
-                .map(|e| format!("[{},{},{}]", e[0], e[1], e[2])),
+                .map(|e| format!("[{},{},{},{}]", e[0], e[1], e[2], e[3])),
         );
         s.push_str("],\n    \"reshares\": ");
         s.push_str(&self.engine.reshares.to_string());
@@ -621,6 +685,12 @@ impl Metrics {
         s.push_str(&self.engine.queue_peak.to_string());
         s.push_str(",\n    \"max_in_flight\": ");
         s.push_str(&self.engine.max_in_flight.to_string());
+        s.push_str(",\n    \"faults_applied\": ");
+        s.push_str(&self.engine.faults_applied.to_string());
+        s.push_str(",\n    \"flows_rerouted\": ");
+        s.push_str(&self.engine.flows_rerouted.to_string());
+        s.push_str(",\n    \"reroute_reshares\": ");
+        s.push_str(&self.engine.reroute_reshares.to_string());
         s.push_str("\n  }\n}\n");
         s
     }
@@ -756,5 +826,44 @@ mod tests {
         assert!(a.contains("\"compute\": [0.5]"));
         assert_eq!(json_f64(f64::INFINITY), "null");
         assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn fault_hook_marks_links_and_counts() {
+        let links = vec![
+            Link {
+                label: "n0->sw".into(),
+                capacity: 100.0,
+            },
+            Link {
+                label: "sw->n0".into(),
+                capacity: 100.0,
+            },
+        ];
+        let mut r = WindowedRecorder::new(Time::secs(1.0));
+        r.on_begin(1, &links);
+        r.on_event(Time::secs(0.5), EventKind::Fault, 0);
+        r.on_fault(Time::secs(0.5), &[LinkId(1)], &FaultAction::Kill, 2, true);
+        r.on_fault(
+            Time::secs(0.7),
+            &[LinkId(1)],
+            &FaultAction::Restore,
+            0,
+            false,
+        );
+        r.on_end(Time::secs(1.0), 0);
+        let m = r.into_metrics();
+        assert!(!m.links[0].faulted);
+        assert!(m.links[1].faulted);
+        assert_eq!(m.engine.events_by_kind[EventKind::Fault.idx()], 1);
+        assert_eq!(m.engine.faults_applied, 2);
+        assert_eq!(m.engine.flows_rerouted, 2);
+        assert_eq!(m.engine.reroute_reshares, 1);
+        let json = m.to_json();
+        assert!(json.contains("\"fault\": 1"));
+        assert!(json.contains("\"faulted\": true"));
+        assert!(json.contains("\"faults_applied\": 2"));
+        assert!(json.contains("\"flows_rerouted\": 2"));
+        assert!(json.contains("\"reroute_reshares\": 1"));
     }
 }

@@ -29,6 +29,7 @@
 use crate::collective::expand_collectives;
 use crate::event::{Event, EventQueue};
 use crate::fx::FxBuildHasher;
+use crate::net::fault::{AppliedFault, Partition, ResolvedFault};
 use crate::net::flows::{FlowEvent, FlowNet};
 use crate::net::{ContentionModel, LinkGraph, LinkUsage};
 use crate::platform::Platform;
@@ -47,6 +48,16 @@ pub enum SimError {
     Deadlock { stuck: Vec<(usize, String)> },
     /// A `Wait` referenced a request never issued.
     UnknownRequest { rank: usize, req: ReqId },
+    /// A transfer needed a route between two nodes but every candidate
+    /// path crosses a killed link: the fault schedule disconnected the
+    /// fabric. `link` is the label of the first dead link the router
+    /// hit. Reported instead of hanging — a partitioned run can never
+    /// complete.
+    Partitioned {
+        src: usize,
+        dst: usize,
+        link: String,
+    },
     /// Platform configuration rejected.
     BadPlatform(String),
     /// Internal resource accounting went corrupt (e.g. a release
@@ -68,6 +79,11 @@ impl std::fmt::Display for SimError {
             SimError::UnknownRequest { rank, req } => {
                 write!(f, "rank {rank}: wait on unknown request {req}")
             }
+            SimError::Partitioned { src, dst, link } => write!(
+                f,
+                "network partitioned: no route from node {src} to node {dst} \
+                 (link {link} is down)"
+            ),
             SimError::BadPlatform(s) => write!(f, "bad platform: {s}"),
             SimError::Accounting(s) => write!(f, "resource accounting corrupt: {s}"),
         }
@@ -103,6 +119,9 @@ pub struct SimResult {
     /// resharing re-estimated after they were scheduled. Zero under the
     /// bus model; a cost metric of the flow-level engine.
     pub stale_events: u64,
+    /// Scheduled faults that were applied, in application order. Empty
+    /// when the platform carried no fault schedule.
+    pub fault_log: Vec<AppliedFault>,
 }
 
 /// Aggregate network statistics of one replay.
@@ -121,6 +140,13 @@ pub struct NetworkStats {
     pub queue_seconds: f64,
     /// Max-min reshare passes performed (flow-level contention only).
     pub reshares: u64,
+    /// Scheduled fault events applied to the fabric.
+    pub faults_applied: u64,
+    /// In-flight flows moved off killed links.
+    pub flows_rerouted: u64,
+    /// Reshare passes triggered by fault events (faults on idle links
+    /// don't reshare).
+    pub reroute_reshares: u64,
 }
 
 impl NetworkStats {
@@ -197,8 +223,8 @@ fn simulate_inner<P: ProbeSink>(
     reference: bool,
 ) -> Result<SimResult, SimError> {
     platform.check().map_err(SimError::BadPlatform)?;
-    let flownet = match &platform.contention {
-        ContentionModel::Bus => None,
+    let (flownet, faults) = match &platform.contention {
+        ContentionModel::Bus => (None, Vec::new()),
         ContentionModel::Flow(topo) => {
             let nranks = trace.nranks();
             let nodes = if nranks == 0 {
@@ -210,12 +236,19 @@ fn simulate_inner<P: ProbeSink>(
             // reuse the compiled topology across replays (and threads)
             let graph = LinkGraph::cached(topo, nodes, platform.bandwidth_mbs)
                 .map_err(SimError::BadPlatform)?;
+            let faults = platform
+                .faults
+                .resolve(&graph)
+                .map_err(SimError::BadPlatform)?;
             let net = FlowNet::new_shared(graph);
-            Some(if reference {
-                net.with_reference_solver()
-            } else {
-                net
-            })
+            (
+                Some(if reference {
+                    net.with_reference_solver()
+                } else {
+                    net
+                }),
+                faults,
+            )
         }
     };
     let has_collectives = trace.ranks.iter().any(|rt| {
@@ -230,7 +263,7 @@ fn simulate_inner<P: ProbeSink>(
     } else {
         trace
     };
-    Engine::new(trace, platform, flownet, probe).run()
+    Engine::new(trace, platform, flownet, faults, probe).run()
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -275,6 +308,8 @@ struct Msg {
 #[derive(Debug)]
 struct RecvReq {
     rank: usize,
+    /// Sender rank the receive was posted against (diagnostics only).
+    src: usize,
     /// Completion time (message arrival), once known.
     complete: Option<Time>,
     /// When the receiver's recv/wait actually returned.
@@ -376,6 +411,10 @@ struct Engine<'a, P: ProbeSink> {
     /// Flow-level network state when the platform selected
     /// [`ContentionModel::Flow`]; `None` under the bus model.
     flownet: Option<FlowNet>,
+    /// Resolved fault schedule, indexed by [`Event::Fault`]'s `idx`.
+    faults: Vec<ResolvedFault>,
+    /// Faults applied so far, in application order.
+    fault_log: Vec<AppliedFault>,
     /// Reusable scratch buffer for flow (re-)estimates.
     flow_scratch: Vec<FlowEvent>,
     /// Observability sink; [`NoopSink`] monomorphizes all hooks away.
@@ -397,6 +436,7 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
         trace: &'a Trace,
         platform: &'a Platform,
         flownet: Option<FlowNet>,
+        faults: Vec<ResolvedFault>,
         probe: &'a mut P,
     ) -> Engine<'a, P> {
         let n = trace.nranks();
@@ -432,6 +472,8 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
                 platform.wan_links,
             ),
             flownet,
+            faults,
+            fault_log: Vec::new(),
             flow_scratch: Vec::new(),
             probe,
             in_flight: 0,
@@ -478,18 +520,25 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
             self.queue.push(Time::ZERO, Event::Resume { rank: r });
             self.ranks[r].blocked = Blocked::ResumeScheduled;
         }
+        // an empty schedule pushes nothing, so a fault-free replay is
+        // bit-identical to an engine without this feature
+        for (i, f) in self.faults.iter().enumerate() {
+            self.queue.push(f.at, Event::Fault { idx: i });
+        }
         while let Some((t, ev)) = self.queue.pop() {
             if P::ENABLED {
                 let kind = match ev {
                     Event::Resume { .. } => EventKind::Resume,
                     Event::TransferDone { .. } => EventKind::TransferDone,
                     Event::FlowDone { .. } => EventKind::FlowDone,
+                    Event::Fault { .. } => EventKind::Fault,
                 };
                 self.probe.on_event(t, kind, self.queue.len());
             }
             match ev {
                 Event::Resume { rank } => self.step(rank, t)?,
                 Event::TransferDone { msg } => self.on_transfer_done(msg, t)?,
+                Event::Fault { idx } => self.on_fault(idx, t)?,
                 Event::FlowDone { msg, epoch } => {
                     let current = self
                         .flownet
@@ -518,10 +567,10 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
                 (
                     r,
                     format!(
-                        "pc={} of {} ({:?})",
+                        "pc={} of {}: {}",
                         rs.pc,
                         self.trace.ranks[r].records.len(),
-                        rs.blocked
+                        self.blocked_detail(r, rs.blocked)
                     ),
                 )
             })
@@ -559,7 +608,12 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
             }
             network.queue_seconds += (m.t_start - m.t_send).as_secs();
         }
-        network.reshares = self.flownet.as_ref().map_or(0, |n| n.reshares());
+        if let Some(n) = &self.flownet {
+            network.reshares = n.reshares();
+            network.faults_applied = n.faults_applied();
+            network.flows_rerouted = n.flows_rerouted();
+            network.reroute_reshares = n.reroute_reshares();
+        }
         let links = self.flownet.as_ref().map(|n| n.usage()).unwrap_or_default();
         let comms = self
             .msgs
@@ -602,7 +656,40 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
             events_processed: self.queue.processed,
             queue_peak: self.queue.peak,
             stale_events: self.stale_popped,
+            fault_log: self.fault_log,
         })
+    }
+
+    /// Human-readable account of what a stuck rank is blocked on, for
+    /// deadlock reports.
+    fn blocked_detail(&self, rank: usize, blocked: Blocked) -> String {
+        match blocked {
+            Blocked::OnReq { req, since, .. } => {
+                let rr = &self.recv_reqs[req];
+                let tag = self.recv_req_tags[req];
+                let why = match rr.msg {
+                    None => "no matching send was ever posted".to_string(),
+                    Some(m) => format!(
+                        "matched send is {:?} ({:?})",
+                        self.msgs[m].state, self.msgs[m].mode
+                    ),
+                };
+                format!(
+                    "waiting since {:?} on recv(src={}, tag={}): {why}",
+                    since, rr.src, tag.0
+                )
+            }
+            Blocked::OnMsg { since, .. } => {
+                match self.msgs.iter().find(|m| m.waiter == Some(rank)) {
+                    Some(m) => format!(
+                        "waiting since {:?} on send(dst={}, tag={}, {:?}, {:?})",
+                        since, m.dst, m.tag.0, m.mode, m.state
+                    ),
+                    None => format!("waiting since {since:?} on a send"),
+                }
+            }
+            other => format!("({other:?})"),
+        }
     }
 
     /// Wait-state label for a tag (collective-internal traffic is
@@ -642,7 +729,7 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
                     return Ok(());
                 }
                 Record::IRecv { src, tag, req, .. } => {
-                    let r = self.post_recv(rank, src.idx(), tag, clock);
+                    let r = self.post_recv(rank, src.idx(), tag, clock)?;
                     self.ranks[rank].reqs.insert(req, ReqHandle::Recv(r));
                     self.ranks[rank].pc += 1;
                 }
@@ -654,7 +741,7 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
                     req,
                     ..
                 } => {
-                    let m = self.start_send(rank, dst.idx(), tag, bytes, mode, clock);
+                    let m = self.start_send(rank, dst.idx(), tag, bytes, mode, clock)?;
                     self.ranks[rank].reqs.insert(req, ReqHandle::Send(m));
                     self.ranks[rank].pc += 1;
                 }
@@ -665,7 +752,7 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
                     mode,
                     ..
                 } => {
-                    let m = self.start_send(rank, dst.idx(), tag, bytes, mode, clock);
+                    let m = self.start_send(rank, dst.idx(), tag, bytes, mode, clock)?;
                     self.ranks[rank].pc += 1;
                     match self.wait_on_send(rank, m, clock) {
                         Flow::Continue => {}
@@ -673,7 +760,7 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
                     }
                 }
                 Record::Recv { src, tag, .. } => {
-                    let r = self.post_recv(rank, src.idx(), tag, clock);
+                    let r = self.post_recv(rank, src.idx(), tag, clock)?;
                     self.ranks[rank].pc += 1;
                     match self.wait_on_recv(rank, r, tag, clock) {
                         Flow::Continue => {}
@@ -710,10 +797,17 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
         self.recv_req_tags[r]
     }
 
-    fn post_recv(&mut self, rank: usize, src: usize, tag: Tag, now: Time) -> usize {
+    fn post_recv(
+        &mut self,
+        rank: usize,
+        src: usize,
+        tag: Tag,
+        now: Time,
+    ) -> Result<usize, SimError> {
         let idx = self.recv_reqs.len();
         self.recv_reqs.push(RecvReq {
             rank,
+            src,
             complete: None,
             consumed_at: None,
             msg: None,
@@ -726,12 +820,12 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
             if self.msgs[mid].mode == SendMode::Rendezvous
                 && self.msgs[mid].state == MsgState::Pending
             {
-                self.try_start_all(now);
+                self.try_start_all(now)?;
             }
         } else {
             ch.unmatched_reqs.push_back(idx);
         }
-        idx
+        Ok(idx)
     }
 
     fn start_send(
@@ -742,7 +836,7 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
         bytes: Bytes,
         mode: SendMode,
         now: Time,
-    ) -> usize {
+    ) -> Result<usize, SimError> {
         let mode = self.platform.effective_mode(mode, bytes);
         let link = if self.platform.node_of(src) == self.platform.node_of(dst) {
             Link::Intra
@@ -773,8 +867,8 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
             ch.unmatched_msgs.push_back(mid);
         }
         self.pending.push_back(mid);
-        self.try_start_all(now);
-        mid
+        self.try_start_all(now)?;
+        Ok(mid)
     }
 
     fn pair(&mut self, mid: usize, req: usize) {
@@ -817,8 +911,9 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
     }
 
     /// First-fit scan of the pending queue, granting resources to every
-    /// startable transfer at time `now`.
-    fn try_start_all(&mut self, now: Time) {
+    /// startable transfer at time `now`. Fails only when a killed link
+    /// left a transfer's endpoints disconnected.
+    fn try_start_all(&mut self, now: Time) -> Result<(), SimError> {
         let mut i = 0;
         while i < self.pending.len() {
             let mid = self.pending[i];
@@ -858,7 +953,7 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
                 // flow-level: register the flow; its completion arrives
                 // as an epoch-guarded FlowDone, `t1` is only the current
                 // estimate
-                self.start_flow(mid, src, dst, bytes, now)
+                self.start_flow(mid, src, dst, bytes, now)?
             } else {
                 let t1 = now
                     + match link {
@@ -890,11 +985,28 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Convert a routing failure into the engine-level error.
+    fn partitioned(p: Partition) -> SimError {
+        SimError::Partitioned {
+            src: p.src,
+            dst: p.dst,
+            link: String::from(&*p.link),
+        }
     }
 
     /// Register message `mid` as a flow over the topology and schedule
     /// every (re-)estimated completion. Returns the new flow's estimate.
-    fn start_flow(&mut self, mid: usize, src: usize, dst: usize, bytes: Bytes, now: Time) -> Time {
+    fn start_flow(
+        &mut self,
+        mid: usize,
+        src: usize,
+        dst: usize,
+        bytes: Bytes,
+        now: Time,
+    ) -> Result<Time, SimError> {
         let mut evs = std::mem::take(&mut self.flow_scratch);
         evs.clear();
         let net = self.flownet.as_mut().expect("flow mode");
@@ -907,7 +1019,8 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
             now,
             &mut evs,
             self.probe,
-        );
+        )
+        .map_err(Self::partitioned)?;
         let mut est = now;
         for e in &evs {
             self.queue.push(
@@ -922,7 +1035,40 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
             }
         }
         self.flow_scratch = evs;
-        est
+        Ok(est)
+    }
+
+    /// A scheduled fault strikes: settle traffic, mutate the fabric,
+    /// reroute flows off killed links, and schedule the re-estimated
+    /// completions. A fault that disconnects an in-flight flow's
+    /// endpoints fails the replay with [`SimError::Partitioned`].
+    fn on_fault(&mut self, idx: usize, now: Time) -> Result<(), SimError> {
+        let mut evs = std::mem::take(&mut self.flow_scratch);
+        evs.clear();
+        let f = &self.faults[idx];
+        let net = self.flownet.as_mut().expect("faults need flow mode");
+        let outcome = net
+            .apply_fault(&f.action, &f.links, now, &mut evs, self.probe)
+            .map_err(Self::partitioned)?;
+        if P::ENABLED {
+            self.probe
+                .on_fault(now, &f.links, &f.action, outcome.rerouted, outcome.reshared);
+        }
+        self.fault_log.push(AppliedFault {
+            at: now,
+            desc: f.desc.clone(),
+        });
+        for e in &evs {
+            self.queue.push(
+                e.at,
+                Event::FlowDone {
+                    msg: e.msg,
+                    epoch: e.epoch,
+                },
+            );
+        }
+        self.flow_scratch = evs;
+        Ok(())
     }
 
     /// A flow's *live* completion estimate fired (the run loop already
@@ -960,7 +1106,7 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
                 self.resources.ports_in_use(),
             );
         }
-        self.try_start_all(t1);
+        self.try_start_all(t1)?;
         // a rendezvous sender may still be parked on this message
         if let Some(w) = self.msgs[mid].waiter {
             let since = self.msgs[mid].waiter_since;
@@ -1007,7 +1153,7 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
                 self.resources.ports_in_use(),
             );
         }
-        self.try_start_all(t1);
+        self.try_start_all(t1)?;
         if let Some(req) = self.msgs[mid].paired {
             if self.recv_reqs[req].complete.is_none() {
                 self.complete_recv_req(req, t1);
@@ -1346,7 +1492,8 @@ mod tests {
         assert!(res.comms[0].t_arrive < res.comms[1].t_arrive);
     }
 
-    /// Deadlock (recv with no sender) is detected, not an infinite loop.
+    /// Deadlock (recv with no sender) is detected, not an infinite
+    /// loop, and the report says what the stuck rank waits on.
     #[test]
     fn deadlock_detected() {
         let mut t = Trace::new(2);
@@ -1356,9 +1503,129 @@ mod tests {
             SimError::Deadlock { stuck } => {
                 assert_eq!(stuck.len(), 1);
                 assert_eq!(stuck[0].0, 0);
+                assert!(
+                    stuck[0].1.contains("recv(src=1, tag=0)")
+                        && stuck[0].1.contains("no matching send"),
+                    "uninformative deadlock detail: {}",
+                    stuck[0].1
+                );
             }
             other => panic!("expected deadlock, got {other}"),
         }
+    }
+
+    /// A rendezvous sender with no receiver deadlocks with a send-side
+    /// diagnosis.
+    #[test]
+    fn deadlock_reports_blocked_sender() {
+        let mut t = Trace::new(2);
+        t.rank_mut(Rank(0)).push(Record::Send {
+            dst: Rank(1),
+            tag: Tag::user(7),
+            bytes: Bytes(1_000_000),
+            mode: SendMode::Rendezvous,
+            transfer: tid(0, 0),
+        });
+        let err = simulate(&t, &plat()).unwrap_err();
+        match err {
+            SimError::Deadlock { stuck } => {
+                assert_eq!(stuck[0].0, 0);
+                assert!(
+                    stuck[0].1.contains("send(dst=1, tag=7"),
+                    "uninformative deadlock detail: {}",
+                    stuck[0].1
+                );
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    /// Killing the only path on a crossbar (no route diversity) fails
+    /// cleanly with `Partitioned` instead of hanging.
+    #[test]
+    fn killed_crossbar_link_partitions() {
+        let mut t = Trace::new(2);
+        let r0 = t.rank_mut(Rank(0));
+        r0.push(compute(2_000_000)); // 2 ms, so the send follows the kill
+        r0.push(send(1, 0, 1_000_000, 0));
+        t.rank_mut(Rank(1)).push(recv(0, 0, 1_000_000, 1));
+        let p = plat()
+            .with_topology(crate::net::Topology::Crossbar)
+            .with_faults("kill@1ms:n0->sw".parse().unwrap());
+        match simulate(&t, &p).unwrap_err() {
+            SimError::Partitioned { src, dst, link } => {
+                assert_eq!((src, dst), (0, 1));
+                assert_eq!(link, "n0->sw");
+            }
+            other => panic!("expected partition, got {other}"),
+        }
+    }
+
+    /// Degrading a link stretches the wire time by exactly the factor
+    /// (single flow, crossbar: the degraded up-link is the bottleneck).
+    #[test]
+    fn degraded_link_slows_transfers() {
+        let mut t = Trace::new(2);
+        let r0 = t.rank_mut(Rank(0));
+        r0.push(compute(2_000_000)); // 2 ms
+        r0.push(send(1, 0, 1_000_000, 0));
+        let r1 = t.rank_mut(Rank(1));
+        r1.push(compute(2_000_000));
+        r1.push(recv(0, 0, 1_000_000, 1));
+        let base = plat().with_topology(crate::net::Topology::Crossbar);
+        let healthy = simulate(&t, &base).unwrap();
+        let degraded = simulate(
+            &t,
+            &base.with_faults("degrade=0.5@1ms:n0->sw".parse().unwrap()),
+        )
+        .unwrap();
+        // healthy: 2 ms + 10 ms wire; degraded: 2 ms + 20 ms wire
+        assert!(
+            (healthy.runtime() - (0.002 + 0.01 + 10e-6)).abs() < EPS,
+            "{}",
+            healthy.runtime()
+        );
+        assert!(
+            (degraded.runtime() - (0.002 + 0.02 + 10e-6)).abs() < EPS,
+            "{}",
+            degraded.runtime()
+        );
+        assert_eq!(degraded.network.faults_applied, 1);
+        assert_eq!(degraded.fault_log.len(), 1);
+        assert!(degraded.fault_log[0].desc.contains("degrade"));
+        let faulted: Vec<_> = degraded
+            .links
+            .iter()
+            .filter(|l| l.faults > 0)
+            .map(|l| &*l.label)
+            .collect();
+        assert_eq!(faulted, ["n0->sw"]);
+    }
+
+    /// Kill-then-restore around an idle period completes and matches
+    /// the fault-free replay bit for bit (no traffic ever saw the dead
+    /// link).
+    #[test]
+    fn kill_restore_on_idle_link_is_invisible() {
+        let mut t = Trace::new(2);
+        let r0 = t.rank_mut(Rank(0));
+        r0.push(compute(5_000_000)); // 5 ms of compute covers the outage
+        r0.push(send(1, 0, 1_000_000, 0));
+        let r1 = t.rank_mut(Rank(1));
+        r1.push(compute(5_000_000));
+        r1.push(recv(0, 0, 1_000_000, 1));
+        let base = plat().with_topology(crate::net::Topology::Crossbar);
+        let clean = simulate(&t, &base).unwrap();
+        let faulted = simulate(
+            &t,
+            &base.with_faults("kill@1ms:n0->sw;restore@2ms:n0->sw".parse().unwrap()),
+        )
+        .unwrap();
+        assert_eq!(clean.runtime().to_bits(), faulted.runtime().to_bits());
+        assert_eq!(clean.timelines, faulted.timelines);
+        assert_eq!(faulted.network.faults_applied, 2);
+        assert_eq!(faulted.network.flows_rerouted, 0);
+        assert_eq!(faulted.network.reroute_reshares, 0);
     }
 
     /// Wait on an unknown request is an error.

@@ -237,7 +237,7 @@ proptest! {
                     Time::secs(now),
                     &mut evs,
                     &mut NoopSink,
-                );
+                ).unwrap();
                 active.push((msg, src, dst));
             }
             // `active` stays in ascending msg order (arrivals take

@@ -19,6 +19,10 @@ fn glyph(state: Option<State>) -> char {
 /// Each column shows the state occupying the majority of its time
 /// slice. The legend: `#` compute, `r` wait-recv, `s` wait-send,
 /// `c` collective, `.` idle/done.
+///
+/// Runs with injected link faults get an extra `flt` ruler lane marking
+/// each fault instant with `!`, plus one legend line per fault event;
+/// fault-free runs render exactly as before.
 pub fn gantt(sim: &SimResult, width: usize, span: Time) -> String {
     let width = width.max(10);
     let mut out = String::new();
@@ -32,10 +36,27 @@ pub fn gantt(sim: &SimResult, width: usize, span: Time) -> String {
         }
         out.push_str("|\n");
     }
+    if !sim.fault_log.is_empty() {
+        let mut ruler = vec![' '; width];
+        for f in &sim.fault_log {
+            let col = if dt > 0.0 {
+                (f.at.as_secs() / dt) as usize
+            } else {
+                0
+            };
+            ruler[col.min(width - 1)] = '!';
+        }
+        out.push_str("flt |");
+        out.extend(ruler);
+        out.push_str("|\n");
+    }
     out.push_str(&format!(
         "     runtime {}   [#=compute r=wait-recv s=wait-send c=collective .=idle]\n",
         sim.runtime
     ));
+    for f in &sim.fault_log {
+        out.push_str(&format!("     ! {}\n", f.desc));
+    }
     out
 }
 
@@ -100,6 +121,38 @@ mod tests {
         assert!(g.contains('#'), "compute visible: {g}");
         assert!(g.contains('r'), "wait visible: {g}");
         assert!(g.contains("runtime"));
+    }
+
+    #[test]
+    fn faulted_run_gains_a_fault_ruler() {
+        let mut t = Trace::new(2);
+        t.rank_mut(Rank(0)).push(Record::Compute {
+            instr: Instructions(10_000_000),
+        });
+        t.rank_mut(Rank(0)).push(Record::Send {
+            dst: Rank(1),
+            tag: Tag::user(0),
+            bytes: Bytes(1_000_000),
+            mode: SendMode::Eager,
+            transfer: TransferId::new(Rank(0), 0),
+        });
+        t.rank_mut(Rank(1)).push(Record::Recv {
+            src: Rank(0),
+            tag: Tag::user(0),
+            bytes: Bytes(1_000_000),
+            transfer: TransferId::new(Rank(1), 0),
+        });
+        let p = Platform::default()
+            .with_topology(ovlp_machine::Topology::Crossbar)
+            .with_faults("degrade=0.5@1ms:n0->sw".parse().unwrap());
+        let s = simulate(&t, &p).unwrap();
+        let g = gantt(&s, 60, s.runtime);
+        // 2 lanes + fault ruler + legend + 1 fault line
+        assert_eq!(g.lines().count(), 5, "{g}");
+        let ruler = g.lines().nth(2).unwrap();
+        assert!(ruler.starts_with("flt |"), "{g}");
+        assert!(ruler.contains('!'), "{g}");
+        assert!(g.contains("! degrade=0.5@0.001s:n0->sw"), "{g}");
     }
 
     #[test]

@@ -87,10 +87,11 @@ pub fn link_heatmap_ascii(m: &Metrics, width: usize, span: Time, top: usize) -> 
         let peak = link.utilization.iter().copied().fold(0.0, f64::max);
         let _ = writeln!(
             out,
-            "     L{lane} = {:<16} {:>10.3} MB  peak {:>5.1}%",
+            "     L{lane} = {:<16} {:>10.3} MB  peak {:>5.1}%{}",
             link.label,
             link.bytes.iter().sum::<f64>() / 1e6,
-            100.0 * peak
+            100.0 * peak,
+            if link.faulted { "  [faulted]" } else { "" }
         );
     }
     if order.len() < m.links.len() {
@@ -150,12 +151,23 @@ pub fn link_heatmap_svg(title: &str, m: &Metrics, width: u32, span: Time, top: u
     for (lane, &l) in order.iter().enumerate() {
         let link = &m.links[l];
         let y = top_pad + lane as f64 * (row_h + row_gap);
-        let _ = write!(
-            s,
-            r#"<text x="4" y="{:.1}">{}</text>"#,
-            y + row_h - 3.0,
-            xml_escape(&link.label)
-        );
+        // faulted links get a red label so degraded/killed fabric is
+        // visible even where their utilization rows go blank
+        if link.faulted {
+            let _ = write!(
+                s,
+                r##"<text x="4" y="{:.1}" fill="#a50026">{} [faulted]</text>"##,
+                y + row_h - 3.0,
+                xml_escape(&link.label)
+            );
+        } else {
+            let _ = write!(
+                s,
+                r#"<text x="4" y="{:.1}">{}</text>"#,
+                y + row_h - 3.0,
+                xml_escape(&link.label)
+            );
+        }
         for (w, &u) in link.utilization.iter().enumerate() {
             if u <= 0.0 {
                 continue;
@@ -234,6 +246,36 @@ mod tests {
         let m = rec.into_metrics();
         assert_eq!(link_heatmap_ascii(&m, 40, sim.runtime, 0), "");
         assert_eq!(link_heatmap_svg("t", &m, 800, sim.runtime, 0), "");
+    }
+
+    #[test]
+    fn faulted_links_are_marked_in_both_renderers() {
+        let mut t = Trace::new(2);
+        t.rank_mut(Rank(0)).push(Record::Send {
+            dst: Rank(1),
+            tag: Tag::user(0),
+            bytes: Bytes(1_000_000),
+            mode: SendMode::Eager,
+            transfer: TransferId::new(Rank(0), 0),
+        });
+        t.rank_mut(Rank(1)).push(Record::Recv {
+            src: Rank(0),
+            tag: Tag::user(0),
+            bytes: Bytes(1_000_000),
+            transfer: TransferId::new(Rank(1), 0),
+        });
+        let p = Platform::default()
+            .with_topology(Topology::Crossbar)
+            .with_faults("degrade=0.5@1ms:n0->sw".parse().unwrap());
+        let mut rec = WindowedRecorder::new(ovlp_machine::Time::micros(500.0));
+        let sim = simulate_probed(&t, &p, &mut rec).unwrap();
+        let m = rec.into_metrics();
+        let text = link_heatmap_ascii(&m, 40, sim.runtime, 0);
+        let marked = text.lines().find(|l| l.contains("[faulted]")).unwrap();
+        assert!(marked.contains("n0->sw"), "{text}");
+        let svg = link_heatmap_svg("links", &m, 800, sim.runtime, 0);
+        assert!(svg.contains("n0-&gt;sw [faulted]"), "{svg}");
+        assert!(!svg.contains("sw-&gt;n1 [faulted]"), "{svg}");
     }
 
     #[test]

@@ -38,7 +38,14 @@ pub fn link_report(sim: &SimResult, top: usize) -> String {
         busy,
         carried / 1e6
     );
-    out.push_str("link              bytes[MB]   util  busy  peak-flows\n");
+    // the faults column only appears when the run injected faults, so
+    // fault-free reports render byte-identically to earlier versions
+    let any_faults = sim.links.iter().any(|l| l.faults > 0);
+    if any_faults {
+        out.push_str("link              bytes[MB]   util  busy  peak-flows  faults\n");
+    } else {
+        out.push_str("link              bytes[MB]   util  busy  peak-flows\n");
+    }
     for (_, l) in order.iter().take(shown) {
         let busy_frac = if runtime > 0.0 {
             l.busy_secs / runtime
@@ -46,13 +53,21 @@ pub fn link_report(sim: &SimResult, top: usize) -> String {
             0.0
         };
         out.push_str(&format!(
-            "{:<16} {:>10.3} {:>5.1}% {:>4.0}% {:>7}\n",
+            "{:<16} {:>10.3} {:>5.1}% {:>4.0}% {:>7}",
             l.label,
             l.bytes / 1e6,
             100.0 * l.utilization(runtime),
             100.0 * busy_frac,
             l.peak_flows
         ));
+        if any_faults {
+            if l.faults > 0 {
+                out.push_str(&format!(" {:>7}", l.faults));
+            } else {
+                out.push_str(&format!(" {:>7}", "-"));
+            }
+        }
+        out.push('\n');
     }
     if shown < order.len() {
         out.push_str(&format!("... ({} more links)\n", order.len() - shown));
@@ -67,7 +82,7 @@ mod tests {
     use ovlp_trace::record::{Record, SendMode};
     use ovlp_trace::{Bytes, Rank, Tag, Trace, TransferId};
 
-    fn crossbar_sim() -> SimResult {
+    fn two_rank_trace() -> Trace {
         let mut t = Trace::new(2);
         t.rank_mut(Rank(0)).push(Record::Send {
             dst: Rank(1),
@@ -82,6 +97,11 @@ mod tests {
             bytes: Bytes(1_000_000),
             transfer: TransferId::new(Rank(1), 0),
         });
+        t
+    }
+
+    fn crossbar_sim() -> SimResult {
+        let t = two_rank_trace();
         simulate(&t, &Platform::default().with_topology(Topology::Crossbar)).unwrap()
     }
 
@@ -93,6 +113,27 @@ mod tests {
         assert!(text.contains("sw->n1"), "{text}");
         assert!(text.contains("1.000"), "1 MB carried: {text}");
         assert!(text.contains("more links"), "idle links elided: {text}");
+    }
+
+    #[test]
+    fn fault_free_report_has_no_faults_column() {
+        let text = link_report(&crossbar_sim(), 2);
+        assert!(!text.contains("faults"), "{text}");
+    }
+
+    #[test]
+    fn faulted_links_render_a_fault_count_column() {
+        let t = two_rank_trace();
+        let platform = Platform::default()
+            .with_topology(Topology::Crossbar)
+            .with_faults("degrade=0.5@1ms:n0->sw".parse().unwrap());
+        let sim = simulate(&t, &platform).unwrap();
+        let text = link_report(&sim, 0);
+        assert!(text.contains("peak-flows  faults"), "{text}");
+        let row = text.lines().find(|l| l.starts_with("n0->sw")).unwrap();
+        assert!(row.trim_end().ends_with('1'), "fault count: {row}");
+        let idle = text.lines().find(|l| l.starts_with("sw->n0")).unwrap();
+        assert!(idle.trim_end().ends_with('-'), "idle links dashed: {idle}");
     }
 
     #[test]

@@ -69,6 +69,7 @@ def check(path):
         expect(is_num(link.get("capacity_bps")), path, f"link {i}: capacity_bps missing")
         check_series(path, f"link {i} utilization", link.get("utilization"), n, "fraction")
         check_series(path, f"link {i} bytes", link.get("bytes"), n, "number")
+        expect(isinstance(link.get("faulted"), bool), path, f"link {i}: faulted not a bool")
 
     net = doc.get("net")
     expect(isinstance(net, dict), path, "net missing")
@@ -79,18 +80,26 @@ def check(path):
     expect(isinstance(eng, dict), path, "engine missing")
     events = eng.get("events")
     expect(isinstance(events, dict), path, "engine.events missing")
-    for key in ("resume", "transfer_done", "flow_done"):
+    for key in ("resume", "transfer_done", "flow_done", "fault"):
         expect(isinstance(events.get(key), int), path, f"engine.events.{key} missing")
     epw = eng.get("events_per_window")
     expect(isinstance(epw, list) and len(epw) == n, path, "engine.events_per_window length")
-    for trio in epw:
+    for quad in epw:
         expect(
-            isinstance(trio, list) and len(trio) == 3 and all(isinstance(v, int) for v in trio),
+            isinstance(quad, list) and len(quad) == 4 and all(isinstance(v, int) for v in quad),
             path,
-            f"events_per_window entry {trio!r} is not an integer triple",
+            f"events_per_window entry {quad!r} is not an integer quadruple",
         )
     check_series(path, "engine.reshares_per_window", eng.get("reshares_per_window"), n, "count")
-    for key in ("reshares", "stale_popped", "queue_peak", "max_in_flight"):
+    for key in (
+        "reshares",
+        "stale_popped",
+        "queue_peak",
+        "max_in_flight",
+        "faults_applied",
+        "flows_rerouted",
+        "reroute_reshares",
+    ):
         expect(isinstance(eng.get(key), int) and eng[key] >= 0, path, f"bad engine.{key}")
 
     print(f"{path}: ok ({n} windows, {len(doc['ranks'])} ranks, {len(doc['links'])} links)")

@@ -12,7 +12,7 @@ use overlap_sim::core::presets::marenostrum_for;
 use overlap_sim::core::report::{pct, table2a, table2b};
 use overlap_sim::instr::trace_app;
 use overlap_sim::machine::{
-    simulate, simulate_probed, ContentionModel, Platform, Time, WindowedRecorder,
+    simulate, simulate_probed, ContentionModel, FaultSchedule, Platform, Time, WindowedRecorder,
 };
 use overlap_sim::trace::text;
 use overlap_sim::viz::{gantt_comparison, link_heatmap_ascii, paraver, timeline_svg};
@@ -51,7 +51,8 @@ const COMMANDS: &[Cmd] = &[
     },
     Cmd {
         name: "simulate",
-        args: "<trace.trf> [bw] [buses] [--topology T] [--metrics out.json] [--probe-window us]",
+        args: "<trace.trf> [bw] [buses] [--topology T] [--faults SPEC] [--metrics out.json] \
+               [--probe-window us]",
         about: "replay a trace file on a platform",
     },
     Cmd {
@@ -92,7 +93,7 @@ const COMMANDS: &[Cmd] = &[
     Cmd {
         name: "sweep",
         args: "<app> <ranks> [--jobs N] [--chunks a,b,..] [--bw a,b,..] [--buses a,b,..] \
-               [--topology t1,t2,..] [--metrics dir] [--probe-window us]",
+               [--topology t1,t2,..] [--faults f1,f2,..] [--metrics dir] [--probe-window us]",
         about: "parallel parameter sweep over platforms x policies",
     },
     Cmd {
@@ -118,6 +119,9 @@ fn usage() -> String {
     }
     s.push_str(
         "\ntopologies: bus | crossbar | fat-tree:<radix>[:<oversub>] | torus:<A>x<B>[x<C>]\n\
+         fault specs: `;`-joined events, each kill|restore|degrade=<f>@<time>:<selector>\n\
+         (selector = link label, link:<id>, uplink:*, or dim:<d>; sweep takes a\n\
+         comma-separated scenario list and keeps a fault-free baseline per platform)\n\
          probe windows are microseconds; omitted, they default to runtime/256\n",
     );
     s
@@ -379,19 +383,29 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
         Ok(v) => v,
         Err(e) => return fail(e),
     };
+    let faults = match parse_opt_flag::<FaultSchedule>(rest, "--faults") {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
     // Positional args are what remains once the flag pairs are stripped.
     let mut pos: Vec<&str> = Vec::new();
     let mut skip = false;
     for a in rest {
         if skip {
             skip = false;
-        } else if matches!(*a, "--topology" | "--metrics" | "--probe-window") {
+        } else if matches!(
+            *a,
+            "--topology" | "--faults" | "--metrics" | "--probe-window"
+        ) {
             skip = true;
         } else {
             pos.push(a);
         }
     }
     let mut platform = Platform::default().with_contention(topology);
+    if let Some(f) = faults {
+        platform = platform.with_faults(f);
+    }
     if let Some(bw) = pos.first() {
         match bw.parse() {
             Ok(v) => platform.bandwidth_mbs = v,
@@ -453,16 +467,26 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
         println!("network: {} fair-share recomputations", r.network.reshares);
         print!("{links}");
     }
+    if !r.fault_log.is_empty() {
+        println!(
+            "faults: {} applied, {} flows rerouted, {} reroute reshares",
+            r.network.faults_applied, r.network.flows_rerouted, r.network.reroute_reshares
+        );
+        for f in &r.fault_log {
+            println!("  {:.6}s  {}", f.at.as_secs(), f.desc);
+        }
+    }
     if let Some(m) = &metrics {
         let e = &m.engine;
         println!(
-            "probe: {} windows of {:.1}us; events resume {} / transfer {} / flow {}; \
+            "probe: {} windows of {:.1}us; events resume {} / transfer {} / flow {} / fault {}; \
              reshares {}; queue peak {}; in-flight peak {}",
             m.windows,
             m.window_s * 1e6,
             e.events_by_kind[0],
             e.events_by_kind[1],
             e.events_by_kind[2],
+            e.events_by_kind[3],
             e.reshares,
             e.queue_peak,
             e.max_in_flight
@@ -652,6 +676,27 @@ fn sweep_cmd(app: &str, ranks: &str, rest: &[&str]) -> ExitCode {
         Ok(v) => v,
         Err(e) => return fail(e),
     };
+    let fault_specs = match parse_list_flag::<FaultSchedule>(rest, "--faults", Vec::new()) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    if !fault_specs.is_empty() {
+        if let Some(model) = topologies
+            .iter()
+            .find(|m| matches!(m, ContentionModel::Bus))
+        {
+            return fail(format!(
+                "bad --faults list: fault schedules need explicit links, \
+                 but `{model}` is the bus model (pick a flow topology)"
+            ));
+        }
+        if let Some(empty) = fault_specs.iter().find(|s| s.is_empty()) {
+            return fail(format!(
+                "bad --faults entry `{empty}`: empty scenario (the fault-free \
+                 baseline is always swept; drop the entry instead)"
+            ));
+        }
+    }
     // Reject fixed-size fabrics that are too small before any point
     // runs, mirroring the --chunks range check above.
     for model in &topologies {
@@ -682,11 +727,20 @@ fn sweep_cmd(app: &str, ranks: &str, rest: &[&str]) -> ExitCode {
             .flat_map(|&bw| {
                 let base = &base;
                 let topologies = &topologies;
+                let fault_specs = &fault_specs;
                 bus_counts.iter().flat_map(move |&buses| {
-                    topologies.iter().map(move |model| {
-                        base.with_bandwidth(bw)
+                    topologies.iter().flat_map(move |model| {
+                        let clean = base
+                            .with_bandwidth(bw)
                             .with_buses(buses)
-                            .with_contention(model.clone())
+                            .with_contention(model.clone());
+                        // Each platform is swept fault-free first (the
+                        // retention baseline), then once per scenario.
+                        let baseline = clean.clone();
+                        let faulted = fault_specs
+                            .iter()
+                            .map(move |s| clean.clone().with_faults(s.clone()));
+                        std::iter::once(baseline).chain(faulted)
                     })
                 })
             })
@@ -720,6 +774,11 @@ fn sweep_cmd(app: &str, ranks: &str, rest: &[&str]) -> ExitCode {
 
     let report = sweep(&grid, &config, &SweepCache::new());
     print!("{}", report.render(&grid));
+    let retention = report.render_retention(&grid);
+    if !retention.is_empty() {
+        println!();
+        print!("{retention}");
+    }
     if config.probe_window_us.is_some() {
         eprintln!(
             "({} points in {:.2}s with {} jobs; probed, cache bypassed)",
