@@ -2,7 +2,8 @@
 
 use crate::pipeline::VariantBundle;
 use ovlp_machine::{
-    simulate, simulate_probed, Metrics, Platform, SimError, SimResult, Time, WindowedRecorder,
+    simulate_probed_with, simulate_with, Metrics, Platform, ReplayEngine, SimError, SimResult,
+    Time, WindowedRecorder,
 };
 
 /// Simulated runtimes of all three variants on one platform.
@@ -31,11 +32,22 @@ pub fn run_variants(
     bundle: &VariantBundle,
     platform: &Platform,
 ) -> Result<SpeedupResult, SimError> {
+    run_variants_with(bundle, platform, ReplayEngine::Sequential)
+}
+
+/// [`run_variants`] on an explicit replay engine. Both engines are
+/// bit-identical by contract, so the choice affects wall-clock only —
+/// never the numbers.
+pub fn run_variants_with(
+    bundle: &VariantBundle,
+    platform: &Platform,
+    engine: ReplayEngine,
+) -> Result<SpeedupResult, SimError> {
     Ok(SpeedupResult {
         app: bundle.app_name().to_string(),
-        original: simulate(&bundle.original, platform)?,
-        overlapped: simulate(&bundle.overlapped, platform)?,
-        ideal: simulate(&bundle.ideal, platform)?,
+        original: simulate_with(&bundle.original, platform, engine)?,
+        overlapped: simulate_with(&bundle.overlapped, platform, engine)?,
+        ideal: simulate_with(&bundle.ideal, platform, engine)?,
     })
 }
 
@@ -68,9 +80,19 @@ pub fn run_variants_probed(
     platform: &Platform,
     window: Time,
 ) -> Result<(SpeedupResult, VariantMetrics), SimError> {
+    run_variants_probed_with(bundle, platform, window, ReplayEngine::Sequential)
+}
+
+/// [`run_variants_probed`] on an explicit replay engine.
+pub fn run_variants_probed_with(
+    bundle: &VariantBundle,
+    platform: &Platform,
+    window: Time,
+    engine: ReplayEngine,
+) -> Result<(SpeedupResult, VariantMetrics), SimError> {
     let probed = |trace| -> Result<(SimResult, Metrics), SimError> {
         let mut rec = WindowedRecorder::new(window);
-        let sim = simulate_probed(trace, platform, &mut rec)?;
+        let sim = simulate_probed_with(trace, platform, &mut rec, engine)?;
         Ok((sim, rec.into_metrics()))
     };
     let (original, m_original) = probed(&bundle.original)?;

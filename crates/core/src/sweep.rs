@@ -29,7 +29,7 @@ use crate::chunk::ChunkPolicy;
 use crate::experiments::speedup::VariantMetrics;
 use crate::pipeline::{build_variants, VariantBundle};
 use ovlp_instr::TraceRun;
-use ovlp_machine::{Platform, Time};
+use ovlp_machine::{Platform, ReplayEngine, Time};
 use ovlp_trace::record::SendMode;
 use ovlp_trace::text;
 use std::collections::HashMap;
@@ -396,6 +396,14 @@ pub struct SweepConfig {
     /// results are not stored), so the cache never changes what a
     /// probed sweep observes.
     pub probe_window_us: Option<f64>,
+    /// Replay engine for every point. Both engines are bit-identical by
+    /// contract, so this never changes a result hash, a render, or a
+    /// cache key — points simulated under either engine share the same
+    /// [`PointKey`] entries. It only trades where the parallelism
+    /// lives: `jobs > 1` parallelizes *across* points,
+    /// [`ReplayEngine::Parallel`] parallelizes *inside* each replay
+    /// (useful for grids of few, large points).
+    pub engine: ReplayEngine,
 }
 
 impl Default for SweepConfig {
@@ -411,7 +419,13 @@ impl SweepConfig {
             jobs,
             queue_depth: 2 * jobs,
             probe_window_us: None,
+            engine: ReplayEngine::Sequential,
         }
+    }
+
+    pub fn with_engine(mut self, engine: ReplayEngine) -> SweepConfig {
+        self.engine = engine;
+        self
     }
 }
 
@@ -629,6 +643,7 @@ pub fn sweep(grid: &SweepGrid, config: &SweepConfig, cache: &SweepCache) -> Swee
                 bundle_for(&point),
                 cache,
                 config.probe_window_us,
+                config.engine,
             )
         },
     )
@@ -657,6 +672,7 @@ fn evaluate_point(
     bundle: &Result<Arc<VariantBundle>, String>,
     cache: &SweepCache,
     probe_window_us: Option<f64>,
+    engine: ReplayEngine,
 ) -> PointOutcome {
     let app = &grid.apps[point.app];
     let platform = &grid.platforms[point.platform];
@@ -686,15 +702,16 @@ fn evaluate_point(
 
     let (sim, metrics) = match probe_window_us {
         None => (
-            crate::experiments::speedup::run_variants(bundle, platform)
+            crate::experiments::speedup::run_variants_with(bundle, platform, engine)
                 .map_err(|e| fail(format!("simulation failed: {e}")))?,
             None,
         ),
         Some(us) => {
-            let (sim, m) = crate::experiments::speedup::run_variants_probed(
+            let (sim, m) = crate::experiments::speedup::run_variants_probed_with(
                 bundle,
                 platform,
                 Time::micros(us),
+                engine,
             )
             .map_err(|e| fail(format!("simulation failed: {e}")))?;
             (sim, Some(Arc::new(m)))
@@ -848,6 +865,45 @@ mod tests {
             let r = sweep(&grid, &SweepConfig::with_jobs(jobs), &SweepCache::new());
             assert_eq!(r.result_hashes(), base.result_hashes(), "jobs={jobs}");
             assert_eq!(r.render(&grid), base.render(&grid), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn sweep_is_replay_engine_invariant() {
+        // The intra-replay parallel engine is bit-identical to the
+        // sequential oracle, so it must not change a hash, a render, or
+        // a cache key — a cache warmed by one engine serves the other.
+        let grid = tiny_grid();
+        let seq = sweep(&grid, &SweepConfig::with_jobs(2), &SweepCache::new());
+        assert_eq!(seq.err_count(), 0, "{:?}", seq.outcomes);
+        let cache = SweepCache::new();
+        for workers in [1usize, 4] {
+            let cfg = SweepConfig::with_jobs(2).with_engine(ReplayEngine::Parallel { workers });
+            let par = sweep(&grid, &cfg, &cache);
+            assert_eq!(
+                par.result_hashes(),
+                seq.result_hashes(),
+                "workers={workers}"
+            );
+            assert_eq!(par.render(&grid), seq.render(&grid), "workers={workers}");
+        }
+        // second engine ran entirely from the first engine's cache
+        let warm = sweep(&grid, &SweepConfig::with_jobs(2), &cache);
+        assert_eq!(warm.cache_hits, grid.len() as u64);
+        assert_eq!(warm.result_hashes(), seq.result_hashes());
+
+        // probed sweeps agree too, windowed metrics included
+        let probed = |engine| {
+            let mut cfg = SweepConfig::with_jobs(2).with_engine(engine);
+            cfg.probe_window_us = Some(50.0);
+            sweep(&grid, &cfg, &SweepCache::new())
+        };
+        let a = probed(ReplayEngine::Sequential);
+        let b = probed(ReplayEngine::Parallel { workers: 4 });
+        assert_eq!(a.result_hashes(), b.result_hashes());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            let (x, y) = (x.as_ref().unwrap(), y.as_ref().unwrap());
+            assert_eq!(x.metrics, y.metrics, "windowed metrics diverged");
         }
     }
 

@@ -52,32 +52,46 @@ pub fn expand_collectives(trace: &Trace, algo: CollectiveAlgo) -> Trace {
         .insert("collectives".to_string(), algo.name().to_string());
 
     for (r, rt) in trace.ranks.iter().enumerate() {
-        let rank = Rank(r as u32);
-        let mut instance = 0u32;
-        let dst = &mut out.ranks[r];
-        // collectives expand to at most 2·(P−1) records each; reserving
-        // for the common tree case (≤ 2·log₂P + 2) avoids most regrowth
-        dst.records.reserve(rt.records.len() + 4);
-        for rec in &rt.records {
-            match *rec {
-                Record::Collective {
-                    op,
-                    bytes_in,
-                    bytes_out: _,
-                    root,
-                    transfer,
-                } => {
-                    let tag = Tag::collective(instance);
-                    instance += 1;
-                    plan(op, algo, nranks as u32, rank, root, bytes_in, &mut |step| {
-                        dst.records.push(step.into_record(tag, transfer))
-                    });
-                }
-                other => dst.records.push(other),
-            }
-        }
+        expand_rank(nranks, r, &rt.records, algo, &mut out.ranks[r].records);
     }
     out
+}
+
+/// Expand one rank's record stream into `out`. Each rank's expansion is
+/// independent — the instance counter that keys the internal tags is
+/// per-rank, and trace validation guarantees ranks agree on the
+/// collective sequence — so the parallel replay driver fans this out
+/// across worker threads, one rank per call, with bit-identical output.
+pub(crate) fn expand_rank(
+    nranks: usize,
+    r: usize,
+    records: &[Record],
+    algo: CollectiveAlgo,
+    out: &mut Vec<Record>,
+) {
+    let rank = Rank(r as u32);
+    let mut instance = 0u32;
+    // collectives expand to at most 2·(P−1) records each; reserving
+    // for the common tree case (≤ 2·log₂P + 2) avoids most regrowth
+    out.reserve(records.len() + 4);
+    for rec in records {
+        match *rec {
+            Record::Collective {
+                op,
+                bytes_in,
+                bytes_out: _,
+                root,
+                transfer,
+            } => {
+                let tag = Tag::collective(instance);
+                instance += 1;
+                plan(op, algo, nranks as u32, rank, root, bytes_in, &mut |step| {
+                    out.push(step.into_record(tag, transfer))
+                });
+            }
+            other => out.push(other),
+        }
+    }
 }
 
 /// One point-to-point step of a decomposed collective, relative to the

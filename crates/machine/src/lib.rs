@@ -47,7 +47,10 @@ pub use net::{
 };
 pub use platform::{CollectiveAlgo, Platform};
 pub use probe::{EventKind, Metrics, NoopSink, ProbeSink, WindowedRecorder};
-pub use replay::{simulate, simulate_probed, NetworkStats, SimError, SimResult};
+pub use replay::{
+    render_exact, simulate, simulate_probed, simulate_probed_with, simulate_with, NetworkStats,
+    ReplayEngine, SimError, SimResult,
+};
 pub use time::Time;
 pub use timeline::{CommRecord, Interval, State, StateTotals, Timeline};
 

@@ -27,7 +27,7 @@
 //! channel, like MPI's non-overtaking rule.
 
 use crate::collective::expand_collectives;
-use crate::event::{Event, EventQueue};
+use crate::event::{Event, EventQueue, QueueLike};
 use crate::fx::FxBuildHasher;
 use crate::net::fault::{AppliedFault, Partition, ResolvedFault};
 use crate::net::flows::{FlowEvent, FlowNet};
@@ -40,6 +40,77 @@ use crate::timeline::{CommRecord, State, StateTotals, Timeline};
 use ovlp_trace::record::{Record, SendMode};
 use ovlp_trace::{Bytes, Rank, ReqId, Tag, Trace};
 use std::collections::{HashMap, VecDeque};
+use std::str::FromStr;
+
+mod parallel;
+
+/// Which replay driver advances the simulation.
+///
+/// Both drivers produce **byte-identical** [`SimResult`]s (and probe
+/// streams, when probed): the sequential engine is the semantics, the
+/// parallel engine is an execution strategy for it. Debug builds keep
+/// the sequential run as an asserted oracle inside every parallel run;
+/// the `parallel_equivalence` differential suite pins the same
+/// guarantee in release builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplayEngine {
+    /// One event loop, one heap — the reference interpreter.
+    #[default]
+    Sequential,
+    /// Per-rank contexts with local clocks advancing under conservative
+    /// lookahead, plus `workers` threads for the compile and finish
+    /// phases. `workers` never changes results, only wall time.
+    Parallel { workers: usize },
+}
+
+impl ReplayEngine {
+    /// The parallel engine sized to the host (capped at 8 workers —
+    /// the compile/finish phases stop scaling well beyond that).
+    pub fn parallel_auto() -> ReplayEngine {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(1);
+        ReplayEngine::Parallel { workers }
+    }
+}
+
+impl FromStr for ReplayEngine {
+    type Err = String;
+
+    /// `sequential`/`seq`, `parallel`/`par`, or `parallel:N` to pin the
+    /// worker count.
+    fn from_str(s: &str) -> Result<ReplayEngine, String> {
+        match s {
+            "sequential" | "seq" => return Ok(ReplayEngine::Sequential),
+            "parallel" | "par" => return Ok(ReplayEngine::parallel_auto()),
+            _ => {}
+        }
+        if let Some(n) = s
+            .strip_prefix("parallel:")
+            .or_else(|| s.strip_prefix("par:"))
+        {
+            let workers: usize = n
+                .parse()
+                .map_err(|_| format!("bad worker count {n:?} in engine {s:?}"))?;
+            if workers == 0 {
+                return Err(format!("engine {s:?}: worker count must be >= 1"));
+            }
+            return Ok(ReplayEngine::Parallel { workers });
+        }
+        Err(format!(
+            "unknown engine {s:?} (expected sequential|parallel[:N])"
+        ))
+    }
+}
+
+impl std::fmt::Display for ReplayEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayEngine::Sequential => write!(f, "sequential"),
+            ReplayEngine::Parallel { workers } => write!(f, "parallel:{workers}"),
+        }
+    }
+}
 
 /// Simulation failure.
 #[derive(Debug, Clone, PartialEq)]
@@ -192,6 +263,27 @@ pub fn simulate(trace: &Trace, platform: &Platform) -> Result<SimResult, SimErro
     simulate_probed(trace, platform, &mut NoopSink)
 }
 
+/// [`simulate`] with an explicit replay driver. Results are identical
+/// for every [`ReplayEngine`]; only wall time differs.
+pub fn simulate_with(
+    trace: &Trace,
+    platform: &Platform,
+    engine: ReplayEngine,
+) -> Result<SimResult, SimError> {
+    simulate_inner(trace, platform, &mut NoopSink, false, engine)
+}
+
+/// [`simulate_probed`] with an explicit replay driver. The probe
+/// stream, too, is bit-identical across engines.
+pub fn simulate_probed_with<P: ProbeSink>(
+    trace: &Trace,
+    platform: &Platform,
+    probe: &mut P,
+    engine: ReplayEngine,
+) -> Result<SimResult, SimError> {
+    simulate_inner(trace, platform, probe, false, engine)
+}
+
 /// Simulate `trace` on `platform`, streaming observability callbacks
 /// into `probe`.
 ///
@@ -204,7 +296,7 @@ pub fn simulate_probed<P: ProbeSink>(
     platform: &Platform,
     probe: &mut P,
 ) -> Result<SimResult, SimError> {
-    simulate_inner(trace, platform, probe, false)
+    simulate_inner(trace, platform, probe, false, ReplayEngine::Sequential)
 }
 
 /// [`simulate`], but forcing the from-scratch max-min solver instead of
@@ -213,18 +305,25 @@ pub fn simulate_probed<P: ProbeSink>(
 /// whole replays against the reference solver.
 #[doc(hidden)]
 pub fn simulate_reference(trace: &Trace, platform: &Platform) -> Result<SimResult, SimError> {
-    simulate_inner(trace, platform, &mut NoopSink, true)
+    simulate_inner(
+        trace,
+        platform,
+        &mut NoopSink,
+        true,
+        ReplayEngine::Sequential,
+    )
 }
 
-fn simulate_inner<P: ProbeSink>(
+/// Build the flow-level network state (and resolved fault schedule)
+/// for one replay, or nothing under the bus model. Cheap to call twice
+/// for the same platform: the compiled topology is cached.
+fn net_setup(
     trace: &Trace,
     platform: &Platform,
-    probe: &mut P,
     reference: bool,
-) -> Result<SimResult, SimError> {
-    platform.check().map_err(SimError::BadPlatform)?;
-    let (flownet, faults) = match &platform.contention {
-        ContentionModel::Bus => (None, Vec::new()),
+) -> Result<(Option<FlowNet>, Vec<ResolvedFault>), SimError> {
+    match &platform.contention {
+        ContentionModel::Bus => Ok((None, Vec::new())),
         ContentionModel::Flow(topo) => {
             let nranks = trace.nranks();
             let nodes = if nranks == 0 {
@@ -241,16 +340,26 @@ fn simulate_inner<P: ProbeSink>(
                 .resolve(&graph)
                 .map_err(SimError::BadPlatform)?;
             let net = FlowNet::new_shared(graph);
-            (
+            Ok((
                 Some(if reference {
                     net.with_reference_solver()
                 } else {
                     net
                 }),
                 faults,
-            )
+            ))
         }
-    };
+    }
+}
+
+fn simulate_inner<P: ProbeSink>(
+    trace: &Trace,
+    platform: &Platform,
+    probe: &mut P,
+    reference: bool,
+    engine: ReplayEngine,
+) -> Result<SimResult, SimError> {
+    platform.check().map_err(SimError::BadPlatform)?;
     let has_collectives = trace.ranks.iter().any(|rt| {
         rt.records
             .iter()
@@ -258,12 +367,60 @@ fn simulate_inner<P: ProbeSink>(
     });
     let expanded;
     let trace = if has_collectives {
-        expanded = expand_collectives(trace, platform.collective);
+        // Both paths produce byte-identical traces; the parallel one
+        // expands rank streams on worker threads.
+        expanded = match engine {
+            ReplayEngine::Sequential => expand_collectives(trace, platform.collective),
+            ReplayEngine::Parallel { workers } => {
+                parallel::expand(trace, platform.collective, workers)
+            }
+        };
         &expanded
     } else {
         trace
     };
-    Engine::new(trace, platform, flownet, faults, probe).run()
+    match engine {
+        ReplayEngine::Sequential => {
+            let (flownet, faults) = net_setup(trace, platform, reference)?;
+            Engine::new(trace, platform, flownet, faults, probe, EventQueue::new()).run()
+        }
+        ReplayEngine::Parallel { workers } => {
+            // Debug builds replay sequentially first and hold the
+            // parallel engine to its byte-identical contract on every
+            // single run, not just the ones the differential suite
+            // covers.
+            #[cfg(debug_assertions)]
+            let want = {
+                let (flownet, faults) = net_setup(trace, platform, reference)?;
+                Engine::new(
+                    trace,
+                    platform,
+                    flownet,
+                    faults,
+                    &mut NoopSink,
+                    EventQueue::new(),
+                )
+                .run()
+            };
+            let (flownet, faults) = net_setup(trace, platform, reference)?;
+            let got = parallel::run(trace, platform, flownet, faults, probe, workers);
+            #[cfg(debug_assertions)]
+            assert_eq!(
+                render_exact(&want),
+                render_exact(&got),
+                "parallel engine diverged from the sequential oracle"
+            );
+            got
+        }
+    }
+}
+
+/// Lossless rendering of a replay outcome: Rust's `{:?}` for `f64`
+/// prints the shortest round-trip representation, so string equality
+/// here is bit equality of every timestamp, counter, and error detail.
+/// Shared by the debug oracle and the differential test suite.
+pub fn render_exact(outcome: &Result<SimResult, SimError>) -> String {
+    format!("{outcome:#?}")
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -392,10 +549,10 @@ struct Channel {
     unmatched_reqs: VecDeque<usize>,
 }
 
-struct Engine<'a, P: ProbeSink> {
+struct Engine<'a, P: ProbeSink, Q: QueueLike> {
     trace: &'a Trace,
     platform: &'a Platform,
-    queue: EventQueue,
+    queue: Q,
     ranks: Vec<RankState>,
     msgs: Vec<Msg>,
     recv_reqs: Vec<RecvReq>,
@@ -404,6 +561,22 @@ struct Engine<'a, P: ProbeSink> {
     /// plus a vector index.
     chan_ids: HashMap<(u32, u32, u32), u32, FxBuildHasher>,
     channels: Vec<Channel>,
+    /// Per-`(rank, pc)` match partners precompiled by the parallel
+    /// driver (`u64::MAX` on non-comm and unmatched records); empty
+    /// when matching runs through the channel FIFOs. Matching on a
+    /// channel is FIFO on both sides and each side issues in program
+    /// order, so "the k-th send on `(src, dst, tag)` pairs with the
+    /// k-th recv" is a static fact — precomputing it replaces the
+    /// channel hash-map and its unmatched queues without moving a
+    /// single pairing.
+    pair_lut: Vec<Box<[u64]>>,
+    /// Runtime half of the precompiled matching: `rec_slot[rank][pc]`
+    /// holds the msg id (at a send record) or recv-request id (at a
+    /// recv record) once that record has executed, `u32::MAX` before.
+    /// A comm record checks its partner's slot — set means the partner
+    /// already executed and the pair closes now, exactly when the FIFO
+    /// front would have matched.
+    rec_slot: Vec<Box<[u32]>>,
     pending: VecDeque<usize>,
     resources: Resources,
     /// Tag each receive request was posted with (for state labeling).
@@ -431,14 +604,15 @@ enum Flow {
     Yield,
 }
 
-impl<'a, P: ProbeSink> Engine<'a, P> {
+impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
     fn new(
         trace: &'a Trace,
         platform: &'a Platform,
         flownet: Option<FlowNet>,
         faults: Vec<ResolvedFault>,
         probe: &'a mut P,
-    ) -> Engine<'a, P> {
+        queue: Q,
+    ) -> Engine<'a, P, Q> {
         let n = trace.nranks();
         // In flow mode the topology itself is the contention: the global
         // bus limit is ignored (0 = unlimited), ports still gate each
@@ -447,7 +621,7 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
         Engine {
             trace,
             platform,
-            queue: EventQueue::new(),
+            queue,
             ranks: (0..n)
                 .map(|_| RankState {
                     pc: 0,
@@ -462,6 +636,8 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
             recv_reqs: Vec::new(),
             chan_ids: HashMap::default(),
             channels: Vec::new(),
+            pair_lut: Vec::new(),
+            rec_slot: Vec::new(),
             pending: VecDeque::new(),
             recv_req_tags: Vec::new(),
             resources: Resources::with_wan(
@@ -494,6 +670,14 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
         &mut self.channels[id as usize]
     }
 
+    /// Precompiled match partner (packed `(rank << 32) | pc`) for the
+    /// record at `(rank, pc)`, or `u64::MAX` when no pairing LUT is
+    /// installed (sequential engine) or the record is unmatched.
+    #[inline]
+    fn pair_at(&self, rank: usize, pc: usize) -> u64 {
+        self.pair_lut.get(rank).map_or(u64::MAX, |lut| lut[pc])
+    }
+
     /// Append a state interval to a rank's timeline, mirroring it to
     /// the probe (zero-length intervals are dropped by both).
     fn push_state(&mut self, rank: usize, start: Time, end: Time, state: State) {
@@ -511,7 +695,9 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
         self.flownet.is_none() || self.msgs[mid].link != Link::Net
     }
 
-    fn run(mut self) -> Result<SimResult, SimError> {
+    /// Announce the replay to the probe and seed the queue: one resume
+    /// per rank at t=0, plus the resolved fault schedule.
+    fn begin(&mut self) {
         if P::ENABLED {
             let links = self.flownet.as_ref().map(|n| n.links()).unwrap_or(&[]);
             self.probe.on_begin(self.ranks.len(), links);
@@ -525,39 +711,56 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
         for (i, f) in self.faults.iter().enumerate() {
             self.queue.push(f.at, Event::Fault { idx: i });
         }
-        while let Some((t, ev)) = self.queue.pop() {
-            if P::ENABLED {
-                let kind = match ev {
-                    Event::Resume { .. } => EventKind::Resume,
-                    Event::TransferDone { .. } => EventKind::TransferDone,
-                    Event::FlowDone { .. } => EventKind::FlowDone,
-                    Event::Fault { .. } => EventKind::Fault,
-                };
-                self.probe.on_event(t, kind, self.queue.len());
-            }
-            match ev {
-                Event::Resume { rank } => self.step(rank, t)?,
-                Event::TransferDone { msg } => self.on_transfer_done(msg, t)?,
-                Event::Fault { idx } => self.on_fault(idx, t)?,
-                Event::FlowDone { msg, epoch } => {
-                    let current = self
-                        .flownet
-                        .as_ref()
-                        .is_some_and(|n| n.is_current(msg, epoch));
-                    if current {
-                        self.on_flow_done(msg, t)?;
-                    } else {
-                        // superseded by a reshare (or the flow already
-                        // finished): drop it here so the handler only
-                        // ever sees live completions
-                        self.stale_popped += 1;
-                        if P::ENABLED {
-                            self.probe.on_stale_flow_done(t);
-                        }
+    }
+
+    /// Handle one popped event. Both drivers funnel every event they
+    /// don't fast-path through here, so the semantics live in exactly
+    /// one place.
+    fn dispatch(&mut self, t: Time, ev: Event) -> Result<(), SimError> {
+        if P::ENABLED {
+            let kind = match ev {
+                Event::Resume { .. } => EventKind::Resume,
+                Event::TransferDone { .. } => EventKind::TransferDone,
+                Event::FlowDone { .. } => EventKind::FlowDone,
+                Event::Fault { .. } => EventKind::Fault,
+            };
+            self.probe.on_event(t, kind, self.queue.len());
+        }
+        match ev {
+            Event::Resume { rank } => self.step(rank, t),
+            Event::TransferDone { msg } => self.on_transfer_done(msg, t),
+            Event::Fault { idx } => self.on_fault(idx, t),
+            Event::FlowDone { msg, epoch } => {
+                let current = self
+                    .flownet
+                    .as_ref()
+                    .is_some_and(|n| n.is_current(msg, epoch));
+                if current {
+                    self.on_flow_done(msg, t)
+                } else {
+                    // superseded by a reshare (or the flow already
+                    // finished): drop it here so the handler only
+                    // ever sees live completions
+                    self.stale_popped += 1;
+                    if P::ENABLED {
+                        self.probe.on_stale_flow_done(t);
                     }
+                    Ok(())
                 }
             }
         }
+    }
+
+    fn run(mut self) -> Result<SimResult, SimError> {
+        self.begin();
+        while let Some((t, ev)) = self.queue.pop() {
+            self.dispatch(t, ev)?;
+        }
+        self.finish()
+    }
+
+    /// Error out if any rank is still blocked after the queue drained.
+    fn check_stuck(&self) -> Result<(), SimError> {
         let stuck: Vec<(usize, String)> = self
             .ranks
             .iter()
@@ -578,20 +781,65 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
         if !stuck.is_empty() {
             return Err(SimError::Deadlock { stuck });
         }
-        let runtime = self
-            .ranks
+        Ok(())
+    }
+
+    /// Completion time of the slowest rank.
+    fn final_runtime(&self) -> Time {
+        self.ranks
             .iter()
             .map(|rs| rs.clock)
             .max()
-            .unwrap_or(Time::ZERO);
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Drained-queue epilogue: deadlock check, then assemble the
+    /// [`SimResult`]. Shared verbatim by both drivers (the parallel one
+    /// farms the per-rank/per-message pieces out to workers but goes
+    /// through the same helpers).
+    fn finish(self) -> Result<SimResult, SimError> {
+        self.check_stuck()?;
+        let runtime = self.final_runtime();
         if P::ENABLED {
-            self.probe.on_end(runtime, self.queue.peak);
+            self.probe.on_end(runtime, self.queue.peak());
         }
         let totals = self
             .ranks
             .iter()
             .map(|rs| StateTotals::of(&rs.timeline))
             .collect();
+        let network = self.network_stats();
+        let links = self.flownet.as_ref().map(|n| n.usage()).unwrap_or_default();
+        let comms = self
+            .msgs
+            .iter()
+            .map(|m| Self::comm_record(&self.recv_reqs, m))
+            .collect();
+        let (timelines, markers) = self
+            .ranks
+            .into_iter()
+            .map(|rs| (rs.timeline, rs.markers))
+            .unzip();
+        Ok(SimResult {
+            runtime,
+            timelines,
+            comms,
+            totals,
+            markers,
+            network,
+            links,
+            events_processed: self.queue.processed(),
+            queue_peak: self.queue.peak(),
+            stale_events: self.stale_popped,
+            fault_log: self.fault_log,
+        })
+    }
+
+    /// Fold the aggregate network statistics. The `f64` accumulations
+    /// run in message-initiation order — floating-point addition is not
+    /// associative, so this fold must never be parallelized or
+    /// reordered.
+    fn network_stats(&self) -> NetworkStats {
         let mut network = NetworkStats {
             transfers: self.msgs.len(),
             ..NetworkStats::default()
@@ -614,50 +862,32 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
             network.flows_rerouted = n.flows_rerouted();
             network.reroute_reshares = n.reroute_reshares();
         }
-        let links = self.flownet.as_ref().map(|n| n.usage()).unwrap_or_default();
-        let comms = self
-            .msgs
-            .iter()
-            .map(|m| {
-                let t_arrive = match m.state {
-                    MsgState::Done { t1 } | MsgState::Flying { t1 } => t1,
-                    MsgState::Pending => m.t_send, // never started (unmatched rendezvous)
-                };
-                let t_consume = m
-                    .paired
-                    .and_then(|r| self.recv_reqs[r].consumed_at)
-                    .unwrap_or(t_arrive)
-                    .max(t_arrive);
-                CommRecord {
-                    src: Rank(m.src as u32),
-                    dst: Rank(m.dst as u32),
-                    tag: m.tag,
-                    bytes: m.bytes,
-                    t_send: m.t_send,
-                    t_start: m.t_start,
-                    t_arrive,
-                    t_consume,
-                }
-            })
-            .collect();
-        let (timelines, markers) = self
-            .ranks
-            .into_iter()
-            .map(|rs| (rs.timeline, rs.markers))
-            .unzip();
-        Ok(SimResult {
-            runtime,
-            timelines,
-            comms,
-            totals,
-            markers,
-            network,
-            links,
-            events_processed: self.queue.processed,
-            queue_peak: self.queue.peak,
-            stale_events: self.stale_popped,
-            fault_log: self.fault_log,
-        })
+        network
+    }
+
+    /// The externally visible record of one message transfer. An
+    /// associated function (not a method) so worker threads can map it
+    /// over message chunks while holding only the two shared slices.
+    fn comm_record(recv_reqs: &[RecvReq], m: &Msg) -> CommRecord {
+        let t_arrive = match m.state {
+            MsgState::Done { t1 } | MsgState::Flying { t1 } => t1,
+            MsgState::Pending => m.t_send, // never started (unmatched rendezvous)
+        };
+        let t_consume = m
+            .paired
+            .and_then(|r| recv_reqs[r].consumed_at)
+            .unwrap_or(t_arrive)
+            .max(t_arrive);
+        CommRecord {
+            src: Rank(m.src as u32),
+            dst: Rank(m.dst as u32),
+            tag: m.tag,
+            bytes: m.bytes,
+            t_send: m.t_send,
+            t_start: m.t_start,
+            t_arrive,
+            t_consume,
+        }
     }
 
     /// Human-readable account of what a stuck rank is blocked on, for
@@ -729,7 +959,8 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
                     return Ok(());
                 }
                 Record::IRecv { src, tag, req, .. } => {
-                    let r = self.post_recv(rank, src.idx(), tag, clock)?;
+                    let partner = self.pair_at(rank, pc);
+                    let r = self.post_recv(rank, src.idx(), tag, clock, pc, partner)?;
                     self.ranks[rank].reqs.insert(req, ReqHandle::Recv(r));
                     self.ranks[rank].pc += 1;
                 }
@@ -741,7 +972,9 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
                     req,
                     ..
                 } => {
-                    let m = self.start_send(rank, dst.idx(), tag, bytes, mode, clock)?;
+                    let partner = self.pair_at(rank, pc);
+                    let m =
+                        self.start_send(rank, dst.idx(), tag, bytes, mode, clock, pc, partner)?;
                     self.ranks[rank].reqs.insert(req, ReqHandle::Send(m));
                     self.ranks[rank].pc += 1;
                 }
@@ -752,7 +985,9 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
                     mode,
                     ..
                 } => {
-                    let m = self.start_send(rank, dst.idx(), tag, bytes, mode, clock)?;
+                    let partner = self.pair_at(rank, pc);
+                    let m =
+                        self.start_send(rank, dst.idx(), tag, bytes, mode, clock, pc, partner)?;
                     self.ranks[rank].pc += 1;
                     match self.wait_on_send(rank, m, clock) {
                         Flow::Continue => {}
@@ -760,7 +995,8 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
                     }
                 }
                 Record::Recv { src, tag, .. } => {
-                    let r = self.post_recv(rank, src.idx(), tag, clock)?;
+                    let partner = self.pair_at(rank, pc);
+                    let r = self.post_recv(rank, src.idx(), tag, clock, pc, partner)?;
                     self.ranks[rank].pc += 1;
                     match self.wait_on_recv(rank, r, tag, clock) {
                         Flow::Continue => {}
@@ -803,6 +1039,8 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
         src: usize,
         tag: Tag,
         now: Time,
+        pc: usize,
+        partner: u64,
     ) -> Result<usize, SimError> {
         let idx = self.recv_reqs.len();
         self.recv_reqs.push(RecvReq {
@@ -813,8 +1051,28 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
             msg: None,
         });
         self.recv_req_tags.push(tag);
-        let ch = self.channel(src, rank, tag);
-        if let Some(mid) = ch.unmatched_msgs.pop_front() {
+        let matched = if partner != u64::MAX {
+            // Precompiled pairing: the partner send either executed
+            // already (its slot holds the msg id — pair now, exactly
+            // when it would sit at the FIFO front) or it didn't
+            // (advertise this request in our own slot).
+            let mid = self.rec_slot[(partner >> 32) as usize][partner as u32 as usize];
+            if mid != u32::MAX {
+                Some(mid as usize)
+            } else {
+                self.rec_slot[rank][pc] = idx as u32;
+                None
+            }
+        } else {
+            let ch = self.channel(src, rank, tag);
+            if let Some(mid) = ch.unmatched_msgs.pop_front() {
+                Some(mid)
+            } else {
+                ch.unmatched_reqs.push_back(idx);
+                None
+            }
+        };
+        if let Some(mid) = matched {
             self.pair(mid, idx);
             // a rendezvous message may have been waiting for this match
             if self.msgs[mid].mode == SendMode::Rendezvous
@@ -822,12 +1080,11 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
             {
                 self.try_start_all(now)?;
             }
-        } else {
-            ch.unmatched_reqs.push_back(idx);
         }
         Ok(idx)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn start_send(
         &mut self,
         src: usize,
@@ -836,6 +1093,8 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
         bytes: Bytes,
         mode: SendMode,
         now: Time,
+        pc: usize,
+        partner: u64,
     ) -> Result<usize, SimError> {
         let mode = self.platform.effective_mode(mode, bytes);
         let link = if self.platform.node_of(src) == self.platform.node_of(dst) {
@@ -860,11 +1119,20 @@ impl<'a, P: ProbeSink> Engine<'a, P> {
             waiter: None,
             waiter_since: now,
         });
-        let ch = self.channel(src, dst, tag);
-        if let Some(req) = ch.unmatched_reqs.pop_front() {
-            self.pair(mid, req);
+        if partner != u64::MAX {
+            let req = self.rec_slot[(partner >> 32) as usize][partner as u32 as usize];
+            if req != u32::MAX {
+                self.pair(mid, req as usize);
+            } else {
+                self.rec_slot[src][pc] = mid as u32;
+            }
         } else {
-            ch.unmatched_msgs.push_back(mid);
+            let ch = self.channel(src, dst, tag);
+            if let Some(req) = ch.unmatched_reqs.pop_front() {
+                self.pair(mid, req);
+            } else {
+                ch.unmatched_msgs.push_back(mid);
+            }
         }
         self.pending.push_back(mid);
         self.try_start_all(now)?;
@@ -1730,5 +1998,100 @@ mod tests {
         let res = simulate(&Trace::new(3), &plat()).unwrap();
         assert_eq!(res.runtime, Time::ZERO);
         assert_eq!(res.comms.len(), 0);
+    }
+
+    /// Engine selector round-trips through its textual form.
+    #[test]
+    fn engine_parses_and_displays() {
+        assert_eq!(
+            "sequential".parse::<ReplayEngine>().unwrap(),
+            ReplayEngine::Sequential
+        );
+        assert_eq!(
+            "seq".parse::<ReplayEngine>().unwrap(),
+            ReplayEngine::Sequential
+        );
+        assert_eq!(
+            "parallel:4".parse::<ReplayEngine>().unwrap(),
+            ReplayEngine::Parallel { workers: 4 }
+        );
+        assert_eq!(
+            "par:2".parse::<ReplayEngine>().unwrap(),
+            ReplayEngine::Parallel { workers: 2 }
+        );
+        assert!(matches!(
+            "parallel".parse::<ReplayEngine>().unwrap(),
+            ReplayEngine::Parallel { workers } if workers >= 1
+        ));
+        assert!("parallel:0".parse::<ReplayEngine>().is_err());
+        assert!("turbo".parse::<ReplayEngine>().is_err());
+        assert_eq!(
+            ReplayEngine::Parallel { workers: 8 }.to_string(),
+            "parallel:8"
+        );
+        assert_eq!(ReplayEngine::default(), ReplayEngine::Sequential);
+    }
+
+    /// The parallel engine is byte-identical to the sequential one on a
+    /// mixed workload (ring exchange with skewed compute), at several
+    /// worker counts. In debug builds the in-engine oracle re-asserts
+    /// this on every run; here we also pin it explicitly.
+    #[test]
+    fn parallel_engine_matches_sequential() {
+        let mut t = Trace::new(4);
+        for r in 0..4u32 {
+            let rt = t.rank_mut(Rank(r));
+            rt.push(compute(1_000_000 * (r as u64 + 1)));
+            rt.push(send((r + 1) % 4, 0, 10_000, 0));
+            rt.push(recv((r + 3) % 4, 0, 10_000, 1));
+            rt.push(compute(500_000));
+        }
+        let p = Platform { buses: 2, ..plat() };
+        let want = render_exact(&simulate(&t, &p));
+        for workers in [1, 2, 8] {
+            let got = render_exact(&simulate_with(&t, &p, ReplayEngine::Parallel { workers }));
+            assert_eq!(want, got, "workers={workers}");
+        }
+    }
+
+    /// Error paths are byte-identical too: a deadlocked replay reports
+    /// the same diagnosis from both engines.
+    #[test]
+    fn parallel_engine_matches_sequential_errors() {
+        let mut t = Trace::new(2);
+        t.rank_mut(Rank(0)).push(compute(1_000_000));
+        t.rank_mut(Rank(0)).push(recv(1, 0, 100, 0));
+        let want = render_exact(&simulate(&t, &plat()));
+        let got = render_exact(&simulate_with(
+            &t,
+            &plat(),
+            ReplayEngine::Parallel { workers: 2 },
+        ));
+        assert_eq!(want, got);
+    }
+
+    /// A compute-heavy trace exercises the elided-resume fast path and
+    /// still reports identical event counts and queue peaks.
+    #[test]
+    fn parallel_engine_fast_path_accounting_matches() {
+        let mut t = Trace::new(3);
+        for r in 0..3u32 {
+            let rt = t.rank_mut(Rank(r));
+            for i in 0..50u64 {
+                rt.push(Record::Marker {
+                    marker: ovlp_trace::record::Marker::IterBegin(i as u32),
+                });
+                rt.push(compute(100_000 + 13_000 * (r as u64 + 1) * (i % 7 + 1)));
+            }
+            rt.push(send((r + 1) % 3, 0, 10_000, 0));
+            rt.push(recv((r + 2) % 3, 0, 10_000, 1));
+        }
+        let seq = simulate(&t, &plat()).unwrap();
+        let par = simulate_with(&t, &plat(), ReplayEngine::Parallel { workers: 2 }).unwrap();
+        assert_eq!(seq.events_processed, par.events_processed);
+        assert_eq!(seq.queue_peak, par.queue_peak);
+        assert_eq!(seq.timelines, par.timelines);
+        assert_eq!(seq.markers, par.markers);
+        assert_eq!(render_exact(&Ok(seq)), render_exact(&Ok(par)));
     }
 }

@@ -1,0 +1,431 @@
+//! The parallel replay driver.
+//!
+//! Each rank is an independently advancing **context** with a local
+//! clock ([`RankState::clock`]); its pending resume lives in a
+//! dedicated single-slot time-stamped channel (a [`LaneQueue`] lane),
+//! and the minimum `(time, seq)` over the *other* lanes plus the
+//! shared heap is the context's **conservative lookahead horizon** —
+//! the DAM-RS per-context-time / channel-time-view pattern. A context
+//! that owns the earliest pending event may interpret its own record
+//! stream (compute bursts, markers) strictly *below* that horizon
+//! without consulting anyone: every event another context could
+//! possibly inject is bounded below by the horizon, because each
+//! communication step carries a nonzero link latency, so no
+//! zero-lookahead cycle exists. The moment the context's clock would
+//! reach the horizon — or its next record is a communication
+//! operation, which touches shared state (channels, ports, the flow
+//! network) — it re-enters the global sequencer.
+//!
+//! Reshares of the flow-level network are global barriers: they run on
+//! the sequencer, in event order, exactly as the sequential engine
+//! runs them. That is not a compromise, it is the determinism
+//! argument: *everything with cross-context effects happens on the
+//! sequencer in the sequential engine's own order*, and everything off
+//! the sequencer is rank-local with an airtight bound. The fast path
+//! even replicates the sequential engine's bookkeeping — each elided
+//! `push(Resume)+pop` advances the queue's seq counter and pop
+//! statistics ([`LaneQueue::note_elided_resume_cycle`]) so later
+//! same-time ties break identically, and a merged compute interval is
+//! byte-equal to the sequence of intervals [`Timeline::push`] would
+//! have coalesced. The result is bit-identical output for *any* worker
+//! count — asserted against the sequential oracle on every run in
+//! debug builds, and by `tests/parallel_equivalence.rs` in release.
+//!
+//! Worker threads carry the embarrassingly parallel phases around the
+//! sequencer: the **compile** phase precomputes every context's local
+//! step durations (the MIPS scaling of each compute burst), and the
+//! **finish** phase folds per-rank state totals and per-message
+//! records. The `f64` accumulations of [`NetworkStats`] stay on the
+//! sequencer in message order — floating-point addition is not
+//! associative, and "same bits" is the contract.
+
+use super::*;
+use crate::collective::expand_rank;
+use crate::event::LaneQueue;
+use crate::platform::CollectiveAlgo;
+
+/// Spawning a thread costs tens of microseconds; fan a phase out only
+/// when each worker gets at least this many records/messages to chew
+/// on, otherwise run it inline. Purely a wall-clock knob — the work is
+/// identical either way.
+const SPAWN_GRAIN: usize = 16_384;
+
+pub(super) fn run<P: ProbeSink>(
+    trace: &Trace,
+    platform: &Platform,
+    flownet: Option<FlowNet>,
+    faults: Vec<ResolvedFault>,
+    probe: &mut P,
+    workers: usize,
+) -> Result<SimResult, SimError> {
+    // `workers` is the requested degree; actual fan-out is additionally
+    // clamped to the hardware (threads beyond the core count only add
+    // spawn and contention cost, never concurrency). The clamp cannot
+    // move a bit: every fanned-out phase produces identical output for
+    // any thread count.
+    let workers = workers.max(1).min(
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+    );
+    let (dts, counts, pair_lut, rec_slot) = compile(trace, platform, workers);
+    let n = trace.nranks();
+    let mut eng = Engine::new(trace, platform, flownet, faults, probe, LaneQueue::new(n));
+    // The compile pass counted every record class, so the hot growth
+    // sites can be sized once up front instead of doubling mid-replay.
+    eng.msgs.reserve(counts.sends);
+    eng.recv_reqs.reserve(counts.recvs);
+    for (rs, lane) in eng.ranks.iter_mut().zip(&trace.ranks) {
+        rs.timeline.intervals.reserve(lane.records.len());
+    }
+    // Matching was solved at compile time, so the replay skips the
+    // channel hash-map, its unmatched FIFOs, and their allocation
+    // churn entirely; only records the matcher left unpaired (sends or
+    // recvs with no counterpart anywhere in the trace) fall back to
+    // the lazily interned channels.
+    eng.pair_lut = pair_lut;
+    eng.rec_slot = rec_slot;
+    eng.begin();
+    while let Some((t, ev)) = eng.queue.pop() {
+        // Probed runs disable the fast path: the probe observes every
+        // event pop (with queue depth), and the sequential engine is
+        // the definition of that stream.
+        if !P::ENABLED {
+            if let Event::Resume { rank } = ev {
+                eng.step_context(rank, t, &dts)?;
+                continue;
+            }
+        }
+        eng.dispatch(t, ev)?;
+    }
+    eng.finish_parallel(workers)
+}
+
+/// Record-class totals over the (collective-expanded) trace, gathered
+/// by the compile pass so [`run`] can pre-size the engine's hot
+/// vectors.
+#[derive(Debug, Default, Clone, Copy)]
+struct Counts {
+    sends: usize,
+    recvs: usize,
+}
+
+/// A channel key `(src, dst, tag)` — the triple [`Engine::channel`]
+/// interns: sends key by `(self, dst, tag)`, receives by
+/// `(src, self, tag)`.
+type ChanKey = (u32, u32, u32);
+
+/// Per-rank compile output: step durations, record-class counts, the
+/// rank's send/recv occurrences as `(key, k, pc)` — `k` counts the
+/// occurrences of `key` on that side, which is rank-local because
+/// every send of a key issues from its `src` rank (and every recv
+/// from its `dst`) in program order — and the rank's MAX-filled
+/// runtime slot row.
+type RankCompile = (
+    Vec<Time>,
+    Counts,
+    Vec<(ChanKey, u32, u32)>,
+    Vec<(ChanKey, u32, u32)>,
+    Box<[u32]>,
+    Box<[u64]>,
+);
+
+/// Compile phase: per-context step durations (`dts[rank][pc]`, filled
+/// for `Compute` records and zero elsewhere), record-class counts, and
+/// the precompiled match pairing. Durations come from
+/// `compute_time_for`, a pure function of `(rank, instr)`. Pairing is
+/// a static fact of the trace: channels are FIFO on both sides and
+/// each side issues in program order, so the k-th send on a key pairs
+/// with the k-th recv — the `(key, k)` join below reproduces every
+/// pairing the channel FIFOs would make, and leaves surplus records
+/// (no counterpart anywhere) at `u64::MAX` for the channel fallback.
+#[allow(clippy::type_complexity)]
+fn compile(
+    trace: &Trace,
+    platform: &Platform,
+    workers: usize,
+) -> (Vec<Vec<Time>>, Counts, Vec<Box<[u64]>>, Vec<Box<[u32]>>) {
+    let n = trace.nranks();
+    let rank_pass = |r: usize| -> RankCompile {
+        let nrecs = trace.ranks[r].records.len();
+        let mut counts = Counts::default();
+        let mut sends = Vec::new();
+        let mut recvs = Vec::new();
+        let mut ks: HashMap<ChanKey, (u32, u32), FxBuildHasher> =
+            HashMap::with_capacity_and_hasher(nrecs / 2, FxBuildHasher::default());
+        let dts = trace.ranks[r]
+            .records
+            .iter()
+            .enumerate()
+            .map(|(pc, rec)| match *rec {
+                Record::Compute { instr } => platform.compute_time_for(r, instr),
+                Record::Send { dst, tag, .. } | Record::ISend { dst, tag, .. } => {
+                    counts.sends += 1;
+                    let key = (r as u32, dst.0, tag.0);
+                    let k = &mut ks.entry(key).or_default().0;
+                    sends.push((key, *k, pc as u32));
+                    *k += 1;
+                    Time::ZERO
+                }
+                Record::Recv { src, tag, .. } | Record::IRecv { src, tag, .. } => {
+                    counts.recvs += 1;
+                    let key = (src.0, r as u32, tag.0);
+                    let k = &mut ks.entry(key).or_default().1;
+                    recvs.push((key, *k, pc as u32));
+                    *k += 1;
+                    Time::ZERO
+                }
+                _ => Time::ZERO,
+            })
+            .collect();
+        let slots = vec![u32::MAX; nrecs].into_boxed_slice();
+        let pairs = vec![u64::MAX; nrecs].into_boxed_slice();
+        (dts, counts, sends, recvs, slots, pairs)
+    };
+    let total_records: usize = trace.ranks.iter().map(|l| l.records.len()).sum();
+    let threaded = workers > 1 && n > 1 && total_records >= workers * SPAWN_GRAIN;
+    let per_rank: Vec<RankCompile> = if threaded {
+        let mut out = vec![Default::default(); n];
+        let rank_pass = &rank_pass;
+        std::thread::scope(|s| {
+            let chunk = n.div_ceil(workers);
+            for (i, slot) in out.chunks_mut(chunk).enumerate() {
+                s.spawn(move || {
+                    for (j, v) in slot.iter_mut().enumerate() {
+                        *v = rank_pass(i * chunk + j);
+                    }
+                });
+            }
+        });
+        out
+    } else {
+        (0..n).map(rank_pass).collect()
+    };
+    let mut total = Counts::default();
+    let mut dts = Vec::with_capacity(n);
+    let mut sends = Vec::with_capacity(n);
+    let mut recvs = Vec::with_capacity(n);
+    let mut rec_slot = Vec::with_capacity(n);
+    let mut pair_lut: Vec<Box<[u64]>> = Vec::with_capacity(n);
+    for (d, c, s, rv, slots, pairs) in per_rank {
+        total.sends += c.sends;
+        total.recvs += c.recvs;
+        pair_lut.push(pairs);
+        dts.push(d);
+        sends.push(s);
+        recvs.push(rv);
+        rec_slot.push(slots);
+    }
+    // The (key, k) join. One presized hash op per comm record; the
+    // resulting partner writes land on both sides of each pair.
+    let mut open: HashMap<(ChanKey, u32), u64, FxBuildHasher> =
+        HashMap::with_capacity_and_hasher(total.sends, FxBuildHasher::default());
+    for (r, s) in sends.iter().enumerate() {
+        for &(key, k, pc) in s {
+            open.insert((key, k), ((r as u64) << 32) | pc as u64);
+        }
+    }
+    for (r, rv) in recvs.iter().enumerate() {
+        for &(key, k, pc) in rv {
+            if let Some(&sp) = open.get(&(key, k)) {
+                pair_lut[r][pc as usize] = sp;
+                pair_lut[(sp >> 32) as usize][sp as u32 as usize] = ((r as u64) << 32) | pc as u64;
+            }
+        }
+    }
+    (dts, total, pair_lut, rec_slot)
+}
+
+/// [`expand_collectives`] with the rank streams expanded on worker
+/// threads. Expansion is rank-local — the instance counter keying the
+/// synthesized tags is per-rank — so the fan-out is byte-identical to
+/// the sequential rewrite.
+pub(super) fn expand(trace: &Trace, algo: CollectiveAlgo, workers: usize) -> Trace {
+    let n = trace.nranks();
+    let total_records: usize = trace.ranks.iter().map(|l| l.records.len()).sum();
+    let mut out = Trace::new(n);
+    out.meta = trace.meta.clone();
+    out.meta
+        .insert("collectives".to_string(), algo.name().to_string());
+    if workers <= 1 || n <= 1 || total_records < workers * SPAWN_GRAIN {
+        for (r, rt) in trace.ranks.iter().enumerate() {
+            expand_rank(n, r, &rt.records, algo, &mut out.ranks[r].records);
+        }
+        return out;
+    }
+    std::thread::scope(|s| {
+        let chunk = n.div_ceil(workers);
+        for (i, slot) in out.ranks.chunks_mut(chunk).enumerate() {
+            s.spawn(move || {
+                for (j, lane) in slot.iter_mut().enumerate() {
+                    let r = i * chunk + j;
+                    expand_rank(n, r, &trace.ranks[r].records, algo, &mut lane.records);
+                }
+            });
+        }
+    });
+    out
+}
+
+impl<'a, P: ProbeSink> Engine<'a, P, LaneQueue> {
+    /// Advance one context under conservative lookahead.
+    ///
+    /// Entered with `rank`'s resume just popped at `now`. Markers and
+    /// compute bursts whose end stays strictly below the horizon are
+    /// interpreted locally: the `push(Resume)+pop` cycle the
+    /// sequential engine performs per burst is elided (its accounting
+    /// is replayed onto the queue), and the contiguous bursts become
+    /// one merged `Compute` interval — byte-equal to what
+    /// `Timeline::push` coalesces the sequential engine's pushes into.
+    /// The strict `<` matters: at an exact tie the other pending entry
+    /// holds the older seq and wins, so the context must yield.
+    ///
+    /// A communication record, or a burst ending on/after the horizon,
+    /// exits to the shared interpreter ([`Engine::step`]) / the real
+    /// queue, making the slow path literally the sequential engine.
+    fn step_context(&mut self, rank: usize, now: Time, dts: &[Vec<Time>]) -> Result<(), SimError> {
+        debug_assert!(!P::ENABLED);
+        debug_assert!(self.ranks[rank].clock <= now + Time::micros(1e-6));
+        let horizon = self.queue.horizon().map(|(t, _)| t);
+        self.ranks[rank].clock = now;
+        self.ranks[rank].blocked = Blocked::None;
+        let mut run_start: Option<Time> = None;
+        loop {
+            let pc = self.ranks[rank].pc;
+            let Some(rec) = self.trace.ranks[rank].records.get(pc).copied() else {
+                if let Some(start) = run_start {
+                    let end = self.ranks[rank].clock;
+                    self.push_state(rank, start, end, State::Compute);
+                }
+                self.ranks[rank].blocked = Blocked::Finished;
+                return Ok(());
+            };
+            let clock = self.ranks[rank].clock;
+            match rec {
+                Record::Marker { marker } => {
+                    self.ranks[rank].markers.push((marker, clock));
+                    self.ranks[rank].pc += 1;
+                }
+                Record::Compute { .. } => {
+                    let end = clock + dts[rank][pc];
+                    self.ranks[rank].clock = end;
+                    self.ranks[rank].pc += 1;
+                    if run_start.is_none() {
+                        run_start = Some(clock);
+                    }
+                    if horizon.is_some_and(|h| end >= h) {
+                        // Another context's event (or an older tie)
+                        // runs first: emit the merged interval, park
+                        // the resume in our lane, yield to the
+                        // sequencer.
+                        self.push_state(rank, run_start.expect("run started"), end, State::Compute);
+                        self.queue.push(end, Event::Resume { rank });
+                        self.ranks[rank].blocked = Blocked::ResumeScheduled;
+                        return Ok(());
+                    }
+                    // Sole owner of simulated time below the horizon:
+                    // elide the resume round-trip, keep its accounting.
+                    self.queue.note_elided_resume_cycle(rank);
+                }
+                _ => {
+                    // Communication: flush the local run and fall into
+                    // the exact shared interpreter at the current clock.
+                    if let Some(start) = run_start {
+                        self.push_state(rank, start, clock, State::Compute);
+                    }
+                    return self.step(rank, clock);
+                }
+            }
+        }
+    }
+
+    /// [`Engine::finish`] with the per-rank and per-message folds
+    /// fanned out over `workers` threads. Every fold is over disjoint
+    /// chunks reassembled in index order, and the order-sensitive
+    /// `f64` network accumulation stays sequential, so the assembled
+    /// [`SimResult`] is identical to the sequential epilogue's.
+    fn finish_parallel(self, workers: usize) -> Result<SimResult, SimError> {
+        self.check_stuck()?;
+        let runtime = self.final_runtime();
+        if P::ENABLED {
+            self.probe.on_end(runtime, self.queue.peak());
+        }
+        let network = self.network_stats();
+        let links = self.flownet.as_ref().map(|n| n.usage()).unwrap_or_default();
+        let fold_work = self.msgs.len()
+            + self
+                .ranks
+                .iter()
+                .map(|rs| rs.timeline.intervals.len())
+                .sum::<usize>();
+        let (totals, comms) = if workers <= 1 || fold_work < workers * SPAWN_GRAIN {
+            (
+                self.ranks
+                    .iter()
+                    .map(|rs| StateTotals::of(&rs.timeline))
+                    .collect(),
+                self.msgs
+                    .iter()
+                    .map(|m| Self::comm_record(&self.recv_reqs, m))
+                    .collect(),
+            )
+        } else {
+            let ranks = &self.ranks;
+            let msgs = &self.msgs;
+            let recv_reqs = &self.recv_reqs;
+            std::thread::scope(|s| {
+                let rank_chunk = ranks.len().div_ceil(workers).max(1);
+                let totals_handles: Vec<_> = ranks
+                    .chunks(rank_chunk)
+                    .map(|chunk| {
+                        s.spawn(move || {
+                            chunk
+                                .iter()
+                                .map(|rs| StateTotals::of(&rs.timeline))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                let msg_chunk = msgs.len().div_ceil(workers).max(1);
+                let comm_handles: Vec<_> = msgs
+                    .chunks(msg_chunk)
+                    .map(|chunk| {
+                        s.spawn(move || {
+                            chunk
+                                .iter()
+                                .map(|m| Self::comm_record(recv_reqs, m))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                let totals: Vec<StateTotals> = totals_handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("totals worker"))
+                    .collect();
+                let comms: Vec<CommRecord> = comm_handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("comms worker"))
+                    .collect();
+                (totals, comms)
+            })
+        };
+        let (timelines, markers) = self
+            .ranks
+            .into_iter()
+            .map(|rs| (rs.timeline, rs.markers))
+            .unzip();
+        Ok(SimResult {
+            runtime,
+            timelines,
+            comms,
+            totals,
+            markers,
+            network,
+            links,
+            events_processed: self.queue.processed(),
+            queue_peak: self.queue.peak(),
+            stale_events: self.stale_popped,
+            fault_log: self.fault_log,
+        })
+    }
+}

@@ -28,6 +28,7 @@ pub mod access_text;
 pub mod ids;
 pub mod record;
 pub mod stats;
+pub mod synth;
 pub mod text;
 pub mod trace;
 pub mod units;

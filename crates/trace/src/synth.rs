@@ -1,0 +1,516 @@
+//! Synthetic trace generation for differential test suites and
+//! benchmarks.
+//!
+//! Two tools live here:
+//!
+//! * [`generate`] — a seeded, fully deterministic generator of small
+//!   valid applications (mixed point-to-point and collective phases,
+//!   varying message sizes, chunked transfers, both send modes). The
+//!   parallel-vs-sequential differential suite uses it to explore
+//!   shapes the golden fixtures don't cover; a `proptest` strategy can
+//!   wrap it by mapping arbitrary `u64` seeds through this function.
+//! * [`tile`] — concatenate a trace with itself `copies` times,
+//!   renumbering request and transfer ids so tiles stay independent.
+//!   Benchmarks use it to scale the committed fixtures up to workloads
+//!   where per-event engine costs dominate setup.
+//!
+//! Every communication pattern emitted by [`generate`] is deadlock-free
+//! under *both* send modes — a platform may upgrade any eager send to
+//! rendezvous past its threshold, so patterns that only terminate with
+//! eager buffering (e.g. head-to-head exchanges) are never produced.
+
+use crate::ids::{CollOp, Rank, ReqId, Tag, TransferId};
+use crate::record::{Marker, Record, SendMode};
+use crate::trace::Trace;
+use crate::units::{Bytes, Instructions};
+
+/// SplitMix64: tiny, deterministic, well-distributed. The whole point
+/// of the generator is reproducibility from a single seed, so no
+/// external randomness source is involved.
+#[derive(Debug, Clone)]
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish value in `0..n` (modulo bias is irrelevant here).
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next() % n
+    }
+
+    /// Value in `lo..hi`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo)
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+/// Per-rank id allocation state while generating.
+struct Alloc {
+    next_req: u64,
+    next_transfer: u32,
+    next_tag: u32,
+}
+
+impl Alloc {
+    fn req(&mut self) -> ReqId {
+        self.next_req += 1;
+        ReqId(self.next_req - 1)
+    }
+
+    fn transfer(&mut self, rank: usize) -> TransferId {
+        self.next_transfer += 1;
+        TransferId::new(Rank(rank as u32), self.next_transfer - 1)
+    }
+}
+
+/// Generate a small valid application trace from `seed`.
+///
+/// The result has 4 or 8 ranks and a few phases drawn from: compute
+/// bursts (optionally skewed across ranks), pairwise exchanges (whole
+/// or chunked messages), blocking chains, non-blocking rings
+/// (irecv/isend/compute/wait), and collectives. Identical seeds give
+/// identical traces; distinct seeds explore distinct shapes.
+pub fn generate(seed: u64) -> Trace {
+    let mut rng = Rng(seed ^ 0x5eed_cafe_f00d_d00d);
+    let nranks = if rng.chance(50) { 4 } else { 8 };
+    let mut trace = Trace::new(nranks);
+    trace
+        .meta
+        .insert("synth-seed".to_string(), seed.to_string());
+    let mut allocs: Vec<Alloc> = (0..nranks)
+        .map(|_| Alloc {
+            next_req: 0,
+            next_transfer: 0,
+            next_tag: 0,
+        })
+        .collect();
+    let phases = rng.range(2, 6) as u32;
+    for phase in 0..phases {
+        for r in 0..nranks {
+            trace.rank_mut(Rank(r as u32)).push(Record::Marker {
+                marker: Marker::Phase(phase),
+            });
+        }
+        match rng.below(5) {
+            0 => compute_phase(&mut trace, &mut rng, nranks),
+            1 => pair_exchange_phase(&mut trace, &mut rng, nranks, &mut allocs),
+            2 => chain_phase(&mut trace, &mut rng, nranks, &mut allocs),
+            3 => ring_phase(&mut trace, &mut rng, nranks, &mut allocs),
+            _ => collective_phase(&mut trace, &mut rng, nranks, &mut allocs),
+        }
+    }
+    // a trailing compute burst keeps the last phase's waits observable
+    compute_phase(&mut trace, &mut rng, nranks);
+    trace
+}
+
+/// Compute bursts, optionally skewed so ranks desynchronize.
+fn compute_phase(trace: &mut Trace, rng: &mut Rng, nranks: usize) {
+    let base = rng.range(50_000, 2_000_000);
+    let skew = rng.below(4); // 0 = uniform
+    for r in 0..nranks {
+        let instr = base + skew * (r as u64) * rng.range(10_000, 200_000);
+        trace.rank_mut(Rank(r as u32)).push(Record::Compute {
+            instr: Instructions(instr),
+        });
+    }
+}
+
+fn message_bytes(rng: &mut Rng) -> Bytes {
+    // straddle the eager/rendezvous threshold and the latency-bound
+    // regime: 64 B .. 512 KiB, log-ish distributed
+    Bytes(64u64 << rng.below(14))
+}
+
+fn send_mode(rng: &mut Rng) -> SendMode {
+    if rng.chance(30) {
+        SendMode::Rendezvous
+    } else {
+        SendMode::Eager
+    }
+}
+
+/// Disjoint-pair exchange: the lower rank sends then receives, the
+/// upper receives then sends — safe under rendezvous. Messages may be
+/// split into chunks with per-chunk tags (varying chunk sizes is part
+/// of the shape space the differential suite must cover).
+fn pair_exchange_phase(trace: &mut Trace, rng: &mut Rng, nranks: usize, allocs: &mut [Alloc]) {
+    let chunks = [1u32, 1, 2, 4, 7][rng.below(5) as usize];
+    let bytes = message_bytes(rng);
+    let mode = send_mode(rng);
+    for pair in 0..nranks / 2 {
+        let (lo, hi) = (2 * pair, 2 * pair + 1);
+        let tag = {
+            let t = allocs[lo].next_tag;
+            allocs[lo].next_tag += 1;
+            Tag::user(t % Tag::MAX_USER)
+        };
+        push_chunked_send(trace, lo, hi, tag, bytes, chunks, mode, allocs);
+        push_chunked_recv(trace, hi, lo, tag, bytes, chunks, allocs);
+        push_chunked_send(trace, hi, lo, tag, bytes, chunks, mode, allocs);
+        push_chunked_recv(trace, lo, hi, tag, bytes, chunks, allocs);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_chunked_send(
+    trace: &mut Trace,
+    src: usize,
+    dst: usize,
+    tag: Tag,
+    bytes: Bytes,
+    chunks: u32,
+    mode: SendMode,
+    allocs: &mut [Alloc],
+) {
+    for k in 0..chunks {
+        let t = if chunks == 1 { tag } else { tag.chunk(k) };
+        let transfer = allocs[src].transfer(src);
+        trace.rank_mut(Rank(src as u32)).push(Record::Send {
+            dst: Rank(dst as u32),
+            tag: t,
+            bytes: Bytes(bytes.get() / chunks as u64 + 1),
+            mode,
+            transfer,
+        });
+    }
+}
+
+fn push_chunked_recv(
+    trace: &mut Trace,
+    dst: usize,
+    src: usize,
+    tag: Tag,
+    bytes: Bytes,
+    chunks: u32,
+    allocs: &mut [Alloc],
+) {
+    for k in 0..chunks {
+        let t = if chunks == 1 { tag } else { tag.chunk(k) };
+        let transfer = allocs[dst].transfer(dst);
+        trace.rank_mut(Rank(dst as u32)).push(Record::Recv {
+            src: Rank(src as u32),
+            tag: t,
+            bytes: Bytes(bytes.get() / chunks as u64 + 1),
+            transfer,
+        });
+    }
+}
+
+/// Blocking nearest-neighbour chain: rank 0 sends down the line, every
+/// other rank receives before it sends — a wavefront, safe under
+/// rendezvous.
+fn chain_phase(trace: &mut Trace, rng: &mut Rng, nranks: usize, allocs: &mut [Alloc]) {
+    let bytes = message_bytes(rng);
+    let mode = send_mode(rng);
+    let tag = Tag::user(1000 + rng.below(100) as u32);
+    for (r, alloc) in allocs.iter_mut().enumerate().take(nranks) {
+        if r > 0 {
+            let transfer = alloc.transfer(r);
+            trace.rank_mut(Rank(r as u32)).push(Record::Recv {
+                src: Rank(r as u32 - 1),
+                tag,
+                bytes,
+                transfer,
+            });
+        }
+        if rng.chance(60) {
+            let instr = rng.range(20_000, 400_000);
+            trace.rank_mut(Rank(r as u32)).push(Record::Compute {
+                instr: Instructions(instr),
+            });
+        }
+        if r + 1 < nranks {
+            let transfer = alloc.transfer(r);
+            trace.rank_mut(Rank(r as u32)).push(Record::Send {
+                dst: Rank(r as u32 + 1),
+                tag,
+                bytes,
+                mode,
+                transfer,
+            });
+        }
+    }
+}
+
+/// Non-blocking ring: every rank posts its receive before its send and
+/// only then waits, so the cycle cannot deadlock in either send mode.
+/// The compute burst between post and wait is what gives the engines
+/// communication/computation overlap to disagree about.
+fn ring_phase(trace: &mut Trace, rng: &mut Rng, nranks: usize, allocs: &mut [Alloc]) {
+    let bytes = message_bytes(rng);
+    let mode = send_mode(rng);
+    let tag = Tag::user(2000 + rng.below(100) as u32);
+    let instr = rng.range(50_000, 1_500_000);
+    for (r, alloc) in allocs.iter_mut().enumerate().take(nranks) {
+        let left = (r + nranks - 1) % nranks;
+        let right = (r + 1) % nranks;
+        let recv_req = alloc.req();
+        let send_req = alloc.req();
+        let rt = trace.rank_mut(Rank(r as u32));
+        let t_recv = TransferId::new(Rank(r as u32), alloc.next_transfer);
+        alloc.next_transfer += 1;
+        rt.push(Record::IRecv {
+            src: Rank(left as u32),
+            tag,
+            bytes,
+            req: recv_req,
+            transfer: t_recv,
+        });
+        let t_send = TransferId::new(Rank(r as u32), alloc.next_transfer);
+        alloc.next_transfer += 1;
+        rt.push(Record::ISend {
+            dst: Rank(right as u32),
+            tag,
+            bytes,
+            mode,
+            req: send_req,
+            transfer: t_send,
+        });
+        rt.push(Record::Compute {
+            instr: Instructions(instr),
+        });
+        rt.push(Record::Wait { req: recv_req });
+        rt.push(Record::Wait { req: send_req });
+    }
+}
+
+/// One collective over the world communicator; every rank emits the
+/// same record, as trace validation requires.
+fn collective_phase(trace: &mut Trace, rng: &mut Rng, nranks: usize, allocs: &mut [Alloc]) {
+    let ops = [
+        CollOp::Barrier,
+        CollOp::Bcast,
+        CollOp::Allreduce,
+        CollOp::Reduce,
+        CollOp::Allgather,
+        CollOp::Alltoall,
+    ];
+    let op = ops[rng.below(ops.len() as u64) as usize];
+    let bytes = message_bytes(rng);
+    let root = Rank(rng.below(nranks as u64) as u32);
+    for (r, alloc) in allocs.iter_mut().enumerate().take(nranks) {
+        let transfer = alloc.transfer(r);
+        trace.rank_mut(Rank(r as u32)).push(Record::Collective {
+            op,
+            bytes_in: bytes,
+            bytes_out: bytes,
+            root,
+            transfer,
+        });
+    }
+}
+
+/// Concatenate `trace` with itself `copies` times.
+///
+/// Request ids and transfer sequence numbers are offset per tile so
+/// tiles never alias (a request left unwaited in one tile must not
+/// collide with the next tile's allocations). Record content is
+/// otherwise untouched, so the replay of each tile is the same workload
+/// back to back — which is exactly what engine benchmarks need to
+/// amortize setup costs away.
+pub fn tile(trace: &Trace, copies: u32) -> Trace {
+    assert!(copies > 0, "tile needs at least one copy");
+    let mut req_stride = 0u64;
+    let mut transfer_stride = 0u32;
+    for rt in &trace.ranks {
+        for rec in &rt.records {
+            match *rec {
+                Record::ISend { req, .. } | Record::IRecv { req, .. } => {
+                    req_stride = req_stride.max(req.0 + 1);
+                }
+                _ => {}
+            }
+            if let Some(t) = rec.transfer() {
+                transfer_stride = transfer_stride.max(t.seq + 1);
+            }
+        }
+    }
+    let mut out = Trace::new(trace.nranks());
+    out.meta = trace.meta.clone();
+    out.meta.insert("tiles".to_string(), copies.to_string());
+    for (r, rt) in trace.ranks.iter().enumerate() {
+        let dst = &mut out.ranks[r];
+        dst.records.reserve(rt.records.len() * copies as usize);
+        for c in 0..copies {
+            let dreq = req_stride * c as u64;
+            let dtr = transfer_stride * c;
+            for rec in &rt.records {
+                dst.records.push(shift_ids(*rec, dreq, dtr));
+            }
+        }
+    }
+    out
+}
+
+fn shift_ids(rec: Record, dreq: u64, dtr: u32) -> Record {
+    let bump = |t: TransferId| TransferId {
+        rank: t.rank,
+        seq: t.seq + dtr,
+    };
+    match rec {
+        Record::Send {
+            dst,
+            tag,
+            bytes,
+            mode,
+            transfer,
+        } => Record::Send {
+            dst,
+            tag,
+            bytes,
+            mode,
+            transfer: bump(transfer),
+        },
+        Record::Recv {
+            src,
+            tag,
+            bytes,
+            transfer,
+        } => Record::Recv {
+            src,
+            tag,
+            bytes,
+            transfer: bump(transfer),
+        },
+        Record::ISend {
+            dst,
+            tag,
+            bytes,
+            mode,
+            req,
+            transfer,
+        } => Record::ISend {
+            dst,
+            tag,
+            bytes,
+            mode,
+            req: ReqId(req.0 + dreq),
+            transfer: bump(transfer),
+        },
+        Record::IRecv {
+            src,
+            tag,
+            bytes,
+            req,
+            transfer,
+        } => Record::IRecv {
+            src,
+            tag,
+            bytes,
+            req: ReqId(req.0 + dreq),
+            transfer: bump(transfer),
+        },
+        Record::Wait { req } => Record::Wait {
+            req: ReqId(req.0 + dreq),
+        },
+        Record::Collective {
+            op,
+            bytes_in,
+            bytes_out,
+            root,
+            transfer,
+        } => Record::Collective {
+            op,
+            bytes_in,
+            bytes_out,
+            root,
+            transfer: bump(transfer),
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let a = generate(seed);
+            let b = generate(seed);
+            assert_eq!(a.ranks.len(), b.ranks.len());
+            for (ra, rb) in a.ranks.iter().zip(&b.ranks) {
+                assert_eq!(ra.records, rb.records, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_explore_distinct_shapes() {
+        let mut distinct = 0;
+        let base = generate(0);
+        for seed in 1..16u64 {
+            let t = generate(seed);
+            if t.ranks
+                .iter()
+                .map(|r| r.records.clone())
+                .collect::<Vec<_>>()
+                != base
+                    .ranks
+                    .iter()
+                    .map(|r| r.records.clone())
+                    .collect::<Vec<_>>()
+            {
+                distinct += 1;
+            }
+        }
+        assert!(distinct >= 14, "only {distinct}/15 seeds differed");
+    }
+
+    #[test]
+    fn generated_traces_validate() {
+        for seed in 0..64u64 {
+            let t = generate(seed);
+            assert!(t.nranks() == 4 || t.nranks() == 8);
+            assert!(t.total_records() > 0);
+            let errors = validate(&t);
+            assert!(errors.is_empty(), "seed {seed}: {errors:?}");
+        }
+    }
+
+    #[test]
+    fn tiling_scales_record_counts_and_keeps_ids_disjoint() {
+        let t = generate(7);
+        let tiled = tile(&t, 3);
+        assert_eq!(tiled.total_records(), 3 * t.total_records());
+        assert!(validate(&tiled).is_empty());
+        // request ids must be unique per rank across tiles
+        for rt in &tiled.ranks {
+            let mut posted: Vec<u64> = rt
+                .records
+                .iter()
+                .filter_map(|r| match r {
+                    Record::ISend { req, .. } | Record::IRecv { req, .. } => Some(req.0),
+                    _ => None,
+                })
+                .collect();
+            let n = posted.len();
+            posted.sort_unstable();
+            posted.dedup();
+            assert_eq!(posted.len(), n, "request id reused across tiles");
+        }
+    }
+
+    #[test]
+    fn single_tile_is_identity() {
+        let t = generate(11);
+        let tiled = tile(&t, 1);
+        for (a, b) in t.ranks.iter().zip(&tiled.ranks) {
+            assert_eq!(a.records, b.records);
+        }
+    }
+}

@@ -12,7 +12,8 @@ use overlap_sim::core::presets::marenostrum_for;
 use overlap_sim::core::report::{pct, table2a, table2b};
 use overlap_sim::instr::trace_app;
 use overlap_sim::machine::{
-    simulate, simulate_probed, ContentionModel, FaultSchedule, Platform, Time, WindowedRecorder,
+    simulate, simulate_probed_with, simulate_with, ContentionModel, FaultSchedule, Platform,
+    ReplayEngine, Time, WindowedRecorder,
 };
 use overlap_sim::trace::text;
 use overlap_sim::viz::{gantt_comparison, link_heatmap_ascii, paraver, timeline_svg};
@@ -52,7 +53,7 @@ const COMMANDS: &[Cmd] = &[
     Cmd {
         name: "simulate",
         args: "<trace.trf> [bw] [buses] [--topology T] [--faults SPEC] [--metrics out.json] \
-               [--probe-window us]",
+               [--probe-window us] [--engine seq|par[:N]]",
         about: "replay a trace file on a platform",
     },
     Cmd {
@@ -93,7 +94,8 @@ const COMMANDS: &[Cmd] = &[
     Cmd {
         name: "sweep",
         args: "<app> <ranks> [--jobs N] [--chunks a,b,..] [--bw a,b,..] [--buses a,b,..] \
-               [--topology t1,t2,..] [--faults f1,f2,..] [--metrics dir] [--probe-window us]",
+               [--topology t1,t2,..] [--faults f1,f2,..] [--metrics dir] [--probe-window us] \
+               [--engine seq|par[:N]]",
         about: "parallel parameter sweep over platforms x policies",
     },
     Cmd {
@@ -387,6 +389,10 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
         Ok(v) => v,
         Err(e) => return fail(e),
     };
+    let engine = match parse_flag(rest, "--engine", ReplayEngine::Sequential) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
     // Positional args are what remains once the flag pairs are stripped.
     let mut pos: Vec<&str> = Vec::new();
     let mut skip = false;
@@ -395,7 +401,7 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
             skip = false;
         } else if matches!(
             *a,
-            "--topology" | "--faults" | "--metrics" | "--probe-window"
+            "--topology" | "--faults" | "--metrics" | "--probe-window" | "--engine"
         ) {
             skip = true;
         } else {
@@ -428,7 +434,7 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
             None => {
                 // auto window: 1/256 of this trace's runtime, measured
                 // by an extra (cheap, deterministic) unprobed replay
-                let base = match simulate(&trace, &platform) {
+                let base = match simulate_with(&trace, &platform, engine) {
                     Ok(r) => r,
                     Err(e) => return fail(e.to_string()),
                 };
@@ -436,12 +442,12 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
             }
         };
         let mut rec = WindowedRecorder::new(window);
-        match simulate_probed(&trace, &platform, &mut rec) {
+        match simulate_probed_with(&trace, &platform, &mut rec, engine) {
             Ok(r) => (r, Some(rec.into_metrics())),
             Err(e) => return fail(e.to_string()),
         }
     } else {
-        match simulate(&trace, &platform) {
+        match simulate_with(&trace, &platform, engine) {
             Ok(r) => (r, None),
             Err(e) => return fail(e.to_string()),
         }
@@ -763,7 +769,11 @@ fn sweep_cmd(app: &str, ranks: &str, rest: &[&str]) -> ExitCode {
             return fail(format!("bad --probe-window value `{us}`: must be positive"));
         }
     }
-    let mut config = SweepConfig::with_jobs(jobs);
+    let engine = match parse_flag(rest, "--engine", ReplayEngine::Sequential) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    let mut config = SweepConfig::with_jobs(jobs).with_engine(engine);
     // --metrics alone probes at the 100us default window; probed points
     // bypass the cache, so runtimes still replay deterministically.
     config.probe_window_us = match (&metrics_dir, window_us) {

@@ -1,0 +1,65 @@
+//! Property-based pinning of the parallel replay engine over seeded
+//! generated applications: any small valid app replays byte-identically
+//! for every worker count on every topology, and repeated runs at the
+//! same width are bit-stable (no dependence on scheduling).
+//!
+//! Off by default; run with `cargo test --features proptest-tests`.
+#![cfg(feature = "proptest-tests")]
+
+use overlap_sim::machine::{render_exact, simulate_with, Platform, ReplayEngine};
+use overlap_sim::trace::{synth, validate, Trace};
+use proptest::prelude::*;
+
+/// Strategy: a small valid application derived deterministically from a
+/// seed — mixed point-to-point and collective phases over 4 or 8 ranks,
+/// both send modes, skewed and uniform compute.
+fn small_app() -> impl Strategy<Value = Trace> {
+    (0u64..u64::MAX).prop_map(synth::generate)
+}
+
+/// Contention specs shaped for the generator's rank counts.
+fn contention_specs(nranks: usize) -> [&'static str; 3] {
+    match nranks {
+        4 => ["crossbar", "fat-tree:4", "torus:2x2"],
+        _ => ["crossbar", "fat-tree:4", "torus:2x2x2"],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The generator's output is a valid trace for every seed.
+    #[test]
+    fn generated_apps_are_valid(trace in small_app()) {
+        let errors = validate(&trace);
+        prop_assert!(errors.is_empty(), "validation errors: {:?}", errors);
+    }
+
+    /// Worker-count invariance: the sequential oracle and every
+    /// parallel width agree to the byte, on every topology.
+    #[test]
+    fn engine_is_worker_count_invariant(trace in small_app(), spec_idx in 0usize..3) {
+        let spec = contention_specs(trace.nranks())[spec_idx];
+        let platform = Platform::default().with_contention(spec.parse().unwrap());
+        let want = render_exact(&simulate_with(&trace, &platform, ReplayEngine::Sequential));
+        for workers in [1, 2, 4, 8] {
+            let got = render_exact(&simulate_with(
+                &trace,
+                &platform,
+                ReplayEngine::Parallel { workers },
+            ));
+            prop_assert_eq!(&want, &got, "diverged at workers={} on {}", workers, spec);
+        }
+    }
+
+    /// Scheduling invariance: the same app at the same width replays
+    /// bit-identically run to run.
+    #[test]
+    fn parallel_replay_is_run_to_run_stable(trace in small_app()) {
+        let platform = Platform::default().with_contention("fat-tree:4".parse().unwrap());
+        let eng = ReplayEngine::Parallel { workers: 4 };
+        let first = render_exact(&simulate_with(&trace, &platform, eng));
+        let second = render_exact(&simulate_with(&trace, &platform, eng));
+        prop_assert_eq!(first, second);
+    }
+}
