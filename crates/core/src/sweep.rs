@@ -24,6 +24,7 @@
 //! never over pointer identity or iteration order of hash maps.
 
 pub mod scheduler;
+pub mod store;
 
 use crate::chunk::ChunkPolicy;
 use crate::experiments::speedup::VariantMetrics;
@@ -327,15 +328,89 @@ pub type PointOutcome = Result<PointResult, PointError>;
 // Cache
 // ---------------------------------------------------------------------
 
-/// Content-addressed result cache shared across sweeps. Because keys
-/// are content fingerprints, a hit is guaranteed to be the result the
-/// simulation would have produced — replay is a pure function of the
-/// keyed inputs.
+/// Content-addressed result store shared across sweeps (and, when
+/// opened with [`SweepCache::persistent`], across processes). Because
+/// keys are content fingerprints, a hit is guaranteed to be the result
+/// the simulation would have produced — replay is a pure function of
+/// the keyed inputs.
+///
+/// Three tiers, consulted in order by [`SweepCache::claim`]:
+///
+/// 1. **memory** — a plain map of results seen by this process;
+/// 2. **disk** — the optional [`store::DiskStore`], hash-verified on
+///    read and written atomically, shared by every process pointed at
+///    the same directory;
+/// 3. **in-flight** — points currently being simulated by *some*
+///    thread. A second claimant of the same key blocks until the first
+///    finishes instead of duplicating the work (counted in
+///    [`SweepCache::coalesced`]). If the computing thread fails or
+///    panics, its claim is released and one waiter takes over.
 #[derive(Debug, Default)]
 pub struct SweepCache {
     map: Mutex<HashMap<PointKey, PointResult>>,
+    inflight: Mutex<HashMap<PointKey, Arc<Inflight>>>,
+    disk: Option<store::DiskStore>,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Inflight {
+    state: Mutex<InflightState>,
+    done: std::sync::Condvar,
+}
+
+#[derive(Debug, Default, Clone)]
+enum InflightState {
+    #[default]
+    Pending,
+    Done(PointResult),
+    /// The computing thread gave up (error or panic); waiters re-claim.
+    Abandoned,
+}
+
+/// Outcome of [`SweepCache::claim`].
+pub enum Claim<'a> {
+    /// The result existed (memory, disk, or a just-finished in-flight
+    /// computation); nothing to simulate.
+    Hit(PointResult),
+    /// The caller owns this key: simulate it, then
+    /// [`ComputeClaim::fulfill`]. Dropping the claim unfulfilled
+    /// (error, panic) releases the key and wakes any waiters.
+    Compute(ComputeClaim<'a>),
+}
+
+/// RAII ownership of an in-flight point. Exactly one claimant per key
+/// holds this at a time.
+pub struct ComputeClaim<'a> {
+    cache: &'a SweepCache,
+    key: PointKey,
+    entry: Arc<Inflight>,
+    fulfilled: bool,
+}
+
+impl ComputeClaim<'_> {
+    /// Publish the computed result to every tier and wake waiters.
+    pub fn fulfill(mut self, result: &PointResult) {
+        self.fulfilled = true;
+        self.cache.insert(result.clone());
+        self.settle(InflightState::Done(result.clone()));
+    }
+
+    fn settle(&self, state: InflightState) {
+        *lock_ok(&self.entry.state) = state;
+        self.entry.done.notify_all();
+        lock_ok(&self.cache.inflight).remove(&self.key);
+    }
+}
+
+impl Drop for ComputeClaim<'_> {
+    fn drop(&mut self) {
+        if !self.fulfilled {
+            self.settle(InflightState::Abandoned);
+        }
+    }
 }
 
 impl SweepCache {
@@ -343,16 +418,114 @@ impl SweepCache {
         SweepCache::default()
     }
 
-    fn lookup(&self, key: PointKey) -> Option<PointResult> {
-        let found = lock_ok(&self.map).get(&key).cloned();
-        match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
+    /// A cache backed by the persistent store at `dir`: hits survive
+    /// the process, and every process (or daemon) opened on the same
+    /// directory shares results.
+    pub fn persistent(dir: impl Into<std::path::PathBuf>) -> std::io::Result<SweepCache> {
+        Ok(SweepCache {
+            disk: Some(store::DiskStore::open(dir)?),
+            ..SweepCache::default()
+        })
+    }
+
+    /// The disk tier, when this cache is persistent.
+    pub fn disk(&self) -> Option<&store::DiskStore> {
+        self.disk.as_ref()
+    }
+
+    /// Resolve `key`: a result from memory or (verified) disk, a
+    /// coalesced join on another thread's in-flight computation, or a
+    /// [`ComputeClaim`] making the caller responsible for simulating
+    /// the point. Blocks only in the coalescing case, and only until
+    /// the computing thread settles.
+    pub fn claim(&self, key: PointKey) -> Claim<'_> {
+        loop {
+            if let Some(found) = lock_ok(&self.map).get(&key).cloned() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Claim::Hit(found);
+            }
+            // Not in memory: either join an in-flight computation or
+            // register our own. One lock guards the whole decision so
+            // two threads can never both claim the same key.
+            let claimed = {
+                let mut inflight = lock_ok(&self.inflight);
+                match inflight.get(&key) {
+                    Some(e) => Err(Arc::clone(e)),
+                    None => {
+                        let e = Arc::new(Inflight::default());
+                        inflight.insert(key, Arc::clone(&e));
+                        Ok(e)
+                    }
+                }
+            };
+            match claimed {
+                Ok(entry) => {
+                    // We own the key. Consult the disk tier before
+                    // simulating; waiters that pile up meanwhile are
+                    // resolved either way.
+                    if let Some(stored) = self.disk.as_ref().and_then(|d| d.get(key)) {
+                        let result = PointResult {
+                            point: SweepPoint {
+                                app: 0,
+                                platform: 0,
+                                policy: 0,
+                            },
+                            key,
+                            app: String::new(),
+                            t_original: stored.t_original,
+                            t_overlapped: stored.t_overlapped,
+                            t_ideal: stored.t_ideal,
+                            metrics: None,
+                        };
+                        lock_ok(&self.map).insert(key, result.clone());
+                        *lock_ok(&entry.state) = InflightState::Done(result.clone());
+                        entry.done.notify_all();
+                        lock_ok(&self.inflight).remove(&key);
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Claim::Hit(result);
+                    }
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return Claim::Compute(ComputeClaim {
+                        cache: self,
+                        key,
+                        entry,
+                        fulfilled: false,
+                    });
+                }
+                Err(entry) => {
+                    let mut state = lock_ok(&entry.state);
+                    loop {
+                        match &*state {
+                            InflightState::Pending => {
+                                state = entry.done.wait(state).unwrap_or_else(|e| e.into_inner());
+                            }
+                            InflightState::Done(result) => {
+                                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                                return Claim::Hit(result.clone());
+                            }
+                            InflightState::Abandoned => break,
+                        }
+                    }
+                    // Computer failed; loop back and contend for the
+                    // key again (we may become the new computer).
+                }
+            }
+        }
     }
 
     fn insert(&self, result: PointResult) {
+        if let Some(disk) = &self.disk {
+            // Best-effort persistence: an unwritable store degrades to
+            // the in-memory tier rather than failing the sweep.
+            let _ = disk.put(
+                result.key,
+                &store::StoredPoint {
+                    t_original: result.t_original,
+                    t_overlapped: result.t_overlapped,
+                    t_ideal: result.t_ideal,
+                },
+            );
+        }
         lock_ok(&self.map).insert(result.key, result);
     }
 
@@ -364,12 +537,19 @@ impl SweepCache {
         self.len() == 0
     }
 
-    /// `(hits, misses)` since construction.
+    /// `(hits, misses)` since construction. Hits cover the memory and
+    /// disk tiers; coalesced joins are counted separately.
     pub fn stats(&self) -> (u64, u64) {
         (
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Claims that joined another thread's in-flight computation
+    /// instead of simulating or hitting a stored result.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
     }
 }
 
@@ -522,6 +702,21 @@ impl SweepReport {
         out
     }
 
+    /// The complete textual report: the main table, then (when the
+    /// grid carried fault scenarios) a blank line and the retention
+    /// section. This is byte-for-byte what `ovlp sweep` prints to
+    /// stdout and what the daemon's report endpoint returns — the
+    /// differential tests compare the two.
+    pub fn render_full(&self, grid: &SweepGrid) -> String {
+        let mut out = self.render(grid);
+        let retention = self.render_retention(grid);
+        if !retention.is_empty() {
+            out.push('\n');
+            out.push_str(&retention);
+        }
+        out
+    }
+
     /// Resilience section: for every point simulated under a fault
     /// schedule, how much of the fault-free overlap gain survives —
     /// `retention = speedup_real(faulted) / speedup_real(baseline)`,
@@ -615,6 +810,20 @@ fn fmt_buses(buses: u32) -> String {
 /// Failures (platform validation, simulation errors, worker panics) are
 /// per-point [`PointError`]s; the report always covers the whole grid.
 pub fn sweep(grid: &SweepGrid, config: &SweepConfig, cache: &SweepCache) -> SweepReport {
+    sweep_observed(grid, config, cache, &|_, _| {})
+}
+
+/// [`sweep`] with a progress observer: `observe(index, outcome)` is
+/// called exactly once per grid point, from whichever worker thread
+/// finishes it (so call order follows completion, not grid order — the
+/// index identifies the point). This is how the `ovlp serve` daemon
+/// streams partial results while a sweep is still running.
+pub fn sweep_observed(
+    grid: &SweepGrid,
+    config: &SweepConfig,
+    cache: &SweepCache,
+    observe: &(dyn Fn(usize, &PointOutcome) + Sync),
+) -> SweepReport {
     let started = std::time::Instant::now();
     let (hits0, misses0) = cache.stats();
 
@@ -636,24 +845,33 @@ pub fn sweep(grid: &SweepGrid, config: &SweepConfig, cache: &SweepCache) -> Swee
         points.clone(),
         config.jobs,
         config.queue_depth,
-        |_i, point| {
-            evaluate_point(
+        |i, point| {
+            let outcome = evaluate_point(
                 grid,
                 &point,
                 bundle_for(&point),
                 cache,
                 config.probe_window_us,
                 config.engine,
-            )
+            );
+            observe(i, &outcome);
+            outcome
         },
     )
     .into_iter()
     .zip(&points)
-    .map(|(slot, &point)| match slot {
+    .enumerate()
+    .map(|(i, (slot, &point))| match slot {
         Ok(outcome) => outcome,
         // A panic that escaped evaluate_point (it has no
-        // catch_unwind of its own): report it on the point.
-        Err(message) => Err(PointError { point, message }),
+        // catch_unwind of its own): report it on the point. The
+        // observer never heard about this point from a worker, so
+        // tell it here.
+        Err(message) => {
+            let outcome = Err(PointError { point, message });
+            observe(i, &outcome);
+            outcome
+        }
     })
     .collect();
 
@@ -683,15 +901,24 @@ fn evaluate_point(
     };
 
     let key = point_key(app.fingerprint(), platform, policy);
-    if probe_window_us.is_none() {
-        if let Some(mut hit) = cache.lookup(key) {
-            // The cache stores content-keyed results; re-stamp the grid
-            // position so the report refers to *this* sweep's indices.
-            hit.point = *point;
-            hit.app.clone_from(&app.name);
-            return Ok(hit);
+    // Probed points bypass the store both ways (stored results carry no
+    // metrics, metric-bearing results are not stored) and never join an
+    // in-flight computation — the probe must observe its own replay.
+    let claim = if probe_window_us.is_none() {
+        match cache.claim(key) {
+            Claim::Hit(mut hit) => {
+                // The store keeps content-keyed results; re-stamp the
+                // grid position so the report refers to *this* sweep's
+                // indices.
+                hit.point = *point;
+                hit.app.clone_from(&app.name);
+                return Ok(hit);
+            }
+            Claim::Compute(c) => Some(c),
         }
-    }
+    } else {
+        None
+    };
 
     platform
         .check()
@@ -726,8 +953,8 @@ fn evaluate_point(
         t_ideal: sim.ideal.runtime(),
         metrics,
     };
-    if result.metrics.is_none() {
-        cache.insert(result.clone());
+    if let Some(claim) = claim {
+        claim.fulfill(&result);
     }
     Ok(result)
 }
@@ -937,6 +1164,136 @@ mod tests {
                 assert!(e.message.contains("invalid platform"), "{}", e.message);
             }
         }
+    }
+
+    fn dummy_result(key: PointKey) -> PointResult {
+        PointResult {
+            point: SweepPoint {
+                app: 0,
+                platform: 0,
+                policy: 0,
+            },
+            key,
+            app: "dummy".into(),
+            t_original: 2.0,
+            t_overlapped: 1.0,
+            t_ideal: 0.5,
+            metrics: None,
+        }
+    }
+
+    #[test]
+    fn inflight_claims_coalesce_exactly_once_per_waiter() {
+        let cache = SweepCache::new();
+        let key = PointKey(99);
+        let Claim::Compute(claim) = cache.claim(key) else {
+            panic!("first claim must be a compute claim");
+        };
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| match cache.claim(key) {
+                Claim::Hit(r) => r.t_original,
+                Claim::Compute(_) => panic!("waiter must join, not recompute"),
+            });
+            // Wait (deterministically) until the waiter has cloned the
+            // in-flight entry — i.e. committed to the coalescing path —
+            // before publishing: map + our claim hold two refs, the
+            // waiter is the third.
+            while Arc::strong_count(&claim.entry) < 3 {
+                std::thread::yield_now();
+            }
+            claim.fulfill(&dummy_result(key));
+            assert_eq!(waiter.join().unwrap(), 2.0);
+        });
+        assert_eq!(cache.coalesced(), 1, "waiter joined the in-flight point");
+        assert_eq!(
+            cache.stats(),
+            (0, 1),
+            "one miss (the computer), no tier hits"
+        );
+        // a later claim is a plain memory hit, not a coalesce
+        assert!(matches!(cache.claim(key), Claim::Hit(_)));
+        assert_eq!(cache.stats().0, 1);
+        assert_eq!(cache.coalesced(), 1);
+    }
+
+    #[test]
+    fn abandoned_claim_hands_the_key_to_a_waiter() {
+        let cache = SweepCache::new();
+        let key = PointKey(7);
+        let claim = match cache.claim(key) {
+            Claim::Compute(c) => c,
+            Claim::Hit(_) => panic!("empty cache cannot hit"),
+        };
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| {
+                match cache.claim(key) {
+                    // Either ordering is legal: the waiter may observe
+                    // the abandonment (and become the computer) or may
+                    // claim after the entry is already gone.
+                    Claim::Compute(c) => c.fulfill(&dummy_result(key)),
+                    Claim::Hit(_) => panic!("nothing was ever fulfilled"),
+                }
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            drop(claim); // simulate a failed computation
+            waiter.join().unwrap();
+        });
+        assert!(matches!(cache.claim(key), Claim::Hit(_)));
+    }
+
+    #[test]
+    fn persistent_cache_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("ovlp-sweep-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let grid = tiny_grid();
+
+        let cold = SweepCache::persistent(&dir).unwrap();
+        let first = sweep(&grid, &SweepConfig::with_jobs(2), &cold);
+        assert_eq!(first.cache_misses, grid.len() as u64);
+        assert_eq!(cold.disk().unwrap().entries(), grid.len() as u64);
+
+        // A fresh cache on the same directory — as a new process would
+        // open — serves every point from disk, bit-identically.
+        let warm = SweepCache::persistent(&dir).unwrap();
+        let second = sweep(&grid, &SweepConfig::with_jobs(2), &warm);
+        assert_eq!(second.cache_hits, grid.len() as u64);
+        assert_eq!(second.cache_misses, 0);
+        assert_eq!(second.result_hashes(), first.result_hashes());
+        assert_eq!(second.render(&grid), first.render(&grid));
+        let stats = warm.disk().unwrap().stats();
+        assert_eq!(stats.hits, grid.len() as u64);
+        assert_eq!(stats.corrupt, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_store_entry_is_recomputed_and_replaced() {
+        let dir = std::env::temp_dir().join(format!("ovlp-sweep-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let grid = tiny_grid();
+        let cache = SweepCache::persistent(&dir).unwrap();
+        let first = sweep(&grid, &SweepConfig::with_jobs(1), &cache);
+
+        // Flip one bit in one stored entry.
+        let key = first.outcomes[0].as_ref().unwrap().key;
+        let path = cache.disk().unwrap().entry_path(key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let reopened = SweepCache::persistent(&dir).unwrap();
+        let second = sweep(&grid, &SweepConfig::with_jobs(1), &reopened);
+        assert_eq!(second.result_hashes(), first.result_hashes());
+        let stats = reopened.disk().unwrap().stats();
+        assert_eq!(stats.corrupt, 1, "the flipped entry was detected");
+        assert_eq!(second.cache_misses, 1, "only the corrupt point re-ran");
+        // and the corrupt file was replaced by a valid entry
+        let healed = SweepCache::persistent(&dir).unwrap();
+        let third = sweep(&grid, &SweepConfig::with_jobs(1), &healed);
+        assert_eq!(third.cache_hits, grid.len() as u64);
+        assert_eq!(healed.disk().unwrap().stats().corrupt, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,373 @@
+//! Job registry and execution for the sweep daemon.
+//!
+//! A job is one submitted [`SweepSpec`]: its grid is evaluated once on
+//! a dedicated runner thread (admission-gated, so at most
+//! `max_running` sweeps execute concurrently; later submissions queue)
+//! and every per-point outcome is recorded as it completes, waking any
+//! streaming readers. Readers emit points in **canonical grid order**
+//! — a point is streamed once all earlier points are done — so the
+//! NDJSON stream for a given job is byte-deterministic even though
+//! workers finish out of order.
+//!
+//! Cross-job dedup happens one layer down, in the shared
+//! [`SweepCache`]: completed points are served from the store forever,
+//! and identical points of *concurrently running* jobs coalesce onto a
+//! single in-flight computation.
+
+use crate::json::{Obj, Value};
+use crate::spec::{SpecError, SweepSpec};
+use ovlp_core::sweep::{sweep_observed, PointOutcome, SweepCache, SweepGrid};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+fn lock_ok<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Wire schema of one streamed point line.
+pub const POINT_SCHEMA: &str = "ovlp.sweep-point.v1";
+/// Wire schema of the stream-terminating line.
+pub const DONE_SCHEMA: &str = "ovlp.sweep-done.v1";
+/// Wire schema of the job summary document.
+pub const SUMMARY_SCHEMA: &str = "ovlp.sweep-summary.v1";
+
+/// Counting gate bounding concurrent sweep executions.
+#[derive(Debug)]
+struct Gate {
+    slots: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Gate {
+    fn new(slots: usize) -> Gate {
+        Gate {
+            slots: Mutex::new(slots.max(1)),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut slots = lock_ok(&self.slots);
+        while *slots == 0 {
+            slots = self.freed.wait(slots).unwrap_or_else(|e| e.into_inner());
+        }
+        *slots -= 1;
+    }
+
+    fn release(&self) {
+        *lock_ok(&self.slots) += 1;
+        self.freed.notify_one();
+    }
+}
+
+#[derive(Debug, Default)]
+struct JobState {
+    /// One slot per grid point, filled as workers finish.
+    outcomes: Vec<Option<PointOutcome>>,
+    completed: usize,
+    /// The full textual report, present once the sweep finished —
+    /// byte-identical to what `ovlp sweep` prints.
+    report: Option<String>,
+    /// `(store_hits, store_misses, coalesced)` deltas over this job's
+    /// execution. Exact when no other job ran concurrently; otherwise
+    /// attribution between overlapping jobs is approximate (the global
+    /// `/v1/store/stats` counters are always exact).
+    cache_delta: Option<(u64, u64, u64)>,
+    elapsed: Option<Duration>,
+}
+
+/// One submitted sweep job.
+#[derive(Debug)]
+pub struct Job {
+    pub id: String,
+    pub spec: SweepSpec,
+    points: usize,
+    state: Mutex<JobState>,
+    progress: Condvar,
+}
+
+impl Job {
+    pub fn points(&self) -> usize {
+        self.points
+    }
+
+    fn record(&self, index: usize, outcome: &PointOutcome) {
+        let mut state = lock_ok(&self.state);
+        if state.outcomes[index].is_none() {
+            state.outcomes[index] = Some(outcome.clone());
+            state.completed += 1;
+        }
+        self.progress.notify_all();
+    }
+
+    /// Block until point `index` has an outcome, then return it.
+    pub fn wait_point(&self, index: usize) -> PointOutcome {
+        let mut state = lock_ok(&self.state);
+        loop {
+            if let Some(outcome) = &state.outcomes[index] {
+                return outcome.clone();
+            }
+            state = self.progress.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Block until the sweep finished, then return the full report.
+    pub fn wait_report(&self) -> String {
+        let mut state = lock_ok(&self.state);
+        loop {
+            if let Some(report) = &state.report {
+                return report.clone();
+            }
+            state = self.progress.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    pub fn is_done(&self) -> bool {
+        lock_ok(&self.state).report.is_some()
+    }
+
+    /// Counts of (ok, failed) among completed points so far.
+    fn counts(&self) -> (usize, usize) {
+        let state = lock_ok(&self.state);
+        let ok = state
+            .outcomes
+            .iter()
+            .flatten()
+            .filter(|o| o.is_ok())
+            .count();
+        (ok, state.completed - ok)
+    }
+
+    /// The `ovlp.sweep-summary.v1` document for this job.
+    pub fn summary(&self) -> String {
+        let (ok, failed) = self.counts();
+        let state = lock_ok(&self.state);
+        let mut o = Obj::new();
+        o.set("schema", Value::str(SUMMARY_SCHEMA));
+        o.set("job", Value::str(&self.id));
+        o.set("points", Value::Num(self.points as f64));
+        o.set("completed", Value::Num(state.completed as f64));
+        o.set("ok", Value::Num(ok as f64));
+        o.set("failed", Value::Num(failed as f64));
+        o.set("done", Value::Bool(state.report.is_some()));
+        if let Some((hits, misses, coalesced)) = state.cache_delta {
+            o.set("store_hits", Value::Num(hits as f64));
+            o.set("store_misses", Value::Num(misses as f64));
+            o.set("coalesced", Value::Num(coalesced as f64));
+        }
+        if let Some(elapsed) = state.elapsed {
+            o.set("elapsed_ms", Value::Num(elapsed.as_secs_f64() * 1e3));
+        }
+        Value::Obj(o).to_string()
+    }
+}
+
+/// NDJSON line for one completed point, in wire schema
+/// `ovlp.sweep-point.v1`. Deterministic: exact bit patterns of the
+/// runtimes are carried alongside the decimal rendering.
+pub fn point_line(index: usize, outcome: &PointOutcome) -> String {
+    let mut o = Obj::new();
+    o.set("schema", Value::str(POINT_SCHEMA));
+    o.set("index", Value::Num(index as f64));
+    match outcome {
+        Ok(r) => {
+            o.set("app", Value::str(&r.app));
+            o.set("platform", Value::Num(r.point.platform as f64));
+            o.set("policy", Value::Num(r.point.policy as f64));
+            o.set("key", Value::str(format!("{:016x}", r.key.0)));
+            o.set("t_original", Value::Num(r.t_original));
+            o.set("t_overlapped", Value::Num(r.t_overlapped));
+            o.set("t_ideal", Value::Num(r.t_ideal));
+            o.set(
+                "bits",
+                Value::str(format!(
+                    "{:016x}:{:016x}:{:016x}",
+                    r.t_original.to_bits(),
+                    r.t_overlapped.to_bits(),
+                    r.t_ideal.to_bits()
+                )),
+            );
+            o.set("hash", Value::str(format!("{:016x}", r.result_hash())));
+        }
+        Err(e) => {
+            o.set("platform", Value::Num(e.point.platform as f64));
+            o.set("policy", Value::Num(e.point.policy as f64));
+            o.set("error", Value::str(&e.message));
+        }
+    }
+    Value::Obj(o).to_string()
+}
+
+/// Stream-terminating NDJSON line (`ovlp.sweep-done.v1`). Carries only
+/// deterministic counts, so two streams of the same job are
+/// byte-identical end to end, whether their points were computed,
+/// store-served, or coalesced.
+pub fn done_line(points: usize, ok: usize, failed: usize) -> String {
+    let mut o = Obj::new();
+    o.set("schema", Value::str(DONE_SCHEMA));
+    o.set("points", Value::Num(points as f64));
+    o.set("ok", Value::Num(ok as f64));
+    o.set("failed", Value::Num(failed as f64));
+    Value::Obj(o).to_string()
+}
+
+/// The daemon's job table: submission, lookup, bounded execution.
+pub struct Registry {
+    cache: Arc<SweepCache>,
+    jobs: Mutex<HashMap<String, Arc<Job>>>,
+    order: Mutex<Vec<String>>,
+    next_id: AtomicU64,
+    gate: Arc<Gate>,
+}
+
+impl Registry {
+    /// `max_running` bounds concurrently *executing* sweeps; further
+    /// submissions are accepted and queue for a slot.
+    pub fn new(cache: Arc<SweepCache>, max_running: usize) -> Registry {
+        Registry {
+            cache,
+            jobs: Mutex::new(HashMap::new()),
+            order: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            gate: Arc::new(Gate::new(max_running)),
+        }
+    }
+
+    pub fn cache(&self) -> &Arc<SweepCache> {
+        &self.cache
+    }
+
+    pub fn get(&self, id: &str) -> Option<Arc<Job>> {
+        lock_ok(&self.jobs).get(id).cloned()
+    }
+
+    /// Job ids in submission order (for the index endpoint).
+    pub fn ids(&self) -> Vec<String> {
+        lock_ok(&self.order).clone()
+    }
+
+    /// Validate, register, and start (or queue) a job. Returns the job
+    /// immediately — results stream as they complete.
+    pub fn submit(&self, spec: SweepSpec) -> Result<Arc<Job>, SpecError> {
+        // Build eagerly so malformed jobs are rejected at submission
+        // (HTTP 400) instead of surfacing asynchronously.
+        let (grid, config) = spec.build()?;
+        let id = format!("j{}", self.next_id.fetch_add(1, Ordering::Relaxed));
+        let job = Arc::new(Job {
+            id: id.clone(),
+            spec,
+            points: grid.len(),
+            state: Mutex::new(JobState {
+                outcomes: vec![None; grid.len()],
+                ..JobState::default()
+            }),
+            progress: Condvar::new(),
+        });
+        lock_ok(&self.jobs).insert(id.clone(), Arc::clone(&job));
+        lock_ok(&self.order).push(id);
+
+        let cache = Arc::clone(&self.cache);
+        let gate = Arc::clone(&self.gate);
+        let runner = Arc::clone(&job);
+        std::thread::spawn(move || run_job(runner, grid, config, cache, gate));
+        Ok(job)
+    }
+}
+
+fn run_job(
+    job: Arc<Job>,
+    grid: SweepGrid,
+    config: ovlp_core::sweep::SweepConfig,
+    cache: Arc<SweepCache>,
+    gate: Arc<Gate>,
+) {
+    gate.acquire();
+    let (hits0, misses0) = cache.stats();
+    let coalesced0 = cache.coalesced();
+    let report = sweep_observed(&grid, &config, &cache, &|i, outcome| {
+        job.record(i, outcome);
+    });
+    let (hits1, misses1) = cache.stats();
+    let coalesced1 = cache.coalesced();
+    let rendered = report.render_full(&grid);
+    {
+        let mut state = lock_ok(&job.state);
+        state.cache_delta = Some((hits1 - hits0, misses1 - misses0, coalesced1 - coalesced0));
+        state.elapsed = Some(report.elapsed);
+        state.report = Some(rendered);
+    }
+    job.progress.notify_all();
+    gate.release();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec() -> SweepSpec {
+        let mut spec = SweepSpec::new("nas-cg", 4);
+        spec.chunks = vec![1, 4];
+        spec.jobs = 2;
+        spec
+    }
+
+    #[test]
+    fn submitted_jobs_run_and_stream_in_order() {
+        let registry = Registry::new(Arc::new(SweepCache::new()), 2);
+        let job = registry.submit(quick_spec()).unwrap();
+        assert_eq!(job.points(), 2);
+        // points arrive in canonical order via wait_point
+        for i in 0..job.points() {
+            let outcome = job.wait_point(i);
+            assert!(outcome.is_ok(), "{outcome:?}");
+        }
+        let report = job.wait_report();
+        assert!(report.contains("2 points (2 ok, 0 failed)"), "{report}");
+        assert!(job.is_done());
+        let summary = job.summary();
+        assert!(summary.contains("\"done\":true"), "{summary}");
+        assert!(summary.contains("\"store_misses\":2"), "{summary}");
+        assert_eq!(registry.ids(), vec![job.id.clone()]);
+        assert!(registry.get(&job.id).is_some());
+        assert!(registry.get("j999").is_none());
+    }
+
+    #[test]
+    fn resubmission_is_all_store_hits() {
+        let registry = Registry::new(Arc::new(SweepCache::new()), 2);
+        let first = registry.submit(quick_spec()).unwrap();
+        let report1 = first.wait_report();
+        let second = registry.submit(quick_spec()).unwrap();
+        let report2 = second.wait_report();
+        assert_eq!(report1, report2, "byte-identical reports");
+        assert!(
+            second.summary().contains("\"store_hits\":2"),
+            "{}",
+            second.summary()
+        );
+        assert!(
+            second.summary().contains("\"store_misses\":0"),
+            "{}",
+            second.summary()
+        );
+        // identical NDJSON streams, line by line
+        for i in 0..first.points() {
+            assert_eq!(
+                point_line(i, &first.wait_point(i)),
+                point_line(i, &second.wait_point(i))
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_jobs_are_rejected_at_submission() {
+        let registry = Registry::new(Arc::new(SweepCache::new()), 2);
+        let err = registry
+            .submit(SweepSpec::new("no-such-app", 4))
+            .unwrap_err();
+        assert!(matches!(err, SpecError::Usage(_)));
+        assert!(registry.ids().is_empty());
+    }
+}

@@ -1,0 +1,281 @@
+//! The `ovlp serve` daemon: sweep-as-a-service over HTTP/1.1.
+//!
+//! Endpoints (all `Connection: close`, see `docs/serving.md`):
+//!
+//! | method | path                   | body / response                               |
+//! |--------|------------------------|-----------------------------------------------|
+//! | POST   | `/v1/sweeps`           | `ovlp.sweep-job.v1` → 202 `ovlp.sweep-accepted.v1` |
+//! | GET    | `/v1/sweeps`           | job index                                     |
+//! | GET    | `/v1/sweeps/<id>`      | NDJSON stream of `ovlp.sweep-point.v1` lines, chunked, as points complete; terminated by `ovlp.sweep-done.v1` |
+//! | GET    | `/v1/sweeps/<id>/summary` | `ovlp.sweep-summary.v1` (add `?wait=1` to block until done) |
+//! | GET    | `/v1/sweeps/<id>/report`  | text report, byte-identical to `ovlp sweep` stdout (blocks until done) |
+//! | GET    | `/v1/store/stats`      | `ovlp.store-stats.v1` counters                |
+//! | GET    | `/healthz`             | liveness probe                                |
+//!
+//! Concurrency limits: at most `max_running` sweeps execute at once
+//! (later jobs queue), and at most `max_connections` HTTP connections
+//! are served at once (excess connections get an immediate 503 rather
+//! than an unbounded thread pile-up).
+
+use crate::http::{read_request, respond, BadRequest, ChunkedWriter, Request};
+use crate::jobs::{done_line, point_line, Registry};
+use crate::json::{Obj, Value};
+use crate::spec::{SpecError, SweepSpec};
+use ovlp_core::sweep::SweepCache;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Wire schema of the submission response.
+pub const ACCEPTED_SCHEMA: &str = "ovlp.sweep-accepted.v1";
+/// Wire schema of the store stats document.
+pub const STORE_STATS_SCHEMA: &str = "ovlp.store-stats.v1";
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7411`. Port 0 picks a free port
+    /// (the bound address is available via [`Server::local_addr`]).
+    pub addr: String,
+    /// Persistent store directory; `None` keeps results in memory only
+    /// (still deduplicated and coalesced, just not across restarts).
+    pub store_dir: Option<PathBuf>,
+    /// Concurrent sweep executions (further jobs queue).
+    pub max_running: usize,
+    /// Concurrent HTTP connections (excess gets 503).
+    pub max_connections: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:7411".to_string(),
+            store_dir: None,
+            max_running: 2,
+            max_connections: 32,
+        }
+    }
+}
+
+/// A bound (not yet running) daemon.
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    config: ServeConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Cloneable handle that can stop a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Nudge the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let cache = match &config.store_dir {
+            Some(dir) => SweepCache::persistent(dir)?,
+            None => SweepCache::new(),
+        };
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            registry: Arc::new(Registry::new(Arc::new(cache), config.max_running)),
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    pub fn handle(&self) -> io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            addr: self.local_addr()?,
+            shutdown: Arc::clone(&self.shutdown),
+        })
+    }
+
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Accept loop; returns after [`ServerHandle::shutdown`]. Each
+    /// connection is one request on its own thread, admission-limited
+    /// by `max_connections`.
+    pub fn run(self) -> io::Result<()> {
+        let active = Arc::new(AtomicUsize::new(0));
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(mut stream) = stream else { continue };
+            if active.load(Ordering::SeqCst) >= self.config.max_connections {
+                let _ = respond(
+                    &mut stream,
+                    503,
+                    "application/json",
+                    &error_body("connection limit reached, retry"),
+                );
+                continue;
+            }
+            active.fetch_add(1, Ordering::SeqCst);
+            let registry = Arc::clone(&self.registry);
+            let active = Arc::clone(&active);
+            std::thread::spawn(move || {
+                let _ = handle_connection(&mut stream, &registry);
+                active.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        Ok(())
+    }
+}
+
+fn error_body(message: &str) -> String {
+    let mut o = Obj::new();
+    o.set("error", Value::str(message));
+    Value::Obj(o).to_string()
+}
+
+fn handle_connection(stream: &mut TcpStream, registry: &Registry) -> io::Result<()> {
+    let request = match read_request(stream) {
+        Ok(r) => r,
+        Err(BadRequest(msg)) => {
+            return respond(stream, 400, "application/json", &error_body(&msg));
+        }
+    };
+    route(stream, registry, &request)
+}
+
+fn route(stream: &mut TcpStream, registry: &Registry, req: &Request) -> io::Result<()> {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => respond(stream, 200, "text/plain", "ok\n"),
+        ("POST", ["v1", "sweeps"]) => submit(stream, registry, &req.body),
+        ("GET", ["v1", "sweeps"]) => {
+            let mut o = Obj::new();
+            o.set(
+                "jobs",
+                Value::Arr(registry.ids().into_iter().map(Value::Str).collect()),
+            );
+            respond(stream, 200, "application/json", &Value::Obj(o).to_string())
+        }
+        ("GET", ["v1", "sweeps", id]) => stream_job(stream, registry, id),
+        ("GET", ["v1", "sweeps", id, "summary"]) => {
+            let Some(job) = registry.get(id) else {
+                return respond(stream, 404, "application/json", &error_body("no such job"));
+            };
+            if req.query.as_deref().is_some_and(|q| q.contains("wait")) {
+                job.wait_report();
+            }
+            respond(stream, 200, "application/json", &job.summary())
+        }
+        ("GET", ["v1", "sweeps", id, "report"]) => {
+            let Some(job) = registry.get(id) else {
+                return respond(stream, 404, "application/json", &error_body("no such job"));
+            };
+            respond(stream, 200, "text/plain", &job.wait_report())
+        }
+        ("GET", ["v1", "store", "stats"]) => respond(
+            stream,
+            200,
+            "application/json",
+            &store_stats(registry.cache()),
+        ),
+        ("POST" | "GET", _) => respond(
+            stream,
+            404,
+            "application/json",
+            &error_body("no such endpoint"),
+        ),
+        _ => respond(
+            stream,
+            405,
+            "application/json",
+            &error_body("method not allowed"),
+        ),
+    }
+}
+
+fn submit(stream: &mut TcpStream, registry: &Registry, body: &str) -> io::Result<()> {
+    let spec = match SweepSpec::from_json(body) {
+        Ok(s) => s,
+        Err(e) => return respond(stream, 400, "application/json", &error_body(&e.to_string())),
+    };
+    match registry.submit(spec) {
+        Ok(job) => {
+            let mut o = Obj::new();
+            o.set("schema", Value::str(ACCEPTED_SCHEMA));
+            o.set("job", Value::str(&job.id));
+            o.set("points", Value::Num(job.points() as f64));
+            o.set("stream", Value::str(format!("/v1/sweeps/{}", job.id)));
+            o.set(
+                "report",
+                Value::str(format!("/v1/sweeps/{}/report", job.id)),
+            );
+            respond(stream, 202, "application/json", &Value::Obj(o).to_string())
+        }
+        Err(SpecError::Usage(msg)) => respond(stream, 400, "application/json", &error_body(&msg)),
+        Err(SpecError::Trace(msg)) => respond(stream, 500, "application/json", &error_body(&msg)),
+    }
+}
+
+/// Stream a job's per-point results as NDJSON, chunked, in canonical
+/// grid order, blocking on points that have not completed yet.
+fn stream_job(stream: &mut TcpStream, registry: &Registry, id: &str) -> io::Result<()> {
+    let Some(job) = registry.get(id) else {
+        return respond(stream, 404, "application/json", &error_body("no such job"));
+    };
+    let mut writer = ChunkedWriter::start(stream, 200, "application/x-ndjson")?;
+    let (mut ok, mut failed) = (0usize, 0usize);
+    for index in 0..job.points() {
+        let outcome = job.wait_point(index);
+        match &outcome {
+            Ok(_) => ok += 1,
+            Err(_) => failed += 1,
+        }
+        writer.chunk(&format!("{}\n", point_line(index, &outcome)))?;
+    }
+    writer.chunk(&format!("{}\n", done_line(job.points(), ok, failed)))?;
+    writer.finish()
+}
+
+/// The `ovlp.store-stats.v1` document for the shared cache.
+pub fn store_stats(cache: &SweepCache) -> String {
+    let (hits, misses) = cache.stats();
+    let mut o = Obj::new();
+    o.set("schema", Value::str(STORE_STATS_SCHEMA));
+    o.set("memory_entries", Value::Num(cache.len() as f64));
+    o.set("hits", Value::Num(hits as f64));
+    o.set("misses", Value::Num(misses as f64));
+    o.set("coalesced", Value::Num(cache.coalesced() as f64));
+    match cache.disk() {
+        Some(disk) => {
+            let s = disk.stats();
+            let mut d = Obj::new();
+            d.set("entries", Value::Num(disk.entries() as f64));
+            d.set("hits", Value::Num(s.hits as f64));
+            d.set("misses", Value::Num(s.misses as f64));
+            d.set("corrupt", Value::Num(s.corrupt as f64));
+            d.set("bytes_read", Value::Num(s.bytes_read as f64));
+            d.set("bytes_written", Value::Num(s.bytes_written as f64));
+            o.set("disk", Value::Obj(d));
+        }
+        None => {
+            o.set("disk", Value::Null);
+        }
+    }
+    Value::Obj(o).to_string()
+}

@@ -94,9 +94,14 @@ const COMMANDS: &[Cmd] = &[
     Cmd {
         name: "sweep",
         args: "<app> <ranks> [--jobs N] [--chunks a,b,..] [--bw a,b,..] [--buses a,b,..] \
-               [--topology t1,t2,..] [--faults f1,f2,..] [--metrics dir] [--probe-window us] \
-               [--engine seq|par[:N]]",
+               [--topology t1,t2,..] [--faults f1,f2,..] [--store dir] [--metrics dir] \
+               [--probe-window us] [--engine seq|par[:N]]",
         about: "parallel parameter sweep over platforms x policies",
+    },
+    Cmd {
+        name: "serve",
+        args: "[--addr host:port] [--store dir] [--max-running N] [--max-conn N]",
+        about: "sweep-as-a-service HTTP daemon over the persistent result store",
     },
     Cmd {
         name: "help",
@@ -124,7 +129,9 @@ fn usage() -> String {
          fault specs: `;`-joined events, each kill|restore|degrade=<f>@<time>:<selector>\n\
          (selector = link label, link:<id>, uplink:*, or dim:<d>; sweep takes a\n\
          comma-separated scenario list and keeps a fault-free baseline per platform)\n\
-         probe windows are microseconds; omitted, they default to runtime/256\n",
+         probe windows are microseconds; omitted, they default to runtime/256\n\
+         --store points sweep and serve at a shared persistent result store\n\
+         \nexit codes: 0 success, 1 simulation/runtime failure, 2 usage or parse error\n",
     );
     s
 }
@@ -151,14 +158,36 @@ fn main() -> ExitCode {
         ["report", app, ranks, out, rest @ ..] => report_cmd(app, ranks, out, rest),
         ["paraver", app, ranks, outdir, rest @ ..] => paraver_cmd(app, ranks, outdir, rest),
         ["sweep", app, ranks, rest @ ..] => sweep_cmd(app, ranks, rest),
+        ["serve", rest @ ..] => serve_cmd(rest),
         ["help"] | ["--help"] | ["-h"] => {
             print!("{}", usage());
             ExitCode::SUCCESS
         }
         _ => {
             eprint!("{}", usage());
-            ExitCode::FAILURE
+            usage_error()
         }
+    }
+}
+
+/// Exit code for usage and parse errors (bad flags, malformed specs):
+/// distinct from 1, which means the inputs were well-formed but the
+/// run itself failed (I/O, simulation error, failed sweep points).
+fn usage_error() -> ExitCode {
+    ExitCode::from(2)
+}
+
+/// CLI failure, classified for the exit code: `Usage` exits 2,
+/// `Run` exits 1.
+enum CliError {
+    Usage(String),
+    Run(String),
+}
+
+fn bail(e: CliError) -> ExitCode {
+    match e {
+        CliError::Usage(m) => fail_usage(m),
+        CliError::Run(m) => fail(m),
     }
 }
 
@@ -171,25 +200,34 @@ fn prepare(
         overlap_sim::instr::TraceRun,
         Platform,
     ),
-    String,
+    CliError,
 > {
-    let ranks: usize = ranks.parse().map_err(|e| format!("bad rank count: {e}"))?;
+    let ranks: usize = ranks
+        .parse()
+        .map_err(|e| CliError::Usage(format!("bad rank count: {e}")))?;
     let entry = overlap_sim::apps::registry::by_name(app_name)
-        .ok_or_else(|| format!("unknown app `{app_name}` (try `ovlp list`)"))?;
-    let run = trace_app(entry.app.as_ref(), ranks).map_err(|e| e.to_string())?;
+        .ok_or_else(|| CliError::Usage(format!("unknown app `{app_name}` (try `ovlp list`)")))?;
+    let run = trace_app(entry.app.as_ref(), ranks).map_err(|e| CliError::Run(e.to_string()))?;
     let bundle = build_variants(&run, &ChunkPolicy::paper_default());
     Ok((bundle, run, marenostrum_for(entry.name)))
 }
 
+/// Runtime failure (exit 1): I/O, tracing, or simulation errors.
 fn fail(msg: String) -> ExitCode {
     eprintln!("error: {msg}");
     ExitCode::FAILURE
 }
 
+/// Usage or parse failure (exit 2): malformed flags, specs, or values.
+fn fail_usage(msg: String) -> ExitCode {
+    eprintln!("error: {msg}");
+    usage_error()
+}
+
 fn analyze(app: &str, ranks: &str) -> ExitCode {
     let (bundle, run, platform) = match prepare(app, ranks) {
         Ok(v) => v,
-        Err(e) => return fail(e),
+        Err(e) => return bail(e),
     };
     let p = production_stats(&run.access);
     let c = consumption_stats(&run.access);
@@ -240,7 +278,7 @@ fn analyze(app: &str, ranks: &str) -> ExitCode {
 fn trace_cmd(app: &str, ranks: &str, outdir: &str) -> ExitCode {
     let (bundle, run, _) = match prepare(app, ranks) {
         Ok(v) => v,
-        Err(e) => return fail(e),
+        Err(e) => return bail(e),
     };
     let dir = Path::new(outdir);
     if let Err(e) = fs::create_dir_all(dir) {
@@ -311,7 +349,7 @@ fn stats_cmd(path: &str) -> ExitCode {
 fn waits_cmd(app: &str, ranks: &str) -> ExitCode {
     let (bundle, _, platform) = match prepare(app, ranks) {
         Ok(v) => v,
-        Err(e) => return fail(e),
+        Err(e) => return bail(e),
     };
     match run_variants(&bundle, &platform) {
         Ok(r) => {
@@ -329,11 +367,11 @@ fn chunks_cmd(app: &str, ranks: &str) -> ExitCode {
     use overlap_sim::core::experiments::{chunk_search, default_candidates};
     let ranks_n: usize = match ranks.parse() {
         Ok(n) => n,
-        Err(e) => return fail(format!("bad rank count: {e}")),
+        Err(e) => return fail_usage(format!("bad rank count: {e}")),
     };
     let entry = match overlap_sim::apps::registry::by_name(app) {
         Some(e) => e,
-        None => return fail(format!("unknown app `{app}`")),
+        None => return fail_usage(format!("unknown app `{app}`")),
     };
     let run = match trace_app(entry.app.as_ref(), ranks_n) {
         Ok(r) => r,
@@ -365,6 +403,29 @@ fn chunks_cmd(app: &str, ranks: &str) -> ExitCode {
 }
 
 fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
+    // Flags are parsed before the trace is read, so malformed flags
+    // are reported as usage errors (exit 2) even when the file is also
+    // missing or unreadable (exit 1).
+    let topology = match parse_flag(rest, "--topology", ContentionModel::Bus) {
+        Ok(v) => v,
+        Err(e) => return fail_usage(e),
+    };
+    let metrics_out = match parse_opt_flag::<String>(rest, "--metrics") {
+        Ok(v) => v,
+        Err(e) => return fail_usage(e),
+    };
+    let window_us = match parse_opt_flag::<f64>(rest, "--probe-window") {
+        Ok(v) => v,
+        Err(e) => return fail_usage(e),
+    };
+    let faults = match parse_opt_flag::<FaultSchedule>(rest, "--faults") {
+        Ok(v) => v,
+        Err(e) => return fail_usage(e),
+    };
+    let engine = match parse_flag(rest, "--engine", ReplayEngine::Sequential) {
+        Ok(v) => v,
+        Err(e) => return fail_usage(e),
+    };
     let content = match fs::read_to_string(path) {
         Ok(c) => c,
         Err(e) => return fail(format!("{path}: {e}")),
@@ -372,26 +433,6 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
     let trace = match text::parse(&content) {
         Ok(t) => t,
         Err(e) => return fail(e.to_string()),
-    };
-    let topology = match parse_flag(rest, "--topology", ContentionModel::Bus) {
-        Ok(v) => v,
-        Err(e) => return fail(e),
-    };
-    let metrics_out = match parse_opt_flag::<String>(rest, "--metrics") {
-        Ok(v) => v,
-        Err(e) => return fail(e),
-    };
-    let window_us = match parse_opt_flag::<f64>(rest, "--probe-window") {
-        Ok(v) => v,
-        Err(e) => return fail(e),
-    };
-    let faults = match parse_opt_flag::<FaultSchedule>(rest, "--faults") {
-        Ok(v) => v,
-        Err(e) => return fail(e),
-    };
-    let engine = match parse_flag(rest, "--engine", ReplayEngine::Sequential) {
-        Ok(v) => v,
-        Err(e) => return fail(e),
     };
     // Positional args are what remains once the flag pairs are stripped.
     let mut pos: Vec<&str> = Vec::new();
@@ -415,13 +456,13 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
     if let Some(bw) = pos.first() {
         match bw.parse() {
             Ok(v) => platform.bandwidth_mbs = v,
-            Err(e) => return fail(format!("bad bandwidth: {e}")),
+            Err(e) => return fail_usage(format!("bad bandwidth: {e}")),
         }
     }
     if let Some(buses) = pos.get(1) {
         match buses.parse() {
             Ok(v) => platform.buses = v,
-            Err(e) => return fail(format!("bad bus count: {e}")),
+            Err(e) => return fail_usage(format!("bad bus count: {e}")),
         }
     }
     // Probing is on when either metrics flag is given; the replay
@@ -430,7 +471,9 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
     let (r, metrics) = if probing {
         let window = match window_us {
             Some(us) if us > 0.0 => Time::micros(us),
-            Some(us) => return fail(format!("bad --probe-window value `{us}`: must be positive")),
+            Some(us) => {
+                return fail_usage(format!("bad --probe-window value `{us}`: must be positive"))
+            }
             None => {
                 // auto window: 1/256 of this trace's runtime, measured
                 // by an extra (cheap, deterministic) unprobed replay
@@ -527,7 +570,7 @@ fn auto_window(runtime_s: f64) -> Time {
 fn gantt_cmd(app: &str, ranks: &str) -> ExitCode {
     let (bundle, _, platform) = match prepare(app, ranks) {
         Ok(v) => v,
-        Err(e) => return fail(e),
+        Err(e) => return bail(e),
     };
     match run_variants(&bundle, &platform) {
         Ok(r) => {
@@ -550,7 +593,7 @@ fn gantt_cmd(app: &str, ranks: &str) -> ExitCode {
 fn advise_cmd(app: &str, ranks: &str) -> ExitCode {
     let (_, run, platform) = match prepare(app, ranks) {
         Ok(v) => v,
-        Err(e) => return fail(e),
+        Err(e) => return bail(e),
     };
     let advice = overlap_sim::core::advisor::advise(
         &run.trace,
@@ -565,16 +608,16 @@ fn advise_cmd(app: &str, ranks: &str) -> ExitCode {
 fn report_cmd(app: &str, ranks: &str, out: &str, rest: &[&str]) -> ExitCode {
     let (bundle, run, mut platform) = match prepare(app, ranks) {
         Ok(v) => v,
-        Err(e) => return fail(e),
+        Err(e) => return bail(e),
     };
     match parse_opt_flag::<ContentionModel>(rest, "--topology") {
         Ok(Some(model)) => platform = platform.with_contention(model),
         Ok(None) => {}
-        Err(e) => return fail(e),
+        Err(e) => return fail_usage(e),
     }
     let window = match probe_window_arg(rest, &bundle, &platform) {
         Ok(w) => w,
-        Err(e) => return fail(e),
+        Err(e) => return bail(e),
     };
     let (r, metrics) = match run_variants_probed(&bundle, &platform, window) {
         Ok(v) => v,
@@ -643,137 +686,67 @@ fn report_cmd(app: &str, ranks: &str, out: &str, rest: &[&str]) -> ExitCode {
 
 /// `ovlp sweep`: evaluate the app on a grid of platforms x chunk
 /// policies using the parallel sweep engine. Results are bit-identical
-/// for any `--jobs` value.
+/// for any `--jobs` value, and — via the shared [`SweepSpec`] grid
+/// builder — byte-identical to what the `ovlp serve` daemon computes
+/// for the same axes.
 fn sweep_cmd(app: &str, ranks: &str, rest: &[&str]) -> ExitCode {
-    use overlap_sim::core::sweep::{sweep, SweepApp, SweepCache, SweepConfig, SweepGrid};
+    use overlap_sim::core::sweep::{sweep, SweepCache};
+    use overlap_sim::serve::{SpecError, SweepSpec};
 
     let ranks_n: usize = match ranks.parse() {
         Ok(n) => n,
-        Err(e) => return fail(format!("bad rank count: {e}")),
+        Err(e) => return fail_usage(format!("bad rank count: {e}")),
     };
-    let jobs = match parse_flag(rest, "--jobs", 1usize) {
+    // Empty axis lists mean "use the spec's defaults", which are the
+    // historical CLI defaults (chunks 1,2,4,8; 250 MB/s; preset buses;
+    // bus topology; no fault scenarios).
+    let mut spec = SweepSpec::new(app, ranks_n);
+    spec.jobs = match parse_flag(rest, "--jobs", 1usize) {
         Ok(v) => v,
-        Err(e) => return fail(e),
+        Err(e) => return fail_usage(e),
     };
-    let chunk_counts = match parse_list_flag(rest, "--chunks", vec![1u32, 2, 4, 8]) {
+    spec.chunks = match parse_list_flag(rest, "--chunks", Vec::new()) {
         Ok(v) => v,
-        Err(e) => return fail(e),
+        Err(e) => return fail_usage(e),
     };
-    let max_chunks = overlap_sim::trace::Tag::MAX_CHUNKS;
-    if let Some(c) = chunk_counts.iter().find(|&&c| c == 0 || c >= max_chunks) {
-        return fail(format!(
-            "bad --chunks entry `{c}`: must be in 1..{max_chunks}"
-        ));
-    }
-    let bandwidths = match parse_list_flag(rest, "--bw", vec![250.0f64]) {
+    spec.bandwidths = match parse_list_flag(rest, "--bw", Vec::new()) {
         Ok(v) => v,
-        Err(e) => return fail(e),
+        Err(e) => return fail_usage(e),
     };
-    let entry = match overlap_sim::apps::registry::by_name(app) {
-        Some(e) => e,
-        None => return fail(format!("unknown app `{app}` (try `ovlp list`)")),
-    };
-    let base = marenostrum_for(entry.name);
-    let bus_counts = match parse_list_flag(rest, "--buses", vec![base.buses]) {
+    spec.buses = match parse_list_flag(rest, "--buses", Vec::new()) {
         Ok(v) => v,
-        Err(e) => return fail(e),
+        Err(e) => return fail_usage(e),
     };
-    let topologies = match parse_list_flag(rest, "--topology", vec![ContentionModel::Bus]) {
+    spec.topologies = match parse_list_flag(rest, "--topology", Vec::new()) {
         Ok(v) => v,
-        Err(e) => return fail(e),
+        Err(e) => return fail_usage(e),
     };
-    let fault_specs = match parse_list_flag::<FaultSchedule>(rest, "--faults", Vec::new()) {
+    spec.faults = match parse_list_flag::<FaultSchedule>(rest, "--faults", Vec::new()) {
         Ok(v) => v,
-        Err(e) => return fail(e),
+        Err(e) => return fail_usage(e),
     };
-    if !fault_specs.is_empty() {
-        if let Some(model) = topologies
-            .iter()
-            .find(|m| matches!(m, ContentionModel::Bus))
-        {
-            return fail(format!(
-                "bad --faults list: fault schedules need explicit links, \
-                 but `{model}` is the bus model (pick a flow topology)"
-            ));
-        }
-        if let Some(empty) = fault_specs.iter().find(|s| s.is_empty()) {
-            return fail(format!(
-                "bad --faults entry `{empty}`: empty scenario (the fault-free \
-                 baseline is always swept; drop the entry instead)"
-            ));
-        }
-    }
-    // Reject fixed-size fabrics that are too small before any point
-    // runs, mirroring the --chunks range check above.
-    for model in &topologies {
-        if let ContentionModel::Flow(topo) = model {
-            if let Some(cap) = topo.endpoints() {
-                let nodes = if ranks_n == 0 {
-                    0
-                } else {
-                    base.node_of(ranks_n - 1) + 1
-                };
-                if nodes > cap {
-                    return fail(format!(
-                        "bad --topology entry `{model}`: {cap} endpoints but {ranks_n} ranks need {nodes} nodes"
-                    ));
-                }
-            }
-        }
-    }
-
-    let run = match trace_app(entry.app.as_ref(), ranks_n) {
-        Ok(r) => r,
-        Err(e) => return fail(e.to_string()),
+    spec.engine = match parse_flag(rest, "--engine", ReplayEngine::Sequential) {
+        Ok(v) => v,
+        Err(e) => return fail_usage(e),
     };
-    let grid = SweepGrid {
-        apps: vec![SweepApp::new(entry.name, run)],
-        platforms: bandwidths
-            .iter()
-            .flat_map(|&bw| {
-                let base = &base;
-                let topologies = &topologies;
-                let fault_specs = &fault_specs;
-                bus_counts.iter().flat_map(move |&buses| {
-                    topologies.iter().flat_map(move |model| {
-                        let clean = base
-                            .with_bandwidth(bw)
-                            .with_buses(buses)
-                            .with_contention(model.clone());
-                        // Each platform is swept fault-free first (the
-                        // retention baseline), then once per scenario.
-                        let baseline = clean.clone();
-                        let faulted = fault_specs
-                            .iter()
-                            .map(move |s| clean.clone().with_faults(s.clone()));
-                        std::iter::once(baseline).chain(faulted)
-                    })
-                })
-            })
-            .collect(),
-        policies: chunk_counts
-            .iter()
-            .map(|&c| ChunkPolicy::with_chunks(c))
-            .collect(),
+    let (grid, mut config) = match spec.build() {
+        Ok(v) => v,
+        Err(SpecError::Usage(m)) => return fail_usage(m),
+        Err(SpecError::Trace(m)) => return fail(m),
     };
     let metrics_dir = match parse_opt_flag::<String>(rest, "--metrics") {
         Ok(v) => v,
-        Err(e) => return fail(e),
+        Err(e) => return fail_usage(e),
     };
     let window_us = match parse_opt_flag::<f64>(rest, "--probe-window") {
         Ok(v) => v,
-        Err(e) => return fail(e),
+        Err(e) => return fail_usage(e),
     };
     if let Some(us) = window_us {
         if us <= 0.0 {
-            return fail(format!("bad --probe-window value `{us}`: must be positive"));
+            return fail_usage(format!("bad --probe-window value `{us}`: must be positive"));
         }
     }
-    let engine = match parse_flag(rest, "--engine", ReplayEngine::Sequential) {
-        Ok(v) => v,
-        Err(e) => return fail(e),
-    };
-    let mut config = SweepConfig::with_jobs(jobs).with_engine(engine);
     // --metrics alone probes at the 100us default window; probed points
     // bypass the cache, so runtimes still replay deterministically.
     config.probe_window_us = match (&metrics_dir, window_us) {
@@ -781,20 +754,40 @@ fn sweep_cmd(app: &str, ranks: &str, rest: &[&str]) -> ExitCode {
         (Some(_), None) => Some(100.0),
         (None, None) => None,
     };
+    let store_dir = match parse_opt_flag::<String>(rest, "--store") {
+        Ok(v) => v,
+        Err(e) => return fail_usage(e),
+    };
+    let cache = match &store_dir {
+        Some(dir) => match SweepCache::persistent(dir) {
+            Ok(c) => c,
+            Err(e) => return fail(format!("--store {dir}: {e}")),
+        },
+        None => SweepCache::new(),
+    };
 
-    let report = sweep(&grid, &config, &SweepCache::new());
-    print!("{}", report.render(&grid));
-    let retention = report.render_retention(&grid);
-    if !retention.is_empty() {
-        println!();
-        print!("{retention}");
-    }
+    let report = sweep(&grid, &config, &cache);
+    print!("{}", report.render_full(&grid));
+    let jobs = config.jobs;
     if config.probe_window_us.is_some() {
         eprintln!(
             "({} points in {:.2}s with {} jobs; probed, cache bypassed)",
             report.outcomes.len(),
             report.elapsed.as_secs_f64(),
             jobs,
+        );
+    } else if let Some(dir) = &store_dir {
+        let disk = cache.disk().map(|d| d.stats()).unwrap_or_default();
+        eprintln!(
+            "({} points in {:.2}s with {} jobs; {} simulated, {} from cache; \
+             store {dir}: {} hits, {} misses)",
+            report.outcomes.len(),
+            report.elapsed.as_secs_f64(),
+            jobs,
+            report.cache_misses,
+            report.cache_hits,
+            disk.hits,
+            disk.misses,
         );
     } else {
         eprintln!(
@@ -832,6 +825,69 @@ fn sweep_cmd(app: &str, ranks: &str, rest: &[&str]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// `ovlp serve`: run the sweep-as-a-service HTTP daemon (see
+/// `docs/serving.md` for the protocol). With `--store`, results are
+/// shared with `ovlp sweep --store` and survive restarts.
+fn serve_cmd(rest: &[&str]) -> ExitCode {
+    use overlap_sim::serve::{ServeConfig, Server};
+    use std::io::Write;
+
+    // The serve arg list is flag pairs only; a stray token is a typo,
+    // not a positional, so reject it up front.
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i] {
+            "--addr" | "--store" | "--max-running" | "--max-conn" => i += 2,
+            other => return fail_usage(format!("unknown `serve` argument `{other}`")),
+        }
+    }
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        addr: match parse_flag(rest, "--addr", defaults.addr) {
+            Ok(v) => v,
+            Err(e) => return fail_usage(e),
+        },
+        store_dir: match parse_opt_flag::<String>(rest, "--store") {
+            Ok(v) => v.map(std::path::PathBuf::from),
+            Err(e) => return fail_usage(e),
+        },
+        max_running: match parse_flag(rest, "--max-running", defaults.max_running) {
+            Ok(v) => v,
+            Err(e) => return fail_usage(e),
+        },
+        max_connections: match parse_flag(rest, "--max-conn", defaults.max_connections) {
+            Ok(v) => v,
+            Err(e) => return fail_usage(e),
+        },
+    };
+    if config.max_running == 0 {
+        return fail_usage("--max-running must be at least 1".to_string());
+    }
+    if config.max_connections == 0 {
+        return fail_usage("--max-conn must be at least 1".to_string());
+    }
+    let addr = config.addr.clone();
+    let server = match Server::bind(config.clone()) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("bind {addr}: {e}")),
+    };
+    match server.local_addr() {
+        Ok(bound) => println!("ovlp serve listening on http://{bound}"),
+        Err(e) => return fail(e.to_string()),
+    }
+    match &config.store_dir {
+        Some(dir) => println!("store: {}", dir.display()),
+        None => println!("store: in-memory (gone on exit; pass --store dir to persist)"),
+    }
+    // Scripts (and the CI smoke job) wait for the banner to know the
+    // listener is ready; make sure it is not stuck in the pipe buffer.
+    let _ = std::io::stdout().flush();
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(e.to_string()),
     }
 }
 
@@ -896,16 +952,16 @@ where
 fn paraver_cmd(app: &str, ranks: &str, outdir: &str, rest: &[&str]) -> ExitCode {
     let (bundle, _, mut platform) = match prepare(app, ranks) {
         Ok(v) => v,
-        Err(e) => return fail(e),
+        Err(e) => return bail(e),
     };
     match parse_opt_flag::<ContentionModel>(rest, "--topology") {
         Ok(Some(model)) => platform = platform.with_contention(model),
         Ok(None) => {}
-        Err(e) => return fail(e),
+        Err(e) => return fail_usage(e),
     }
     let window = match probe_window_arg(rest, &bundle, &platform) {
         Ok(w) => w,
-        Err(e) => return fail(e),
+        Err(e) => return bail(e),
     };
     let (r, metrics) = match run_variants_probed(&bundle, &platform, window) {
         Ok(v) => v,
@@ -943,12 +999,15 @@ fn probe_window_arg(
     rest: &[&str],
     bundle: &VariantBundle,
     platform: &Platform,
-) -> Result<Time, String> {
-    match parse_opt_flag::<f64>(rest, "--probe-window")? {
+) -> Result<Time, CliError> {
+    match parse_opt_flag::<f64>(rest, "--probe-window").map_err(CliError::Usage)? {
         Some(us) if us > 0.0 => Ok(Time::micros(us)),
-        Some(us) => Err(format!("bad --probe-window value `{us}`: must be positive")),
+        Some(us) => Err(CliError::Usage(format!(
+            "bad --probe-window value `{us}`: must be positive"
+        ))),
         None => {
-            let base = simulate(&bundle.original, platform).map_err(|e| e.to_string())?;
+            let base =
+                simulate(&bundle.original, platform).map_err(|e| CliError::Run(e.to_string()))?;
             Ok(auto_window(base.runtime()))
         }
     }

@@ -21,7 +21,10 @@
 //!   (`ovlp-viz`);
 //! * [`apps`] — the application pool: Sweep3D, POP, Alya, SPECFEM3D,
 //!   NAS BT and NAS CG mini-kernels plus synthetic workloads
-//!   (`ovlp-apps`).
+//!   (`ovlp-apps`);
+//! * [`serve`] — sweep-as-a-service: the `ovlp serve` HTTP daemon and
+//!   the shared sweep-job specification, backed by the persistent
+//!   content-addressed result store (`ovlp-serve`).
 //!
 //! ## Quickstart
 //!
@@ -49,6 +52,7 @@ pub use ovlp_apps as apps;
 pub use ovlp_core as core;
 pub use ovlp_instr as instr;
 pub use ovlp_machine as machine;
+pub use ovlp_serve as serve;
 pub use ovlp_trace as trace;
 pub use ovlp_viz as viz;
 

@@ -1,0 +1,109 @@
+//! Pins the `ovlp` exit-code convention: 0 on success, 1 when
+//! well-formed inputs fail at runtime (I/O, tracing, simulation), 2
+//! for usage and parse errors — with the message on stderr and nothing
+//! on stdout.
+
+use std::process::{Command, Output};
+
+fn ovlp(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ovlp"))
+        .args(args)
+        .output()
+        .unwrap()
+}
+
+fn assert_usage_error(args: &[&str], needle: &str) {
+    let out = ovlp(args);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?} should exit 2: {out:?}"
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains(needle), "{args:?} stderr: {stderr}");
+    assert!(
+        out.stdout.is_empty(),
+        "{args:?} should not write results to stdout"
+    );
+}
+
+#[test]
+fn success_exits_zero() {
+    for args in [
+        &["help"][..],
+        &["list"][..],
+        &["sweep", "nas-cg", "4", "--chunks", "1", "--bw", "250"][..],
+    ] {
+        let out = ovlp(args);
+        assert_eq!(out.status.code(), Some(0), "{args:?}: {out:?}");
+        assert!(!out.stdout.is_empty(), "{args:?} printed nothing");
+    }
+}
+
+#[test]
+fn usage_and_parse_errors_exit_two() {
+    assert_usage_error(&["no-such-command"], "usage:");
+    assert_usage_error(&["sweep", "nas-cg", "four"], "bad rank count");
+    assert_usage_error(&["sweep", "no-such-app", "4"], "unknown app");
+    assert_usage_error(&["sweep", "nas-cg", "4", "--chunks", "0"], "--chunks");
+    assert_usage_error(&["sweep", "nas-cg", "4", "--engine", "warp"], "--engine");
+    assert_usage_error(&["sweep", "nas-cg", "4", "--bw"], "--bw");
+    assert_usage_error(
+        &["sweep", "nas-cg", "4", "--probe-window", "-5"],
+        "--probe-window",
+    );
+    assert_usage_error(
+        &["sweep", "nas-cg", "4", "--topology", "hypercube"],
+        "--topology",
+    );
+    assert_usage_error(&["chunks", "nas-cg", "bogus"], "bad rank count");
+    assert_usage_error(&["analyze", "no-such-app", "4"], "unknown app");
+    assert_usage_error(&["simulate", "trace.trf", "--engine", "warp"], "--engine");
+    assert_usage_error(&["serve", "--max-running", "0"], "--max-running");
+    assert_usage_error(&["serve", "positional"], "unknown `serve` argument");
+    assert_usage_error(
+        &[
+            "report",
+            "nas-cg",
+            "4",
+            "/tmp/out.html",
+            "--probe-window",
+            "0",
+        ],
+        "--probe-window",
+    );
+}
+
+#[test]
+fn runtime_failures_exit_one() {
+    // Well-formed invocations that fail while running: missing input
+    // file, unreadable trace content, unwritable store directory.
+    let missing = ovlp(&["simulate", "/no/such/trace.trf"]);
+    assert_eq!(missing.status.code(), Some(1), "{missing:?}");
+    assert!(String::from_utf8(missing.stderr)
+        .unwrap()
+        .contains("error:"));
+
+    let dir = std::env::temp_dir().join(format!("ovlp-exit1-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let garbled = dir.join("garbled.trf");
+    std::fs::write(&garbled, "this is not a trace\n").unwrap();
+    let bad_trace = ovlp(&["simulate", garbled.to_str().unwrap()]);
+    assert_eq!(bad_trace.status.code(), Some(1), "{bad_trace:?}");
+
+    // --store pointing at a path that exists as a *file* cannot be
+    // opened as a store directory.
+    let blocker = dir.join("not-a-dir");
+    std::fs::write(&blocker, "x").unwrap();
+    let bad_store = ovlp(&[
+        "sweep",
+        "nas-cg",
+        "4",
+        "--chunks",
+        "1",
+        "--store",
+        blocker.to_str().unwrap(),
+    ]);
+    assert_eq!(bad_store.status.code(), Some(1), "{bad_store:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

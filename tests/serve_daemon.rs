@@ -1,0 +1,291 @@
+//! Daemon-vs-CLI differential tests for `ovlp serve`.
+//!
+//! The sweep daemon must be an *exact* front end swap: the same grid,
+//! in the same canonical order, with byte-identical results — plus the
+//! persistent-store guarantees (resubmission is served entirely from
+//! the store; concurrent identical submissions compute each point
+//! exactly once).
+
+use overlap_sim::serve::{ServeConfig, Server, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::Command;
+
+/// The pinned 64-point job: 4 chunk counts x 4 bandwidths x 2 bus
+/// counts x 2 topologies.
+const JOB: &str = r#"{"schema":"ovlp.sweep-job.v1","app":"nas-cg","ranks":4,"jobs":2,"chunks":[1,2,4,8],"bw":[100,175,250,325],"buses":[4,6],"topology":["bus","crossbar"]}"#;
+const JOB_POINTS: u64 = 64;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ovlp-daemon-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(store: Option<PathBuf>, max_running: usize) -> (SocketAddr, ServerHandle) {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        store_dir: store,
+        max_running,
+        max_connections: 64,
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle().unwrap();
+    std::thread::spawn(move || server.run().unwrap());
+    (addr, handle)
+}
+
+/// Minimal HTTP/1.1 client: one request per connection (the daemon is
+/// `Connection: close`), de-chunking the body when needed.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8(raw).unwrap();
+    let (head, payload) = text.split_once("\r\n\r\n").unwrap();
+    let status: u16 = head
+        .lines()
+        .next()
+        .unwrap()
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    let chunked = head
+        .to_ascii_lowercase()
+        .contains("transfer-encoding: chunked");
+    let body = if chunked {
+        dechunk(payload)
+    } else {
+        payload.to_string()
+    };
+    (status, body)
+}
+
+fn dechunk(payload: &str) -> String {
+    let mut out = String::new();
+    let mut rest = payload;
+    loop {
+        let (size_line, tail) = rest.split_once("\r\n").unwrap();
+        let size = usize::from_str_radix(size_line.trim(), 16).unwrap();
+        if size == 0 {
+            break;
+        }
+        out.push_str(&tail[..size]);
+        rest = &tail[size + 2..];
+    }
+    out
+}
+
+/// Pull `"field":<number>` out of a JSON document (the daemon emits
+/// canonical JSON with no whitespace, so this is exact).
+fn json_u64(doc: &str, field: &str) -> u64 {
+    let pat = format!("\"{field}\":");
+    let tail = &doc[doc
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {field} in {doc}"))
+        + pat.len()..];
+    tail.chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+fn submit(addr: SocketAddr) -> String {
+    let (status, body) = http(addr, "POST", "/v1/sweeps", JOB);
+    assert_eq!(status, 202, "{body}");
+    assert_eq!(json_u64(&body, "points"), JOB_POINTS);
+    let pat = "\"job\":\"";
+    let tail = &body[body.find(pat).unwrap() + pat.len()..];
+    tail[..tail.find('"').unwrap()].to_string()
+}
+
+fn wait_summary(addr: SocketAddr, job: &str) -> String {
+    let (status, body) = http(addr, "GET", &format!("/v1/sweeps/{job}/summary?wait=1"), "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"done\":true"), "{body}");
+    body
+}
+
+#[test]
+fn daemon_report_is_byte_identical_to_the_cli() {
+    let store = temp_dir("differential");
+    let (addr, handle) = start(Some(store.clone()), 2);
+
+    let job = submit(addr);
+    let (status, daemon_report) = http(addr, "GET", &format!("/v1/sweeps/{job}/report"), "");
+    assert_eq!(status, 200);
+
+    let cli = Command::new(env!("CARGO_BIN_EXE_ovlp"))
+        .args([
+            "sweep",
+            "nas-cg",
+            "4",
+            "--jobs",
+            "2",
+            "--chunks",
+            "1,2,4,8",
+            "--bw",
+            "100,175,250,325",
+            "--buses",
+            "4,6",
+            "--topology",
+            "bus,crossbar",
+        ])
+        .output()
+        .unwrap();
+    assert!(cli.status.success(), "{:?}", cli);
+    let cli_report = String::from_utf8(cli.stdout).unwrap();
+    assert_eq!(
+        daemon_report, cli_report,
+        "daemon report and `ovlp sweep` stdout must match byte for byte"
+    );
+
+    // The NDJSON stream covers the same 64 points in canonical order.
+    let (status, stream) = http(addr, "GET", &format!("/v1/sweeps/{job}"), "");
+    assert_eq!(status, 200);
+    let lines: Vec<&str> = stream.lines().collect();
+    assert_eq!(lines.len() as u64, JOB_POINTS + 1);
+    for (i, line) in lines[..JOB_POINTS as usize].iter().enumerate() {
+        assert!(
+            line.contains("\"schema\":\"ovlp.sweep-point.v1\""),
+            "{line}"
+        );
+        assert!(line.contains(&format!("\"index\":{i},")), "{line}");
+    }
+    assert!(
+        lines[JOB_POINTS as usize].contains("\"schema\":\"ovlp.sweep-done.v1\""),
+        "{stream}"
+    );
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn resubmission_is_served_entirely_from_the_store() {
+    let store = temp_dir("resubmit");
+    let (addr, handle) = start(Some(store.clone()), 2);
+
+    let first = submit(addr);
+    let summary = wait_summary(addr, &first);
+    assert_eq!(json_u64(&summary, "store_misses"), JOB_POINTS);
+    assert_eq!(json_u64(&summary, "store_hits"), 0);
+    let (_, first_stream) = http(addr, "GET", &format!("/v1/sweeps/{first}"), "");
+
+    // Same daemon, same job: zero replays, identical bytes.
+    let second = submit(addr);
+    let summary = wait_summary(addr, &second);
+    assert_eq!(json_u64(&summary, "store_hits"), JOB_POINTS);
+    assert_eq!(json_u64(&summary, "store_misses"), 0);
+    let (_, second_stream) = http(addr, "GET", &format!("/v1/sweeps/{second}"), "");
+    assert_eq!(first_stream, second_stream);
+    handle.shutdown();
+
+    // A restarted daemon on the same store directory: the points come
+    // back from disk (cross-process persistence), still byte-identical.
+    let (addr, handle) = start(Some(store.clone()), 2);
+    let third = submit(addr);
+    let summary = wait_summary(addr, &third);
+    assert_eq!(json_u64(&summary, "store_hits"), JOB_POINTS);
+    assert_eq!(json_u64(&summary, "store_misses"), 0);
+    let (_, third_stream) = http(addr, "GET", &format!("/v1/sweeps/{third}"), "");
+    assert_eq!(first_stream, third_stream);
+    let (_, stats) = http(addr, "GET", "/v1/store/stats", "");
+    assert!(
+        stats.contains("\"schema\":\"ovlp.store-stats.v1\""),
+        "{stats}"
+    );
+    assert_eq!(json_u64(&stats, "entries"), JOB_POINTS);
+    assert_eq!(json_u64(&stats, "corrupt"), 0);
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn concurrent_identical_submissions_compute_each_point_exactly_once() {
+    // Four identical jobs racing on a fresh daemon: every point is
+    // simulated exactly once (64 misses); the other three observers of
+    // each point are either in-flight coalescings or cache hits.
+    let store = temp_dir("coalesce");
+    let (addr, handle) = start(Some(store.clone()), 4);
+
+    let jobs: Vec<String> = {
+        let submits: Vec<std::thread::JoinHandle<String>> = (0..4)
+            .map(|_| std::thread::spawn(move || submit(addr)))
+            .collect();
+        submits.into_iter().map(|t| t.join().unwrap()).collect()
+    };
+    let mut streams = Vec::new();
+    for job in &jobs {
+        wait_summary(addr, job);
+        let (status, stream) = http(addr, "GET", &format!("/v1/sweeps/{job}"), "");
+        assert_eq!(status, 200);
+        streams.push(stream);
+    }
+    for s in &streams[1..] {
+        assert_eq!(&streams[0], s, "racing jobs must stream identical bytes");
+    }
+
+    let (_, stats) = http(addr, "GET", "/v1/store/stats", "");
+    let misses = json_u64(&stats, "misses");
+    let hits = json_u64(&stats, "hits");
+    let coalesced = json_u64(&stats, "coalesced");
+    assert_eq!(
+        misses, JOB_POINTS,
+        "each point computed exactly once: {stats}"
+    );
+    assert_eq!(
+        hits + coalesced,
+        3 * JOB_POINTS,
+        "the other three claims per point hit or coalesced: {stats}"
+    );
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn malformed_and_unknown_requests_are_rejected() {
+    let (addr, handle) = start(None, 1);
+
+    let (status, body) = http(addr, "GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    for (body, needle) in [
+        ("not json", "bad JSON"),
+        ("{}", "schema"),
+        (
+            r#"{"schema":"ovlp.sweep-job.v1","app":"nope","ranks":4}"#,
+            "unknown app",
+        ),
+        (
+            r#"{"schema":"ovlp.sweep-job.v1","app":"nas-cg","ranks":4,"zap":1}"#,
+            "unknown field",
+        ),
+    ] {
+        let (status, reply) = http(addr, "POST", "/v1/sweeps", body);
+        assert_eq!(status, 400, "{body} -> {reply}");
+        assert!(reply.contains(needle), "{body} -> {reply}");
+    }
+
+    let (status, _) = http(addr, "GET", "/v1/sweeps/j999", "");
+    assert_eq!(status, 404);
+    let (status, _) = http(addr, "GET", "/v1/nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = http(addr, "DELETE", "/v1/sweeps", "");
+    assert_eq!(status, 405);
+
+    handle.shutdown();
+}

@@ -1,0 +1,196 @@
+//! Robustness tests for the persistent content-addressed result store:
+//! corruption (truncation, bit flips) is detected and healed, racing
+//! writers converge on one valid entry, and the store is shared
+//! bit-exactly between the `ovlp` CLI process and in-process callers.
+
+use overlap_sim::core::sweep::store::{DiskStore, StoredPoint};
+use overlap_sim::core::sweep::{sweep, PointKey, SweepCache, SweepConfig, SweepGrid};
+use overlap_sim::serve::SweepSpec;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ovlp-robust-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The same 4-point grid `ovlp sweep nas-cg 4 --chunks 1,4 --bw
+/// 100,250` evaluates, built through the shared spec so the point
+/// keys are guaranteed to match the CLI's.
+fn small_grid() -> SweepGrid {
+    let mut spec = SweepSpec::new("nas-cg", 4);
+    spec.chunks = vec![1, 4];
+    spec.bandwidths = vec![100.0, 250.0];
+    spec.build().unwrap().0
+}
+
+#[test]
+fn truncated_entries_are_detected_recomputed_and_replaced() {
+    let dir = temp_dir("truncate");
+    let grid = small_grid();
+    let cold = SweepCache::persistent(&dir).unwrap();
+    let first = sweep(&grid, &SweepConfig::with_jobs(2), &cold);
+    assert_eq!(first.err_count(), 0);
+
+    // Truncate every stored entry at a different length.
+    let disk = cold.disk().unwrap();
+    for (i, outcome) in first.outcomes.iter().enumerate() {
+        let path = disk.entry_path(outcome.as_ref().unwrap().key);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..i * bytes.len() / 8]).unwrap();
+    }
+
+    let reopened = SweepCache::persistent(&dir).unwrap();
+    let second = sweep(&grid, &SweepConfig::with_jobs(2), &reopened);
+    assert_eq!(second.result_hashes(), first.result_hashes());
+    assert_eq!(second.render(&grid), first.render(&grid));
+    let stats = reopened.disk().unwrap().stats();
+    assert_eq!(
+        stats.corrupt,
+        grid.len() as u64,
+        "every truncation detected"
+    );
+    assert_eq!(second.cache_misses, grid.len() as u64, "all points re-ran");
+
+    // The recomputed entries replaced the truncated files: a third
+    // open serves everything from disk again.
+    let healed = SweepCache::persistent(&dir).unwrap();
+    let third = sweep(&grid, &SweepConfig::with_jobs(2), &healed);
+    assert_eq!(third.cache_hits, grid.len() as u64);
+    assert_eq!(third.result_hashes(), first.result_hashes());
+    assert_eq!(healed.disk().unwrap().stats().corrupt, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flips_anywhere_in_an_entry_are_detected() {
+    let dir = temp_dir("bitflip");
+    let grid = small_grid();
+    let cache = SweepCache::persistent(&dir).unwrap();
+    let first = sweep(&grid, &SweepConfig::with_jobs(1), &cache);
+    let key = first.outcomes[1].as_ref().unwrap().key;
+    let path = cache.disk().unwrap().entry_path(key);
+    let pristine = std::fs::read(&path).unwrap();
+
+    // Flip a single bit at every offset in turn; the store must never
+    // serve the damaged entry (it recomputes and heals instead).
+    for offset in (0..pristine.len()).step_by(7) {
+        let mut bytes = pristine.clone();
+        bytes[offset] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+        let reopened = SweepCache::persistent(&dir).unwrap();
+        let again = sweep(&grid, &SweepConfig::with_jobs(1), &reopened);
+        assert_eq!(
+            again.result_hashes(),
+            first.result_hashes(),
+            "flip at byte {offset} must not leak into results"
+        );
+        let stats = reopened.disk().unwrap().stats();
+        assert_eq!(stats.corrupt, 1, "flip at byte {offset} undetected");
+        assert_eq!(again.cache_misses, 1);
+        // healed: the rewritten entry matches the pristine bytes
+        assert_eq!(std::fs::read(&path).unwrap(), pristine);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn racing_writers_on_one_key_leave_exactly_one_valid_entry() {
+    let dir = temp_dir("race");
+    let key = PointKey(0xfeed_beef_dead_cafe);
+    let value = StoredPoint {
+        t_original: 3.5,
+        t_overlapped: 2.25,
+        t_ideal: 2.0,
+    };
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let dir = dir.clone();
+            std::thread::spawn(move || {
+                // Each thread opens its own store handle, as separate
+                // processes would.
+                let store = DiskStore::open(&dir).unwrap();
+                for _ in 0..32 {
+                    store.put(key, &value).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let store = DiskStore::open(&dir).unwrap();
+    assert_eq!(store.get(key), Some(value), "the entry decodes cleanly");
+    assert_eq!(store.entries(), 1, "exactly one entry on disk");
+    // No temp files were leaked by the 256 racing atomic writes.
+    let leftovers: Vec<_> = walk(&dir)
+        .into_iter()
+        .filter(|p| p.extension().is_some_and(|e| e == "tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "leaked temp files: {leftovers:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn walk(dir: &std::path::Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            out.extend(walk(&path));
+        } else {
+            out.push(path);
+        }
+    }
+    out
+}
+
+#[test]
+fn store_is_shared_between_cli_and_in_process_callers() {
+    let dir = temp_dir("shared");
+
+    // Warm the store from the CLI binary (a separate process).
+    let out = Command::new(env!("CARGO_BIN_EXE_ovlp"))
+        .args(["sweep", "nas-cg", "4", "--chunks", "1,4", "--bw", "100,250"])
+        .arg("--store")
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("4 misses"), "cold store summary: {stderr}");
+
+    // Resweep from the CLI: everything is served from the store.
+    let again = Command::new(env!("CARGO_BIN_EXE_ovlp"))
+        .args(["sweep", "nas-cg", "4", "--chunks", "1,4", "--bw", "100,250"])
+        .arg("--store")
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(again.status.success());
+    let stderr = String::from_utf8(again.stderr).unwrap();
+    assert!(
+        stderr.contains("0 simulated, 4 from cache") && stderr.contains("4 hits, 0 misses"),
+        "warm store summary: {stderr}"
+    );
+    assert_eq!(out.stdout, again.stdout, "sweep output changed across runs");
+
+    // And the same grid, swept in-process against the same directory,
+    // is served from disk bit-identically.
+    let grid = small_grid();
+    let cache = SweepCache::persistent(&dir).unwrap();
+    let report = sweep(&grid, &SweepConfig::with_jobs(1), &cache);
+    assert_eq!(report.cache_hits, grid.len() as u64);
+    assert_eq!(report.cache_misses, 0);
+    let rendered = report.render(&grid);
+    let cli_stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        cli_stdout.starts_with(&rendered),
+        "CLI table and in-process render disagree"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
