@@ -10,4 +10,7 @@ pub use bandwidth::{
     EquivalentBandwidth,
 };
 pub use chunks::{chunk_search, default_candidates, ChunkPoint, ChunkSearch};
-pub use speedup::{run_variants, run_variants_probed, SpeedupResult, VariantMetrics};
+pub use speedup::{
+    run_variants, run_variants_critpath_with, run_variants_full_with, run_variants_probed,
+    SpeedupResult, VariantCritPaths, VariantMetrics,
+};

@@ -2,8 +2,8 @@
 
 use crate::pipeline::VariantBundle;
 use ovlp_machine::{
-    simulate_probed_with, simulate_with, Metrics, Platform, ReplayEngine, SimError, SimResult,
-    Time, WindowedRecorder,
+    simulate_probed_with, simulate_with, CritPath, CritPathRecorder, Metrics, Platform,
+    ReplayEngine, SimError, SimResult, TeeSink, Time, WindowedRecorder,
 };
 
 /// Simulated runtimes of all three variants on one platform.
@@ -81,6 +81,94 @@ pub fn run_variants_probed(
     window: Time,
 ) -> Result<(SpeedupResult, VariantMetrics), SimError> {
     run_variants_probed_with(bundle, platform, window, ReplayEngine::Sequential)
+}
+
+/// Critical paths of all three variants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariantCritPaths {
+    pub original: CritPath,
+    pub overlapped: CritPath,
+    pub ideal: CritPath,
+}
+
+impl VariantCritPaths {
+    /// The three paths labelled like the simulation variants.
+    pub fn labelled(&self) -> [(&'static str, &CritPath); 3] {
+        [
+            ("original", &self.original),
+            ("overlapped", &self.overlapped),
+            ("ideal", &self.ideal),
+        ]
+    }
+}
+
+/// [`run_variants`] with a [`CritPathRecorder`] attached to each
+/// replay. Probes observe without perturbing, so the simulated results
+/// are bit-identical to the unprobed ones — and the recorded paths are
+/// engine-invariant like everything else.
+pub fn run_variants_critpath_with(
+    bundle: &VariantBundle,
+    platform: &Platform,
+    engine: ReplayEngine,
+) -> Result<(SpeedupResult, VariantCritPaths), SimError> {
+    let probed = |trace| -> Result<(SimResult, CritPath), SimError> {
+        let mut rec = CritPathRecorder::new();
+        let sim = simulate_probed_with(trace, platform, &mut rec, engine)?;
+        Ok((sim, rec.into_critpath()))
+    };
+    let (original, c_original) = probed(&bundle.original)?;
+    let (overlapped, c_overlapped) = probed(&bundle.overlapped)?;
+    let (ideal, c_ideal) = probed(&bundle.ideal)?;
+    Ok((
+        SpeedupResult {
+            app: bundle.app_name().to_string(),
+            original,
+            overlapped,
+            ideal,
+        },
+        VariantCritPaths {
+            original: c_original,
+            overlapped: c_overlapped,
+            ideal: c_ideal,
+        },
+    ))
+}
+
+/// Windowed metrics *and* critical paths from a single replay per
+/// variant, via a [`TeeSink`] feeding both recorders.
+pub fn run_variants_full_with(
+    bundle: &VariantBundle,
+    platform: &Platform,
+    window: Time,
+    engine: ReplayEngine,
+) -> Result<(SpeedupResult, VariantMetrics, VariantCritPaths), SimError> {
+    let probed = |trace| -> Result<(SimResult, Metrics, CritPath), SimError> {
+        let mut tee = TeeSink(WindowedRecorder::new(window), CritPathRecorder::new());
+        let sim = simulate_probed_with(trace, platform, &mut tee, engine)?;
+        let TeeSink(windowed, crit) = tee;
+        Ok((sim, windowed.into_metrics(), crit.into_critpath()))
+    };
+    let (original, m_original, c_original) = probed(&bundle.original)?;
+    let (overlapped, m_overlapped, c_overlapped) = probed(&bundle.overlapped)?;
+    let (ideal, m_ideal, c_ideal) = probed(&bundle.ideal)?;
+    Ok((
+        SpeedupResult {
+            app: bundle.app_name().to_string(),
+            original,
+            overlapped,
+            ideal,
+        },
+        VariantMetrics {
+            original: m_original,
+            overlapped: m_overlapped,
+            ideal: m_ideal,
+        },
+        VariantCritPaths {
+            original: c_original,
+            overlapped: c_overlapped,
+            ideal: c_ideal,
+        },
+    ))
 }
 
 /// [`run_variants_probed`] on an explicit replay engine.

@@ -27,7 +27,7 @@ pub mod scheduler;
 pub mod store;
 
 use crate::chunk::ChunkPolicy;
-use crate::experiments::speedup::VariantMetrics;
+use crate::experiments::speedup::{VariantCritPaths, VariantMetrics};
 use crate::pipeline::{build_variants, VariantBundle};
 use ovlp_instr::TraceRun;
 use ovlp_machine::{Platform, ReplayEngine, Time};
@@ -289,6 +289,11 @@ pub struct PointResult {
     /// excluded from [`PointResult::result_hash`], so replay
     /// fingerprints are identical with probes on or off.
     pub metrics: Option<Arc<VariantMetrics>>,
+    /// Critical paths of the three variants, recorded only when the
+    /// sweep ran with [`SweepConfig::critpath`]. Excluded from
+    /// [`PointResult::result_hash`] and never persisted, exactly like
+    /// `metrics`, so attribution never changes a replay fingerprint.
+    pub critpaths: Option<Arc<VariantCritPaths>>,
 }
 
 impl PointResult {
@@ -476,6 +481,7 @@ impl SweepCache {
                             t_overlapped: stored.t_overlapped,
                             t_ideal: stored.t_ideal,
                             metrics: None,
+                            critpaths: None,
                         };
                         lock_ok(&self.map).insert(key, result.clone());
                         *lock_ok(&entry.state) = InflightState::Done(result.clone());
@@ -576,6 +582,12 @@ pub struct SweepConfig {
     /// results are not stored), so the cache never changes what a
     /// probed sweep observes.
     pub probe_window_us: Option<f64>,
+    /// When set, every point is replayed with a
+    /// [`CritPathRecorder`](ovlp_machine::CritPathRecorder) and its
+    /// result carries [`PointResult::critpaths`] (per-point blame
+    /// attribution in the report). Critpath points bypass the cache
+    /// like probed ones — the recorder must observe its own replay.
+    pub critpath: bool,
     /// Replay engine for every point. Both engines are bit-identical by
     /// contract, so this never changes a result hash, a render, or a
     /// cache key — points simulated under either engine share the same
@@ -599,6 +611,7 @@ impl SweepConfig {
             jobs,
             queue_depth: 2 * jobs,
             probe_window_us: None,
+            critpath: false,
             engine: ReplayEngine::Sequential,
         }
     }
@@ -714,7 +727,61 @@ impl SweepReport {
             out.push('\n');
             out.push_str(&retention);
         }
+        let blame = self.render_critpath(grid);
+        if !blame.is_empty() {
+            out.push('\n');
+            out.push_str(&blame);
+        }
         out
+    }
+
+    /// Blame-attribution section: for every point carrying critical
+    /// paths ([`SweepConfig::critpath`]), where the overlap gain comes
+    /// from — seconds of critical path per blame class in the original
+    /// vs the overlapped variant, with the removed share. Empty string
+    /// (and therefore byte-identical default output) when the sweep ran
+    /// without critpath recording; deterministic like
+    /// [`SweepReport::render`].
+    pub fn render_critpath(&self, grid: &SweepGrid) -> String {
+        use ovlp_machine::critpath::Blame;
+        let mut rows = String::new();
+        for r in self.outcomes.iter().flatten() {
+            let Some(cp) = &r.critpaths else { continue };
+            let p = &grid.platforms[r.point.platform];
+            let pol = &grid.policies[r.point.policy];
+            let mut parts = Vec::new();
+            for b in Blame::ALL {
+                let orig = cp.original.total(b);
+                let ovlp = cp.overlapped.total(b);
+                if orig == 0.0 && ovlp == 0.0 {
+                    continue;
+                }
+                let mut part = format!("{} {:.6}->{:.6}", b.name(), orig, ovlp);
+                if orig > 0.0 && ovlp < orig {
+                    let pct = 100.0 * (orig - ovlp) / orig;
+                    if pct >= 0.5 {
+                        part.push_str(&format!(" (-{pct:.0}%)"));
+                    }
+                }
+                parts.push(part);
+            }
+            rows.push_str(&format!(
+                "{:<12} bw={:<7} buses={:<4} chunks={:<2} {:<10} {}\n",
+                r.app,
+                fmt_bw(p.bandwidth_mbs),
+                fmt_buses(p.buses),
+                pol.chunks,
+                match pol.mode {
+                    SendMode::Eager => "eager",
+                    SendMode::Rendezvous => "rendezvous",
+                },
+                parts.join(", "),
+            ));
+        }
+        if rows.is_empty() {
+            return rows;
+        }
+        format!("critical-path blame attribution (seconds per cause, original->overlapped)\n{rows}")
     }
 
     /// Resilience section: for every point simulated under a fault
@@ -852,6 +919,7 @@ pub fn sweep_observed(
                 bundle_for(&point),
                 cache,
                 config.probe_window_us,
+                config.critpath,
                 config.engine,
             );
             observe(i, &outcome);
@@ -884,12 +952,14 @@ pub fn sweep_observed(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn evaluate_point(
     grid: &SweepGrid,
     point: &SweepPoint,
     bundle: &Result<Arc<VariantBundle>, String>,
     cache: &SweepCache,
     probe_window_us: Option<f64>,
+    critpath: bool,
     engine: ReplayEngine,
 ) -> PointOutcome {
     let app = &grid.apps[point.app];
@@ -901,10 +971,11 @@ fn evaluate_point(
     };
 
     let key = point_key(app.fingerprint(), platform, policy);
-    // Probed points bypass the store both ways (stored results carry no
-    // metrics, metric-bearing results are not stored) and never join an
-    // in-flight computation — the probe must observe its own replay.
-    let claim = if probe_window_us.is_none() {
+    // Probed and critpath points bypass the store both ways (stored
+    // results carry no metrics or paths, observing results are not
+    // stored) and never join an in-flight computation — the probe must
+    // observe its own replay.
+    let claim = if probe_window_us.is_none() && !critpath {
         match cache.claim(key) {
             Claim::Hit(mut hit) => {
                 // The store keeps content-keyed results; re-stamp the
@@ -927,21 +998,39 @@ fn evaluate_point(
         .as_ref()
         .map_err(|e| fail(format!("transform failed: {e}")))?;
 
-    let (sim, metrics) = match probe_window_us {
-        None => (
+    let simfail = |e: ovlp_machine::SimError| fail(format!("simulation failed: {e}"));
+    let (sim, metrics, critpaths) = match (probe_window_us, critpath) {
+        (None, false) => (
             crate::experiments::speedup::run_variants_with(bundle, platform, engine)
-                .map_err(|e| fail(format!("simulation failed: {e}")))?,
+                .map_err(simfail)?,
+            None,
             None,
         ),
-        Some(us) => {
+        (Some(us), false) => {
             let (sim, m) = crate::experiments::speedup::run_variants_probed_with(
                 bundle,
                 platform,
                 Time::micros(us),
                 engine,
             )
-            .map_err(|e| fail(format!("simulation failed: {e}")))?;
-            (sim, Some(Arc::new(m)))
+            .map_err(simfail)?;
+            (sim, Some(Arc::new(m)), None)
+        }
+        (None, true) => {
+            let (sim, c) =
+                crate::experiments::speedup::run_variants_critpath_with(bundle, platform, engine)
+                    .map_err(simfail)?;
+            (sim, None, Some(Arc::new(c)))
+        }
+        (Some(us), true) => {
+            let (sim, m, c) = crate::experiments::speedup::run_variants_full_with(
+                bundle,
+                platform,
+                Time::micros(us),
+                engine,
+            )
+            .map_err(simfail)?;
+            (sim, Some(Arc::new(m)), Some(Arc::new(c)))
         }
     };
     let result = PointResult {
@@ -952,6 +1041,7 @@ fn evaluate_point(
         t_overlapped: sim.overlapped.runtime(),
         t_ideal: sim.ideal.runtime(),
         metrics,
+        critpaths,
     };
     if let Some(claim) = claim {
         claim.fulfill(&result);
@@ -1179,6 +1269,7 @@ mod tests {
             t_overlapped: 1.0,
             t_ideal: 0.5,
             metrics: None,
+            critpaths: None,
         }
     }
 

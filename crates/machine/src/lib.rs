@@ -29,6 +29,7 @@
 
 pub mod chanstat;
 pub mod collective;
+pub mod critpath;
 pub mod event;
 mod fx;
 pub mod net;
@@ -41,12 +42,13 @@ pub mod timeline;
 
 pub use chanstat::{channel_stats, ChannelStat};
 pub use collective::expand_collectives;
+pub use critpath::{Blame, CritPath, CritPathRecorder, CritSegment};
 pub use net::{
     AppliedFault, ContentionModel, FaultAction, FaultEvent, FaultSchedule, LinkSelector, LinkUsage,
     Topology,
 };
 pub use platform::{CollectiveAlgo, Platform};
-pub use probe::{EventKind, Metrics, NoopSink, ProbeSink, WindowedRecorder};
+pub use probe::{EventKind, Metrics, NoopSink, ProbeSink, TeeSink, WaitEdge, WindowedRecorder};
 pub use replay::{
     render_exact, simulate, simulate_probed, simulate_probed_with, simulate_with, NetworkStats,
     ReplayEngine, SimError, SimResult,

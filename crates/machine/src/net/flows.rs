@@ -223,6 +223,17 @@ impl FlowNet {
             self.links_dirty = false;
         }
         let (off, len) = self.route_ref(src_node, dst_node)?;
+        if P::ENABLED {
+            // uncontended ETA: alone on this route the flow would run at
+            // the bottleneck capacity — same float ops as a lone-flow
+            // reshare, so an uncontended transfer's estimate matches the
+            // actual arrival bit for bit
+            let min_cap = self.arena[off as usize..(off + len) as usize]
+                .iter()
+                .map(|l| self.caps[l.idx()])
+                .fold(f64::INFINITY, f64::min);
+            probe.on_flow_path(msg, now + Time::secs(latency_s + bytes / min_cap));
+        }
         for k in off..off + len {
             let i = self.arena[k as usize].idx();
             if self.active[i] == 0 {
@@ -361,7 +372,7 @@ impl FlowNet {
                     }
                 }
                 self.route_cache.clear();
-                rerouted_now = self.reroute_dead_flows()?;
+                rerouted_now = self.reroute_dead_flows(probe)?;
                 self.flows_rerouted += u64::from(rerouted_now);
                 needs_reshare |= rerouted_now > 0;
             }
@@ -390,7 +401,7 @@ impl FlowNet {
 
     /// Move every active flow whose path crosses a dead link onto an
     /// alive route (ascending message id, so the pass is deterministic).
-    fn reroute_dead_flows(&mut self) -> Result<u32, Partition> {
+    fn reroute_dead_flows<P: ProbeSink>(&mut self, probe: &mut P) -> Result<u32, Partition> {
         let mut rerouted = 0u32;
         for k in 0..self.active_ids.len() {
             let slot = self.active_slots[k] as usize;
@@ -433,6 +444,9 @@ impl FlowNet {
             let f = &mut self.slots[slot];
             f.off = off;
             f.len = len;
+            if P::ENABLED {
+                probe.on_flow_rerouted(self.active_ids[k] as usize);
+            }
             rerouted += 1;
         }
         Ok(rerouted)

@@ -39,6 +39,18 @@ pub enum EventKind {
     Fault,
 }
 
+/// What released a rank from a wait interval — the causal parent edge
+/// the critical-path walk follows backward
+/// ([`CritPathRecorder`](crate::critpath::CritPathRecorder)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitEdge {
+    /// The awaited message was delivered (`until` is its arrival time).
+    Arrival,
+    /// The eager sender finished local injection (`until` is the grant
+    /// time plus the link class's injection latency).
+    Injection,
+}
+
 impl EventKind {
     /// Dense index for counter arrays.
     pub fn idx(self) -> usize {
@@ -119,9 +131,172 @@ pub trait ProbeSink {
     ) {
     }
 
+    /// A send record executed: message `msg` entered the pending queue
+    /// at `at` (the sender's local time). `rendezvous` reflects the
+    /// *effective* mode after the platform's eager threshold.
+    #[allow(clippy::too_many_arguments)]
+    fn on_send_posted(
+        &mut self,
+        msg: usize,
+        src: usize,
+        dst: usize,
+        tag: u32,
+        bytes: u64,
+        rendezvous: bool,
+        at: Time,
+    ) {
+    }
+
+    /// Message `msg` acquired its resource triple at `at`. `latency` is
+    /// the sender-side injection latency of its link class;
+    /// `uncontended_arrival` is the exact arrival time for link classes
+    /// with closed-form timing (`None` for flow-level transfers, whose
+    /// uncontended estimate arrives via [`ProbeSink::on_flow_path`]).
+    fn on_transfer_granted(
+        &mut self,
+        msg: usize,
+        at: Time,
+        latency: Time,
+        uncontended_arrival: Option<Time>,
+    ) {
+    }
+
+    /// Flow `msg` was routed: `uncontended_eta` is when it would arrive
+    /// if it never shared a link. Computed with the same float ops as
+    /// the allocator's estimate, so a flow that is alone on its route
+    /// from start to finish arrives at exactly this time, to the bit.
+    fn on_flow_path(&mut self, msg: usize, uncontended_eta: Time) {}
+
+    /// Flow `msg` was moved onto a new route by a link kill.
+    fn on_flow_rerouted(&mut self, msg: usize) {}
+
+    /// A rank's wait interval `[since, until)` was closed by message
+    /// `msg`; `until` is exactly the event that released the rank (see
+    /// [`WaitEdge`]). Emitted 1:1 with the corresponding
+    /// [`ProbeSink::on_state`] wait interval (never zero-length).
+    fn on_wait_edge(&mut self, rank: usize, since: Time, until: Time, msg: usize, edge: WaitEdge) {}
+
     /// Replay finished: final runtime and the event-queue high-water
     /// mark.
     fn on_end(&mut self, runtime: Time, queue_peak: usize) {}
+}
+
+/// Fans every probe callback out to two sinks, so one replay can feed
+/// e.g. a [`WindowedRecorder`] and a
+/// [`CritPathRecorder`](crate::critpath::CritPathRecorder) at once.
+/// Enabled iff either side is — pairing with [`NoopSink`] keeps the
+/// other side's hooks live at zero extra cost.
+#[derive(Debug, Default)]
+pub struct TeeSink<A, B>(pub A, pub B);
+
+impl<A: ProbeSink, B: ProbeSink> ProbeSink for TeeSink<A, B> {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    fn on_begin(&mut self, nranks: usize, links: &[Link]) {
+        self.0.on_begin(nranks, links);
+        self.1.on_begin(nranks, links);
+    }
+
+    fn on_state(&mut self, rank: usize, start: Time, end: Time, state: State) {
+        self.0.on_state(rank, start, end, state);
+        self.1.on_state(rank, start, end, state);
+    }
+
+    fn on_event(&mut self, at: Time, kind: EventKind, queue_depth: usize) {
+        self.0.on_event(at, kind, queue_depth);
+        self.1.on_event(at, kind, queue_depth);
+    }
+
+    fn on_transfer_start(&mut self, at: Time, in_flight: u32, buses: u32, ports: u32) {
+        self.0.on_transfer_start(at, in_flight, buses, ports);
+        self.1.on_transfer_start(at, in_flight, buses, ports);
+    }
+
+    fn on_transfer_done(&mut self, at: Time, in_flight: u32, buses: u32, ports: u32) {
+        self.0.on_transfer_done(at, in_flight, buses, ports);
+        self.1.on_transfer_done(at, in_flight, buses, ports);
+    }
+
+    fn on_injected(&mut self, rank: usize, at: Time, bytes: u64) {
+        self.0.on_injected(rank, at, bytes);
+        self.1.on_injected(rank, at, bytes);
+    }
+
+    fn on_link_traffic(&mut self, link: usize, t0: Time, t1: Time, bytes: f64) {
+        self.0.on_link_traffic(link, t0, t1, bytes);
+        self.1.on_link_traffic(link, t0, t1, bytes);
+    }
+
+    fn on_reshare(&mut self, at: Time, active_flows: usize) {
+        self.0.on_reshare(at, active_flows);
+        self.1.on_reshare(at, active_flows);
+    }
+
+    fn on_stale_flow_done(&mut self, at: Time) {
+        self.0.on_stale_flow_done(at);
+        self.1.on_stale_flow_done(at);
+    }
+
+    fn on_fault(
+        &mut self,
+        at: Time,
+        links: &[LinkId],
+        action: &FaultAction,
+        rerouted: u32,
+        reshared: bool,
+    ) {
+        self.0.on_fault(at, links, action, rerouted, reshared);
+        self.1.on_fault(at, links, action, rerouted, reshared);
+    }
+
+    fn on_send_posted(
+        &mut self,
+        msg: usize,
+        src: usize,
+        dst: usize,
+        tag: u32,
+        bytes: u64,
+        rendezvous: bool,
+        at: Time,
+    ) {
+        self.0
+            .on_send_posted(msg, src, dst, tag, bytes, rendezvous, at);
+        self.1
+            .on_send_posted(msg, src, dst, tag, bytes, rendezvous, at);
+    }
+
+    fn on_transfer_granted(
+        &mut self,
+        msg: usize,
+        at: Time,
+        latency: Time,
+        uncontended_arrival: Option<Time>,
+    ) {
+        self.0
+            .on_transfer_granted(msg, at, latency, uncontended_arrival);
+        self.1
+            .on_transfer_granted(msg, at, latency, uncontended_arrival);
+    }
+
+    fn on_flow_path(&mut self, msg: usize, uncontended_eta: Time) {
+        self.0.on_flow_path(msg, uncontended_eta);
+        self.1.on_flow_path(msg, uncontended_eta);
+    }
+
+    fn on_flow_rerouted(&mut self, msg: usize) {
+        self.0.on_flow_rerouted(msg);
+        self.1.on_flow_rerouted(msg);
+    }
+
+    fn on_wait_edge(&mut self, rank: usize, since: Time, until: Time, msg: usize, edge: WaitEdge) {
+        self.0.on_wait_edge(rank, since, until, msg, edge);
+        self.1.on_wait_edge(rank, since, until, msg, edge);
+    }
+
+    fn on_end(&mut self, runtime: Time, queue_peak: usize) {
+        self.0.on_end(runtime, queue_peak);
+        self.1.on_end(runtime, queue_peak);
+    }
 }
 
 /// The do-nothing sink [`simulate`](crate::simulate) uses. With
@@ -696,7 +871,7 @@ impl Metrics {
     }
 }
 
-fn push_join(s: &mut String, parts: impl Iterator<Item = String>) {
+pub(crate) fn push_join(s: &mut String, parts: impl Iterator<Item = String>) {
     for (i, p) in parts.enumerate() {
         if i > 0 {
             s.push_str(", ");
@@ -707,7 +882,7 @@ fn push_join(s: &mut String, parts: impl Iterator<Item = String>) {
 
 /// A finite f64 in shortest-roundtrip form; non-finite values are not
 /// representable in JSON and render as `null`.
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -715,7 +890,7 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-fn json_f64_array(vals: impl Iterator<Item = f64>) -> String {
+pub(crate) fn json_f64_array(vals: impl Iterator<Item = f64>) -> String {
     let mut s = String::from("[");
     push_join(&mut s, vals.map(json_f64));
     s.push(']');
@@ -741,6 +916,10 @@ fn json_str(v: &str) -> String {
 const _: () = {
     assert!(!NoopSink::ENABLED);
     assert!(WindowedRecorder::ENABLED);
+    // TeeSink inherits enablement: two noops stay zero-overhead, one
+    // live side turns every hook on.
+    assert!(!<TeeSink<NoopSink, NoopSink>>::ENABLED);
+    assert!(<TeeSink<NoopSink, WindowedRecorder>>::ENABLED);
 };
 
 #[cfg(test)]

@@ -33,7 +33,7 @@ use crate::net::fault::{AppliedFault, Partition, ResolvedFault};
 use crate::net::flows::{FlowEvent, FlowNet};
 use crate::net::{ContentionModel, LinkGraph, LinkUsage};
 use crate::platform::Platform;
-use crate::probe::{EventKind, NoopSink, ProbeSink};
+use crate::probe::{EventKind, NoopSink, ProbeSink, WaitEdge};
 use crate::resources::Resources;
 use crate::time::Time;
 use crate::timeline::{CommRecord, State, StateTotals, Timeline};
@@ -1119,6 +1119,17 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
             waiter: None,
             waiter_since: now,
         });
+        if P::ENABLED {
+            self.probe.on_send_posted(
+                mid,
+                src,
+                dst,
+                tag.0,
+                bytes.get(),
+                mode == SendMode::Rendezvous,
+                now,
+            );
+        }
         if partner != u64::MAX {
             let req = self.rec_slot[(partner >> 32) as usize][partner as u32 as usize];
             if req != u32::MAX {
@@ -1171,6 +1182,12 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
             if r == req {
                 let resume = t1.max(since);
                 self.push_state(owner, since, resume, state);
+                if P::ENABLED && resume > since {
+                    if let Some(mid) = self.recv_reqs[req].msg {
+                        self.probe
+                            .on_wait_edge(owner, since, resume, mid, WaitEdge::Arrival);
+                    }
+                }
                 self.recv_reqs[req].consumed_at = Some(resume);
                 self.queue.push(resume, Event::Resume { rank: owner });
                 self.ranks[owner].blocked = Blocked::ResumeScheduled;
@@ -1233,6 +1250,14 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
                 t1
             };
             self.msgs[mid].state = MsgState::Flying { t1 };
+            if P::ENABLED {
+                // the uncontended arrival of a flow-level transfer is
+                // reported by the allocator (`on_flow_path`); closed-form
+                // link classes arrive exactly at `t1`
+                let unc = if flow_mode { None } else { Some(t1) };
+                self.probe
+                    .on_transfer_granted(mid, now, self.injection_latency(link), unc);
+            }
             // a sender parked on this message can now compute its
             // release time (a rendezvous sender in flow mode cannot:
             // it stays parked until the actual FlowDone)
@@ -1246,6 +1271,14 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
                     let since = self.msgs[mid].waiter_since;
                     if let Blocked::OnMsg { state, .. } = self.ranks[w].blocked {
                         self.push_state(w, since, resume, state);
+                        if P::ENABLED && resume > since {
+                            let edge = if mode == SendMode::Eager {
+                                WaitEdge::Injection
+                            } else {
+                                WaitEdge::Arrival
+                            };
+                            self.probe.on_wait_edge(w, since, resume, mid, edge);
+                        }
                         self.queue.push(resume, Event::Resume { rank: w });
                         self.ranks[w].blocked = Blocked::ResumeScheduled;
                         self.msgs[mid].waiter = None;
@@ -1381,6 +1414,10 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
             if let Blocked::OnMsg { state, .. } = self.ranks[w].blocked {
                 let resume = t1.max(since);
                 self.push_state(w, since, resume, state);
+                if P::ENABLED && resume > since {
+                    self.probe
+                        .on_wait_edge(w, since, resume, mid, WaitEdge::Arrival);
+                }
                 self.queue.push(resume, Event::Resume { rank: w });
                 self.ranks[w].blocked = Blocked::ResumeScheduled;
                 self.msgs[mid].waiter = None;
@@ -1450,6 +1487,12 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
             }
             Some(tc) => {
                 self.push_state(rank, clock, tc, state);
+                if P::ENABLED {
+                    if let Some(mid) = self.recv_reqs[req].msg {
+                        self.probe
+                            .on_wait_edge(rank, clock, tc, mid, WaitEdge::Arrival);
+                    }
+                }
                 self.recv_reqs[req].consumed_at = Some(tc);
                 self.queue.push(tc, Event::Resume { rank });
                 self.ranks[rank].blocked = Blocked::ResumeScheduled;
@@ -1483,6 +1526,14 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
             Some(tc) if tc <= clock => Flow::Continue,
             Some(tc) => {
                 self.push_state(rank, clock, tc, state);
+                if P::ENABLED {
+                    let edge = if self.msgs[mid].mode == SendMode::Eager {
+                        WaitEdge::Injection
+                    } else {
+                        WaitEdge::Arrival
+                    };
+                    self.probe.on_wait_edge(rank, clock, tc, mid, edge);
+                }
                 self.queue.push(tc, Event::Resume { rank });
                 self.ranks[rank].blocked = Blocked::ResumeScheduled;
                 Flow::Yield

@@ -17,6 +17,7 @@
 use crate::json::{Obj, Value};
 use crate::spec::{SpecError, SweepSpec};
 use ovlp_core::sweep::{sweep_observed, PointOutcome, SweepCache, SweepGrid};
+use ovlp_machine::Blame;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -190,6 +191,26 @@ pub fn point_line(index: usize, outcome: &PointOutcome) -> String {
                 )),
             );
             o.set("hash", Value::str(format!("{:016x}", r.result_hash())));
+            if let Some(cp) = &r.critpaths {
+                // Compact per-variant blame attribution, present only
+                // when the job's spec asked for `critpath`. Totals come
+                // from exact expansion sums, so the values (and the
+                // line bytes) are engine- and jobs-invariant.
+                let mut c = Obj::new();
+                for (label, path) in cp.labelled() {
+                    let mut v = Obj::new();
+                    v.set("runtime_s", Value::Num(path.runtime.as_secs()));
+                    v.set("exact", Value::Bool(path.exact));
+                    for b in Blame::ALL {
+                        let t = path.total(b);
+                        if t != 0.0 {
+                            v.set(b.name(), Value::Num(t));
+                        }
+                    }
+                    c.set(label, Value::Obj(v));
+                }
+                o.set("critpath", Value::Obj(c));
+            }
         }
         Err(e) => {
             o.set("platform", Value::Num(e.point.platform as f64));
@@ -213,6 +234,19 @@ pub fn done_line(points: usize, ok: usize, failed: usize) -> String {
     Value::Obj(o).to_string()
 }
 
+/// Daemon-lifetime counters behind `GET /metrics`. All monotonic
+/// except `jobs_running`, which is the live gauge of sweeps currently
+/// holding an execution slot.
+#[derive(Debug, Default)]
+pub struct DaemonMetrics {
+    pub jobs_submitted: AtomicU64,
+    pub jobs_running: AtomicU64,
+    pub jobs_completed: AtomicU64,
+    pub points_completed: AtomicU64,
+    pub connections_admitted: AtomicU64,
+    pub connections_rejected: AtomicU64,
+}
+
 /// The daemon's job table: submission, lookup, bounded execution.
 pub struct Registry {
     cache: Arc<SweepCache>,
@@ -220,6 +254,7 @@ pub struct Registry {
     order: Mutex<Vec<String>>,
     next_id: AtomicU64,
     gate: Arc<Gate>,
+    metrics: Arc<DaemonMetrics>,
 }
 
 impl Registry {
@@ -232,11 +267,16 @@ impl Registry {
             order: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(1),
             gate: Arc::new(Gate::new(max_running)),
+            metrics: Arc::new(DaemonMetrics::default()),
         }
     }
 
     pub fn cache(&self) -> &Arc<SweepCache> {
         &self.cache
+    }
+
+    pub fn metrics(&self) -> &Arc<DaemonMetrics> {
+        &self.metrics
     }
 
     pub fn get(&self, id: &str) -> Option<Arc<Job>> {
@@ -267,11 +307,13 @@ impl Registry {
         });
         lock_ok(&self.jobs).insert(id.clone(), Arc::clone(&job));
         lock_ok(&self.order).push(id);
+        self.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
 
         let cache = Arc::clone(&self.cache);
         let gate = Arc::clone(&self.gate);
+        let metrics = Arc::clone(&self.metrics);
         let runner = Arc::clone(&job);
-        std::thread::spawn(move || run_job(runner, grid, config, cache, gate));
+        std::thread::spawn(move || run_job(runner, grid, config, cache, gate, metrics));
         Ok(job)
     }
 }
@@ -282,12 +324,15 @@ fn run_job(
     config: ovlp_core::sweep::SweepConfig,
     cache: Arc<SweepCache>,
     gate: Arc<Gate>,
+    metrics: Arc<DaemonMetrics>,
 ) {
     gate.acquire();
+    metrics.jobs_running.fetch_add(1, Ordering::Relaxed);
     let (hits0, misses0) = cache.stats();
     let coalesced0 = cache.coalesced();
     let report = sweep_observed(&grid, &config, &cache, &|i, outcome| {
         job.record(i, outcome);
+        metrics.points_completed.fetch_add(1, Ordering::Relaxed);
     });
     let (hits1, misses1) = cache.stats();
     let coalesced1 = cache.coalesced();
@@ -299,6 +344,8 @@ fn run_job(
         state.report = Some(rendered);
     }
     job.progress.notify_all();
+    metrics.jobs_running.fetch_sub(1, Ordering::Relaxed);
+    metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
     gate.release();
 }
 

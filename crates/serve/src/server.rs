@@ -10,6 +10,7 @@
 //! | GET    | `/v1/sweeps/<id>/summary` | `ovlp.sweep-summary.v1` (add `?wait=1` to block until done) |
 //! | GET    | `/v1/sweeps/<id>/report`  | text report, byte-identical to `ovlp sweep` stdout (blocks until done) |
 //! | GET    | `/v1/store/stats`      | `ovlp.store-stats.v1` counters                |
+//! | GET    | `/metrics`             | Prometheus text exposition of daemon counters |
 //! | GET    | `/healthz`             | liveness probe                                |
 //!
 //! Concurrency limits: at most `max_running` sweeps execute at once
@@ -18,7 +19,7 @@
 //! than an unbounded thread pile-up).
 
 use crate::http::{read_request, respond, BadRequest, ChunkedWriter, Request};
-use crate::jobs::{done_line, point_line, Registry};
+use crate::jobs::{done_line, point_line, DaemonMetrics, Registry};
 use crate::json::{Obj, Value};
 use crate::spec::{SpecError, SweepSpec};
 use ovlp_core::sweep::SweepCache;
@@ -123,6 +124,10 @@ impl Server {
             }
             let Ok(mut stream) = stream else { continue };
             if active.load(Ordering::SeqCst) >= self.config.max_connections {
+                self.registry
+                    .metrics()
+                    .connections_rejected
+                    .fetch_add(1, Ordering::Relaxed);
                 let _ = respond(
                     &mut stream,
                     503,
@@ -132,6 +137,10 @@ impl Server {
                 continue;
             }
             active.fetch_add(1, Ordering::SeqCst);
+            self.registry
+                .metrics()
+                .connections_admitted
+                .fetch_add(1, Ordering::Relaxed);
             let registry = Arc::clone(&self.registry);
             let active = Arc::clone(&active);
             std::thread::spawn(move || {
@@ -194,6 +203,12 @@ fn route(stream: &mut TcpStream, registry: &Registry, req: &Request) -> io::Resu
             "application/json",
             &store_stats(registry.cache()),
         ),
+        ("GET", ["metrics"]) => respond(
+            stream,
+            200,
+            "text/plain; version=0.0.4",
+            &prometheus_metrics(registry),
+        ),
         ("POST" | "GET", _) => respond(
             stream,
             404,
@@ -250,6 +265,130 @@ fn stream_job(stream: &mut TcpStream, registry: &Registry, id: &str) -> io::Resu
     }
     writer.chunk(&format!("{}\n", done_line(job.points(), ok, failed)))?;
     writer.finish()
+}
+
+/// The `GET /metrics` body: Prometheus text exposition (format 0.0.4)
+/// of the daemon counters plus the shared cache/store statistics.
+/// Families appear in a fixed order so successive scrapes differ only
+/// in sample values. Store-level series are emitted (as zeros) even
+/// without a persistent store, keeping the scrape schema stable across
+/// daemon configurations.
+pub fn prometheus_metrics(registry: &Registry) -> String {
+    use std::fmt::Write as _;
+    let m: &DaemonMetrics = registry.metrics();
+    let cache = registry.cache();
+    let (hits, misses) = cache.stats();
+    let disk = cache.disk().map(|d| (d.entries(), d.stats()));
+    let (disk_entries, disk_stats) = match disk {
+        Some((entries, stats)) => (entries, stats),
+        None => (0, Default::default()),
+    };
+    let load = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
+    let samples: &[(&str, &str, &str, u64)] = &[
+        (
+            "ovlp_jobs_submitted_total",
+            "counter",
+            "Sweep jobs accepted via POST /v1/sweeps.",
+            load(&m.jobs_submitted),
+        ),
+        (
+            "ovlp_jobs_running",
+            "gauge",
+            "Sweep jobs currently holding an execution slot.",
+            load(&m.jobs_running),
+        ),
+        (
+            "ovlp_jobs_completed_total",
+            "counter",
+            "Sweep jobs that finished evaluating their grid.",
+            load(&m.jobs_completed),
+        ),
+        (
+            "ovlp_points_completed_total",
+            "counter",
+            "Grid points computed or served across all jobs.",
+            load(&m.points_completed),
+        ),
+        (
+            "ovlp_connections_admitted_total",
+            "counter",
+            "HTTP connections admitted to a handler thread.",
+            load(&m.connections_admitted),
+        ),
+        (
+            "ovlp_connections_rejected_total",
+            "counter",
+            "HTTP connections refused with 503 at the admission limit.",
+            load(&m.connections_rejected),
+        ),
+        (
+            "ovlp_cache_memory_entries",
+            "gauge",
+            "Completed points resident in the in-memory result cache.",
+            cache.len() as u64,
+        ),
+        (
+            "ovlp_cache_memory_hits_total",
+            "counter",
+            "Point lookups answered from the in-memory cache.",
+            hits,
+        ),
+        (
+            "ovlp_cache_memory_misses_total",
+            "counter",
+            "Point lookups that fell through the in-memory cache.",
+            misses,
+        ),
+        (
+            "ovlp_cache_coalesced_total",
+            "counter",
+            "Duplicate in-flight points coalesced onto one computation.",
+            cache.coalesced(),
+        ),
+        (
+            "ovlp_store_entries",
+            "gauge",
+            "Results resident in the persistent store (0 without --store).",
+            disk_entries,
+        ),
+        (
+            "ovlp_store_hits_total",
+            "counter",
+            "Point lookups answered from the persistent store.",
+            disk_stats.hits,
+        ),
+        (
+            "ovlp_store_misses_total",
+            "counter",
+            "Point lookups that missed the persistent store.",
+            disk_stats.misses,
+        ),
+        (
+            "ovlp_store_corruption_heals_total",
+            "counter",
+            "Corrupt store entries detected, discarded, and recomputed.",
+            disk_stats.corrupt,
+        ),
+        (
+            "ovlp_store_bytes_read_total",
+            "counter",
+            "Bytes read back from the persistent store.",
+            disk_stats.bytes_read,
+        ),
+        (
+            "ovlp_store_bytes_written_total",
+            "counter",
+            "Bytes written to the persistent store.",
+            disk_stats.bytes_written,
+        ),
+    ];
+    let mut out = String::new();
+    for (name, kind, help, value) in samples {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    out
 }
 
 /// The `ovlp.store-stats.v1` document for the shared cache.

@@ -63,6 +63,10 @@ pub struct SweepSpec {
     pub engine: ReplayEngine,
     /// Worker threads for grid evaluation.
     pub jobs: usize,
+    /// Record critical paths with per-rank blame attribution for every
+    /// point. Critpath points bypass the result cache (like probed
+    /// ones), so runtimes stay deterministic.
+    pub critpath: bool,
 }
 
 impl SweepSpec {
@@ -77,6 +81,7 @@ impl SweepSpec {
             faults: Vec::new(),
             engine: ReplayEngine::Sequential,
             jobs: 1,
+            critpath: false,
         }
     }
 
@@ -100,7 +105,7 @@ impl SweepSpec {
         }
         const KNOWN: &[&str] = &[
             "schema", "app", "ranks", "jobs", "chunks", "bw", "buses", "topology", "faults",
-            "engine",
+            "engine", "critpath",
         ];
         for key in obj.keys() {
             if !KNOWN.contains(&key) {
@@ -146,6 +151,11 @@ impl SweepSpec {
                 .parse()
                 .map_err(|e| usage(format!("bad `engine` value `{s}`: {e}")))?;
         }
+        if let Some(v) = obj.get("critpath") {
+            spec.critpath = v
+                .as_bool()
+                .ok_or_else(|| usage("`critpath` must be a boolean"))?;
+        }
         Ok(spec)
     }
 
@@ -189,6 +199,7 @@ impl SweepSpec {
             ),
         );
         o.set("engine", Value::str(engine_name(self.engine)));
+        o.set("critpath", Value::Bool(self.critpath));
         Value::Obj(o).to_string()
     }
 
@@ -295,7 +306,8 @@ impl SweepSpec {
                 .map(|&c| ChunkPolicy::with_chunks(c))
                 .collect(),
         };
-        let config = SweepConfig::with_jobs(self.jobs).with_engine(self.engine);
+        let mut config = SweepConfig::with_jobs(self.jobs).with_engine(self.engine);
+        config.critpath = self.critpath;
         Ok((grid, config))
     }
 }

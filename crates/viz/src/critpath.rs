@@ -1,0 +1,176 @@
+//! Human-readable rendering of a causal critical path: the blame
+//! breakdown table (`ovlp report --critpath`, `ovlp simulate
+//! --critpath`) and the SVG Gantt overlay that highlights the
+//! critical-path segments on the existing timeline.
+
+use ovlp_machine::critpath::{Blame, CritPath};
+use ovlp_machine::{SimResult, Time};
+use std::fmt::Write as _;
+
+/// Render the blame table and per-rank/per-channel totals.
+pub fn critpath_report(cp: &CritPath) -> String {
+    let runtime = cp.runtime.as_secs();
+    let pct = |v: f64| {
+        if runtime > 0.0 {
+            100.0 * v / runtime
+        } else {
+            0.0
+        }
+    };
+    let mut out = format!(
+        "critical path: {} segments over {:.6} s runtime ({})\n",
+        cp.segments.len(),
+        runtime,
+        if cp.exact {
+            "blame sum exactly equals runtime"
+        } else {
+            "blame sum approximate"
+        }
+    );
+    out.push_str("blame                 seconds  share\n");
+    for b in Blame::ALL {
+        let v = cp.total(b);
+        if v == 0.0 {
+            continue;
+        }
+        let _ = writeln!(out, "{:<18} {:>10.6} {:>5.1}%", b.name(), v, pct(v));
+    }
+    let on_path: Vec<(usize, f64)> = cp
+        .rank_totals
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| **v > 0.0)
+        .map(|(r, v)| (r, *v))
+        .collect();
+    out.push_str("per-rank: ");
+    for (i, (r, v)) in on_path.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "r{r} {:.6}s ({:.1}%)", v, pct(*v));
+    }
+    out.push('\n');
+    if !cp.channel_totals.is_empty() {
+        // busiest channels first, ties broken by (src, dst) order
+        let mut chans = cp.channel_totals.clone();
+        chans.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out.push_str("channels: ");
+        for (i, ((src, dst), v)) in chans.iter().take(6).enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{src}->{dst} {:.6}s", v);
+        }
+        if chans.len() > 6 {
+            let _ = write!(out, " (+{} more)", chans.len() - 6);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// [`timeline_svg`](crate::svg::timeline_svg) plus a critical-path
+/// overlay: each segment is outlined on its owning rank's lane, with the
+/// blame class in the hover title. Geometry matches the base Gantt.
+pub fn timeline_svg_critpath(
+    title: &str,
+    sim: &SimResult,
+    width: u32,
+    span: Time,
+    cp: &CritPath,
+) -> String {
+    let base = crate::svg::timeline_svg(title, sim, width, span);
+    let overlay = critpath_overlay(width, span, cp);
+    match base.strip_suffix("</svg>") {
+        Some(head) => format!("{head}{overlay}</svg>"),
+        None => base,
+    }
+}
+
+/// The overlay fragment alone (stroked rectangles, no fill, drawn above
+/// the state rectangles and communication lines).
+fn critpath_overlay(width: u32, span: Time, cp: &CritPath) -> String {
+    // must mirror the constants in `svg::timeline_svg`
+    let lane_h = 18.0;
+    let lane_gap = 4.0;
+    let left = 48.0;
+    let top = 24.0;
+    let scale = (width as f64 - left - 8.0) / span.as_secs().max(1e-12);
+    let x = |t: Time| left + t.as_secs() * scale;
+    let mut s = String::new();
+    for seg in &cp.segments {
+        let x0 = x(seg.start);
+        let w = (x(seg.end) - x0).max(0.6);
+        let y = top + seg.rank as f64 * (lane_h + lane_gap);
+        let _ = write!(
+            s,
+            r##"<rect x="{x0:.2}" y="{:.2}" width="{w:.2}" height="{:.1}" fill="none" stroke="#ffd700" stroke-width="1.6" class="critpath"><title>critical: {} {}..{}</title></rect>"##,
+            y - 1.0,
+            lane_h + 2.0,
+            seg.blame.name(),
+            seg.start,
+            seg.end
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlp_machine::{simulate, simulate_probed, CritPathRecorder, Platform};
+    use ovlp_trace::record::{Record, SendMode};
+    use ovlp_trace::{Bytes, Instructions, Rank, Tag, Trace, TransferId};
+
+    fn traced() -> (SimResult, CritPath) {
+        let mut t = Trace::new(2);
+        t.rank_mut(Rank(0)).push(Record::Compute {
+            instr: Instructions(1_000_000),
+        });
+        t.rank_mut(Rank(0)).push(Record::Send {
+            dst: Rank(1),
+            tag: Tag::user(0),
+            bytes: Bytes(1_000_000),
+            mode: SendMode::Eager,
+            transfer: TransferId::new(Rank(0), 0),
+        });
+        t.rank_mut(Rank(1)).push(Record::Recv {
+            src: Rank(0),
+            tag: Tag::user(0),
+            bytes: Bytes(1_000_000),
+            transfer: TransferId::new(Rank(1), 0),
+        });
+        let platform = Platform::default();
+        let mut rec = CritPathRecorder::new();
+        let sim = simulate_probed(&t, &platform, &mut rec).unwrap();
+        assert_eq!(
+            sim.runtime(),
+            simulate(&t, &platform).unwrap().runtime(),
+            "probe must not perturb"
+        );
+        (sim, rec.into_critpath())
+    }
+
+    #[test]
+    fn report_names_blame_classes_and_ranks() {
+        let (_, cp) = traced();
+        assert!(cp.exact);
+        let text = critpath_report(&cp);
+        assert!(text.contains("critical path:"), "{text}");
+        assert!(text.contains("exactly equals runtime"), "{text}");
+        assert!(text.contains("compute"), "{text}");
+        assert!(text.contains("per-rank:"), "{text}");
+    }
+
+    #[test]
+    fn overlay_adds_stroked_rects_inside_the_svg() {
+        let (sim, cp) = traced();
+        let svg = timeline_svg_critpath("t", &sim, 800, sim.runtime, &cp);
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(
+            svg.matches(r#"class="critpath""#).count(),
+            cp.segments.len()
+        );
+        assert!(svg.contains("critical: "), "{svg}");
+    }
+}

@@ -3,7 +3,7 @@
 //! timelines and the restructuring verdicts — in a single file a
 //! colleague can open without any tooling.
 
-use ovlp_machine::{Metrics, SimResult, Time};
+use ovlp_machine::{CritPath, Metrics, SimResult, Time};
 use std::fmt::Write as _;
 
 /// Inputs for one report (everything is pre-rendered text/markup so
@@ -46,6 +46,18 @@ pub fn report_with_metrics(
     inputs: &ReportInputs,
     variants: &[(&str, &SimResult, Option<&Metrics>)],
 ) -> String {
+    let full: Vec<(&str, &SimResult, Option<&Metrics>, Option<&CritPath>)> =
+        variants.iter().map(|&(l, s, m)| (l, s, m, None)).collect();
+    report_full(inputs, &full)
+}
+
+/// [`report_with_metrics`] with optional critical paths per variant:
+/// each variant carrying one gets its path segments outlined on the
+/// timeline Gantt and a blame-attribution section at the end.
+pub fn report_full(
+    inputs: &ReportInputs,
+    variants: &[(&str, &SimResult, Option<&Metrics>, Option<&CritPath>)],
+) -> String {
     let mut html = String::new();
     html.push_str("<!DOCTYPE html><html><head><meta charset=\"utf-8\">");
     let _ = write!(html, "<title>overlap-sim — {}</title>", esc(&inputs.app));
@@ -70,8 +82,11 @@ pub fn report_with_metrics(
         "<h2>Simulated runtimes</h2><table><tr><th>variant</th>\
                    <th>runtime</th><th>speedup</th><th>wait/rank</th></tr>",
     );
-    let base = variants.first().map(|(_, s, _)| s.runtime()).unwrap_or(1.0);
-    for (label, sim, _) in variants {
+    let base = variants
+        .first()
+        .map(|(_, s, _, _)| s.runtime())
+        .unwrap_or(1.0);
+    for (label, sim, _, _) in variants {
         let nranks = sim.totals.len().max(1) as f64;
         let _ = write!(
             html,
@@ -90,12 +105,19 @@ pub fn report_with_metrics(
     html.push_str("<h2>Timelines</h2>");
     let span = variants
         .iter()
-        .map(|(_, s, _)| s.runtime)
+        .map(|(_, s, _, _)| s.runtime)
         .max()
         .unwrap_or(Time::ZERO);
-    for (label, sim, metrics) in variants {
+    for (label, sim, metrics, critpath) in variants {
         let _ = write!(html, "<h3>{}</h3>", esc(label));
-        html.push_str(&crate::svg::timeline_svg(label, sim, 1200, span));
+        match critpath {
+            Some(cp) => {
+                html.push_str(&crate::critpath::timeline_svg_critpath(
+                    label, sim, 1200, span, cp,
+                ));
+            }
+            None => html.push_str(&crate::svg::timeline_svg(label, sim, 1200, span)),
+        }
         if let Some(m) = metrics {
             let heat = crate::heatmap::link_heatmap_svg("link utilization", m, 1200, span, 16);
             if !heat.is_empty() {
@@ -108,12 +130,24 @@ pub fn report_with_metrics(
     // per-link usage tables (flow-level replays only)
     let link_reports: Vec<(&str, String)> = variants
         .iter()
-        .filter(|(_, s, _)| !s.links.is_empty())
-        .map(|(label, sim, _)| (*label, crate::links::link_report(sim, 12)))
+        .filter(|(_, s, _, _)| !s.links.is_empty())
+        .map(|(label, sim, _, _)| (*label, crate::links::link_report(sim, 12)))
         .collect();
     if !link_reports.is_empty() {
         html.push_str("<h2>Link usage</h2>");
         for (label, text) in link_reports {
+            let _ = write!(html, "<h3>{}</h3><pre>{}</pre>", esc(label), esc(&text));
+        }
+    }
+
+    // blame attribution (variants carrying critical paths only)
+    let blames: Vec<(&str, String)> = variants
+        .iter()
+        .filter_map(|(label, _, _, cp)| cp.map(|cp| (*label, crate::critpath::critpath_report(cp))))
+        .collect();
+    if !blames.is_empty() {
+        html.push_str("<h2>Critical path</h2>");
+        for (label, text) in blames {
             let _ = write!(html, "<h3>{}</h3><pre>{}</pre>", esc(label), esc(&text));
         }
     }

@@ -17,6 +17,7 @@
 //!   patterns (the Fig. 5 panels).
 
 pub mod ascii;
+pub mod critpath;
 pub mod heatmap;
 pub mod histogram;
 pub mod html;
@@ -26,9 +27,10 @@ pub mod scatter;
 pub mod svg;
 
 pub use ascii::{gantt, gantt_comparison};
+pub use critpath::{critpath_report, timeline_svg_critpath};
 pub use heatmap::{link_heatmap_ascii, link_heatmap_svg};
 pub use histogram::{duration_histogram, wait_report, DurationHistogram};
-pub use html::{report as html_report, report_with_metrics, ReportInputs};
+pub use html::{report as html_report, report_full, report_with_metrics, ReportInputs};
 pub use links::link_report;
 pub use paraver::ParaverExport;
 pub use scatter::scatter_ascii;

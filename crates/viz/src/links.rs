@@ -72,6 +72,12 @@ pub fn link_report(sim: &SimResult, top: usize) -> String {
     if shown < order.len() {
         out.push_str(&format!("... ({} more links)\n", order.len() - shown));
     }
+    // engine self-counters, previously JSON-metrics-only ("reroute
+    // reshares" deliberately avoids the word the fault-column test pins)
+    out.push_str(&format!(
+        "engine: {} reshares, {} stale completions, {} reroute reshares\n",
+        sim.network.reshares, sim.stale_events, sim.network.reroute_reshares
+    ));
     out
 }
 
@@ -119,6 +125,18 @@ mod tests {
     fn fault_free_report_has_no_faults_column() {
         let text = link_report(&crossbar_sim(), 2);
         assert!(!text.contains("faults"), "{text}");
+    }
+
+    #[test]
+    fn report_surfaces_engine_self_counters() {
+        let text = link_report(&crossbar_sim(), 2);
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("engine:"))
+            .expect("engine counter line");
+        assert!(line.contains("reshares"), "{line}");
+        assert!(line.contains("stale completions"), "{line}");
+        assert!(line.contains("reroute reshares"), "{line}");
     }
 
     #[test]

@@ -1,18 +1,35 @@
 #!/usr/bin/env python3
-"""Validate an `ovlp.metrics.v1` document (stdlib only, no deps).
+"""Validate an `ovlp.metrics.v1` or `ovlp.metrics.v2` document
+(stdlib only, no deps).
 
 Checks the structural contract documented in docs/observability.md:
 key presence, types, series lengths (every per-window series has
 exactly `windows` entries), and value ranges where the schema promises
 them (occupancy fractions and utilization in [0, 1 + eps]).
 
+A v2 document is a v1 document plus a `critpath` section (emitted by
+`--critpath`); the checker additionally verifies the causal-path
+contract — segments partition `[0, runtime]` without gaps, blame names
+come from the published taxonomy, and the blame totals sum to the
+runtime.
+
 Usage: check_metrics_schema.py <metrics.json> [more.json ...]
 """
 
 import json
+import math
 import sys
 
 EPS = 1e-9
+
+BLAME_CLASSES = (
+    "compute",
+    "transfer-latency",
+    "transfer-bandwidth",
+    "contention-stall",
+    "endpoint-wait",
+    "fault-reroute",
+)
 
 
 def fail(path, msg):
@@ -45,11 +62,71 @@ def check_series(path, name, series, n, kind):
             expect(v is None or (is_num(v) and v >= -EPS), path, f"{name} entry {v!r} negative")
 
 
+def check_critpath(path, doc):
+    cp = doc.get("critpath")
+    expect(isinstance(cp, dict), path, "v2 document without a critpath section")
+    runtime = cp.get("runtime_s")
+    expect(is_num(runtime) and runtime >= 0, path, "critpath.runtime_s missing")
+    expect(isinstance(cp.get("exact"), bool), path, "critpath.exact not a bool")
+
+    totals = cp.get("blame_totals_s")
+    expect(isinstance(totals, dict), path, "critpath.blame_totals_s missing")
+    expect(
+        tuple(totals.keys()) == BLAME_CLASSES,
+        path,
+        f"blame_totals_s keys {list(totals.keys())} != published taxonomy",
+    )
+    for name, v in totals.items():
+        expect(is_num(v) and v >= -EPS, path, f"blame_totals_s.{name} {v!r} negative")
+    expect(
+        math.isclose(math.fsum(totals.values()), runtime, rel_tol=1e-12, abs_tol=1e-15),
+        path,
+        f"blame totals sum {math.fsum(totals.values())!r} != runtime {runtime!r}",
+    )
+
+    ranks = cp.get("rank_totals_s")
+    expect(isinstance(ranks, list) and ranks, path, "critpath.rank_totals_s missing or empty")
+    for i, v in enumerate(ranks):
+        expect(is_num(v) and v >= -EPS, path, f"rank_totals_s[{i}] {v!r} negative")
+
+    channels = cp.get("channel_totals_s")
+    expect(isinstance(channels, list), path, "critpath.channel_totals_s missing")
+    for i, ch in enumerate(channels):
+        for key in ("src", "dst"):
+            expect(
+                isinstance(ch.get(key), int) and ch[key] >= 0,
+                path,
+                f"channel_totals_s[{i}].{key} missing",
+            )
+        expect(is_num(ch.get("seconds")), path, f"channel_totals_s[{i}].seconds missing")
+
+    segments = cp.get("segments")
+    expect(isinstance(segments, list) and segments, path, "critpath.segments missing or empty")
+    cursor = 0.0
+    for i, seg in enumerate(segments):
+        expect(
+            isinstance(seg.get("rank"), int) and 0 <= seg["rank"] < len(ranks),
+            path,
+            f"segment {i}: bad rank",
+        )
+        expect(seg.get("blame") in BLAME_CLASSES, path, f"segment {i}: blame {seg.get('blame')!r}")
+        start, end = seg.get("start_s"), seg.get("end_s")
+        expect(is_num(start) and is_num(end) and start < end, path, f"segment {i}: bad interval")
+        expect(start == cursor, path, f"segment {i}: starts at {start!r}, expected {cursor!r}")
+        cursor = end
+    expect(cursor == runtime, path, f"path ends at {cursor!r}, runtime is {runtime!r}")
+
+
 def check(path):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
 
-    expect(doc.get("schema") == "ovlp.metrics.v1", path, f"bad schema id {doc.get('schema')!r}")
+    schema = doc.get("schema")
+    expect(schema in ("ovlp.metrics.v1", "ovlp.metrics.v2"), path, f"bad schema id {schema!r}")
+    if schema == "ovlp.metrics.v2":
+        check_critpath(path, doc)
+    else:
+        expect("critpath" not in doc, path, "v1 document carrying a critpath section")
     for key in ("window_s", "runtime_s"):
         expect(is_num(doc.get(key)) and doc[key] >= 0, path, f"bad {key}")
     n = doc.get("windows")
@@ -102,7 +179,10 @@ def check(path):
     ):
         expect(isinstance(eng.get(key), int) and eng[key] >= 0, path, f"bad engine.{key}")
 
-    print(f"{path}: ok ({n} windows, {len(doc['ranks'])} ranks, {len(doc['links'])} links)")
+    tail = ""
+    if schema == "ovlp.metrics.v2":
+        tail = f", {len(doc['critpath']['segments'])} critpath segments"
+    print(f"{path}: ok ({n} windows, {len(doc['ranks'])} ranks, {len(doc['links'])} links{tail})")
 
 
 if __name__ == "__main__":

@@ -49,7 +49,10 @@ def check_job(path, doc):
     no_unknown_keys(
         path,
         doc,
-        {"schema", "app", "ranks", "jobs", "chunks", "bw", "buses", "topology", "faults", "engine"},
+        {
+            "schema", "app", "ranks", "jobs", "chunks", "bw", "buses", "topology", "faults",
+            "engine", "critpath",
+        },
     )
     expect(isinstance(doc.get("app"), str) and doc["app"], path, "app missing or empty")
     expect(is_count(doc.get("ranks")) and doc["ranks"] >= 1, path, "ranks must be >= 1")
@@ -70,6 +73,8 @@ def check_job(path, doc):
         e = doc["engine"]
         ok = e in ("seq", "par") or (e.startswith("par:") and e[4:].isdigit() and int(e[4:]) >= 1)
         expect(isinstance(e, str) and ok, path, f"engine {e!r} is not seq|par[:N]")
+    if "critpath" in doc:
+        expect(isinstance(doc["critpath"], bool), path, "critpath must be a boolean")
 
 
 def check_accepted(path, doc):
@@ -94,7 +99,7 @@ def check_point(path, doc):
             doc,
             {
                 "schema", "index", "app", "platform", "policy", "key",
-                "t_original", "t_overlapped", "t_ideal", "bits", "hash",
+                "t_original", "t_overlapped", "t_ideal", "bits", "hash", "critpath",
             },
         )
         for key in ("t_original", "t_overlapped", "t_ideal"):

@@ -5,15 +5,15 @@
 //! the help text cannot drift from what the binary accepts.
 
 use overlap_sim::core::chunk::ChunkPolicy;
-use overlap_sim::core::experiments::{run_variants, run_variants_probed};
+use overlap_sim::core::experiments::{run_variants, run_variants_full_with, run_variants_probed};
 use overlap_sim::core::patterns::{consumption_stats, production_stats};
 use overlap_sim::core::pipeline::{build_variants, VariantBundle};
 use overlap_sim::core::presets::marenostrum_for;
 use overlap_sim::core::report::{pct, table2a, table2b};
 use overlap_sim::instr::trace_app;
 use overlap_sim::machine::{
-    simulate, simulate_probed_with, simulate_with, ContentionModel, FaultSchedule, Platform,
-    ReplayEngine, Time, WindowedRecorder,
+    simulate, simulate_probed_with, simulate_with, ContentionModel, CritPathRecorder,
+    FaultSchedule, Platform, ReplayEngine, TeeSink, Time, WindowedRecorder,
 };
 use overlap_sim::trace::text;
 use overlap_sim::viz::{gantt_comparison, link_heatmap_ascii, paraver, timeline_svg};
@@ -53,7 +53,7 @@ const COMMANDS: &[Cmd] = &[
     Cmd {
         name: "simulate",
         args: "<trace.trf> [bw] [buses] [--topology T] [--faults SPEC] [--metrics out.json] \
-               [--probe-window us] [--engine seq|par[:N]]",
+               [--probe-window us] [--critpath] [--engine seq|par[:N]]",
         about: "replay a trace file on a platform",
     },
     Cmd {
@@ -83,7 +83,7 @@ const COMMANDS: &[Cmd] = &[
     },
     Cmd {
         name: "report",
-        args: "<app> <ranks> <out.html> [--topology T] [--probe-window us]",
+        args: "<app> <ranks> <out.html> [--topology T] [--probe-window us] [--critpath]",
         about: "self-contained HTML analysis report",
     },
     Cmd {
@@ -95,7 +95,7 @@ const COMMANDS: &[Cmd] = &[
         name: "sweep",
         args: "<app> <ranks> [--jobs N] [--chunks a,b,..] [--bw a,b,..] [--buses a,b,..] \
                [--topology t1,t2,..] [--faults f1,f2,..] [--store dir] [--metrics dir] \
-               [--probe-window us] [--engine seq|par[:N]]",
+               [--probe-window us] [--critpath] [--engine seq|par[:N]]",
         about: "parallel parameter sweep over platforms x policies",
     },
     Cmd {
@@ -426,6 +426,7 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
         Ok(v) => v,
         Err(e) => return fail_usage(e),
     };
+    let want_critpath = rest.contains(&"--critpath");
     let content = match fs::read_to_string(path) {
         Ok(c) => c,
         Err(e) => return fail(format!("{path}: {e}")),
@@ -440,6 +441,8 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
     for a in rest {
         if skip {
             skip = false;
+        } else if *a == "--critpath" {
+            // boolean flag, no value to strip
         } else if matches!(
             *a,
             "--topology" | "--faults" | "--metrics" | "--probe-window" | "--engine"
@@ -466,11 +469,12 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
         }
     }
     // Probing is on when either metrics flag is given; the replay
-    // results are bit-identical with and without it.
+    // results are bit-identical with and without it (and with or
+    // without --critpath — probes observe, never influence).
     let probing = metrics_out.is_some() || window_us.is_some();
-    let (r, metrics) = if probing {
-        let window = match window_us {
-            Some(us) if us > 0.0 => Time::micros(us),
+    let window = if probing {
+        match window_us {
+            Some(us) if us > 0.0 => Some(Time::micros(us)),
             Some(us) => {
                 return fail_usage(format!("bad --probe-window value `{us}`: must be positive"))
             }
@@ -481,18 +485,40 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
                     Ok(r) => r,
                     Err(e) => return fail(e.to_string()),
                 };
-                auto_window(base.runtime())
+                Some(auto_window(base.runtime()))
             }
-        };
-        let mut rec = WindowedRecorder::new(window);
-        match simulate_probed_with(&trace, &platform, &mut rec, engine) {
-            Ok(r) => (r, Some(rec.into_metrics())),
-            Err(e) => return fail(e.to_string()),
         }
     } else {
-        match simulate_with(&trace, &platform, engine) {
-            Ok(r) => (r, None),
+        None
+    };
+    let (r, metrics, critpath) = match (window, want_critpath) {
+        (None, false) => match simulate_with(&trace, &platform, engine) {
+            Ok(r) => (r, None, None),
             Err(e) => return fail(e.to_string()),
+        },
+        (Some(w), false) => {
+            let mut rec = WindowedRecorder::new(w);
+            match simulate_probed_with(&trace, &platform, &mut rec, engine) {
+                Ok(r) => (r, Some(rec.into_metrics()), None),
+                Err(e) => return fail(e.to_string()),
+            }
+        }
+        (None, true) => {
+            let mut rec = CritPathRecorder::new();
+            match simulate_probed_with(&trace, &platform, &mut rec, engine) {
+                Ok(r) => (r, None, Some(rec.into_critpath())),
+                Err(e) => return fail(e.to_string()),
+            }
+        }
+        (Some(w), true) => {
+            let mut tee = TeeSink(WindowedRecorder::new(w), CritPathRecorder::new());
+            match simulate_probed_with(&trace, &platform, &mut tee, engine) {
+                Ok(r) => {
+                    let TeeSink(windowed, crit) = tee;
+                    (r, Some(windowed.into_metrics()), Some(crit.into_critpath()))
+                }
+                Err(e) => return fail(e.to_string()),
+            }
         }
     };
     println!(
@@ -525,6 +551,9 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
             println!("  {:.6}s  {}", f.at.as_secs(), f.desc);
         }
     }
+    if let Some(cp) = &critpath {
+        print!("{}", overlap_sim::viz::critpath_report(cp));
+    }
     if let Some(m) = &metrics {
         let e = &m.engine;
         println!(
@@ -546,7 +575,13 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
             print!("{heat}");
         }
         if let Some(out) = &metrics_out {
-            if let Err(e) = fs::write(out, m.to_json()) {
+            // with --critpath the document upgrades to ovlp.metrics.v2:
+            // the full v1 payload plus the critpath section
+            let doc = match &critpath {
+                Some(cp) => m.to_json_v2(cp),
+                None => m.to_json(),
+            };
+            if let Err(e) = fs::write(out, doc) {
                 return fail(e.to_string());
             }
             println!("wrote {out}");
@@ -619,9 +654,17 @@ fn report_cmd(app: &str, ranks: &str, out: &str, rest: &[&str]) -> ExitCode {
         Ok(w) => w,
         Err(e) => return bail(e),
     };
-    let (r, metrics) = match run_variants_probed(&bundle, &platform, window) {
-        Ok(v) => v,
-        Err(e) => return fail(e.to_string()),
+    let want_critpath = rest.contains(&"--critpath");
+    let (r, metrics, critpaths) = if want_critpath {
+        match run_variants_full_with(&bundle, &platform, window, ReplayEngine::Sequential) {
+            Ok((r, m, c)) => (r, m, Some(c)),
+            Err(e) => return fail(e.to_string()),
+        }
+    } else {
+        match run_variants_probed(&bundle, &platform, window) {
+            Ok((r, m)) => (r, m, None),
+            Err(e) => return fail(e.to_string()),
+        }
     };
     let mut tables = table2a(&[(app.to_string(), production_stats(&run.access))]);
     tables.push('\n');
@@ -657,23 +700,27 @@ fn report_cmd(app: &str, ranks: &str, out: &str, rest: &[&str]) -> ExitCode {
         advice,
         notes,
     };
-    let html = overlap_sim::viz::report_with_metrics(
+    let cps = critpaths.as_ref();
+    let html = overlap_sim::viz::report_full(
         &inputs,
         &[
             (
                 "non-overlapped (original)",
                 &r.original,
                 Some(&metrics.original),
+                cps.map(|c| &c.original),
             ),
             (
                 "overlapped (measured patterns)",
                 &r.overlapped,
                 Some(&metrics.overlapped),
+                cps.map(|c| &c.overlapped),
             ),
             (
                 "overlapped (ideal patterns)",
                 &r.ideal,
                 Some(&metrics.ideal),
+                cps.map(|c| &c.ideal),
             ),
         ],
     );
@@ -754,6 +801,7 @@ fn sweep_cmd(app: &str, ranks: &str, rest: &[&str]) -> ExitCode {
         (Some(_), None) => Some(100.0),
         (None, None) => None,
     };
+    config.critpath = rest.contains(&"--critpath");
     let store_dir = match parse_opt_flag::<String>(rest, "--store") {
         Ok(v) => v,
         Err(e) => return fail_usage(e),
@@ -769,7 +817,7 @@ fn sweep_cmd(app: &str, ranks: &str, rest: &[&str]) -> ExitCode {
     let report = sweep(&grid, &config, &cache);
     print!("{}", report.render_full(&grid));
     let jobs = config.jobs;
-    if config.probe_window_us.is_some() {
+    if config.probe_window_us.is_some() || config.critpath {
         eprintln!(
             "({} points in {:.2}s with {} jobs; probed, cache bypassed)",
             report.outcomes.len(),

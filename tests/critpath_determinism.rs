@@ -1,0 +1,258 @@
+//! The causal critical-path layer must be an exact observer: attaching
+//! a `CritPathRecorder` never perturbs the replay, the recorded path is
+//! byte-identical across replay engines and sweep worker counts, and
+//! every path is a *certified* partition — the blame totals sum exactly
+//! (not approximately) to the simulated runtime.
+
+use overlap_sim::core::chunk::ChunkPolicy;
+use overlap_sim::core::sweep::{sweep, SweepApp, SweepCache, SweepConfig, SweepGrid};
+use overlap_sim::instr::trace_app;
+use overlap_sim::machine::{
+    simulate, simulate_probed_with, CritPath, CritPathRecorder, FaultSchedule, NoopSink, Platform,
+    ReplayEngine, SimResult, Topology,
+};
+use overlap_sim::trace::{synth, text, Trace};
+use std::path::PathBuf;
+
+fn load_fixture(name: &str) -> Trace {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    text::parse(&std::fs::read_to_string(path).unwrap()).unwrap()
+}
+
+fn critpath_with(
+    trace: &Trace,
+    platform: &Platform,
+    engine: ReplayEngine,
+) -> (SimResult, CritPath) {
+    let mut rec = CritPathRecorder::new();
+    let sim = simulate_probed_with(trace, platform, &mut rec, engine).unwrap();
+    (sim, rec.into_critpath())
+}
+
+/// Every f64 the simulation reports, as bits.
+fn result_bits(sim: &SimResult) -> Vec<u64> {
+    let mut bits = vec![sim.runtime().to_bits()];
+    for c in &sim.comms {
+        for t in [c.t_send, c.t_start, c.t_arrive, c.t_consume] {
+            bits.push(t.as_secs().to_bits());
+        }
+    }
+    bits
+}
+
+/// Golden fixture x platform cases: bus, torus, fat-tree, and a
+/// degraded torus fabric (mid-replay link kill + restore) so the
+/// `fault-reroute` blame class is exercised too.
+fn golden_cases() -> Vec<(&'static str, Platform)> {
+    let killed: FaultSchedule = "kill@50us:n0->n1(+x);restore@100us:n0->n1(+x)"
+        .parse()
+        .unwrap();
+    vec![
+        ("sweep3d_4r.trf", Platform::marenostrum(4)),
+        (
+            "sweep3d_4r.trf",
+            Platform::marenostrum(4).with_topology(Topology::Torus { dims: vec![2, 2] }),
+        ),
+        (
+            "sweep3d_4r.trf",
+            Platform::marenostrum(4)
+                .with_topology(Topology::Torus { dims: vec![2, 2] })
+                .with_faults(killed),
+        ),
+        ("nas_cg_8r.trf", Platform::marenostrum(8)),
+        (
+            "nas_cg_8r.trf",
+            Platform::marenostrum(8).with_topology(Topology::FatTree {
+                radix: 4,
+                oversubscription: 1,
+            }),
+        ),
+    ]
+}
+
+#[test]
+fn critpath_recorder_does_not_perturb_the_replay() {
+    for (name, platform) in &golden_cases() {
+        let trace = load_fixture(name);
+        let mut noop = NoopSink;
+        let plain =
+            simulate_probed_with(&trace, platform, &mut noop, ReplayEngine::Sequential).unwrap();
+        let (recorded, _) = critpath_with(&trace, platform, ReplayEngine::Sequential);
+        assert_eq!(
+            result_bits(&plain),
+            result_bits(&recorded),
+            "{name}: recording the critical path changed the simulation"
+        );
+        assert_eq!(
+            result_bits(&plain),
+            result_bits(&simulate(&trace, platform).unwrap()),
+            "{name}: NoopSink diverged from simulate()"
+        );
+    }
+}
+
+#[test]
+fn critpath_is_byte_identical_across_replay_engines() {
+    for (name, platform) in &golden_cases() {
+        let trace = load_fixture(name);
+        let (_, seq) = critpath_with(&trace, platform, ReplayEngine::Sequential);
+        let want = seq.to_json();
+        for workers in [1, 2, 4, 8] {
+            let (_, par) = critpath_with(&trace, platform, ReplayEngine::Parallel { workers });
+            assert_eq!(
+                want,
+                par.to_json(),
+                "{name}: critpath diverged at workers={workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn blame_totals_sum_exactly_to_runtime_on_golden_fixtures() {
+    for (name, platform) in &golden_cases() {
+        let trace = load_fixture(name);
+        let (sim, cp) = critpath_with(&trace, platform, ReplayEngine::Sequential);
+        assert!(
+            cp.exact,
+            "{name}: blame partition not certified exact (runtime {})",
+            sim.runtime()
+        );
+        assert!(!cp.segments.is_empty(), "{name}: empty path");
+        assert_eq!(
+            cp.runtime.as_secs().to_bits(),
+            sim.runtime().to_bits(),
+            "{name}: path runtime is not the simulated runtime"
+        );
+        // the certified partition also chains bitwise through time
+        assert_eq!(cp.segments.first().unwrap().start.as_secs(), 0.0);
+        for pair in cp.segments.windows(2) {
+            assert_eq!(
+                pair[0].end.as_secs().to_bits(),
+                pair[1].start.as_secs().to_bits(),
+                "{name}: gap in the segment chain"
+            );
+        }
+        assert_eq!(
+            cp.segments.last().unwrap().end.as_secs().to_bits(),
+            sim.runtime().to_bits(),
+            "{name}: path does not end at the runtime"
+        );
+    }
+}
+
+fn small_grid() -> SweepGrid {
+    let app = overlap_sim::apps::synthetic::PatternApp::quick();
+    let run = trace_app(&app, 4).unwrap();
+    SweepGrid {
+        apps: vec![SweepApp::new("pattern", run)],
+        platforms: vec![
+            Platform::marenostrum(4),
+            Platform::marenostrum(4).with_bandwidth(50.0),
+        ],
+        policies: [1u32, 4]
+            .into_iter()
+            .map(ChunkPolicy::with_chunks)
+            .collect(),
+    }
+}
+
+#[test]
+fn sweep_critpaths_are_identical_for_any_worker_count() {
+    let grid = small_grid();
+    let run_with = |jobs: usize| {
+        let mut config = SweepConfig::with_jobs(jobs);
+        config.critpath = true;
+        sweep(&grid, &config, &SweepCache::new())
+    };
+    let base = run_with(1);
+    for outcome in &base.outcomes {
+        let cp = outcome.as_ref().unwrap().critpaths.as_ref().unwrap();
+        assert!(cp.original.exact && cp.overlapped.exact && cp.ideal.exact);
+    }
+    // critpaths are excluded from the replay fingerprint by construction
+    let unprobed = sweep(&grid, &SweepConfig::with_jobs(2), &SweepCache::new());
+    assert_eq!(base.result_hashes(), unprobed.result_hashes());
+    for jobs in [2, 4] {
+        let r = run_with(jobs);
+        assert_eq!(r.result_hashes(), base.result_hashes(), "jobs={jobs}");
+        for (a, b) in base.outcomes.iter().zip(&r.outcomes) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.critpaths, b.critpaths, "jobs={jobs}: critpaths diverged");
+        }
+    }
+}
+
+/// Deterministic seeded sweep over generated applications: every seed,
+/// on every topology its rank count supports, yields a certified-exact
+/// path that is engine-invariant. (The proptest variant below explores
+/// the seed space further when `--features proptest-tests` is on.)
+#[test]
+fn generated_apps_have_exact_engine_invariant_paths() {
+    for seed in [1u64, 7, 42, 1234, 0xFEED_5EED] {
+        let trace = synth::generate(seed);
+        let specs: &[&str] = if trace.nranks() == 4 {
+            &["bus", "crossbar", "fat-tree:4", "torus:2x2"]
+        } else {
+            &["bus", "crossbar", "fat-tree:4", "torus:2x2x2"]
+        };
+        for spec in specs {
+            let platform = Platform::default().with_contention(spec.parse().unwrap());
+            let (_, seq) = critpath_with(&trace, &platform, ReplayEngine::Sequential);
+            assert!(seq.exact, "seed {seed} on {spec}: partition not exact");
+            let (_, par) = critpath_with(&trace, &platform, ReplayEngine::Parallel { workers: 4 });
+            assert_eq!(
+                seq.to_json(),
+                par.to_json(),
+                "seed {seed} on {spec}: engines disagree"
+            );
+        }
+    }
+}
+
+#[cfg(feature = "proptest-tests")]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_app() -> impl Strategy<Value = Trace> {
+        (0u64..u64::MAX).prop_map(synth::generate)
+    }
+
+    fn contention_specs(nranks: usize) -> [&'static str; 4] {
+        match nranks {
+            4 => ["bus", "crossbar", "fat-tree:4", "torus:2x2"],
+            _ => ["bus", "crossbar", "fat-tree:4", "torus:2x2x2"],
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// The blame partition is certified exact for arbitrary
+        /// generated apps on every topology family.
+        #[test]
+        fn blame_sum_is_exact_for_generated_apps(trace in small_app(), spec_idx in 0usize..4) {
+            let spec = contention_specs(trace.nranks())[spec_idx];
+            let platform = Platform::default().with_contention(spec.parse().unwrap());
+            let (sim, cp) = critpath_with(&trace, &platform, ReplayEngine::Sequential);
+            prop_assert!(cp.exact, "partition not exact on {}", spec);
+            prop_assert_eq!(cp.runtime.as_secs().to_bits(), sim.runtime().to_bits());
+        }
+
+        /// Engine invariance holds pointwise over the seed space, not
+        /// just on the golden fixtures.
+        #[test]
+        fn critpath_is_engine_invariant_for_generated_apps(trace in small_app(), spec_idx in 0usize..4) {
+            let spec = contention_specs(trace.nranks())[spec_idx];
+            let platform = Platform::default().with_contention(spec.parse().unwrap());
+            let (_, seq) = critpath_with(&trace, &platform, ReplayEngine::Sequential);
+            for workers in [2, 8] {
+                let (_, par) = critpath_with(&trace, &platform, ReplayEngine::Parallel { workers });
+                prop_assert_eq!(seq.to_json(), par.to_json(), "workers={} on {}", workers, spec);
+            }
+        }
+    }
+}

@@ -256,6 +256,91 @@ fn concurrent_identical_submissions_compute_each_point_exactly_once() {
     let _ = std::fs::remove_dir_all(&store);
 }
 
+/// Value of one un-labelled sample in a Prometheus text exposition.
+fn metric(body: &str, name: &str) -> u64 {
+    body.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("no sample {name} in:\n{body}"))
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn metrics_endpoint_exposes_daemon_counters() {
+    let (addr, handle) = start(None, 2);
+
+    // Fresh daemon: families are present with zeroed job counters.
+    let (status, before) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        before.contains("# HELP ovlp_jobs_submitted_total"),
+        "{before}"
+    );
+    assert!(before.contains("# TYPE ovlp_jobs_submitted_total counter"));
+    assert!(before.contains("# TYPE ovlp_jobs_running gauge"));
+    assert_eq!(metric(&before, "ovlp_jobs_submitted_total"), 0);
+    assert_eq!(metric(&before, "ovlp_points_completed_total"), 0);
+    // No persistent store, but the store series still scrape (as 0).
+    assert_eq!(metric(&before, "ovlp_store_corruption_heals_total"), 0);
+
+    let job = submit(addr);
+    wait_summary(addr, &job);
+    let (_, after) = http(addr, "GET", "/metrics", "");
+    assert_eq!(metric(&after, "ovlp_jobs_submitted_total"), 1);
+    assert_eq!(metric(&after, "ovlp_jobs_completed_total"), 1);
+    assert_eq!(metric(&after, "ovlp_jobs_running"), 0);
+    assert_eq!(metric(&after, "ovlp_points_completed_total"), JOB_POINTS);
+    assert_eq!(metric(&after, "ovlp_cache_memory_misses_total"), JOB_POINTS);
+    assert!(
+        metric(&after, "ovlp_connections_admitted_total") >= 3,
+        "{after}"
+    );
+    assert_eq!(metric(&after, "ovlp_connections_rejected_total"), 0);
+
+    handle.shutdown();
+}
+
+#[test]
+fn critpath_jobs_stream_deterministic_blame_attribution() {
+    let (addr, handle) = start(None, 2);
+    let job_doc = r#"{"schema":"ovlp.sweep-job.v1","app":"nas-cg","ranks":4,"jobs":2,"chunks":[1,4],"critpath":true}"#;
+
+    let submit_critpath = || {
+        let (status, body) = http(addr, "POST", "/v1/sweeps", job_doc);
+        assert_eq!(status, 202, "{body}");
+        let pat = "\"job\":\"";
+        let tail = &body[body.find(pat).unwrap() + pat.len()..];
+        tail[..tail.find('"').unwrap()].to_string()
+    };
+
+    let first = submit_critpath();
+    wait_summary(addr, &first);
+    let (status, stream1) = http(addr, "GET", &format!("/v1/sweeps/{first}"), "");
+    assert_eq!(status, 200);
+    let points: Vec<&str> = stream1
+        .lines()
+        .filter(|l| l.contains("\"schema\":\"ovlp.sweep-point.v1\""))
+        .collect();
+    assert_eq!(points.len(), 2);
+    for line in &points {
+        assert!(line.contains("\"critpath\":{\"original\":{"), "{line}");
+        assert!(line.contains("\"overlapped\":"), "{line}");
+        assert!(line.contains("\"ideal\":"), "{line}");
+        // every variant's blame partition is certified exact
+        assert_eq!(line.matches("\"exact\":true").count(), 3, "{line}");
+        assert!(line.contains("\"compute\":"), "{line}");
+    }
+
+    // Critpath points bypass the result cache, so a resubmission
+    // recomputes — and must still stream byte-identical lines.
+    let second = submit_critpath();
+    wait_summary(addr, &second);
+    let (_, stream2) = http(addr, "GET", &format!("/v1/sweeps/{second}"), "");
+    assert_eq!(stream1, stream2);
+
+    handle.shutdown();
+}
+
 #[test]
 fn malformed_and_unknown_requests_are_rejected() {
     let (addr, handle) = start(None, 1);
