@@ -57,7 +57,14 @@ pub fn prepare_pool() -> Vec<PreparedApp> {
 /// [`prepare_pool`] with the preparation of different apps fanned over
 /// `jobs` worker threads.
 pub fn prepare_pool_jobs(jobs: usize) -> Vec<PreparedApp> {
-    let names: Vec<&'static str> = ovlp_apps::paper_pool().iter().map(|e| e.name).collect();
+    // The table/figure binaries reproduce the paper's six *traced*
+    // apps; generated workload families have their own bench
+    // (`scale_bench`).
+    let names: Vec<&'static str> = ovlp_apps::paper_pool()
+        .iter()
+        .filter(|e| !e.is_generated())
+        .map(|e| e.name)
+        .collect();
     prepare_named(&names, jobs)
 }
 
@@ -77,14 +84,19 @@ pub fn prepare_named(names: &[&str], jobs: usize) -> Vec<PreparedApp> {
 /// call so workers never need to move trait objects across threads.
 fn prepare_app(name: &str, quick: bool) -> PreparedApp {
     let policy = ChunkPolicy::paper_default();
-    let (app, ranks): (Box<dyn ovlp_instr::MpiApp>, usize) = if quick {
-        (quick_variant(name), 4)
+    let (run, ranks) = if quick {
+        let app = quick_variant(name);
+        let run = trace_app(app.as_ref(), 4).expect("tracing failed");
+        (run, 4)
     } else {
         let entry =
             ovlp_apps::registry::by_name(name).unwrap_or_else(|| panic!("unknown app {name}"));
-        (entry.app, entry.ranks)
+        let ranks = entry.ranks;
+        let run = entry
+            .trace_run(ranks)
+            .unwrap_or_else(|e| panic!("tracing {name} failed: {e}"));
+        (run, ranks)
     };
-    let run = trace_app(app.as_ref(), ranks).expect("tracing failed");
     let bundle = build_variants(&run, &policy);
     PreparedApp {
         name: name.to_string(),

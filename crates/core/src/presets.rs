@@ -22,6 +22,9 @@ pub fn bus_preset(app: &str) -> Option<u32> {
         "specfem3d" => Some(8),
         "bt" | "nas-bt" | "nas_bt" => Some(22),
         "cg" | "nas-cg" | "nas_cg" => Some(6),
+        // generated workload (not in Table I): fat-fabric ML cluster,
+        // unlimited buses — contention comes from ports/latency only
+        "ml" | "ml-allreduce" | "ml_allreduce" => Some(0),
         _ => None,
     }
 }

@@ -98,7 +98,13 @@ impl Fnv {
 /// access DB is hash-map backed, so its iteration order must not leak
 /// into the fingerprint).
 pub fn trace_fingerprint(run: &TraceRun) -> u64 {
-    let mut h = Fnv::new().str(&text::emit(&run.trace));
+    // The rank count is hashed explicitly (it is also inside the text
+    // emission, but the weak-scaling axis makes it a first-class sweep
+    // dimension: two rank counts of the same app must never share a
+    // store entry, regardless of how the text format evolves).
+    let mut h = Fnv::new()
+        .u64(run.trace.nranks() as u64)
+        .str(&text::emit(&run.trace));
     for (r, rank) in run.access.ranks.iter().enumerate() {
         h = h.u64(r as u64);
         let mut prods: Vec<_> = rank.productions.values().collect();
@@ -1093,6 +1099,28 @@ mod tests {
         assert_ne!(
             policy_fingerprint(&ChunkPolicy::with_chunks(2)),
             policy_fingerprint(&ChunkPolicy::with_chunks(4))
+        );
+    }
+
+    #[test]
+    fn rank_count_discriminates_point_keys() {
+        // the weak-scaling axis: the same app at two rank counts must
+        // hit different content-addressed store entries
+        let app = PatternApp {
+            elems: 200,
+            iters: 2,
+            phase_instr: 50_000,
+            production: Production::Linear,
+            consumption: Consumption::Linear,
+        };
+        let at4 = SweepApp::new("pattern-linear", trace_app(&app, 4).unwrap());
+        let at8 = SweepApp::new("pattern-linear", trace_app(&app, 8).unwrap());
+        assert_ne!(at4.fingerprint(), at8.fingerprint());
+        let p = Platform::marenostrum(4);
+        let policy = ChunkPolicy::paper_default();
+        assert_ne!(
+            point_key(at4.fingerprint(), &p, &policy),
+            point_key(at8.fingerprint(), &p, &policy)
         );
     }
 

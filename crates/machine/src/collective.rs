@@ -75,22 +75,41 @@ pub(crate) fn expand_rank(
     // for the common tree case (≤ 2·log₂P + 2) avoids most regrowth
     out.reserve(records.len() + 4);
     for rec in records {
-        match *rec {
-            Record::Collective {
-                op,
-                bytes_in,
-                bytes_out: _,
-                root,
-                transfer,
-            } => {
-                let tag = Tag::collective(instance);
-                instance += 1;
-                plan(op, algo, nranks as u32, rank, root, bytes_in, &mut |step| {
-                    out.push(step.into_record(tag, transfer))
-                });
-            }
-            other => out.push(other),
+        expand_one(nranks, rank, rec, &mut instance, algo, &mut |r| out.push(r));
+    }
+}
+
+/// Expand a single record: collectives become their point-to-point
+/// steps (advancing the rank-local `instance` counter that keys the
+/// internal tags), everything else passes through verbatim.
+///
+/// Both the eager rewriter above and the streaming trace supply
+/// (`replay::supply`) funnel through this function, which is what
+/// guarantees streamed and materialized replays see byte-identical
+/// record sequences.
+pub(crate) fn expand_one(
+    nranks: usize,
+    rank: Rank,
+    rec: &Record,
+    instance: &mut u32,
+    algo: CollectiveAlgo,
+    emit: &mut impl FnMut(Record),
+) {
+    match *rec {
+        Record::Collective {
+            op,
+            bytes_in,
+            bytes_out: _,
+            root,
+            transfer,
+        } => {
+            let tag = Tag::collective(*instance);
+            *instance += 1;
+            plan(op, algo, nranks as u32, rank, root, bytes_in, &mut |step| {
+                emit(step.into_record(tag, transfer))
+            });
         }
+        other => emit(other),
     }
 }
 

@@ -50,8 +50,9 @@ pub use net::{
 pub use platform::{CollectiveAlgo, Platform};
 pub use probe::{EventKind, Metrics, NoopSink, ProbeSink, TeeSink, WaitEdge, WindowedRecorder};
 pub use replay::{
-    render_exact, simulate, simulate_probed, simulate_probed_with, simulate_with, NetworkStats,
-    ReplayEngine, SimError, SimResult,
+    render_exact, replay_scale, simulate, simulate_probed, simulate_probed_with, simulate_source,
+    simulate_source_probed_with, simulate_source_with, simulate_with, NetworkStats, ReplayEngine,
+    ScaleReport, SimError, SimResult,
 };
 pub use time::Time;
 pub use timeline::{CommRecord, Interval, State, StateTotals, Timeline};

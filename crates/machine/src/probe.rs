@@ -176,6 +176,16 @@ pub trait ProbeSink {
     /// [`ProbeSink::on_state`] wait interval (never zero-length).
     fn on_wait_edge(&mut self, rank: usize, since: Time, until: Time, msg: usize, edge: WaitEdge) {}
 
+    /// High-water mark of trace records resident in the engine's record
+    /// supply: the whole trace for a materialized replay, buffered
+    /// cursor records for a streamed one ([`simulate_source`]). Emitted
+    /// once, just before [`ProbeSink::on_end`] — this is the counter
+    /// that makes the "streamed replay memory is O(active ranks)" claim
+    /// observable.
+    ///
+    /// [`simulate_source`]: crate::replay::simulate_source
+    fn on_records_peak(&mut self, peak: u64) {}
+
     /// Replay finished: final runtime and the event-queue high-water
     /// mark.
     fn on_end(&mut self, runtime: Time, queue_peak: usize) {}
@@ -293,6 +303,11 @@ impl<A: ProbeSink, B: ProbeSink> ProbeSink for TeeSink<A, B> {
         self.1.on_wait_edge(rank, since, until, msg, edge);
     }
 
+    fn on_records_peak(&mut self, peak: u64) {
+        self.0.on_records_peak(peak);
+        self.1.on_records_peak(peak);
+    }
+
     fn on_end(&mut self, runtime: Time, queue_peak: usize) {
         self.0.on_end(runtime, queue_peak);
         self.1.on_end(runtime, queue_peak);
@@ -364,6 +379,7 @@ pub struct WindowedRecorder {
     reshares: u64,
     stale_popped: u64,
     queue_peak: usize,
+    records_peak: u64,
     max_in_flight: u32,
     /// link -> hit by at least one fault event.
     link_faulted: Vec<bool>,
@@ -398,6 +414,7 @@ impl WindowedRecorder {
             reshares: 0,
             stale_popped: 0,
             queue_peak: 0,
+            records_peak: 0,
             max_in_flight: 0,
             link_faulted: Vec::new(),
             faults_applied: 0,
@@ -499,6 +516,7 @@ impl WindowedRecorder {
                 reshares_per_window: reshares_w,
                 stale_popped: self.stale_popped,
                 queue_peak: self.queue_peak,
+                records_peak: self.records_peak,
                 max_in_flight: self.max_in_flight,
                 faults_applied: self.faults_applied,
                 flows_rerouted: self.flows_rerouted,
@@ -642,6 +660,10 @@ impl ProbeSink for WindowedRecorder {
         }
     }
 
+    fn on_records_peak(&mut self, peak: u64) {
+        self.records_peak = peak;
+    }
+
     fn on_end(&mut self, runtime: Time, queue_peak: usize) {
         self.runtime_s = runtime.as_secs();
         self.queue_peak = queue_peak;
@@ -727,6 +749,10 @@ pub struct EngineCounters {
     pub stale_popped: u64,
     /// Event-queue high-water mark.
     pub queue_peak: usize,
+    /// High-water mark of trace records resident in the record supply
+    /// (total trace size for materialized replays, buffered cursor
+    /// records for streamed ones).
+    pub records_peak: u64,
     /// Peak concurrent network-level transfers.
     pub max_in_flight: u32,
     /// Scheduled fault events applied.
@@ -858,6 +884,8 @@ impl Metrics {
         s.push_str(&self.engine.stale_popped.to_string());
         s.push_str(",\n    \"queue_peak\": ");
         s.push_str(&self.engine.queue_peak.to_string());
+        s.push_str(",\n    \"records_peak\": ");
+        s.push_str(&self.engine.records_peak.to_string());
         s.push_str(",\n    \"max_in_flight\": ");
         s.push_str(&self.engine.max_in_flight.to_string());
         s.push_str(",\n    \"faults_applied\": ");

@@ -38,11 +38,15 @@ use crate::resources::Resources;
 use crate::time::Time;
 use crate::timeline::{CommRecord, State, StateTotals, Timeline};
 use ovlp_trace::record::{Record, SendMode};
+use ovlp_trace::source::TraceSource;
 use ovlp_trace::{Bytes, Rank, ReqId, Tag, Trace};
 use std::collections::{HashMap, VecDeque};
 use std::str::FromStr;
 
 mod parallel;
+mod supply;
+
+use supply::Supply;
 
 /// Which replay driver advances the simulation.
 ///
@@ -314,18 +318,158 @@ pub fn simulate_reference(trace: &Trace, platform: &Platform) -> Result<SimResul
     )
 }
 
+/// Simulate a lazily supplied trace ([`TraceSource`]) on `platform`.
+///
+/// The sequential engine streams records straight out of the source —
+/// collectives are expanded inline per cursor — so the trace is never
+/// materialized and the record footprint stays O(ranks). For any source
+/// that *can* be materialized, the result is byte-identical to
+/// [`simulate`] on [`TraceSource::materialize`]'s trace (pinned by the
+/// streaming differential suite).
+pub fn simulate_source(
+    source: &dyn TraceSource,
+    platform: &Platform,
+) -> Result<SimResult, SimError> {
+    simulate_source_probed_with(source, platform, &mut NoopSink, ReplayEngine::Sequential)
+}
+
+/// [`simulate_source`] with an explicit replay driver.
+pub fn simulate_source_with(
+    source: &dyn TraceSource,
+    platform: &Platform,
+    engine: ReplayEngine,
+) -> Result<SimResult, SimError> {
+    simulate_source_probed_with(source, platform, &mut NoopSink, engine)
+}
+
+/// [`simulate_source`] with an explicit probe and replay driver.
+///
+/// The parallel driver compiles per-rank schedules from the whole
+/// trace up front — an O(total records) pass by construction — so it
+/// materializes the source and takes the classic path; only the
+/// sequential engine streams.
+pub fn simulate_source_probed_with<P: ProbeSink>(
+    source: &dyn TraceSource,
+    platform: &Platform,
+    probe: &mut P,
+    engine: ReplayEngine,
+) -> Result<SimResult, SimError> {
+    match engine {
+        ReplayEngine::Sequential => {
+            platform.check().map_err(SimError::BadPlatform)?;
+            let (flownet, faults) = net_setup(source.nranks(), platform, false)?;
+            Engine::new(
+                Supply::stream(source, platform.collective),
+                platform,
+                flownet,
+                faults,
+                probe,
+                EventQueue::new(),
+            )
+            .run()
+        }
+        ReplayEngine::Parallel { .. } => {
+            let trace = source.materialize();
+            simulate_inner(&trace, platform, probe, false, engine)
+        }
+    }
+}
+
+/// Aggregate outcome of a summary-mode ([`replay_scale`]) replay.
+///
+/// Summary mode recycles engine state, so the per-message and
+/// per-interval artifacts of a [`SimResult`] don't exist; what remains
+/// is the aggregate picture plus the engine's own footprint counters —
+/// which are exactly the quantities a weak-scaling study plots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleReport {
+    /// Ranks simulated.
+    pub nranks: usize,
+    /// Completion time of the slowest rank.
+    pub runtime: Time,
+    /// Discrete events processed.
+    pub events_processed: u64,
+    /// Event-queue high-water mark.
+    pub queue_peak: usize,
+    /// Point-to-point transfers simulated (after collective
+    /// decomposition).
+    pub transfers: u64,
+    /// Records streamed through the engine (post-expansion).
+    pub records_streamed: u64,
+    /// High-water mark of records resident in the supply.
+    pub records_peak: u64,
+    /// Message-slot high-water mark (live messages, not total).
+    pub msg_slots: usize,
+    /// Receive-request-slot high-water mark.
+    pub req_slots: usize,
+    /// Channel-slot high-water mark.
+    pub chan_slots: usize,
+    /// State totals summed across ranks (rank order, deterministic).
+    pub totals: StateTotals,
+}
+
+impl ScaleReport {
+    /// Parallel efficiency: compute time over total rank-time.
+    pub fn efficiency(&self) -> f64 {
+        let denom = self.runtime.as_secs() * self.nranks.max(1) as f64;
+        if denom == 0.0 {
+            return 1.0;
+        }
+        self.totals.compute.as_secs() / denom
+    }
+}
+
+/// Replay a [`TraceSource`] in summary mode: streamed record supply
+/// *plus* recycled engine state, making live memory O(in-flight
+/// traffic) instead of O(total transfers). This is the 100k–1M-rank
+/// path.
+///
+/// Restricted to the bus contention model and the sequential driver:
+/// flow-level contention keeps per-link state the summary mode has no
+/// business approximating, and the parallel driver's compile pass is
+/// O(total records) anyway. `runtime` and `events_processed` are
+/// bit-identical to the full-fidelity streamed replay (pinned by the
+/// scale cross-check test); the folded state totals may differ in the
+/// last ulp because they are accumulated per push rather than per
+/// merged interval.
+pub fn replay_scale(
+    source: &dyn TraceSource,
+    platform: &Platform,
+) -> Result<ScaleReport, SimError> {
+    platform.check().map_err(SimError::BadPlatform)?;
+    if !matches!(platform.contention, ContentionModel::Bus) {
+        return Err(SimError::BadPlatform(
+            "scale replay supports only the bus contention model \
+             (use the streaming full-fidelity path for flow-level studies)"
+                .to_string(),
+        ));
+    }
+    let n = source.nranks();
+    let mut probe = NoopSink;
+    let mut eng = Engine::new(
+        Supply::stream(source, platform.collective),
+        platform,
+        None,
+        Vec::new(),
+        &mut probe,
+        EventQueue::new(),
+    );
+    eng.recycle = true;
+    eng.sum_totals = vec![StateTotals::default(); n];
+    eng.run_scale()
+}
+
 /// Build the flow-level network state (and resolved fault schedule)
 /// for one replay, or nothing under the bus model. Cheap to call twice
 /// for the same platform: the compiled topology is cached.
 fn net_setup(
-    trace: &Trace,
+    nranks: usize,
     platform: &Platform,
     reference: bool,
 ) -> Result<(Option<FlowNet>, Vec<ResolvedFault>), SimError> {
     match &platform.contention {
         ContentionModel::Bus => Ok((None, Vec::new())),
         ContentionModel::Flow(topo) => {
-            let nranks = trace.nranks();
             let nodes = if nranks == 0 {
                 0
             } else {
@@ -381,8 +525,16 @@ fn simulate_inner<P: ProbeSink>(
     };
     match engine {
         ReplayEngine::Sequential => {
-            let (flownet, faults) = net_setup(trace, platform, reference)?;
-            Engine::new(trace, platform, flownet, faults, probe, EventQueue::new()).run()
+            let (flownet, faults) = net_setup(trace.nranks(), platform, reference)?;
+            Engine::new(
+                Supply::Slice(trace),
+                platform,
+                flownet,
+                faults,
+                probe,
+                EventQueue::new(),
+            )
+            .run()
         }
         ReplayEngine::Parallel { workers } => {
             // Debug builds replay sequentially first and hold the
@@ -391,9 +543,9 @@ fn simulate_inner<P: ProbeSink>(
             // covers.
             #[cfg(debug_assertions)]
             let want = {
-                let (flownet, faults) = net_setup(trace, platform, reference)?;
+                let (flownet, faults) = net_setup(trace.nranks(), platform, reference)?;
                 Engine::new(
-                    trace,
+                    Supply::Slice(trace),
                     platform,
                     flownet,
                     faults,
@@ -402,7 +554,7 @@ fn simulate_inner<P: ProbeSink>(
                 )
                 .run()
             };
-            let (flownet, faults) = net_setup(trace, platform, reference)?;
+            let (flownet, faults) = net_setup(trace.nranks(), platform, reference)?;
             let got = parallel::run(trace, platform, flownet, faults, probe, workers);
             #[cfg(debug_assertions)]
             assert_eq!(
@@ -460,6 +612,10 @@ struct Msg {
     /// Rank blocked on this message (blocking send, or wait on isend).
     waiter: Option<usize>,
     waiter_since: Time,
+    /// The sender has fully observed this message (its wait consumed
+    /// the release time, or its parked waiter was resumed). Maintained
+    /// for slot retirement in summary mode; meaningless otherwise.
+    send_done: bool,
 }
 
 #[derive(Debug)]
@@ -550,7 +706,7 @@ struct Channel {
 }
 
 struct Engine<'a, P: ProbeSink, Q: QueueLike> {
-    trace: &'a Trace,
+    supply: Supply<'a>,
     platform: &'a Platform,
     queue: Q,
     ranks: Vec<RankState>,
@@ -597,6 +753,25 @@ struct Engine<'a, P: ProbeSink, Q: QueueLike> {
     in_flight: u32,
     /// Stale `FlowDone` events popped and discarded.
     stale_popped: u64,
+    /// Summary (scale) replay: recycle retired message/request slots,
+    /// fold timelines into running totals, and garbage-collect drained
+    /// channels, so live state is O(in-flight traffic) instead of
+    /// O(total transfers). Never set on the full-fidelity paths — the
+    /// freelists below stay empty there, which keeps message ids equal
+    /// to initiation order and results bit-identical to before the
+    /// field existed.
+    recycle: bool,
+    /// Free message slots (summary mode only).
+    msg_free: Vec<usize>,
+    /// Free receive-request slots (summary mode only).
+    req_free: Vec<usize>,
+    /// Free channel slots (summary mode only).
+    chan_free: Vec<u32>,
+    /// Per-rank state totals accumulated per push (summary mode only;
+    /// replaces the interval timelines).
+    sum_totals: Vec<StateTotals>,
+    /// Transfers initiated (survives slot recycling).
+    transfers_total: u64,
 }
 
 enum Flow {
@@ -606,20 +781,20 @@ enum Flow {
 
 impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
     fn new(
-        trace: &'a Trace,
+        supply: Supply<'a>,
         platform: &'a Platform,
         flownet: Option<FlowNet>,
         faults: Vec<ResolvedFault>,
         probe: &'a mut P,
         queue: Q,
     ) -> Engine<'a, P, Q> {
-        let n = trace.nranks();
+        let n = supply.nranks();
         // In flow mode the topology itself is the contention: the global
         // bus limit is ignored (0 = unlimited), ports still gate each
         // endpoint's injection/extraction concurrency.
         let buses = if flownet.is_some() { 0 } else { platform.buses };
         Engine {
-            trace,
+            supply,
             platform,
             queue,
             ranks: (0..n)
@@ -654,20 +829,47 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
             probe,
             in_flight: 0,
             stale_popped: 0,
+            recycle: false,
+            msg_free: Vec::new(),
+            req_free: Vec::new(),
+            chan_free: Vec::new(),
+            sum_totals: Vec::new(),
+            transfers_total: 0,
         }
     }
 
-    /// The channel for `(src, dst, tag)`, created on first use.
-    fn channel(&mut self, src: usize, dst: usize, tag: Tag) -> &mut Channel {
-        let next = self.channels.len() as u32;
-        let id = *self
-            .chan_ids
-            .entry((src as u32, dst as u32, tag.0))
-            .or_insert(next);
-        if id == next {
-            self.channels.push(Channel::default());
+    /// The channel id for `(src, dst, tag)`, interned on first use.
+    /// Outside summary mode `chan_free` is always empty, so ids are
+    /// allocated densely in first-touch order exactly as before.
+    fn channel_id(&mut self, src: usize, dst: usize, tag: Tag) -> u32 {
+        let key = (src as u32, dst as u32, tag.0);
+        if let Some(&id) = self.chan_ids.get(&key) {
+            return id;
         }
-        &mut self.channels[id as usize]
+        let id = match self.chan_free.pop() {
+            Some(id) => id, // recycled slot; its queues drained before GC
+            None => {
+                self.channels.push(Channel::default());
+                (self.channels.len() - 1) as u32
+            }
+        };
+        self.chan_ids.insert(key, id);
+        id
+    }
+
+    /// Summary mode: drop a drained channel's interning entry so the
+    /// channel table tracks *live* channels, not every `(src, dst, tag)`
+    /// ever seen. Streamed collectives mint a fresh tag per instance —
+    /// without this the table grows O(instances × fan-out).
+    fn channel_gc(&mut self, src: usize, dst: usize, tag: Tag, id: u32) {
+        if !self.recycle {
+            return;
+        }
+        let ch = &self.channels[id as usize];
+        if ch.unmatched_msgs.is_empty() && ch.unmatched_reqs.is_empty() {
+            self.chan_ids.remove(&(src as u32, dst as u32, tag.0));
+            self.chan_free.push(id);
+        }
     }
 
     /// Precompiled match partner (packed `(rank << 32) | pc`) for the
@@ -684,7 +886,24 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
         if P::ENABLED && end > start {
             self.probe.on_state(rank, start, end, state);
         }
-        self.ranks[rank].timeline.push(start, end, state);
+        if self.recycle {
+            // summary mode: fold the interval into running totals
+            // instead of storing it (the only timeline consumer is the
+            // aggregate report)
+            if end > start {
+                let d = end - start;
+                let t = &mut self.sum_totals[rank];
+                match state {
+                    State::Compute => t.compute += d,
+                    State::WaitRecv => t.wait_recv += d,
+                    State::WaitSend => t.wait_send += d,
+                    State::Collective => t.collective += d,
+                    State::Done => {}
+                }
+            }
+        } else {
+            self.ranks[rank].timeline.push(start, end, state);
+        }
     }
 
     /// Whether `Flying { t1 }` carries an exact arrival time for `mid`.
@@ -759,21 +978,67 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
         self.finish()
     }
 
+    /// Summary-mode driver: same event loop as [`run`](Self::run), but
+    /// the epilogue reports aggregates instead of materializing
+    /// per-message/per-interval artifacts (which recycling already
+    /// destroyed).
+    fn run_scale(mut self) -> Result<ScaleReport, SimError> {
+        debug_assert!(self.recycle, "run_scale requires summary mode");
+        self.begin();
+        while let Some((t, ev)) = self.queue.pop() {
+            self.dispatch(t, ev)?;
+        }
+        self.finish_scale()
+    }
+
+    fn finish_scale(mut self) -> Result<ScaleReport, SimError> {
+        self.check_stuck()?;
+        let runtime = self.final_runtime();
+        let mut totals = StateTotals::default();
+        for t in &self.sum_totals {
+            totals.compute += t.compute;
+            totals.wait_recv += t.wait_recv;
+            totals.wait_send += t.wait_send;
+            totals.collective += t.collective;
+        }
+        Ok(ScaleReport {
+            nranks: self.ranks.len(),
+            runtime,
+            events_processed: self.queue.processed(),
+            queue_peak: self.queue.peak(),
+            transfers: self.transfers_total,
+            records_streamed: self.supply.records_fetched(),
+            records_peak: self.supply.records_peak(),
+            msg_slots: self.msgs.len(),
+            req_slots: self.recv_reqs.len(),
+            chan_slots: self.channels.len(),
+            totals,
+        })
+    }
+
     /// Error out if any rank is still blocked after the queue drained.
-    fn check_stuck(&self) -> Result<(), SimError> {
-        let stuck: Vec<(usize, String)> = self
+    /// Takes `&mut self` because sizing a streamed rank's program for
+    /// the report drains its remaining cursor — harmless on this cold
+    /// path, where the replay is already dead.
+    fn check_stuck(&mut self) -> Result<(), SimError> {
+        let stuck_ranks: Vec<(usize, usize, Blocked)> = self
             .ranks
             .iter()
             .enumerate()
             .filter(|(_, rs)| rs.blocked != Blocked::Finished)
-            .map(|(r, rs)| {
+            .map(|(r, rs)| (r, rs.pc, rs.blocked))
+            .collect();
+        let stuck: Vec<(usize, String)> = stuck_ranks
+            .into_iter()
+            .map(|(r, pc, blocked)| {
+                let total = self.supply.total_len(r);
                 (
                     r,
                     format!(
                         "pc={} of {}: {}",
-                        rs.pc,
-                        self.trace.ranks[r].records.len(),
-                        self.blocked_detail(r, rs.blocked)
+                        pc,
+                        total,
+                        self.blocked_detail(r, blocked)
                     ),
                 )
             })
@@ -797,10 +1062,11 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
     /// [`SimResult`]. Shared verbatim by both drivers (the parallel one
     /// farms the per-rank/per-message pieces out to workers but goes
     /// through the same helpers).
-    fn finish(self) -> Result<SimResult, SimError> {
+    fn finish(mut self) -> Result<SimResult, SimError> {
         self.check_stuck()?;
         let runtime = self.final_runtime();
         if P::ENABLED {
+            self.probe.on_records_peak(self.supply.records_peak());
             self.probe.on_end(runtime, self.queue.peak());
         }
         let totals = self
@@ -938,7 +1204,7 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
         self.ranks[rank].blocked = Blocked::None;
         loop {
             let pc = self.ranks[rank].pc;
-            let Some(rec) = self.trace.ranks[rank].records.get(pc).copied() else {
+            let Some(rec) = self.supply.fetch(rank, pc) else {
                 self.ranks[rank].blocked = Blocked::Finished;
                 return Ok(());
             };
@@ -1042,15 +1308,27 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
         pc: usize,
         partner: u64,
     ) -> Result<usize, SimError> {
-        let idx = self.recv_reqs.len();
-        self.recv_reqs.push(RecvReq {
+        let fresh = RecvReq {
             rank,
             src,
             complete: None,
             consumed_at: None,
             msg: None,
-        });
-        self.recv_req_tags.push(tag);
+        };
+        // outside summary mode the freelist is empty and ids are dense
+        // posting order, exactly as before
+        let idx = match self.req_free.pop() {
+            Some(i) => {
+                self.recv_reqs[i] = fresh;
+                self.recv_req_tags[i] = tag;
+                i
+            }
+            None => {
+                self.recv_reqs.push(fresh);
+                self.recv_req_tags.push(tag);
+                self.recv_reqs.len() - 1
+            }
+        };
         let matched = if partner != u64::MAX {
             // Precompiled pairing: the partner send either executed
             // already (its slot holds the msg id — pair now, exactly
@@ -1064,8 +1342,10 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
                 None
             }
         } else {
-            let ch = self.channel(src, rank, tag);
+            let id = self.channel_id(src, rank, tag);
+            let ch = &mut self.channels[id as usize];
             if let Some(mid) = ch.unmatched_msgs.pop_front() {
+                self.channel_gc(src, rank, tag, id);
                 Some(mid)
             } else {
                 ch.unmatched_reqs.push_back(idx);
@@ -1104,8 +1384,7 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
         } else {
             Link::Wan
         };
-        let mid = self.msgs.len();
-        self.msgs.push(Msg {
+        let fresh = Msg {
             src,
             dst,
             tag,
@@ -1118,7 +1397,21 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
             paired: None,
             waiter: None,
             waiter_since: now,
-        });
+            send_done: false,
+        };
+        self.transfers_total += 1;
+        // outside summary mode the freelist is empty and message ids
+        // are dense initiation order, exactly as before
+        let mid = match self.msg_free.pop() {
+            Some(i) => {
+                self.msgs[i] = fresh;
+                i
+            }
+            None => {
+                self.msgs.push(fresh);
+                self.msgs.len() - 1
+            }
+        };
         if P::ENABLED {
             self.probe.on_send_posted(
                 mid,
@@ -1138,8 +1431,10 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
                 self.rec_slot[src][pc] = mid as u32;
             }
         } else {
-            let ch = self.channel(src, dst, tag);
+            let id = self.channel_id(src, dst, tag);
+            let ch = &mut self.channels[id as usize];
             if let Some(req) = ch.unmatched_reqs.pop_front() {
+                self.channel_gc(src, dst, tag, id);
                 self.pair(mid, req);
             } else {
                 ch.unmatched_msgs.push_back(mid);
@@ -1168,6 +1463,33 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
         // (grant attempted by the caller via try_start_all where needed)
     }
 
+    /// Summary mode: recycle a message slot (and its paired receive
+    /// request) once no live path can reference it again — delivered,
+    /// sender fully released, receiver consumed. Each condition is
+    /// reported by exactly one code path, and this is called from all
+    /// of them, so whichever fires last retires the slot. A no-op
+    /// outside summary mode and whenever any condition is still open
+    /// (retries harmlessly until the last one closes).
+    fn try_retire(&mut self, mid: usize) {
+        if !self.recycle {
+            return;
+        }
+        let m = &self.msgs[mid];
+        if !matches!(m.state, MsgState::Done { .. }) || !m.send_done || m.waiter.is_some() {
+            return;
+        }
+        let Some(req) = m.paired else { return };
+        if self.recv_reqs[req].consumed_at.is_none() {
+            return;
+        }
+        // scrub the links so a stale retire attempt on the freed slot
+        // (before reuse) sees no pairing and no-ops
+        self.msgs[mid].paired = None;
+        self.recv_reqs[req].msg = None;
+        self.msg_free.push(mid);
+        self.req_free.push(req);
+    }
+
     /// Record a receive request's completion time and unblock its owner
     /// if currently parked on it.
     fn complete_recv_req(&mut self, req: usize, t1: Time) {
@@ -1191,6 +1513,11 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
                 self.recv_reqs[req].consumed_at = Some(resume);
                 self.queue.push(resume, Event::Resume { rank: owner });
                 self.ranks[owner].blocked = Blocked::ResumeScheduled;
+            }
+        }
+        if self.recycle {
+            if let Some(mid) = self.recv_reqs[req].msg {
+                self.try_retire(mid);
             }
         }
     }
@@ -1282,6 +1609,9 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
                         self.queue.push(resume, Event::Resume { rank: w });
                         self.ranks[w].blocked = Blocked::ResumeScheduled;
                         self.msgs[mid].waiter = None;
+                        // the parked sender is scheduled and will never
+                        // look at this message again
+                        self.msgs[mid].send_done = true;
                     }
                 }
             }
@@ -1421,6 +1751,7 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
                 self.queue.push(resume, Event::Resume { rank: w });
                 self.ranks[w].blocked = Blocked::ResumeScheduled;
                 self.msgs[mid].waiter = None;
+                self.msgs[mid].send_done = true;
             }
         }
         if let Some(req) = self.msgs[mid].paired {
@@ -1464,6 +1795,7 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
                 self.complete_recv_req(req, t1);
             }
         }
+        self.try_retire(mid);
         Ok(())
     }
 
@@ -1483,6 +1815,11 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
         match known {
             Some(tc) if tc <= clock => {
                 self.recv_reqs[req].consumed_at = Some(clock);
+                if self.recycle {
+                    if let Some(mid) = self.recv_reqs[req].msg {
+                        self.try_retire(mid);
+                    }
+                }
                 Flow::Continue
             }
             Some(tc) => {
@@ -1496,6 +1833,11 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
                 self.recv_reqs[req].consumed_at = Some(tc);
                 self.queue.push(tc, Event::Resume { rank });
                 self.ranks[rank].blocked = Blocked::ResumeScheduled;
+                if self.recycle {
+                    if let Some(mid) = self.recv_reqs[req].msg {
+                        self.try_retire(mid);
+                    }
+                }
                 Flow::Yield
             }
             None => {
@@ -1523,7 +1865,11 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
             (MsgState::Flying { .. }, SendMode::Rendezvous) => None,
         };
         match release {
-            Some(tc) if tc <= clock => Flow::Continue,
+            Some(tc) if tc <= clock => {
+                self.msgs[mid].send_done = true;
+                self.try_retire(mid);
+                Flow::Continue
+            }
             Some(tc) => {
                 self.push_state(rank, clock, tc, state);
                 if P::ENABLED {
@@ -1536,6 +1882,8 @@ impl<'a, P: ProbeSink, Q: QueueLike> Engine<'a, P, Q> {
                 }
                 self.queue.push(tc, Event::Resume { rank });
                 self.ranks[rank].blocked = Blocked::ResumeScheduled;
+                self.msgs[mid].send_done = true;
+                self.try_retire(mid);
                 Flow::Yield
             }
             None => {

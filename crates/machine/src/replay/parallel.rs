@@ -70,7 +70,14 @@ pub(super) fn run<P: ProbeSink>(
     );
     let (dts, counts, pair_lut, rec_slot) = compile(trace, platform, workers);
     let n = trace.nranks();
-    let mut eng = Engine::new(trace, platform, flownet, faults, probe, LaneQueue::new(n));
+    let mut eng = Engine::new(
+        Supply::Slice(trace),
+        platform,
+        flownet,
+        faults,
+        probe,
+        LaneQueue::new(n),
+    );
     // The compile pass counted every record class, so the hot growth
     // sites can be sized once up front instead of doubling mid-replay.
     eng.msgs.reserve(counts.sends);
@@ -292,7 +299,7 @@ impl<'a, P: ProbeSink> Engine<'a, P, LaneQueue> {
         let mut run_start: Option<Time> = None;
         loop {
             let pc = self.ranks[rank].pc;
-            let Some(rec) = self.trace.ranks[rank].records.get(pc).copied() else {
+            let Some(rec) = self.supply.fetch(rank, pc) else {
                 if let Some(start) = run_start {
                     let end = self.ranks[rank].clock;
                     self.push_state(rank, start, end, State::Compute);
@@ -344,10 +351,11 @@ impl<'a, P: ProbeSink> Engine<'a, P, LaneQueue> {
     /// chunks reassembled in index order, and the order-sensitive
     /// `f64` network accumulation stays sequential, so the assembled
     /// [`SimResult`] is identical to the sequential epilogue's.
-    fn finish_parallel(self, workers: usize) -> Result<SimResult, SimError> {
+    fn finish_parallel(mut self, workers: usize) -> Result<SimResult, SimError> {
         self.check_stuck()?;
         let runtime = self.final_runtime();
         if P::ENABLED {
+            self.probe.on_records_peak(self.supply.records_peak());
             self.probe.on_end(runtime, self.queue.peak());
         }
         let network = self.network_stats();

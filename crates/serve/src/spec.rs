@@ -13,7 +13,6 @@ use crate::json::{self, Obj, Value};
 use ovlp_core::chunk::ChunkPolicy;
 use ovlp_core::presets::marenostrum_for;
 use ovlp_core::sweep::{SweepApp, SweepConfig, SweepGrid};
-use ovlp_instr::trace_app;
 use ovlp_machine::{ContentionModel, FaultSchedule, ReplayEngine};
 use ovlp_trace::Tag;
 
@@ -273,8 +272,8 @@ impl SweepSpec {
             }
         }
 
-        let run = trace_app(entry.app.as_ref(), self.ranks)
-            .map_err(|e| SpecError::Trace(e.to_string()))?;
+        entry.validate_ranks(self.ranks).map_err(usage)?;
+        let run = entry.trace_run(self.ranks).map_err(SpecError::Trace)?;
         let grid = SweepGrid {
             apps: vec![SweepApp::new(entry.name, run)],
             platforms: bandwidths

@@ -26,7 +26,9 @@
 pub mod access;
 pub mod access_text;
 pub mod ids;
+pub mod mlgen;
 pub mod record;
+pub mod source;
 pub mod stats;
 pub mod synth;
 pub mod text;
@@ -36,7 +38,9 @@ pub mod validate;
 
 pub use access::{AccessDb, ConsumptionLog, ProductionLog, RankAccessLog};
 pub use ids::{ChunkId, CollOp, Rank, ReqId, Tag, TransferId};
+pub use mlgen::{MlAllreduce, MlConfig};
 pub use record::{Marker, Record, SendMode};
+pub use source::{RankTiled, TraceSource};
 pub use stats::TraceStats;
 pub use trace::{RankTrace, Trace};
 pub use units::{Bytes, Instructions};

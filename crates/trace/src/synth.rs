@@ -354,6 +354,24 @@ pub fn tile(trace: &Trace, copies: u32) -> Trace {
     out
 }
 
+/// Weak-scale `trace` to `copies` disjoint rank blocks (the `--ranks`
+/// axis for synthetic apps).
+///
+/// Materialized equivalent of [`crate::source::RankTiled`]: block `b`
+/// replays the base program with point-to-point peers shifted into
+/// ranks `[b·n, (b+1)·n)`, while collectives keep their base root and
+/// become world-sized. The two must describe the same program — the
+/// streamed/materialized differential suite pins byte-identical replays
+/// across them.
+pub fn tile_ranks(trace: &Trace, copies: usize) -> Trace {
+    use crate::source::{RankTiled, TraceSource};
+    let mut out = RankTiled::new(trace.clone(), copies).materialize();
+    out.meta = trace.meta.clone();
+    out.meta
+        .insert("rank-tiles".to_string(), copies.to_string());
+    out
+}
+
 fn shift_ids(rec: Record, dreq: u64, dtr: u32) -> Record {
     let bump = |t: TransferId| TransferId {
         rank: t.rank,

@@ -19,7 +19,7 @@ fn main() {
     let entry = overlap_sim::apps::registry::by_name(&app_name)
         .unwrap_or_else(|| panic!("unknown app {app_name}"));
     let platform = overlap_sim::core::presets::marenostrum_for(entry.name);
-    let run = trace_app(entry.app.as_ref(), ranks).expect("tracing failed");
+    let run = entry.trace_run(ranks).expect("tracing failed");
 
     // 1. is restructuring worth it? (per-transfer diagnosis)
     println!("== {} on {} ranks ==\n", entry.name, ranks);

@@ -16,7 +16,7 @@ fn main() {
         .unwrap_or_else(|| panic!("unknown app {app_name}"));
     let platform = overlap_sim::core::presets::marenostrum_for(entry.name);
 
-    let run = trace_app(entry.app.as_ref(), entry.ranks).expect("tracing failed");
+    let run = entry.trace_run(entry.ranks).expect("tracing failed");
     let bundle = build_variants(&run, &ChunkPolicy::paper_default());
 
     println!(

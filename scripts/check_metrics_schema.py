@@ -172,6 +172,7 @@ def check(path):
         "reshares",
         "stale_popped",
         "queue_peak",
+        "records_peak",
         "max_in_flight",
         "faults_applied",
         "flows_rerouted",

@@ -10,10 +10,10 @@ use overlap_sim::core::patterns::{consumption_stats, production_stats};
 use overlap_sim::core::pipeline::{build_variants, VariantBundle};
 use overlap_sim::core::presets::marenostrum_for;
 use overlap_sim::core::report::{pct, table2a, table2b};
-use overlap_sim::instr::trace_app;
 use overlap_sim::machine::{
-    simulate, simulate_probed_with, simulate_with, ContentionModel, CritPathRecorder,
-    FaultSchedule, Platform, ReplayEngine, TeeSink, Time, WindowedRecorder,
+    replay_scale, simulate, simulate_probed_with, simulate_source_probed_with,
+    simulate_source_with, simulate_with, ContentionModel, CritPathRecorder, FaultSchedule,
+    Platform, ProbeSink, ReplayEngine, SimError, SimResult, TeeSink, Time, WindowedRecorder,
 };
 use overlap_sim::trace::text;
 use overlap_sim::viz::{gantt_comparison, link_heatmap_ascii, paraver, timeline_svg};
@@ -52,9 +52,15 @@ const COMMANDS: &[Cmd] = &[
     },
     Cmd {
         name: "simulate",
-        args: "<trace.trf> [bw] [buses] [--topology T] [--faults SPEC] [--metrics out.json] \
-               [--probe-window us] [--critpath] [--engine seq|par[:N]]",
-        about: "replay a trace file on a platform",
+        args: "<trace.trf|app> [bw] [buses] [--ranks N] [--stream] [--topology T] \
+               [--faults SPEC] [--metrics out.json] [--probe-window us] [--critpath] \
+               [--engine seq|par[:N]]",
+        about: "replay a trace file or pool app on a platform",
+    },
+    Cmd {
+        name: "scale",
+        args: "<app> <ranks> [bw] [buses]",
+        about: "streamed O(active-state) weak-scaling replay summary",
     },
     Cmd {
         name: "stats",
@@ -142,7 +148,12 @@ fn main() -> ExitCode {
     match strs.as_slice() {
         ["list"] => {
             for e in overlap_sim::apps::paper_pool() {
-                println!("{:<12} (default {} ranks)", e.name, e.ranks);
+                let kind = if e.is_generated() {
+                    "generated; weak-scales via --ranks / ovlp scale"
+                } else {
+                    "traced"
+                };
+                println!("{:<12} (default {} ranks, {kind})", e.name, e.ranks);
             }
             ExitCode::SUCCESS
         }
@@ -150,6 +161,7 @@ fn main() -> ExitCode {
         ["trace", app, ranks, outdir] => trace_cmd(app, ranks, outdir),
         ["transform", trf, acc] => transform_cmd(trf, acc),
         ["simulate", path, rest @ ..] => simulate_cmd(path, rest),
+        ["scale", app, ranks, rest @ ..] => scale_cmd(app, ranks, rest),
         ["stats", path] => stats_cmd(path),
         ["gantt", app, ranks] => gantt_cmd(app, ranks),
         ["waits", app, ranks] => waits_cmd(app, ranks),
@@ -207,7 +219,10 @@ fn prepare(
         .map_err(|e| CliError::Usage(format!("bad rank count: {e}")))?;
     let entry = overlap_sim::apps::registry::by_name(app_name)
         .ok_or_else(|| CliError::Usage(format!("unknown app `{app_name}` (try `ovlp list`)")))?;
-    let run = trace_app(entry.app.as_ref(), ranks).map_err(|e| CliError::Run(e.to_string()))?;
+    // Rank-count violations (odd counts on XOR apps, counts past the
+    // thread-per-rank cap) are the caller's mistake: exit 2, not 1.
+    entry.validate_ranks(ranks).map_err(CliError::Usage)?;
+    let run = entry.trace_run(ranks).map_err(CliError::Run)?;
     let bundle = build_variants(&run, &ChunkPolicy::paper_default());
     Ok((bundle, run, marenostrum_for(entry.name)))
 }
@@ -222,6 +237,35 @@ fn fail(msg: String) -> ExitCode {
 fn fail_usage(msg: String) -> ExitCode {
     eprintln!("error: {msg}");
     usage_error()
+}
+
+/// What `simulate` replays: a materialized trace (the classic path) or
+/// a lazily-streamed record supply (`--stream`, pool apps). Both feed
+/// the same engine and produce bit-identical results.
+enum SimInput<'a> {
+    Trace(&'a overlap_sim::trace::Trace),
+    Stream(&'a dyn overlap_sim::trace::TraceSource),
+}
+
+impl SimInput<'_> {
+    fn run(&self, platform: &Platform, engine: ReplayEngine) -> Result<SimResult, SimError> {
+        match self {
+            SimInput::Trace(t) => simulate_with(t, platform, engine),
+            SimInput::Stream(s) => simulate_source_with(*s, platform, engine),
+        }
+    }
+
+    fn run_probed<P: ProbeSink>(
+        &self,
+        platform: &Platform,
+        probe: &mut P,
+        engine: ReplayEngine,
+    ) -> Result<SimResult, SimError> {
+        match self {
+            SimInput::Trace(t) => simulate_probed_with(t, platform, probe, engine),
+            SimInput::Stream(s) => simulate_source_probed_with(*s, platform, probe, engine),
+        }
+    }
 }
 
 fn analyze(app: &str, ranks: &str) -> ExitCode {
@@ -373,9 +417,12 @@ fn chunks_cmd(app: &str, ranks: &str) -> ExitCode {
         Some(e) => e,
         None => return fail_usage(format!("unknown app `{app}`")),
     };
-    let run = match trace_app(entry.app.as_ref(), ranks_n) {
+    if let Err(e) = entry.validate_ranks(ranks_n) {
+        return fail_usage(e);
+    }
+    let run = match entry.trace_run(ranks_n) {
         Ok(r) => r,
-        Err(e) => return fail(e.to_string()),
+        Err(e) => return fail(e),
     };
     let platform = marenostrum_for(entry.name);
     match chunk_search(&run, &platform, &default_candidates()) {
@@ -426,14 +473,64 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
         Ok(v) => v,
         Err(e) => return fail_usage(e),
     };
-    let want_critpath = rest.contains(&"--critpath");
-    let content = match fs::read_to_string(path) {
-        Ok(c) => c,
-        Err(e) => return fail(format!("{path}: {e}")),
+    let ranks_flag = match parse_opt_flag::<usize>(rest, "--ranks") {
+        Ok(v) => v,
+        Err(e) => return fail_usage(e),
     };
-    let trace = match text::parse(&content) {
-        Ok(t) => t,
-        Err(e) => return fail(e.to_string()),
+    let want_critpath = rest.contains(&"--critpath");
+    let stream = rest.contains(&"--stream");
+    if stream && matches!(engine, ReplayEngine::Parallel { .. }) {
+        return fail_usage(
+            "--stream drives the sequential engine (the parallel compile pass \
+             materializes the whole trace); drop --engine par"
+                .to_string(),
+        );
+    }
+    // The positional either names a trace file on disk or a pool app
+    // (`ovlp list`); files win when both exist.
+    let entry = overlap_sim::apps::registry::by_name(path);
+    let is_file = Path::new(path).exists();
+    let mut owned_trace = None;
+    let mut owned_source: Option<Box<dyn overlap_sim::trace::TraceSource>> = None;
+    if let (false, Some(entry)) = (is_file, &entry) {
+        let ranks = ranks_flag.unwrap_or(entry.ranks);
+        if let Err(e) = entry.validate_ranks(ranks) {
+            return fail_usage(e);
+        }
+        if stream {
+            match entry.source(ranks) {
+                Ok(s) => owned_source = Some(s),
+                Err(e) => return fail(e),
+            }
+        } else {
+            match entry.trace_run(ranks) {
+                Ok(run) => owned_trace = Some(run.trace),
+                Err(e) => return fail(e),
+            }
+        }
+    } else {
+        if ranks_flag.is_some() {
+            return fail_usage(format!(
+                "--ranks applies to pool apps, but `{path}` is a trace file \
+                 (rank count comes from the trace)"
+            ));
+        }
+        let content = match fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => return fail(format!("{path}: {e}")),
+        };
+        match text::parse(&content) {
+            Ok(t) => owned_trace = Some(t),
+            Err(e) => return fail(e.to_string()),
+        }
+    }
+    let input = match (&owned_trace, &owned_source) {
+        // a trace file under --stream exercises the lazy supply too
+        // (collectives expand on demand); results are bit-identical
+        (Some(t), _) if stream => SimInput::Stream(t),
+        (Some(t), _) => SimInput::Trace(t),
+        (_, Some(s)) => SimInput::Stream(s.as_ref()),
+        (None, None) => unreachable!("one input arm always fills"),
     };
     // Positional args are what remains once the flag pairs are stripped.
     let mut pos: Vec<&str> = Vec::new();
@@ -441,18 +538,24 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
     for a in rest {
         if skip {
             skip = false;
-        } else if *a == "--critpath" {
-            // boolean flag, no value to strip
+        } else if matches!(*a, "--critpath" | "--stream") {
+            // boolean flags, no value to strip
         } else if matches!(
             *a,
-            "--topology" | "--faults" | "--metrics" | "--probe-window" | "--engine"
+            "--topology" | "--faults" | "--metrics" | "--probe-window" | "--engine" | "--ranks"
         ) {
             skip = true;
         } else {
             pos.push(a);
         }
     }
-    let mut platform = Platform::default().with_contention(topology);
+    // Pool apps start from their calibrated Table I platform; trace
+    // files keep the historical default platform.
+    let base = match (&entry, is_file) {
+        (Some(e), false) => marenostrum_for(e.name),
+        _ => Platform::default(),
+    };
+    let mut platform = base.with_contention(topology);
     if let Some(f) = faults {
         platform = platform.with_faults(f);
     }
@@ -481,7 +584,7 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
             None => {
                 // auto window: 1/256 of this trace's runtime, measured
                 // by an extra (cheap, deterministic) unprobed replay
-                let base = match simulate_with(&trace, &platform, engine) {
+                let base = match input.run(&platform, engine) {
                     Ok(r) => r,
                     Err(e) => return fail(e.to_string()),
                 };
@@ -492,27 +595,27 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
         None
     };
     let (r, metrics, critpath) = match (window, want_critpath) {
-        (None, false) => match simulate_with(&trace, &platform, engine) {
+        (None, false) => match input.run(&platform, engine) {
             Ok(r) => (r, None, None),
             Err(e) => return fail(e.to_string()),
         },
         (Some(w), false) => {
             let mut rec = WindowedRecorder::new(w);
-            match simulate_probed_with(&trace, &platform, &mut rec, engine) {
+            match input.run_probed(&platform, &mut rec, engine) {
                 Ok(r) => (r, Some(rec.into_metrics()), None),
                 Err(e) => return fail(e.to_string()),
             }
         }
         (None, true) => {
             let mut rec = CritPathRecorder::new();
-            match simulate_probed_with(&trace, &platform, &mut rec, engine) {
+            match input.run_probed(&platform, &mut rec, engine) {
                 Ok(r) => (r, None, Some(rec.into_critpath())),
                 Err(e) => return fail(e.to_string()),
             }
         }
         (Some(w), true) => {
             let mut tee = TeeSink(WindowedRecorder::new(w), CritPathRecorder::new());
-            match simulate_probed_with(&trace, &platform, &mut tee, engine) {
+            match input.run_probed(&platform, &mut tee, engine) {
                 Ok(r) => {
                     let TeeSink(windowed, crit) = tee;
                     (r, Some(windowed.into_metrics()), Some(crit.into_critpath()))
@@ -558,7 +661,7 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
         let e = &m.engine;
         println!(
             "probe: {} windows of {:.1}us; events resume {} / transfer {} / flow {} / fault {}; \
-             reshares {}; queue peak {}; in-flight peak {}",
+             reshares {}; queue peak {}; records peak {}; in-flight peak {}",
             m.windows,
             m.window_s * 1e6,
             e.events_by_kind[0],
@@ -567,6 +670,7 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
             e.events_by_kind[3],
             e.reshares,
             e.queue_peak,
+            e.records_peak,
             e.max_in_flight
         );
         let heat = link_heatmap_ascii(m, 100, r.runtime, 12);
@@ -588,6 +692,70 @@ fn simulate_cmd(path: &str, rest: &[&str]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `ovlp scale`: streamed summary-mode replay for weak-scaling studies.
+/// Memory stays O(active ranks + in-flight traffic), so generated apps
+/// run at 100k–1M ranks where `simulate` would exhaust the machine.
+fn scale_cmd(app: &str, ranks: &str, rest: &[&str]) -> ExitCode {
+    let ranks_n: usize = match ranks.parse() {
+        Ok(n) => n,
+        Err(e) => return fail_usage(format!("bad rank count: {e}")),
+    };
+    let entry = match overlap_sim::apps::registry::by_name(app) {
+        Some(e) => e,
+        None => return fail_usage(format!("unknown app `{app}` (try `ovlp list`)")),
+    };
+    if let Err(e) = entry.validate_ranks(ranks_n) {
+        return fail_usage(e);
+    }
+    let mut platform = marenostrum_for(entry.name);
+    if let Some(bw) = rest.first() {
+        match bw.parse() {
+            Ok(v) => platform.bandwidth_mbs = v,
+            Err(e) => return fail_usage(format!("bad bandwidth: {e}")),
+        }
+    }
+    if let Some(buses) = rest.get(1) {
+        match buses.parse() {
+            Ok(v) => platform.buses = v,
+            Err(e) => return fail_usage(format!("bad bus count: {e}")),
+        }
+    }
+    let source = match entry.source(ranks_n) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    match replay_scale(source.as_ref(), &platform) {
+        Ok(rep) => {
+            println!(
+                "runtime {:.6}s  ({} ranks, {} events, efficiency {:.1}%)",
+                rep.runtime.as_secs(),
+                rep.nranks,
+                rep.events_processed,
+                100.0 * rep.efficiency()
+            );
+            println!(
+                "transfers {}  records streamed {}",
+                rep.transfers, rep.records_streamed
+            );
+            println!(
+                "high-water marks: records resident {}  queue {}  msg slots {}  \
+                 req slots {}  chan slots {}",
+                rep.records_peak, rep.queue_peak, rep.msg_slots, rep.req_slots, rep.chan_slots
+            );
+            println!(
+                "state totals: compute {:.3}s  wait-recv {:.3}s  wait-send {:.3}s  \
+                 collective {:.3}s",
+                rep.totals.compute.as_secs(),
+                rep.totals.wait_recv.as_secs(),
+                rep.totals.wait_send.as_secs(),
+                rep.totals.collective.as_secs()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e.to_string()),
+    }
 }
 
 /// Probe window for commands without an explicit `--probe-window`:

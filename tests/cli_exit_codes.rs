@@ -75,6 +75,46 @@ fn usage_and_parse_errors_exit_two() {
 }
 
 #[test]
+fn rank_overrides_are_validated_as_usage_errors() {
+    // untileable rank counts are the caller's mistake, caught before
+    // any tracing or streaming work starts: exit 2, never a panic
+    assert_usage_error(&["analyze", "nas-cg", "5"], "even");
+    assert_usage_error(&["chunks", "specfem3d", "7"], "even");
+    assert_usage_error(&["analyze", "pop", "1"], "at least 2");
+    assert_usage_error(&["analyze", "pop", "5000"], "cap");
+    assert_usage_error(&["sweep", "nas-cg", "5", "--chunks", "1"], "even");
+    assert_usage_error(&["scale", "ml-allreduce", "100001"], "multiple");
+    assert_usage_error(&["scale", "no-such-app", "64"], "unknown app");
+    assert_usage_error(&["scale", "ml-allreduce", "sixty-four"], "bad rank count");
+    assert_usage_error(
+        &["simulate", "ml-allreduce", "--ranks", "100001"],
+        "multiple",
+    );
+    assert_usage_error(
+        &["simulate", "ml-allreduce", "--stream", "--engine", "par:4"],
+        "--stream",
+    );
+}
+
+#[test]
+fn streamed_simulate_and_scale_succeed() {
+    let out = ovlp(&["scale", "ml-allreduce", "64"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("records resident"), "{stdout}");
+
+    let streamed = ovlp(&["simulate", "ml-allreduce", "--ranks", "16", "--stream"]);
+    assert_eq!(streamed.status.code(), Some(0), "{streamed:?}");
+    let classic = ovlp(&["simulate", "ml-allreduce", "--ranks", "16"]);
+    assert_eq!(classic.status.code(), Some(0), "{classic:?}");
+    assert_eq!(
+        String::from_utf8(streamed.stdout).unwrap(),
+        String::from_utf8(classic.stdout).unwrap(),
+        "streamed and materialized CLI output must be identical"
+    );
+}
+
+#[test]
 fn runtime_failures_exit_one() {
     // Well-formed invocations that fail while running: missing input
     // file, unreadable trace content, unwritable store directory.

@@ -88,7 +88,7 @@ fn full_pipeline_for_every_app() {
 #[test]
 fn paper_speedup_invariant_at_experiment_scale() {
     for entry in overlap_sim::apps::paper_pool() {
-        let run = trace_app(entry.app.as_ref(), entry.ranks).unwrap();
+        let run = entry.trace_run(entry.ranks).unwrap();
         let bundle = build_variants(&run, &ChunkPolicy::paper_default());
         let platform = marenostrum_for(entry.name);
         let orig = simulate(&bundle.original, &platform).unwrap();

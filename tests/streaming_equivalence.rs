@@ -1,0 +1,200 @@
+//! Bit-identity of the streamed record supply against the materialized
+//! path.
+//!
+//! The lazy `TraceSource` supply (per-rank cursors, on-demand
+//! collective expansion) is pure memory work: `simulate_source_with`
+//! must produce exactly the same replay — every timestamp, timeline,
+//! transfer, network statistic, and engine counter — as `simulate_with`
+//! on the materialized trace, on every topology and engine, with and
+//! without fault schedules. Any divergence is a correctness bug in the
+//! streaming path, never an acceptable tolerance. `render_exact`
+//! round-trips every float, so string equality is bit equality.
+
+use overlap_sim::machine::{
+    render_exact, replay_scale, simulate_source_with, simulate_with, Platform, ReplayEngine,
+    Topology,
+};
+use overlap_sim::trace::mlgen::{MlAllreduce, MlConfig};
+use overlap_sim::trace::{synth, text, Trace, TraceSource};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> Trace {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let content = std::fs::read_to_string(&path).unwrap();
+    text::parse(&content).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+fn engines() -> Vec<(String, ReplayEngine)> {
+    std::iter::once(("seq".to_string(), ReplayEngine::Sequential))
+        .chain(
+            [1usize, 2, 4, 8]
+                .into_iter()
+                .map(|w| (format!("par:{w}"), ReplayEngine::Parallel { workers: w })),
+        )
+        .collect()
+}
+
+fn topologies(nranks: usize) -> Vec<(&'static str, Topology)> {
+    let torus = match nranks {
+        4 => Topology::Torus { dims: vec![2, 2] },
+        8 => Topology::Torus {
+            dims: vec![2, 2, 2],
+        },
+        n => Topology::Torus {
+            dims: vec![2, n.div_ceil(2) as u32],
+        },
+    };
+    vec![
+        ("crossbar", Topology::Crossbar),
+        (
+            "fat-tree:4",
+            Topology::FatTree {
+                radix: 4,
+                oversubscription: 1,
+            },
+        ),
+        ("torus", torus),
+    ]
+}
+
+/// Streamed supply vs materialized slice on one (trace, platform):
+/// byte-identical rendering or bust.
+fn assert_stream_identity(label: &str, trace: &Trace, platform: &Platform, engine: ReplayEngine) {
+    let materialized = simulate_with(trace, platform, engine);
+    let streamed = simulate_source_with(trace, platform, engine);
+    assert_eq!(
+        render_exact(&streamed),
+        render_exact(&materialized),
+        "{label}: streamed replay diverged from the materialized path"
+    );
+}
+
+#[test]
+fn streamed_matches_materialized_on_fixtures() {
+    for name in ["sweep3d_4r.trf", "nas_cg_8r.trf"] {
+        let trace = fixture(name);
+        for (eng_name, engine) in engines() {
+            // bus model first — the weak-scaling configuration
+            assert_stream_identity(
+                &format!("{name}/bus/{eng_name}"),
+                &trace,
+                &Platform::default(),
+                engine,
+            );
+            for (topo_name, topo) in topologies(trace.nranks()) {
+                let platform = Platform::default().with_topology(topo);
+                assert_stream_identity(
+                    &format!("{name}/{topo_name}/{eng_name}"),
+                    &trace,
+                    &platform,
+                    engine,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn streamed_matches_materialized_on_synth_seeds() {
+    // seeded generator output covers collectives, non-blocking rings,
+    // chains, and chunked exchanges the goldens don't
+    for seed in 0..10u64 {
+        let trace = synth::generate(seed);
+        for engine in [
+            ReplayEngine::Sequential,
+            ReplayEngine::Parallel { workers: 4 },
+        ] {
+            assert_stream_identity(
+                &format!("synth-{seed}/bus"),
+                &trace,
+                &Platform::default(),
+                engine,
+            );
+            let crossbar = Platform::default().with_topology(Topology::Crossbar);
+            assert_stream_identity(&format!("synth-{seed}/crossbar"), &trace, &crossbar, engine);
+        }
+    }
+}
+
+#[test]
+fn streamed_matches_materialized_on_tiled_traces() {
+    // rank-tiled copies exercise the supply's per-rank cursors well
+    // past the base trace's width
+    let tiled = synth::tile_ranks(&synth::generate(7), 8);
+    for engine in [
+        ReplayEngine::Sequential,
+        ReplayEngine::Parallel { workers: 8 },
+    ] {
+        assert_stream_identity("tiled/bus", &tiled, &Platform::default(), engine);
+    }
+}
+
+#[test]
+fn streamed_matches_materialized_under_faults() {
+    let trace = fixture("nas_cg_8r.trf");
+    let schedule: overlap_sim::machine::FaultSchedule =
+        "degrade=0.5@1ms:n0->sw;restore@3ms:n0->sw".parse().unwrap();
+    let platform = Platform::default()
+        .with_topology(Topology::Crossbar)
+        .with_faults(schedule);
+    for (eng_name, engine) in engines() {
+        assert_stream_identity(&format!("faults/{eng_name}"), &trace, &platform, engine);
+    }
+}
+
+#[test]
+fn generated_workload_stream_equals_its_materialization() {
+    // the ML workload both ways: records pulled lazily from the
+    // generator vs the same generator materialized up front
+    let cfg = MlConfig::new(16, 0x6d6c_6172).unwrap();
+    let source = MlAllreduce::new(cfg);
+    let trace = source.materialize();
+    for (eng_name, engine) in engines() {
+        let from_source =
+            overlap_sim::machine::simulate_source_with(&source, &Platform::marenostrum(0), engine);
+        let from_trace = simulate_with(&trace, &Platform::marenostrum(0), engine);
+        assert_eq!(
+            render_exact(&from_source),
+            render_exact(&from_trace),
+            "ml-allreduce/{eng_name}: generator stream diverged from its materialization"
+        );
+    }
+}
+
+#[test]
+fn scale_replay_cross_checks_full_fidelity_stream() {
+    // summary mode recycles engine state; runtime and event count must
+    // still be bit-identical to the full-fidelity streamed replay
+    let cfg = MlConfig::new(64, 0x6d6c_6172).unwrap();
+    let source = MlAllreduce::new(cfg);
+    let platform = Platform::marenostrum(0);
+    let full = simulate_source_with(&source, &platform, ReplayEngine::Sequential).unwrap();
+    let scale = replay_scale(&source, &platform).unwrap();
+    assert_eq!(scale.nranks, 64);
+    assert_eq!(scale.runtime, full.runtime, "summary-mode runtime drifted");
+    assert_eq!(scale.events_processed, full.events_processed);
+    assert!(
+        scale.records_peak < scale.records_streamed,
+        "streaming kept every record resident ({} of {})",
+        scale.records_peak,
+        scale.records_streamed
+    );
+    // summary mode refuses flow topologies instead of approximating them
+    let flowed = Platform::marenostrum(0).with_topology(Topology::Crossbar);
+    assert!(replay_scale(&source, &flowed).is_err());
+}
+
+#[test]
+fn registry_rank_override_streams_identically() {
+    // the CLI's `--ranks` path end to end: registry source at a
+    // non-default rank count vs its materialization
+    let entry = overlap_sim::apps::registry::by_name("ml-allreduce").unwrap();
+    let source = entry.source(24).unwrap();
+    let run = entry.trace_run(24).unwrap();
+    let platform = Platform::marenostrum(0);
+    let streamed = simulate_source_with(source.as_ref(), &platform, ReplayEngine::Sequential);
+    let materialized = simulate_with(&run.trace, &platform, ReplayEngine::Sequential);
+    assert_eq!(render_exact(&streamed), render_exact(&materialized));
+}
