@@ -23,6 +23,8 @@
 //! canonical byte encodings (`f64::to_bits`, sorted access-log keys),
 //! never over pointer identity or iteration order of hash maps.
 
+pub mod chaos;
+pub mod guard;
 pub mod scheduler;
 pub mod store;
 
@@ -34,7 +36,7 @@ use ovlp_machine::{Platform, ReplayEngine, Time};
 use ovlp_trace::record::SendMode;
 use ovlp_trace::text;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -329,7 +331,52 @@ impl PointResult {
 #[derive(Debug, Clone, PartialEq)]
 pub struct PointError {
     pub point: SweepPoint,
+    /// Failure classification; wire-stable names via [`FailKind::name`].
+    pub kind: FailKind,
     pub message: String,
+}
+
+/// Why a grid point failed. The classification decides retryability
+/// (only transient failures — panics and timeouts — are worth another
+/// attempt; deterministic failures would fail identically) and is
+/// carried on the wire so clients can tell a poisoned spec from an
+/// unlucky worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailKind {
+    /// `Platform::check` rejected the platform.
+    Platform,
+    /// Building the variant bundle failed.
+    Transform,
+    /// The replay itself reported an error.
+    Sim,
+    /// The point computation panicked.
+    Panic,
+    /// The attempt exceeded its wall-clock deadline.
+    Timeout,
+    /// The point was quarantined after repeated transient failures.
+    Quarantined,
+    /// The owning job was cancelled before this point ran.
+    Cancelled,
+}
+
+impl FailKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            FailKind::Platform => "platform",
+            FailKind::Transform => "transform",
+            FailKind::Sim => "sim",
+            FailKind::Panic => "panic",
+            FailKind::Timeout => "timeout",
+            FailKind::Quarantined => "quarantined",
+            FailKind::Cancelled => "cancelled",
+        }
+    }
+
+    /// Only transient failures are retried under a
+    /// [`guard::PointGuard`]; everything else is deterministic.
+    pub fn retryable(self) -> bool {
+        matches!(self, FailKind::Panic | FailKind::Timeout)
+    }
 }
 
 /// What one grid point produced.
@@ -602,6 +649,17 @@ pub struct SweepConfig {
     /// [`ReplayEngine::Parallel`] parallelizes *inside* each replay
     /// (useful for grids of few, large points).
     pub engine: ReplayEngine,
+    /// Failure isolation: retry/backoff, per-attempt deadline, and
+    /// quarantine (see [`guard::PointGuard`]). `None` — the batch-CLI
+    /// default — evaluates each point exactly once with no watchdog.
+    /// Never changes a successful point's bytes.
+    pub guard: Option<Arc<guard::PointGuard>>,
+    /// Cooperative cancellation: once this flag is set, points that
+    /// have not started yet short-circuit to
+    /// [`FailKind::Cancelled`] errors instead of simulating (points
+    /// already in flight finish normally). The sweep still returns a
+    /// full report covering every slot.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Default for SweepConfig {
@@ -619,6 +677,8 @@ impl SweepConfig {
             probe_window_us: None,
             critpath: false,
             engine: ReplayEngine::Sequential,
+            guard: None,
+            cancel: None,
         }
     }
 
@@ -919,15 +979,19 @@ pub fn sweep_observed(
         config.jobs,
         config.queue_depth,
         |i, point| {
-            let outcome = evaluate_point(
-                grid,
-                &point,
-                bundle_for(&point),
-                cache,
-                config.probe_window_us,
-                config.critpath,
-                config.engine,
-            );
+            let cancelled = config
+                .cancel
+                .as_ref()
+                .is_some_and(|c| c.load(Ordering::SeqCst));
+            let outcome = if cancelled {
+                Err(PointError {
+                    point,
+                    kind: FailKind::Cancelled,
+                    message: "job cancelled before this point ran".to_string(),
+                })
+            } else {
+                evaluate_point(grid, &point, i, bundle_for(&point), cache, config)
+            };
             observe(i, &outcome);
             outcome
         },
@@ -937,12 +1001,16 @@ pub fn sweep_observed(
     .enumerate()
     .map(|(i, (slot, &point))| match slot {
         Ok(outcome) => outcome,
-        // A panic that escaped evaluate_point (it has no
-        // catch_unwind of its own): report it on the point. The
-        // observer never heard about this point from a worker, so
-        // tell it here.
+        // A panic that escaped evaluate_point (possible only outside
+        // the per-attempt catch_unwind, e.g. in cache claiming):
+        // report it on the point. The observer never heard about this
+        // point from a worker, so tell it here.
         Err(message) => {
-            let outcome = Err(PointError { point, message });
+            let outcome = Err(PointError {
+                point,
+                kind: FailKind::Panic,
+                message,
+            });
             observe(i, &outcome);
             outcome
         }
@@ -958,30 +1026,38 @@ pub fn sweep_observed(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn evaluate_point(
     grid: &SweepGrid,
     point: &SweepPoint,
+    index: usize,
     bundle: &Result<Arc<VariantBundle>, String>,
     cache: &SweepCache,
-    probe_window_us: Option<f64>,
-    critpath: bool,
-    engine: ReplayEngine,
+    config: &SweepConfig,
 ) -> PointOutcome {
     let app = &grid.apps[point.app];
     let platform = &grid.platforms[point.platform];
     let policy = &grid.policies[point.policy];
-    let fail = |message: String| PointError {
+    let fail = |kind: FailKind, message: String| PointError {
         point: *point,
+        kind,
         message,
     };
 
     let key = point_key(app.fingerprint(), platform, policy);
+    if let Some(guard) = config.guard.as_deref() {
+        if guard.is_quarantined(key) {
+            guard.note_rejection();
+            return Err(fail(
+                FailKind::Quarantined,
+                "quarantined after repeated failures".to_string(),
+            ));
+        }
+    }
     // Probed and critpath points bypass the store both ways (stored
     // results carry no metrics or paths, observing results are not
     // stored) and never join an in-flight computation — the probe must
     // observe its own replay.
-    let claim = if probe_window_us.is_none() && !critpath {
+    let mut claim = if config.probe_window_us.is_none() && !config.critpath {
         match cache.claim(key) {
             Claim::Hit(mut hit) => {
                 // The store keeps content-keyed results; re-stamp the
@@ -999,12 +1075,98 @@ fn evaluate_point(
 
     platform
         .check()
-        .map_err(|e| fail(format!("invalid platform: {e}")))?;
+        .map_err(|e| fail(FailKind::Platform, format!("invalid platform: {e}")))?;
     let bundle = bundle
         .as_ref()
-        .map_err(|e| fail(format!("transform failed: {e}")))?;
+        .map_err(|e| fail(FailKind::Transform, format!("transform failed: {e}")))?;
 
-    let simfail = |e: ovlp_machine::SimError| fail(format!("simulation failed: {e}"));
+    let (max_attempts, deadline) = match config.guard.as_deref() {
+        Some(g) => (g.policy().max_attempts.max(1), g.policy().deadline),
+        None => (1, None),
+    };
+    let mut attempt: u32 = 1;
+    loop {
+        let action = config
+            .guard
+            .as_deref()
+            .and_then(|g| g.chaos())
+            .and_then(|c| c.point_action(index, attempt));
+        match run_attempt(
+            bundle,
+            platform,
+            config.probe_window_us,
+            config.critpath,
+            config.engine,
+            action,
+            deadline,
+        ) {
+            Ok(sim) => {
+                let result = PointResult {
+                    point: *point,
+                    key,
+                    app: app.name.clone(),
+                    t_original: sim.t_original,
+                    t_overlapped: sim.t_overlapped,
+                    t_ideal: sim.t_ideal,
+                    metrics: sim.metrics,
+                    critpaths: sim.critpaths,
+                };
+                if let Some(claim) = claim.take() {
+                    claim.fulfill(&result);
+                }
+                return Ok(result);
+            }
+            Err((kind, message)) => {
+                let Some(guard) = config.guard.as_deref() else {
+                    return Err(fail(kind, message));
+                };
+                match kind {
+                    FailKind::Panic => guard.note_panic(),
+                    FailKind::Timeout => guard.note_timeout(),
+                    _ => {}
+                }
+                if !kind.retryable() {
+                    return Err(fail(kind, message));
+                }
+                if attempt < max_attempts {
+                    guard.note_retry();
+                    std::thread::sleep(guard.policy().backoff(attempt));
+                    attempt += 1;
+                    continue;
+                }
+                guard.quarantine(key);
+                return Err(fail(
+                    FailKind::Quarantined,
+                    format!("quarantined after {attempt} attempts: {message}"),
+                ));
+            }
+        }
+    }
+    // The claim, if still held here, is dropped unfulfilled on every
+    // error return above, which abandons the in-flight entry and lets
+    // a waiter re-claim the key.
+}
+
+/// The pure numeric outcome of one simulated point — everything a
+/// [`PointResult`] carries beyond its grid position.
+struct SimNumbers {
+    t_original: f64,
+    t_overlapped: f64,
+    t_ideal: f64,
+    metrics: Option<Arc<VariantMetrics>>,
+    critpaths: Option<Arc<VariantCritPaths>>,
+}
+
+/// Run the three-variant replay for one point. Pure: no cache, no
+/// claim, no grid bookkeeping — safe to run on a watchdog thread.
+fn simulate_point(
+    bundle: &VariantBundle,
+    platform: &Platform,
+    probe_window_us: Option<f64>,
+    critpath: bool,
+    engine: ReplayEngine,
+) -> Result<SimNumbers, String> {
+    let simfail = |e: ovlp_machine::SimError| e.to_string();
     let (sim, metrics, critpaths) = match (probe_window_us, critpath) {
         (None, false) => (
             crate::experiments::speedup::run_variants_with(bundle, platform, engine)
@@ -1039,20 +1201,80 @@ fn evaluate_point(
             (sim, Some(Arc::new(m)), Some(Arc::new(c)))
         }
     };
-    let result = PointResult {
-        point: *point,
-        key,
-        app: app.name.clone(),
+    Ok(SimNumbers {
         t_original: sim.original.runtime(),
         t_overlapped: sim.overlapped.runtime(),
         t_ideal: sim.ideal.runtime(),
         metrics,
         critpaths,
+    })
+}
+
+/// One isolated attempt at a point: chaos action (if armed), then the
+/// replay, under `catch_unwind` and — when `deadline` is set — a
+/// wall-clock watchdog on a detached thread. The watchdog cannot kill
+/// a runaway computation, only stop waiting for it: an overrunning
+/// attempt is abandoned and its eventual result sent into a closed
+/// channel.
+fn run_attempt(
+    bundle: &Arc<VariantBundle>,
+    platform: &Platform,
+    probe_window_us: Option<f64>,
+    critpath: bool,
+    engine: ReplayEngine,
+    action: Option<chaos::ChaosAction>,
+    deadline: Option<Duration>,
+) -> Result<SimNumbers, (FailKind, String)> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let work = {
+        let bundle = Arc::clone(bundle);
+        let platform = platform.clone();
+        move || {
+            match action {
+                Some(chaos::ChaosAction::Panic) => panic!("chaos: injected point panic"),
+                Some(chaos::ChaosAction::Stall(pause)) => std::thread::sleep(pause),
+                None => {}
+            }
+            simulate_point(&bundle, &platform, probe_window_us, critpath, engine)
+        }
     };
-    if let Some(claim) = claim {
-        claim.fulfill(&result);
+    let settle = |outcome: Result<Result<SimNumbers, String>, String>| match outcome {
+        Ok(Ok(sim)) => Ok(sim),
+        Ok(Err(e)) => Err((FailKind::Sim, format!("simulation failed: {e}"))),
+        Err(msg) => Err((FailKind::Panic, format!("point panicked: {msg}"))),
+    };
+    match deadline {
+        None => settle(catch_unwind(AssertUnwindSafe(work)).map_err(panic_message)),
+        Some(limit) => {
+            let (tx, rx) = std::sync::mpsc::sync_channel(1);
+            std::thread::Builder::new()
+                .name("ovlp-point-attempt".to_string())
+                .spawn(move || {
+                    let _ = tx.send(catch_unwind(AssertUnwindSafe(work)).map_err(panic_message));
+                })
+                .expect("spawn point-attempt thread");
+            match rx.recv_timeout(limit) {
+                Ok(outcome) => settle(outcome),
+                Err(_) => Err((
+                    FailKind::Timeout,
+                    format!(
+                        "point exceeded the {}ms per-attempt deadline",
+                        limit.as_millis()
+                    ),
+                )),
+            }
+        }
     }
-    Ok(result)
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
 }
 
 #[cfg(test)]

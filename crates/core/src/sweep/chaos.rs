@@ -1,0 +1,196 @@
+//! Deterministic fault injection for the sweep engine (test-only).
+//!
+//! A [`ChaosPolicy`] describes faults to inject while a sweep runs:
+//! chosen grid points panic or stall on their first N attempts, and the
+//! persistent store fails its first N reads or writes. Policies are
+//! parsed from a compact spec string — the daemon reads it from the
+//! `OVLP_CHAOS` environment variable, tests construct it directly — so
+//! the production code path carries nothing beyond a `None` check.
+//!
+//! Every fault is a pure function of `(point index, attempt number)` or
+//! of a global operation counter, never of timing, so a chaos run is as
+//! reproducible as a clean one. That is what lets the differential
+//! suite assert that retried/degraded runs produce **byte-identical**
+//! results.
+//!
+//! Grammar: `;`-separated rules.
+//!
+//! * `panic@I` / `panic@I:N` — grid point `I` panics on its first `N`
+//!   attempts (default 1), succeeding from attempt `N+1` on;
+//! * `stall=MS@I` / `stall=MS@I:N` — point `I` sleeps `MS` milliseconds
+//!   before simulating, on its first `N` attempts (drive this past the
+//!   per-attempt deadline to exercise the watchdog);
+//! * `store-read-fail=N` — the first `N` store reads behave like
+//!   corrupt entries (counted, recomputed);
+//! * `store-write-fail=N` — the first `N` store writes return an I/O
+//!   error (the sweep degrades to the in-memory tier).
+
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// What an afflicted point does before (or instead of) simulating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Panic inside the point computation.
+    Panic,
+    /// Sleep this long before simulating (exceed a deadline with it).
+    Stall(Duration),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PointRule {
+    index: usize,
+    attempts: u32,
+    action: ChaosAction,
+}
+
+/// A parsed fault-injection policy. Shared by the point guard (panic /
+/// stall rules) and the disk store (read / write faults), so one spec
+/// string drives the whole failure scenario.
+#[derive(Debug, Default)]
+pub struct ChaosPolicy {
+    rules: Vec<PointRule>,
+    read_fails: u64,
+    write_fails: u64,
+    reads_seen: AtomicU64,
+    writes_seen: AtomicU64,
+}
+
+impl ChaosPolicy {
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty() && self.read_fails == 0 && self.write_fails == 0
+    }
+
+    /// The fault to inject into attempt `attempt` (1-based) of grid
+    /// point `index`, if any rule matches.
+    pub fn point_action(&self, index: usize, attempt: u32) -> Option<ChaosAction> {
+        self.rules
+            .iter()
+            .find(|r| r.index == index && attempt <= r.attempts)
+            .map(|r| r.action)
+    }
+
+    /// Whether this store read (counted across the policy's lifetime)
+    /// should fail verification.
+    pub fn fail_store_read(&self) -> bool {
+        self.read_fails > 0 && self.reads_seen.fetch_add(1, Ordering::Relaxed) < self.read_fails
+    }
+
+    /// Whether this store write should return an I/O error.
+    pub fn fail_store_write(&self) -> bool {
+        self.write_fails > 0 && self.writes_seen.fetch_add(1, Ordering::Relaxed) < self.write_fails
+    }
+}
+
+impl FromStr for ChaosPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ChaosPolicy, String> {
+        let mut policy = ChaosPolicy::default();
+        for rule in s.split(';').map(str::trim).filter(|r| !r.is_empty()) {
+            if let Some(rest) = rule.strip_prefix("panic@") {
+                let (index, attempts) = index_attempts(rest)?;
+                policy.rules.push(PointRule {
+                    index,
+                    attempts,
+                    action: ChaosAction::Panic,
+                });
+            } else if let Some(rest) = rule.strip_prefix("stall=") {
+                let (ms, target) = rest
+                    .split_once('@')
+                    .ok_or_else(|| format!("bad chaos rule `{rule}`: want `stall=MS@INDEX`"))?;
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|_| format!("bad chaos stall duration `{ms}`"))?;
+                let (index, attempts) = index_attempts(target)?;
+                policy.rules.push(PointRule {
+                    index,
+                    attempts,
+                    action: ChaosAction::Stall(Duration::from_millis(ms)),
+                });
+            } else if let Some(n) = rule.strip_prefix("store-read-fail=") {
+                policy.read_fails = n
+                    .parse()
+                    .map_err(|_| format!("bad chaos read-fail count `{n}`"))?;
+            } else if let Some(n) = rule.strip_prefix("store-write-fail=") {
+                policy.write_fails = n
+                    .parse()
+                    .map_err(|_| format!("bad chaos write-fail count `{n}`"))?;
+            } else {
+                return Err(format!("unknown chaos rule `{rule}`"));
+            }
+        }
+        Ok(policy)
+    }
+}
+
+/// Parse `INDEX` or `INDEX:ATTEMPTS`.
+fn index_attempts(s: &str) -> Result<(usize, u32), String> {
+    let (index, attempts) = match s.split_once(':') {
+        Some((i, n)) => (
+            i,
+            n.parse()
+                .map_err(|_| format!("bad chaos attempt count `{n}`"))?,
+        ),
+        None => (s, 1),
+    };
+    let index = index
+        .parse()
+        .map_err(|_| format!("bad chaos point index `{index}`"))?;
+    Ok((index, attempts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_grammar() {
+        let p: ChaosPolicy = "panic@3; stall=250@7:2; store-read-fail=4; store-write-fail=1"
+            .parse()
+            .unwrap();
+        assert_eq!(p.point_action(3, 1), Some(ChaosAction::Panic));
+        assert_eq!(p.point_action(3, 2), None, "default is first attempt only");
+        assert_eq!(
+            p.point_action(7, 2),
+            Some(ChaosAction::Stall(Duration::from_millis(250)))
+        );
+        assert_eq!(p.point_action(7, 3), None);
+        assert_eq!(p.point_action(0, 1), None);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn store_faults_fire_exactly_n_times() {
+        let p: ChaosPolicy = "store-read-fail=2;store-write-fail=1".parse().unwrap();
+        assert!(p.fail_store_read());
+        assert!(p.fail_store_read());
+        assert!(!p.fail_store_read());
+        assert!(p.fail_store_write());
+        assert!(!p.fail_store_write());
+    }
+
+    #[test]
+    fn empty_policy_injects_nothing() {
+        let p: ChaosPolicy = "".parse().unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.point_action(0, 1), None);
+        assert!(!p.fail_store_read());
+        assert!(!p.fail_store_write());
+    }
+
+    #[test]
+    fn rejects_malformed_rules() {
+        for bad in [
+            "explode@1",
+            "panic@x",
+            "panic@1:y",
+            "stall=fast@1",
+            "stall=10",
+            "store-read-fail=lots",
+        ] {
+            assert!(bad.parse::<ChaosPolicy>().is_err(), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Point-level isolation: deadline, deterministic retry/backoff, and
+//! quarantine for sweep points.
+//!
+//! A [`PointGuard`] attached to a
+//! [`SweepConfig`](super::SweepConfig::guard) changes how a grid point
+//! is allowed to fail, not what it computes:
+//!
+//! * every attempt runs under `catch_unwind`, so a panicking point is a
+//!   structured [`PointError`](super::PointError) instead of a dead
+//!   worker;
+//! * with a [`RetryPolicy::deadline`], each attempt runs under a
+//!   wall-clock watchdog — an attempt that overruns is abandoned and
+//!   counted as a timeout (the runaway computation finishes into a
+//!   closed channel; the watchdog cannot kill it, only stop waiting);
+//! * transient failures (panics, timeouts) are retried up to
+//!   [`RetryPolicy::max_attempts`] times with deterministic exponential
+//!   backoff; deterministic failures (invalid platform, transform or
+//!   simulation errors) are never retried — they would fail identically;
+//! * a point that exhausts its attempts is **quarantined** by its
+//!   content key: subsequent evaluations of the same point fail fast
+//!   instead of burning worker time, so one poisoned spec cannot starve
+//!   the pool.
+//!
+//! The guard never changes a successful result: a point that succeeds
+//! on any attempt produces exactly the bytes an unguarded run would.
+
+use super::chaos::ChaosPolicy;
+use super::PointKey;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How often, how long, and how patiently a point may fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per point (>= 1), counting the first.
+    pub max_attempts: u32,
+    /// Base of the exponential backoff between attempts.
+    pub backoff_base: Duration,
+    /// Wall-clock budget per attempt; `None` disables the watchdog.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(25),
+            deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Deterministic backoff after failed attempt `attempt` (1-based):
+    /// `backoff_base << (attempt - 1)`, capped at 2 seconds.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        (self.backoff_base * factor).min(Duration::from_secs(2))
+    }
+}
+
+/// Counter snapshot of a [`PointGuard`] since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardStats {
+    /// Attempts re-run after a transient failure.
+    pub retries: u64,
+    /// Panics caught inside point computations.
+    pub panics: u64,
+    /// Attempts abandoned at the per-attempt deadline.
+    pub timeouts: u64,
+    /// Distinct point keys quarantined after exhausting their attempts.
+    pub quarantined: u64,
+    /// Evaluations rejected because their key was already quarantined.
+    pub quarantine_rejections: u64,
+}
+
+/// Shared failure-isolation state for a daemon (or sweep). All methods
+/// take `&self`; share it across sweeps with an `Arc`.
+#[derive(Debug, Default)]
+pub struct PointGuard {
+    policy: RetryPolicy,
+    chaos: Option<Arc<ChaosPolicy>>,
+    quarantined: Mutex<HashSet<PointKey>>,
+    retries: AtomicU64,
+    panics: AtomicU64,
+    timeouts: AtomicU64,
+    quarantined_total: AtomicU64,
+    rejections: AtomicU64,
+}
+
+impl PointGuard {
+    pub fn new(policy: RetryPolicy) -> PointGuard {
+        PointGuard {
+            policy,
+            ..PointGuard::default()
+        }
+    }
+
+    /// Arm fault injection: chaos point rules apply to every guarded
+    /// evaluation (store faults are armed separately, on the store).
+    pub fn with_chaos(mut self, chaos: Arc<ChaosPolicy>) -> PointGuard {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    pub fn chaos(&self) -> Option<&ChaosPolicy> {
+        self.chaos.as_deref()
+    }
+
+    pub fn is_quarantined(&self, key: PointKey) -> bool {
+        lock_ok(&self.quarantined).contains(&key)
+    }
+
+    /// Quarantine `key`; counted once per distinct key.
+    pub fn quarantine(&self, key: PointKey) {
+        if lock_ok(&self.quarantined).insert(key) {
+            self.quarantined_total.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn note_rejection(&self) {
+        self.rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn note_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn note_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn note_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn stats(&self) -> GuardStats {
+        GuardStats {
+            retries: self.retries.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            quarantined: self.quarantined_total.load(Ordering::Relaxed),
+            quarantine_rejections: self.rejections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn lock_ok<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            backoff_base: Duration::from_millis(10),
+            deadline: None,
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(40));
+        assert_eq!(p.backoff(60), Duration::from_secs(2), "capped");
+    }
+
+    #[test]
+    fn quarantine_counts_distinct_keys_once() {
+        let g = PointGuard::new(RetryPolicy::default());
+        assert!(!g.is_quarantined(PointKey(1)));
+        g.quarantine(PointKey(1));
+        g.quarantine(PointKey(1));
+        g.quarantine(PointKey(2));
+        assert!(g.is_quarantined(PointKey(1)));
+        assert!(g.is_quarantined(PointKey(2)));
+        assert!(!g.is_quarantined(PointKey(3)));
+        assert_eq!(g.stats().quarantined, 2);
+    }
+}

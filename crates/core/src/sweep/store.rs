@@ -25,12 +25,14 @@
 //! Layout: `<root>/<first 2 hex digits of key>/<16 hex digits>.point`,
 //! with temp files named `.<key>.<pid>.<seq>.tmp` alongside.
 
+use super::chaos::ChaosPolicy;
 use super::PointKey;
 use crate::sweep::Fnv;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Magic first line of every store entry; bump on any format change so
 /// old entries read as corrupt (and are recomputed) instead of being
@@ -109,6 +111,9 @@ pub struct DiskStats {
     pub bytes_read: u64,
     /// Bytes written (including replaced entries).
     pub bytes_written: u64,
+    /// Orphaned temp files from dead writers deleted when this store
+    /// was opened.
+    pub orphans_removed: u64,
 }
 
 /// On-disk, cross-process tier of the sweep result store. All methods
@@ -121,6 +126,8 @@ pub struct DiskStore {
     corrupt: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    orphans_removed: u64,
+    chaos: Mutex<Option<Arc<ChaosPolicy>>>,
 }
 
 /// Temp-file sequence, process-wide: two store handles on the same
@@ -129,10 +136,14 @@ pub struct DiskStore {
 static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl DiskStore {
-    /// Open (creating if necessary) a store rooted at `dir`.
+    /// Open (creating if necessary) a store rooted at `dir`. Opening
+    /// sweeps out temp files orphaned by crashed writers — a `.tmp`
+    /// whose embedded pid is no longer alive can never be renamed into
+    /// place and would otherwise accumulate forever.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<DiskStore> {
         let root = dir.into();
         fs::create_dir_all(&root)?;
+        let orphans_removed = sweep_orphans(&root);
         Ok(DiskStore {
             root,
             hits: AtomicU64::new(0),
@@ -140,7 +151,31 @@ impl DiskStore {
             corrupt: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
+            orphans_removed,
+            chaos: Mutex::new(None),
         })
+    }
+
+    /// Arm store fault injection (test-only; see
+    /// [`ChaosPolicy`](super::chaos::ChaosPolicy)).
+    pub fn set_chaos(&self, chaos: Arc<ChaosPolicy>) {
+        *self.chaos.lock().unwrap_or_else(|e| e.into_inner()) = Some(chaos);
+    }
+
+    fn chaos_read_fails(&self) -> bool {
+        self.chaos
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .is_some_and(|c| c.fail_store_read())
+    }
+
+    fn chaos_write_fails(&self) -> bool {
+        self.chaos
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .is_some_and(|c| c.fail_store_write())
     }
 
     pub fn root(&self) -> &Path {
@@ -157,6 +192,11 @@ impl DiskStore {
     /// unparseable content — is a miss; corruption is counted but the
     /// entry is left in place for the next `put` to overwrite.
     pub fn get(&self, key: PointKey) -> Option<StoredPoint> {
+        if self.chaos_read_fails() {
+            // Injected fault: behave exactly like a corrupt entry.
+            self.corrupt.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         let path = self.entry_path(key);
         let content = match fs::read_to_string(&path) {
             Ok(c) => c,
@@ -187,6 +227,9 @@ impl DiskStore {
     /// Concurrent writers of the same key are safe — the rename is
     /// atomic and every writer produces identical bytes.
     pub fn put(&self, key: PointKey, point: &StoredPoint) -> io::Result<()> {
+        if self.chaos_write_fails() {
+            return Err(io::Error::other("chaos: injected store write failure"));
+        }
         let path = self.entry_path(key);
         let dir = path.parent().expect("entry path always has a parent");
         fs::create_dir_all(dir)?;
@@ -236,8 +279,60 @@ impl DiskStore {
             corrupt: self.corrupt.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            orphans_removed: self.orphans_removed,
         }
     }
+}
+
+/// Delete temp files whose writer is dead; returns how many went.
+/// Recurses so temps are found whichever shard they were left in.
+fn sweep_orphans(root: &Path) -> u64 {
+    let Ok(entries) = fs::read_dir(root) else {
+        return 0;
+    };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            removed += sweep_orphans(&path);
+        } else if is_dead_tmp(&path) && fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+/// A `.<key>.<pid>.<seq>.tmp` file whose pid is not alive. Temps from
+/// live processes (a concurrent store handle mid-`put`) are left alone.
+fn is_dead_tmp(path: &Path) -> bool {
+    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+        return false;
+    };
+    if !name.starts_with('.') || !name.ends_with(".tmp") {
+        return false;
+    }
+    let parts: Vec<&str> = name.split('.').collect();
+    // ["", key, pid, seq, "tmp"] — require the exact shape so we never
+    // delete a file the store did not name.
+    if parts.len() != 5 {
+        return false;
+    }
+    let pid = parts[2];
+    if pid.parse::<u32>().is_err() {
+        return false;
+    }
+    !pid_alive(pid)
+}
+
+#[cfg(target_os = "linux")]
+fn pid_alive(pid: &str) -> bool {
+    Path::new("/proc").join(pid).exists()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pid_alive(_pid: &str) -> bool {
+    // Without a portable liveness probe, leave temps alone.
+    true
 }
 
 #[cfg(test)]
@@ -309,6 +404,54 @@ mod tests {
         assert_eq!(store.stats().corrupt, 1);
         store.put(key, &sample()).unwrap();
         assert_eq!(store.get(key), Some(sample()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_dead_writer_temps_and_counts_them() {
+        let dir = tmpdir("orphans");
+        // Seed a store with one entry, then fake crash debris.
+        {
+            let store = DiskStore::open(&dir).unwrap();
+            store.put(PointKey(7), &sample()).unwrap();
+        }
+        let shard = dir.join("00");
+        fs::create_dir_all(&shard).unwrap();
+        // pid 4000000000 is above the kernel's pid ceiling — never alive
+        let dead1 = shard.join(".00000000deadbeef.4000000000.0.tmp");
+        let dead2 = dir.join(".00000000deadbeef.4000000001.3.tmp");
+        fs::write(&dead1, "half-written").unwrap();
+        fs::write(&dead2, "half-written").unwrap();
+        // a temp owned by a live pid (ours) must survive
+        let live = shard.join(format!(".00000000deadbeef.{}.9.tmp", std::process::id()));
+        fs::write(&live, "in flight").unwrap();
+        // a dotfile that is not a store temp must survive too
+        let stranger = shard.join(".gitignore");
+        fs::write(&stranger, "*").unwrap();
+
+        let store = DiskStore::open(&dir).unwrap();
+        assert_eq!(store.stats().orphans_removed, 2);
+        assert!(!dead1.exists() && !dead2.exists());
+        assert!(live.exists() && stranger.exists());
+        assert_eq!(store.get(PointKey(7)), Some(sample()), "entries untouched");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_faults_degrade_reads_and_writes() {
+        let dir = tmpdir("chaos");
+        let store = DiskStore::open(&dir).unwrap();
+        let key = PointKey(11);
+        store.put(key, &sample()).unwrap();
+        store.set_chaos(Arc::new(
+            "store-read-fail=1;store-write-fail=1".parse().unwrap(),
+        ));
+        assert_eq!(store.get(key), None, "injected read fault");
+        assert_eq!(store.stats().corrupt, 1);
+        assert!(store.put(key, &sample()).is_err(), "injected write fault");
+        // faults are bounded: the store heals afterwards
+        assert_eq!(store.get(key), Some(sample()));
+        store.put(key, &sample()).unwrap();
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -129,12 +129,30 @@ pub fn respond(
     content_type: &str,
     body: &str,
 ) -> io::Result<()> {
-    write!(
-        stream,
-        "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+    respond_with(stream, code, content_type, &[], body)
+}
+
+/// Like [`respond`], with extra response headers (e.g. `Retry-After`
+/// on a draining daemon's 503).
+pub fn respond_with(
+    stream: &mut TcpStream,
+    code: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         status_text(code),
         body.len(),
-    )?;
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    write!(stream, "{head}Connection: close\r\n\r\n{body}")?;
     stream.flush()
 }
 

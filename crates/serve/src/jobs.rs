@@ -14,12 +14,14 @@
 //! and identical points of *concurrently running* jobs coalesce onto a
 //! single in-flight computation.
 
+use crate::journal::{JobEnd, Journal};
 use crate::json::{Obj, Value};
 use crate::spec::{SpecError, SweepSpec};
+use ovlp_core::sweep::guard::PointGuard;
 use ovlp_core::sweep::{sweep_observed, PointOutcome, SweepCache, SweepGrid};
 use ovlp_machine::Blame;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -87,11 +89,36 @@ pub struct Job {
     points: usize,
     state: Mutex<JobState>,
     progress: Condvar,
+    /// Shared with the sweep via [`SweepConfig::cancel`]: once set,
+    /// uncomputed points short-circuit to `FailKind::Cancelled` and the
+    /// job drains its slot quickly.
+    cancel: Arc<AtomicBool>,
+    /// Streaming readers currently attached to this job.
+    readers: AtomicUsize,
 }
 
 impl Job {
     pub fn points(&self) -> usize {
         self.points
+    }
+
+    /// Ask the running sweep to stop computing points it has not
+    /// started. Already-computed points stay recorded (and stored).
+    pub fn request_cancel(&self) {
+        self.cancel.store(true, Ordering::SeqCst);
+    }
+
+    pub fn cancelled(&self) -> bool {
+        self.cancel.load(Ordering::SeqCst)
+    }
+
+    pub fn reader_attached(&self) {
+        self.readers.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Detach one streaming reader; returns how many remain.
+    pub fn reader_detached(&self) -> usize {
+        self.readers.fetch_sub(1, Ordering::SeqCst) - 1
     }
 
     fn record(&self, index: usize, outcome: &PointOutcome) {
@@ -153,6 +180,7 @@ impl Job {
         o.set("ok", Value::Num(ok as f64));
         o.set("failed", Value::Num(failed as f64));
         o.set("done", Value::Bool(state.report.is_some()));
+        o.set("cancelled", Value::Bool(self.cancelled()));
         if let Some((hits, misses, coalesced)) = state.cache_delta {
             o.set("store_hits", Value::Num(hits as f64));
             o.set("store_misses", Value::Num(misses as f64));
@@ -215,6 +243,7 @@ pub fn point_line(index: usize, outcome: &PointOutcome) -> String {
         Err(e) => {
             o.set("platform", Value::Num(e.point.platform as f64));
             o.set("policy", Value::Num(e.point.policy as f64));
+            o.set("kind", Value::str(e.kind.name()));
             o.set("error", Value::str(&e.message));
         }
     }
@@ -245,6 +274,13 @@ pub struct DaemonMetrics {
     pub points_completed: AtomicU64,
     pub connections_admitted: AtomicU64,
     pub connections_rejected: AtomicU64,
+    /// Live gauge of connections currently holding a handler thread.
+    pub connections_active: AtomicU64,
+    pub jobs_cancelled: AtomicU64,
+    pub jobs_resumed: AtomicU64,
+    pub journal_points_replayed: AtomicU64,
+    pub client_disconnects: AtomicU64,
+    pub jobs_rejected_draining: AtomicU64,
 }
 
 /// The daemon's job table: submission, lookup, bounded execution.
@@ -255,6 +291,9 @@ pub struct Registry {
     next_id: AtomicU64,
     gate: Arc<Gate>,
     metrics: Arc<DaemonMetrics>,
+    guard: Arc<PointGuard>,
+    journal: Option<Arc<Journal>>,
+    draining: AtomicBool,
 }
 
 impl Registry {
@@ -268,7 +307,24 @@ impl Registry {
             next_id: AtomicU64::new(1),
             gate: Arc::new(Gate::new(max_running)),
             metrics: Arc::new(DaemonMetrics::default()),
+            guard: Arc::new(PointGuard::default()),
+            journal: None,
+            draining: AtomicBool::new(false),
         }
+    }
+
+    /// Replace the default point guard (retry/deadline/quarantine
+    /// policy, optionally chaos-armed).
+    pub fn with_guard(mut self, guard: Arc<PointGuard>) -> Registry {
+        self.guard = guard;
+        self
+    }
+
+    /// Attach a write-ahead journal; submissions and per-point progress
+    /// are recorded, enabling [`Registry::recover`] after a restart.
+    pub fn with_journal(mut self, journal: Journal) -> Registry {
+        self.journal = Some(Arc::new(journal));
+        self
     }
 
     pub fn cache(&self) -> &Arc<SweepCache> {
@@ -277,6 +333,31 @@ impl Registry {
 
     pub fn metrics(&self) -> &Arc<DaemonMetrics> {
         &self.metrics
+    }
+
+    pub fn guard(&self) -> &Arc<PointGuard> {
+        &self.guard
+    }
+
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
+    }
+
+    /// Stop admitting jobs; existing jobs keep running to completion.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Jobs that have not finished their grid yet.
+    pub fn unfinished(&self) -> usize {
+        lock_ok(&self.jobs)
+            .values()
+            .filter(|j| !j.is_done())
+            .count()
     }
 
     pub fn get(&self, id: &str) -> Option<Arc<Job>> {
@@ -291,10 +372,55 @@ impl Registry {
     /// Validate, register, and start (or queue) a job. Returns the job
     /// immediately — results stream as they complete.
     pub fn submit(&self, spec: SweepSpec) -> Result<Arc<Job>, SpecError> {
+        self.register(spec, None)
+    }
+
+    /// Re-register journaled jobs that never ended. Completed points
+    /// replay from the store (byte-identical by the determinism
+    /// contract), so a resumed job only computes what the crashed run
+    /// missed. Ended jobs are left at rest: their results remain
+    /// store-served, but the job objects are not re-materialized.
+    /// Returns `(jobs resumed, journaled points replayed)`.
+    pub fn recover(&self) -> (u64, u64) {
+        let Some(journal) = &self.journal else {
+            return (0, 0);
+        };
+        let journaled = journal.scan().unwrap_or_default();
+        // Never reissue an id that a journaled job already owns.
+        let max_id = journaled
+            .iter()
+            .filter_map(|j| j.id.strip_prefix('j').and_then(|n| n.parse::<u64>().ok()))
+            .max()
+            .unwrap_or(0);
+        self.next_id.fetch_max(max_id + 1, Ordering::Relaxed);
+        let (mut resumed, mut replayed) = (0u64, 0u64);
+        for job in journaled {
+            if job.end.is_some() {
+                continue;
+            }
+            replayed += job.done.len() as u64;
+            if self.register(job.spec, Some(job.id)).is_ok() {
+                resumed += 1;
+            }
+        }
+        self.metrics
+            .jobs_resumed
+            .fetch_add(resumed, Ordering::Relaxed);
+        self.metrics
+            .journal_points_replayed
+            .fetch_add(replayed, Ordering::Relaxed);
+        (resumed, replayed)
+    }
+
+    fn register(&self, spec: SweepSpec, resume_id: Option<String>) -> Result<Arc<Job>, SpecError> {
         // Build eagerly so malformed jobs are rejected at submission
         // (HTTP 400) instead of surfacing asynchronously.
-        let (grid, config) = spec.build()?;
-        let id = format!("j{}", self.next_id.fetch_add(1, Ordering::Relaxed));
+        let (grid, mut config) = spec.build()?;
+        let cancel = Arc::new(AtomicBool::new(false));
+        config.guard = Some(Arc::clone(&self.guard));
+        config.cancel = Some(Arc::clone(&cancel));
+        let id = resume_id
+            .unwrap_or_else(|| format!("j{}", self.next_id.fetch_add(1, Ordering::Relaxed)));
         let job = Arc::new(Job {
             id: id.clone(),
             spec,
@@ -304,7 +430,14 @@ impl Registry {
                 ..JobState::default()
             }),
             progress: Condvar::new(),
+            cancel,
+            readers: AtomicUsize::new(0),
         });
+        if let Some(journal) = &self.journal {
+            // Best-effort: a journal write failure degrades crash
+            // recovery, never the job itself.
+            let _ = journal.record_submit(&id, &job.spec, job.points);
+        }
         lock_ok(&self.jobs).insert(id.clone(), Arc::clone(&job));
         lock_ok(&self.order).push(id);
         self.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
@@ -312,8 +445,9 @@ impl Registry {
         let cache = Arc::clone(&self.cache);
         let gate = Arc::clone(&self.gate);
         let metrics = Arc::clone(&self.metrics);
+        let journal = self.journal.clone();
         let runner = Arc::clone(&job);
-        std::thread::spawn(move || run_job(runner, grid, config, cache, gate, metrics));
+        std::thread::spawn(move || run_job(runner, grid, config, cache, gate, metrics, journal));
         Ok(job)
     }
 }
@@ -325,6 +459,7 @@ fn run_job(
     cache: Arc<SweepCache>,
     gate: Arc<Gate>,
     metrics: Arc<DaemonMetrics>,
+    journal: Option<Arc<Journal>>,
 ) {
     gate.acquire();
     metrics.jobs_running.fetch_add(1, Ordering::Relaxed);
@@ -333,10 +468,29 @@ fn run_job(
     let report = sweep_observed(&grid, &config, &cache, &|i, outcome| {
         job.record(i, outcome);
         metrics.points_completed.fetch_add(1, Ordering::Relaxed);
+        if outcome.is_ok() {
+            // Journal *after* the store write (inside the sweep), so a
+            // journaled point is always durable.
+            if let Some(journal) = &journal {
+                let _ = journal.record_point(&job.id, i);
+            }
+        }
     });
     let (hits1, misses1) = cache.stats();
     let coalesced1 = cache.coalesced();
     let rendered = report.render_full(&grid);
+    // Seal the journal and counters *before* publishing the report:
+    // anyone woken by `done` (summaries, drains, tests) then sees the
+    // final state, and a crash after this line resumes as a no-op.
+    let end = if job.cancelled() {
+        metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+        JobEnd::Cancelled
+    } else {
+        JobEnd::Complete
+    };
+    if let Some(journal) = &journal {
+        let _ = journal.record_end(&job.id, end);
+    }
     {
         let mut state = lock_ok(&job.state);
         state.cache_delta = Some((hits1 - hits0, misses1 - misses0, coalesced1 - coalesced0));

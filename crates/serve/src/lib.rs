@@ -25,10 +25,12 @@
 
 pub mod http;
 pub mod jobs;
+pub mod journal;
 pub mod json;
 pub mod server;
 pub mod spec;
 
 pub use jobs::{Job, Registry};
+pub use journal::Journal;
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use spec::{SpecError, SweepSpec};

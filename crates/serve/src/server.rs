@@ -18,21 +18,27 @@
 //! are served at once (excess connections get an immediate 503 rather
 //! than an unbounded thread pile-up).
 
-use crate::http::{read_request, respond, BadRequest, ChunkedWriter, Request};
+use crate::http::{read_request, respond, respond_with, BadRequest, ChunkedWriter, Request};
 use crate::jobs::{done_line, point_line, DaemonMetrics, Registry};
+use crate::journal::Journal;
 use crate::json::{Obj, Value};
 use crate::spec::{SpecError, SweepSpec};
+use ovlp_core::sweep::chaos::ChaosPolicy;
+use ovlp_core::sweep::guard::{PointGuard, RetryPolicy};
 use ovlp_core::sweep::SweepCache;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Wire schema of the submission response.
 pub const ACCEPTED_SCHEMA: &str = "ovlp.sweep-accepted.v1";
 /// Wire schema of the store stats document.
 pub const STORE_STATS_SCHEMA: &str = "ovlp.store-stats.v1";
+/// Wire schema of the health document.
+pub const HEALTH_SCHEMA: &str = "ovlp.health.v1";
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -47,6 +53,18 @@ pub struct ServeConfig {
     pub max_running: usize,
     /// Concurrent HTTP connections (excess gets 503).
     pub max_connections: usize,
+    /// Wall-clock budget per point attempt; `None` disables the
+    /// watchdog.
+    pub point_deadline: Option<Duration>,
+    /// Attempts per point (>= 1) before quarantine.
+    pub max_attempts: u32,
+    /// Base of the exponential retry backoff.
+    pub backoff_ms: u64,
+    /// How long a drain may take before the daemon exits anyway.
+    pub drain_grace: Duration,
+    /// Fault-injection spec (see [`ChaosPolicy`]); parsed at bind.
+    /// Test-only — the CLI populates it from `OVLP_CHAOS`.
+    pub chaos: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +74,11 @@ impl Default for ServeConfig {
             store_dir: None,
             max_running: 2,
             max_connections: 32,
+            point_deadline: Some(Duration::from_secs(30)),
+            max_attempts: 3,
+            backoff_ms: 25,
+            drain_grace: Duration::from_secs(20),
+            chaos: None,
         }
     }
 }
@@ -68,11 +91,12 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
 }
 
-/// Cloneable handle that can stop a running [`Server`].
+/// Cloneable handle that can stop (or drain) a running [`Server`].
 #[derive(Clone)]
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    registry: Arc<Registry>,
 }
 
 impl ServerHandle {
@@ -81,18 +105,65 @@ impl ServerHandle {
         // Nudge the accept loop so it observes the flag.
         let _ = TcpStream::connect(self.addr);
     }
+
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Graceful drain: stop admitting jobs (POST gets 503 +
+    /// `Retry-After`), wait — up to `grace` — for running sweeps to
+    /// finish and streaming clients to detach, then stop the accept
+    /// loop. In-flight points persist to the store and journal as they
+    /// complete, so anything the grace period cuts off resumes on the
+    /// next start.
+    pub fn drain(&self, grace: Duration) {
+        self.registry.begin_drain();
+        let deadline = Instant::now() + grace;
+        let metrics = self.registry.metrics();
+        while Instant::now() < deadline
+            && (self.registry.unfinished() > 0
+                || metrics.connections_active.load(Ordering::SeqCst) > 0)
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.shutdown();
+    }
 }
 
 impl Server {
     pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let chaos = match &config.chaos {
+            Some(spec) => Some(Arc::new(spec.parse::<ChaosPolicy>().map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidInput, format!("bad chaos spec: {e}"))
+            })?)),
+            None => None,
+        };
         let cache = match &config.store_dir {
             Some(dir) => SweepCache::persistent(dir)?,
             None => SweepCache::new(),
         };
+        if let (Some(chaos), Some(disk)) = (&chaos, cache.disk()) {
+            disk.set_chaos(Arc::clone(chaos));
+        }
+        let mut guard = PointGuard::new(RetryPolicy {
+            max_attempts: config.max_attempts.max(1),
+            backoff_base: Duration::from_millis(config.backoff_ms),
+            deadline: config.point_deadline,
+        });
+        if let Some(chaos) = &chaos {
+            guard = guard.with_chaos(Arc::clone(chaos));
+        }
+        let mut registry =
+            Registry::new(Arc::new(cache), config.max_running).with_guard(Arc::new(guard));
+        if let Some(dir) = &config.store_dir {
+            registry = registry.with_journal(Journal::open(dir.join("journal"))?);
+        }
+        let registry = Arc::new(registry);
+        registry.recover();
         let listener = TcpListener::bind(&config.addr)?;
         Ok(Server {
             listener,
-            registry: Arc::new(Registry::new(Arc::new(cache), config.max_running)),
+            registry,
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
         })
@@ -106,6 +177,7 @@ impl Server {
         Ok(ServerHandle {
             addr: self.local_addr()?,
             shutdown: Arc::clone(&self.shutdown),
+            registry: Arc::clone(&self.registry),
         })
     }
 
@@ -117,17 +189,16 @@ impl Server {
     /// connection is one request on its own thread, admission-limited
     /// by `max_connections`.
     pub fn run(self) -> io::Result<()> {
-        let active = Arc::new(AtomicUsize::new(0));
         for stream in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
             }
             let Ok(mut stream) = stream else { continue };
-            if active.load(Ordering::SeqCst) >= self.config.max_connections {
-                self.registry
-                    .metrics()
-                    .connections_rejected
-                    .fetch_add(1, Ordering::Relaxed);
+            let metrics = self.registry.metrics();
+            if metrics.connections_active.load(Ordering::SeqCst)
+                >= self.config.max_connections as u64
+            {
+                metrics.connections_rejected.fetch_add(1, Ordering::Relaxed);
                 let _ = respond(
                     &mut stream,
                     503,
@@ -136,16 +207,15 @@ impl Server {
                 );
                 continue;
             }
-            active.fetch_add(1, Ordering::SeqCst);
-            self.registry
-                .metrics()
-                .connections_admitted
-                .fetch_add(1, Ordering::Relaxed);
+            metrics.connections_active.fetch_add(1, Ordering::SeqCst);
+            metrics.connections_admitted.fetch_add(1, Ordering::Relaxed);
             let registry = Arc::clone(&self.registry);
-            let active = Arc::clone(&active);
             std::thread::spawn(move || {
                 let _ = handle_connection(&mut stream, &registry);
-                active.fetch_sub(1, Ordering::SeqCst);
+                registry
+                    .metrics()
+                    .connections_active
+                    .fetch_sub(1, Ordering::SeqCst);
             });
         }
         Ok(())
@@ -172,7 +242,23 @@ fn route(stream: &mut TcpStream, registry: &Registry, req: &Request) -> io::Resu
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => respond(stream, 200, "text/plain", "ok\n"),
-        ("POST", ["v1", "sweeps"]) => submit(stream, registry, &req.body),
+        ("GET", ["v1", "health"]) => respond(stream, 200, "application/json", &health(registry)),
+        ("POST", ["v1", "sweeps"]) => {
+            if registry.is_draining() {
+                registry
+                    .metrics()
+                    .jobs_rejected_draining
+                    .fetch_add(1, Ordering::Relaxed);
+                return respond_with(
+                    stream,
+                    503,
+                    "application/json",
+                    &[("Retry-After", "5")],
+                    &error_body("daemon is draining; resubmit to the next instance"),
+                );
+            }
+            submit(stream, registry, &req.body)
+        }
         ("GET", ["v1", "sweeps"]) => {
             let mut o = Obj::new();
             o.set(
@@ -247,24 +333,54 @@ fn submit(stream: &mut TcpStream, registry: &Registry, body: &str) -> io::Result
     }
 }
 
+/// The `ovlp.health.v1` document: live / ready / draining.
+fn health(registry: &Registry) -> String {
+    let draining = registry.is_draining();
+    let mut o = Obj::new();
+    o.set("schema", Value::str(HEALTH_SCHEMA));
+    o.set("live", Value::Bool(true));
+    o.set("ready", Value::Bool(!draining));
+    o.set("draining", Value::Bool(draining));
+    o.set("jobs", Value::Num(registry.ids().len() as f64));
+    o.set("unfinished", Value::Num(registry.unfinished() as f64));
+    Value::Obj(o).to_string()
+}
+
 /// Stream a job's per-point results as NDJSON, chunked, in canonical
-/// grid order, blocking on points that have not completed yet.
+/// grid order, blocking on points that have not completed yet. A write
+/// error means the client went away: if it was the job's last reader
+/// and the job is still running, its remaining points are cancelled so
+/// the execution slot frees up instead of computing for nobody.
 fn stream_job(stream: &mut TcpStream, registry: &Registry, id: &str) -> io::Result<()> {
     let Some(job) = registry.get(id) else {
         return respond(stream, 404, "application/json", &error_body("no such job"));
     };
-    let mut writer = ChunkedWriter::start(stream, 200, "application/x-ndjson")?;
-    let (mut ok, mut failed) = (0usize, 0usize);
-    for index in 0..job.points() {
-        let outcome = job.wait_point(index);
-        match &outcome {
-            Ok(_) => ok += 1,
-            Err(_) => failed += 1,
+    job.reader_attached();
+    let outcome = (|| {
+        let mut writer = ChunkedWriter::start(stream, 200, "application/x-ndjson")?;
+        let (mut ok, mut failed) = (0usize, 0usize);
+        for index in 0..job.points() {
+            let outcome = job.wait_point(index);
+            match &outcome {
+                Ok(_) => ok += 1,
+                Err(_) => failed += 1,
+            }
+            writer.chunk(&format!("{}\n", point_line(index, &outcome)))?;
         }
-        writer.chunk(&format!("{}\n", point_line(index, &outcome)))?;
+        writer.chunk(&format!("{}\n", done_line(job.points(), ok, failed)))?;
+        writer.finish()
+    })();
+    let remaining = job.reader_detached();
+    if outcome.is_err() {
+        registry
+            .metrics()
+            .client_disconnects
+            .fetch_add(1, Ordering::Relaxed);
+        if remaining == 0 && !job.is_done() {
+            job.request_cancel();
+        }
     }
-    writer.chunk(&format!("{}\n", done_line(job.points(), ok, failed)))?;
-    writer.finish()
+    outcome
 }
 
 /// The `GET /metrics` body: Prometheus text exposition (format 0.0.4)
@@ -283,6 +399,7 @@ pub fn prometheus_metrics(registry: &Registry) -> String {
         Some((entries, stats)) => (entries, stats),
         None => (0, Default::default()),
     };
+    let guard_stats = registry.guard().stats();
     let load = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
     let samples: &[(&str, &str, &str, u64)] = &[
         (
@@ -381,6 +498,84 @@ pub fn prometheus_metrics(registry: &Registry) -> String {
             "Bytes written to the persistent store.",
             disk_stats.bytes_written,
         ),
+        (
+            "ovlp_store_orphans_removed_total",
+            "counter",
+            "Orphaned temp files swept when the store was opened.",
+            disk_stats.orphans_removed,
+        ),
+        (
+            "ovlp_connections_active",
+            "gauge",
+            "HTTP connections currently holding a handler thread.",
+            load(&m.connections_active),
+        ),
+        (
+            "ovlp_draining",
+            "gauge",
+            "1 while the daemon drains (no new jobs admitted).",
+            registry.is_draining() as u64,
+        ),
+        (
+            "ovlp_jobs_rejected_draining_total",
+            "counter",
+            "Job submissions refused with 503 during a drain.",
+            load(&m.jobs_rejected_draining),
+        ),
+        (
+            "ovlp_jobs_cancelled_total",
+            "counter",
+            "Jobs whose remaining points were cancelled.",
+            load(&m.jobs_cancelled),
+        ),
+        (
+            "ovlp_client_disconnects_total",
+            "counter",
+            "Streaming clients that went away mid-stream.",
+            load(&m.client_disconnects),
+        ),
+        (
+            "ovlp_jobs_resumed_total",
+            "counter",
+            "Journaled jobs resumed after a daemon restart.",
+            load(&m.jobs_resumed),
+        ),
+        (
+            "ovlp_journal_points_replayed_total",
+            "counter",
+            "Journaled point completions replayed during recovery.",
+            load(&m.journal_points_replayed),
+        ),
+        (
+            "ovlp_points_retried_total",
+            "counter",
+            "Point attempts re-run after a transient failure.",
+            guard_stats.retries,
+        ),
+        (
+            "ovlp_point_panics_total",
+            "counter",
+            "Panics caught inside point computations.",
+            guard_stats.panics,
+        ),
+        (
+            "ovlp_point_timeouts_total",
+            "counter",
+            "Point attempts abandoned at the per-attempt deadline.",
+            guard_stats.timeouts,
+        ),
+        (
+            "ovlp_points_quarantined_total",
+            "counter",
+            "Distinct points quarantined after exhausting retries.",
+            guard_stats.quarantined,
+        ),
+        (
+            "ovlp_quarantine_rejections_total",
+            "counter",
+            "Point evaluations rejected because the key was quarantined.",
+            guard_stats.quarantine_rejections,
+        ),
     ];
     let mut out = String::new();
     for (name, kind, help, value) in samples {
@@ -410,6 +605,7 @@ pub fn store_stats(cache: &SweepCache) -> String {
             d.set("corrupt", Value::Num(s.corrupt as f64));
             d.set("bytes_read", Value::Num(s.bytes_read as f64));
             d.set("bytes_written", Value::Num(s.bytes_written as f64));
+            d.set("orphans_removed", Value::Num(s.orphans_removed as f64));
             o.set("disk", Value::Obj(d));
         }
         None => {
@@ -417,4 +613,42 @@ pub fn store_stats(cache: &SweepCache) -> String {
         }
     }
     Value::Obj(o).to_string()
+}
+
+/// Set on SIGTERM/SIGINT once [`install_termination_handler`] ran.
+static TERM_SIGNAL: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sig {
+    use super::TERM_SIGNAL;
+    use std::sync::atomic::Ordering;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_terminate(_signum: i32) {
+        // Only an atomic store: async-signal-safe. The CLI's watcher
+        // thread polls the flag and runs the actual drain.
+        TERM_SIGNAL.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_terminate);
+            signal(SIGTERM, on_terminate);
+        }
+    }
+}
+
+/// Install SIGTERM/SIGINT handlers that set (and return) a flag
+/// instead of killing the process, so the caller can poll it and drain
+/// gracefully. On non-Unix platforms this is a no-op flag that never
+/// fires.
+pub fn install_termination_handler() -> &'static AtomicBool {
+    #[cfg(unix)]
+    sig::install();
+    &TERM_SIGNAL
 }

@@ -10,10 +10,15 @@ documented in docs/serving.md:
 * `ovlp.sweep-done.v1`     — stream terminator (counts must add up)
 * `ovlp.sweep-summary.v1`  — job summary with store counters
 * `ovlp.store-stats.v1`    — daemon-wide store counters
+* `ovlp.health.v1`         — live / ready / draining probe document
+* `ovlp.journal.v1`        — crash-recovery job journal (header line
+                             followed by `{"point":N}` / `{"end":...}`)
 
 A file may hold one JSON document or NDJSON (one document per line);
 streams are additionally checked for canonical order: indexes 0..n-1
-followed by exactly one `done` line whose counts match.
+followed by exactly one `done` line whose counts match. Journal files
+are validated whole: one header, point indexes in range and unique,
+at most one end marker (and nothing after it).
 
 Usage: check_sweep_job_schema.py <doc.json|stream.ndjson> [more ...]
 """
@@ -89,10 +94,14 @@ def check_accepted(path, doc):
         )
 
 
+FAIL_KINDS = {"platform", "transform", "sim", "panic", "timeout", "quarantined", "cancelled"}
+
+
 def check_point(path, doc):
     if "error" in doc:
-        no_unknown_keys(path, doc, {"schema", "index", "app", "platform", "policy", "error"})
+        no_unknown_keys(path, doc, {"schema", "index", "app", "platform", "policy", "kind", "error"})
         expect(isinstance(doc["error"], str) and doc["error"], path, "error must be a message")
+        expect(doc.get("kind") in FAIL_KINDS, path, f"kind {doc.get('kind')!r} is not a failure kind")
     else:
         no_unknown_keys(
             path,
@@ -137,7 +146,7 @@ def check_summary(path, doc):
         path,
         doc,
         {
-            "schema", "job", "points", "completed", "ok", "failed", "done",
+            "schema", "job", "points", "completed", "ok", "failed", "done", "cancelled",
             "store_hits", "store_misses", "coalesced", "elapsed_ms",
         },
     )
@@ -145,6 +154,7 @@ def check_summary(path, doc):
     for key in ("points", "completed", "ok", "failed", "store_hits", "store_misses", "coalesced"):
         expect(is_count(doc.get(key)), path, f"{key} must be a count")
     expect(isinstance(doc.get("done"), bool), path, "done must be a bool")
+    expect(isinstance(doc.get("cancelled"), bool), path, "cancelled must be a bool")
     expect(doc["completed"] <= doc["points"], path, "completed > points")
     expect(doc["ok"] + doc["failed"] == doc["completed"], path, "ok + failed != completed")
     if doc["done"]:
@@ -162,10 +172,57 @@ def check_store_stats(path, doc):
     if disk is not None:
         expect(isinstance(disk, dict), path, "disk must be an object or null")
         no_unknown_keys(
-            path, disk, {"entries", "hits", "misses", "corrupt", "bytes_read", "bytes_written"}
+            path,
+            disk,
+            {"entries", "hits", "misses", "corrupt", "orphans_removed", "bytes_read", "bytes_written"},
         )
-        for key in ("entries", "hits", "misses", "corrupt", "bytes_read", "bytes_written"):
+        for key in ("entries", "hits", "misses", "corrupt", "orphans_removed",
+                    "bytes_read", "bytes_written"):
             expect(is_count(disk.get(key)), path, f"disk.{key} must be a count")
+
+
+def check_health(path, doc):
+    no_unknown_keys(path, doc, {"schema", "live", "ready", "draining", "jobs", "unfinished"})
+    for key in ("live", "ready", "draining"):
+        expect(isinstance(doc.get(key), bool), path, f"{key} must be a bool")
+    for key in ("jobs", "unfinished"):
+        expect(is_count(doc.get(key)), path, f"{key} must be a count")
+    expect(doc["live"], path, "a served health document is always live")
+    expect(doc["ready"] != doc["draining"], path, "ready must be the negation of draining")
+
+
+def check_journal_header(path, doc):
+    no_unknown_keys(path, doc, {"schema", "job", "points", "spec"})
+    expect(isinstance(doc.get("job"), str) and doc["job"], path, "job id missing")
+    expect(is_count(doc.get("points")), path, "points must be a count")
+    spec = doc.get("spec")
+    expect(isinstance(spec, dict), path, "spec must be the submitted job object")
+    expect(spec.get("schema") == "ovlp.sweep-job.v1", path, "spec is not an ovlp.sweep-job.v1")
+    check_job(path, spec)
+
+
+def check_journal(path, docs):
+    """A whole journal file: header, then point / end body lines."""
+    check_journal_header(path, docs[0])
+    points = docs[0]["points"]
+    seen = set()
+    ended = False
+    for i, line in enumerate(docs[1:], start=2):
+        expect(not ended, path, f"line {i}: record after the end marker")
+        if "point" in line:
+            no_unknown_keys(path, line, {"point"})
+            p = line["point"]
+            expect(is_count(p) and p < points, path, f"line {i}: point {p!r} out of range")
+            expect(p not in seen, path, f"line {i}: duplicate point {p}")
+            seen.add(p)
+        elif "end" in line:
+            no_unknown_keys(path, line, {"end"})
+            expect(line["end"] in ("complete", "cancelled"), path, f"line {i}: bad end marker")
+            ended = True
+        else:
+            fail(path, f"line {i}: neither a point nor an end marker")
+    kind = "complete" if ended else "incomplete"
+    print(f"{path}: ok (journal, {len(seen)}/{points} points, {kind})")
 
 
 CHECKS = {
@@ -175,6 +232,7 @@ CHECKS = {
     "ovlp.sweep-done.v1": check_done,
     "ovlp.sweep-summary.v1": check_summary,
     "ovlp.store-stats.v1": check_store_stats,
+    "ovlp.health.v1": check_health,
 }
 
 
@@ -203,6 +261,13 @@ def check(path):
                 docs.append(json.loads(line))
             except json.JSONDecodeError as e:
                 fail(path, f"line {i + 1}: bad JSON: {e}")
+
+    # Journal body lines carry no schema field; the header routes the
+    # whole file.
+    if docs and isinstance(docs[0], dict) and docs[0].get("schema") == "ovlp.journal.v1":
+        check_journal(path, docs)
+        return
+
     schemas = [check_doc(path, d) for d in docs]
 
     # NDJSON streams must be in canonical order and internally

@@ -106,7 +106,8 @@ const COMMANDS: &[Cmd] = &[
     },
     Cmd {
         name: "serve",
-        args: "[--addr host:port] [--store dir] [--max-running N] [--max-conn N]",
+        args: "[--addr host:port] [--store dir] [--max-running N] [--max-conn N] \
+               [--point-deadline s] [--retries N] [--backoff-ms ms] [--drain-grace s]",
         about: "sweep-as-a-service HTTP daemon over the persistent result store",
     },
     Cmd {
@@ -1048,19 +1049,24 @@ fn sweep_cmd(app: &str, ranks: &str, rest: &[&str]) -> ExitCode {
 /// `docs/serving.md` for the protocol). With `--store`, results are
 /// shared with `ovlp sweep --store` and survive restarts.
 fn serve_cmd(rest: &[&str]) -> ExitCode {
+    use overlap_sim::serve::server::install_termination_handler;
     use overlap_sim::serve::{ServeConfig, Server};
     use std::io::Write;
+    use std::time::Duration;
 
     // The serve arg list is flag pairs only; a stray token is a typo,
     // not a positional, so reject it up front.
     let mut i = 0;
     while i < rest.len() {
         match rest[i] {
-            "--addr" | "--store" | "--max-running" | "--max-conn" => i += 2,
+            "--addr" | "--store" | "--max-running" | "--max-conn" | "--point-deadline"
+            | "--retries" | "--backoff-ms" | "--drain-grace" => i += 2,
             other => return fail_usage(format!("unknown `serve` argument `{other}`")),
         }
     }
     let defaults = ServeConfig::default();
+    let default_deadline_s = defaults.point_deadline.map(|d| d.as_secs()).unwrap_or(0);
+    let default_grace_s = defaults.drain_grace.as_secs();
     let config = ServeConfig {
         addr: match parse_flag(rest, "--addr", defaults.addr) {
             Ok(v) => v,
@@ -1078,12 +1084,34 @@ fn serve_cmd(rest: &[&str]) -> ExitCode {
             Ok(v) => v,
             Err(e) => return fail_usage(e),
         },
+        // Seconds; 0 disables the per-attempt watchdog.
+        point_deadline: match parse_flag(rest, "--point-deadline", default_deadline_s) {
+            Ok(0) => None,
+            Ok(s) => Some(Duration::from_secs(s)),
+            Err(e) => return fail_usage(e),
+        },
+        max_attempts: match parse_flag(rest, "--retries", defaults.max_attempts) {
+            Ok(v) => v,
+            Err(e) => return fail_usage(e),
+        },
+        backoff_ms: match parse_flag(rest, "--backoff-ms", defaults.backoff_ms) {
+            Ok(v) => v,
+            Err(e) => return fail_usage(e),
+        },
+        drain_grace: match parse_flag(rest, "--drain-grace", default_grace_s) {
+            Ok(s) => Duration::from_secs(s),
+            Err(e) => return fail_usage(e),
+        },
+        chaos: std::env::var("OVLP_CHAOS").ok().filter(|s| !s.is_empty()),
     };
     if config.max_running == 0 {
         return fail_usage("--max-running must be at least 1".to_string());
     }
     if config.max_connections == 0 {
         return fail_usage("--max-conn must be at least 1".to_string());
+    }
+    if config.max_attempts == 0 {
+        return fail_usage("--retries must be at least 1 (it counts total attempts)".to_string());
     }
     let addr = config.addr.clone();
     let server = match Server::bind(config.clone()) {
@@ -1098,9 +1126,29 @@ fn serve_cmd(rest: &[&str]) -> ExitCode {
         Some(dir) => println!("store: {}", dir.display()),
         None => println!("store: in-memory (gone on exit; pass --store dir to persist)"),
     }
+    if config.chaos.is_some() {
+        println!("chaos: fault injection armed via OVLP_CHAOS");
+    }
     // Scripts (and the CI smoke job) wait for the banner to know the
     // listener is ready; make sure it is not stuck in the pipe buffer.
     let _ = std::io::stdout().flush();
+
+    // SIGTERM/SIGINT → drain: the handler only sets a flag; this
+    // watcher thread notices it and runs the bounded drain, so the
+    // daemon always exits 0 with a flushed journal.
+    let term = install_termination_handler();
+    let handle = match server.handle() {
+        Ok(h) => h,
+        Err(e) => return fail(e.to_string()),
+    };
+    let grace = config.drain_grace;
+    std::thread::spawn(move || {
+        while !term.load(std::sync::atomic::Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        eprintln!("ovlp serve: termination signal, draining (grace {grace:?})");
+        handle.drain(grace);
+    });
     match server.run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => fail(e.to_string()),

@@ -1,0 +1,203 @@
+//! Chaos differential suite: fault-injected sweeps must degrade
+//! gracefully — retry, time out, quarantine, survive store faults —
+//! and, whenever they ultimately succeed, produce results
+//! **byte-identical** to a clean run. Faults are deterministic
+//! functions of (point index, attempt) or of operation counters (see
+//! `ovlp_core::sweep::chaos`), so every scenario here is reproducible.
+
+use overlap_sim::core::sweep::chaos::ChaosPolicy;
+use overlap_sim::core::sweep::guard::{PointGuard, RetryPolicy};
+use overlap_sim::core::sweep::{sweep, FailKind, SweepCache};
+use overlap_sim::serve::SweepSpec;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ovlp-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec() -> SweepSpec {
+    let mut s = SweepSpec::new("nas-cg", 4);
+    s.chunks = vec![1, 4];
+    s
+}
+
+/// The clean-run reference: no guard, no chaos, fresh in-memory cache.
+fn clean_reference() -> (String, u64) {
+    let (grid, config) = spec().build().unwrap();
+    let report = sweep(&grid, &config, &SweepCache::new());
+    assert_eq!(report.err_count(), 0);
+    (report.render_full(&grid), report.grid_hash())
+}
+
+fn guarded(policy: RetryPolicy, chaos: &str) -> Arc<PointGuard> {
+    let chaos: ChaosPolicy = chaos.parse().unwrap();
+    Arc::new(PointGuard::new(policy).with_chaos(Arc::new(chaos)))
+}
+
+fn fast_retries() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 3,
+        backoff_base: Duration::from_millis(2),
+        deadline: None,
+    }
+}
+
+#[test]
+fn panicking_point_is_retried_to_a_byte_identical_result() {
+    let (reference, reference_hash) = clean_reference();
+    let (grid, mut config) = spec().build().unwrap();
+    // Point 1 panics on its first two attempts; the third succeeds.
+    let guard = guarded(fast_retries(), "panic@1:2");
+    config.guard = Some(Arc::clone(&guard));
+    let report = sweep(&grid, &config, &SweepCache::new());
+    assert_eq!(report.err_count(), 0, "{:?}", report.outcomes);
+    assert_eq!(report.render_full(&grid), reference);
+    assert_eq!(report.grid_hash(), reference_hash);
+    let stats = guard.stats();
+    assert_eq!(stats.panics, 2);
+    assert_eq!(stats.retries, 2);
+    assert_eq!(stats.quarantined, 0);
+}
+
+#[test]
+fn exhausted_retries_quarantine_the_point_and_spare_the_rest() {
+    let (grid, mut config) = spec().build().unwrap();
+    // Point 0 panics on every attempt it will ever get.
+    let guard = guarded(fast_retries(), "panic@0:99");
+    config.guard = Some(Arc::clone(&guard));
+    let cache = SweepCache::new();
+    let report = sweep(&grid, &config, &cache);
+    assert_eq!(report.err_count(), 1);
+    let err = report.outcomes[0].as_ref().unwrap_err();
+    assert_eq!(err.kind, FailKind::Quarantined);
+    assert!(
+        err.message.contains("quarantined after 3 attempts"),
+        "{err:?}"
+    );
+    assert!(report.outcomes[1].is_ok(), "healthy points unaffected");
+    let stats = guard.stats();
+    assert_eq!(stats.panics, 3);
+    assert_eq!(stats.retries, 2);
+    assert_eq!(stats.quarantined, 1);
+    assert_eq!(stats.quarantine_rejections, 0);
+
+    // Sweeping again under the same guard: the poisoned point fails
+    // fast (no attempts burned), everything else still succeeds.
+    let report = sweep(&grid, &config, &cache);
+    let err = report.outcomes[0].as_ref().unwrap_err();
+    assert_eq!(err.kind, FailKind::Quarantined);
+    assert_eq!(err.message, "quarantined after repeated failures");
+    let stats = guard.stats();
+    assert_eq!(stats.panics, 3, "no further attempts");
+    assert_eq!(stats.quarantine_rejections, 1);
+}
+
+#[test]
+fn deadline_timeout_is_retried_to_a_byte_identical_result() {
+    let (reference, _) = clean_reference();
+    let (grid, mut config) = spec().build().unwrap();
+    // Point 0 stalls far past the per-attempt deadline once; the
+    // watchdog abandons that attempt and the retry succeeds.
+    let guard = guarded(
+        RetryPolicy {
+            max_attempts: 2,
+            backoff_base: Duration::from_millis(2),
+            deadline: Some(Duration::from_millis(150)),
+        },
+        "stall=2000@0:1",
+    );
+    config.guard = Some(Arc::clone(&guard));
+    let report = sweep(&grid, &config, &SweepCache::new());
+    assert_eq!(report.err_count(), 0, "{:?}", report.outcomes);
+    assert_eq!(report.render_full(&grid), reference);
+    let stats = guard.stats();
+    assert_eq!(stats.timeouts, 1);
+    assert_eq!(stats.retries, 1);
+    assert_eq!(stats.quarantined, 0);
+}
+
+#[test]
+fn deadline_exhaustion_quarantines_with_a_timeout_trail() {
+    let (grid, mut config) = spec().build().unwrap();
+    let guard = guarded(
+        RetryPolicy {
+            max_attempts: 2,
+            backoff_base: Duration::from_millis(2),
+            deadline: Some(Duration::from_millis(100)),
+        },
+        "stall=5000@1:99",
+    );
+    config.guard = Some(Arc::clone(&guard));
+    let report = sweep(&grid, &config, &SweepCache::new());
+    assert_eq!(report.err_count(), 1);
+    let err = report.outcomes[1].as_ref().unwrap_err();
+    assert_eq!(err.kind, FailKind::Quarantined);
+    assert!(err.message.contains("deadline"), "{err:?}");
+    let stats = guard.stats();
+    assert_eq!(stats.timeouts, 2);
+    assert_eq!(stats.quarantined, 1);
+}
+
+#[test]
+fn store_faults_degrade_without_changing_results() {
+    let (reference, reference_hash) = clean_reference();
+    let dir = temp_dir("store-faults");
+
+    // Write faults: the first store write fails, degrading that point
+    // to the in-memory tier. Results are unaffected.
+    {
+        let cache = SweepCache::persistent(&dir).unwrap();
+        cache
+            .disk()
+            .unwrap()
+            .set_chaos(Arc::new("store-write-fail=1".parse().unwrap()));
+        let (grid, config) = spec().build().unwrap();
+        let report = sweep(&grid, &config, &cache);
+        assert_eq!(report.err_count(), 0);
+        assert_eq!(report.render_full(&grid), reference);
+        assert_eq!(report.grid_hash(), reference_hash);
+        assert_eq!(cache.disk().unwrap().entries(), 1, "one write was eaten");
+    }
+
+    // Read faults on a fresh process-equivalent: failed reads count as
+    // corruption, the points recompute, and the re-put heals the store.
+    {
+        let cache = SweepCache::persistent(&dir).unwrap();
+        cache
+            .disk()
+            .unwrap()
+            .set_chaos(Arc::new("store-read-fail=2".parse().unwrap()));
+        let (grid, config) = spec().build().unwrap();
+        let report = sweep(&grid, &config, &cache);
+        assert_eq!(report.err_count(), 0);
+        assert_eq!(report.render_full(&grid), reference);
+        assert_eq!(report.grid_hash(), reference_hash);
+        let stats = cache.disk().unwrap().stats();
+        assert!(stats.corrupt >= 1, "{stats:?}");
+    }
+
+    // A clean reopen now serves everything from the healed store.
+    {
+        let cache = SweepCache::persistent(&dir).unwrap();
+        let (grid, config) = spec().build().unwrap();
+        let report = sweep(&grid, &config, &cache);
+        assert_eq!(report.render_full(&grid), reference);
+        assert_eq!(cache.disk().unwrap().stats().hits, 2);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unguarded_sweeps_are_untouched_by_config_defaults() {
+    // The batch CLI path: no guard, no cancel. One evaluation per
+    // point, bytes identical to the reference.
+    let (reference, _) = clean_reference();
+    let (grid, config) = spec().build().unwrap();
+    assert!(config.guard.is_none() && config.cancel.is_none());
+    let report = sweep(&grid, &config, &SweepCache::new());
+    assert_eq!(report.render_full(&grid), reference);
+}

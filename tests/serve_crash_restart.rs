@@ -1,0 +1,300 @@
+//! Crash-and-restart differential tests against the real `ovlp serve`
+//! binary: SIGKILL mid-job must lose nothing that matters — a restart
+//! on the same store resumes the journaled job and streams bytes
+//! identical to a never-crashed daemon — and SIGTERM must drain
+//! gracefully (finish in-flight work, flush the journal, exit 0).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::time::{Duration, Instant};
+
+const JOB: &str = r#"{"schema":"ovlp.sweep-job.v1","app":"nas-cg","ranks":4,"jobs":2,"chunks":[1,2,4,8],"bw":[100,175,250,325],"buses":[4,6],"topology":["bus","crossbar"]}"#;
+const JOB_POINTS: u64 = 64;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ovlp-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A daemon child process. Dropped = SIGKILLed, so a failing assertion
+/// never leaks a listener.
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+    // Keeps the stdout pipe open so the daemon never blocks on it.
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Daemon {
+    fn spawn(store: &Path, chaos: Option<&str>) -> Daemon {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_ovlp"));
+        cmd.args(["serve", "--addr", "127.0.0.1:0", "--store"])
+            .arg(store)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .env_remove("OVLP_CHAOS");
+        if let Some(spec) = chaos {
+            cmd.env("OVLP_CHAOS", spec);
+        }
+        let mut child = cmd.spawn().unwrap();
+        let mut stdout = BufReader::new(child.stdout.take().unwrap());
+        let mut banner = String::new();
+        stdout.read_line(&mut banner).unwrap();
+        let addr = banner
+            .trim()
+            .strip_prefix("ovlp serve listening on http://")
+            .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
+            .parse()
+            .unwrap();
+        Daemon {
+            child,
+            addr,
+            _stdout: stdout,
+        }
+    }
+
+    fn sigkill(&mut self) {
+        self.child.kill().unwrap();
+        self.child.wait().unwrap();
+    }
+
+    fn sigterm(&self) {
+        let ok = Command::new("kill")
+            .args(["-TERM", &self.child.id().to_string()])
+            .status()
+            .unwrap();
+        assert!(ok.success());
+    }
+
+    fn wait_exit(&mut self, limit: Duration) -> ExitStatus {
+        let deadline = Instant::now() + limit;
+        loop {
+            if let Some(status) = self.child.try_wait().unwrap() {
+                return status;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "daemon did not exit within {limit:?}"
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+}
+
+/// Minimal HTTP/1.1 client (the daemon is `Connection: close`).
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8(raw).unwrap();
+    let (head, payload) = text.split_once("\r\n\r\n").unwrap();
+    let status: u16 = head
+        .lines()
+        .next()
+        .unwrap()
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    let chunked = head
+        .to_ascii_lowercase()
+        .contains("transfer-encoding: chunked");
+    let body = if chunked {
+        dechunk(payload)
+    } else {
+        payload.to_string()
+    };
+    (status, body)
+}
+
+fn dechunk(payload: &str) -> String {
+    let mut out = String::new();
+    let mut rest = payload;
+    loop {
+        let (size_line, tail) = rest.split_once("\r\n").unwrap();
+        let size = usize::from_str_radix(size_line.trim(), 16).unwrap();
+        if size == 0 {
+            break;
+        }
+        out.push_str(&tail[..size]);
+        rest = &tail[size + 2..];
+    }
+    out
+}
+
+fn json_u64(doc: &str, field: &str) -> u64 {
+    let pat = format!("\"{field}\":");
+    let tail = &doc[doc
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {field} in {doc}"))
+        + pat.len()..];
+    tail.chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+fn metric(body: &str, name: &str) -> u64 {
+    body.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("no sample {name} in:\n{body}"))
+        .parse()
+        .unwrap()
+}
+
+fn submit(addr: SocketAddr) -> String {
+    let (status, body) = http(addr, "POST", "/v1/sweeps", JOB);
+    assert_eq!(status, 202, "{body}");
+    let pat = "\"job\":\"";
+    let tail = &body[body.find(pat).unwrap() + pat.len()..];
+    tail[..tail.find('"').unwrap()].to_string()
+}
+
+fn wait_summary(addr: SocketAddr, job: &str) -> String {
+    let (status, body) = http(addr, "GET", &format!("/v1/sweeps/{job}/summary?wait=1"), "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"done\":true"), "{body}");
+    body
+}
+
+fn tmp_files_under(root: &Path) -> Vec<PathBuf> {
+    let mut found = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "tmp") {
+                found.push(path);
+            }
+        }
+    }
+    found
+}
+
+#[test]
+fn sigkill_mid_stream_then_restart_is_byte_identical() {
+    // Reference: a never-crashed daemon on its own store.
+    let ref_store = temp_dir("reference");
+    let reference = {
+        let daemon = Daemon::spawn(&ref_store, None);
+        let job = submit(daemon.addr);
+        wait_summary(daemon.addr, &job);
+        let (status, stream) = http(daemon.addr, "GET", &format!("/v1/sweeps/{job}"), "");
+        assert_eq!(status, 200);
+        stream
+    };
+    assert_eq!(reference.lines().count() as u64, JOB_POINTS + 1);
+
+    // Crash run: point 40 stalls for seconds, pinning the job mid-grid.
+    // We start streaming, read a few lines, then SIGKILL the daemon
+    // with the job incomplete and a client attached.
+    let store = temp_dir("crash");
+    {
+        let mut daemon = Daemon::spawn(&store, Some("stall=30000@40:1"));
+        let job = submit(daemon.addr);
+        assert_eq!(job, "j1");
+        let mut stream = TcpStream::connect(daemon.addr).unwrap();
+        write!(stream, "GET /v1/sweeps/j1 HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut some = [0u8; 512];
+        assert!(stream.read(&mut some).unwrap() > 0, "stream started");
+        // Let the pre-stall points land in the store and journal.
+        std::thread::sleep(Duration::from_millis(800));
+        daemon.sigkill();
+    }
+
+    // Restart on the same store: the journal brings j1 back, the store
+    // serves everything already computed, the stall never replays (the
+    // chaos env is gone), and the stream is byte-identical.
+    {
+        let mut daemon = Daemon::spawn(&store, None);
+        let (_, metrics) = http(daemon.addr, "GET", "/metrics", "");
+        assert_eq!(metric(&metrics, "ovlp_jobs_resumed_total"), 1, "{metrics}");
+        let summary = wait_summary(daemon.addr, "j1");
+        assert_eq!(json_u64(&summary, "points"), JOB_POINTS);
+        let (status, stream) = http(daemon.addr, "GET", "/v1/sweeps/j1", "");
+        assert_eq!(status, 200);
+        assert_eq!(
+            stream, reference,
+            "resumed job must stream the same bytes as a never-crashed daemon"
+        );
+        assert_eq!(
+            tmp_files_under(&store),
+            Vec::<PathBuf>::new(),
+            "no orphaned temp files survive recovery"
+        );
+        let journal = std::fs::read_to_string(store.join("journal").join("j1.journal")).unwrap();
+        assert!(journal.contains("\"end\":\"complete\""), "{journal}");
+
+        // Graceful exit: SIGTERM drains and the process exits 0.
+        daemon.sigterm();
+        let status = daemon.wait_exit(Duration::from_secs(15));
+        assert!(status.success(), "drain exit: {status:?}");
+    }
+
+    // Second restart is idempotent: the job ended cleanly, so nothing
+    // resumes, and a fresh identical submission is served entirely
+    // from the store with — again — the same bytes.
+    {
+        let daemon = Daemon::spawn(&store, None);
+        let (_, metrics) = http(daemon.addr, "GET", "/metrics", "");
+        assert_eq!(metric(&metrics, "ovlp_jobs_resumed_total"), 0, "{metrics}");
+        let job = submit(daemon.addr);
+        let summary = wait_summary(daemon.addr, &job);
+        assert_eq!(json_u64(&summary, "store_hits"), JOB_POINTS, "{summary}");
+        assert_eq!(json_u64(&summary, "store_misses"), 0, "{summary}");
+        let (_, stream) = http(daemon.addr, "GET", &format!("/v1/sweeps/{job}"), "");
+        assert_eq!(stream, reference);
+    }
+    let _ = std::fs::remove_dir_all(&ref_store);
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn sigterm_with_a_job_in_flight_finishes_it_and_exits_zero() {
+    let store = temp_dir("drain");
+    let mut daemon = Daemon::spawn(&store, Some("stall=1200@0:1"));
+    let small =
+        r#"{"schema":"ovlp.sweep-job.v1","app":"nas-cg","ranks":4,"jobs":1,"chunks":[1,4]}"#;
+    let (status, body) = http(daemon.addr, "POST", "/v1/sweeps", small);
+    assert_eq!(status, 202, "{body}");
+
+    // The job is mid-stall when the signal lands.
+    std::thread::sleep(Duration::from_millis(200));
+    daemon.sigterm();
+    let status = daemon.wait_exit(Duration::from_secs(20));
+    assert!(status.success(), "drain exit: {status:?}");
+
+    // The drain let the job run to completion and sealed its journal.
+    let journal = std::fs::read_to_string(store.join("journal").join("j1.journal")).unwrap();
+    assert!(
+        journal.contains("\"schema\":\"ovlp.journal.v1\""),
+        "{journal}"
+    );
+    assert!(journal.contains("\"end\":\"complete\""), "{journal}");
+    assert_eq!(journal.matches("{\"point\":").count(), 2, "{journal}");
+    assert_eq!(tmp_files_under(&store), Vec::<PathBuf>::new());
+    let _ = std::fs::remove_dir_all(&store);
+}
